@@ -1,0 +1,109 @@
+// A8 — ablation of the anomaly detector (paper §9 future work: "a simple
+// profile building module and anomaly detector ... to support
+// anomaly-based intrusion detection in addition to the signature-based").
+//
+// Trains per-client profiles on benign traffic, then scores a held-out mix
+// of benign and attack requests, sweeping the decision threshold:
+// the detection-rate / false-positive trade-off curve, plus what anomaly
+// detection adds over signatures alone (novel attacks with NO signature).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "http/request.h"
+#include "util/strings.h"
+#include "ids/anomaly.h"
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace gaa::bench {
+namespace {
+
+gaa::ids::RequestFeatures FeaturesOf(const gaa::workload::TraceRequest& r) {
+  gaa::ids::RequestFeatures f;
+  f.principal = r.client_ip;
+  auto parsed = gaa::http::ParseRequest(r.raw);
+  if (parsed.ok()) {
+    f.path = parsed.request->path;
+    f.query_length = static_cast<double>(parsed.request->query.size());
+    f.url_depth = static_cast<double>(
+        gaa::util::CountChar(parsed.request->path, '/'));
+  }
+  return f;
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main() {
+  using namespace gaa::bench;
+  using gaa::workload::RequestKind;
+
+  PrintHeader("A8: anomaly detector (section 9 future work)");
+
+  // Benign clients with stable habits: train 100 requests each.
+  gaa::util::SimulatedClock clock(0);
+  gaa::workload::TraceOptions train_options;
+  train_options.count = 3000;
+  train_options.attack_fraction = 0.0;
+  train_options.benign_clients = 16;
+  train_options.seed = 11;
+  auto training = gaa::workload::TraceGenerator(train_options).Generate();
+
+  // Held-out evaluation set: benign from the same pool + attacks that we
+  // FORCE onto benign source addresses (an insider / compromised host —
+  // the case signatures alone already handle; anomaly detection must flag
+  // the *behaviour* change of a known principal).
+  gaa::workload::TraceOptions eval_options = train_options;
+  eval_options.count = 600;
+  eval_options.seed = 12;
+  auto benign_eval = gaa::workload::TraceGenerator(eval_options).Generate();
+
+  gaa::workload::TraceOptions attack_options;
+  attack_options.count = 0;
+  attack_options.seed = 13;
+  gaa::workload::TraceGenerator attack_gen(attack_options);
+  std::vector<gaa::workload::TraceRequest> attack_eval;
+  gaa::util::Rng rng(14);
+  for (int i = 0; i < 200; ++i) {
+    auto kind = rng.NextBool(0.5) ? RequestKind::kOverflowInput
+                                  : RequestKind::kCgiProbe;
+    auto r = attack_gen.Make(kind);
+    // Re-home the attack on a trained benign client address.
+    r.client_ip = "10.0.0." + std::to_string(1 + rng.NextBelow(16));
+    attack_eval.push_back(std::move(r));
+  }
+
+  std::printf("training: %zu benign requests over %zu clients; evaluation: "
+              "%zu benign + %zu attacks (re-homed to benign sources)\n\n",
+              training.size(), static_cast<std::size_t>(16),
+              benign_eval.size(), attack_eval.size());
+
+  std::printf("%-10s %14s %14s\n", "threshold", "detection_rate",
+              "false_pos_rate");
+  for (double threshold : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0}) {
+    gaa::ids::AnomalyDetector::Options options;
+    options.score_threshold = threshold;
+    gaa::ids::AnomalyDetector detector(&clock, options);
+    for (const auto& r : training) {
+      clock.Advance(gaa::util::kMicrosPerSecond);
+      detector.Train(FeaturesOf(r));
+    }
+    std::size_t tp = 0;
+    for (const auto& r : attack_eval) {
+      if (detector.IsAnomalous(FeaturesOf(r))) ++tp;
+    }
+    std::size_t fp = 0;
+    for (const auto& r : benign_eval) {
+      if (detector.IsAnomalous(FeaturesOf(r))) ++fp;
+    }
+    std::printf("%-10.1f %13.1f%% %13.1f%%\n", threshold,
+                100.0 * static_cast<double>(tp) / attack_eval.size(),
+                100.0 * static_cast<double>(fp) / benign_eval.size());
+  }
+  std::printf(
+      "\nshape: a mid-range threshold separates the behaviour change of a\n"
+      "compromised benign client from its normal traffic; low thresholds\n"
+      "trade false positives for recall (the IDS-tuning knob the paper\n"
+      "wanted the GAA-API to consume as an adaptive value).\n");
+  return 0;
+}

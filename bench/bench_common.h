@@ -1,0 +1,83 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "http/doc_tree.h"
+#include "integration/gaa_web_server.h"
+#include "util/clock.h"
+
+namespace gaa::bench {
+
+/// The §7.1 system-wide policy (narrow composition, lockdown at high).
+inline const char* LockdownSystemPolicy() {
+  return R"(
+eacl_mode 1
+neg_access_right * *
+pre_cond_system_threat_level local =high
+)";
+}
+
+/// The §7.1 local policy plus a normal-operation entry.
+inline const char* LockdownLocalPolicy() {
+  return R"(
+pos_access_right apache *
+pre_cond_system_threat_level local >low
+pre_cond_accessid USER apache *
+pos_access_right apache *
+pre_cond_system_threat_level local =low
+)";
+}
+
+/// The §7.2 local policy (signatures, notify, blacklist update, fallthrough
+/// grant) — the configuration the paper measured (§8: "we used the
+/// system-wide and local policy files shown in Sections 7.1 and 7.2").
+inline const char* IntrusionLocalPolicy() {
+  return R"(
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi*
+rr_cond_notify local on:failure/sysadmin/info:cgiexploit
+rr_cond_update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+)";
+}
+
+/// The §7.2 system-wide policy (BadGuys blacklist).
+inline const char* IntrusionSystemPolicy() {
+  return R"(
+eacl_mode 1
+neg_access_right * *
+pre_cond_accessid GROUP local BadGuys
+)";
+}
+
+struct Stats {
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+};
+
+inline Stats Summarize(std::vector<double> samples_ms) {
+  Stats s;
+  if (samples_ms.empty()) return s;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  s.mean_ms = std::accumulate(samples_ms.begin(), samples_ms.end(), 0.0) /
+              static_cast<double>(samples_ms.size());
+  s.p50_ms = samples_ms[samples_ms.size() / 2];
+  s.p95_ms = samples_ms[samples_ms.size() * 95 / 100];
+  s.min_ms = samples_ms.front();
+  s.max_ms = samples_ms.back();
+  return s;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace gaa::bench

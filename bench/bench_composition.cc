@@ -1,0 +1,119 @@
+// A2 — ablation of the composition modes (paper §2.1: expand / narrow /
+// stop).  Shows (a) the decisions each mode produces on system/local
+// conflict shapes and (b) the evaluation cost per mode.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eacl/composition.h"
+#include "util/clock.h"
+
+namespace gaa::bench {
+namespace {
+
+const char* ModePolicy(gaa::eacl::CompositionMode mode, const char* body) {
+  static std::string storage;
+  storage = "eacl_mode " +
+            std::to_string(static_cast<int>(mode)) + "\n" + body;
+  return storage.c_str();
+}
+
+const char* Label(gaa::http::StatusCode code) {
+  switch (code) {
+    case gaa::http::StatusCode::kOk:
+      return "allow";
+    case gaa::http::StatusCode::kForbidden:
+      return "deny";
+    case gaa::http::StatusCode::kUnauthorized:
+      return "auth";
+    default:
+      return "other";
+  }
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main() {
+  using namespace gaa::bench;
+  using gaa::eacl::CompositionMode;
+
+  PrintHeader("A2: composition modes (section 2.1)");
+
+  struct Shape {
+    const char* name;
+    const char* system_body;
+    const char* local;
+  };
+  const Shape shapes[] = {
+      {"system grants, local denies", "pos_access_right apache *\n",
+       "neg_access_right apache *\n"},
+      {"system denies, local grants", "neg_access_right apache *\n",
+       "pos_access_right apache *\n"},
+      {"both grant", "pos_access_right apache *\n",
+       "pos_access_right apache *\n"},
+      {"both deny", "neg_access_right apache *\n",
+       "neg_access_right apache *\n"},
+  };
+  const CompositionMode modes[] = {CompositionMode::kExpand,
+                                   CompositionMode::kNarrow,
+                                   CompositionMode::kStop};
+
+  std::printf("%-30s %-8s %-8s %-8s\n", "conflict shape", "expand", "narrow",
+              "stop");
+  for (const Shape& shape : shapes) {
+    std::printf("%-30s", shape.name);
+    for (CompositionMode mode : modes) {
+      gaa::web::GaaWebServer::Options options;
+      options.use_real_clock = true;
+      options.notification_latency_us = 0;
+      gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+      if (!server.AddSystemPolicy(ModePolicy(mode, shape.system_body)).ok() ||
+          !server.SetLocalPolicy("/", shape.local).ok()) {
+        std::fprintf(stderr, "policy setup failed\n");
+        return 1;
+      }
+      auto response = server.Get("/index.html", "10.0.0.1");
+      std::printf(" %-8s", Label(response.status));
+    }
+    std::printf("\n");
+  }
+  std::printf("expected: expand = disjunction of grants, narrow = "
+              "conjunction, stop = system-wide only\n");
+
+  // --- evaluation cost per mode ----------------------------------------------
+  PrintHeader("A2b: evaluation cost per composition mode");
+  std::printf("%-8s %12s %16s\n", "mode", "mean_ms", "note");
+  for (CompositionMode mode : modes) {
+    gaa::web::GaaWebServer::Options options;
+    options.use_real_clock = true;
+    options.notification_latency_us = 0;
+    gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+    // A denying system side over a 16-entry local policy: under narrow the
+    // local side is skipped, under expand it must still be evaluated.
+    std::string local;
+    for (int i = 0; i < 15; ++i) {
+      local += "neg_access_right apache *\n";
+      local += "pre_cond_regex gnu *never-" + std::to_string(i) + "*\n";
+    }
+    local += "pos_access_right apache *\n";
+    if (!server.AddSystemPolicy(ModePolicy(mode, "neg_access_right apache *\n"))
+             .ok() ||
+        !server.SetLocalPolicy("/", local).ok()) {
+      std::fprintf(stderr, "policy setup failed\n");
+      return 1;
+    }
+    std::vector<double> samples;
+    for (int i = 0; i < 3000; ++i) {
+      gaa::util::Stopwatch watch;
+      (void)server.Get("/index.html", "10.0.0.1");
+      samples.push_back(watch.ElapsedMs());
+    }
+    const char* note = mode == CompositionMode::kExpand
+                           ? "evaluates both sides"
+                           : "skips local side";
+    std::printf("%-8s %12.5f %16s\n",
+                gaa::eacl::CompositionModeName(mode),
+                Summarize(std::move(samples)).mean_ms, note);
+  }
+  return 0;
+}

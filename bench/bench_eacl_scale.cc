@@ -1,0 +1,90 @@
+// A3 — microbenchmark: EACL evaluation cost vs policy size.
+//
+// Sweeps the number of entries and the number of pre-conditions per entry;
+// also measures the parser.  google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "conditions/builtin.h"
+#include "eacl/parser.h"
+#include "gaa/api.h"
+#include "gaa/policy_store.h"
+#include "gaa/system_state.h"
+#include "testing_support.h"
+
+namespace gaa::bench {
+namespace {
+
+std::string PolicyText(int entries, int conds_per_entry) {
+  std::string text;
+  for (int i = 0; i < entries - 1; ++i) {
+    text += "neg_access_right apache *\n";
+    for (int c = 0; c < conds_per_entry; ++c) {
+      text += "pre_cond_regex gnu *no-match-" + std::to_string(i) + "-" +
+              std::to_string(c) + "*\n";
+    }
+  }
+  text += "pos_access_right apache *\n";
+  return text;
+}
+
+void BM_EaclParse(benchmark::State& state) {
+  std::string text = PolicyText(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto parsed = eacl::ParseEacl(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EaclParse)->RangeMultiplier(4)->Range(1, 512)->Complexity();
+
+void BM_CheckAuthorization(benchmark::State& state) {
+  BenchRig rig;
+  core::PolicyStore store;
+  core::GaaApi api(&store, rig.services);
+  core::RoutineCatalog catalog;
+  cond::RegisterBuiltinRoutines(catalog);
+  if (!api.Initialize(catalog, cond::DefaultConfigText(), "").ok()) {
+    state.SkipWithError("init failed");
+    return;
+  }
+  if (!store
+           .SetLocalPolicy("/",
+                           PolicyText(static_cast<int>(state.range(0)),
+                                      static_cast<int>(state.range(1))))
+           .ok()) {
+    state.SkipWithError("policy failed");
+    return;
+  }
+  auto composed = store.PoliciesFor("/index.html");
+  core::RequestedRight right{"apache", "GET"};
+  for (auto _ : state) {
+    core::RequestContext ctx = MakeBenchContext();
+    auto authz = api.CheckAuthorization(composed, right, ctx);
+    benchmark::DoNotOptimize(authz);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckAuthorization)
+    ->ArgsProduct({{1, 8, 64, 512}, {1, 4, 8}});
+
+void BM_PolicyRetrievalAndCompose(benchmark::State& state) {
+  core::PolicyStore store;
+  if (!store.AddSystemPolicy("eacl_mode 1\nneg_access_right * *\n"
+                             "pre_cond_system_threat_level local =high\n")
+           .ok() ||
+      !store.SetLocalPolicy("/", PolicyText(static_cast<int>(state.range(0)), 2))
+           .ok()) {
+    state.SkipWithError("policy failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto composed = store.PoliciesFor("/a/b/c/doc.html");
+    benchmark::DoNotOptimize(composed);
+  }
+}
+BENCHMARK(BM_PolicyRetrievalAndCompose)->RangeMultiplier(4)->Range(1, 256);
+
+}  // namespace
+}  // namespace gaa::bench
+
+BENCHMARK_MAIN();

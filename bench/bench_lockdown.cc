@@ -1,0 +1,95 @@
+// E2 — the §7.1 network-lockdown deployment: behaviour matrix and the cost
+// of threat-adaptive policy evaluation.
+//
+// Prints the decision matrix (threat level x credential state -> HTTP
+// status) that the §7.1 policies produce, then measures request throughput
+// at each threat level — the "policy gets stricter, requests get slower or
+// blocked" series.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/clock.h"
+
+namespace gaa::bench {
+namespace {
+
+const char* StatusLabel(gaa::http::StatusCode code) {
+  switch (code) {
+    case gaa::http::StatusCode::kOk:
+      return "200_allow";
+    case gaa::http::StatusCode::kUnauthorized:
+      return "401_auth";
+    case gaa::http::StatusCode::kForbidden:
+      return "403_deny";
+    default:
+      return "other";
+  }
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main() {
+  using namespace gaa::bench;
+  using gaa::core::ThreatLevel;
+
+  PrintHeader("E2: section 7.1 — network lockdown");
+
+  gaa::web::GaaWebServer::Options options;
+  options.use_real_clock = true;
+  options.notification_latency_us = 0;
+  gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+  server.AddUser("alice", "wonder");
+  if (!server.AddSystemPolicy(LockdownSystemPolicy()).ok() ||
+      !server.SetLocalPolicy("/", LockdownLocalPolicy()).ok()) {
+    std::fprintf(stderr, "policy setup failed\n");
+    return 1;
+  }
+
+  const ThreatLevel levels[] = {ThreatLevel::kLow, ThreatLevel::kMedium,
+                                ThreatLevel::kHigh};
+  auto credentials =
+      std::make_pair(std::string("alice"), std::string("wonder"));
+  auto bad_credentials =
+      std::make_pair(std::string("alice"), std::string("guess"));
+
+  std::printf("decision matrix (request: GET /index.html):\n");
+  std::printf("%-10s %-14s %-14s %-14s\n", "threat", "anonymous",
+              "bad_password", "authenticated");
+  for (ThreatLevel level : levels) {
+    server.state().SetThreatLevel(level);
+    auto anon = server.Get("/index.html", "10.0.0.1");
+    auto bad = server.Get("/index.html", "10.0.0.1", bad_credentials);
+    auto good = server.Get("/index.html", "10.0.0.1", credentials);
+    std::printf("%-10s %-14s %-14s %-14s\n",
+                gaa::core::ThreatLevelName(level), StatusLabel(anon.status),
+                StatusLabel(bad.status), StatusLabel(good.status));
+  }
+  std::printf("expected: low: allow/allow/allow; medium: auth/auth/allow; "
+              "high: deny/deny/deny\n");
+
+  // --- evaluation cost per threat level --------------------------------------
+  std::printf("\nper-request policy-evaluation latency by threat level "
+              "(authenticated client, 2000 requests each):\n");
+  std::printf("%-10s %12s %12s %12s %14s\n", "threat", "mean_ms", "p50_ms",
+              "p95_ms", "requests/sec");
+  for (ThreatLevel level : levels) {
+    server.state().SetThreatLevel(level);
+    std::vector<double> samples;
+    gaa::util::Stopwatch run;
+    for (int i = 0; i < 2000; ++i) {
+      gaa::util::Stopwatch watch;
+      (void)server.Get("/index.html", "10.0.0.1", credentials);
+      samples.push_back(watch.ElapsedMs());
+    }
+    double elapsed_s = run.ElapsedUs() / 1e6;
+    Stats s = Summarize(std::move(samples));
+    std::printf("%-10s %12.5f %12.5f %12.5f %14.0f\n",
+                gaa::core::ThreatLevelName(level), s.mean_ms, s.p50_ms,
+                s.p95_ms, 2000.0 / elapsed_s);
+  }
+  std::printf("\nshape: medium costs slightly more than low (extra identity "
+              "condition + Basic verification); high is cheapest (mandatory "
+              "deny short-circuits before local policy)\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// A6 — ablation: synchronous vs asynchronous notification.
+//
+// The paper's §8 "with notification" overhead (80 %) is dominated by the
+// blocking mail hand-off inside the request path.  This harness holds the
+// notification latency fixed and compares three designs:
+//
+//   none   — notification disabled (the paper's 30 %-overhead row)
+//   sync   — blocking delivery inside the request (the paper's 80 % row)
+//   queued — hand-off to a background delivery thread (the obvious fix)
+//
+// Expected shape: queued restores nearly all of the no-notification
+// request latency while still delivering every message.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/clock.h"
+
+namespace gaa::bench {
+namespace {
+
+constexpr int kRequests = 200;
+constexpr gaa::util::DurationUs kLatencyUs = 500;  // fixed delivery cost
+
+struct Row {
+  const char* config;
+  Stats latency;
+  std::size_t delivered = 0;
+};
+
+Row MeasureConfig(const char* name, bool enable, bool async) {
+  web::GaaWebServer::Options options;
+  options.use_real_clock = true;
+  options.notification_latency_us = enable ? kLatencyUs : 0;
+  options.asynchronous_notification = async;
+  options.threat.medium_score = 1e18;  // pin the threat level (see E1)
+  options.threat.high_score = 1e18;
+  web::GaaWebServer server(http::DocTree::DemoSite(), options);
+  if (!server.SetLocalPolicy("/", IntrusionLocalPolicy()).ok()) {
+    std::fprintf(stderr, "policy setup failed\n");
+    std::exit(1);
+  }
+
+  std::vector<double> samples;
+  for (int i = 0; i < kRequests; ++i) {
+    // Fresh source per request: each probe is a first offence (see E1).
+    std::string ip = "203.0." + std::to_string(i / 250) + "." +
+                     std::to_string(1 + i % 250);
+    std::string raw =
+        http::BuildGetRequest("/cgi-bin/phf?Qalias=n" + std::to_string(i));
+    util::Stopwatch watch;
+    (void)server.HandleText(raw, ip);
+    samples.push_back(watch.ElapsedMs());
+  }
+
+  Row row;
+  row.config = name;
+  row.latency = Summarize(std::move(samples));
+  if (async) {
+    server.queued_notifier()->Flush();
+    row.delivered = server.queued_notifier()->delivered_count();
+  } else {
+    row.delivered = server.notifier().sent_count();
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main() {
+  using namespace gaa::bench;
+  PrintHeader("A6: synchronous vs asynchronous notification");
+  std::printf("fixed delivery latency: %.1f ms per notification, %d attack "
+              "requests\n\n",
+              kLatencyUs / 1000.0, kRequests);
+
+  Row rows[] = {
+      MeasureConfig("zero-latency", false, false),
+      MeasureConfig("sync (paper)", true, false),
+      MeasureConfig("queued", true, true),
+  };
+
+  std::printf("%-14s %12s %12s %12s %12s\n", "config", "mean_ms", "p50_ms",
+              "p95_ms", "delivered");
+  for (const Row& row : rows) {
+    std::printf("%-14s %12.4f %12.4f %12.4f %12zu\n", row.config,
+                row.latency.mean_ms, row.latency.p50_ms, row.latency.p95_ms,
+                row.delivered);
+  }
+  std::printf(
+      "\nshape: sync pays the full delivery latency on every attack request\n"
+      "(the paper's 5.9 -> 53.3 ms jump); queued keeps request latency at\n"
+      "the no-notification level while delivering the same messages.\n");
+  return 0;
+}

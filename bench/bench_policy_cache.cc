@@ -1,0 +1,112 @@
+// A1 — ablation of the policy cache (paper §9 future work: "we will add
+// support for caching of the retrieved and translated policies for later
+// reuse by subsequent requests").
+//
+// The paper's implementation read and translated the policy files on every
+// request (gaa_get_object_policy_info); the cache was to remove that cost.
+// We therefore run the store in its paper-faithful parse-on-retrieve mode
+// and sweep the policy size, comparing the per-request cost with the cache
+// disabled vs enabled, plus hit rate and post-change invalidation cost.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/clock.h"
+
+namespace gaa::bench {
+namespace {
+
+std::string PolicyWithEntries(int entries) {
+  std::string text;
+  for (int i = 0; i < entries - 1; ++i) {
+    // Non-matching signature entries: realistic "many rules" policies.
+    text += "neg_access_right apache *\n";
+    text += "pre_cond_regex gnu *never-seen-" + std::to_string(i) + "*\n";
+  }
+  text += "pos_access_right apache *\n";
+  return text;
+}
+
+double MeasureMeanMs(gaa::web::GaaWebServer& server, int iterations) {
+  std::vector<double> samples;
+  for (int i = 0; i < iterations; ++i) {
+    gaa::util::Stopwatch watch;
+    (void)server.Get("/docs/guide.html", "10.0.0.1");
+    samples.push_back(watch.ElapsedMs());
+  }
+  return Summarize(std::move(samples)).mean_ms;
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main() {
+  using namespace gaa::bench;
+
+  PrintHeader("A1: policy-cache ablation (paper section 9 future work)");
+  std::printf("%-10s %14s %14s %10s %10s\n", "entries", "no_cache_ms",
+              "cache_ms", "speedup", "hit_rate");
+
+  for (int entries : {1, 4, 16, 64, 256}) {
+    double no_cache_ms;
+    {
+      gaa::web::GaaWebServer::Options options;
+      options.use_real_clock = true;
+      options.notification_latency_us = 0;
+      options.enable_policy_cache = false;
+      gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+      server.policy_store().SetParseOnRetrieve(true);
+      if (!server.SetLocalPolicy("/", PolicyWithEntries(entries)).ok()) {
+        std::fprintf(stderr, "policy setup failed\n");
+        return 1;
+      }
+      no_cache_ms = MeasureMeanMs(server, 2000);
+    }
+    double cache_ms;
+    double hit_rate;
+    {
+      gaa::web::GaaWebServer::Options options;
+      options.use_real_clock = true;
+      options.notification_latency_us = 0;
+      options.enable_policy_cache = true;
+      gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+      server.policy_store().SetParseOnRetrieve(true);
+      if (!server.SetLocalPolicy("/", PolicyWithEntries(entries)).ok()) {
+        std::fprintf(stderr, "policy setup failed\n");
+        return 1;
+      }
+      cache_ms = MeasureMeanMs(server, 2000);
+      const auto& cache = server.api().cache();
+      hit_rate = 100.0 * static_cast<double>(cache.hits()) /
+                 static_cast<double>(cache.hits() + cache.misses());
+    }
+    std::printf("%-10d %14.5f %14.5f %9.2fx %9.1f%%\n", entries, no_cache_ms,
+                cache_ms, no_cache_ms / cache_ms, hit_rate);
+  }
+
+  // Invalidation correctness cost: a policy change mid-run must be seen
+  // immediately; only the next retrieval per object pays the refill.
+  PrintHeader("A1b: cache invalidation on policy change");
+  gaa::web::GaaWebServer::Options options;
+  options.use_real_clock = true;
+  options.notification_latency_us = 0;
+  options.enable_policy_cache = true;
+  gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+  server.policy_store().SetParseOnRetrieve(true);
+  if (!server.SetLocalPolicy("/", PolicyWithEntries(64)).ok()) return 1;
+  (void)MeasureMeanMs(server, 500);  // warm the cache
+  auto before = server.api().cache().misses();
+  if (!server.SetLocalPolicy("/", PolicyWithEntries(64)).ok()) return 1;
+  double first_after_change;
+  {
+    gaa::util::Stopwatch watch;
+    (void)server.Get("/docs/guide.html", "10.0.0.1");
+    first_after_change = watch.ElapsedMs();
+  }
+  double steady_after = MeasureMeanMs(server, 500);
+  std::printf("first request after change: %.5f ms (cache refill), steady "
+              "state after: %.5f ms, extra misses: %llu\n",
+              first_after_change, steady_after,
+              static_cast<unsigned long long>(server.api().cache().misses() -
+                                              before));
+  return 0;
+}

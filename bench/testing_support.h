@@ -1,0 +1,43 @@
+// Minimal wiring for microbenchmarks (mirror of tests/testing/helpers.h
+// without the gtest dependency).
+#pragma once
+
+#include "audit/audit_log.h"
+#include "audit/notification.h"
+#include "gaa/services.h"
+#include "gaa/system_state.h"
+#include "util/clock.h"
+#include "util/ip.h"
+
+namespace gaa::bench {
+
+struct BenchRig {
+  BenchRig()
+      : clock(1053345600LL * util::kMicrosPerSecond),
+        state(&clock),
+        audit(&clock),
+        notifier(&clock, 0) {
+    services.state = &state;
+    services.clock = &clock;
+    services.audit = &audit;
+    services.notifier = &notifier;
+  }
+
+  util::SimulatedClock clock;
+  core::SystemState state;
+  audit::AuditLog audit;
+  audit::SimulatedSmtpNotifier notifier;
+  core::EvalServices services;
+};
+
+inline core::RequestContext MakeBenchContext() {
+  core::RequestContext ctx;
+  ctx.application = "apache";
+  ctx.operation = "GET";
+  ctx.object = "/index.html";
+  ctx.raw_url = "/index.html";
+  ctx.client_ip = util::Ipv4Address::Parse("10.0.0.1").value();
+  return ctx;
+}
+
+}  // namespace gaa::bench

@@ -1,0 +1,59 @@
+// Adaptive redirection (paper section 6, step 2d): the GAA_MAYBE answer
+// with a single unevaluated pre_cond_redirect condition becomes an HTTP
+// redirect whose target lives in the policy — used for load balancing,
+// network distance, or shedding risky traffic to a hardened mirror.
+#include <cstdio>
+
+#include "http/doc_tree.h"
+#include "integration/gaa_web_server.h"
+
+int main() {
+  gaa::web::GaaWebServer::Options options;
+  options.notification_latency_us = 0;
+  gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+
+  // Policy: clients from the remote 192.0.2.0/24 network are served by the
+  // EU replica; under elevated threat, anonymous traffic goes to a
+  // hardened mirror; everyone else is served locally.
+  auto result = server.SetLocalPolicy("/", R"(
+pos_access_right apache *
+pre_cond_location local 192.0.2.0/24
+pre_cond_redirect local http://replica-eu.example.org/
+pos_access_right apache *
+pre_cond_system_threat_level local >low
+pre_cond_redirect local http://hardened-mirror.example.org/
+pos_access_right apache *
+)");
+  if (!result.ok()) {
+    std::fprintf(stderr, "policy error: %s\n",
+                 result.error().ToString().c_str());
+    return 1;
+  }
+
+  auto show = [](const char* what, const gaa::http::HttpResponse& response) {
+    if (response.status == gaa::http::StatusCode::kFound) {
+      std::printf("%-40s -> 302 Location: %s\n", what,
+                  response.headers.at("Location").c_str());
+    } else {
+      std::printf("%-40s -> %d %s\n", what, static_cast<int>(response.status),
+                  gaa::http::StatusReason(response.status));
+    }
+  };
+
+  std::printf("threat level low:\n");
+  show("client 10.0.0.1 (local net)", server.Get("/index.html", "10.0.0.1"));
+  show("client 192.0.2.44 (remote net)",
+       server.Get("/index.html", "192.0.2.44"));
+
+  server.state().SetThreatLevel(gaa::core::ThreatLevel::kMedium);
+  std::printf("\nthreat level medium (IDS raised it):\n");
+  show("client 10.0.0.1 (local net)", server.Get("/index.html", "10.0.0.1"));
+  show("client 192.0.2.44 (remote net)",
+       server.Get("/index.html", "192.0.2.44"));
+
+  std::printf("\n(the redirect targets are plain EACL condition values —\n"
+              " the policy officer can repoint traffic without touching\n"
+              " server code, and the GAA-API itself never interprets the\n"
+              " URL: it returns the condition unevaluated, per the paper)\n");
+  return 0;
+}

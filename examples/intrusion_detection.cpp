@@ -1,0 +1,91 @@
+// The paper's section 7.2 deployment, runnable: signature-based detection
+// of CGI abuse with automatic response — administrator notification and a
+// shared blacklist that blocks follow-up probes with signatures the policy
+// does NOT know.
+#include <cstdio>
+
+#include "http/doc_tree.h"
+#include "integration/gaa_web_server.h"
+#include "workload/trace.h"
+
+int main() {
+  gaa::web::GaaWebServer::Options options;
+  options.notification_latency_us = 0;
+  gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+
+  // System-wide: BadGuys are denied everything, everywhere.
+  auto r1 = server.AddSystemPolicy(R"(
+eacl_mode 1
+neg_access_right * *
+pre_cond_accessid GROUP local BadGuys
+)");
+  // Local: the known attack signatures of section 7.2, plus the DoS, NIMDA
+  // and buffer-overflow detectors the paper describes.
+  auto r2 = server.SetLocalPolicy("/", R"(
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi*
+rr_cond_notify local on:failure/sysadmin/info:cgiexploit
+rr_cond_update_log local on:failure/BadGuys/info:ip
+neg_access_right apache *
+pre_cond_regex gnu *///////////////////*
+rr_cond_update_log local on:failure/BadGuys/info:ip
+neg_access_right apache *
+pre_cond_regex gnu *%*
+rr_cond_update_log local on:failure/BadGuys/info:ip
+neg_access_right apache *
+pre_cond_expr local cgi_input_length >1000
+rr_cond_update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+)");
+  if (!r1.ok() || !r2.ok()) {
+    std::fprintf(stderr, "policy setup failed\n");
+    return 1;
+  }
+
+  auto show = [&](const char* what, const gaa::http::HttpResponse& response) {
+    std::printf("%-56s -> %d %s\n", what, static_cast<int>(response.status),
+                gaa::http::StatusReason(response.status));
+  };
+
+  std::printf("-- benign traffic --\n");
+  show("GET /index.html", server.Get("/index.html", "10.0.0.1"));
+  show("GET /cgi-bin/search?q=apache",
+       server.Get("/cgi-bin/search?q=apache", "10.0.0.1"));
+
+  std::printf("\n-- known-signature attacks (all detected and denied) --\n");
+  show("phf meta-character exploit",
+       server.Get("/cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd",
+                  "203.0.113.9"));
+  show("many-slashes Apache DoS",
+       server.Get("/" + std::string(40, '/'), "203.0.113.10"));
+  show("NIMDA-style percent URL",
+       server.Get("/scripts/..%255c..%255cwinnt/system32/cmd.exe?/c+dir",
+                  "203.0.113.11"));
+  show("1200-byte CGI input (buffer overflow)",
+       server.Get("/cgi-bin/search?q=" + std::string(1200, 'A'),
+                  "203.0.113.12"));
+
+  std::printf("\n-- the response in action --\n");
+  std::printf("administrator notifications sent: %zu\n",
+              server.notifier().sent_count());
+  std::printf("BadGuys blacklist now holds %zu address(es): ",
+              server.state().GroupSize("BadGuys"));
+  for (const auto& member : server.state().GroupMembers("BadGuys")) {
+    std::printf("%s ", member.c_str());
+  }
+  std::printf("\n");
+
+  std::printf("\n-- unknown-signature follow-ups from a blacklisted host --\n");
+  gaa::workload::TraceGenerator gen({});
+  for (const auto& probe : gen.VulnerabilityScan("203.0.113.9", 3)) {
+    auto response = server.HandleText(probe.raw, probe.client_ip);
+    show(probe.raw.substr(0, probe.raw.find('\r')).c_str(), response);
+  }
+  std::printf("\n(the unknown probes carry no known signature, yet the\n"
+              " blacklist entry created by the first phf hit blocks them —\n"
+              " the paper's section 7.2 claim)\n");
+
+  std::printf("\nIDS threat level after the incident: %s\n",
+              gaa::core::ThreatLevelName(server.state().threat_level()));
+  return 0;
+}

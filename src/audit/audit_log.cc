@@ -1,0 +1,71 @@
+#include "audit/audit_log.h"
+
+#include <fstream>
+
+namespace gaa::audit {
+
+void AuditLog::Record(const std::string& category, const std::string& message) {
+  AuditRecord record;
+  record.time_us = clock_ != nullptr ? clock_->Now() : 0;
+  record.category = category;
+  record.message = message;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+  while (records_.size() > max_records_) records_.pop_front();
+
+  if (!mirror_path_.empty()) {
+    std::ofstream out(mirror_path_, std::ios::app);
+    if (out) {
+      out << util::FormatTimestamp(record.time_us) << " [" << category << "] "
+          << message << "\n";
+    } else {
+      ++file_errors_;
+    }
+  }
+}
+
+void AuditLog::SetFileMirror(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mirror_path_ = path;
+}
+
+std::vector<AuditRecord> AuditLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<AuditRecord>(records_.begin(), records_.end());
+}
+
+std::vector<AuditRecord> AuditLog::ByCategory(const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditRecord> out;
+  for (const auto& r : records_) {
+    if (r.category == category) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::size_t AuditLog::CountCategory(const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.category == category) ++n;
+  }
+  return n;
+}
+
+void AuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+std::size_t AuditLog::file_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_errors_;
+}
+
+}  // namespace gaa::audit

@@ -1,0 +1,54 @@
+// Append-only audit log (gaa::core::AuditSink implementation).
+//
+// Records are timestamped, categorized and kept in memory (bounded ring);
+// an optional file mirror appends each record.  The §7.2 response actions
+// (rr_cond_audit, rr_cond_update_log) and the post-execution logging all
+// land here.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gaa/services.h"
+#include "util/clock.h"
+
+namespace gaa::audit {
+
+struct AuditRecord {
+  util::TimePoint time_us = 0;
+  std::string category;
+  std::string message;
+};
+
+class AuditLog final : public core::AuditSink {
+ public:
+  explicit AuditLog(util::Clock* clock, std::size_t max_records = 65536)
+      : clock_(clock), max_records_(max_records) {}
+
+  void Record(const std::string& category, const std::string& message) override;
+
+  /// Mirror every record to a file ("" disables).  Failures to open are
+  /// remembered and surfaced through file_errors().
+  void SetFileMirror(const std::string& path);
+
+  std::vector<AuditRecord> Snapshot() const;
+  std::vector<AuditRecord> ByCategory(const std::string& category) const;
+  std::size_t size() const;
+  std::size_t CountCategory(const std::string& category) const;
+  void Clear();
+  std::size_t file_errors() const;
+
+ private:
+  util::Clock* clock_;
+  std::size_t max_records_;
+  mutable std::mutex mu_;
+  std::deque<AuditRecord> records_;
+  std::string mirror_path_;
+  std::size_t file_errors_ = 0;
+};
+
+}  // namespace gaa::audit

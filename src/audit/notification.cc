@@ -1,0 +1,111 @@
+#include "audit/notification.h"
+
+namespace gaa::audit {
+
+bool SimulatedSmtpNotifier::Notify(const std::string& recipient,
+                                   const std::string& subject,
+                                   const std::string& body) {
+  if (failing_.load()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_;
+    return false;
+  }
+  // The blocking SMTP hand-off: this is the latency the paper measured in
+  // its "with notification" rows.
+  if (clock_ != nullptr && delivery_latency_us_ > 0) {
+    clock_->Sleep(delivery_latency_us_);
+  }
+  Notification n;
+  n.time_us = clock_ != nullptr ? clock_->Now() : 0;
+  n.recipient = recipient;
+  n.subject = subject;
+  n.body = body;
+  std::lock_guard<std::mutex> lock(mu_);
+  sent_.push_back(std::move(n));
+  return true;
+}
+
+std::vector<Notification> SimulatedSmtpNotifier::Sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sent_;
+}
+
+std::size_t SimulatedSmtpNotifier::sent_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sent_.size();
+}
+
+std::size_t SimulatedSmtpNotifier::failed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+void SimulatedSmtpNotifier::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sent_.clear();
+  failed_ = 0;
+}
+
+QueuedNotifier::QueuedNotifier(util::Clock* clock,
+                               util::DurationUs delivery_latency_us)
+    : clock_(clock),
+      delivery_latency_us_(delivery_latency_us),
+      worker_([this] { WorkerLoop(); }) {}
+
+QueuedNotifier::~QueuedNotifier() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool QueuedNotifier::Notify(const std::string& recipient,
+                            const std::string& subject,
+                            const std::string& body) {
+  Notification n;
+  n.time_us = clock_ != nullptr ? clock_->Now() : 0;
+  n.recipient = recipient;
+  n.subject = subject;
+  n.body = body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return false;
+    queue_.push_back(std::move(n));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void QueuedNotifier::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return queue_.empty(); });
+}
+
+std::size_t QueuedNotifier::delivered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+void QueuedNotifier::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    lock.unlock();
+    // Simulated delivery latency outside the lock; producers keep moving.
+    if (clock_ != nullptr && delivery_latency_us_ > 0) {
+      clock_->Sleep(delivery_latency_us_);
+    }
+    lock.lock();
+    queue_.pop_front();
+    ++delivered_;
+    if (queue_.empty()) drained_cv_.notify_all();
+  }
+}
+
+}  // namespace gaa::audit

@@ -1,0 +1,171 @@
+// Action conditions: builtin:notify, builtin:update_log, builtin:audit,
+// builtin:record_event.  These implement the paper's intrusion *response*
+// capabilities (§1: generating audit records, notifying, tightening
+// policies by blacklist update).
+//
+// Each action condition carries an "on:success / on:failure / on:any"
+// trigger.  In a request-result block the outcome tested is whether the
+// authorization request was granted; in a post block it is whether the
+// operation succeeded.
+#include "conditions/builtin.h"
+#include "conditions/trigger.h"
+#include "util/strings.h"
+
+namespace gaa::cond {
+
+namespace {
+
+using core::EvalOutcome;
+using core::EvalServices;
+using core::RequestContext;
+
+/// Outcome the trigger tests: request decision if set (rr block), else the
+/// operation result (post block).
+bool SuccessOutcome(const RequestContext& ctx) {
+  if (ctx.request_granted.has_value()) return *ctx.request_granted;
+  return ctx.stats.succeeded;
+}
+
+}  // namespace
+
+core::CondRoutine MakeNotifyRoutine(const FactoryParams& params) {
+  // Optional params: recipient.<name>=<address> aliases.
+  std::map<std::string, std::string> aliases;
+  for (const auto& [k, v] : params) {
+    if (util::StartsWith(k, "recipient.")) {
+      aliases[k.substr(std::string("recipient.").size())] = v;
+    }
+  }
+  return [aliases](const eacl::Condition& cond, const RequestContext& ctx,
+                   EvalServices& services) -> EvalOutcome {
+    // Value: "on:<when>/<recipient>/info:<tag>".
+    ParsedTrigger parsed = ParseTrigger(cond.value);
+    if (!TriggerFires(parsed.trigger, SuccessOutcome(ctx))) {
+      return EvalOutcome::Yes("notify not triggered");
+    }
+    auto segments = util::Split(parsed.rest, '/');
+    std::string recipient = segments.empty() ? "sysadmin" : segments[0];
+    if (auto it = aliases.find(recipient); it != aliases.end()) {
+      recipient = it->second;
+    }
+    std::string tag = "event";
+    for (const auto& segment : segments) {
+      if (util::StartsWith(segment, "info:")) tag = segment.substr(5);
+    }
+    if (services.notifier == nullptr) {
+      return EvalOutcome::No("notify: no notification service");
+    }
+    std::string subject = "[gaa] " + tag;
+    std::string body = "time=" +
+                       (services.clock != nullptr
+                            ? util::FormatTimestamp(services.clock->Now())
+                            : std::string("?")) +
+                       " ip=" + ctx.client_ip.ToString() +
+                       " url=" + (ctx.raw_url.empty() ? ctx.object : ctx.raw_url) +
+                       " threat=" + tag;
+    bool delivered = services.notifier->Notify(recipient, subject, body);
+    return delivered ? EvalOutcome::Yes("notified " + recipient)
+                     : EvalOutcome::No("notification to " + recipient +
+                                       " failed");
+  };
+}
+
+core::CondRoutine MakeUpdateLogRoutine(const FactoryParams& params) {
+  // check_spoofing=true: consult the network IDS before the pro-active
+  // countermeasure (paper §3) — an intruder impersonating a victim host
+  // must not be able to get that host blacklisted (§1: "an automated
+  // response to attacks can be used by an intruder in order to stage a
+  // DoS").
+  bool check_spoofing = false;
+  if (auto it = params.find("check_spoofing"); it != params.end()) {
+    check_spoofing = it->second == "true" || it->second == "1";
+  }
+  return [check_spoofing](const eacl::Condition& cond,
+                          const RequestContext& ctx,
+                          EvalServices& services) -> EvalOutcome {
+    // Value: "on:<when>/<group>/info:<ip|user>".
+    ParsedTrigger parsed = ParseTrigger(cond.value);
+    if (!TriggerFires(parsed.trigger, SuccessOutcome(ctx))) {
+      return EvalOutcome::Yes("update_log not triggered");
+    }
+    if (services.state == nullptr) {
+      return EvalOutcome::No("update_log: no system state");
+    }
+    if (check_spoofing && services.ids != nullptr &&
+        services.ids->SuspectedSpoofing(ctx.client_ip.ToString())) {
+      if (services.audit != nullptr) {
+        services.audit->Record(
+            "blacklist", "SKIPPED " + ctx.client_ip.ToString() +
+                             ": network IDS suspects address spoofing");
+      }
+      return EvalOutcome::Yes("spoofing suspected; no blacklist update");
+    }
+    auto segments = util::Split(parsed.rest, '/');
+    if (segments.empty() || segments[0].empty()) {
+      return EvalOutcome::No("update_log: missing group");
+    }
+    const std::string& group = segments[0];
+    std::string what = "ip";
+    for (const auto& segment : segments) {
+      if (util::StartsWith(segment, "info:")) what = segment.substr(5);
+    }
+    std::string member = what == "user"
+                             ? (ctx.user.empty() ? "anonymous" : ctx.user)
+                             : ctx.client_ip.ToString();
+    services.state->AddGroupMember(group, member);
+    if (services.audit != nullptr) {
+      services.audit->Record("blacklist",
+                             "added " + member + " to group " + group);
+    }
+    return EvalOutcome::Yes("added " + member + " to " + group);
+  };
+}
+
+core::CondRoutine MakeAuditRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    // Value: "on:<when>/<category>".
+    ParsedTrigger parsed = ParseTrigger(cond.value);
+    if (!TriggerFires(parsed.trigger, SuccessOutcome(ctx))) {
+      return EvalOutcome::Yes("audit not triggered");
+    }
+    if (services.audit == nullptr) {
+      return EvalOutcome::No("audit: no audit sink");
+    }
+    std::string category = parsed.rest.empty() ? "access" : parsed.rest;
+    bool granted = ctx.request_granted.value_or(ctx.stats.succeeded);
+    services.audit->Record(
+        category, std::string(granted ? "GRANT" : "DENY") + " ip=" +
+                      ctx.client_ip.ToString() + " user=" +
+                      (ctx.user.empty() ? "-" : ctx.user) + " op=" +
+                      ctx.operation + " object=" + ctx.object);
+    return EvalOutcome::Yes("audited " + category);
+  };
+}
+
+core::CondRoutine MakeRecordEventRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    // Value: "on:<when>/<key>/<window_seconds>".
+    ParsedTrigger parsed = ParseTrigger(cond.value);
+    if (!TriggerFires(parsed.trigger, SuccessOutcome(ctx))) {
+      return EvalOutcome::Yes("record_event not triggered");
+    }
+    if (services.state == nullptr) {
+      return EvalOutcome::No("record_event: no system state");
+    }
+    auto segments = util::Split(parsed.rest, '/');
+    if (segments.empty() || segments[0].empty()) {
+      return EvalOutcome::No("record_event: missing key");
+    }
+    std::string key = ExpandPlaceholders(segments[0], ctx);
+    std::int64_t window_s = 60;
+    if (segments.size() >= 2) {
+      if (auto w = util::ParseInt(segments[1]); w && *w > 0) window_s = *w;
+    }
+    services.state->RecordEvent(key, window_s * util::kMicrosPerSecond);
+    return EvalOutcome::Yes("recorded event " + key);
+  };
+}
+
+}  // namespace gaa::cond

@@ -1,0 +1,65 @@
+#include "conditions/builtin.h"
+
+namespace gaa::cond {
+
+void RegisterBuiltinRoutines(core::RoutineCatalog& catalog) {
+  catalog.Add("builtin:accessid", MakeAccessIdRoutine);
+  catalog.Add("builtin:time_window", MakeTimeWindowRoutine);
+  catalog.Add("builtin:location", MakeLocationRoutine);
+  catalog.Add("builtin:threat_level", MakeThreatLevelRoutine);
+  catalog.Add("builtin:glob_signature", MakeGlobSignatureRoutine);
+  catalog.Add("builtin:param_glob", MakeParamGlobRoutine);
+  catalog.Add("builtin:expr", MakeExprRoutine);
+  catalog.Add("builtin:threshold", MakeThresholdRoutine);
+  catalog.Add("builtin:redirect", MakeRedirectRoutine);
+  catalog.Add("builtin:spoofing", MakeSpoofingRoutine);
+  catalog.Add("builtin:firewall", MakeFirewallRoutine);
+  catalog.Add("builtin:block_network", MakeBlockNetworkRoutine);
+  catalog.Add("builtin:set_var", MakeSetVarRoutine);
+  catalog.Add("builtin:var_equals", MakeVarEqualsRoutine);
+  catalog.Add("builtin:notify", MakeNotifyRoutine);
+  catalog.Add("builtin:update_log", MakeUpdateLogRoutine);
+  catalog.Add("builtin:audit", MakeAuditRoutine);
+  catalog.Add("builtin:record_event", MakeRecordEventRoutine);
+  catalog.Add("builtin:cpu_limit", MakeCpuLimitRoutine);
+  catalog.Add("builtin:wallclock_limit", MakeWallclockLimitRoutine);
+  catalog.Add("builtin:memory_limit", MakeMemoryLimitRoutine);
+  catalog.Add("builtin:output_limit", MakeOutputLimitRoutine);
+  catalog.Add("builtin:post_log", MakePostLogRoutine);
+  catalog.Add("builtin:integrity_check", MakeIntegrityCheckRoutine);
+}
+
+std::string DefaultConfigText() {
+  return R"(# Default GAA configuration: bind the standard EACL condition types
+# (paper sections 2 and 7) to the builtin evaluation routines.
+condition pre_cond_accessid             USER   builtin:accessid
+condition pre_cond_accessid             GROUP  builtin:accessid
+condition pre_cond_accessid             HOST   builtin:accessid
+condition pre_cond_time                 local  builtin:time_window
+condition pre_cond_location             local  builtin:location
+condition pre_cond_system_threat_level  local  builtin:threat_level
+condition pre_cond_regex                gnu    builtin:glob_signature
+condition pre_cond_expr                 local  builtin:expr
+condition pre_cond_param                local  builtin:param_glob
+condition pre_cond_threshold            local  builtin:threshold
+condition pre_cond_redirect             local  builtin:redirect
+condition pre_cond_spoofing             local  builtin:spoofing
+condition pre_cond_firewall             local  builtin:firewall
+condition pre_cond_var                  local  builtin:var_equals
+condition rr_cond_notify                local  builtin:notify
+condition rr_cond_block_network         local  builtin:block_network
+condition rr_cond_set_var               local  builtin:set_var
+condition rr_cond_update_log            local  builtin:update_log
+condition rr_cond_audit                 local  builtin:audit
+condition rr_cond_record_event          local  builtin:record_event
+condition mid_cond_cpu                  local  builtin:cpu_limit
+condition mid_cond_wallclock            local  builtin:wallclock_limit
+condition mid_cond_memory               local  builtin:memory_limit
+condition mid_cond_output               local  builtin:output_limit
+condition post_cond_log                 local  builtin:post_log
+condition post_cond_notify              local  builtin:notify
+condition post_cond_check_integrity     local  builtin:integrity_check
+)";
+}
+
+}  // namespace gaa::cond

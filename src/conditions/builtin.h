@@ -1,0 +1,154 @@
+// Built-in condition-evaluation routines (paper §2, §7 deployments).
+//
+// Each routine is exposed as a factory in the RoutineCatalog under a
+// "builtin:<name>" key; configuration files bind EACL condition types to
+// these names (gaa/config.h).  Web masters can add their own factories next
+// to these — nothing in the GAA core knows any condition type.
+//
+// Value syntaxes are documented per factory below.  Numeric and time values
+// accept the indirection `var:<name>`, which reads the value from
+// SystemState variables at evaluation time — the paper's "adaptive
+// constraint specification, since allowable times, locations and thresholds
+// can change in the event of possible security attacks" (§2); the variable
+// is typically maintained by a host-based IDS (§3).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "gaa/registry.h"
+
+namespace gaa::cond {
+
+using FactoryParams = std::map<std::string, std::string>;
+
+/// Register every builtin factory with the catalog.
+void RegisterBuiltinRoutines(core::RoutineCatalog& catalog);
+
+/// A ready-made configuration file binding the standard EACL condition
+/// types used throughout the paper's examples to the builtins:
+///
+///   pre_cond_accessid, pre_cond_time, pre_cond_location,
+///   pre_cond_system_threat_level, pre_cond_regex, pre_cond_expr,
+///   pre_cond_threshold, pre_cond_redirect, rr_cond_notify,
+///   rr_cond_update_log, rr_cond_audit, rr_cond_record_event,
+///   mid_cond_cpu, mid_cond_wallclock, mid_cond_memory, mid_cond_output,
+///   post_cond_log, post_cond_notify, post_cond_check_integrity
+std::string DefaultConfigText();
+
+// --- individual factories (exposed for direct registration in tests) ------
+
+/// builtin:accessid — def_auth selects the identity kind:
+///   `pre_cond_accessid USER  <authority> <name|*>`  authenticated user check;
+///     unauthenticated requests leave the condition unevaluated (=> MAYBE =>
+///     HTTP 401, the paper's auth-upgrade path).
+///   `pre_cond_accessid GROUP <authority> <group>`   true if the client IP or
+///     the authenticated user/groups appear in the SystemState group (the
+///     BadGuys blacklist of §7.2 is such a group).
+///   `pre_cond_accessid HOST  <authority> <cidr>`    client address check.
+core::CondRoutine MakeAccessIdRoutine(const FactoryParams& params);
+
+/// builtin:time_window — value "HH:MM-HH:MM [HH:MM-HH:MM ...]" or
+/// "var:<name>"; true if the current time-of-day falls in any window.
+core::CondRoutine MakeTimeWindowRoutine(const FactoryParams& params);
+
+/// builtin:location — value "cidr [cidr ...]" or "var:<name>"; true if the
+/// client address falls in any listed block.
+core::CondRoutine MakeLocationRoutine(const FactoryParams& params);
+
+/// builtin:threat_level — value "<op><level>" with op in {=,!=,<,<=,>,>=}
+/// and level in {low,medium,high}; compares the IDS-supplied threat level.
+core::CondRoutine MakeThreatLevelRoutine(const FactoryParams& params);
+
+/// builtin:glob_signature — value is one or more whitespace-separated glob
+/// signatures ("*phf* *test-cgi*"); true if ANY matches the undecoded
+/// request URL (plus query).  On match, reports a detected attack to the
+/// IDS channel.  Params: attack_type=<tag> severity=<0..10>.
+core::CondRoutine MakeGlobSignatureRoutine(const FactoryParams& params);
+
+/// builtin:expr — value "<field> <op> <number|var:name>"; fields:
+/// cgi_input_length, url_length, query_length, slash_count, header_count,
+/// or any request Param type carrying a numeric value.
+core::CondRoutine MakeExprRoutine(const FactoryParams& params);
+
+/// builtin:threshold — value "<key> <limit> <window_seconds>"; true while
+/// the event count for `key` within the window stays BELOW limit.  `%ip`
+/// and `%user` in the key expand from the request context.  Exceeding the
+/// limit reports a threshold violation to the IDS (§3 item 4).
+core::CondRoutine MakeThresholdRoutine(const FactoryParams& params);
+
+/// builtin:redirect — always left unevaluated: the application interprets
+/// the value (a URL) when translating GAA_MAYBE (paper §6 step 2d).
+core::CondRoutine MakeRedirectRoutine(const FactoryParams& params);
+
+/// builtin:spoofing — consult the network IDS's spoofing oracle (paper §3:
+/// "the GAA-API can request a network-based IDS to report ... indications
+/// of address spoofing" before applying pro-active countermeasures).
+/// Value "clean" (default): true when the source is NOT suspected of
+/// spoofing; value "suspected": true when it is.  Unevaluated when no
+/// network IDS is wired up.
+core::CondRoutine MakeSpoofingRoutine(const FactoryParams& params);
+
+/// builtin:firewall — pre_cond_firewall: false when the client address
+/// falls inside any CIDR in the SystemState group named by the value
+/// (default "BlockedNets") — the enforcement half of §1's "blocking
+/// connections from particular parts of the network".
+core::CondRoutine MakeFirewallRoutine(const FactoryParams& params);
+
+/// builtin:block_network — rr_cond_block_network, the response half:
+/// "on:<when>/<prefix_len>[/<group>]" adds the client's enclosing /NN to
+/// the blocked-networks group.
+core::CondRoutine MakeBlockNetworkRoutine(const FactoryParams& params);
+
+/// builtin:set_var — rr_cond_set_var "on:<when>/<name>/<value>"; writes a
+/// SystemState variable (supports %ip/%user).  With builtin:var_equals
+/// this implements §1's "stopping selected services" as pure policy.
+core::CondRoutine MakeSetVarRoutine(const FactoryParams& params);
+
+/// builtin:var_equals — pre_cond_var "<name> <expected>"; an unset
+/// variable compares as the literal "unset".
+core::CondRoutine MakeVarEqualsRoutine(const FactoryParams& params);
+
+/// builtin:param_glob — pre_cond_param: value "<param_type> <glob>...";
+/// true when the named request parameter (e.g. user_agent, url, method —
+/// anything the glue classified in §6 step 2b) matches ANY glob.  A
+/// missing parameter leaves the condition unevaluated.  Detects e.g.
+/// scanner User-Agents ("pre_cond_param local user_agent *Nikto* *nmap*").
+core::CondRoutine MakeParamGlobRoutine(const FactoryParams& params);
+
+/// builtin:notify — value "on:<success|failure|any>/<recipient>/info:<tag>";
+/// sends through the NotificationService when the trigger matches the
+/// request decision (rr) or operation outcome (post).  Fails the condition
+/// if delivery fails (an unreachable notifier is a policy failure).
+core::CondRoutine MakeNotifyRoutine(const FactoryParams& params);
+
+/// builtin:update_log — value "on:.../<group>/info:<what>"; adds the client
+/// address (info:ip) or user (info:user) to a SystemState group — the §7.2
+/// BadGuys blacklist update.
+core::CondRoutine MakeUpdateLogRoutine(const FactoryParams& params);
+
+/// builtin:audit — value "on:.../<category>"; writes an audit record.
+core::CondRoutine MakeAuditRoutine(const FactoryParams& params);
+
+/// builtin:record_event — value "on:.../<key>/<window_seconds>"; records an
+/// event for the sliding-window counters (pairs with builtin:threshold).
+core::CondRoutine MakeRecordEventRoutine(const FactoryParams& params);
+
+/// builtin:cpu_limit / wallclock_limit / memory_limit / output_limit —
+/// mid-conditions comparing OperationStats against "<number|var:name>"
+/// (seconds / milliseconds / bytes / bytes).  False aborts the operation.
+core::CondRoutine MakeCpuLimitRoutine(const FactoryParams& params);
+core::CondRoutine MakeWallclockLimitRoutine(const FactoryParams& params);
+core::CondRoutine MakeMemoryLimitRoutine(const FactoryParams& params);
+core::CondRoutine MakeOutputLimitRoutine(const FactoryParams& params);
+
+/// builtin:post_log — value "on:<success|failure|any>/<category>"; audit
+/// record carrying the operation outcome.
+core::CondRoutine MakePostLogRoutine(const FactoryParams& params);
+
+/// builtin:integrity_check — post-condition; value is a glob over paths.
+/// If the operation created/modified a matching file, reports suspicious
+/// behaviour to the IDS and notifies (the paper's /etc/passwd example, §1).
+core::CondRoutine MakeIntegrityCheckRoutine(const FactoryParams& params);
+
+}  // namespace gaa::cond

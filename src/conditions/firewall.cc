@@ -1,0 +1,135 @@
+// Network-level countermeasures (paper §1: "blocking connections from
+// particular parts of the network or stopping selected services").
+//
+//   builtin:firewall      pre_cond_firewall — fails when the client falls
+//                         in any CIDR recorded in the SystemState group
+//                         named by the value (default "BlockedNets").
+//   builtin:block_network rr_cond_block_network — response action: add the
+//                         client's enclosing /NN to that group.
+//                         Value "on:<when>/<prefix_len>[/<group>]".
+//   builtin:set_var       rr_cond_set_var — response action: write a
+//                         SystemState variable.  Value
+//                         "on:<when>/<name>/<value>"; with var-gated
+//                         pre-conditions this implements "stopping
+//                         selected services" (e.g. service.sshd.disabled).
+//   builtin:var_equals    pre_cond_var — value "<name> <expected>"; true
+//                         when the variable holds the expected value (an
+//                         unset variable compares as "unset").
+#include "conditions/builtin.h"
+#include "conditions/trigger.h"
+#include "util/ip.h"
+#include "util/strings.h"
+
+namespace gaa::cond {
+
+namespace {
+
+using core::EvalOutcome;
+using core::EvalServices;
+using core::RequestContext;
+
+bool SuccessOutcome(const RequestContext& ctx) {
+  if (ctx.request_granted.has_value()) return *ctx.request_granted;
+  return ctx.stats.succeeded;
+}
+
+}  // namespace
+
+core::CondRoutine MakeFirewallRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    if (services.state == nullptr) {
+      return EvalOutcome::Unevaluated("firewall: no system state");
+    }
+    std::string group = std::string(util::Trim(cond.value));
+    if (group.empty()) group = "BlockedNets";
+    for (const auto& member : services.state->GroupMembers(group)) {
+      auto block = util::CidrBlock::Parse(member);
+      if (block.has_value() && block->Contains(ctx.client_ip)) {
+        return EvalOutcome::No("client " + ctx.client_ip.ToString() +
+                               " inside blocked network " + member);
+      }
+    }
+    return EvalOutcome::Yes("client outside all blocked networks");
+  };
+}
+
+core::CondRoutine MakeBlockNetworkRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    // Value: "on:<when>/<prefix_len>[/<group>]".
+    ParsedTrigger parsed = ParseTrigger(cond.value);
+    if (!TriggerFires(parsed.trigger, SuccessOutcome(ctx))) {
+      return EvalOutcome::Yes("block_network not triggered");
+    }
+    if (services.state == nullptr) {
+      return EvalOutcome::No("block_network: no system state");
+    }
+    auto segments = util::Split(parsed.rest, '/');
+    int prefix_len = 24;
+    if (!segments.empty()) {
+      if (auto p = util::ParseInt(segments[0]); p && *p >= 0 && *p <= 32) {
+        prefix_len = static_cast<int>(*p);
+      } else {
+        return EvalOutcome::No("block_network: bad prefix length '" +
+                               (segments.empty() ? "" : segments[0]) + "'");
+      }
+    }
+    std::string group = segments.size() >= 2 && !segments[1].empty()
+                            ? segments[1]
+                            : "BlockedNets";
+    util::CidrBlock block(ctx.client_ip, prefix_len);
+    services.state->AddGroupMember(group, block.ToString());
+    if (services.audit != nullptr) {
+      services.audit->Record("firewall", "blocked network " +
+                                             block.ToString() + " in group " +
+                                             group);
+    }
+    return EvalOutcome::Yes("blocked " + block.ToString());
+  };
+}
+
+core::CondRoutine MakeSetVarRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    // Value: "on:<when>/<name>/<value>".
+    ParsedTrigger parsed = ParseTrigger(cond.value);
+    if (!TriggerFires(parsed.trigger, SuccessOutcome(ctx))) {
+      return EvalOutcome::Yes("set_var not triggered");
+    }
+    if (services.state == nullptr) {
+      return EvalOutcome::No("set_var: no system state");
+    }
+    auto slash = parsed.rest.find('/');
+    if (slash == std::string::npos || slash == 0) {
+      return EvalOutcome::No("set_var: want <name>/<value>");
+    }
+    std::string name = parsed.rest.substr(0, slash);
+    std::string value = ExpandPlaceholders(parsed.rest.substr(slash + 1), ctx);
+    services.state->SetVariable(name, value);
+    if (services.audit != nullptr) {
+      services.audit->Record("policy_var", name + " = " + value);
+    }
+    return EvalOutcome::Yes("set " + name + " = " + value);
+  };
+}
+
+core::CondRoutine MakeVarEqualsRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& /*ctx*/,
+            EvalServices& services) -> EvalOutcome {
+    if (services.state == nullptr) {
+      return EvalOutcome::Unevaluated("var: no system state");
+    }
+    auto tokens = util::SplitWhitespace(cond.value);
+    if (tokens.empty()) return EvalOutcome::No("var: empty value");
+    std::string expected = tokens.size() >= 2 ? tokens[1] : "unset";
+    auto actual = services.state->GetVariable(tokens[0]);
+    std::string actual_str = actual.value_or("unset");
+    bool holds = actual_str == expected;
+    std::string detail = tokens[0] + " = " + actual_str + " (want " +
+                         expected + ")";
+    return holds ? EvalOutcome::Yes(detail) : EvalOutcome::No(detail);
+  };
+}
+
+}  // namespace gaa::cond

@@ -1,0 +1,112 @@
+// builtin:accessid — identity pre-conditions (USER / GROUP / HOST).
+#include "conditions/builtin.h"
+#include "conditions/trigger.h"
+#include "util/ip.h"
+#include "util/strings.h"
+
+namespace gaa::cond {
+
+namespace {
+
+using core::EvalOutcome;
+using core::EvalServices;
+using core::RequestContext;
+
+EvalOutcome EvalUser(const eacl::Condition& cond, const RequestContext& ctx) {
+  // Value: "<authority> <name|*>", e.g. "apache *" (any authenticated user)
+  // or "apache alice".
+  auto tokens = util::SplitWhitespace(cond.value);
+  if (tokens.empty()) {
+    return EvalOutcome::No("accessid USER: empty value");
+  }
+  const std::string& name = tokens.size() >= 2 ? tokens[1] : tokens[0];
+
+  if (!ctx.authenticated) {
+    // No credentials yet: the condition cannot be decided.  MAYBE drives the
+    // HTTP 401 translation, prompting the client for credentials.
+    return EvalOutcome::Unevaluated("no authenticated identity");
+  }
+  if (name == "*" || name == ctx.user) {
+    return EvalOutcome::Yes("user " + ctx.user);
+  }
+  return EvalOutcome::No("user " + ctx.user + " != " + name);
+}
+
+EvalOutcome EvalGroup(const eacl::Condition& cond, const RequestContext& ctx,
+                      EvalServices& services) {
+  // Value: "<authority> <group>", e.g. "local BadGuys".  Membership is true
+  // if the client IP is in the SystemState group (the §7.2 blacklist holds
+  // source addresses) or the authenticated identity carries the group.
+  auto tokens = util::SplitWhitespace(cond.value);
+  if (tokens.empty()) {
+    return EvalOutcome::No("accessid GROUP: empty value");
+  }
+  const std::string& group = tokens.size() >= 2 ? tokens[1] : tokens[0];
+
+  if (services.state != nullptr) {
+    if (services.state->GroupContains(group, ctx.client_ip.ToString())) {
+      return EvalOutcome::Yes("client " + ctx.client_ip.ToString() + " in " +
+                              group);
+    }
+    if (ctx.authenticated &&
+        services.state->GroupContains(group, ctx.user)) {
+      return EvalOutcome::Yes("user " + ctx.user + " in " + group);
+    }
+  }
+  if (ctx.InGroup(group)) {
+    return EvalOutcome::Yes("identity asserts group " + group);
+  }
+  return EvalOutcome::No("not a member of " + group);
+}
+
+EvalOutcome EvalHost(const eacl::Condition& cond, const RequestContext& ctx) {
+  // Value: "<authority> <cidr> [<cidr> ...]" or "<cidr> ...".
+  auto tokens = util::SplitWhitespace(cond.value);
+  bool any_block = false;
+  for (const auto& token : tokens) {
+    auto block = util::CidrBlock::Parse(token);
+    if (!block.has_value()) continue;  // skip the authority token / garbage
+    any_block = true;
+    if (block->Contains(ctx.client_ip)) {
+      return EvalOutcome::Yes("client in " + block->ToString());
+    }
+  }
+  if (!any_block) {
+    return EvalOutcome::No("accessid HOST: no valid CIDR in value");
+  }
+  return EvalOutcome::No("client " + ctx.client_ip.ToString() +
+                         " outside allowed blocks");
+}
+
+}  // namespace
+
+core::CondRoutine MakeSpoofingRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    if (services.ids == nullptr) {
+      return EvalOutcome::Unevaluated("no network IDS for spoofing check");
+    }
+    bool suspected = services.ids->SuspectedSpoofing(ctx.client_ip.ToString());
+    bool want_suspected =
+        util::Trim(cond.value) == std::string_view("suspected");
+    bool holds = want_suspected ? suspected : !suspected;
+    std::string detail = "source " + ctx.client_ip.ToString() +
+                         (suspected ? " suspected of spoofing"
+                                    : " shows no spoofing indication");
+    return holds ? EvalOutcome::Yes(detail) : EvalOutcome::No(detail);
+  };
+}
+
+core::CondRoutine MakeAccessIdRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    if (cond.def_auth == "USER") return EvalUser(cond, ctx);
+    if (cond.def_auth == "GROUP") return EvalGroup(cond, ctx, services);
+    if (cond.def_auth == "HOST") return EvalHost(cond, ctx);
+    // Unknown identity kind: treat as USER with the full value (covers
+    // configs that bind accessid with authority "local").
+    return EvalUser(cond, ctx);
+  };
+}
+
+}  // namespace gaa::cond

@@ -1,0 +1,147 @@
+// Execution-control (mid) and post-execution conditions.
+//
+// Mid-conditions implement the paper's phase 3: "to detect malicious
+// behavior in real-time (e.g., a user process consumes excessive system
+// resources)".  Post-conditions implement phase 4 logging/notification and
+// the §1 critical-file example (a modified /etc/passwd triggers a content
+// check).
+#include "conditions/builtin.h"
+#include "conditions/trigger.h"
+#include "util/glob.h"
+#include "util/strings.h"
+
+namespace gaa::cond {
+
+namespace {
+
+using core::EvalOutcome;
+using core::EvalServices;
+using core::RequestContext;
+
+/// Shared shape of the resource-limit mid-conditions: compare a live
+/// statistic against "<number|var:name>"; within limit => YES, exceeded =>
+/// NO (abort), unresolvable limit => unevaluated.
+template <typename Get>
+core::CondRoutine MakeLimitRoutine(std::string what, Get get) {
+  return [what = std::move(what), get](const eacl::Condition& cond,
+                                       const RequestContext& ctx,
+                                       EvalServices& services) -> EvalOutcome {
+    auto resolved = ResolveValue(cond.value, services.state);
+    if (!resolved.has_value()) {
+      return EvalOutcome::Unevaluated(what + " limit variable unset");
+    }
+    auto limit = util::ParseDouble(*resolved);
+    if (!limit.has_value()) {
+      return EvalOutcome::No(what + ": non-numeric limit '" + *resolved + "'");
+    }
+    double current = get(ctx);
+    if (current <= *limit) {
+      return EvalOutcome::Yes(what + " " + std::to_string(current) +
+                              " within " + *resolved);
+    }
+    if (services.ids != nullptr) {
+      core::IdsReport report;
+      report.kind = core::ReportKind::kSuspiciousBehavior;
+      report.source_ip = ctx.client_ip.ToString();
+      report.object = ctx.object;
+      report.attack_type = "resource:" + what;
+      report.severity = 6;
+      report.confidence = 0.8;
+      report.detail = what + "=" + std::to_string(current) + " limit=" +
+                      *resolved;
+      services.ids->Report(report);
+    }
+    return EvalOutcome::No(what + " " + std::to_string(current) +
+                           " exceeds " + *resolved);
+  };
+}
+
+}  // namespace
+
+core::CondRoutine MakeCpuLimitRoutine(const FactoryParams& /*params*/) {
+  return MakeLimitRoutine("cpu_seconds", [](const RequestContext& ctx) {
+    return ctx.stats.cpu_seconds;
+  });
+}
+
+core::CondRoutine MakeWallclockLimitRoutine(const FactoryParams& /*params*/) {
+  return MakeLimitRoutine("wallclock_ms", [](const RequestContext& ctx) {
+    return static_cast<double>(ctx.stats.wall_us) / 1000.0;
+  });
+}
+
+core::CondRoutine MakeMemoryLimitRoutine(const FactoryParams& /*params*/) {
+  return MakeLimitRoutine("memory_bytes", [](const RequestContext& ctx) {
+    return static_cast<double>(ctx.stats.memory_bytes);
+  });
+}
+
+core::CondRoutine MakeOutputLimitRoutine(const FactoryParams& /*params*/) {
+  return MakeLimitRoutine("output_bytes", [](const RequestContext& ctx) {
+    return static_cast<double>(ctx.stats.bytes_written);
+  });
+}
+
+core::CondRoutine MakePostLogRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    ParsedTrigger parsed = ParseTrigger(cond.value);
+    if (!TriggerFires(parsed.trigger, ctx.stats.succeeded)) {
+      return EvalOutcome::Yes("post_log not triggered");
+    }
+    if (services.audit == nullptr) {
+      return EvalOutcome::No("post_log: no audit sink");
+    }
+    std::string category = parsed.rest.empty() ? "operation" : parsed.rest;
+    services.audit->Record(
+        category,
+        std::string(ctx.stats.succeeded ? "OP_OK" : "OP_FAIL") + " ip=" +
+            ctx.client_ip.ToString() + " op=" + ctx.operation + " object=" +
+            ctx.object + " bytes=" + std::to_string(ctx.stats.bytes_written) +
+            " wall_ms=" + std::to_string(ctx.stats.wall_us / 1000));
+    return EvalOutcome::Yes("post-logged " + category);
+  };
+}
+
+core::CondRoutine MakeIntegrityCheckRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    // Value: glob over watched paths, e.g. "/etc/passwd" or "/etc/*".
+    // If the completed operation touched a watched file, raise an alert and
+    // trigger the follow-up content check (simulated as an IDS report plus
+    // notification).
+    std::string watch = std::string(util::Trim(cond.value));
+    if (watch.empty()) watch = "*";
+    std::vector<std::string> hits;
+    for (const auto& path : ctx.stats.files_created) {
+      if (util::GlobMatch(watch, path)) hits.push_back(path);
+    }
+    if (hits.empty()) {
+      return EvalOutcome::Yes("no watched files touched");
+    }
+    std::string joined = util::Join(hits, ",");
+    if (services.ids != nullptr) {
+      core::IdsReport report;
+      report.kind = core::ReportKind::kSuspiciousBehavior;
+      report.source_ip = ctx.client_ip.ToString();
+      report.object = ctx.object;
+      report.attack_type = "integrity:file_modified";
+      report.severity = 8;
+      report.confidence = 1.0;
+      report.detail = "operation touched watched file(s): " + joined;
+      services.ids->Report(report);
+    }
+    if (services.audit != nullptr) {
+      services.audit->Record("integrity", "watched file(s) modified: " + joined);
+    }
+    if (services.notifier != nullptr) {
+      services.notifier->Notify("sysadmin", "[gaa] integrity alert",
+                                "files: " + joined + " by ip=" +
+                                    ctx.client_ip.ToString());
+    }
+    // The condition itself *fails*: a watched critical file was modified.
+    return EvalOutcome::No("watched file(s) modified: " + joined);
+  };
+}
+
+}  // namespace gaa::cond

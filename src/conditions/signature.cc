@@ -1,0 +1,202 @@
+// builtin:glob_signature, builtin:expr, builtin:threshold, builtin:redirect —
+// the application-level intrusion-detection pre-conditions of §7.2.
+#include "conditions/builtin.h"
+#include "conditions/trigger.h"
+#include "util/glob.h"
+#include "util/strings.h"
+
+namespace gaa::cond {
+
+namespace {
+
+using core::EvalOutcome;
+using core::EvalServices;
+using core::RequestContext;
+
+void ReportAttack(EvalServices& services, const RequestContext& ctx,
+                  const std::string& attack_type, int severity,
+                  const std::string& detail) {
+  if (services.ids == nullptr) return;
+  core::IdsReport report;
+  report.kind = core::ReportKind::kDetectedAttack;
+  report.source_ip = ctx.client_ip.ToString();
+  report.object = ctx.object;
+  report.attack_type = attack_type;
+  report.severity = severity;
+  report.confidence = 0.9;  // signature hits are high confidence
+  report.detail = detail;
+  services.ids->Report(report);
+}
+
+/// The text signatures scan: the undecoded request target plus the query —
+/// attacks like NIMDA hide in the raw (percent-encoded) form.
+std::string SignatureSubject(const RequestContext& ctx) {
+  std::string subject = ctx.raw_url.empty() ? ctx.object : ctx.raw_url;
+  if (!ctx.query.empty() && subject.find('?') == std::string::npos) {
+    subject += "?";
+    subject += ctx.query;
+  }
+  return subject;
+}
+
+std::optional<std::int64_t> NumericField(const RequestContext& ctx,
+                                         const std::string& field) {
+  if (field == "cgi_input_length" || field == "query_length") {
+    return static_cast<std::int64_t>(ctx.query.size());
+  }
+  if (field == "url_length") {
+    return static_cast<std::int64_t>(
+        (ctx.raw_url.empty() ? ctx.object : ctx.raw_url).size());
+  }
+  if (field == "slash_count") {
+    return static_cast<std::int64_t>(util::CountChar(
+        ctx.raw_url.empty() ? ctx.object : ctx.raw_url, '/'));
+  }
+  if (const core::Param* p = ctx.FindParam(field)) {
+    return util::ParseInt(p->value);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+core::CondRoutine MakeGlobSignatureRoutine(const FactoryParams& params) {
+  std::string attack_type = "signature_match";
+  int severity = 7;
+  if (auto it = params.find("attack_type"); it != params.end()) {
+    attack_type = it->second;
+  }
+  if (auto it = params.find("severity"); it != params.end()) {
+    if (auto v = util::ParseInt(it->second)) severity = static_cast<int>(*v);
+  }
+  return [attack_type, severity](const eacl::Condition& cond,
+                                 const RequestContext& ctx,
+                                 EvalServices& services) -> EvalOutcome {
+    std::string subject = SignatureSubject(ctx);
+    for (const auto& pattern : util::SplitWhitespace(cond.value)) {
+      if (util::GlobMatch(pattern, subject)) {
+        ReportAttack(services, ctx, attack_type, severity,
+                     "signature '" + pattern + "' matched " + subject);
+        return EvalOutcome::Yes("matched signature " + pattern);
+      }
+    }
+    return EvalOutcome::No("no signature matched");
+  };
+}
+
+core::CondRoutine MakeExprRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    // Value: "<field> <op><number|var:name>"; e.g. "cgi_input_length >1000".
+    auto tokens = util::SplitWhitespace(cond.value);
+    if (tokens.empty()) return EvalOutcome::No("expr: empty value");
+    std::string field = tokens[0];
+    std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
+    ParsedOp parsed = ParseCmpOp(util::Join(rest, " "));
+    auto resolved = ResolveValue(parsed.rest, services.state);
+    if (!resolved.has_value()) {
+      return EvalOutcome::Unevaluated("expr threshold variable unset");
+    }
+    auto rhs = util::ParseInt(*resolved);
+    if (!rhs.has_value()) {
+      return EvalOutcome::No("expr: non-numeric threshold '" + *resolved + "'");
+    }
+    auto lhs = NumericField(ctx, field);
+    if (!lhs.has_value()) {
+      return EvalOutcome::Unevaluated("expr: field '" + field +
+                                      "' not present on request");
+    }
+    bool holds = CompareInts(*lhs, parsed.op, *rhs);
+    std::string detail = field + "=" + std::to_string(*lhs) + " vs " +
+                         std::to_string(*rhs);
+    return holds ? EvalOutcome::Yes(detail) : EvalOutcome::No(detail);
+  };
+}
+
+core::CondRoutine MakeThresholdRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    // Value: "<key> <limit> <window_seconds>".
+    if (services.state == nullptr) {
+      return EvalOutcome::Unevaluated("threshold: no system state");
+    }
+    auto tokens = util::SplitWhitespace(cond.value);
+    if (tokens.size() != 3) {
+      return EvalOutcome::No("threshold: want <key> <limit> <window_s>");
+    }
+    std::string key = ExpandPlaceholders(tokens[0], ctx);
+    auto limit_s = ResolveValue(tokens[1], services.state);
+    if (!limit_s) return EvalOutcome::Unevaluated("threshold limit unset");
+    auto limit = util::ParseInt(*limit_s);
+    auto window_s = util::ParseInt(tokens[2]);
+    if (!limit || !window_s || *window_s <= 0) {
+      return EvalOutcome::No("threshold: bad limit/window");
+    }
+    std::size_t count = services.state->CountEvents(
+        key, *window_s * util::kMicrosPerSecond);
+    if (static_cast<std::int64_t>(count) < *limit) {
+      return EvalOutcome::Yes("count " + std::to_string(count) + " < " +
+                              std::to_string(*limit));
+    }
+    if (services.ids != nullptr) {
+      core::IdsReport report;
+      report.kind = core::ReportKind::kThresholdViolation;
+      report.source_ip = ctx.client_ip.ToString();
+      report.object = ctx.object;
+      report.attack_type = "threshold:" + key;
+      report.severity = 5;
+      report.confidence = 0.7;
+      report.detail = std::to_string(count) + " events in " + tokens[2] + "s";
+      services.ids->Report(report);
+    }
+    return EvalOutcome::No("count " + std::to_string(count) +
+                           " reached limit " + std::to_string(*limit));
+  };
+}
+
+core::CondRoutine MakeParamGlobRoutine(const FactoryParams& params) {
+  std::string attack_type = "param_signature";
+  int severity = 5;
+  if (auto it = params.find("attack_type"); it != params.end()) {
+    attack_type = it->second;
+  }
+  if (auto it = params.find("severity"); it != params.end()) {
+    if (auto v = util::ParseInt(it->second)) severity = static_cast<int>(*v);
+  }
+  return [attack_type, severity](const eacl::Condition& cond,
+                                 const RequestContext& ctx,
+                                 EvalServices& services) -> EvalOutcome {
+    auto tokens = util::SplitWhitespace(cond.value);
+    if (tokens.size() < 2) {
+      return EvalOutcome::No("param_glob: want <param_type> <glob>...");
+    }
+    const core::Param* param = ctx.FindParam(tokens[0]);
+    if (param == nullptr) {
+      return EvalOutcome::Unevaluated("param '" + tokens[0] +
+                                      "' not present on request");
+    }
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (util::GlobMatchIgnoreCase(tokens[i], param->value)) {
+        ReportAttack(services, ctx, attack_type, severity,
+                     "param " + tokens[0] + "='" + param->value +
+                         "' matched '" + tokens[i] + "'");
+        return EvalOutcome::Yes("param " + tokens[0] + " matched " +
+                                tokens[i]);
+      }
+    }
+    return EvalOutcome::No("param " + tokens[0] + " matched nothing");
+  };
+}
+
+core::CondRoutine MakeRedirectRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& /*cond*/, const RequestContext& /*ctx*/,
+            EvalServices& /*services*/) -> EvalOutcome {
+    // Paper §6 step 2d: "The condition of type pre_cond_redirect encodes
+    // the URL and is returned unevaluated."  The application (Apache glue)
+    // recognizes the single unevaluated redirect condition in the MAYBE
+    // answer and issues the redirected request.
+    return EvalOutcome::Unevaluated("redirect URL is application-interpreted");
+  };
+}
+
+}  // namespace gaa::cond

@@ -1,0 +1,41 @@
+// builtin:threat_level — compare the IDS-supplied system threat profile.
+#include "conditions/builtin.h"
+#include "conditions/trigger.h"
+#include "util/strings.h"
+
+namespace gaa::cond {
+
+namespace {
+using core::EvalOutcome;
+using core::EvalServices;
+using core::RequestContext;
+using core::ThreatLevel;
+}  // namespace
+
+core::CondRoutine MakeThreatLevelRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& /*ctx*/,
+            EvalServices& services) -> EvalOutcome {
+    if (services.state == nullptr) {
+      // No IDS / state wired up: the threat profile is unknown.
+      return EvalOutcome::Unevaluated("no system state; threat level unknown");
+    }
+    ParsedOp parsed = ParseCmpOp(cond.value);
+    auto resolved = ResolveValue(parsed.rest, services.state);
+    if (!resolved.has_value()) {
+      return EvalOutcome::Unevaluated("threat level variable unset");
+    }
+    auto target = core::ParseThreatLevel(*resolved);
+    if (!target.has_value()) {
+      return EvalOutcome::No("bad threat level literal '" + *resolved + "'");
+    }
+    ThreatLevel current = services.state->threat_level();
+    bool holds = CompareInts(static_cast<int>(current), parsed.op,
+                             static_cast<int>(*target));
+    std::string detail = std::string("threat level ") +
+                         core::ThreatLevelName(current) + " vs " +
+                         core::ThreatLevelName(*target);
+    return holds ? EvalOutcome::Yes(detail) : EvalOutcome::No(detail);
+  };
+}
+
+}  // namespace gaa::cond

@@ -1,0 +1,83 @@
+// builtin:time_window and builtin:location pre-conditions.
+#include "conditions/builtin.h"
+#include "conditions/trigger.h"
+#include "util/ip.h"
+#include "util/strings.h"
+
+namespace gaa::cond {
+
+namespace {
+
+using core::EvalOutcome;
+using core::EvalServices;
+using core::RequestContext;
+
+/// Parse "HH:MM" into seconds-of-day.
+std::optional<int> ParseHhMm(std::string_view s) {
+  auto parts = util::Split(s, ':');
+  if (parts.size() != 2) return std::nullopt;
+  auto h = util::ParseInt(parts[0]);
+  auto m = util::ParseInt(parts[1]);
+  if (!h || !m || *h < 0 || *h > 23 || *m < 0 || *m > 59) return std::nullopt;
+  return static_cast<int>(*h * 3600 + *m * 60);
+}
+
+}  // namespace
+
+core::CondRoutine MakeTimeWindowRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& /*ctx*/,
+            EvalServices& services) -> EvalOutcome {
+    auto resolved = ResolveValue(cond.value, services.state);
+    if (!resolved.has_value()) {
+      return EvalOutcome::Unevaluated("time window variable unset");
+    }
+    if (services.clock == nullptr) {
+      return EvalOutcome::Unevaluated("no clock available");
+    }
+    int now = services.clock->SecondOfDay();
+    bool any_window = false;
+    for (const auto& window : util::SplitWhitespace(*resolved)) {
+      auto dash = window.find('-');
+      if (dash == std::string::npos) continue;
+      auto lo = ParseHhMm(std::string_view(window).substr(0, dash));
+      auto hi = ParseHhMm(std::string_view(window).substr(dash + 1));
+      if (!lo || !hi) continue;
+      any_window = true;
+      bool inside = *lo <= *hi ? (now >= *lo && now < *hi)
+                               : (now >= *lo || now < *hi);  // wraps midnight
+      if (inside) {
+        return EvalOutcome::Yes("time-of-day inside " + window);
+      }
+    }
+    if (!any_window) {
+      return EvalOutcome::No("time window: no valid HH:MM-HH:MM range");
+    }
+    return EvalOutcome::No("time-of-day outside all windows");
+  };
+}
+
+core::CondRoutine MakeLocationRoutine(const FactoryParams& /*params*/) {
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
+            EvalServices& services) -> EvalOutcome {
+    auto resolved = ResolveValue(cond.value, services.state);
+    if (!resolved.has_value()) {
+      return EvalOutcome::Unevaluated("location variable unset");
+    }
+    bool any_block = false;
+    for (const auto& token : util::SplitWhitespace(*resolved)) {
+      auto block = util::CidrBlock::Parse(token);
+      if (!block.has_value()) continue;
+      any_block = true;
+      if (block->Contains(ctx.client_ip)) {
+        return EvalOutcome::Yes("client in " + block->ToString());
+      }
+    }
+    if (!any_block) {
+      return EvalOutcome::No("location: no valid CIDR in value");
+    }
+    return EvalOutcome::No("client " + ctx.client_ip.ToString() +
+                           " outside allowed locations");
+  };
+}
+
+}  // namespace gaa::cond

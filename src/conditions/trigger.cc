@@ -1,0 +1,123 @@
+#include "conditions/trigger.h"
+
+#include "util/strings.h"
+
+namespace gaa::cond {
+
+ParsedTrigger ParseTrigger(std::string_view value) {
+  ParsedTrigger out;
+  value = util::Trim(value);
+  if (util::StartsWith(value, "on:")) {
+    std::string_view rest = value.substr(3);
+    auto slash = rest.find('/');
+    std::string_view when =
+        slash == std::string_view::npos ? rest : rest.substr(0, slash);
+    if (when == "success") {
+      out.trigger = Trigger::kOnSuccess;
+    } else if (when == "failure") {
+      out.trigger = Trigger::kOnFailure;
+    } else {
+      out.trigger = Trigger::kOnAny;
+    }
+    out.rest = slash == std::string_view::npos
+                   ? std::string()
+                   : std::string(rest.substr(slash + 1));
+  } else {
+    out.rest = std::string(value);
+  }
+  return out;
+}
+
+bool TriggerFires(Trigger trigger, bool success_outcome) {
+  switch (trigger) {
+    case Trigger::kOnSuccess:
+      return success_outcome;
+    case Trigger::kOnFailure:
+      return !success_outcome;
+    case Trigger::kOnAny:
+      return true;
+  }
+  return true;
+}
+
+std::optional<std::string> ResolveValue(std::string_view value,
+                                        const core::SystemState* state) {
+  value = util::Trim(value);
+  if (util::StartsWith(value, "var:")) {
+    if (state == nullptr) return std::nullopt;
+    return state->GetVariable(std::string(value.substr(4)));
+  }
+  return std::string(value);
+}
+
+std::string ExpandPlaceholders(std::string_view text,
+                               const core::RequestContext& ctx) {
+  std::string out = util::ReplaceAll(text, "%ip", ctx.client_ip.ToString());
+  out = util::ReplaceAll(out, "%user",
+                         ctx.user.empty() ? "anonymous" : ctx.user);
+  return out;
+}
+
+ParsedOp ParseCmpOp(std::string_view s) {
+  ParsedOp out;
+  s = util::Trim(s);
+  if (util::StartsWith(s, ">=")) {
+    out.op = CmpOp::kGe;
+    s = s.substr(2);
+  } else if (util::StartsWith(s, "<=")) {
+    out.op = CmpOp::kLe;
+    s = s.substr(2);
+  } else if (util::StartsWith(s, "!=")) {
+    out.op = CmpOp::kNe;
+    s = s.substr(2);
+  } else if (util::StartsWith(s, ">")) {
+    out.op = CmpOp::kGt;
+    s = s.substr(1);
+  } else if (util::StartsWith(s, "<")) {
+    out.op = CmpOp::kLt;
+    s = s.substr(1);
+  } else if (util::StartsWith(s, "=")) {
+    out.op = CmpOp::kEq;
+    s = s.substr(1);
+  }
+  out.rest = std::string(util::Trim(s));
+  return out;
+}
+
+bool CompareInts(std::int64_t lhs, CmpOp op, std::int64_t rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+bool CompareDoubles(double lhs, CmpOp op, double rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace gaa::cond

@@ -1,0 +1,51 @@
+// Shared helpers for condition-value parsing: "on:<when>/..." triggers and
+// the `var:<name>` SystemState indirection.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gaa/context.h"
+#include "gaa/system_state.h"
+
+namespace gaa::cond {
+
+/// When an action-condition fires.
+enum class Trigger { kOnSuccess, kOnFailure, kOnAny };
+
+/// Parse "on:success/rest", "on:failure/rest" or "on:any/rest".  A value
+/// without an "on:" prefix means kOnAny with the whole value as rest.
+struct ParsedTrigger {
+  Trigger trigger = Trigger::kOnAny;
+  std::string rest;  ///< the value after the trigger segment
+};
+ParsedTrigger ParseTrigger(std::string_view value);
+
+/// Whether a trigger fires for an outcome (request granted / op succeeded).
+bool TriggerFires(Trigger trigger, bool success_outcome);
+
+/// Resolve "var:<name>" through SystemState; plain values pass through.
+/// Returns nullopt when the variable is unset (condition left unevaluated).
+std::optional<std::string> ResolveValue(std::string_view value,
+                                        const core::SystemState* state);
+
+/// Expand "%ip" and "%user" placeholders from the request context.
+std::string ExpandPlaceholders(std::string_view text,
+                               const core::RequestContext& ctx);
+
+/// Comparison operators for numeric/level conditions.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Parse a leading comparison operator; defaults to kEq when absent.
+/// Returns the operator and the remainder of the string.
+struct ParsedOp {
+  CmpOp op = CmpOp::kEq;
+  std::string rest;
+};
+ParsedOp ParseCmpOp(std::string_view s);
+
+bool CompareInts(std::int64_t lhs, CmpOp op, std::int64_t rhs);
+bool CompareDoubles(double lhs, CmpOp op, double rhs);
+
+}  // namespace gaa::cond

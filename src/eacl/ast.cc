@@ -1,0 +1,77 @@
+#include "eacl/ast.h"
+
+#include "util/strings.h"
+
+namespace gaa::eacl {
+
+const char* CompositionModeName(CompositionMode mode) {
+  switch (mode) {
+    case CompositionMode::kExpand:
+      return "expand";
+    case CompositionMode::kNarrow:
+      return "narrow";
+    case CompositionMode::kStop:
+      return "stop";
+  }
+  return "?";
+}
+
+std::optional<CompositionMode> ParseCompositionMode(std::string_view token) {
+  if (token == "0" || util::EqualsIgnoreCase(token, "expand"))
+    return CompositionMode::kExpand;
+  if (token == "1" || util::EqualsIgnoreCase(token, "narrow"))
+    return CompositionMode::kNarrow;
+  if (token == "2" || util::EqualsIgnoreCase(token, "stop"))
+    return CompositionMode::kStop;
+  return std::nullopt;
+}
+
+const char* CondPhaseName(CondPhase phase) {
+  switch (phase) {
+    case CondPhase::kPre:
+      return "pre";
+    case CondPhase::kRequestResult:
+      return "request_result";
+    case CondPhase::kMid:
+      return "mid";
+    case CondPhase::kPost:
+      return "post";
+  }
+  return "?";
+}
+
+bool Right::Covers(std::string_view req_def_auth,
+                   std::string_view req_value) const {
+  bool auth_ok = def_auth == "*" || def_auth == req_def_auth;
+  bool value_ok = value == "*" || value == req_value;
+  return auth_ok && value_ok;
+}
+
+const std::vector<Condition>& Entry::block(CondPhase phase) const {
+  switch (phase) {
+    case CondPhase::kPre:
+      return pre;
+    case CondPhase::kRequestResult:
+      return request_result;
+    case CondPhase::kMid:
+      return mid;
+    case CondPhase::kPost:
+      return post;
+  }
+  return pre;  // unreachable
+}
+
+std::vector<Condition>& Entry::block(CondPhase phase) {
+  return const_cast<std::vector<Condition>&>(
+      static_cast<const Entry*>(this)->block(phase));
+}
+
+std::optional<CondPhase> PhaseFromConditionType(std::string_view cond_type) {
+  if (util::StartsWith(cond_type, "pre_cond_")) return CondPhase::kPre;
+  if (util::StartsWith(cond_type, "rr_cond_")) return CondPhase::kRequestResult;
+  if (util::StartsWith(cond_type, "mid_cond_")) return CondPhase::kMid;
+  if (util::StartsWith(cond_type, "post_cond_")) return CondPhase::kPost;
+  return std::nullopt;
+}
+
+}  // namespace gaa::eacl

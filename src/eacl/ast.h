@@ -1,0 +1,103 @@
+// Extended Access Control List (EACL) abstract syntax.
+//
+// Grammar (paper appendix, BNF):
+//
+//   eacl            ::= (composition_mode) { entry }
+//   entry           ::= pright conds | nright pre_cond_block rr_cond_block
+//   pright          ::= "pos_access_right" def_auth value
+//   nright          ::= "neg_access_right" def_auth value
+//   conds           ::= pre_cond_block rr_cond_block mid_cond_block
+//                       post_cond_block
+//   condition       ::= cond_type def_auth value
+//   composition_mode::= "0" | "1" | "2"        (expand | narrow | stop)
+//
+// An EACL is an *ordered* set of disjunctive entries; each entry carries a
+// positive or negative access right and four ordered condition blocks.
+// Ordering is semantic: earlier entries take precedence, and conditions are
+// evaluated in the order they appear within a block.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gaa::eacl {
+
+/// How a system-wide policy composes with local policies (paper §2.1).
+enum class CompositionMode {
+  kExpand = 0,  ///< disjunction: either policy may grant
+  kNarrow = 1,  ///< conjunction: mandatory ∧ discretionary
+  kStop = 2,    ///< system-wide only; local policies ignored
+};
+
+const char* CompositionModeName(CompositionMode mode);
+std::optional<CompositionMode> ParseCompositionMode(std::string_view token);
+
+/// When a condition is evaluated relative to the requested operation
+/// (paper §2: pre / request-result / mid / post).
+enum class CondPhase {
+  kPre,            ///< before the operation, gating authorization
+  kRequestResult,  ///< fired on grant and/or denial of the request
+  kMid,            ///< during operation execution
+  kPost,           ///< after the operation completes
+};
+
+const char* CondPhaseName(CondPhase phase);
+
+/// An access right: `pos_access_right apache GET` or `neg_access_right * *`.
+/// `def_auth` is the defining authority (which application namespace the
+/// right belongs to); `value` names the operation.  "*" is a wildcard.
+struct Right {
+  bool positive = true;
+  std::string def_auth;
+  std::string value;
+
+  /// Whether this (policy-side) right covers a requested right.  The policy
+  /// side may use "*" wildcards; the request side is always concrete.
+  bool Covers(std::string_view req_def_auth, std::string_view req_value) const;
+
+  friend bool operator==(const Right&, const Right&) = default;
+};
+
+/// A single condition: type + defining authority + value.  The value's
+/// interpretation belongs entirely to the registered evaluation routine
+/// (paper §5 advantage 2: web masters register their own routines).
+struct Condition {
+  std::string type;      ///< e.g. "pre_cond_regex", "rr_cond_notify"
+  std::string def_auth;  ///< e.g. "local", "gnu", "USER"
+  std::string value;     ///< e.g. "*phf* *test-cgi*", ">low", "on:failure/..."
+
+  friend bool operator==(const Condition&, const Condition&) = default;
+};
+
+/// One EACL entry: a right plus four optional condition blocks.  Negative
+/// rights carry only pre and request-result blocks (there is no operation to
+/// monitor when the request is being denied).
+struct Entry {
+  Right right;
+  std::vector<Condition> pre;
+  std::vector<Condition> request_result;
+  std::vector<Condition> mid;
+  std::vector<Condition> post;
+
+  const std::vector<Condition>& block(CondPhase phase) const;
+  std::vector<Condition>& block(CondPhase phase);
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+/// A parsed EACL: optional composition mode plus the ordered entries.
+/// The mode is meaningful only on system-wide policies.
+struct Eacl {
+  std::optional<CompositionMode> mode;
+  std::vector<Entry> entries;
+
+  friend bool operator==(const Eacl&, const Eacl&) = default;
+};
+
+/// Classify a condition type token into its phase by prefix
+/// ("pre_cond_*", "rr_cond_*", "mid_cond_*", "post_cond_*").
+std::optional<CondPhase> PhaseFromConditionType(std::string_view cond_type);
+
+}  // namespace gaa::eacl

@@ -1,0 +1,50 @@
+#include "eacl/composition.h"
+
+namespace gaa::eacl {
+
+using util::Tristate;
+
+std::size_t ComposedPolicy::TotalEntries() const {
+  std::size_t n = 0;
+  for (const auto& p : system_policies) n += p.entries.size();
+  for (const auto& p : local_policies) n += p.entries.size();
+  return n;
+}
+
+ComposedPolicy Compose(std::vector<Eacl> system_policies,
+                       std::vector<Eacl> local_policies) {
+  ComposedPolicy out;
+  out.mode = CompositionMode::kNarrow;
+  for (const auto& p : system_policies) {
+    if (p.mode.has_value()) {
+      out.mode = *p.mode;
+      break;
+    }
+  }
+  out.system_policies = std::move(system_policies);
+  if (out.mode != CompositionMode::kStop) {
+    out.local_policies = std::move(local_policies);
+  }
+  return out;
+}
+
+Tristate CombineDecisions(CompositionMode mode, Tristate system,
+                          bool have_system, Tristate local, bool have_local) {
+  // An absent side defers entirely to the present side; with neither side
+  // present the decision is NO (closed world: no policy grants nothing).
+  if (!have_system && !have_local) return Tristate::kNo;
+  if (!have_system) return local;
+  if (!have_local) return system;
+
+  switch (mode) {
+    case CompositionMode::kExpand:
+      return util::Or3(system, local);
+    case CompositionMode::kNarrow:
+      return util::And3(system, local);
+    case CompositionMode::kStop:
+      return system;
+  }
+  return Tristate::kNo;
+}
+
+}  // namespace gaa::eacl

@@ -1,0 +1,51 @@
+// Policy composition (paper §2.1).
+//
+// The framework supports system-wide and local policies.  The composed
+// policy places system-wide policies ahead of local ones (system-wide
+// implicitly has higher priority), and the system-wide policy's composition
+// mode chooses how decisions combine:
+//
+//   expand  — disjunction of grants: a request allowed by either the
+//             system-wide or the local policy is allowed.
+//   narrow  — conjunction: the system-wide (mandatory) policy AND the local
+//             (discretionary) policy must both allow.
+//   stop    — the system-wide policy alone applies; local policies are
+//             ignored (quick lockdown / administrator override).
+//
+// Multiple separately-specified system-wide policies (or local policies) are
+// themselves combined by conjunction (paper §2.1, final sentence).
+#pragma once
+
+#include <vector>
+
+#include "eacl/ast.h"
+#include "util/tristate.h"
+
+namespace gaa::eacl {
+
+/// The retrieved-and-merged policy list for one protected object.  Decision
+/// combination happens at evaluation time in the GAA core; this structure
+/// preserves which side each policy came from plus the effective mode.
+struct ComposedPolicy {
+  CompositionMode mode = CompositionMode::kNarrow;
+  std::vector<Eacl> system_policies;  ///< evaluated first (higher priority)
+  std::vector<Eacl> local_policies;   ///< ignored entirely under `stop`
+
+  std::size_t TotalEntries() const;
+};
+
+/// Build the composed policy.  The effective mode is taken from the first
+/// system-wide policy that declares one; with no system-wide mode the
+/// default is `narrow` (mandatory ∧ discretionary — the conservative
+/// choice).  Under `stop`, local policies are dropped at composition time.
+ComposedPolicy Compose(std::vector<Eacl> system_policies,
+                       std::vector<Eacl> local_policies);
+
+/// Combine the two sides' decisions under a composition mode using
+/// three-valued logic.  `have_system` / `have_local` say whether that side
+/// contributed any policy at all (an absent side defers to the other).
+util::Tristate CombineDecisions(CompositionMode mode, util::Tristate system,
+                                bool have_system, util::Tristate local,
+                                bool have_local);
+
+}  // namespace gaa::eacl

@@ -1,0 +1,118 @@
+#include "eacl/parser.h"
+
+#include "util/config.h"
+#include "util/strings.h"
+
+namespace gaa::eacl {
+
+namespace {
+
+using util::Error;
+using util::ErrorCode;
+
+Error ParseError(int line, const std::string& what) {
+  return Error(ErrorCode::kParseError,
+               "line " + std::to_string(line) + ": " + what);
+}
+
+bool IsIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+              c == '*';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<Eacl> ParseEacl(std::string_view text) {
+  auto lines_or = util::ParseConfigText(text);
+  if (!lines_or.ok()) return lines_or.error();
+  const auto& lines = lines_or.value();
+
+  Eacl eacl;
+  Entry* current = nullptr;
+  bool saw_entry = false;
+
+  for (const auto& line : lines) {
+    const auto& t = line.tokens;
+    if (t.empty()) continue;
+    const std::string& keyword = t[0];
+
+    if (keyword == "eacl_mode") {
+      if (saw_entry)
+        return ParseError(line.line_number,
+                          "eacl_mode must precede all entries");
+      if (eacl.mode.has_value())
+        return ParseError(line.line_number, "duplicate eacl_mode");
+      if (t.size() != 2)
+        return ParseError(line.line_number, "eacl_mode takes one argument");
+      auto mode = ParseCompositionMode(t[1]);
+      if (!mode)
+        return ParseError(line.line_number,
+                          "bad composition mode '" + t[1] + "'");
+      eacl.mode = *mode;
+      continue;
+    }
+
+    if (keyword == "pos_access_right" || keyword == "neg_access_right") {
+      if (t.size() != 3)
+        return ParseError(line.line_number,
+                          keyword + " takes <def_auth> <value>");
+      if (!IsIdentifier(t[1]) || !IsIdentifier(t[2]))
+        return ParseError(line.line_number,
+                          "malformed right '" + t[1] + " " + t[2] + "'");
+      Entry entry;
+      entry.right.positive = (keyword == "pos_access_right");
+      entry.right.def_auth = t[1];
+      entry.right.value = t[2];
+      eacl.entries.push_back(std::move(entry));
+      current = &eacl.entries.back();
+      saw_entry = true;
+      continue;
+    }
+
+    auto phase = PhaseFromConditionType(keyword);
+    if (phase.has_value()) {
+      if (current == nullptr)
+        return ParseError(line.line_number,
+                          "condition '" + keyword + "' before any entry");
+      if (t.size() < 2)
+        return ParseError(line.line_number,
+                          "condition '" + keyword + "' missing def_auth");
+      if (!current->right.positive && (*phase == CondPhase::kMid ||
+                                       *phase == CondPhase::kPost)) {
+        // BNF: negative rights carry only pre and request-result blocks.
+        return ParseError(line.line_number,
+                          "negative access right cannot carry " +
+                              std::string(CondPhaseName(*phase)) +
+                              "-conditions");
+      }
+      Condition cond;
+      cond.type = keyword;
+      cond.def_auth = t[1];
+      // Value is the remainder of the line; signatures may contain spaces
+      // ("*phf* *test-cgi*").  An absent value is allowed (some conditions
+      // are parameterless markers).
+      std::vector<std::string> rest(t.begin() + 2, t.end());
+      cond.value = util::Join(rest, " ");
+      current->block(*phase).push_back(std::move(cond));
+      continue;
+    }
+
+    return ParseError(line.line_number, "unknown directive '" + keyword + "'");
+  }
+
+  return eacl;
+}
+
+util::Result<Eacl> ParseEaclFile(const std::string& path) {
+  auto text = util::ReadFileToString(path);
+  if (!text.ok()) return text.error();
+  return ParseEacl(text.value());
+}
+
+}  // namespace gaa::eacl

@@ -1,0 +1,43 @@
+// EACL concrete-syntax parser.
+//
+// The concrete syntax is line-oriented, matching the paper's examples
+// (section 7) with underscores joining multi-word keywords:
+//
+//     eacl_mode 1                      # composition mode: narrow
+//     # EACL entry 1
+//     neg_access_right * *
+//     pre_cond_system_threat_level local =high
+//
+//     pos_access_right apache *
+//     pre_cond_regex gnu *phf* *test-cgi*
+//     rr_cond_notify local on:failure/sysadmin/info:cgiexploit
+//     rr_cond_update_log local on:failure/BadGuys/info:ip
+//
+// Rules:
+//   * '#' starts a comment; blank lines are ignored.
+//   * `eacl_mode <0|1|2|expand|narrow|stop>` may appear once, before any
+//     entry (it is meaningful on system-wide policies).
+//   * `pos_access_right <def_auth> <value>` / `neg_access_right ...` start a
+//     new entry.
+//   * Any token with a `pre_cond_` / `rr_cond_` / `mid_cond_` / `post_cond_`
+//     prefix starts a condition line: `<type> <def_auth> <value...>`; the
+//     value is the remainder of the line (signatures may contain spaces).
+//
+// Parse errors carry the 1-based line number.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "eacl/ast.h"
+#include "util/status.h"
+
+namespace gaa::eacl {
+
+/// Parse a full EACL policy from text.
+util::Result<Eacl> ParseEacl(std::string_view text);
+
+/// Parse a policy file from disk.
+util::Result<Eacl> ParseEaclFile(const std::string& path);
+
+}  // namespace gaa::eacl

@@ -1,0 +1,42 @@
+#include "eacl/printer.h"
+
+namespace gaa::eacl {
+
+std::string PrintCondition(const Condition& cond) {
+  std::string out = cond.type + " " + cond.def_auth;
+  if (!cond.value.empty()) {
+    out += " ";
+    out += cond.value;
+  }
+  return out;
+}
+
+std::string PrintEntry(const Entry& entry) {
+  std::string out;
+  out += entry.right.positive ? "pos_access_right" : "neg_access_right";
+  out += " " + entry.right.def_auth + " " + entry.right.value + "\n";
+  for (CondPhase phase : {CondPhase::kPre, CondPhase::kRequestResult,
+                          CondPhase::kMid, CondPhase::kPost}) {
+    for (const auto& cond : entry.block(phase)) {
+      out += PrintCondition(cond);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string PrintEacl(const Eacl& eacl) {
+  std::string out;
+  if (eacl.mode.has_value()) {
+    out += "eacl_mode ";
+    out += std::to_string(static_cast<int>(*eacl.mode));
+    out += "\n";
+  }
+  for (std::size_t i = 0; i < eacl.entries.size(); ++i) {
+    out += "# EACL entry " + std::to_string(i + 1) + "\n";
+    out += PrintEntry(eacl.entries[i]);
+  }
+  return out;
+}
+
+}  // namespace gaa::eacl

@@ -1,0 +1,22 @@
+// EACL serializer: renders an AST back to the concrete syntax accepted by
+// the parser.  Print→Parse is an identity on valid policies (property-tested)
+// which makes policies storable, diffable and transferable between the
+// policy officer's tools and the server.
+#pragma once
+
+#include <string>
+
+#include "eacl/ast.h"
+
+namespace gaa::eacl {
+
+/// Render a full policy.
+std::string PrintEacl(const Eacl& eacl);
+
+/// Render a single entry (used in audit records and error messages).
+std::string PrintEntry(const Entry& entry);
+
+/// Render one condition as "type def_auth value".
+std::string PrintCondition(const Condition& cond);
+
+}  // namespace gaa::eacl

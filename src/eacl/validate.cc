@@ -1,0 +1,130 @@
+#include "eacl/validate.h"
+
+#include "eacl/printer.h"
+
+namespace gaa::eacl {
+
+namespace {
+
+using util::Error;
+using util::ErrorCode;
+
+bool IsIdentifier(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+              c == '*';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// A policy-side right `a` covers everything a policy-side right `b` covers.
+bool RightSubsumes(const Right& a, const Right& b) {
+  bool auth = a.def_auth == "*" || a.def_auth == b.def_auth;
+  bool value = a.value == "*" || a.value == b.value;
+  return auth && value;
+}
+
+}  // namespace
+
+util::VoidResult Validate(const Eacl& eacl) {
+  for (std::size_t i = 0; i < eacl.entries.size(); ++i) {
+    const Entry& entry = eacl.entries[i];
+    auto where = [&](const std::string& what) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "entry " + std::to_string(i + 1) + ": " + what);
+    };
+    if (!IsIdentifier(entry.right.def_auth) ||
+        !IsIdentifier(entry.right.value)) {
+      return where("malformed access right");
+    }
+    if (!entry.right.positive &&
+        (!entry.mid.empty() || !entry.post.empty())) {
+      return where("negative right cannot carry mid/post conditions");
+    }
+    for (CondPhase phase : {CondPhase::kPre, CondPhase::kRequestResult,
+                            CondPhase::kMid, CondPhase::kPost}) {
+      for (const Condition& cond : entry.block(phase)) {
+        auto expected = PhaseFromConditionType(cond.type);
+        if (!expected.has_value()) {
+          return where("condition type '" + cond.type +
+                       "' has no phase prefix");
+        }
+        if (*expected != phase) {
+          return where("condition '" + cond.type + "' placed in " +
+                       std::string(CondPhaseName(phase)) + " block");
+        }
+        if (cond.def_auth.empty()) {
+          return where("condition '" + cond.type + "' missing def_auth");
+        }
+      }
+    }
+  }
+  return util::VoidResult::Ok();
+}
+
+const char* PolicyWarningKindName(PolicyWarning::Kind kind) {
+  switch (kind) {
+    case PolicyWarning::Kind::kShadowedEntry:
+      return "shadowed_entry";
+    case PolicyWarning::Kind::kDuplicateEntry:
+      return "duplicate_entry";
+    case PolicyWarning::Kind::kContradiction:
+      return "contradiction";
+    case PolicyWarning::Kind::kUnconditionalDeny:
+      return "unconditional_deny";
+  }
+  return "?";
+}
+
+std::vector<PolicyWarning> AnalyzePolicy(const Eacl& eacl) {
+  std::vector<PolicyWarning> warnings;
+  const auto& entries = eacl.entries;
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+
+    if (!e.right.positive && e.pre.empty() && e.right.def_auth == "*" &&
+        e.right.value == "*") {
+      warnings.push_back(
+          {PolicyWarning::Kind::kUnconditionalDeny, i,
+           "entry " + std::to_string(i + 1) +
+               " unconditionally denies all rights; every later entry is dead"});
+    }
+
+    for (std::size_t j = 0; j < i; ++j) {
+      const Entry& earlier = entries[j];
+      if (!RightSubsumes(earlier.right, e.right)) continue;
+
+      // Earlier unconditioned entry on a subsuming right decides every
+      // request the later entry could see: the later entry is unreachable.
+      if (earlier.pre.empty()) {
+        warnings.push_back({PolicyWarning::Kind::kShadowedEntry, i,
+                            "entry " + std::to_string(i + 1) +
+                                " is shadowed by unconditioned entry " +
+                                std::to_string(j + 1)});
+        if (earlier.right.positive != e.right.positive && e.pre.empty()) {
+          warnings.push_back(
+              {PolicyWarning::Kind::kContradiction, i,
+               "entries " + std::to_string(j + 1) + " and " +
+                   std::to_string(i + 1) +
+                   " grant and deny the same right unconditionally"});
+        }
+        break;
+      }
+
+      if (earlier.right == e.right && earlier.pre == e.pre &&
+          earlier.right.positive == e.right.positive) {
+        warnings.push_back({PolicyWarning::Kind::kDuplicateEntry, i,
+                            "entry " + std::to_string(i + 1) +
+                                " duplicates entry " + std::to_string(j + 1)});
+        break;
+      }
+    }
+  }
+  return warnings;
+}
+
+}  // namespace gaa::eacl

@@ -1,0 +1,42 @@
+// Structural validation and consistency analysis of EACL policies.
+//
+// The parser already rejects syntactic garbage; Validate() re-checks
+// programmatically-built ASTs against the BNF invariants.  AnalyzePolicy()
+// goes further: the paper (§2) notes that ordering of entries resolves
+// conflicts and that "the function of defining the order ... can be best
+// served by an automated tool to ensure policy correctness and consistency"
+// — listed as future work.  We implement that tool: it reports shadowed
+// (unreachable) entries, contradictory adjacent entries and suspicious
+// unconditioned negative rights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eacl/ast.h"
+#include "util/status.h"
+
+namespace gaa::eacl {
+
+/// Check BNF-level invariants.  Returns the first violation found.
+util::VoidResult Validate(const Eacl& eacl);
+
+/// A non-fatal policy-consistency finding.
+struct PolicyWarning {
+  enum class Kind {
+    kShadowedEntry,      ///< an earlier unconditioned entry makes this one unreachable
+    kDuplicateEntry,     ///< identical right + identical pre-conditions repeated
+    kContradiction,      ///< same right granted and denied under no conditions
+    kUnconditionalDeny,  ///< `neg_access_right * *` with no pre-conditions
+  };
+  Kind kind;
+  std::size_t entry_index = 0;  ///< 0-based index of the offending entry
+  std::string message;
+};
+
+const char* PolicyWarningKindName(PolicyWarning::Kind kind);
+
+/// Run the consistency analyzer over a single policy.
+std::vector<PolicyWarning> AnalyzePolicy(const Eacl& eacl);
+
+}  // namespace gaa::eacl

@@ -1,0 +1,231 @@
+#include "gaa/api.h"
+
+#include "eacl/printer.h"
+#include "util/log.h"
+
+namespace gaa::core {
+
+using util::Tristate;
+
+GaaApi::GaaApi(PolicyStore* store, EvalServices services)
+    : store_(store), services_(services) {}
+
+util::VoidResult GaaApi::Initialize(const RoutineCatalog& catalog,
+                                    std::string_view system_config_text,
+                                    std::string_view local_config_text) {
+  auto system_cfg = ParseGaaConfig(system_config_text);
+  if (!system_cfg.ok()) return system_cfg.error();
+  auto local_cfg = ParseGaaConfig(local_config_text);
+  if (!local_cfg.ok()) return local_cfg.error();
+
+  // Global params: system first, local overrides.
+  std::map<std::string, std::string> global_params = system_cfg.value().params;
+  for (const auto& [k, v] : local_cfg.value().params) global_params[k] = v;
+
+  auto install = [&](const GaaConfigFile& cfg) -> util::VoidResult {
+    for (const auto& binding : cfg.bindings) {
+      std::map<std::string, std::string> params = global_params;
+      for (const auto& [k, v] : binding.params) params[k] = v;
+      auto routine = catalog.Make(binding.routine, params);
+      if (!routine.ok()) return routine.error();
+      registry_.Register(binding.cond_type, binding.def_auth,
+                         std::move(routine).take());
+    }
+    return util::VoidResult::Ok();
+  };
+
+  auto r = install(system_cfg.value());
+  if (!r.ok()) return r;
+  return install(local_cfg.value());
+}
+
+eacl::ComposedPolicy GaaApi::GetObjectPolicyInfo(
+    const std::string& object_path) {
+  if (cache_enabled_) {
+    std::uint64_t version = store_->version();
+    if (auto cached = cache_.Get(object_path, version)) {
+      return *std::move(cached);
+    }
+    eacl::ComposedPolicy composed = store_->PoliciesFor(object_path);
+    cache_.Put(object_path, version, composed);
+    return composed;
+  }
+  return store_->PoliciesFor(object_path);
+}
+
+EvalOutcome GaaApi::EvalCondition(const eacl::Condition& cond,
+                                  eacl::CondPhase phase, RequestContext& ctx,
+                                  std::vector<CondTrace>* trace) {
+  EvalOutcome outcome;
+  const CondRoutine* routine = registry_.Find(cond.type, cond.def_auth);
+  if (routine == nullptr) {
+    // Paper: "The GAA-API returns MAYBE if the corresponding condition
+    // evaluation function is not registered with the API."
+    outcome = EvalOutcome::Unevaluated("no routine registered for " +
+                                       cond.type + "/" + cond.def_auth);
+  } else {
+    outcome = (*routine)(cond, ctx, services_);
+  }
+  if (trace != nullptr) trace->push_back(CondTrace{cond, outcome, phase});
+  return outcome;
+}
+
+GaaApi::BlockResult GaaApi::EvalBlock(
+    const std::vector<eacl::Condition>& block, eacl::CondPhase phase,
+    RequestContext& ctx, std::vector<CondTrace>* trace) {
+  BlockResult result;
+  result.status = Tristate::kYes;
+  for (const auto& cond : block) {
+    EvalOutcome outcome = EvalCondition(cond, phase, ctx, trace);
+    if (outcome.status == Tristate::kNo) {
+      result.status = Tristate::kNo;
+      // Ordered conjunction: a failed condition settles the block; later
+      // conditions (and their side effects) must not run.
+      return result;
+    }
+    if (outcome.status == Tristate::kMaybe) {
+      result.status = Tristate::kMaybe;
+      if (!outcome.evaluated) result.unevaluated.push_back(cond);
+    }
+  }
+  return result;
+}
+
+GaaApi::PolicyAnswer GaaApi::EvalPolicy(const eacl::Eacl& policy,
+                                        const RequestedRight& right,
+                                        RequestContext& ctx,
+                                        AuthzResult* out) {
+  PolicyAnswer answer;
+  for (const eacl::Entry& entry : policy.entries) {
+    if (!entry.right.Covers(right.def_auth, right.value)) continue;
+
+    BlockResult pre =
+        EvalBlock(entry.pre, eacl::CondPhase::kPre, ctx, &out->trace);
+
+    if (pre.status == Tristate::kNo) {
+      continue;  // entry does not apply; scan continues
+    }
+
+    if (pre.status == Tristate::kMaybe) {
+      // The entry *might* apply; no later entry can soundly override it.
+      answer.applicable = true;
+      answer.status = Tristate::kMaybe;
+      out->unevaluated.insert(out->unevaluated.end(), pre.unevaluated.begin(),
+                              pre.unevaluated.end());
+      return answer;
+    }
+
+    // pre.status == YES: the entry decides.
+    answer.applicable = true;
+    Tristate status =
+        entry.right.positive ? Tristate::kYes : Tristate::kNo;
+
+    if (!entry.request_result.empty()) {
+      ctx.request_granted = (status == Tristate::kYes);
+      BlockResult rr = EvalBlock(entry.request_result,
+                                 eacl::CondPhase::kRequestResult, ctx,
+                                 &out->trace);
+      ctx.request_granted.reset();
+      // "The conjunction of the intermediate result ... is stored in the
+      // authorization status."
+      status = util::And3(status, rr.status);
+      if (rr.status == Tristate::kMaybe) {
+        out->unevaluated.insert(out->unevaluated.end(), rr.unevaluated.begin(),
+                                rr.unevaluated.end());
+      }
+    }
+
+    if (entry.right.positive && status != Tristate::kNo) {
+      out->mid_conditions.insert(out->mid_conditions.end(), entry.mid.begin(),
+                                 entry.mid.end());
+      out->post_conditions.insert(out->post_conditions.end(),
+                                  entry.post.begin(), entry.post.end());
+    }
+
+    answer.status = status;
+    return answer;
+  }
+  // No entry applied.
+  answer.applicable = false;
+  answer.status = Tristate::kNo;
+  return answer;
+}
+
+AuthzResult GaaApi::CheckAuthorization(const eacl::ComposedPolicy& policy,
+                                       const RequestedRight& right,
+                                       RequestContext& ctx) {
+  AuthzResult out;
+
+  auto eval_side = [&](const std::vector<eacl::Eacl>& policies, bool* any) {
+    // Several separately-specified policies on one side conjoin (§2.1).
+    Tristate side = Tristate::kYes;
+    *any = false;
+    for (const auto& p : policies) {
+      PolicyAnswer a = EvalPolicy(p, right, ctx, &out);
+      if (!a.applicable) continue;
+      *any = true;
+      side = util::And3(side, a.status);
+      if (side == Tristate::kNo) break;  // conjunction settled
+    }
+    return side;
+  };
+
+  bool have_system = false;
+  bool have_local = false;
+  Tristate system_status = eval_side(policy.system_policies, &have_system);
+  Tristate local_status = Tristate::kNo;
+  if (policy.mode != eacl::CompositionMode::kStop &&
+      !(policy.mode == eacl::CompositionMode::kNarrow &&
+        have_system && system_status == Tristate::kNo)) {
+    // Under narrow, a definite system-side denial is final: skip the local
+    // side entirely (its request-result actions must not fire for a request
+    // the mandatory policy already rejected).
+    local_status = eval_side(policy.local_policies, &have_local);
+  }
+
+  out.applicable = have_system || have_local;
+  out.status = eacl::CombineDecisions(policy.mode, system_status, have_system,
+                                      local_status, have_local);
+  out.detail = std::string("authz=") + util::TristateName(out.status) +
+               " right=" + right.def_auth + ":" + right.value +
+               " object=" + ctx.object;
+  return out;
+}
+
+AuthzResult GaaApi::Authorize(const std::string& object_path,
+                              const RequestedRight& right,
+                              RequestContext& ctx) {
+  eacl::ComposedPolicy composed = GetObjectPolicyInfo(object_path);
+  return CheckAuthorization(composed, right, ctx);
+}
+
+PhaseResult GaaApi::ExecutionControl(const AuthzResult& authz,
+                                     RequestContext& ctx) {
+  PhaseResult result;
+  // Paper §6 phase 3: no mid-conditions ⇒ YES.
+  for (const auto& cond : authz.mid_conditions) {
+    EvalOutcome outcome =
+        EvalCondition(cond, eacl::CondPhase::kMid, ctx, &result.trace);
+    result.status = util::And3(result.status, outcome.status);
+    if (result.status == Tristate::kNo) break;
+  }
+  return result;
+}
+
+PhaseResult GaaApi::PostExecutionActions(const AuthzResult& authz,
+                                         RequestContext& ctx,
+                                         bool operation_succeeded) {
+  PhaseResult result;
+  ctx.stats.completed = true;
+  ctx.stats.succeeded = operation_succeeded;
+  // Paper §6 phase 4: no post-conditions ⇒ YES; otherwise evaluate all (they
+  // are actions — each checks its own success/failure trigger).
+  for (const auto& cond : authz.post_conditions) {
+    EvalOutcome outcome =
+        EvalCondition(cond, eacl::CondPhase::kPost, ctx, &result.trace);
+    result.status = util::And3(result.status, outcome.status);
+  }
+  return result;
+}
+
+}  // namespace gaa::core

@@ -1,0 +1,169 @@
+// The GAA-API facade: initialization plus the three per-request phases
+// (paper Figure 1 and §6).
+//
+//   init                gaa_initialize — parse the system/local configuration
+//                       files, instantiate condition routines from the
+//                       catalog and register them.
+//   phase 2a            GetObjectPolicyInfo — retrieve the system-wide and
+//                       local policies protecting an object, compose them
+//                       (§2.1), optionally serving from the policy cache.
+//   phase 2c            CheckAuthorization — ordered evaluation of pre- and
+//                       request-result conditions; returns YES / NO / MAYBE
+//                       plus the full evaluation trace and the conditions
+//                       left unevaluated (drives 401 / redirect translation).
+//   phase 3             ExecutionControl — evaluate mid-conditions against
+//                       live operation statistics; NO aborts the operation.
+//   phase 4             PostExecutionActions — evaluate post-conditions with
+//                       the operation's success/failure status.
+//
+// Evaluation semantics (normative; see DESIGN.md §5):
+//   * Entries are scanned first-to-last; only entries whose right covers the
+//     requested right are considered.
+//   * A pre-condition block is an ordered conjunction.  Evaluation stops at
+//     the first failed condition (the entry then *does not apply* and the
+//     scan continues); otherwise any unevaluated condition makes the block
+//     MAYBE, else YES.
+//   * Block YES ⇒ the entry decides: grant for a positive right, deny for a
+//     negative right.  Block MAYBE ⇒ the policy's answer is MAYBE (the entry
+//     might apply; later entries cannot soundly override it).
+//   * Request-result conditions of the deciding entry are then evaluated
+//     (each checks its own on:success / on:failure trigger) and their result
+//     is conjoined into the authorization status.
+//   * A policy none of whose entries applies is "not applicable"; sides
+//     (system-wide vs local) conjoin their applicable policies, and the
+//     composition mode combines the two sides (eacl::CombineDecisions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eacl/ast.h"
+#include "eacl/composition.h"
+#include "gaa/cache.h"
+#include "gaa/config.h"
+#include "gaa/context.h"
+#include "gaa/policy_store.h"
+#include "gaa/registry.h"
+#include "gaa/services.h"
+#include "util/status.h"
+#include "util/tristate.h"
+
+namespace gaa::core {
+
+/// One condition's evaluation, in order, for audit and debugging.
+struct CondTrace {
+  eacl::Condition cond;
+  EvalOutcome outcome;
+  eacl::CondPhase phase = eacl::CondPhase::kPre;
+};
+
+/// Answer from CheckAuthorization (paper §6: the authorization status).
+struct AuthzResult {
+  util::Tristate status = util::Tristate::kNo;
+
+  /// Conditions evaluated, in evaluation order.
+  std::vector<CondTrace> trace;
+
+  /// Conditions left unevaluated (no routine registered, missing
+  /// credentials, or deliberately application-interpreted such as
+  /// pre_cond_redirect).  Non-empty exactly when some block went MAYBE via
+  /// unevaluated conditions; the integration layer inspects this for the
+  /// 401-vs-redirect translation.
+  std::vector<eacl::Condition> unevaluated;
+
+  /// Mid/post blocks of the granting entries, saved for phases 3 and 4.
+  std::vector<eacl::Condition> mid_conditions;
+  std::vector<eacl::Condition> post_conditions;
+
+  /// True if any policy entry (on either side) covered the requested right.
+  bool applicable = false;
+
+  std::string detail;  ///< one-line summary for logs
+};
+
+/// Result of the execution-control or post-execution phase.
+struct PhaseResult {
+  util::Tristate status = util::Tristate::kYes;
+  std::vector<CondTrace> trace;
+};
+
+class GaaApi {
+ public:
+  /// `store` and the services outlive the API object.
+  GaaApi(PolicyStore* store, EvalServices services);
+
+  /// Initialization phase: instantiate and register condition routines
+  /// named by the system-wide and local configuration files.  Local
+  /// bindings override system bindings for the same (type, authority).
+  util::VoidResult Initialize(const RoutineCatalog& catalog,
+                              std::string_view system_config_text,
+                              std::string_view local_config_text);
+
+  /// Direct registration (tests / embedded use).
+  ConditionRegistry& registry() { return registry_; }
+  EvalServices& services() { return services_; }
+
+  // --- phase 2a -----------------------------------------------------------
+  eacl::ComposedPolicy GetObjectPolicyInfo(const std::string& object_path);
+
+  // --- phase 2c -----------------------------------------------------------
+  AuthzResult CheckAuthorization(const eacl::ComposedPolicy& policy,
+                                 const RequestedRight& right,
+                                 RequestContext& ctx);
+
+  /// Convenience: 2a + 2c in one call.
+  AuthzResult Authorize(const std::string& object_path,
+                        const RequestedRight& right, RequestContext& ctx);
+
+  // --- phase 3 ------------------------------------------------------------
+  /// May be called repeatedly while the operation runs; ctx.stats carries
+  /// the live statistics.  status NO means "abort the operation now".
+  PhaseResult ExecutionControl(const AuthzResult& authz, RequestContext& ctx);
+
+  // --- phase 4 ------------------------------------------------------------
+  PhaseResult PostExecutionActions(const AuthzResult& authz,
+                                   RequestContext& ctx,
+                                   bool operation_succeeded);
+
+  // --- policy cache (paper §9 future work; ablation A1) --------------------
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  bool cache_enabled() const { return cache_enabled_; }
+  const PolicyCache& cache() const { return cache_; }
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  struct BlockResult {
+    util::Tristate status = util::Tristate::kYes;
+    std::vector<eacl::Condition> unevaluated;
+  };
+
+  struct PolicyAnswer {
+    util::Tristate status = util::Tristate::kNo;
+    bool applicable = false;
+  };
+
+  /// Evaluate one condition through the registry (unregistered ⇒
+  /// unevaluated ⇒ MAYBE), appending to the trace.
+  EvalOutcome EvalCondition(const eacl::Condition& cond,
+                            eacl::CondPhase phase, RequestContext& ctx,
+                            std::vector<CondTrace>* trace);
+
+  /// Ordered conjunction of a block; stops at the first NO.
+  BlockResult EvalBlock(const std::vector<eacl::Condition>& block,
+                        eacl::CondPhase phase, RequestContext& ctx,
+                        std::vector<CondTrace>* trace);
+
+  PolicyAnswer EvalPolicy(const eacl::Eacl& policy,
+                          const RequestedRight& right, RequestContext& ctx,
+                          AuthzResult* out);
+
+  PolicyStore* store_;
+  EvalServices services_;
+  ConditionRegistry registry_;
+  PolicyCache cache_;
+  bool cache_enabled_ = false;
+};
+
+}  // namespace gaa::core

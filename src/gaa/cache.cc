@@ -1,0 +1,61 @@
+#include "gaa/cache.h"
+
+namespace gaa::core {
+
+std::optional<eacl::ComposedPolicy> PolicyCache::Get(
+    const std::string& object_path, std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(object_path);
+  if (it == slots_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (it->second.version != version) {
+    lru_.erase(it->second.lru_it);
+    slots_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  TouchLocked(object_path, it->second);
+  ++hits_;
+  return it->second.policy;
+}
+
+void PolicyCache::Put(const std::string& object_path, std::uint64_t version,
+                      eacl::ComposedPolicy policy) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(object_path);
+  if (it != slots_.end()) {
+    it->second.version = version;
+    it->second.policy = std::move(policy);
+    TouchLocked(object_path, it->second);
+    return;
+  }
+  while (slots_.size() >= capacity_) {
+    const std::string& victim = lru_.back();
+    slots_.erase(victim);
+    lru_.pop_back();
+  }
+  lru_.push_front(object_path);
+  slots_[object_path] = Slot{version, std::move(policy), lru_.begin()};
+}
+
+void PolicyCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  lru_.clear();
+}
+
+std::size_t PolicyCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+void PolicyCache::TouchLocked(const std::string& key, Slot& slot) {
+  lru_.erase(slot.lru_it);
+  lru_.push_front(key);
+  slot.lru_it = lru_.begin();
+}
+
+}  // namespace gaa::core

@@ -1,0 +1,58 @@
+// Policy cache (paper §9 future work: "To improve efficiency of the
+// GAA-Apache integration we will add support for caching of the retrieved
+// and translated policies for later reuse by subsequent requests").
+//
+// Bounded LRU keyed by object path.  Entries carry the PolicyStore version
+// at fill time; a version mismatch (any policy change) invalidates on read,
+// so responses to an attack — tightened policies, blacklist updates that
+// rewrite policy files — take effect immediately.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "eacl/composition.h"
+
+namespace gaa::core {
+
+class PolicyCache {
+ public:
+  explicit PolicyCache(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Look up the composed policy for `object_path` filled at store version
+  /// `version`.  A hit at a stale version is treated as a miss (and evicted).
+  std::optional<eacl::ComposedPolicy> Get(const std::string& object_path,
+                                          std::uint64_t version);
+
+  void Put(const std::string& object_path, std::uint64_t version,
+           eacl::ComposedPolicy policy);
+
+  void Clear();
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+
+ private:
+  struct Slot {
+    std::uint64_t version;
+    eacl::ComposedPolicy policy;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void TouchLocked(const std::string& key, Slot& slot);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::map<std::string, Slot> slots_;
+  std::list<std::string> lru_;  // front = most recent
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace gaa::core

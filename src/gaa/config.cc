@@ -1,0 +1,69 @@
+#include "gaa/config.h"
+
+#include "util/config.h"
+#include "util/strings.h"
+
+namespace gaa::core {
+
+namespace {
+using util::Error;
+using util::ErrorCode;
+}  // namespace
+
+util::Result<GaaConfigFile> ParseGaaConfig(std::string_view text) {
+  auto lines_or = util::ParseConfigText(text);
+  if (!lines_or.ok()) return lines_or.error();
+
+  GaaConfigFile out;
+  for (const auto& line : lines_or.value()) {
+    const auto& t = line.tokens;
+    if (t.empty()) continue;
+
+    if (t[0] == "condition") {
+      if (t.size() < 4) {
+        return Error(ErrorCode::kParseError,
+                     "line " + std::to_string(line.line_number) +
+                         ": condition needs <type> <def_auth> <routine>");
+      }
+      ConditionBinding binding;
+      binding.cond_type = t[1];
+      binding.def_auth = t[2];
+      binding.routine = t[3];
+      for (std::size_t i = 4; i < t.size(); ++i) {
+        auto eq = t[i].find('=');
+        if (eq == std::string::npos) {
+          return Error(ErrorCode::kParseError,
+                       "line " + std::to_string(line.line_number) +
+                           ": expected key=value, got '" + t[i] + "'");
+        }
+        binding.params[t[i].substr(0, eq)] = t[i].substr(eq + 1);
+      }
+      out.bindings.push_back(std::move(binding));
+      continue;
+    }
+
+    if (t[0] == "param") {
+      if (t.size() < 3) {
+        return Error(ErrorCode::kParseError,
+                     "line " + std::to_string(line.line_number) +
+                         ": param needs <key> <value>");
+      }
+      std::vector<std::string> rest(t.begin() + 2, t.end());
+      out.params[t[1]] = util::Join(rest, " ");
+      continue;
+    }
+
+    return Error(ErrorCode::kParseError,
+                 "line " + std::to_string(line.line_number) +
+                     ": unknown directive '" + t[0] + "'");
+  }
+  return out;
+}
+
+util::Result<GaaConfigFile> ParseGaaConfigFile(const std::string& path) {
+  auto text = util::ReadFileToString(path);
+  if (!text.ok()) return text.error();
+  return ParseGaaConfig(text.value());
+}
+
+}  // namespace gaa::core

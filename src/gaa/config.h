@@ -1,0 +1,43 @@
+// GAA configuration files (paper §6, initialization phase).
+//
+// "The configuration files list routines and parameters for evaluating
+// conditions specified in the policy files."  Syntax:
+//
+//     # bind a condition type (+ defining authority) to a routine from the
+//     # routine catalog; trailing key=value pairs parameterize the factory
+//     condition pre_cond_regex         gnu    builtin:glob_signature
+//     condition pre_cond_time          local  builtin:time_window
+//     condition rr_cond_notify         local  builtin:notify  recipient=sysadmin
+//
+//     # free-form parameters visible to every factory
+//     param notify.recipient sysadmin@example.org
+//
+// The system-wide configuration is processed before the local one; a local
+// binding for the same (type, authority) overrides the system binding.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaa::core {
+
+struct ConditionBinding {
+  std::string cond_type;
+  std::string def_auth;
+  std::string routine;  ///< catalog name, e.g. "builtin:glob_signature"
+  std::map<std::string, std::string> params;  ///< binding-local key=value
+};
+
+struct GaaConfigFile {
+  std::vector<ConditionBinding> bindings;
+  std::map<std::string, std::string> params;  ///< global key -> value
+};
+
+util::Result<GaaConfigFile> ParseGaaConfig(std::string_view text);
+util::Result<GaaConfigFile> ParseGaaConfigFile(const std::string& path);
+
+}  // namespace gaa::core

@@ -1,0 +1,28 @@
+#include "gaa/context.h"
+
+namespace gaa::core {
+
+const Param* RequestContext::FindParam(std::string_view type,
+                                       std::string_view authority) const {
+  for (const auto& p : params) {
+    if (p.type == type && (authority == "*" || p.authority == authority)) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+void RequestContext::AddParam(std::string type, std::string authority,
+                              std::string value) {
+  params.push_back(Param{std::move(type), std::move(authority), std::move(value)});
+}
+
+bool RequestContext::InGroup(std::string_view name) const {
+  if (!user.empty() && user == name) return true;
+  for (const auto& g : groups) {
+    if (g == name) return true;
+  }
+  return false;
+}
+
+}  // namespace gaa::core

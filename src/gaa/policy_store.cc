@@ -1,0 +1,148 @@
+#include "gaa/policy_store.h"
+
+#include "eacl/parser.h"
+#include "eacl/validate.h"
+#include "eacl/printer.h"
+#include "util/config.h"
+
+namespace gaa::core {
+
+util::VoidResult PolicyStore::AddSystemPolicy(const std::string& eacl_text) {
+  auto parsed = eacl::ParseEacl(eacl_text);
+  if (!parsed.ok()) return parsed.error();
+  auto valid = eacl::Validate(parsed.value());
+  if (!valid.ok()) return valid.error();
+  std::lock_guard<std::mutex> lock(mu_);
+  system_policies_.push_back(std::move(parsed).take());
+  system_texts_.push_back(eacl_text);
+  version_.fetch_add(1);
+  return util::VoidResult::Ok();
+}
+
+util::VoidResult PolicyStore::AddSystemPolicyFile(const std::string& path) {
+  auto text = util::ReadFileToString(path);
+  if (!text.ok()) return text.error();
+  return AddSystemPolicy(text.value());
+}
+
+util::VoidResult PolicyStore::SetLocalPolicyFile(const std::string& dir_prefix,
+                                                 const std::string& path) {
+  auto text = util::ReadFileToString(path);
+  if (!text.ok()) return text.error();
+  return SetLocalPolicy(dir_prefix, text.value());
+}
+
+util::VoidResult PolicyStore::SetLocalPolicy(const std::string& dir_prefix,
+                                             const std::string& eacl_text) {
+  auto parsed = eacl::ParseEacl(eacl_text);
+  if (!parsed.ok()) return parsed.error();
+  auto valid = eacl::Validate(parsed.value());
+  if (!valid.ok()) return valid.error();
+  std::string key = dir_prefix.empty() ? "/" : dir_prefix;
+  std::lock_guard<std::mutex> lock(mu_);
+  local_policies_[key] = std::move(parsed).take();
+  local_texts_[key] = eacl_text;
+  version_.fetch_add(1);
+  return util::VoidResult::Ok();
+}
+
+bool PolicyStore::RemoveLocalPolicy(const std::string& dir_prefix) {
+  std::string key = dir_prefix.empty() ? "/" : dir_prefix;
+  std::lock_guard<std::mutex> lock(mu_);
+  bool removed = local_policies_.erase(key) > 0;
+  local_texts_.erase(key);
+  if (removed) version_.fetch_add(1);
+  return removed;
+}
+
+void PolicyStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  system_policies_.clear();
+  system_texts_.clear();
+  local_policies_.clear();
+  local_texts_.clear();
+  version_.fetch_add(1);
+}
+
+std::vector<std::string> PolicyStore::DirectoryChain(
+    const std::string& object_path) {
+  std::vector<std::string> chain;
+  chain.push_back("/");
+  if (object_path.empty() || object_path[0] != '/') return chain;
+  std::size_t pos = 1;
+  while (pos < object_path.size()) {
+    std::size_t slash = object_path.find('/', pos);
+    if (slash == std::string::npos) break;  // final component is the object
+    chain.push_back(object_path.substr(0, slash));
+    pos = slash + 1;
+  }
+  return chain;
+}
+
+eacl::ComposedPolicy PolicyStore::PoliciesFor(
+    const std::string& object_path) const {
+  std::vector<eacl::Eacl> system_list;
+  std::vector<eacl::Eacl> local_list;
+  if (parse_on_retrieve_.load()) {
+    // Paper-faithful mode: read and translate the policy text per request
+    // (gaa_get_object_policy_info "reads the system-wide policy file,
+    // converts it to the internal EACL representation...").
+    std::vector<std::string> system_texts;
+    std::vector<std::string> local_texts;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      system_texts = system_texts_;
+      for (const auto& dir : DirectoryChain(object_path)) {
+        auto it = local_texts_.find(dir);
+        if (it != local_texts_.end()) local_texts.push_back(it->second);
+      }
+    }
+    for (const auto& text : system_texts) {
+      auto parsed = eacl::ParseEacl(text);
+      if (parsed.ok()) system_list.push_back(std::move(parsed).take());
+    }
+    for (const auto& text : local_texts) {
+      auto parsed = eacl::ParseEacl(text);
+      if (parsed.ok()) local_list.push_back(std::move(parsed).take());
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    system_list = system_policies_;
+    for (const auto& dir : DirectoryChain(object_path)) {
+      auto it = local_policies_.find(dir);
+      if (it != local_policies_.end()) local_list.push_back(it->second);
+    }
+  }
+  return eacl::Compose(std::move(system_list), std::move(local_list));
+}
+
+std::string PolicyStore::ExportSystemPolicies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (std::size_t i = 0; i < system_policies_.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += eacl::PrintEacl(system_policies_[i]);
+  }
+  return out;
+}
+
+std::optional<std::string> PolicyStore::ExportLocalPolicy(
+    const std::string& dir_prefix) const {
+  std::string key = dir_prefix.empty() ? "/" : dir_prefix;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = local_policies_.find(key);
+  if (it == local_policies_.end()) return std::nullopt;
+  return eacl::PrintEacl(it->second);
+}
+
+std::size_t PolicyStore::system_policy_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return system_policies_.size();
+}
+
+std::size_t PolicyStore::local_policy_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return local_policies_.size();
+}
+
+}  // namespace gaa::core

@@ -1,0 +1,90 @@
+// Policy retrieval (paper §6, step 2a: gaa_get_object_policy_info).
+//
+// Mirrors Apache's .htaccess behaviour: "when processing a client's request
+// to access a document Apache looks for an access control file in every
+// directory of the path to the document".  The store keeps one optional
+// system-wide policy list plus local policies attached to directory
+// prefixes; PoliciesFor(object) gathers the system-wide policies and every
+// local policy on the directory chain of `object`, root to leaf.
+//
+// A monotonically increasing version number lets the policy cache detect
+// staleness after any policy change.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eacl/ast.h"
+#include "eacl/composition.h"
+#include "util/status.h"
+
+namespace gaa::core {
+
+class PolicyStore {
+ public:
+  /// Add a system-wide policy (parsed EACL text).  Multiple system-wide
+  /// policies conjoin at evaluation time.
+  util::VoidResult AddSystemPolicy(const std::string& eacl_text);
+
+  /// File-backed variants (the paper's deployment keeps policies in
+  /// system and local policy files).
+  util::VoidResult AddSystemPolicyFile(const std::string& path);
+  util::VoidResult SetLocalPolicyFile(const std::string& dir_prefix,
+                                      const std::string& path);
+
+  /// Attach a local policy to a directory prefix, e.g. "/" or "/cgi-bin".
+  /// Replaces any previous policy at the same prefix (like rewriting the
+  /// directory's .htaccess).
+  util::VoidResult SetLocalPolicy(const std::string& dir_prefix,
+                                  const std::string& eacl_text);
+
+  /// Remove the local policy at a prefix; returns true if one existed.
+  bool RemoveLocalPolicy(const std::string& dir_prefix);
+
+  /// Drop all policies (tests).
+  void Clear();
+
+  /// Retrieve and compose the policies protecting `object_path`.
+  /// System-wide policies come first; local policies follow the directory
+  /// chain root→leaf (more-specific policies later, consistent with ordered
+  /// evaluation precedence of earlier == higher-priority policies).
+  eacl::ComposedPolicy PoliciesFor(const std::string& object_path) const;
+
+  /// Version counter bumped by every mutation; used for cache invalidation.
+  std::uint64_t version() const { return version_.load(); }
+
+  /// When enabled, PoliciesFor re-parses the stored policy *text* on every
+  /// retrieval instead of returning the pre-parsed form.  This models the
+  /// paper's implementation, which read and translated the policy files on
+  /// each request — the cost its §9 policy cache was meant to remove.  The
+  /// A1 ablation benchmarks flip this switch.
+  void SetParseOnRetrieve(bool enabled) { parse_on_retrieve_ = enabled; }
+  bool parse_on_retrieve() const { return parse_on_retrieve_; }
+
+  std::size_t system_policy_count() const;
+  std::size_t local_policy_count() const;
+
+  /// Split "/a/b/c.html" into its directory chain: "/", "/a", "/a/b".
+  static std::vector<std::string> DirectoryChain(const std::string& object_path);
+
+  /// Render the current policy set back to EACL text (policy-officer
+  /// export; round-trips through the parser).
+  std::string ExportSystemPolicies() const;
+  std::optional<std::string> ExportLocalPolicy(
+      const std::string& dir_prefix) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<eacl::Eacl> system_policies_;
+  std::vector<std::string> system_texts_;
+  std::map<std::string, eacl::Eacl> local_policies_;   // prefix -> policy
+  std::map<std::string, std::string> local_texts_;     // prefix -> text
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<bool> parse_on_retrieve_{false};
+};
+
+}  // namespace gaa::core

@@ -1,0 +1,70 @@
+#include "gaa/registry.h"
+
+namespace gaa::core {
+
+const char* ReportKindName(ReportKind kind) {
+  switch (kind) {
+    case ReportKind::kIllFormedRequest:
+      return "ill_formed_request";
+    case ReportKind::kAbnormalParameters:
+      return "abnormal_parameters";
+    case ReportKind::kSensitiveDenial:
+      return "sensitive_denial";
+    case ReportKind::kThresholdViolation:
+      return "threshold_violation";
+    case ReportKind::kDetectedAttack:
+      return "detected_attack";
+    case ReportKind::kSuspiciousBehavior:
+      return "suspicious_behavior";
+    case ReportKind::kLegitimatePattern:
+      return "legitimate_pattern";
+  }
+  return "?";
+}
+
+void ConditionRegistry::Register(std::string type, std::string def_auth,
+                                 CondRoutine routine) {
+  routines_[{std::move(type), std::move(def_auth)}] = std::move(routine);
+}
+
+bool ConditionRegistry::Unregister(const std::string& type,
+                                   const std::string& def_auth) {
+  return routines_.erase({type, def_auth}) > 0;
+}
+
+const CondRoutine* ConditionRegistry::Find(std::string_view type,
+                                           std::string_view def_auth) const {
+  auto it = routines_.find({std::string(type), std::string(def_auth)});
+  if (it != routines_.end()) return &it->second;
+  it = routines_.find({std::string(type), "*"});
+  if (it != routines_.end()) return &it->second;
+  return nullptr;
+}
+
+void RoutineCatalog::Add(std::string name, Factory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+util::Result<CondRoutine> RoutineCatalog::Make(
+    const std::string& name,
+    const std::map<std::string, std::string>& params) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return util::Error(util::ErrorCode::kNotFound,
+                       "no routine factory named '" + name + "'");
+  }
+  return it->second(params);
+}
+
+bool RoutineCatalog::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> RoutineCatalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace gaa::core

@@ -1,0 +1,96 @@
+// Condition-evaluation registry.
+//
+// Paper §5 advantage 2: "The GAA-API is structured to support the addition
+// of modules for evaluation of new conditions.  Web masters can write their
+// own routines to evaluate conditions or execute actions and register them
+// with the GAA-API ... loaded dynamically so that one does not need to
+// recompile the whole Apache package."
+//
+// Routines are registered under (condition_type, def_auth); "*" acts as a
+// def_auth wildcard.  Lookup prefers the exact authority, then the wildcard.
+// A condition whose type/authority has no registered routine is left
+// *unevaluated*, which yields GAA_MAYBE per the paper's status rules.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eacl/ast.h"
+#include "gaa/context.h"
+#include "gaa/services.h"
+#include "util/status.h"
+#include "util/tristate.h"
+
+namespace gaa::core {
+
+/// Result of evaluating one condition.
+struct EvalOutcome {
+  util::Tristate status = util::Tristate::kMaybe;
+  bool evaluated = false;  ///< false == "left unevaluated" (drives MAYBE)
+  std::string detail;      ///< human-readable trace fragment
+
+  static EvalOutcome Yes(std::string detail = {}) {
+    return {util::Tristate::kYes, true, std::move(detail)};
+  }
+  static EvalOutcome No(std::string detail = {}) {
+    return {util::Tristate::kNo, true, std::move(detail)};
+  }
+  /// Evaluated but undetermined (e.g. depends on data not yet present).
+  static EvalOutcome Maybe(std::string detail = {}) {
+    return {util::Tristate::kMaybe, true, std::move(detail)};
+  }
+  /// Deliberately not evaluated (e.g. pre_cond_redirect, whose value the
+  /// application interprets; or identity checks with no credentials yet).
+  static EvalOutcome Unevaluated(std::string detail = {}) {
+    return {util::Tristate::kMaybe, false, std::move(detail)};
+  }
+};
+
+/// A condition-evaluation routine.
+using CondRoutine = std::function<EvalOutcome(
+    const eacl::Condition&, const RequestContext&, EvalServices&)>;
+
+class ConditionRegistry {
+ public:
+  /// Register a routine for (type, def_auth).  def_auth may be "*".
+  /// Re-registration replaces (supports dynamic reload).
+  void Register(std::string type, std::string def_auth, CondRoutine routine);
+
+  /// Remove a registration; returns true if something was removed.
+  bool Unregister(const std::string& type, const std::string& def_auth);
+
+  /// Lookup with authority fallback: (type, auth) then (type, "*").
+  const CondRoutine* Find(std::string_view type,
+                          std::string_view def_auth) const;
+
+  std::size_t size() const { return routines_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, CondRoutine> routines_;
+};
+
+/// Named catalog of routine factories.  Configuration files select routines
+/// by name ("builtin:glob_signature"); this is our stand-in for the paper's
+/// dynamically-loaded shared objects — factories are looked up at
+/// initialization time, so new routines can be added without touching the
+/// GAA core or the server.
+class RoutineCatalog {
+ public:
+  using Factory = std::function<CondRoutine(
+      const std::map<std::string, std::string>& params)>;
+
+  void Add(std::string name, Factory factory);
+  util::Result<CondRoutine> Make(
+      const std::string& name,
+      const std::map<std::string, std::string>& params) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace gaa::core

@@ -1,0 +1,85 @@
+// Abstract services available to condition-evaluation routines.
+//
+// The GAA core must not depend on concrete audit / notification / IDS
+// implementations (those live in higher-level modules), so routines reach
+// them through these narrow interfaces.  Null implementations are provided
+// for contexts (unit tests, micro-benchmarks) that wire nothing up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gaa/system_state.h"
+#include "util/clock.h"
+
+namespace gaa::core {
+
+/// Administrator notification (paper: e-mail to sysadmin).  Implementations
+/// may be synchronous (the paper's measured configuration — notification
+/// latency shows up in request latency) or queued.
+class NotificationService {
+ public:
+  virtual ~NotificationService() = default;
+  /// Deliver a notification; returns false if delivery failed.
+  virtual bool Notify(const std::string& recipient, const std::string& subject,
+                      const std::string& body) = 0;
+};
+
+/// Append-only audit trail.
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+  virtual void Record(const std::string& category, const std::string& message) = 0;
+};
+
+/// The seven kinds of information the GAA-API can report to an IDS
+/// (paper §3, items 1-7).
+enum class ReportKind {
+  kIllFormedRequest = 1,    ///< §3 item 1
+  kAbnormalParameters = 2,  ///< §3 item 2
+  kSensitiveDenial = 3,     ///< §3 item 3
+  kThresholdViolation = 4,  ///< §3 item 4
+  kDetectedAttack = 5,      ///< §3 item 5
+  kSuspiciousBehavior = 6,  ///< §3 item 6
+  kLegitimatePattern = 7,   ///< §3 item 7
+};
+
+/// One report sent from the GAA-API to an IDS.  May include "threat
+/// characteristics, such as attack type and severity, confidence value and
+/// defensive recommendations" (paper §3 item 5).
+struct IdsReport {
+  ReportKind kind = ReportKind::kSuspiciousBehavior;
+  std::string source_ip;
+  std::string object;
+  std::string attack_type;  ///< e.g. "cgi_exploit", "dos_slashes"
+  int severity = 0;         ///< 0..10
+  double confidence = 0.0;  ///< 0..1
+  std::string detail;
+};
+
+/// Reporting channel from the GAA-API to an IDS.
+class IdsChannel {
+ public:
+  virtual ~IdsChannel() = default;
+
+  virtual void Report(const IdsReport& report) = 0;
+
+  /// Ask the network IDS whether the source address shows signs of spoofing
+  /// (paper §3: consulted before pro-active countermeasures).
+  virtual bool SuspectedSpoofing(const std::string& source_ip) = 0;
+};
+
+/// Bundle handed to every condition routine.  Non-owning pointers; any of
+/// the service pointers may be null (routines must degrade gracefully —
+/// an unavailable notification sink is a failed condition, not a crash).
+struct EvalServices {
+  SystemState* state = nullptr;
+  util::Clock* clock = nullptr;
+  NotificationService* notifier = nullptr;
+  AuditSink* audit = nullptr;
+  IdsChannel* ids = nullptr;
+};
+
+const char* ReportKindName(ReportKind kind);
+
+}  // namespace gaa::core

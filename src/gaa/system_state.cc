@@ -1,0 +1,119 @@
+#include "gaa/system_state.h"
+
+#include "util/strings.h"
+
+namespace gaa::core {
+
+const char* ThreatLevelName(ThreatLevel level) {
+  switch (level) {
+    case ThreatLevel::kLow:
+      return "low";
+    case ThreatLevel::kMedium:
+      return "medium";
+    case ThreatLevel::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+std::optional<ThreatLevel> ParseThreatLevel(std::string_view token) {
+  if (util::EqualsIgnoreCase(token, "low")) return ThreatLevel::kLow;
+  if (util::EqualsIgnoreCase(token, "medium")) return ThreatLevel::kMedium;
+  if (util::EqualsIgnoreCase(token, "high")) return ThreatLevel::kHigh;
+  return std::nullopt;
+}
+
+SystemState::SystemState(util::Clock* clock) : clock_(clock) {}
+
+ThreatLevel SystemState::threat_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threat_level_;
+}
+
+void SystemState::SetThreatLevel(ThreatLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threat_level_ = level;
+}
+
+void SystemState::AddGroupMember(const std::string& group,
+                                 const std::string& member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  groups_[group].insert(member);
+}
+
+void SystemState::RemoveGroupMember(const std::string& group,
+                                    const std::string& member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(group);
+  if (it != groups_.end()) it->second.erase(member);
+}
+
+bool SystemState::GroupContains(const std::string& group,
+                                const std::string& member) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.count(member) > 0;
+}
+
+std::size_t SystemState::GroupSize(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> SystemState::GroupMembers(
+    const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::size_t SystemState::RecordEvent(const std::string& key,
+                                     util::DurationUs window_us) {
+  util::TimePoint now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& q = events_[key];
+  q.push_back(now);
+  while (!q.empty() && q.front() < now - window_us) q.pop_front();
+  return q.size();
+}
+
+std::size_t SystemState::CountEvents(const std::string& key,
+                                     util::DurationUs window_us) const {
+  util::TimePoint now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = events_.find(key);
+  if (it == events_.end()) return 0;
+  std::size_t n = 0;
+  for (util::TimePoint t : it->second) {
+    if (t >= now - window_us) ++n;
+  }
+  return n;
+}
+
+void SystemState::SetVariable(const std::string& name,
+                              const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  variables_[name] = value;
+}
+
+std::optional<std::string> SystemState::GetVariable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = variables_.find(name);
+  if (it == variables_.end()) return std::nullopt;
+  return it->second;
+}
+
+double SystemState::system_load() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return system_load_;
+}
+
+void SystemState::SetSystemLoad(double load) {
+  std::lock_guard<std::mutex> lock(mu_);
+  system_load_ = load;
+}
+
+}  // namespace gaa::core

@@ -1,0 +1,75 @@
+// Shared mutable system state read and written by policy conditions.
+//
+// Paper §2: "The policy evaluation mechanism is extended with the ability to
+// read and write system state."  Conditions consult the threat level, group
+// membership (the BadGuys blacklist), counters (failed logins within a
+// window) and named variables; response actions update them.  All access is
+// thread-safe: server workers evaluate policies concurrently while the IDS
+// adjusts the threat level.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/tristate.h"
+
+namespace gaa::core {
+
+/// System threat profile supplied by an IDS (paper §7.1): low = normal
+/// operation, medium = suspicious behaviour observed, high = under attack.
+enum class ThreatLevel { kLow = 0, kMedium = 1, kHigh = 2 };
+
+const char* ThreatLevelName(ThreatLevel level);
+std::optional<ThreatLevel> ParseThreatLevel(std::string_view token);
+
+class SystemState {
+ public:
+  explicit SystemState(util::Clock* clock);
+
+  // --- threat level -------------------------------------------------------
+  ThreatLevel threat_level() const;
+  void SetThreatLevel(ThreatLevel level);
+
+  // --- named groups (e.g. the BadGuys blacklist of suspicious IPs) --------
+  void AddGroupMember(const std::string& group, const std::string& member);
+  void RemoveGroupMember(const std::string& group, const std::string& member);
+  bool GroupContains(const std::string& group, const std::string& member) const;
+  std::size_t GroupSize(const std::string& group) const;
+  std::vector<std::string> GroupMembers(const std::string& group) const;
+
+  // --- sliding-window event counters (failed logins per source, ...) ------
+  /// Record one event for `key` now; returns the number of events for `key`
+  /// within the trailing `window_us` window (including this one).
+  std::size_t RecordEvent(const std::string& key, util::DurationUs window_us);
+  std::size_t CountEvents(const std::string& key,
+                          util::DurationUs window_us) const;
+
+  // --- free-form variables (adaptive thresholds, admin toggles) -----------
+  void SetVariable(const std::string& name, const std::string& value);
+  std::optional<std::string> GetVariable(const std::string& name) const;
+
+  // --- load metric consulted by time/load-adaptive policies ---------------
+  double system_load() const;
+  void SetSystemLoad(double load);
+
+  util::Clock& clock() const { return *clock_; }
+
+ private:
+  util::Clock* clock_;
+  mutable std::mutex mu_;
+  ThreatLevel threat_level_ = ThreatLevel::kLow;
+  double system_load_ = 0.0;
+  std::map<std::string, std::set<std::string>> groups_;
+  std::map<std::string, std::deque<util::TimePoint>> events_;
+  std::map<std::string, std::string> variables_;
+};
+
+}  // namespace gaa::core

@@ -1,0 +1,154 @@
+#include "http/doc_tree.h"
+
+#include "util/strings.h"
+
+namespace gaa::http {
+
+namespace {
+
+/// Directory chain of "/a/b/c": "/", "/a", "/a/b".
+std::vector<std::string> DirectoryChain(const std::string& path) {
+  std::vector<std::string> chain;
+  chain.push_back("/");
+  if (path.empty() || path[0] != '/') return chain;
+  std::size_t pos = 1;
+  while (pos < path.size()) {
+    std::size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) break;
+    chain.push_back(path.substr(0, slash));
+    pos = slash + 1;
+  }
+  return chain;
+}
+
+}  // namespace
+
+void DocTree::AddDocument(const std::string& path, Document doc) {
+  documents_[path] = std::move(doc);
+}
+
+void DocTree::AddCgi(const std::string& path, CgiScript script) {
+  cgis_[path] = std::move(script);
+}
+
+void DocTree::AddStreamingCgi(const std::string& path,
+                              StreamingCgiScript script) {
+  streaming_cgis_[path] = std::move(script);
+}
+
+void DocTree::SetHtaccess(const std::string& dir, std::string htaccess_text) {
+  htaccess_[dir.empty() ? "/" : dir] = std::move(htaccess_text);
+}
+
+const Document* DocTree::FindDocument(const std::string& path) const {
+  auto it = documents_.find(path);
+  return it == documents_.end() ? nullptr : &it->second;
+}
+
+const CgiScript* DocTree::FindCgi(const std::string& path) const {
+  auto it = cgis_.find(path);
+  return it == cgis_.end() ? nullptr : &it->second;
+}
+
+const StreamingCgiScript* DocTree::FindStreamingCgi(
+    const std::string& path) const {
+  auto it = streaming_cgis_.find(path);
+  return it == streaming_cgis_.end() ? nullptr : &it->second;
+}
+
+bool DocTree::Exists(const std::string& path) const {
+  return documents_.count(path) > 0 || cgis_.count(path) > 0 ||
+         streaming_cgis_.count(path) > 0;
+}
+
+std::vector<std::string> DocTree::HtaccessChain(const std::string& path) const {
+  std::vector<std::string> out;
+  for (const auto& dir : DirectoryChain(path)) {
+    auto it = htaccess_.find(dir);
+    if (it != htaccess_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::size_t DocTree::document_count() const {
+  return documents_.size();
+}
+
+std::size_t DocTree::cgi_count() const {
+  return cgis_.size();
+}
+
+DocTree DocTree::DemoSite() {
+  DocTree tree;
+  tree.AddDocument("/index.html",
+                   {"<html><body>Welcome to the demo site</body></html>"});
+  tree.AddDocument("/docs/guide.html",
+                   {"<html><body>User guide</body></html>"});
+  tree.AddDocument("/docs/api.html", {"<html><body>API docs</body></html>"});
+  tree.AddDocument("/private/report.html",
+                   {"<html><body>Quarterly numbers</body></html>"});
+  tree.AddDocument("/private/logs/system.log", {"system log contents",
+                                                "text/plain"});
+
+  // The historical phf phonebook CGI: on a benign query it echoes matches;
+  // a newline meta-character smuggled through (%0a) makes it "run" the
+  // appended command — the §7.2 penetration vector.
+  tree.AddCgi("/cgi-bin/phf", [](const std::string& query) {
+    CgiResult r;
+    r.cpu_seconds = 0.002;
+    if (query.find('\n') != std::string::npos ||
+        query.find("%0a") != std::string::npos ||
+        query.find("%0A") != std::string::npos) {
+      r.output = "phf: executing appended command (vulnerability triggered)";
+      r.files_touched.push_back("/etc/passwd");
+      r.cpu_seconds = 0.05;
+    } else {
+      r.output = "phf: no matches for '" + query + "'";
+    }
+    return r;
+  });
+
+  // test-cgi: discloses its environment — an information-leak probe target.
+  tree.AddCgi("/cgi-bin/test-cgi", [](const std::string& query) {
+    CgiResult r;
+    r.output = "CGI test environment:\nQUERY_STRING=" + query + "\n";
+    r.cpu_seconds = 0.001;
+    return r;
+  });
+
+  // A normal search CGI whose cost scales with input size (gives the
+  // mid-condition resource monitor something real to watch).
+  tree.AddCgi("/cgi-bin/search", [](const std::string& query) {
+    CgiResult r;
+    r.cpu_seconds = 0.0005 + 0.00001 * static_cast<double>(query.size());
+    r.memory_bytes = (1 << 16) + query.size() * 64;
+    r.output = "search results for '" + query + "'";
+    return r;
+  });
+
+  // A long-running report generator: 20 steps of 25 ms CPU each — the
+  // execution-control phase's chance to pull the plug mid-operation.
+  tree.AddStreamingCgi(
+      "/cgi-bin/bigreport",
+      [](std::size_t step, const std::string& /*query*/)
+          -> std::optional<CgiStep> {
+        if (step >= 20) return std::nullopt;
+        CgiStep s;
+        s.chunk = "report section " + std::to_string(step) + "\n";
+        s.cpu_seconds = 0.025;
+        s.memory_bytes = 1 << 16;
+        return s;
+      });
+
+  // A status CGI that writes a scratch file (suspicious-behaviour signal).
+  tree.AddCgi("/cgi-bin/status", [](const std::string& /*query*/) {
+    CgiResult r;
+    r.output = "server status: OK";
+    r.files_touched.push_back("/tmp/status.scratch");
+    return r;
+  });
+
+  return tree;
+}
+
+}  // namespace gaa::http

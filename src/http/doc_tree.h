@@ -1,0 +1,88 @@
+// Virtual document tree: the web server's content store.
+//
+// Holds static documents and simulated CGI scripts keyed by URL path, plus
+// optional per-directory .htaccess text for the baseline access-control
+// engine.  CGI scripts are C++ callables with an explicit cost model
+// (cpu-seconds and output size as functions of the input), which lets
+// mid-conditions observe "a user process consumes excessive system
+// resources" deterministically.  Vulnerable scripts (phf, test-cgi) are
+// provided for the §7.2 scenario: they misbehave on meta-character input
+// exactly the way the historical ones did.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gaa::http {
+
+/// What a CGI execution did — consumed by the execution-control phase.
+struct CgiResult {
+  bool ok = true;
+  std::string output;
+  double cpu_seconds = 0.001;
+  std::uint64_t memory_bytes = 1 << 16;
+  std::vector<std::string> files_touched;  ///< paths the script wrote
+};
+
+/// A simulated CGI program: query string in, CgiResult out.
+using CgiScript = std::function<CgiResult(const std::string& query)>;
+
+/// A long-running CGI program that produces its output in steps, so the
+/// execution-control phase can observe (and abort) it mid-flight — the
+/// paper's phase 3 runs "during the execution of the authorized
+/// operation".  Called with the step index; returns the chunk for that
+/// step, or nullopt when the program is done.
+struct CgiStep {
+  std::string chunk;
+  double cpu_seconds = 0.001;        ///< CPU consumed by this step
+  std::uint64_t memory_bytes = 0;    ///< additional memory held after it
+  std::vector<std::string> files_touched;
+};
+using StreamingCgiScript =
+    std::function<std::optional<CgiStep>(std::size_t step,
+                                         const std::string& query)>;
+
+struct Document {
+  std::string content;
+  std::string content_type = "text/html";
+};
+
+/// NOTE: not internally synchronized — populate the tree before serving;
+/// concurrent reads are safe once mutation stops.
+class DocTree {
+ public:
+  void AddDocument(const std::string& path, Document doc);
+  void AddCgi(const std::string& path, CgiScript script);
+  void AddStreamingCgi(const std::string& path, StreamingCgiScript script);
+  /// Attach .htaccess text to a directory ("/", "/private", ...).
+  void SetHtaccess(const std::string& dir, std::string htaccess_text);
+
+  const Document* FindDocument(const std::string& path) const;
+  const CgiScript* FindCgi(const std::string& path) const;
+  const StreamingCgiScript* FindStreamingCgi(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+
+  /// Concatenated .htaccess texts along the directory chain of `path`
+  /// (root first) — Apache consults every directory on the way down.
+  std::vector<std::string> HtaccessChain(const std::string& path) const;
+
+  std::size_t document_count() const;
+  std::size_t cgi_count() const;
+
+  /// A ready-made site: /index.html, /docs/*, /private/* (auth-protected
+  /// area), /cgi-bin/{phf,test-cgi,search,status} — the section-7 scenarios
+  /// and benchmarks all run against this tree.
+  static DocTree DemoSite();
+
+ private:
+  std::map<std::string, Document> documents_;
+  std::map<std::string, CgiScript> cgis_;
+  std::map<std::string, StreamingCgiScript> streaming_cgis_;
+  std::map<std::string, std::string> htaccess_;
+};
+
+}  // namespace gaa::http

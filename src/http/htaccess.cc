@@ -1,0 +1,189 @@
+#include "http/htaccess.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace gaa::http {
+
+namespace {
+
+using util::EqualsIgnoreCase;
+
+bool MatchesAny(const std::vector<util::CidrBlock>& blocks,
+                util::Ipv4Address addr) {
+  for (const auto& block : blocks) {
+    if (block.Contains(addr)) return true;
+  }
+  return false;
+}
+
+/// Host-rule outcome under Order semantics (Apache 1.3 model).
+bool HostAllowed(const HtaccessConfig& config, util::Ipv4Address addr) {
+  bool denied = config.deny_all || MatchesAny(config.deny_from, addr);
+  bool allowed = config.allow_all || MatchesAny(config.allow_from, addr);
+  switch (config.order) {
+    case AccessOrder::kDenyAllow:
+      // Deny rules evaluated first; Allow rules override; default allow.
+      if (allowed) return true;
+      if (denied) return false;
+      return true;
+    case AccessOrder::kAllowDeny:
+      // Allow first; Deny overrides; default deny.
+      if (denied) return false;
+      if (allowed) return true;
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HtaccessConfig::HasHostRules() const {
+  return deny_all || allow_all || !deny_from.empty() || !allow_from.empty();
+}
+
+bool HtaccessConfig::HasAuthRules() const {
+  return require_valid_user || !require_users.empty();
+}
+
+util::Result<HtaccessConfig> ParseHtaccess(std::string_view text) {
+  HtaccessConfig config;
+  int line_no = 0;
+  for (const auto& raw_line : util::Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto tokens = util::SplitWhitespace(line);
+    const std::string& directive = tokens[0];
+    auto fail = [&](const std::string& what) {
+      return util::Error(util::ErrorCode::kParseError,
+                         ".htaccess line " + std::to_string(line_no) + ": " +
+                             what);
+    };
+
+    if (EqualsIgnoreCase(directive, "Order")) {
+      if (tokens.size() < 2) return fail("Order needs an argument");
+      // Apache accepts "Deny,Allow" (no space) or "Deny, Allow".
+      std::string arg = util::ToLower(util::Join(
+          std::vector<std::string>(tokens.begin() + 1, tokens.end()), ""));
+      if (arg == "deny,allow") {
+        config.order = AccessOrder::kDenyAllow;
+      } else if (arg == "allow,deny") {
+        config.order = AccessOrder::kAllowDeny;
+      } else {
+        return fail("bad Order '" + arg + "'");
+      }
+      continue;
+    }
+
+    if (EqualsIgnoreCase(directive, "Deny") ||
+        EqualsIgnoreCase(directive, "Allow")) {
+      bool is_deny = EqualsIgnoreCase(directive, "Deny");
+      if (tokens.size() < 3 || !EqualsIgnoreCase(tokens[1], "from")) {
+        return fail(directive + " needs 'from <host...>'");
+      }
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (EqualsIgnoreCase(tokens[i], "All")) {
+          (is_deny ? config.deny_all : config.allow_all) = true;
+          continue;
+        }
+        auto block = util::CidrBlock::Parse(tokens[i]);
+        if (!block.has_value()) return fail("bad host '" + tokens[i] + "'");
+        (is_deny ? config.deny_from : config.allow_from).push_back(*block);
+      }
+      continue;
+    }
+
+    if (EqualsIgnoreCase(directive, "AuthType")) {
+      if (tokens.size() != 2 || !EqualsIgnoreCase(tokens[1], "Basic")) {
+        return fail("only 'AuthType Basic' is supported");
+      }
+      config.auth_basic = true;
+      continue;
+    }
+
+    if (EqualsIgnoreCase(directive, "AuthUserFile")) {
+      if (tokens.size() != 2) return fail("AuthUserFile needs a path");
+      config.auth_user_file = tokens[1];
+      continue;
+    }
+
+    if (EqualsIgnoreCase(directive, "AuthName")) {
+      if (tokens.size() < 2) return fail("AuthName needs a value");
+      config.auth_name = util::Join(
+          std::vector<std::string>(tokens.begin() + 1, tokens.end()), " ");
+      continue;
+    }
+
+    if (EqualsIgnoreCase(directive, "Require")) {
+      if (tokens.size() < 2) return fail("Require needs an argument");
+      if (EqualsIgnoreCase(tokens[1], "valid-user")) {
+        config.require_valid_user = true;
+      } else if (EqualsIgnoreCase(tokens[1], "user")) {
+        if (tokens.size() < 3) return fail("Require user needs names");
+        config.require_users.insert(config.require_users.end(),
+                                    tokens.begin() + 2, tokens.end());
+      } else {
+        return fail("unsupported Require '" + tokens[1] + "'");
+      }
+      continue;
+    }
+
+    if (EqualsIgnoreCase(directive, "Satisfy")) {
+      if (tokens.size() != 2) return fail("Satisfy needs All|Any");
+      if (EqualsIgnoreCase(tokens[1], "All")) {
+        config.satisfy = SatisfyMode::kAll;
+      } else if (EqualsIgnoreCase(tokens[1], "Any")) {
+        config.satisfy = SatisfyMode::kAny;
+      } else {
+        return fail("bad Satisfy '" + tokens[1] + "'");
+      }
+      continue;
+    }
+
+    return fail("unknown directive '" + directive + "'");
+  }
+  return config;
+}
+
+HtaccessDecision EvaluateHtaccess(const HtaccessConfig& config,
+                                  RequestRec& rec,
+                                  const HtpasswdRegistry& passwords) {
+  bool host_ok = !config.HasHostRules() || HostAllowed(config, rec.client_ip);
+
+  bool auth_needed = config.HasAuthRules();
+  bool auth_ok = false;
+  if (auth_needed) {
+    auto creds = rec.BasicCredentials();
+    if (creds.has_value()) {
+      const HtpasswdStore* store =
+          config.auth_user_file.empty()
+              ? nullptr
+              : passwords.Find(config.auth_user_file);
+      if (store != nullptr && store->Check(creds->first, creds->second)) {
+        bool user_listed =
+            config.require_valid_user ||
+            std::find(config.require_users.begin(), config.require_users.end(),
+                      creds->first) != config.require_users.end();
+        if (user_listed) {
+          auth_ok = true;
+          rec.auth_user = creds->first;
+          rec.authenticated = true;
+        }
+      }
+    }
+  }
+
+  if (config.satisfy == SatisfyMode::kAny && auth_needed) {
+    if (host_ok || auth_ok) return HtaccessDecision::kAllow;
+    return auth_ok ? HtaccessDecision::kDeny : HtaccessDecision::kAuthRequired;
+  }
+
+  // Satisfy All (or no auth rules): every present constraint must hold.
+  if (!host_ok) return HtaccessDecision::kDeny;
+  if (auth_needed && !auth_ok) return HtaccessDecision::kAuthRequired;
+  return HtaccessDecision::kAllow;
+}
+
+}  // namespace gaa::http

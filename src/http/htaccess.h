@@ -1,0 +1,64 @@
+// Baseline Apache access control: the .htaccess subset the paper describes
+// (§4) — Order/Deny/Allow host rules, Basic authentication against an
+// AuthUserFile, and the Satisfy All/Any combination.  This is the system
+// the GAA integration replaces; bench/bench_baseline compares the two.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/htpasswd.h"
+#include "http/request.h"
+#include "util/ip.h"
+#include "util/status.h"
+
+namespace gaa::http {
+
+enum class AccessOrder {
+  kDenyAllow,  ///< "Order Deny,Allow": deny rules first, default allow
+  kAllowDeny,  ///< "Order Allow,Deny": allow rules first, default deny
+};
+
+enum class SatisfyMode {
+  kAll,  ///< host restriction AND user authentication
+  kAny,  ///< host restriction OR user authentication
+};
+
+/// Parsed .htaccess contents.
+struct HtaccessConfig {
+  AccessOrder order = AccessOrder::kDenyAllow;
+  bool deny_all = false;
+  bool allow_all = false;
+  std::vector<util::CidrBlock> deny_from;
+  std::vector<util::CidrBlock> allow_from;
+
+  bool auth_basic = false;           ///< "AuthType Basic" seen
+  std::string auth_user_file;        ///< AuthUserFile name (registry key)
+  std::string auth_name = "restricted";  ///< realm
+  bool require_valid_user = false;
+  std::vector<std::string> require_users;  ///< "Require user a b"
+
+  SatisfyMode satisfy = SatisfyMode::kAll;
+
+  /// Whether any host rule / any auth rule is present.
+  bool HasHostRules() const;
+  bool HasAuthRules() const;
+};
+
+util::Result<HtaccessConfig> ParseHtaccess(std::string_view text);
+
+enum class HtaccessDecision {
+  kAllow,
+  kDeny,          ///< 403
+  kAuthRequired,  ///< 401 challenge
+};
+
+/// Evaluate the baseline policy for a request.  On success with Basic
+/// credentials present, sets rec.auth_user / rec.authenticated.
+HtaccessDecision EvaluateHtaccess(const HtaccessConfig& config,
+                                  RequestRec& rec,
+                                  const HtpasswdRegistry& passwords);
+
+}  // namespace gaa::http

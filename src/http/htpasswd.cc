@@ -1,0 +1,131 @@
+#include "http/htpasswd.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace gaa::http {
+
+namespace {
+
+/// FNV-1a 64-bit, iterated — a toy KDF standing in for crypt(3).
+std::uint64_t Fnv1a(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = 14695981039346656037ull ^ seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+HtpasswdStore::HtpasswdStore(HtpasswdStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  entries_ = std::move(other.entries_);
+}
+
+HtpasswdStore& HtpasswdStore::operator=(HtpasswdStore&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    entries_ = std::move(other.entries_);
+  }
+  return *this;
+}
+
+std::string HtpasswdStore::HashPassword(const std::string& password,
+                                        std::uint64_t salt) {
+  std::uint64_t h = salt;
+  for (int round = 0; round < 64; ++round) {
+    h = Fnv1a(password, h);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx$%016llx",
+                static_cast<unsigned long long>(salt),
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void HtpasswdStore::SetUser(const std::string& user,
+                            const std::string& password) {
+  // Deterministic salt derived from the user name keeps the simulator
+  // reproducible while still exercising per-user salting.
+  std::uint64_t salt = Fnv1a(user, 0x5a17);
+  std::string entry = HashPassword(password, salt);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[user] = entry;
+}
+
+bool HtpasswdStore::RemoveUser(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.erase(user) > 0;
+}
+
+bool HtpasswdStore::Check(const std::string& user,
+                          const std::string& password) const {
+  std::string stored;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(user);
+    if (it == entries_.end()) return false;
+    stored = it->second;
+  }
+  auto dollar = stored.find('$');
+  if (dollar == std::string::npos) return false;
+  unsigned long long salt = 0;
+  if (std::sscanf(stored.c_str(), "%llx", &salt) != 1) {
+    return false;
+  }
+  return HashPassword(password, static_cast<std::uint64_t>(salt)) == stored;
+}
+
+bool HtpasswdStore::HasUser(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(user) > 0;
+}
+
+std::size_t HtpasswdStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string HtpasswdStore::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [user, entry] : entries_) {
+    out += user + ":" + entry + "\n";
+  }
+  return out;
+}
+
+util::Result<HtpasswdStore> HtpasswdStore::Parse(std::string_view text) {
+  HtpasswdStore store;
+  int line_no = 0;
+  for (const auto& line : util::Split(text, '\n')) {
+    ++line_no;
+    auto trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto colon = trimmed.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return util::Error(util::ErrorCode::kParseError,
+                         "htpasswd line " + std::to_string(line_no) +
+                             ": missing ':'");
+    }
+    store.entries_[std::string(trimmed.substr(0, colon))] =
+        std::string(trimmed.substr(colon + 1));
+  }
+  return store;
+}
+
+HtpasswdStore& HtpasswdRegistry::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_[name];
+}
+
+const HtpasswdStore* HtpasswdRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stores_.find(name);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+}  // namespace gaa::http

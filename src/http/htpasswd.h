@@ -1,0 +1,61 @@
+// htpasswd-style credential store (paper §4: "username/password pairs are
+// stored in a separate file specified by the AuthUserFile directive").
+//
+// Passwords are stored salted-and-hashed (FNV-based toy KDF — adequate for
+// a simulator; the interface is what matters).  Files use the classic
+// "user:hash" line format and can be loaded/saved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaa::http {
+
+class HtpasswdStore {
+ public:
+  HtpasswdStore() = default;
+  // Movable (the mutex is not moved) so stores can travel through Result<>.
+  HtpasswdStore(HtpasswdStore&& other) noexcept;
+  HtpasswdStore& operator=(HtpasswdStore&& other) noexcept;
+
+  /// Add or replace a user with a plaintext password (hashed on store).
+  void SetUser(const std::string& user, const std::string& password);
+  bool RemoveUser(const std::string& user);
+
+  /// Verify credentials.
+  bool Check(const std::string& user, const std::string& password) const;
+  bool HasUser(const std::string& user) const;
+  std::size_t size() const;
+
+  /// Serialize to the "user:salt$hash" line format / parse it back.
+  std::string Serialize() const;
+  static util::Result<HtpasswdStore> Parse(std::string_view text);
+
+ private:
+  static std::string HashPassword(const std::string& password,
+                                  std::uint64_t salt);
+
+  mutable std::mutex mu_;
+  // user -> "salt$hash"
+  std::map<std::string, std::string> entries_;
+};
+
+/// Registry of named htpasswd stores, standing in for the filesystem paths
+/// an AuthUserFile directive names.
+class HtpasswdRegistry {
+ public:
+  HtpasswdStore& GetOrCreate(const std::string& name);
+  const HtpasswdStore* Find(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, HtpasswdStore> stores_;
+};
+
+}  // namespace gaa::http

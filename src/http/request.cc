@@ -1,0 +1,202 @@
+#include "http/request.h"
+
+#include "util/strings.h"
+
+namespace gaa::http {
+
+namespace {
+
+bool IsTokenChar(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '_';
+}
+
+bool IsKnownMethod(std::string_view method) {
+  return method == "GET" || method == "POST" || method == "HEAD" ||
+         method == "PUT" || method == "DELETE" || method == "OPTIONS" ||
+         method == "TRACE";
+}
+
+ParseResult Fail(RequestDefect defect, std::string detail) {
+  ParseResult out;
+  out.defect = defect;
+  out.detail = std::move(detail);
+  return out;
+}
+
+}  // namespace
+
+const char* RequestDefectName(RequestDefect defect) {
+  switch (defect) {
+    case RequestDefect::kNone:
+      return "none";
+    case RequestDefect::kBadRequestLine:
+      return "bad_request_line";
+    case RequestDefect::kBadMethod:
+      return "bad_method";
+    case RequestDefect::kBadVersion:
+      return "bad_version";
+    case RequestDefect::kBadEscape:
+      return "bad_escape";
+    case RequestDefect::kControlBytes:
+      return "control_bytes";
+    case RequestDefect::kOversizedHeader:
+      return "oversized_header";
+    case RequestDefect::kTooManyHeaders:
+      return "too_many_headers";
+    case RequestDefect::kBadHeader:
+      return "bad_header";
+    case RequestDefect::kOversizedTarget:
+      return "oversized_target";
+  }
+  return "?";
+}
+
+std::optional<std::pair<std::string, std::string>>
+RequestRec::BasicCredentials() const {
+  const std::string* auth = Header("authorization");
+  if (auth == nullptr) return std::nullopt;
+  std::string_view value = util::Trim(*auth);
+  if (!util::StartsWith(value, "Basic ") &&
+      !util::StartsWith(value, "basic ")) {
+    return std::nullopt;
+  }
+  auto decoded = util::Base64Decode(util::Trim(value.substr(6)));
+  if (!decoded.has_value()) return std::nullopt;
+  auto colon = decoded->find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  return std::make_pair(decoded->substr(0, colon), decoded->substr(colon + 1));
+}
+
+const std::string* RequestRec::Header(const std::string& lower_name) const {
+  auto it = headers.find(lower_name);
+  return it == headers.end() ? nullptr : &it->second;
+}
+
+ParseResult ParseRequest(std::string_view text, const ParseLimits& limits) {
+  // Split head and body at the first blank line.
+  std::size_t head_end = text.find("\r\n\r\n");
+  std::size_t body_start;
+  if (head_end != std::string_view::npos) {
+    body_start = head_end + 4;
+  } else {
+    head_end = text.find("\n\n");
+    if (head_end != std::string_view::npos) {
+      body_start = head_end + 2;
+    } else {
+      head_end = text.size();
+      body_start = text.size();
+    }
+  }
+  std::string_view head = text.substr(0, head_end);
+  for (char c : head) {
+    auto u = static_cast<unsigned char>(c);
+    if (u != '\r' && u != '\n' && u != '\t' && (u < 0x20 || u > 0x7e)) {
+      return Fail(RequestDefect::kControlBytes,
+                  "control byte in request head");
+    }
+  }
+
+  // Request line.
+  std::size_t line_end = head.find('\n');
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.remove_suffix(1);
+  }
+  auto parts = util::SplitWhitespace(request_line);
+  if (parts.size() != 3) {
+    return Fail(RequestDefect::kBadRequestLine,
+                "request line has " + std::to_string(parts.size()) +
+                    " fields");
+  }
+  RequestRec rec;
+  rec.method = parts[0];
+  rec.raw_target = parts[1];
+  rec.http_version = parts[2];
+
+  for (char c : rec.method) {
+    if (!IsTokenChar(c)) {
+      return Fail(RequestDefect::kBadMethod, "method contains '" +
+                                                 std::string(1, c) + "'");
+    }
+  }
+  if (!IsKnownMethod(rec.method)) {
+    return Fail(RequestDefect::kBadMethod, "unknown method " + rec.method);
+  }
+  if (rec.http_version != "HTTP/1.0" && rec.http_version != "HTTP/1.1") {
+    return Fail(RequestDefect::kBadVersion, rec.http_version);
+  }
+  if (rec.raw_target.size() > limits.max_target_bytes) {
+    return Fail(RequestDefect::kOversizedTarget,
+                std::to_string(rec.raw_target.size()) + " bytes");
+  }
+
+  // Split path / query, decode the path.
+  std::string_view target = rec.raw_target;
+  auto qmark = target.find('?');
+  std::string_view path_part =
+      qmark == std::string_view::npos ? target : target.substr(0, qmark);
+  rec.query = qmark == std::string_view::npos
+                  ? std::string()
+                  : std::string(target.substr(qmark + 1));
+  auto decoded = util::UrlDecode(path_part);
+  if (!decoded.has_value()) {
+    return Fail(RequestDefect::kBadEscape, std::string(path_part));
+  }
+  rec.path = *decoded;
+
+  // Headers.
+  std::size_t header_count = 0;
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 1;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? head.substr(pos)
+                                : head.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? head.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    if (line.size() > limits.max_header_bytes) {
+      return Fail(RequestDefect::kOversizedHeader,
+                  std::to_string(line.size()) + " bytes");
+    }
+    if (++header_count > limits.max_headers) {
+      return Fail(RequestDefect::kTooManyHeaders,
+                  "more than " + std::to_string(limits.max_headers));
+    }
+    auto colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(RequestDefect::kBadHeader, std::string(line));
+    }
+    std::string name = util::ToLower(util::Trim(line.substr(0, colon)));
+    std::string value(util::Trim(line.substr(colon + 1)));
+    auto [it, inserted] = rec.headers.emplace(name, value);
+    if (!inserted) {
+      it->second += ", ";
+      it->second += value;  // Apache-style duplicate folding
+    }
+  }
+
+  rec.body = std::string(text.substr(body_start));
+  ParseResult out;
+  out.request = std::move(rec);
+  return out;
+}
+
+std::string BuildGetRequest(const std::string& target,
+                            const std::map<std::string, std::string>& headers) {
+  std::string out = "GET " + target + " HTTP/1.1\r\n";
+  if (headers.find("Host") == headers.end() &&
+      headers.find("host") == headers.end()) {
+    out += "Host: localhost\r\n";
+  }
+  for (const auto& [k, v] : headers) {
+    out += k + ": " + v + "\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+}  // namespace gaa::http

@@ -1,0 +1,92 @@
+// HTTP request parsing and the Apache-like request record.
+//
+// The parser accepts HTTP/1.0-1.1 request text and produces a RequestRec —
+// our stand-in for Apache's request_rec, the structure the paper's glue
+// code mines for GAA parameters (§6 step 2b).  Parsing is deliberately
+// strict and *diagnostic*: hostile input is the norm, so instead of just
+// failing, the parser labels what is wrong (ill-formed request line, bad
+// percent-escapes, control bytes, oversized fields) — those labels feed the
+// GAA→IDS "ill-formed access request" reports (§3 item 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ip.h"
+#include "util/status.h"
+
+namespace gaa::http {
+
+/// Problems the parser can diagnose on hostile input.
+enum class RequestDefect {
+  kNone = 0,
+  kBadRequestLine,    ///< not "METHOD SP target SP HTTP/x.y"
+  kBadMethod,         ///< unknown / non-token method
+  kBadVersion,        ///< not HTTP/1.0 or HTTP/1.1
+  kBadEscape,         ///< malformed %xx in the target
+  kControlBytes,      ///< non-printable bytes in the head
+  kOversizedHeader,   ///< a single header exceeds the limit
+  kTooManyHeaders,    ///< header count exceeds the limit (the §1 DoS:
+                      ///< "a large number of HTTP headers")
+  kBadHeader,         ///< header without ':'
+  kOversizedTarget,   ///< request target exceeds the limit
+};
+
+const char* RequestDefectName(RequestDefect defect);
+
+/// Parser limits (exposed so tests and the DoS workload can probe them).
+struct ParseLimits {
+  std::size_t max_target_bytes = 8192;
+  std::size_t max_header_bytes = 8192;
+  std::size_t max_headers = 100;
+};
+
+/// Our request_rec: everything downstream processing needs.
+struct RequestRec {
+  // request line
+  std::string method;       ///< "GET", "POST", "HEAD"
+  std::string raw_target;   ///< undecoded, e.g. "/cgi-bin/phf?Qalias=x%0a"
+  std::string path;         ///< decoded path, e.g. "/cgi-bin/phf"
+  std::string query;        ///< undecoded query string
+  std::string http_version; ///< "HTTP/1.1"
+
+  // headers (names lower-cased; duplicates comma-joined like Apache)
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  // connection
+  util::Ipv4Address client_ip;
+  std::uint16_t client_port = 0;
+
+  // authentication (filled by the access-control layer from the
+  // Authorization header; empty until Basic credentials are verified)
+  std::string auth_user;
+  bool authenticated = false;
+
+  /// Raw Basic credentials if the request carried them (user, password).
+  std::optional<std::pair<std::string, std::string>> BasicCredentials() const;
+
+  const std::string* Header(const std::string& lower_name) const;
+};
+
+/// Parse outcome: either a RequestRec or a diagnosed defect.
+struct ParseResult {
+  std::optional<RequestRec> request;  ///< set on success
+  RequestDefect defect = RequestDefect::kNone;
+  std::string detail;
+
+  bool ok() const { return request.has_value(); }
+};
+
+/// Parse raw request text (head + optional body, CRLF or LF line endings).
+ParseResult ParseRequest(std::string_view text, const ParseLimits& limits = {});
+
+/// Build the canonical request text for a GET (workload generator helper).
+std::string BuildGetRequest(const std::string& target,
+                            const std::map<std::string, std::string>& headers = {});
+
+}  // namespace gaa::http

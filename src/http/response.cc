@@ -1,0 +1,73 @@
+#include "http/response.h"
+
+namespace gaa::http {
+
+const char* StatusReason(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kFound:
+      return "Found";
+    case StatusCode::kBadRequest:
+      return "Bad Request";
+    case StatusCode::kUnauthorized:
+      return "Unauthorized";
+    case StatusCode::kForbidden:
+      return "Forbidden";
+    case StatusCode::kNotFound:
+      return "Not Found";
+    case StatusCode::kRequestTimeout:
+      return "Request Timeout";
+    case StatusCode::kPayloadTooLarge:
+      return "Payload Too Large";
+    case StatusCode::kUriTooLong:
+      return "URI Too Long";
+    case StatusCode::kInternalError:
+      return "Internal Server Error";
+    case StatusCode::kServiceUnavailable:
+      return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(static_cast<int>(status)) +
+                    " " + StatusReason(status) + "\r\n";
+  bool has_length = false;
+  for (const auto& [k, v] : headers) {
+    out += k + ": " + v + "\r\n";
+    if (k == "Content-Length") has_length = true;
+  }
+  if (!has_length) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::Make(StatusCode status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  if (body.empty()) {
+    body = std::to_string(static_cast<int>(status)) + " " +
+           StatusReason(status) + "\n";
+  }
+  r.body = std::move(body);
+  r.headers["Content-Type"] = "text/plain";
+  return r;
+}
+
+HttpResponse HttpResponse::AuthRequired(const std::string& realm) {
+  HttpResponse r = Make(StatusCode::kUnauthorized);
+  r.headers["WWW-Authenticate"] = "Basic realm=\"" + realm + "\"";
+  return r;
+}
+
+HttpResponse HttpResponse::Redirect(const std::string& location) {
+  HttpResponse r = Make(StatusCode::kFound);
+  r.headers["Location"] = location;
+  return r;
+}
+
+}  // namespace gaa::http

@@ -1,0 +1,42 @@
+// HTTP responses and the Apache-style status constants the GAA translation
+// layer produces (paper §6 step 2d: HTTP_OK / HTTP_DECLINED /
+// HTTP_AUTHREQUIRED / HTTP_REDIRECT).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace gaa::http {
+
+enum class StatusCode {
+  kOk = 200,
+  kFound = 302,             ///< HTTP_REDIRECT
+  kBadRequest = 400,
+  kUnauthorized = 401,      ///< HTTP_AUTHREQUIRED
+  kForbidden = 403,         ///< HTTP_DECLINED (request rejected)
+  kNotFound = 404,
+  kRequestTimeout = 408,
+  kPayloadTooLarge = 413,
+  kUriTooLong = 414,
+  kInternalError = 500,
+  kServiceUnavailable = 503,
+};
+
+const char* StatusReason(StatusCode code);
+
+struct HttpResponse {
+  StatusCode status = StatusCode::kOk;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Full response text ("HTTP/1.1 200 OK\r\n...").
+  std::string Serialize() const;
+
+  static HttpResponse Make(StatusCode status, std::string body = {});
+  /// 401 with a WWW-Authenticate challenge for `realm`.
+  static HttpResponse AuthRequired(const std::string& realm);
+  /// 302 with a Location header.
+  static HttpResponse Redirect(const std::string& location);
+};
+
+}  // namespace gaa::http

@@ -1,0 +1,196 @@
+#include "http/server.h"
+
+namespace gaa::http {
+
+AccessController::Verdict HtaccessController::Check(RequestRec& rec) {
+  // Apache consults the .htaccess of every directory on the path; the most
+  // specific (deepest) decision wins, but any deny along the chain denies.
+  HtaccessDecision decision = HtaccessDecision::kAllow;
+  std::string realm = "restricted";
+  for (const auto& text : tree_->HtaccessChain(rec.path)) {
+    auto config = ParseHtaccess(text);
+    if (!config.ok()) {
+      // A broken .htaccess is a server-side error, and Apache fails closed.
+      return Verdict::Respond(HttpResponse::Make(StatusCode::kInternalError));
+    }
+    HtaccessDecision d = EvaluateHtaccess(config.value(), rec, *passwords_);
+    if (d == HtaccessDecision::kDeny) return Verdict::Respond(
+        HttpResponse::Make(StatusCode::kForbidden));
+    if (d == HtaccessDecision::kAuthRequired) {
+      decision = HtaccessDecision::kAuthRequired;
+      realm = config.value().auth_name;
+    }
+  }
+  if (decision == HtaccessDecision::kAuthRequired) {
+    return Verdict::Respond(HttpResponse::AuthRequired(realm));
+  }
+  return Verdict::Allow();
+}
+
+WebServer::WebServer(const DocTree* tree, AccessController* controller,
+                     util::Clock* clock, Options options)
+    : tree_(tree),
+      controller_(controller),
+      clock_(clock),
+      options_(std::move(options)) {}
+
+HttpResponse WebServer::HandleText(std::string_view raw,
+                                   util::Ipv4Address client_ip,
+                                   std::uint16_t client_port) {
+  ParseResult parsed = ParseRequest(raw, options_.parse_limits);
+  if (!parsed.ok()) {
+    if (malformed_hook_) {
+      malformed_hook_(parsed.defect, parsed.detail, client_ip);
+    }
+    requests_served_.fetch_add(1);
+    StatusCode code = StatusCode::kBadRequest;
+    if (parsed.defect == RequestDefect::kOversizedTarget) {
+      code = StatusCode::kUriTooLong;
+    } else if (parsed.defect == RequestDefect::kTooManyHeaders ||
+               parsed.defect == RequestDefect::kOversizedHeader) {
+      code = StatusCode::kPayloadTooLarge;
+    }
+    HttpResponse response = HttpResponse::Make(code);
+    RequestRec pseudo;
+    pseudo.client_ip = client_ip;
+    pseudo.method = "?";
+    pseudo.raw_target = std::string(parsed.detail);
+    LogAccess(pseudo, code, response.body.size());
+    return response;
+  }
+  RequestRec rec = std::move(*parsed.request);
+  rec.client_ip = client_ip;
+  rec.client_port = client_port;
+  return Handle(std::move(rec));
+}
+
+HttpResponse WebServer::Handle(RequestRec rec) {
+  requests_served_.fetch_add(1);
+
+  // --- access-control phase -------------------------------------------------
+  AccessController::Verdict verdict = controller_->Check(rec);
+  if (verdict.respond) {
+    LogAccess(rec, verdict.response.status, verdict.response.body.size());
+    return verdict.response;
+  }
+
+  // --- handler + execution-control phase -------------------------------------
+  OperationObservation obs;
+  HttpResponse response;
+  bool success = true;
+
+  if (const Document* doc = tree_->FindDocument(rec.path)) {
+    response.status = StatusCode::kOk;
+    response.body = doc->content;
+    response.headers["Content-Type"] = doc->content_type;
+    obs.bytes_written = doc->content.size();
+    obs.cpu_seconds = 1e-5;
+    obs.wall_us = 10;
+    if (!controller_->OnExecution(rec, obs)) {
+      response = HttpResponse::Make(StatusCode::kForbidden,
+                                    "operation aborted by policy\n");
+      success = false;
+    }
+  } else if (const CgiScript* cgi = tree_->FindCgi(rec.path)) {
+    CgiResult result = (*cgi)(rec.query);
+    obs.cpu_seconds = result.cpu_seconds;
+    obs.wall_us = static_cast<std::uint64_t>(result.cpu_seconds * 1e6);
+    obs.memory_bytes = result.memory_bytes;
+    obs.bytes_written = result.output.size();
+    obs.files_touched = result.files_touched;
+    if (!controller_->OnExecution(rec, obs)) {
+      // Execution-control phase pulled the plug mid-operation.
+      response = HttpResponse::Make(StatusCode::kForbidden,
+                                    "operation aborted by policy\n");
+      success = false;
+    } else if (!result.ok) {
+      response = HttpResponse::Make(StatusCode::kInternalError);
+      success = false;
+    } else {
+      response.status = StatusCode::kOk;
+      response.body = result.output;
+      response.headers["Content-Type"] = "text/plain";
+    }
+  } else if (const StreamingCgiScript* streaming =
+                 tree_->FindStreamingCgi(rec.path)) {
+    // Long-running operation: the execution-control phase runs BETWEEN
+    // steps, so a violated mid-condition aborts the operation while it is
+    // still producing output (paper phase 3).
+    std::string body;
+    bool aborted = false;
+    for (std::size_t step = 0;; ++step) {
+      std::optional<CgiStep> next = (*streaming)(step, rec.query);
+      if (!next.has_value()) break;
+      body += next->chunk;
+      obs.cpu_seconds += next->cpu_seconds;
+      obs.memory_bytes += next->memory_bytes;
+      obs.bytes_written = body.size();
+      obs.wall_us = static_cast<std::uint64_t>(obs.cpu_seconds * 1e6);
+      obs.files_touched.insert(obs.files_touched.end(),
+                               next->files_touched.begin(),
+                               next->files_touched.end());
+      if (!controller_->OnExecution(rec, obs)) {
+        aborted = true;
+        break;
+      }
+    }
+    if (aborted) {
+      response = HttpResponse::Make(StatusCode::kForbidden,
+                                    "operation aborted by policy\n");
+      success = false;
+    } else {
+      response.status = StatusCode::kOk;
+      response.body = std::move(body);
+      response.headers["Content-Type"] = "text/plain";
+    }
+  } else {
+    response = HttpResponse::Make(StatusCode::kNotFound);
+    success = false;
+  }
+
+  // --- post-execution phase ---------------------------------------------------
+  controller_->OnComplete(rec, obs, success);
+
+  if (rec.method == "HEAD" && response.status == StatusCode::kOk) {
+    response.headers["Content-Length"] = std::to_string(response.body.size());
+    response.body.clear();
+  }
+  response.headers["Server"] = options_.server_name;
+  LogAccess(rec, response.status, response.body.size());
+  return response;
+}
+
+void WebServer::LogAccess(const RequestRec& rec, StatusCode status,
+                          std::uint64_t bytes) {
+  AccessLogEntry entry;
+  entry.time_us = clock_ != nullptr ? clock_->Now() : 0;
+  entry.client_ip = rec.client_ip.ToString();
+  entry.user = rec.auth_user.empty() ? "-" : rec.auth_user;
+  entry.request_line = rec.method + " " + rec.raw_target;
+  entry.status = static_cast<int>(status);
+  entry.bytes = bytes;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  access_log_.push_back(std::move(entry));
+  while (access_log_.size() > options_.access_log_limit) {
+    access_log_.pop_front();
+  }
+  ++status_counts_[static_cast<int>(status)];
+}
+
+std::map<int, std::uint64_t> WebServer::StatusCounts() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return status_counts_;
+}
+
+std::vector<AccessLogEntry> WebServer::AccessLog() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return std::vector<AccessLogEntry>(access_log_.begin(), access_log_.end());
+}
+
+void WebServer::ClearLogs() {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  access_log_.clear();
+  status_counts_.clear();
+}
+
+}  // namespace gaa::http

@@ -1,0 +1,164 @@
+// The web server core ("apache-sim").
+//
+// A deliberately Apache-shaped request pipeline:
+//
+//   parse  →  access check (pluggable AccessController)  →  handler
+//   (static file or CGI)  →  execution control callback  →  completion
+//   callback  →  access/error logging
+//
+// The paper integrates the GAA-API "by modifying the check_access function";
+// here the same seam is the AccessController interface.  The baseline
+// HtaccessController reproduces stock Apache behaviour (§4); the
+// integration module provides the GAA-backed controller (§5-6).
+//
+// The server is transport-agnostic: HandleText()/Handle() process one
+// request synchronously and deterministically, which is what the tests and
+// benchmarks need.  Concurrency is the caller's choice (the workload driver
+// runs several threads over one server).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "http/doc_tree.h"
+#include "http/htaccess.h"
+#include "http/htpasswd.h"
+#include "http/request.h"
+#include "http/response.h"
+#include "util/clock.h"
+
+namespace gaa::http {
+
+/// What the operation did — handed to the execution-control and completion
+/// callbacks (http-local mirror of the GAA OperationStats; the integration
+/// layer adapts).
+struct OperationObservation {
+  double cpu_seconds = 0.0;
+  std::uint64_t wall_us = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t memory_bytes = 0;
+  std::vector<std::string> files_touched;
+};
+
+/// The pluggable access-control seam.
+class AccessController {
+ public:
+  virtual ~AccessController() = default;
+
+  struct Verdict {
+    bool respond = false;   ///< true: short-circuit with `response`
+    HttpResponse response;  ///< used when respond is true
+
+    static Verdict Allow() { return Verdict{}; }
+    static Verdict Respond(HttpResponse r) {
+      Verdict v;
+      v.respond = true;
+      v.response = std::move(r);
+      return v;
+    }
+  };
+
+  /// Phase 2: decide the request.  May mutate rec (sets auth_user).
+  virtual Verdict Check(RequestRec& rec) = 0;
+
+  /// Phase 3 (execution control): return false to abort the operation.
+  virtual bool OnExecution(RequestRec& rec, const OperationObservation& obs) {
+    (void)rec;
+    (void)obs;
+    return true;
+  }
+
+  /// Phase 4 (post-execution).
+  virtual void OnComplete(RequestRec& rec, const OperationObservation& obs,
+                          bool success) {
+    (void)rec;
+    (void)obs;
+    (void)success;
+  }
+};
+
+/// Baseline controller: stock Apache .htaccess semantics over the DocTree's
+/// per-directory configs.
+class HtaccessController final : public AccessController {
+ public:
+  HtaccessController(const DocTree* tree, const HtpasswdRegistry* passwords)
+      : tree_(tree), passwords_(passwords) {}
+
+  Verdict Check(RequestRec& rec) override;
+
+ private:
+  const DocTree* tree_;
+  const HtpasswdRegistry* passwords_;
+};
+
+/// Controller that allows everything (raw-server baseline).
+class AllowAllController final : public AccessController {
+ public:
+  Verdict Check(RequestRec&) override { return Verdict::Allow(); }
+};
+
+struct AccessLogEntry {
+  util::TimePoint time_us = 0;
+  std::string client_ip;
+  std::string user;
+  std::string request_line;
+  int status = 0;
+  std::uint64_t bytes = 0;
+};
+
+class WebServer {
+ public:
+  struct Options {
+    std::string server_name = "apache-sim/1.0";
+    ParseLimits parse_limits;
+    std::size_t access_log_limit = 65536;
+  };
+
+  WebServer(const DocTree* tree, AccessController* controller,
+            util::Clock* clock)
+      : WebServer(tree, controller, clock, Options{}) {}
+  WebServer(const DocTree* tree, AccessController* controller,
+            util::Clock* clock, Options options);
+
+  /// Full pipeline from raw request text.
+  HttpResponse HandleText(std::string_view raw, util::Ipv4Address client_ip,
+                          std::uint16_t client_port = 0);
+
+  /// Pipeline from an already-parsed record.
+  HttpResponse Handle(RequestRec rec);
+
+  /// Invoked when parsing diagnoses a hostile/malformed request — the
+  /// integration layer forwards this to the IDS (§3 item 1).
+  using MalformedHook =
+      std::function<void(RequestDefect, const std::string& detail,
+                         util::Ipv4Address client_ip)>;
+  void set_malformed_hook(MalformedHook hook) { malformed_hook_ = std::move(hook); }
+
+  // --- stats / logs ---------------------------------------------------------
+  std::uint64_t requests_served() const { return requests_served_.load(); }
+  std::map<int, std::uint64_t> StatusCounts() const;
+  std::vector<AccessLogEntry> AccessLog() const;
+  void ClearLogs();
+
+ private:
+  void LogAccess(const RequestRec& rec, StatusCode status, std::uint64_t bytes);
+
+  const DocTree* tree_;
+  AccessController* controller_;
+  util::Clock* clock_;
+  Options options_;
+  MalformedHook malformed_hook_;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  mutable std::mutex log_mu_;
+  std::deque<AccessLogEntry> access_log_;
+  std::map<int, std::uint64_t> status_counts_;
+};
+
+}  // namespace gaa::http

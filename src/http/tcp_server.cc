@@ -1,0 +1,260 @@
+#include "http/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gaa::http {
+
+namespace {
+
+using util::Error;
+using util::ErrorCode;
+
+void SetReadTimeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read until the header/body split is seen and any Content-Length body is
+/// complete (or limits/timeouts hit).  Returns false on overrun/timeout.
+enum class ReadOutcome { kOk, kTooLarge, kTimeout, kClosed };
+
+ReadOutcome ReadRequest(int fd, std::size_t max_bytes, std::string* out) {
+  char buf[4096];
+  std::size_t body_needed = 0;
+  bool have_head = false;
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return out->empty() ? ReadOutcome::kClosed : ReadOutcome::kOk;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadOutcome::kTimeout;
+      return ReadOutcome::kClosed;
+    }
+    out->append(buf, static_cast<std::size_t>(n));
+    if (out->size() > max_bytes) return ReadOutcome::kTooLarge;
+
+    if (!have_head) {
+      std::size_t head_end = out->find("\r\n\r\n");
+      std::size_t sep = 4;
+      if (head_end == std::string::npos) {
+        head_end = out->find("\n\n");
+        sep = 2;
+      }
+      if (head_end == std::string::npos) continue;
+      have_head = true;
+      // Content-Length, if any, tells how much body to await.
+      std::string head_lower = util::ToLower(out->substr(0, head_end));
+      std::size_t cl = head_lower.find("content-length:");
+      if (cl != std::string::npos) {
+        std::size_t eol = head_lower.find('\n', cl);
+        auto value = util::Trim(std::string_view(head_lower)
+                                    .substr(cl + 15, eol - cl - 15));
+        if (auto len = util::ParseInt(value); len && *len >= 0) {
+          std::size_t have = out->size() - head_end - sep;
+          body_needed = static_cast<std::size_t>(*len) > have
+                            ? static_cast<std::size_t>(*len) - have
+                            : 0;
+        }
+      }
+      if (body_needed == 0) return ReadOutcome::kOk;
+      continue;
+    }
+    if (static_cast<std::size_t>(n) >= body_needed) return ReadOutcome::kOk;
+    body_needed -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(WebServer* server, Options options)
+    : server_(server), options_(options) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+util::VoidResult TcpServer::Start() {
+  if (running_.load()) {
+    return Error(ErrorCode::kAlreadyExists, "server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Error(ErrorCode::kUnavailable,
+                 std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(ErrorCode::kUnavailable,
+                 std::string("bind: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(ErrorCode::kUnavailable,
+                 std::string("listen: ") + std::strerror(errno));
+  }
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return util::VoidResult::Ok();
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Shut the listening socket down; the accept loop unblocks with an error.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Close anything still queued.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+  listen_fd_ = -1;
+}
+
+void TcpServer::AcceptLoop() {
+  while (running_.load()) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    accepted_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(fd);
+    }
+    cv_.notify_one();
+  }
+}
+
+void TcpServer::WorkerLoop() {
+  for (;;) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !running_.load() || !pending_.empty(); });
+      if (pending_.empty()) {
+        if (!running_.load()) return;
+        continue;
+      }
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  SetReadTimeout(fd, options_.read_timeout_ms);
+
+  sockaddr_in peer{};
+  socklen_t len = sizeof(peer);
+  util::Ipv4Address client_ip;
+  std::uint16_t client_port = 0;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&peer), &len) == 0) {
+    client_ip = util::Ipv4Address(ntohl(peer.sin_addr.s_addr));
+    client_port = ntohs(peer.sin_port);
+  }
+
+  std::string raw;
+  ReadOutcome outcome = ReadRequest(fd, options_.max_request_bytes, &raw);
+  HttpResponse response;
+  switch (outcome) {
+    case ReadOutcome::kOk:
+      response = server_->HandleText(raw, client_ip, client_port);
+      break;
+    case ReadOutcome::kTooLarge:
+      rejected_.fetch_add(1);
+      response = HttpResponse::Make(StatusCode::kPayloadTooLarge);
+      break;
+    case ReadOutcome::kTimeout:
+      rejected_.fetch_add(1);
+      response = HttpResponse::Make(StatusCode::kRequestTimeout);
+      break;
+    case ReadOutcome::kClosed:
+      ::close(fd);
+      return;
+  }
+  response.headers["Connection"] = "close";
+  SendAll(fd, response.Serialize());
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+util::Result<std::string> TcpFetch(std::uint16_t port, const std::string& raw,
+                                   int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error(ErrorCode::kUnavailable,
+                 std::string("socket: ") + std::strerror(errno));
+  }
+  SetReadTimeout(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Error(ErrorCode::kUnavailable,
+                 std::string("connect: ") + std::strerror(errno));
+  }
+  SendAll(fd, raw);
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.empty()) {
+    return Error(ErrorCode::kUnavailable, "empty response");
+  }
+  return response;
+}
+
+}  // namespace gaa::http

@@ -1,0 +1,83 @@
+// TCP transport: serve the WebServer pipeline over real sockets.
+//
+// The deterministic in-process entry points (WebServer::HandleText) remain
+// the substrate for tests and benchmarks; this transport adds the real
+// accept-loop + worker-pool front end so the reproduction is a complete,
+// connectable web server.  One request per connection (HTTP/1.0-style
+// close-after-response), which matches the 2003-era Apache the paper
+// measured and keeps connection state trivial.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/server.h"
+#include "util/status.h"
+
+namespace gaa::http {
+
+class TcpServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0: pick an ephemeral port (tests)
+    int backlog = 64;
+    std::size_t worker_threads = 4;
+    /// Connections whose head exceeds this are answered 413 and closed —
+    /// the transport-level guard against the §1 oversized-request DoS.
+    std::size_t max_request_bytes = 64 * 1024;
+    /// Per-read timeout; a silent client is answered 408 and dropped
+    /// (slow-loris style connection hoarding).
+    int read_timeout_ms = 5000;
+  };
+
+  TcpServer(WebServer* server, Options options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Bind, listen and start the accept loop + workers.
+  util::VoidResult Start();
+
+  /// Stop accepting, drain workers, close everything.  Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+  /// The bound port (valid after Start(); useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t connections_accepted() const { return accepted_.load(); }
+  std::uint64_t connections_rejected() const { return rejected_.load(); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  WebServer* server_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+/// Minimal blocking client for tests: sends raw request text to
+/// 127.0.0.1:port and returns the full response text.
+util::Result<std::string> TcpFetch(std::uint16_t port, const std::string& raw,
+                                   int timeout_ms = 5000);
+
+}  // namespace gaa::http

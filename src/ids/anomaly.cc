@@ -1,0 +1,86 @@
+#include "ids/anomaly.h"
+
+#include <cmath>
+
+namespace gaa::ids {
+
+void RunningStat::Add(double x) {
+  count += 1;
+  double delta = x - mean;
+  mean += delta / count;
+  m2 += delta * (x - mean);
+}
+
+double RunningStat::Variance() const {
+  return count > 1 ? m2 / (count - 1) : 0.0;
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStat::ZScore(double x, double floor) const {
+  if (count < 2) return 0.0;
+  double sd = StdDev();
+  if (sd < floor) sd = floor;
+  return std::fabs(x - mean) / sd;
+}
+
+AnomalyDetector::AnomalyDetector(util::Clock* clock, Options options)
+    : clock_(clock), options_(options) {}
+
+void AnomalyDetector::Train(const RequestFeatures& features) {
+  util::TimePoint now = clock_ != nullptr ? clock_->Now() : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Profile& p = profiles_[features.principal];
+  p.query_length.Add(features.query_length);
+  p.url_depth.Add(features.url_depth);
+  if (p.last_seen_us != 0 && now > p.last_seen_us) {
+    p.inter_arrival_ms.Add(static_cast<double>(now - p.last_seen_us) / 1000.0);
+  }
+  p.last_seen_us = now;
+  p.paths.insert(features.path);
+  ++p.observations;
+}
+
+double AnomalyDetector::ScoreLocked(const Profile& p,
+                                    const RequestFeatures& f) const {
+  if (p.observations < options_.min_training) return 0.0;
+  double score = 0.0;
+  score += p.query_length.ZScore(f.query_length, /*floor=*/4.0);
+  score += p.url_depth.ZScore(f.url_depth, /*floor=*/0.5);
+  if (p.paths.find(f.path) == p.paths.end()) {
+    score += options_.novelty_weight;
+  }
+  return score;
+}
+
+double AnomalyDetector::Score(const RequestFeatures& features) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = profiles_.find(features.principal);
+  if (it == profiles_.end()) return 0.0;
+  return ScoreLocked(it->second, features);
+}
+
+bool AnomalyDetector::IsAnomalous(const RequestFeatures& features) const {
+  return Score(features) >= options_.score_threshold;
+}
+
+double AnomalyDetector::Observe(const RequestFeatures& features) {
+  double score = Score(features);
+  if (score < options_.score_threshold) {
+    Train(features);
+  }
+  return score;
+}
+
+std::size_t AnomalyDetector::profile_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return profiles_.size();
+}
+
+std::size_t AnomalyDetector::TrainingCount(const std::string& principal) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = profiles_.find(principal);
+  return it == profiles_.end() ? 0 : it->second.observations;
+}
+
+}  // namespace gaa::ids

@@ -1,0 +1,91 @@
+// Anomaly detector (paper §9 future work: "a simple profile building module
+// and anomaly detector ... to support anomaly-based intrusion detection in
+// addition to the signature-based").
+//
+// Per-principal (client IP or user) profiles over simple request features:
+// query length, URL depth, request inter-arrival rate and the set of paths
+// visited (paper §3 item 7: "legitimate access request patterns ... used to
+// derive profiles that describe typical behavior").  Detection combines
+// z-scores of the numeric features with a novelty term for unseen paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "util/clock.h"
+
+namespace gaa::ids {
+
+/// Feature vector extracted from one request.
+struct RequestFeatures {
+  std::string principal;  ///< client IP or authenticated user
+  std::string path;       ///< URL path (no query)
+  double query_length = 0;
+  double url_depth = 0;  ///< number of '/' separated components
+};
+
+/// Online mean/variance (Welford).
+struct RunningStat {
+  double count = 0;
+  double mean = 0;
+  double m2 = 0;
+
+  void Add(double x);
+  double Variance() const;
+  double StdDev() const;
+  /// |x - mean| / max(stddev, floor); 0 while the sample is tiny.
+  double ZScore(double x, double floor = 1.0) const;
+};
+
+class AnomalyDetector {
+ public:
+  struct Options {
+    double score_threshold = 3.0;  ///< composite score that flags a request
+    std::size_t min_training = 20; ///< observations before scoring kicks in
+    double novelty_weight = 1.5;   ///< added when the path was never seen
+  };
+
+  explicit AnomalyDetector(util::Clock* clock)
+      : AnomalyDetector(clock, Options{}) {}
+  AnomalyDetector(util::Clock* clock, Options options);
+
+  /// Learn from a request observed during normal operation.
+  void Train(const RequestFeatures& features);
+
+  /// Composite anomaly score; 0 while the principal's profile is immature.
+  double Score(const RequestFeatures& features) const;
+
+  /// Score and, if flagged, also learn nothing (attacks must not poison the
+  /// profile).  Returns true if the request is anomalous.
+  bool IsAnomalous(const RequestFeatures& features) const;
+
+  /// Observe a request: score first, train only if it looks normal.
+  /// Returns the score.
+  double Observe(const RequestFeatures& features);
+
+  std::size_t profile_count() const;
+  std::size_t TrainingCount(const std::string& principal) const;
+
+ private:
+  struct Profile {
+    RunningStat query_length;
+    RunningStat url_depth;
+    RunningStat inter_arrival_ms;
+    std::set<std::string> paths;
+    util::TimePoint last_seen_us = 0;
+    std::size_t observations = 0;
+  };
+
+  double ScoreLocked(const Profile& profile,
+                     const RequestFeatures& features) const;
+
+  util::Clock* clock_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Profile> profiles_;
+};
+
+}  // namespace gaa::ids

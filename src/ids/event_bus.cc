@@ -1,0 +1,67 @@
+#include "ids/event_bus.h"
+
+#include "gaa/services.h"
+
+namespace gaa::ids {
+
+EventBus::SubscriptionId ConnectAlertNotifications(
+    EventBus& bus, core::NotificationService& notifier, int min_severity,
+    const std::string& recipient) {
+  SubscriptionPolicy policy;
+  policy.topic_pattern = "*";
+  policy.min_severity = min_severity;
+  return bus.Subscribe(policy, [&notifier, recipient](const Event& event) {
+    notifier.Notify(recipient, "[ids] " + event.topic,
+                    "severity=" + std::to_string(event.severity) + " " +
+                        event.payload);
+  });
+}
+
+EventBus::SubscriptionId EventBus::Subscribe(SubscriptionPolicy policy,
+                                             EventCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SubscriptionId id = next_id_++;
+  util::CompiledGlob glob(policy.topic_pattern);
+  subs_.emplace(id, Subscription{std::move(policy), std::move(glob),
+                                 std::move(callback)});
+  return id;
+}
+
+bool EventBus::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.erase(id) > 0;
+}
+
+void EventBus::Publish(Event event) {
+  if (event.time_us == 0 && clock_ != nullptr) event.time_us = clock_->Now();
+  std::vector<EventCallback> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++published_;
+    for (auto& [id, sub] : subs_) {
+      if (event.severity < sub.policy.min_severity) continue;
+      if (!sub.topic_glob.Matches(event.topic)) continue;
+      targets.push_back(sub.callback);
+      ++delivered_;
+    }
+  }
+  // Deliver outside the lock: callbacks may publish or (un)subscribe.
+  for (const auto& cb : targets) cb(event);
+}
+
+std::size_t EventBus::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.size();
+}
+
+std::uint64_t EventBus::published_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+std::uint64_t EventBus::delivered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+}  // namespace gaa::ids

@@ -1,0 +1,79 @@
+// Event bus + subscription channels.
+//
+// Paper §9 (future work): "We plan to design a policy-controlled interface
+// for establishing a subscription-based communication channels to allow
+// GAA-API and IDSs to communicate."  We implement it: publishers post typed
+// events to topics; subscribers register callbacks with an optional
+// per-subscription policy filter (minimum severity, topic glob), which is
+// the "policy-controlled" part.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gaa/services.h"
+#include "util/clock.h"
+#include "util/glob.h"
+
+namespace gaa::ids {
+
+struct Event {
+  std::string topic;    ///< e.g. "gaa.report.detected_attack"
+  std::string source;   ///< component name
+  int severity = 0;     ///< 0..10
+  std::string payload;  ///< free-form detail
+  util::TimePoint time_us = 0;
+};
+
+using EventCallback = std::function<void(const Event&)>;
+
+/// Per-subscription delivery policy.
+struct SubscriptionPolicy {
+  std::string topic_pattern = "*";  ///< glob over topics
+  int min_severity = 0;             ///< drop events below this severity
+};
+
+class EventBus {
+ public:
+  using SubscriptionId = std::uint64_t;
+
+  explicit EventBus(util::Clock* clock) : clock_(clock) {}
+
+  SubscriptionId Subscribe(SubscriptionPolicy policy, EventCallback callback);
+  bool Unsubscribe(SubscriptionId id);
+
+  /// Deliver synchronously to every matching subscriber.
+  void Publish(Event event);
+
+  std::size_t subscriber_count() const;
+  std::uint64_t published_count() const;
+  std::uint64_t delivered_count() const;
+
+ private:
+  struct Subscription {
+    SubscriptionPolicy policy;
+    util::CompiledGlob topic_glob;
+    EventCallback callback;
+  };
+
+  util::Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<SubscriptionId, Subscription> subs_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Wire high-severity bus events to administrator notification — a
+/// consumer of the §9 policy-controlled subscription channel: the
+/// severity floor IS the subscription policy.  Returns the subscription id
+/// (Unsubscribe() to disconnect).
+EventBus::SubscriptionId ConnectAlertNotifications(
+    EventBus& bus, core::NotificationService& notifier,
+    int min_severity = 8, const std::string& recipient = "sysadmin");
+
+}  // namespace gaa::ids

@@ -1,0 +1,98 @@
+#include "ids/ids.h"
+
+namespace gaa::ids {
+
+IntrusionDetectionSystem::IntrusionDetectionSystem(
+    core::SystemState* state, util::Clock* clock,
+    ThreatService::Options threat_options)
+    : state_(state),
+      clock_(clock),
+      threat_(state, clock, threat_options),
+      bus_(clock),
+      anomaly_(clock),
+      signatures_(SignatureDb::KnownWebAttacks()) {}
+
+void IntrusionDetectionSystem::Report(const core::IdsReport& report) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reports_.push_back(report);
+  }
+  // Severity-weighted feed into the threat profile; benign pattern reports
+  // (item 7) do not escalate.
+  if (report.kind != core::ReportKind::kLegitimatePattern) {
+    threat_.ReportAlert(static_cast<double>(report.severity) *
+                        report.confidence);
+  }
+  Event event;
+  event.topic = std::string("gaa.report.") + core::ReportKindName(report.kind);
+  event.source = "gaa-api";
+  event.severity = report.severity;
+  event.payload = "ip=" + report.source_ip + " object=" + report.object +
+                  " type=" + report.attack_type + " detail=" + report.detail;
+  bus_.Publish(std::move(event));
+
+  // Adaptive values track the (possibly just escalated) threat level.
+  RecomputeAdaptiveValues();
+}
+
+bool IntrusionDetectionSystem::SuspectedSpoofing(const std::string& source_ip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spoofed_sources_.count(source_ip) > 0;
+}
+
+void IntrusionDetectionSystem::MarkSpoofedSource(const std::string& source_ip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spoofed_sources_.insert(source_ip);
+}
+
+void IntrusionDetectionSystem::ClearSpoofedSources() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spoofed_sources_.clear();
+}
+
+void IntrusionDetectionSystem::PushAdaptiveValue(const std::string& var_name,
+                                                 const std::string& value) {
+  if (state_ != nullptr) state_->SetVariable(var_name, value);
+}
+
+void IntrusionDetectionSystem::RecomputeAdaptiveValues() {
+  if (state_ == nullptr) return;
+  switch (threat_.level()) {
+    case core::ThreatLevel::kLow:
+      state_->SetVariable("gaa.max_cgi_input", "1000");
+      state_->SetVariable("gaa.rate_limit", "100");
+      state_->SetVariable("gaa.lockdown_hours", "00:00-24:00");
+      break;
+    case core::ThreatLevel::kMedium:
+      state_->SetVariable("gaa.max_cgi_input", "500");
+      state_->SetVariable("gaa.rate_limit", "30");
+      state_->SetVariable("gaa.lockdown_hours", "08:00-18:00");
+      break;
+    case core::ThreatLevel::kHigh:
+      state_->SetVariable("gaa.max_cgi_input", "200");
+      state_->SetVariable("gaa.rate_limit", "5");
+      state_->SetVariable("gaa.lockdown_hours", "09:00-17:00");
+      break;
+  }
+}
+
+std::vector<core::IdsReport> IntrusionDetectionSystem::ReportsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_;
+}
+
+std::size_t IntrusionDetectionSystem::report_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_.size();
+}
+
+std::size_t IntrusionDetectionSystem::CountKind(core::ReportKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& r : reports_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace gaa::ids

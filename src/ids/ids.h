@@ -1,0 +1,78 @@
+// The intrusion detection system: receives GAA-API reports (core::IdsChannel
+// implementation), drives the threat-level service, publishes events on the
+// bus, and plays the roles of the paper's external IDS components:
+//
+//   * network-based IDS: the spoofing oracle consulted before pro-active
+//     countermeasures (§3);
+//   * host-based IDS: the adaptive-threshold provider that pushes values
+//     for thresholds / times / locations into SystemState variables, which
+//     `var:`-valued conditions read (§3 last paragraph);
+//   * anomaly-based detection on top of the signature-based machinery (§9).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gaa/services.h"
+#include "gaa/system_state.h"
+#include "ids/anomaly.h"
+#include "ids/event_bus.h"
+#include "ids/signature_db.h"
+#include "ids/threat_service.h"
+#include "util/clock.h"
+
+namespace gaa::ids {
+
+class IntrusionDetectionSystem final : public core::IdsChannel {
+ public:
+  IntrusionDetectionSystem(core::SystemState* state, util::Clock* clock)
+      : IntrusionDetectionSystem(state, clock, ThreatService::Options{}) {}
+  IntrusionDetectionSystem(core::SystemState* state, util::Clock* clock,
+                           ThreatService::Options threat_options);
+
+  // --- core::IdsChannel ----------------------------------------------------
+  void Report(const core::IdsReport& report) override;
+  bool SuspectedSpoofing(const std::string& source_ip) override;
+
+  // --- components ----------------------------------------------------------
+  ThreatService& threat() { return threat_; }
+  EventBus& bus() { return bus_; }
+  AnomalyDetector& anomaly() { return anomaly_; }
+  SignatureDb& signatures() { return signatures_; }
+
+  // --- network-IDS oracle configuration (tests / scenarios) ----------------
+  void MarkSpoofedSource(const std::string& source_ip);
+  void ClearSpoofedSources();
+
+  // --- host-based adaptive thresholds (§3) ----------------------------------
+  /// Push an adaptive value into SystemState under `var_name`; policies
+  /// reference it as "var:<var_name>".
+  void PushAdaptiveValue(const std::string& var_name, const std::string& value);
+
+  /// Recompute built-in adaptive values from the current threat level:
+  /// stricter CGI-input and rate limits as the level rises.  Writes
+  /// gaa.max_cgi_input, gaa.rate_limit and gaa.lockdown_hours.
+  void RecomputeAdaptiveValues();
+
+  // --- stats ---------------------------------------------------------------
+  std::vector<core::IdsReport> ReportsSnapshot() const;
+  std::size_t report_count() const;
+  std::size_t CountKind(core::ReportKind kind) const;
+
+ private:
+  core::SystemState* state_;
+  util::Clock* clock_;
+  ThreatService threat_;
+  EventBus bus_;
+  AnomalyDetector anomaly_;
+  SignatureDb signatures_;
+  mutable std::mutex mu_;
+  std::vector<core::IdsReport> reports_;
+  std::set<std::string> spoofed_sources_;
+};
+
+}  // namespace gaa::ids

@@ -1,0 +1,105 @@
+#include "ids/log_monitor.h"
+
+#include "util/strings.h"
+
+namespace gaa::ids {
+
+std::string ToCommonLogFormat(const http::AccessLogEntry& entry) {
+  // host ident authuser [date] "request" status bytes
+  return entry.client_ip + " - " + (entry.user.empty() ? "-" : entry.user) +
+         " [" + util::FormatTimestamp(entry.time_us) + "] \"" +
+         entry.request_line + "\" " + std::to_string(entry.status) + " " +
+         std::to_string(entry.bytes);
+}
+
+std::optional<ClfEntry> ParseCommonLogFormat(std::string_view line) {
+  line = util::Trim(line);
+  if (line.empty()) return std::nullopt;
+
+  ClfEntry out;
+  // host
+  auto sp = line.find(' ');
+  if (sp == std::string_view::npos) return std::nullopt;
+  out.host = std::string(line.substr(0, sp));
+
+  // the quoted request
+  auto q1 = line.find('"');
+  auto q2 = line.rfind('"');
+  if (q1 == std::string_view::npos || q2 <= q1) return std::nullopt;
+  std::string_view request = line.substr(q1 + 1, q2 - q1 - 1);
+  auto req_parts = util::SplitWhitespace(request);
+  if (!req_parts.empty()) out.method = req_parts[0];
+  if (req_parts.size() >= 2) out.target = req_parts[1];
+
+  // authuser is the 3rd space-separated field before the bracketed date.
+  auto head = util::SplitWhitespace(line.substr(0, line.find('[')));
+  if (head.size() >= 3) out.user = head[2];
+
+  // status and bytes trail the closing quote.
+  auto tail = util::SplitWhitespace(line.substr(q2 + 1));
+  if (tail.empty()) return std::nullopt;
+  if (auto status = util::ParseInt(tail[0])) {
+    out.status = static_cast<int>(*status);
+  } else {
+    return std::nullopt;
+  }
+  if (tail.size() >= 2) {
+    if (auto bytes = util::ParseInt(tail[1]); bytes && *bytes >= 0) {
+      out.bytes = static_cast<std::uint64_t>(*bytes);
+    }
+  }
+  return out;
+}
+
+std::optional<LogFinding> LogMonitor::ScanLine(std::string_view line) const {
+  auto entry = ParseCommonLogFormat(line);
+  if (!entry.has_value()) return std::nullopt;
+  // The monitor sees only the logged request line: the raw target.  Split
+  // the query off the same way the live path does.
+  std::string_view target = entry->target;
+  auto qmark = target.find('?');
+  std::string_view url = qmark == std::string_view::npos
+                             ? target
+                             : target.substr(0, qmark);
+  std::string_view query =
+      qmark == std::string_view::npos ? "" : target.substr(qmark + 1);
+  auto hit = signatures_.FirstMatch(url, query);
+  if (!hit.has_value()) {
+    // The raw target carries the query too; try matching whole.
+    hit = signatures_.FirstMatch(target, "");
+    if (!hit.has_value()) return std::nullopt;
+  }
+  LogFinding finding;
+  finding.entry = *entry;
+  finding.hit = *hit;
+  finding.was_served = entry->status >= 200 && entry->status < 400;
+  return finding;
+}
+
+std::vector<LogFinding> LogMonitor::ScanLog(std::string_view log_text) const {
+  std::vector<LogFinding> findings;
+  std::size_t pos = 0;
+  while (pos <= log_text.size()) {
+    std::size_t eol = log_text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? log_text.substr(pos)
+                                : log_text.substr(pos, eol - pos);
+    if (auto finding = ScanLine(line)) findings.push_back(std::move(*finding));
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return findings;
+}
+
+std::vector<LogFinding> LogMonitor::ScanServerLog(
+    const std::vector<http::AccessLogEntry>& entries) const {
+  std::vector<LogFinding> findings;
+  for (const auto& entry : entries) {
+    if (auto finding = ScanLine(ToCommonLogFormat(entry))) {
+      findings.push_back(std::move(*finding));
+    }
+  }
+  return findings;
+}
+
+}  // namespace gaa::ids

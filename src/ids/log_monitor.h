@@ -1,0 +1,71 @@
+// Offline log-based attack monitor — the comparator the paper cites as
+// related work (Almgren, Debar, Dacier: "A lightweight tool for detecting
+// web server attacks", NDSS 2000): it scans Common Log Format entries for
+// attack signatures and reports intrusions, but "the monitor can not
+// directly interact with a web server and, thus, can not stop the ongoing
+// attacks" (paper §10).
+//
+// We implement it as a baseline so the benchmarks can quantify exactly
+// that difference: the GAA-integrated server *prevents* (the attack
+// request is denied before the operation runs), while the log monitor
+// *detects after the fact* (the request was served; only the log entry
+// betrays it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/server.h"
+#include "ids/signature_db.h"
+
+namespace gaa::ids {
+
+/// One Common Log Format line:
+///   host ident authuser [date] "request" status bytes
+std::string ToCommonLogFormat(const http::AccessLogEntry& entry);
+
+/// Parse a CLF line back (fields the monitor needs).
+struct ClfEntry {
+  std::string host;
+  std::string user;
+  std::string method;
+  std::string target;
+  int status = 0;
+  std::uint64_t bytes = 0;
+};
+std::optional<ClfEntry> ParseCommonLogFormat(std::string_view line);
+
+/// A detection produced by the monitor.
+struct LogFinding {
+  ClfEntry entry;
+  SignatureHit hit;
+  /// True when the server actually served the request (2xx/3xx) — damage
+  /// the log monitor could not have prevented.
+  bool was_served = false;
+};
+
+class LogMonitor {
+ public:
+  explicit LogMonitor(SignatureDb signatures = SignatureDb::KnownWebAttacks())
+      : signatures_(std::move(signatures)) {}
+
+  /// Scan one CLF line; returns a finding if any signature matches.
+  std::optional<LogFinding> ScanLine(std::string_view line) const;
+
+  /// Scan a whole log (one entry per line).
+  std::vector<LogFinding> ScanLog(std::string_view log_text) const;
+
+  /// Convenience: scan a server's in-memory access log.
+  std::vector<LogFinding> ScanServerLog(
+      const std::vector<http::AccessLogEntry>& entries) const;
+
+  const SignatureDb& signatures() const { return signatures_; }
+
+ private:
+  SignatureDb signatures_;
+};
+
+}  // namespace gaa::ids

@@ -1,0 +1,85 @@
+#include "ids/signature_db.h"
+
+namespace gaa::ids {
+
+void SignatureDb::Add(Signature signature) {
+  util::CompiledGlob glob(signature.pattern);
+  globs_.push_back(CompiledSignature{std::move(signature), std::move(glob)});
+}
+
+void SignatureDb::AddRule(MaxLengthRule rule) { rules_.push_back(std::move(rule)); }
+
+std::vector<SignatureHit> SignatureDb::Match(std::string_view raw_url,
+                                             std::string_view query) const {
+  std::string subject(raw_url);
+  if (!query.empty()) {
+    subject += "?";
+    subject += query;
+  }
+  std::vector<SignatureHit> hits;
+  for (const auto& cs : globs_) {
+    if (cs.glob.Matches(subject)) {
+      hits.push_back(SignatureHit{cs.meta.name, cs.meta.attack_type,
+                                  cs.meta.severity, cs.meta.description});
+    }
+  }
+  for (const auto& rule : rules_) {
+    std::size_t len = rule.field == MaxLengthRule::Field::kQuery
+                          ? query.size()
+                          : raw_url.size();
+    if (len > rule.max_length) {
+      hits.push_back(SignatureHit{rule.name, rule.attack_type, rule.severity,
+                                  rule.description});
+    }
+  }
+  return hits;
+}
+
+std::optional<SignatureHit> SignatureDb::FirstMatch(
+    std::string_view raw_url, std::string_view query) const {
+  auto hits = Match(raw_url, query);
+  if (hits.empty()) return std::nullopt;
+  return hits.front();
+}
+
+std::string SignatureDb::ToConditionValue() const {
+  std::string out;
+  for (const auto& cs : globs_) {
+    if (!out.empty()) out += " ";
+    out += cs.meta.pattern;
+  }
+  return out;
+}
+
+SignatureDb SignatureDb::KnownWebAttacks() {
+  SignatureDb db;
+  // The CGI probes named in §7.2.
+  db.Add({"cgi_phf", "*phf*", "cgi_exploit", 8,
+          "phf phonebook CGI remote command execution"});
+  db.Add({"cgi_test_cgi", "*test-cgi*", "cgi_exploit", 6,
+          "test-cgi information disclosure probe"});
+  // The many-slashes Apache DoS of §7.2 ("slows down Apache and fills up
+  // logs fast").
+  db.Add({"dos_slashes", "*///////////////////*", "dos", 7,
+          "pathological '/' run exploiting Apache path handling"});
+  // NIMDA-style malformed GET with percent-encoded traversal (§7.2: "part
+  // of the URL contains the percent character").
+  db.Add({"worm_nimda_percent", "*%*", "worm", 7,
+          "percent character in URL: NIMDA-style malformed request"});
+  // Contemporaries of the paper, same detection machinery.
+  db.Add({"worm_codered_ida", "*.ida?*", "worm", 9,
+          "Code Red .ida buffer overflow probe"});
+  db.Add({"traversal_dotdot", "*..*..*", "traversal", 7,
+          "directory traversal attempt"});
+  db.Add({"cgi_formmail", "*formmail*", "cgi_exploit", 5,
+          "formmail spam relay probe"});
+  db.Add({"iis_cmd_exe", "*cmd.exe*", "worm", 9,
+          "IIS unicode traversal to cmd.exe"});
+  // The >1000-character CGI input rule (§7.2 buffer-overflow condition).
+  db.AddRule({"overflow_cgi_input", MaxLengthRule::Field::kQuery, 1000,
+              "buffer_overflow", 9,
+              "CGI input longer than 1000 characters"});
+  return db;
+}
+
+}  // namespace gaa::ids

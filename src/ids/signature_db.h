@@ -1,0 +1,77 @@
+// Signature database: the catalog of known web-server attack patterns the
+// paper's §7.2 policies detect.  Each signature pairs a compiled glob with
+// threat metadata; KnownWebAttacks() preloads the attacks named in the
+// paper (phf / test-cgi CGI probes, the Apache many-slashes DoS, NIMDA
+// malformed-percent URLs) plus a few classics from the same era.
+//
+// Numeric rules (e.g. "CGI input longer than 1000 bytes" — the Code Red
+// style buffer overflow) are expressed as MaxLengthRule entries because a
+// glob cannot count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/glob.h"
+
+namespace gaa::ids {
+
+struct Signature {
+  std::string name;         ///< "cgi_phf", "dos_slashes", ...
+  std::string pattern;      ///< glob over the raw URL (+ query)
+  std::string attack_type;  ///< category: "cgi_exploit", "dos", "worm", ...
+  int severity = 5;         ///< 0..10
+  std::string description;
+};
+
+struct MaxLengthRule {
+  std::string name;
+  enum class Field { kQuery, kUrl } field = Field::kQuery;
+  std::size_t max_length = 1000;
+  std::string attack_type;
+  int severity = 8;
+  std::string description;
+};
+
+struct SignatureHit {
+  std::string name;
+  std::string attack_type;
+  int severity = 0;
+  std::string description;
+};
+
+class SignatureDb {
+ public:
+  void Add(Signature signature);
+  void AddRule(MaxLengthRule rule);
+
+  /// All signatures/rules matching the subject URL (+query).
+  std::vector<SignatureHit> Match(std::string_view raw_url,
+                                  std::string_view query) const;
+
+  /// First hit only (cheap path for policy conditions).
+  std::optional<SignatureHit> FirstMatch(std::string_view raw_url,
+                                         std::string_view query) const;
+
+  std::size_t size() const { return globs_.size() + rules_.size(); }
+
+  /// Render the glob signatures as a `pre_cond_regex` value string
+  /// ("*phf* *test-cgi* ..."), bridging the database into EACL policies.
+  std::string ToConditionValue() const;
+
+  /// The attacks discussed in the paper plus contemporaries.
+  static SignatureDb KnownWebAttacks();
+
+ private:
+  struct CompiledSignature {
+    Signature meta;
+    util::CompiledGlob glob;
+  };
+  std::vector<CompiledSignature> globs_;
+  std::vector<MaxLengthRule> rules_;
+};
+
+}  // namespace gaa::ids

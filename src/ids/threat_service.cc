@@ -1,0 +1,72 @@
+#include "ids/threat_service.h"
+
+namespace gaa::ids {
+
+using core::ThreatLevel;
+
+ThreatService::ThreatService(core::SystemState* state, util::Clock* clock,
+                             Options options)
+    : state_(state), clock_(clock), options_(options) {}
+
+void ThreatService::ReportAlert(double severity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  alerts_.emplace_back(clock_->Now(), severity);
+  RecomputeLocked();
+}
+
+void ThreatService::Tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecomputeLocked();
+}
+
+void ThreatService::ForceLevel(ThreatLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+  last_escalation_us_ = clock_->Now();
+  if (state_ != nullptr) state_->SetThreatLevel(level_);
+}
+
+ThreatLevel ThreatService::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+double ThreatService::WindowScore() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::TimePoint cutoff = clock_->Now() - options_.window_us;
+  double score = 0;
+  for (const auto& [t, s] : alerts_) {
+    if (t >= cutoff) score += s;
+  }
+  return score;
+}
+
+void ThreatService::RecomputeLocked() {
+  util::TimePoint now = clock_->Now();
+  while (!alerts_.empty() && alerts_.front().first < now - options_.window_us) {
+    alerts_.pop_front();
+  }
+  double score = 0;
+  for (const auto& [t, s] : alerts_) score += s;
+
+  ThreatLevel target = ThreatLevel::kLow;
+  if (score >= options_.high_score) {
+    target = ThreatLevel::kHigh;
+  } else if (score >= options_.medium_score) {
+    target = ThreatLevel::kMedium;
+  }
+
+  if (target > level_) {
+    level_ = target;
+    last_escalation_us_ = now;
+  } else if (target < level_ &&
+             now - last_escalation_us_ >= options_.decay_us) {
+    // Step down one notch per decay period; a calm system does not jump
+    // straight from high to low.
+    level_ = static_cast<ThreatLevel>(static_cast<int>(level_) - 1);
+    last_escalation_us_ = now;
+  }
+  if (state_ != nullptr) state_->SetThreatLevel(level_);
+}
+
+}  // namespace gaa::ids

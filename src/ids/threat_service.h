@@ -1,0 +1,58 @@
+// Threat-level service: the IDS component that "supplies a system threat
+// level" (paper §7.1: low = normal operation, medium = suspicious behaviour,
+// high = under attack).
+//
+// The service aggregates severity-weighted alert scores over a sliding
+// window and maps the score to a level via two thresholds; levels decay
+// back down after a quiet period.  It writes the level into the shared
+// SystemState, where `pre_cond_system_threat_level` reads it.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "gaa/system_state.h"
+#include "util/clock.h"
+
+namespace gaa::ids {
+
+class ThreatService {
+ public:
+  struct Options {
+    util::DurationUs window_us = 60 * util::kMicrosPerSecond;
+    double medium_score = 10.0;  ///< window score that raises level to medium
+    double high_score = 30.0;    ///< window score that raises level to high
+    /// Quiet time after which the level steps down one notch.
+    util::DurationUs decay_us = 120 * util::kMicrosPerSecond;
+  };
+
+  ThreatService(core::SystemState* state, util::Clock* clock)
+      : ThreatService(state, clock, Options{}) {}
+  ThreatService(core::SystemState* state, util::Clock* clock,
+                Options options);
+
+  /// Feed one alert (severity 0..10).  Recomputes and publishes the level.
+  void ReportAlert(double severity);
+
+  /// Re-evaluate decay; call periodically (or before reads in tests).
+  void Tick();
+
+  /// Administrator override (also what a remote IDS would push).
+  void ForceLevel(core::ThreatLevel level);
+
+  core::ThreatLevel level() const;
+  double WindowScore() const;
+
+ private:
+  void RecomputeLocked();
+
+  core::SystemState* state_;
+  util::Clock* clock_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::deque<std::pair<util::TimePoint, double>> alerts_;
+  core::ThreatLevel level_ = core::ThreatLevel::kLow;
+  util::TimePoint last_escalation_us_ = 0;
+};
+
+}  // namespace gaa::ids

@@ -1,0 +1,107 @@
+#include "integration/gaa_web_server.h"
+
+#include "conditions/builtin.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace gaa::web {
+
+GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
+    : tree_(std::move(tree)), options_(std::move(options)) {
+  if (options_.use_real_clock) {
+    clock_ = &util::RealClock::Instance();
+  } else {
+    // Start the simulated clock at a daytime instant so time-of-day
+    // conditions behave predictably (2003-05-19 12:00:00 UTC — ICDCS'03).
+    sim_clock_ = std::make_unique<util::SimulatedClock>(
+        1053345600LL * util::kMicrosPerSecond);
+    clock_ = sim_clock_.get();
+  }
+
+  state_ = std::make_unique<core::SystemState>(clock_);
+  ids_ = std::make_unique<ids::IntrusionDetectionSystem>(state_.get(), clock_,
+                                                         options_.threat);
+  audit_ = std::make_unique<audit::AuditLog>(clock_);
+  notifier_ = std::make_unique<audit::SimulatedSmtpNotifier>(
+      clock_, options_.notification_latency_us);
+  if (options_.asynchronous_notification) {
+    queued_notifier_ = std::make_unique<audit::QueuedNotifier>(
+        clock_, options_.notification_latency_us);
+  }
+
+  core::EvalServices services;
+  services.state = state_.get();
+  services.clock = clock_;
+  services.notifier = options_.asynchronous_notification
+                          ? static_cast<core::NotificationService*>(
+                                queued_notifier_.get())
+                          : notifier_.get();
+  services.audit = audit_.get();
+  services.ids = ids_.get();
+
+  api_ = std::make_unique<core::GaaApi>(&store_, services);
+  api_->set_cache_enabled(options_.enable_policy_cache);
+
+  core::RoutineCatalog catalog;
+  cond::RegisterBuiltinRoutines(catalog);
+  auto init = api_->Initialize(catalog, cond::DefaultConfigText(),
+                               options_.extra_config);
+  if (!init.ok()) {
+    GAA_LOG(kError) << "GAA initialization failed: " << init.error().ToString();
+  }
+
+  controller_ = std::make_unique<GaaAccessController>(api_.get(), &passwords_,
+                                                      options_.controller);
+  server_ = std::make_unique<http::WebServer>(&tree_, controller_.get(),
+                                              clock_);
+  // Ill-formed requests feed the IDS (§3 item 1).
+  server_->set_malformed_hook([this](http::RequestDefect defect,
+                                     const std::string& detail,
+                                     util::Ipv4Address client_ip) {
+    core::IdsReport report;
+    report.kind = core::ReportKind::kIllFormedRequest;
+    report.source_ip = client_ip.ToString();
+    report.attack_type = http::RequestDefectName(defect);
+    report.severity = 3;
+    report.confidence = 0.8;
+    report.detail = detail;
+    ids_->Report(report);
+  });
+}
+
+util::VoidResult GaaWebServer::AddSystemPolicy(const std::string& eacl_text) {
+  return store_.AddSystemPolicy(eacl_text);
+}
+
+util::VoidResult GaaWebServer::SetLocalPolicy(const std::string& dir_prefix,
+                                              const std::string& eacl_text) {
+  return store_.SetLocalPolicy(dir_prefix, eacl_text);
+}
+
+void GaaWebServer::AddUser(const std::string& user,
+                           const std::string& password) {
+  passwords_.GetOrCreate(options_.controller.auth_user_file)
+      .SetUser(user, password);
+}
+
+http::HttpResponse GaaWebServer::Get(
+    const std::string& target, const std::string& client_ip,
+    const std::optional<std::pair<std::string, std::string>>& credentials) {
+  std::map<std::string, std::string> headers;
+  if (credentials.has_value()) {
+    headers["Authorization"] =
+        "Basic " +
+        util::Base64Encode(credentials->first + ":" + credentials->second);
+  }
+  std::string raw = http::BuildGetRequest(target, headers);
+  return HandleText(raw, client_ip);
+}
+
+http::HttpResponse GaaWebServer::HandleText(const std::string& raw,
+                                            const std::string& client_ip) {
+  auto addr = util::Ipv4Address::Parse(client_ip);
+  return server_->HandleText(raw, addr.value_or(util::Ipv4Address(0)),
+                             /*client_port=*/40000);
+}
+
+}  // namespace gaa::web

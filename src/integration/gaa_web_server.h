@@ -1,0 +1,114 @@
+// GaaWebServer: the one-stop facade wiring every subsystem together —
+// clock, shared system state, IDS, audit log, notification service, policy
+// store, GAA-API, document tree, credential stores and the web server with
+// the GAA-backed access controller.  Examples, scenario tests and the
+// benchmark harness all build on this.
+//
+//   GaaWebServer server(http::DocTree::DemoSite(), options);
+//   server.AddUser("alice", "wonder");
+//   server.AddSystemPolicy(...);            // eacl_mode narrow ...
+//   server.SetLocalPolicy("/", ...);        // per-directory EACLs
+//   auto response = server.Get("/index.html", "10.1.2.3");
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "audit/audit_log.h"
+#include "audit/notification.h"
+#include "gaa/api.h"
+#include "gaa/policy_store.h"
+#include "gaa/system_state.h"
+#include "http/doc_tree.h"
+#include "http/server.h"
+#include "ids/ids.h"
+#include "integration/gaa_controller.h"
+#include "util/clock.h"
+
+namespace gaa::web {
+
+class GaaWebServer {
+ public:
+  struct Options {
+    /// false: deterministic SimulatedClock (tests); true: wall clock
+    /// (benchmarks measuring real latency).
+    bool use_real_clock = false;
+    /// Per-notification blocking latency of the simulated SMTP hand-off.
+    util::DurationUs notification_latency_us = 47'000;
+    /// Deliver notifications from a background thread instead of blocking
+    /// the request path (ablation of the paper's synchronous-notification
+    /// cost — the 80 % overhead of §8 is an artifact of blocking delivery).
+    bool asynchronous_notification = false;
+    /// Policy cache (paper §9 future work; ablation A1).
+    bool enable_policy_cache = false;
+    std::size_t policy_cache_capacity = 256;
+    /// Forwarded to the GAA access controller.
+    GaaAccessController::Options controller;
+    /// Escalation thresholds for the embedded IDS threat service.  Raise
+    /// the scores to effectively pin the threat level (the paper's §8
+    /// measurement ran against a static threat profile).
+    ids::ThreatService::Options threat;
+    /// Extra GAA configuration appended to the builtin default bindings.
+    std::string extra_config;
+  };
+
+  explicit GaaWebServer(http::DocTree tree) : GaaWebServer(std::move(tree), Options{}) {}
+  GaaWebServer(http::DocTree tree, Options options);
+
+  GaaWebServer(const GaaWebServer&) = delete;
+  GaaWebServer& operator=(const GaaWebServer&) = delete;
+
+  // --- policy management -----------------------------------------------------
+  util::VoidResult AddSystemPolicy(const std::string& eacl_text);
+  util::VoidResult SetLocalPolicy(const std::string& dir_prefix,
+                                  const std::string& eacl_text);
+
+  // --- credentials -------------------------------------------------------------
+  void AddUser(const std::string& user, const std::string& password);
+
+  // --- request entry points ----------------------------------------------------
+  /// GET `target` from `client_ip`, optionally with Basic credentials.
+  http::HttpResponse Get(
+      const std::string& target, const std::string& client_ip,
+      const std::optional<std::pair<std::string, std::string>>& credentials =
+          std::nullopt);
+
+  /// Raw request text (exercises the parser / ill-formed reporting path).
+  http::HttpResponse HandleText(const std::string& raw,
+                                const std::string& client_ip);
+
+  // --- component access ---------------------------------------------------------
+  util::Clock& clock() { return *clock_; }
+  util::SimulatedClock* sim_clock() { return sim_clock_.get(); }
+  core::SystemState& state() { return *state_; }
+  ids::IntrusionDetectionSystem& ids() { return *ids_; }
+  audit::AuditLog& audit_log() { return *audit_; }
+  audit::SimulatedSmtpNotifier& notifier() { return *notifier_; }
+  /// Non-null only when Options::asynchronous_notification is set.
+  audit::QueuedNotifier* queued_notifier() { return queued_notifier_.get(); }
+  core::PolicyStore& policy_store() { return store_; }
+  core::GaaApi& api() { return *api_; }
+  http::WebServer& server() { return *server_; }
+  http::DocTree& tree() { return tree_; }
+  http::HtpasswdRegistry& passwords() { return passwords_; }
+  GaaAccessController& controller() { return *controller_; }
+
+ private:
+  http::DocTree tree_;
+  Options options_;
+  std::unique_ptr<util::SimulatedClock> sim_clock_;  // null when real clock
+  util::Clock* clock_;
+  std::unique_ptr<core::SystemState> state_;
+  std::unique_ptr<ids::IntrusionDetectionSystem> ids_;
+  std::unique_ptr<audit::AuditLog> audit_;
+  std::unique_ptr<audit::SimulatedSmtpNotifier> notifier_;
+  std::unique_ptr<audit::QueuedNotifier> queued_notifier_;
+  core::PolicyStore store_;
+  std::unique_ptr<core::GaaApi> api_;
+  http::HtpasswdRegistry passwords_;
+  std::unique_ptr<GaaAccessController> controller_;
+  std::unique_ptr<http::WebServer> server_;
+};
+
+}  // namespace gaa::web

@@ -1,0 +1,91 @@
+#include "integration/ipsec.h"
+
+namespace gaa::web {
+
+IpsecGateway::IpsecGateway(core::GaaApi* api, Options options)
+    : api_(api), options_(std::move(options)) {}
+
+IpsecGateway::SaResult IpsecGateway::Authorize(const std::string& peer_ip,
+                                               const std::string& peer_id) {
+  core::RequestContext ctx;
+  ctx.application = options_.application;
+  ctx.operation = "establish_sa";
+  ctx.object = options_.sa_object;
+  ctx.client_ip =
+      util::Ipv4Address::Parse(peer_ip).value_or(util::Ipv4Address(0));
+  if (!peer_id.empty()) {
+    ctx.authenticated = true;
+    ctx.user = peer_id;
+  }
+  ctx.AddParam("peer_ip", options_.application, peer_ip);
+
+  core::RequestedRight right{options_.application, "establish_sa"};
+  core::AuthzResult authz = api_->Authorize(options_.sa_object, right, ctx);
+  switch (authz.status) {
+    case util::Tristate::kYes:
+      return SaResult::kEstablished;
+    case util::Tristate::kNo:
+      return SaResult::kDenied;
+    case util::Tristate::kMaybe:
+      return SaResult::kMoreCredentials;
+  }
+  return SaResult::kDenied;
+}
+
+IpsecGateway::SaResult IpsecGateway::EstablishSa(const std::string& peer_ip,
+                                                 const std::string& peer_id) {
+  SaResult result = Authorize(peer_ip, peer_id);
+  if (result == SaResult::kEstablished) {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_[peer_ip] = peer_id;
+  } else if (result == SaResult::kDenied) {
+    ++denied_;
+  }
+  return result;
+}
+
+bool IpsecGateway::TeardownSa(const std::string& peer_ip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.erase(peer_ip) > 0;
+}
+
+std::size_t IpsecGateway::RevalidateAll() {
+  std::map<std::string, std::string> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = active_;
+  }
+  std::size_t torn_down = 0;
+  for (const auto& [peer_ip, peer_id] : snapshot) {
+    if (Authorize(peer_ip, peer_id) != SaResult::kEstablished) {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.erase(peer_ip);
+      ++torn_down;
+    }
+  }
+  return torn_down;
+}
+
+bool IpsecGateway::HasSa(const std::string& peer_ip) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.count(peer_ip) > 0;
+}
+
+std::size_t IpsecGateway::active_sa_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+const char* SaResultName(IpsecGateway::SaResult result) {
+  switch (result) {
+    case IpsecGateway::SaResult::kEstablished:
+      return "established";
+    case IpsecGateway::SaResult::kDenied:
+      return "denied";
+    case IpsecGateway::SaResult::kMoreCredentials:
+      return "more_credentials";
+  }
+  return "?";
+}
+
+}  // namespace gaa::web

@@ -1,0 +1,68 @@
+// FreeS/WAN-IPsec-like gateway driven through the same GAA-API (the paper
+// names it as its third integration: "We have integrated the GAA-API with
+// Apache web server, sshd and FreeS/WAN IPsec for Linux", §1).
+//
+// The simulated gateway authorizes security-association (SA) establishment
+// per peer: the requested right is (ipsec, establish_sa) on a policy
+// object, so EACL conditions — peer location, threat level, the shared
+// BadGuys blacklist — govern tunnel setup exactly like web requests and
+// ssh logins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "gaa/api.h"
+#include "util/ip.h"
+
+namespace gaa::web {
+
+class IpsecGateway {
+ public:
+  struct Options {
+    std::string application = "ipsec";
+    std::string sa_object = "/ipsec/sa";
+  };
+
+  enum class SaResult {
+    kEstablished,
+    kDenied,            ///< policy rejected the peer
+    kMoreCredentials,   ///< GAA_MAYBE: stronger peer authentication needed
+  };
+
+  explicit IpsecGateway(core::GaaApi* api)
+      : IpsecGateway(api, Options{}) {}
+  IpsecGateway(core::GaaApi* api, Options options);
+
+  /// One IKE-style SA proposal from `peer_ip`.  `peer_id` is the
+  /// authenticated identity from the peer's certificate ("" = anonymous).
+  SaResult EstablishSa(const std::string& peer_ip,
+                       const std::string& peer_id = "");
+
+  /// Drop an SA (admin action or rekey failure).
+  bool TeardownSa(const std::string& peer_ip);
+
+  /// Re-check every active SA against current policy and tear down those
+  /// no longer authorized — the paper's "modifying overall system
+  /// protection" countermeasure applied to tunnels (e.g. after lockdown).
+  std::size_t RevalidateAll();
+
+  bool HasSa(const std::string& peer_ip) const;
+  std::size_t active_sa_count() const;
+  std::size_t denied_count() const { return denied_; }
+
+ private:
+  SaResult Authorize(const std::string& peer_ip, const std::string& peer_id);
+
+  core::GaaApi* api_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> active_;  // peer_ip -> peer_id
+  std::size_t denied_ = 0;
+};
+
+const char* SaResultName(IpsecGateway::SaResult result);
+
+}  // namespace gaa::web

@@ -1,0 +1,77 @@
+#include "integration/sshd.h"
+
+namespace gaa::web {
+
+SshDaemon::SshDaemon(core::GaaApi* api, http::HtpasswdRegistry* passwords,
+                     Options options)
+    : api_(api), passwords_(passwords), options_(std::move(options)) {}
+
+void SshDaemon::AddUser(const std::string& user, const std::string& password) {
+  passwords_->GetOrCreate(options_.auth_user_file).SetUser(user, password);
+}
+
+SshDaemon::LoginResult SshDaemon::Login(const std::string& user,
+                                        const std::string& password,
+                                        const std::string& client_ip) {
+  auto addr = util::Ipv4Address::Parse(client_ip).value_or(util::Ipv4Address(0));
+
+  core::RequestContext ctx;
+  ctx.application = options_.application;
+  ctx.operation = "login";
+  ctx.object = options_.login_object;
+  ctx.client_ip = addr;
+  ctx.AddParam("client_ip", options_.application, addr.ToString());
+
+  const http::HtpasswdStore* store = passwords_->Find(options_.auth_user_file);
+  bool password_ok = store != nullptr && store->Check(user, password);
+  if (password_ok) {
+    ctx.authenticated = true;
+    ctx.user = user;
+  } else if (api_->services().state != nullptr) {
+    // Failed login → sliding-window counter (password-guessing threshold
+    // conditions, §3 item 4).
+    api_->services().state->RecordEvent(
+        "failed_auth:" + addr.ToString(),
+        static_cast<util::DurationUs>(options_.failed_auth_window_s) *
+            util::kMicrosPerSecond);
+  }
+
+  core::RequestedRight right{options_.application, "login"};
+  core::AuthzResult authz = api_->Authorize(options_.login_object, right, ctx);
+
+  if (authz.status == util::Tristate::kNo) {
+    ++denied_;
+    return LoginResult::kDenied;
+  }
+  if (authz.status == util::Tristate::kMaybe) {
+    // Typically: identity condition unevaluated because the password check
+    // failed — the daemon asks for credentials again.
+    if (!password_ok) {
+      ++bad_credentials_;
+      return LoginResult::kBadCredentials;
+    }
+    return LoginResult::kMoreCredentials;
+  }
+  if (!password_ok) {
+    ++bad_credentials_;
+    return LoginResult::kBadCredentials;
+  }
+  ++accepted_;
+  return LoginResult::kAccepted;
+}
+
+const char* LoginResultName(SshDaemon::LoginResult result) {
+  switch (result) {
+    case SshDaemon::LoginResult::kAccepted:
+      return "accepted";
+    case SshDaemon::LoginResult::kBadCredentials:
+      return "bad_credentials";
+    case SshDaemon::LoginResult::kDenied:
+      return "denied";
+    case SshDaemon::LoginResult::kMoreCredentials:
+      return "more_credentials";
+  }
+  return "?";
+}
+
+}  // namespace gaa::web

@@ -1,0 +1,64 @@
+// sshd-like login service driven through the same GAA-API (paper §1/§9:
+// "We have integrated the GAA-API with Apache web server, sshd and
+// FreeS/WAN IPsec for Linux" — the API is generic; only the glue differs).
+//
+// The simulated daemon authenticates password logins and consults the
+// GAA-API with requested right (sshd, login).  System-wide policies
+// (lockdown, blacklists) therefore apply to ssh exactly as they do to web
+// requests — the cross-application sharing §7.2 highlights ("since this
+// blacklist is specified in a system-wide policy, the list is shared by
+// many of our hosts").
+#pragma once
+
+#include <string>
+
+#include "gaa/api.h"
+#include "http/htpasswd.h"
+#include "util/ip.h"
+
+namespace gaa::web {
+
+class SshDaemon {
+ public:
+  struct Options {
+    std::string application = "sshd";
+    std::string auth_user_file = "sshd";
+    /// Policy object consulted for logins (policies attach to this path).
+    std::string login_object = "/sshd/login";
+    int failed_auth_window_s = 60;
+  };
+
+  enum class LoginResult {
+    kAccepted,
+    kBadCredentials,   ///< password check failed
+    kDenied,           ///< GAA policy denied (blacklist, lockdown, ...)
+    kMoreCredentials,  ///< GAA answered MAYBE (e.g. needs stronger auth)
+  };
+
+  SshDaemon(core::GaaApi* api, http::HtpasswdRegistry* passwords)
+      : SshDaemon(api, passwords, Options{}) {}
+  SshDaemon(core::GaaApi* api, http::HtpasswdRegistry* passwords,
+            Options options);
+
+  /// One password-login attempt from `client_ip`.
+  LoginResult Login(const std::string& user, const std::string& password,
+                    const std::string& client_ip);
+
+  void AddUser(const std::string& user, const std::string& password);
+
+  std::size_t accepted_count() const { return accepted_; }
+  std::size_t denied_count() const { return denied_; }
+  std::size_t bad_credentials_count() const { return bad_credentials_; }
+
+ private:
+  core::GaaApi* api_;
+  http::HtpasswdRegistry* passwords_;
+  Options options_;
+  std::size_t accepted_ = 0;
+  std::size_t denied_ = 0;
+  std::size_t bad_credentials_ = 0;
+};
+
+const char* LoginResultName(SshDaemon::LoginResult result);
+
+}  // namespace gaa::web

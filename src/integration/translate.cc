@@ -1,0 +1,38 @@
+#include "integration/translate.h"
+
+#include "util/strings.h"
+
+namespace gaa::web {
+
+std::optional<std::string> RedirectTarget(const core::AuthzResult& authz) {
+  // Paper: "the server checks whether there is only one unevaluated
+  // condition of the type pre_cond_redirect and creates a redirected
+  // request using the URL from the condition value."
+  if (authz.unevaluated.size() != 1) return std::nullopt;
+  const eacl::Condition& cond = authz.unevaluated.front();
+  if (cond.type != "pre_cond_redirect") return std::nullopt;
+  return std::string(util::Trim(cond.value));
+}
+
+Translation TranslateAuthz(const core::AuthzResult& authz,
+                           const std::string& realm) {
+  Translation out;
+  switch (authz.status) {
+    case util::Tristate::kYes:
+      return out;  // HTTP_OK: proceed
+    case util::Tristate::kNo:
+      out.response = http::HttpResponse::Make(http::StatusCode::kForbidden);
+      return out;
+    case util::Tristate::kMaybe:
+      if (auto target = RedirectTarget(authz)) {
+        out.response = http::HttpResponse::Redirect(*target);
+      } else {
+        out.response = http::HttpResponse::AuthRequired(realm);
+      }
+      return out;
+  }
+  out.response = http::HttpResponse::Make(http::StatusCode::kInternalError);
+  return out;
+}
+
+}  // namespace gaa::web

@@ -1,0 +1,33 @@
+// GAA → Apache status translation (paper §6, step 2d).
+//
+//   GAA_YES   → HTTP_OK           (continue the request pipeline)
+//   GAA_NO    → HTTP_FORBIDDEN    (Apache should reject the request)
+//   GAA_MAYBE → HTTP_REDIRECT     when exactly one unevaluated condition of
+//                                 type pre_cond_redirect remains (adaptive
+//                                 redirection: its value is the target URL)
+//             → HTTP_UNAUTHORIZED otherwise (typically missing credentials;
+//                                 the 401 challenge asks for them)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gaa/api.h"
+#include "http/response.h"
+
+namespace gaa::web {
+
+struct Translation {
+  /// Set when the GAA answer short-circuits the request (deny / challenge /
+  /// redirect); empty means "authorized, continue".
+  std::optional<http::HttpResponse> response;
+};
+
+Translation TranslateAuthz(const core::AuthzResult& authz,
+                           const std::string& realm);
+
+/// The redirect target if `authz` is the adaptive-redirection MAYBE shape
+/// (exactly one unevaluated condition, of type pre_cond_redirect).
+std::optional<std::string> RedirectTarget(const core::AuthzResult& authz);
+
+}  // namespace gaa::web

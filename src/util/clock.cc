@@ -1,0 +1,67 @@
+#include "util/clock.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+namespace gaa::util {
+
+TimePoint RealClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::Sleep(DurationUs us) {
+  if (us <= 0) return;
+  // The OS sleep granularity (tens of microseconds of overshoot) would
+  // distort sub-millisecond latency models (e.g. the scaled notification
+  // delay in bench_performance), so short waits spin on the steady clock.
+  if (us < 2000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(us);
+    while (std::chrono::steady_clock::now() < deadline) {
+      // busy-wait
+    }
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+RealClock& RealClock::Instance() {
+  static RealClock instance;
+  return instance;
+}
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+DurationUs Stopwatch::ElapsedUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Stopwatch::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::string FormatTimestamp(TimePoint us) {
+  std::time_t secs = static_cast<std::time_t>(us / kMicrosPerSecond);
+  std::int64_t millis = (us % kMicrosPerSecond) / 1000;
+  if (millis < 0) {
+    millis += 1000;
+    secs -= 1;
+  }
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03" PRId64,
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+}  // namespace gaa::util

@@ -1,0 +1,103 @@
+// Clock abstraction.
+//
+// All time-dependent behaviour in the reproduction (time-of-day policy
+// conditions, threat-level decay, audit timestamps, notification latency,
+// per-request timing) flows through the Clock interface so that tests can run
+// against a deterministic SimulatedClock while benchmarks and examples use
+// the real steady/system clocks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace gaa::util {
+
+/// Microseconds since an epoch.  For RealClock this is the Unix epoch; for
+/// SimulatedClock it is whatever origin the test configures.
+using TimePoint = std::int64_t;
+using DurationUs = std::int64_t;
+
+constexpr DurationUs kMicrosPerSecond = 1'000'000;
+constexpr DurationUs kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr DurationUs kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr DurationUs kMicrosPerDay = 24 * kMicrosPerHour;
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since the clock's epoch.
+  virtual TimePoint Now() const = 0;
+
+  /// Advance or block for `us` microseconds.  RealClock sleeps; the
+  /// simulated clock advances instantly.  Used by the notification latency
+  /// model and workload pacing.
+  virtual void Sleep(DurationUs us) = 0;
+
+  /// Seconds-within-day for time-of-day policy conditions (0..86399).
+  int SecondOfDay() const {
+    auto t = Now() / kMicrosPerSecond;
+    return static_cast<int>(((t % 86400) + 86400) % 86400);
+  }
+};
+
+/// Wall-clock / sleeping clock backed by std::chrono.
+class RealClock final : public Clock {
+ public:
+  TimePoint Now() const override;
+  void Sleep(DurationUs us) override;
+
+  /// Process-wide singleton; most call sites share this instance.
+  static RealClock& Instance();
+};
+
+/// Deterministic, manually-advanced clock for tests and simulations.
+/// Thread-safe: workers may read while a driver advances.
+class SimulatedClock final : public Clock {
+ public:
+  explicit SimulatedClock(TimePoint start_us = 0) : now_(start_us) {}
+
+  TimePoint Now() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  /// Sleep on a simulated clock simply advances time.
+  void Sleep(DurationUs us) override { Advance(us); }
+
+  void Advance(DurationUs us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += us;
+  }
+
+  void SetTime(TimePoint t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ = t;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  TimePoint now_;
+};
+
+/// Monotonic stopwatch for latency measurements (always real time).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart();
+  /// Elapsed microseconds since construction / Restart().
+  DurationUs ElapsedUs() const;
+  /// Elapsed milliseconds at nanosecond resolution (micro-benchmarks).
+  double ElapsedMs() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Render a TimePoint as "YYYY-MM-DD HH:MM:SS.mmm" (UTC) for logs/audit.
+std::string FormatTimestamp(TimePoint us);
+
+}  // namespace gaa::util

@@ -1,0 +1,86 @@
+#include "util/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace gaa::util {
+
+Result<std::vector<ConfigLine>> ParseConfigText(std::string_view text) {
+  std::vector<ConfigLine> out;
+  int line_number = 0;
+  std::string pending;       // accumulated continuation text
+  int pending_start = 0;     // line number where the continuation began
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view raw =
+        eol == std::string_view::npos ? text.substr(pos) : text.substr(pos, eol - pos);
+    ++line_number;
+
+    std::string_view line = raw;
+    // Strip comments: '#' starts a comment unless escaped.
+    std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    std::string_view trimmed = Trim(line);
+
+    bool continued = !trimmed.empty() && trimmed.back() == '\\';
+    if (continued) trimmed = Trim(trimmed.substr(0, trimmed.size() - 1));
+
+    if (!trimmed.empty()) {
+      if (pending.empty()) pending_start = line_number;
+      if (!pending.empty()) pending.push_back(' ');
+      pending.append(trimmed);
+    }
+
+    if (!continued && !pending.empty()) {
+      ConfigLine cl;
+      cl.line_number = pending_start;
+      cl.tokens = SplitWhitespace(pending);
+      out.push_back(std::move(cl));
+      pending.clear();
+    }
+
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  if (!pending.empty()) {
+    ConfigLine cl;
+    cl.line_number = pending_start;
+    cl.tokens = SplitWhitespace(pending);
+    out.push_back(std::move(cl));
+  }
+  return out;
+}
+
+Result<std::vector<ConfigLine>> ParseConfigFile(const std::string& path) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.error();
+  return ParseConfigText(text.value());
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error(ErrorCode::kNotFound, "cannot open file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+VoidResult WriteStringToFile(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Error(ErrorCode::kUnavailable, "cannot open file for write: " + path);
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    return Error(ErrorCode::kUnavailable, "short write: " + path);
+  }
+  return VoidResult::Ok();
+}
+
+}  // namespace gaa::util

@@ -1,0 +1,43 @@
+// Line-oriented configuration reader.
+//
+// GAA configuration files (system-wide and local) list condition-evaluation
+// routines and their parameters, one directive per line:
+//
+//     # comment
+//     condition pre_cond_time      local  builtin:time_window
+//     condition pre_cond_regex     gnu    builtin:glob_signature
+//     param     notify.sysadmin    sysadmin@example.org
+//
+// The reader supports '#' comments, blank lines, and continuation via a
+// trailing backslash.  It can read either from a real file or from an
+// in-memory string (tests and examples embed their configs).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gaa::util {
+
+/// One parsed directive: the line's whitespace-separated tokens plus its
+/// 1-based source line for error reporting.
+struct ConfigLine {
+  int line_number = 0;
+  std::vector<std::string> tokens;
+};
+
+/// Parse configuration text into directives.
+Result<std::vector<ConfigLine>> ParseConfigText(std::string_view text);
+
+/// Read and parse a configuration file from disk.
+Result<std::vector<ConfigLine>> ParseConfigFile(const std::string& path);
+
+/// Read a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Write a string to a file (truncating).  Used by tests and the audit log.
+VoidResult WriteStringToFile(const std::string& path, std::string_view data);
+
+}  // namespace gaa::util

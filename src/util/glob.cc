@@ -1,0 +1,163 @@
+#include "util/glob.h"
+
+#include <cctype>
+
+namespace gaa::util {
+
+namespace {
+
+char Fold(char c, bool ignore_case) {
+  return ignore_case
+             ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+             : c;
+}
+
+// Matches a character class starting at pattern[*pi] == '['.  On success
+// advances *pi past the closing ']' and reports whether `c` is in the class.
+// A malformed class (no closing bracket) is treated as a literal '['.
+bool MatchClass(std::string_view pattern, std::size_t* pi, char c,
+                bool ignore_case, bool* ok) {
+  std::size_t i = *pi + 1;  // past '['
+  bool negate = false;
+  if (i < pattern.size() && (pattern[i] == '!' || pattern[i] == '^')) {
+    negate = true;
+    ++i;
+  }
+  bool matched = false;
+  bool first = true;
+  std::size_t scan = i;
+  // Find closing bracket first; ']' is literal if it is the first class char.
+  std::size_t close = std::string_view::npos;
+  for (std::size_t j = scan; j < pattern.size(); ++j) {
+    if (pattern[j] == ']' && !(first && j == scan)) {
+      close = j;
+      break;
+    }
+    if (j == scan) first = false;
+  }
+  if (close == std::string_view::npos) {
+    *ok = false;  // malformed; caller treats '[' literally
+    return false;
+  }
+  char fc = Fold(c, ignore_case);
+  for (std::size_t j = i; j < close; ++j) {
+    if (j + 2 < close && pattern[j + 1] == '-') {
+      char lo = Fold(pattern[j], ignore_case);
+      char hi = Fold(pattern[j + 2], ignore_case);
+      if (lo <= fc && fc <= hi) matched = true;
+      j += 2;
+    } else if (Fold(pattern[j], ignore_case) == fc) {
+      matched = true;
+    }
+  }
+  *pi = close;  // caller's loop ++ moves past ']'
+  *ok = true;
+  return negate ? !matched : matched;
+}
+
+bool GlobMatchImpl(std::string_view pattern, std::string_view text,
+                   bool ignore_case) {
+  // Iterative backtracking matcher (classic two-pointer algorithm).
+  std::size_t p = 0, t = 0;
+  std::size_t star_p = std::string_view::npos;  // position after last '*'
+  std::size_t star_t = 0;                       // text position for that star
+
+  while (t < text.size()) {
+    bool advanced = false;
+    if (p < pattern.size()) {
+      char pc = pattern[p];
+      if (pc == '*') {
+        star_p = ++p;
+        star_t = t;
+        continue;
+      }
+      if (pc == '?') {
+        ++p;
+        ++t;
+        continue;
+      }
+      if (pc == '[') {
+        std::size_t pi = p;
+        bool ok = false;
+        bool in_class = MatchClass(pattern, &pi, text[t], ignore_case, &ok);
+        if (ok) {
+          if (in_class) {
+            p = pi + 1;
+            ++t;
+            continue;
+          }
+          // fall through to backtrack
+        } else if (Fold(text[t], ignore_case) == Fold('[', ignore_case)) {
+          ++p;
+          ++t;
+          continue;
+        }
+      } else {
+        if (pc == '\\' && p + 1 < pattern.size()) {
+          pc = pattern[p + 1];
+          if (Fold(pc, ignore_case) == Fold(text[t], ignore_case)) {
+            p += 2;
+            ++t;
+            continue;
+          }
+        } else if (Fold(pc, ignore_case) == Fold(text[t], ignore_case)) {
+          ++p;
+          ++t;
+          continue;
+        }
+      }
+    }
+    (void)advanced;
+    // Mismatch: backtrack to the last '*' if any, consuming one more char.
+    if (star_p != std::string_view::npos) {
+      p = star_p;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  // Remaining pattern must be all '*'.
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace
+
+bool GlobMatch(std::string_view pattern, std::string_view text) {
+  return GlobMatchImpl(pattern, text, /*ignore_case=*/false);
+}
+
+bool GlobMatchIgnoreCase(std::string_view pattern, std::string_view text) {
+  return GlobMatchImpl(pattern, text, /*ignore_case=*/true);
+}
+
+CompiledGlob::CompiledGlob(std::string pattern, bool ignore_case)
+    : pattern_(std::move(pattern)), ignore_case_(ignore_case) {
+  // Extract the longest metacharacter-free literal run for quick rejection.
+  std::string current;
+  std::string best;
+  for (std::size_t i = 0; i < pattern_.size(); ++i) {
+    char c = pattern_[i];
+    if (c == '*' || c == '?' || c == '[') {
+      if (current.size() > best.size()) best = current;
+      current.clear();
+    } else if (c == '\\' && i + 1 < pattern_.size()) {
+      current.push_back(pattern_[++i]);
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (current.size() > best.size()) best = current;
+  longest_literal_ = ignore_case_ ? std::string() : best;  // fold-safe only
+  if (ignore_case_) longest_literal_.clear();
+}
+
+bool CompiledGlob::Matches(std::string_view text) const {
+  if (!longest_literal_.empty() &&
+      text.find(longest_literal_) == std::string_view::npos) {
+    return false;
+  }
+  return GlobMatchImpl(pattern_, text, ignore_case_);
+}
+
+}  // namespace gaa::util

@@ -1,0 +1,51 @@
+// Wildcard pattern matching for EACL signature conditions.
+//
+// The paper's `pre_cond_regex gnu` conditions use shell-style wildcard
+// signatures such as "*phf*", "*test-cgi*", "*%*" and
+// "*///////////////////*".  We implement the classic glob dialect:
+//
+//   *   matches any run of characters (including empty)
+//   ?   matches exactly one character
+//   [a-z] / [!a-z]  character classes
+//   \x  escapes the next character literally
+//
+// Matching is iterative (no recursion) and O(n*m) worst case, which keeps a
+// hostile pattern from blowing the stack — signatures come from policy files,
+// but the *subject* is attacker-controlled URL text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gaa::util {
+
+/// True if `text` matches glob `pattern` in full.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+/// Case-insensitive variant (URLs and HTTP header names are case-insensitive
+/// in the places signatures look).
+bool GlobMatchIgnoreCase(std::string_view pattern, std::string_view text);
+
+/// A compiled glob: pre-splits the pattern once so repeated matching against
+/// many requests avoids re-scanning pattern syntax.  Used by the signature
+/// database on the hot path.
+class CompiledGlob {
+ public:
+  explicit CompiledGlob(std::string pattern, bool ignore_case = false);
+
+  bool Matches(std::string_view text) const;
+  const std::string& pattern() const { return pattern_; }
+  bool ignore_case() const { return ignore_case_; }
+
+  /// Quick rejection: the longest literal segment of the pattern.  If this
+  /// is non-empty and absent from the subject, the glob cannot match.
+  const std::string& longest_literal() const { return longest_literal_; }
+
+ private:
+  std::string pattern_;
+  bool ignore_case_;
+  std::string longest_literal_;
+};
+
+}  // namespace gaa::util

@@ -1,0 +1,75 @@
+#include "util/ip.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace gaa::util {
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  auto parts = Split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t bits = 0;
+  for (const auto& part : parts) {
+    auto v = ParseInt(part);
+    if (!v || *v < 0 || *v > 255) return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint32_t>(*v);
+  }
+  return Ipv4Address(bits);
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (bits_ >> 24) & 0xff,
+                (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+CidrBlock::CidrBlock(Ipv4Address base, int prefix_len)
+    : base_(base), prefix_len_(prefix_len) {
+  if (prefix_len_ < 0) prefix_len_ = 0;
+  if (prefix_len_ > 32) prefix_len_ = 32;
+  mask_ = prefix_len_ == 0 ? 0u : (0xffffffffu << (32 - prefix_len_));
+  base_ = Ipv4Address(base.bits() & mask_);
+}
+
+std::optional<CidrBlock> CidrBlock::Parse(std::string_view text) {
+  text = Trim(text);
+  if (text.empty()) return std::nullopt;
+  std::string_view addr_part = text;
+  int prefix = 32;
+  auto slash = text.find('/');
+  if (slash != std::string_view::npos) {
+    addr_part = text.substr(0, slash);
+    auto p = ParseInt(text.substr(slash + 1));
+    if (!p || *p < 0 || *p > 32) return std::nullopt;
+    prefix = static_cast<int>(*p);
+  }
+  auto addr = Ipv4Address::Parse(addr_part);
+  if (!addr) {
+    // Apache-style partial address: "128.9" == 128.9.0.0/16.
+    auto parts = Split(addr_part, '.');
+    if (parts.empty() || parts.size() >= 4) return std::nullopt;
+    std::uint32_t bits = 0;
+    for (const auto& part : parts) {
+      auto v = ParseInt(part);
+      if (!v || *v < 0 || *v > 255) return std::nullopt;
+      bits = (bits << 8) | static_cast<std::uint32_t>(*v);
+    }
+    bits <<= 8 * (4 - parts.size());
+    if (slash == std::string_view::npos)
+      prefix = static_cast<int>(8 * parts.size());
+    return CidrBlock(Ipv4Address(bits), prefix);
+  }
+  return CidrBlock(*addr, prefix);
+}
+
+bool CidrBlock::Contains(Ipv4Address addr) const {
+  return (addr.bits() & mask_) == base_.bits();
+}
+
+std::string CidrBlock::ToString() const {
+  return base_.ToString() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace gaa::util

@@ -1,0 +1,61 @@
+// IPv4 addresses, CIDR prefixes and dotted ranges.
+//
+// The paper's policies restrict access by client address ("Allow from
+// 128.9.0.0/16"-style directives and `pre_cond_location` EACL conditions) and
+// the BadGuys blacklist is keyed by source IP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gaa::util {
+
+/// An IPv4 address, stored host-order for arithmetic.
+class Ipv4Address {
+ public:
+  Ipv4Address() = default;
+  explicit Ipv4Address(std::uint32_t host_order) : bits_(host_order) {}
+
+  /// Parse "a.b.c.d"; rejects malformed text.
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  std::uint32_t bits() const { return bits_; }
+  std::string ToString() const;
+
+  friend bool operator==(Ipv4Address a, Ipv4Address b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(Ipv4Address a, Ipv4Address b) { return !(a == b); }
+  friend bool operator<(Ipv4Address a, Ipv4Address b) {
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// A CIDR prefix such as "128.9.0.0/16".  "/32" (single host) is the default
+/// when no prefix length is given.  Also accepts the Apache partial-octet
+/// form "128.9" (== 128.9.0.0/16).
+class CidrBlock {
+ public:
+  CidrBlock() = default;
+  CidrBlock(Ipv4Address base, int prefix_len);
+
+  static std::optional<CidrBlock> Parse(std::string_view text);
+
+  bool Contains(Ipv4Address addr) const;
+  std::string ToString() const;
+
+  Ipv4Address base() const { return base_; }
+  int prefix_len() const { return prefix_len_; }
+
+ private:
+  Ipv4Address base_;
+  int prefix_len_ = 32;
+  std::uint32_t mask_ = 0xffffffffu;
+};
+
+}  // namespace gaa::util

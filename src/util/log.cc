@@ -1,0 +1,66 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace gaa::util {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger() : min_level_(LogLevel::kWarn) {
+  sinks_.push_back(StderrSink());
+}
+
+Logger& Logger::Instance() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::SetMinLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_level_;
+}
+
+void Logger::SetSinks(std::vector<LogSink> sinks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_ = std::move(sinks);
+}
+
+void Logger::AddSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  std::vector<LogSink> sinks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (level < min_level_) return;
+    sinks = sinks_;
+  }
+  for (const auto& sink : sinks) sink(level, message);
+}
+
+LogSink Logger::StderrSink() {
+  return [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+  };
+}
+
+}  // namespace gaa::util

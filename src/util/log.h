@@ -1,0 +1,64 @@
+// Leveled logger with pluggable sinks.
+//
+// The server, the GAA-API and the IDS all log through this.  Tests install a
+// capturing sink; examples and benches use stderr (or silence it).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gaa::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// A sink consumes fully-formatted log records.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Process-wide logger.  Thread-safe.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetMinLevel(LogLevel level);
+  LogLevel min_level() const;
+
+  /// Replace all sinks (returns previous count).  Passing {} silences logs.
+  void SetSinks(std::vector<LogSink> sinks);
+  void AddSink(LogSink sink);
+
+  void Log(LogLevel level, const std::string& message);
+
+  /// Default sink writing "LEVEL message" to stderr.
+  static LogSink StderrSink();
+
+ private:
+  Logger();
+  mutable std::mutex mu_;
+  LogLevel min_level_;
+  std::vector<LogSink> sinks_;
+};
+
+/// Stream-style logging helper:  LOG_STREAM(kInfo) << "x=" << x;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { Logger::Instance().Log(level_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace gaa::util
+
+#define GAA_LOG(level) ::gaa::util::LogStream(::gaa::util::LogLevel::level)

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random source for workload generation.
+//
+// splitmix64 core: tiny, fast, and good enough for trace synthesis.  The
+// workload generator must be reproducible across runs and platforms, so we
+// do not use std::mt19937 seeded from random_device anywhere on the
+// experiment path.
+#pragma once
+
+#include <cstdint>
+
+namespace gaa::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(NextBelow(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gaa::util

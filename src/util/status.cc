@@ -1,0 +1,27 @@
+#include "util/status.h"
+
+namespace gaa::util {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kPermissionDenied:
+      return "permission_denied";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace gaa::util

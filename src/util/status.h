@@ -1,0 +1,104 @@
+// Lightweight error-handling vocabulary used across the GAA reproduction.
+//
+// Result<T> is a minimal expected-like type: either a value or an Error with
+// a code and a human-readable message.  We avoid exceptions on policy /
+// request processing paths because malformed input (bad policy files, bad
+// HTTP requests, hostile URLs) is an expected, frequent event, not an
+// exceptional one.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gaa::util {
+
+/// Error categories shared by all modules.
+enum class ErrorCode {
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kParseError,        ///< malformed policy / config / request text
+  kNotFound,          ///< object, file or registry entry missing
+  kPermissionDenied,  ///< access control rejected the operation
+  kAlreadyExists,     ///< duplicate registration or file
+  kResourceExhausted, ///< limits exceeded (sizes, quotas)
+  kUnavailable,       ///< dependent service down (e.g. notification sink)
+  kInternal,          ///< invariant violation; indicates a bug
+};
+
+/// Human-readable name of an ErrorCode (stable, used in logs and tests).
+const char* ErrorCodeName(ErrorCode code);
+
+/// An error with a category and message.  Cheap to copy, comparable by code.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  Error() = default;
+  Error(ErrorCode c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  std::string ToString() const {
+    return std::string(ErrorCodeName(code)) + ": " + message;
+  }
+};
+
+/// Minimal expected-like result.  Either holds a T or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(implicit)
+  Result(ErrorCode code, std::string msg) : data_(Error(code, std::move(msg))) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations without a payload.
+class [[nodiscard]] VoidResult {
+ public:
+  VoidResult() = default;                                // success
+  VoidResult(Error error) : error_(std::move(error)) {}  // NOLINT(implicit)
+  VoidResult(ErrorCode code, std::string msg) : error_(Error(code, std::move(msg))) {}
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  static VoidResult Ok() { return VoidResult(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace gaa::util

@@ -1,0 +1,17 @@
+#include "util/tristate.h"
+
+namespace gaa::util {
+
+const char* TristateName(Tristate t) {
+  switch (t) {
+    case Tristate::kYes:
+      return "YES";
+    case Tristate::kNo:
+      return "NO";
+    case Tristate::kMaybe:
+      return "MAYBE";
+  }
+  return "?";
+}
+
+}  // namespace gaa::util

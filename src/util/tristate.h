@@ -1,0 +1,48 @@
+// Three-valued (Kleene) logic.
+//
+// The GAA-API's status values are three-valued: GAA_YES (all conditions
+// met), GAA_NO (at least one condition failed) and GAA_MAYBE (none failed but
+// at least one was left unevaluated).  Condition blocks are conjunctions and
+// policy composition uses conjunction (narrow) and disjunction (expand), so
+// the combination laws live here, where both the eacl and gaa modules can
+// reach them, and where property tests can check the algebra in isolation.
+#pragma once
+
+namespace gaa::util {
+
+enum class Tristate {
+  kYes,    ///< definitely true  (GAA_YES)
+  kNo,     ///< definitely false (GAA_NO)
+  kMaybe,  ///< undetermined     (GAA_MAYBE)
+};
+
+const char* TristateName(Tristate t);
+
+/// Kleene conjunction: NO dominates, then MAYBE, then YES.
+constexpr Tristate And3(Tristate a, Tristate b) {
+  if (a == Tristate::kNo || b == Tristate::kNo) return Tristate::kNo;
+  if (a == Tristate::kMaybe || b == Tristate::kMaybe) return Tristate::kMaybe;
+  return Tristate::kYes;
+}
+
+/// Kleene disjunction: YES dominates, then MAYBE, then NO.
+constexpr Tristate Or3(Tristate a, Tristate b) {
+  if (a == Tristate::kYes || b == Tristate::kYes) return Tristate::kYes;
+  if (a == Tristate::kMaybe || b == Tristate::kMaybe) return Tristate::kMaybe;
+  return Tristate::kNo;
+}
+
+/// Kleene negation: swaps YES and NO, fixes MAYBE.
+constexpr Tristate Not3(Tristate a) {
+  switch (a) {
+    case Tristate::kYes:
+      return Tristate::kNo;
+    case Tristate::kNo:
+      return Tristate::kYes;
+    case Tristate::kMaybe:
+      return Tristate::kMaybe;
+  }
+  return Tristate::kMaybe;
+}
+
+}  // namespace gaa::util

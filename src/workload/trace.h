@@ -1,0 +1,81 @@
+// Workload / attack-trace generator.
+//
+// Stands in for the paper's live clients: seeded, fully reproducible
+// request traces mixing benign traffic with the §1/§7.2 attack classes —
+// vulnerable-CGI probes (phf, test-cgi), the many-slashes Apache DoS,
+// NIMDA-style percent-encoded URLs, Code-Red-style oversized CGI input,
+// password guessing, and ill-formed HTTP.  Also provides the §7.2
+// "vulnerability-scan script": a known-signature probe followed by
+// unknown-signature probes from the same host, which the blacklist response
+// is supposed to block.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gaa::workload {
+
+enum class RequestKind {
+  kStaticPage,     // benign: /index.html, /docs/*
+  kSearchCgi,      // benign: /cgi-bin/search?q=...
+  kPrivatePage,    // benign: authenticated /private/*
+  kCgiProbe,       // attack: phf / test-cgi exploitation attempt
+  kDosSlashes,     // attack: massive '/' run
+  kNimdaPercent,   // attack: percent-encoded malformed URL
+  kOverflowInput,  // attack: >1000-char CGI input
+  kPasswordGuess,  // attack: wrong Basic credentials on /private
+  kIllFormed,      // attack: unparsable HTTP
+  kUnknownProbe,   // attack: probe with no known signature
+};
+
+const char* RequestKindName(RequestKind kind);
+bool IsAttackKind(RequestKind kind);
+
+struct TraceRequest {
+  RequestKind kind = RequestKind::kStaticPage;
+  std::string raw;        ///< full HTTP request text
+  std::string client_ip;
+  std::string label;      ///< human-readable tag for reports
+};
+
+struct TraceOptions {
+  std::uint64_t seed = 42;
+  std::size_t count = 1000;
+  double attack_fraction = 0.1;  ///< share of attack requests
+  std::size_t benign_clients = 32;
+  std::size_t attacker_clients = 4;
+  /// Benign credentials embedded in kPrivatePage requests.
+  std::string user = "alice";
+  std::string password = "wonder";
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(TraceOptions options);
+
+  /// A full shuffled trace per the options.
+  std::vector<TraceRequest> Generate();
+
+  /// One request of a specific kind (deterministic given the generator
+  /// state) — scenario tests compose traces by hand with this.
+  TraceRequest Make(RequestKind kind);
+
+  /// The §7.2 scan script: from one attacker address, a known-signature
+  /// probe (phf) followed by `unknown_probes` requests whose signatures the
+  /// policy does NOT know.  With blacklisting active, everything after the
+  /// first hit should be blocked.
+  std::vector<TraceRequest> VulnerabilityScan(const std::string& attacker_ip,
+                                              std::size_t unknown_probes);
+
+ private:
+  std::string BenignIp();
+  std::string AttackerIp();
+
+  TraceOptions options_;
+  util::Rng rng_;
+};
+
+}  // namespace gaa::workload

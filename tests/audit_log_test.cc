@@ -1,0 +1,74 @@
+#include "audit/audit_log.h"
+
+#include <gtest/gtest.h>
+
+#include "util/config.h"
+
+namespace gaa::audit {
+namespace {
+
+class AuditLogTest : public ::testing::Test {
+ protected:
+  AuditLogTest() : clock_(5'000'000), log_(&clock_, /*max_records=*/4) {}
+  util::SimulatedClock clock_;
+  AuditLog log_;
+};
+
+TEST_F(AuditLogTest, RecordsWithTimestamp) {
+  log_.Record("access", "GRANT x");
+  auto records = log_.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].time_us, 5'000'000);
+  EXPECT_EQ(records[0].category, "access");
+  EXPECT_EQ(records[0].message, "GRANT x");
+}
+
+TEST_F(AuditLogTest, ByCategoryAndCount) {
+  log_.Record("access", "a");
+  log_.Record("blacklist", "b");
+  log_.Record("access", "c");
+  EXPECT_EQ(log_.CountCategory("access"), 2u);
+  EXPECT_EQ(log_.CountCategory("blacklist"), 1u);
+  EXPECT_EQ(log_.CountCategory("nothing"), 0u);
+  auto access = log_.ByCategory("access");
+  ASSERT_EQ(access.size(), 2u);
+  EXPECT_EQ(access[1].message, "c");
+}
+
+TEST_F(AuditLogTest, BoundedRingDropsOldest) {
+  for (int i = 0; i < 6; ++i) {
+    log_.Record("c", "m" + std::to_string(i));
+  }
+  auto records = log_.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().message, "m2");
+  EXPECT_EQ(records.back().message, "m5");
+}
+
+TEST_F(AuditLogTest, Clear) {
+  log_.Record("c", "m");
+  log_.Clear();
+  EXPECT_EQ(log_.size(), 0u);
+}
+
+TEST_F(AuditLogTest, FileMirrorAppends) {
+  std::string path = ::testing::TempDir() + "/audit_mirror_test.log";
+  util::WriteStringToFile(path, "").ok();
+  log_.SetFileMirror(path);
+  log_.Record("access", "hello-mirror");
+  auto text = util::ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.value().find("hello-mirror"), std::string::npos);
+  EXPECT_NE(text.value().find("[access]"), std::string::npos);
+  EXPECT_EQ(log_.file_errors(), 0u);
+}
+
+TEST_F(AuditLogTest, FileMirrorFailureIsCounted) {
+  log_.SetFileMirror("/nonexistent-dir/x/y/z.log");
+  log_.Record("access", "m");
+  EXPECT_EQ(log_.file_errors(), 1u);
+  EXPECT_EQ(log_.size(), 1u);  // in-memory record still kept
+}
+
+}  // namespace
+}  // namespace gaa::audit

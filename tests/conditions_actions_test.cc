@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "conditions/builtin.h"
+#include "testing/helpers.h"
+
+namespace gaa::cond {
+namespace {
+
+using gaa::testing::MakeCond;
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+class NotifyTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakeNotifyRoutine(
+      {{"recipient.sysadmin", "sysadmin@example.org"}});
+};
+
+TEST_F(NotifyTest, FiresOnFailureTrigger) {
+  auto ctx = MakeContext("203.0.113.9", "/cgi-bin/phf");
+  ctx.request_granted = false;  // denied request
+  auto out = routine_(
+      MakeCond("rr_cond_notify", "local", "on:failure/sysadmin/info:cgiexploit"),
+      ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kYes);
+  ASSERT_EQ(rig_.notifier.sent_count(), 1u);
+  auto sent = rig_.notifier.Sent();
+  EXPECT_EQ(sent[0].recipient, "sysadmin@example.org");  // alias resolved
+  EXPECT_NE(sent[0].subject.find("cgiexploit"), std::string::npos);
+  EXPECT_NE(sent[0].body.find("203.0.113.9"), std::string::npos);
+}
+
+TEST_F(NotifyTest, SkipsWhenTriggerDoesNotMatch) {
+  auto ctx = MakeContext();
+  ctx.request_granted = true;  // granted, but trigger wants failure
+  auto out = routine_(
+      MakeCond("rr_cond_notify", "local", "on:failure/sysadmin/info:x"), ctx,
+      rig_.services);
+  EXPECT_EQ(out.status, Tristate::kYes);
+  EXPECT_EQ(rig_.notifier.sent_count(), 0u);
+}
+
+TEST_F(NotifyTest, DeliveryFailureFailsCondition) {
+  rig_.notifier.SetFailing(true);
+  auto ctx = MakeContext();
+  ctx.request_granted = false;
+  auto out = routine_(
+      MakeCond("rr_cond_notify", "local", "on:failure/sysadmin/info:x"), ctx,
+      rig_.services);
+  EXPECT_EQ(out.status, Tristate::kNo);
+}
+
+TEST_F(NotifyTest, NoNotifierServiceFailsCondition) {
+  core::EvalServices bare;
+  auto ctx = MakeContext();
+  ctx.request_granted = false;
+  auto out = routine_(
+      MakeCond("rr_cond_notify", "local", "on:failure/sysadmin/info:x"), ctx,
+      bare);
+  EXPECT_EQ(out.status, Tristate::kNo);
+}
+
+TEST_F(NotifyTest, PostPhaseUsesOperationOutcome) {
+  auto ctx = MakeContext();
+  ctx.stats.succeeded = false;  // op failed; no request_granted set
+  routine_(MakeCond("post_cond_notify", "local", "on:failure/sysadmin/info:op"),
+           ctx, rig_.services);
+  EXPECT_EQ(rig_.notifier.sent_count(), 1u);
+}
+
+class UpdateLogTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakeUpdateLogRoutine({});
+};
+
+TEST_F(UpdateLogTest, AddsClientIpToGroup) {
+  // The §7.2 response: add the suspicious source to BadGuys.
+  auto ctx = MakeContext("203.0.113.9");
+  ctx.request_granted = false;
+  auto out = routine_(
+      MakeCond("rr_cond_update_log", "local", "on:failure/BadGuys/info:ip"),
+      ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kYes);
+  EXPECT_TRUE(rig_.state.GroupContains("BadGuys", "203.0.113.9"));
+  // And it audited the blacklist change.
+  EXPECT_EQ(rig_.audit.CountCategory("blacklist"), 1u);
+}
+
+TEST_F(UpdateLogTest, AddsUserWhenRequested) {
+  auto ctx = MakeContext();
+  ctx.user = "mallory";
+  ctx.authenticated = true;
+  ctx.request_granted = false;
+  routine_(MakeCond("rr_cond_update_log", "local", "on:failure/Banned/info:user"),
+           ctx, rig_.services);
+  EXPECT_TRUE(rig_.state.GroupContains("Banned", "mallory"));
+}
+
+TEST_F(UpdateLogTest, NotTriggeredLeavesGroupAlone) {
+  auto ctx = MakeContext("203.0.113.9");
+  ctx.request_granted = true;
+  routine_(MakeCond("rr_cond_update_log", "local", "on:failure/BadGuys/info:ip"),
+           ctx, rig_.services);
+  EXPECT_FALSE(rig_.state.GroupContains("BadGuys", "203.0.113.9"));
+}
+
+TEST_F(UpdateLogTest, MissingGroupFails) {
+  auto ctx = MakeContext();
+  ctx.request_granted = false;
+  EXPECT_EQ(routine_(MakeCond("rr_cond_update_log", "local", "on:failure/"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+class AuditCondTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakeAuditRoutine({});
+};
+
+TEST_F(AuditCondTest, RecordsGrantAndDeny) {
+  auto ctx = MakeContext("10.0.0.1", "/private/report.html");
+  ctx.request_granted = true;
+  routine_(MakeCond("rr_cond_audit", "local", "on:any/access"), ctx,
+           rig_.services);
+  ctx.request_granted = false;
+  routine_(MakeCond("rr_cond_audit", "local", "on:any/access"), ctx,
+           rig_.services);
+  auto records = rig_.audit.ByCategory("access");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].message.find("GRANT"), std::string::npos);
+  EXPECT_NE(records[1].message.find("DENY"), std::string::npos);
+  EXPECT_NE(records[1].message.find("/private/report.html"),
+            std::string::npos);
+}
+
+TEST_F(AuditCondTest, NoSinkFails) {
+  core::EvalServices bare;
+  auto ctx = MakeContext();
+  ctx.request_granted = true;
+  EXPECT_EQ(routine_(MakeCond("rr_cond_audit", "local", "on:any/x"), ctx,
+                     bare)
+                .status,
+            Tristate::kNo);
+}
+
+class RecordEventTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakeRecordEventRoutine({});
+};
+
+TEST_F(RecordEventTest, RecordsWithPlaceholderKey) {
+  auto ctx = MakeContext("10.9.8.7");
+  ctx.request_granted = false;
+  routine_(MakeCond("rr_cond_record_event", "local", "on:failure/probe:%ip/30"),
+           ctx, rig_.services);
+  EXPECT_EQ(rig_.state.CountEvents("probe:10.9.8.7",
+                                   30 * util::kMicrosPerSecond),
+            1u);
+}
+
+TEST_F(RecordEventTest, PairsWithThresholdCondition) {
+  // record_event on failures + threshold pre-condition == the paper's
+  // "number of failed login attempts within a given period" detector.
+  auto record = MakeRecordEventRoutine({});
+  auto threshold = MakeThresholdRoutine({});
+  auto ctx = MakeContext("203.0.113.5");
+  auto thr_cond = MakeCond("pre_cond_threshold", "local", "login:%ip 3 60");
+  auto rec_cond = MakeCond("rr_cond_record_event", "local",
+                           "on:failure/login:%ip/60");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(threshold(thr_cond, ctx, rig_.services).status, Tristate::kYes)
+        << "attempt " << i;
+    ctx.request_granted = false;
+    record(rec_cond, ctx, rig_.services);
+    ctx.request_granted.reset();
+  }
+  EXPECT_EQ(threshold(thr_cond, ctx, rig_.services).status, Tristate::kNo);
+}
+
+}  // namespace
+}  // namespace gaa::cond

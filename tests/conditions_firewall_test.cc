@@ -1,0 +1,188 @@
+// Tests for the §1 network-level countermeasures: pre_cond_firewall /
+// rr_cond_block_network, and the set_var / var_equals pair that implements
+// "stopping selected services" as policy.
+#include <gtest/gtest.h>
+
+#include "conditions/builtin.h"
+#include "http/doc_tree.h"
+#include "integration/gaa_web_server.h"
+#include "integration/sshd.h"
+#include "testing/helpers.h"
+
+namespace gaa::cond {
+namespace {
+
+using gaa::testing::MakeCond;
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+class FirewallCondTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine firewall_ = MakeFirewallRoutine({});
+  core::CondRoutine block_ = MakeBlockNetworkRoutine({});
+};
+
+TEST_F(FirewallCondTest, EmptyGroupAllowsEveryone) {
+  auto ctx = MakeContext("203.0.113.9");
+  EXPECT_EQ(firewall_(MakeCond("pre_cond_firewall", "local", ""), ctx,
+                      rig_.services)
+                .status,
+            Tristate::kYes);
+}
+
+TEST_F(FirewallCondTest, BlockedNetworkDenies) {
+  rig_.state.AddGroupMember("BlockedNets", "203.0.113.0/24");
+  auto inside = MakeContext("203.0.113.77");
+  auto outside = MakeContext("198.51.100.1");
+  auto cond = MakeCond("pre_cond_firewall", "local", "");
+  EXPECT_EQ(firewall_(cond, inside, rig_.services).status, Tristate::kNo);
+  EXPECT_EQ(firewall_(cond, outside, rig_.services).status, Tristate::kYes);
+}
+
+TEST_F(FirewallCondTest, BlockNetworkActionAddsEnclosingPrefix) {
+  auto ctx = MakeContext("203.0.113.77");
+  ctx.request_granted = false;
+  auto out = block_(MakeCond("rr_cond_block_network", "local",
+                             "on:failure/24"),
+                    ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kYes);
+  EXPECT_TRUE(rig_.state.GroupContains("BlockedNets", "203.0.113.0/24"));
+  EXPECT_EQ(rig_.audit.CountCategory("firewall"), 1u);
+  // Enforcement now catches a *different* host in the same network.
+  auto neighbor = MakeContext("203.0.113.200");
+  EXPECT_EQ(firewall_(MakeCond("pre_cond_firewall", "local", ""), neighbor,
+                      rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+TEST_F(FirewallCondTest, CustomPrefixAndGroup) {
+  auto ctx = MakeContext("10.20.30.40");
+  ctx.request_granted = false;
+  block_(MakeCond("rr_cond_block_network", "local", "on:failure/16/Quarantine"),
+         ctx, rig_.services);
+  EXPECT_TRUE(rig_.state.GroupContains("Quarantine", "10.20.0.0/16"));
+  auto neighbor = MakeContext("10.20.99.1");
+  EXPECT_EQ(firewall_(MakeCond("pre_cond_firewall", "local", "Quarantine"),
+                      neighbor, rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+TEST_F(FirewallCondTest, BadPrefixFails) {
+  auto ctx = MakeContext();
+  ctx.request_granted = false;
+  EXPECT_EQ(block_(MakeCond("rr_cond_block_network", "local",
+                            "on:failure/notanumber"),
+                   ctx, rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+TEST(SetVarCond, WritesAndExpands) {
+  TestRig rig;
+  auto set_var = MakeSetVarRoutine({});
+  auto ctx = MakeContext("9.9.9.9");
+  ctx.request_granted = false;
+  auto out = set_var(MakeCond("rr_cond_set_var", "local",
+                              "on:failure/last_attacker/%ip"),
+                     ctx, rig.services);
+  EXPECT_EQ(out.status, util::Tristate::kYes);
+  EXPECT_EQ(rig.state.GetVariable("last_attacker").value(), "9.9.9.9");
+}
+
+TEST(VarEqualsCond, ComparesIncludingUnset) {
+  TestRig rig;
+  auto var_equals = MakeVarEqualsRoutine({});
+  auto ctx = MakeContext();
+  EXPECT_EQ(var_equals(MakeCond("pre_cond_var", "local",
+                                "service.sshd.disabled unset"),
+                       ctx, rig.services)
+                .status,
+            util::Tristate::kYes);
+  rig.state.SetVariable("service.sshd.disabled", "true");
+  EXPECT_EQ(var_equals(MakeCond("pre_cond_var", "local",
+                                "service.sshd.disabled unset"),
+                       ctx, rig.services)
+                .status,
+            util::Tristate::kNo);
+  EXPECT_EQ(var_equals(MakeCond("pre_cond_var", "local",
+                                "service.sshd.disabled true"),
+                       ctx, rig.services)
+                .status,
+            util::Tristate::kYes);
+}
+
+// --- end-to-end: §1's countermeasures as policy ------------------------------
+
+web::GaaWebServer::Options TestOptions() {
+  web::GaaWebServer::Options options;
+  options.notification_latency_us = 0;
+  return options;
+}
+
+TEST(NetworkBlockE2E, AttackBlocksTheWholeSubnet) {
+  web::GaaWebServer server(http::DocTree::DemoSite(), TestOptions());
+  ASSERT_TRUE(server
+                  .SetLocalPolicy("/", R"(
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+rr_cond_block_network local on:failure/24
+pos_access_right apache *
+pre_cond_firewall local BlockedNets
+)")
+                  .ok());
+  // Benign request from the subnet before the attack: served.
+  EXPECT_EQ(server.Get("/index.html", "203.0.113.5").status,
+            http::StatusCode::kOk);
+  // One probe from .77 blocks 203.0.113.0/24 ...
+  EXPECT_EQ(server.Get("/cgi-bin/phf?x", "203.0.113.77").status,
+            http::StatusCode::kForbidden);
+  // ... which now denies the scripted follow-up from a *sibling* address —
+  // stronger than the per-host blacklist against address-rotating scans.
+  EXPECT_EQ(server.Get("/cgi-bin/unknown-probe", "203.0.113.5").status,
+            http::StatusCode::kForbidden);
+  // Hosts outside the subnet are unaffected.
+  EXPECT_EQ(server.Get("/index.html", "10.0.0.1").status,
+            http::StatusCode::kOk);
+}
+
+TEST(ServiceStopE2E, WebAttackDisablesSshService) {
+  // §1: "stopping selected services (e.g. disable ssh connections)" — the
+  // web-side response flips a service variable that gates ssh logins.
+  web::GaaWebServer server(http::DocTree::DemoSite(), TestOptions());
+  web::SshDaemon sshd(&server.api(), &server.passwords());
+  sshd.AddUser("root", "toor");
+  ASSERT_TRUE(server
+                  .SetLocalPolicy("/sshd", R"(
+pos_access_right sshd login
+pre_cond_var local service.sshd.disabled unset
+pre_cond_accessid USER sshd *
+)")
+                  .ok());
+  ASSERT_TRUE(server
+                  .SetLocalPolicy("/", R"(
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+rr_cond_set_var local on:failure/service.sshd.disabled/true
+pos_access_right apache *
+)")
+                  .ok());
+  EXPECT_EQ(sshd.Login("root", "toor", "10.0.0.1"),
+            web::SshDaemon::LoginResult::kAccepted);
+  // The web attack flips the switch...
+  server.Get("/cgi-bin/phf?x", "203.0.113.9");
+  EXPECT_EQ(server.state().GetVariable("service.sshd.disabled").value(),
+            "true");
+  // ...and ssh is now closed for everyone until the admin resets it.
+  EXPECT_EQ(sshd.Login("root", "toor", "10.0.0.1"),
+            web::SshDaemon::LoginResult::kDenied);
+  server.state().SetVariable("service.sshd.disabled", "unset");
+  EXPECT_EQ(sshd.Login("root", "toor", "10.0.0.1"),
+            web::SshDaemon::LoginResult::kAccepted);
+}
+
+}  // namespace
+}  // namespace gaa::cond

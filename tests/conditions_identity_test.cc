@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "conditions/builtin.h"
+#include "testing/helpers.h"
+
+namespace gaa::cond {
+namespace {
+
+using gaa::testing::MakeCond;
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+class AccessIdTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakeAccessIdRoutine({});
+};
+
+TEST_F(AccessIdTest, UserUnauthenticatedIsUnevaluated) {
+  auto ctx = MakeContext();
+  auto out = routine_(MakeCond("pre_cond_accessid", "USER", "apache *"), ctx,
+                      rig_.services);
+  EXPECT_EQ(out.status, Tristate::kMaybe);
+  EXPECT_FALSE(out.evaluated);  // drives the 401 path
+}
+
+TEST_F(AccessIdTest, UserWildcardAcceptsAnyAuthenticated) {
+  auto ctx = MakeContext();
+  ctx.authenticated = true;
+  ctx.user = "alice";
+  auto out = routine_(MakeCond("pre_cond_accessid", "USER", "apache *"), ctx,
+                      rig_.services);
+  EXPECT_EQ(out.status, Tristate::kYes);
+}
+
+TEST_F(AccessIdTest, UserExactMatch) {
+  auto ctx = MakeContext();
+  ctx.authenticated = true;
+  ctx.user = "alice";
+  EXPECT_EQ(routine_(MakeCond("pre_cond_accessid", "USER", "apache alice"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+  EXPECT_EQ(routine_(MakeCond("pre_cond_accessid", "USER", "apache bob"), ctx,
+                     rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+TEST_F(AccessIdTest, EmptyValueFails) {
+  auto ctx = MakeContext();
+  ctx.authenticated = true;
+  ctx.user = "alice";
+  EXPECT_EQ(routine_(MakeCond("pre_cond_accessid", "USER", ""), ctx,
+                     rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+TEST_F(AccessIdTest, GroupMatchesClientIpInStateGroup) {
+  // The §7.2 BadGuys blacklist: membership by source address.
+  rig_.state.AddGroupMember("BadGuys", "203.0.113.7");
+  auto bad = MakeContext("203.0.113.7");
+  auto good = MakeContext("10.0.0.1");
+  auto cond = MakeCond("pre_cond_accessid", "GROUP", "local BadGuys");
+  EXPECT_EQ(routine_(cond, bad, rig_.services).status, Tristate::kYes);
+  EXPECT_EQ(routine_(cond, good, rig_.services).status, Tristate::kNo);
+}
+
+TEST_F(AccessIdTest, GroupMatchesAuthenticatedUser) {
+  rig_.state.AddGroupMember("staff", "alice");
+  auto ctx = MakeContext();
+  ctx.authenticated = true;
+  ctx.user = "alice";
+  EXPECT_EQ(routine_(MakeCond("pre_cond_accessid", "GROUP", "local staff"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+}
+
+TEST_F(AccessIdTest, GroupMatchesIdentityAssertedGroups) {
+  auto ctx = MakeContext();
+  ctx.authenticated = true;
+  ctx.user = "bob";
+  ctx.groups = {"admins"};
+  EXPECT_EQ(routine_(MakeCond("pre_cond_accessid", "GROUP", "local admins"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+}
+
+TEST_F(AccessIdTest, HostCidrCheck) {
+  auto inside = MakeContext("128.9.1.2");
+  auto outside = MakeContext("1.2.3.4");
+  auto cond = MakeCond("pre_cond_accessid", "HOST", "local 128.9.0.0/16");
+  EXPECT_EQ(routine_(cond, inside, rig_.services).status, Tristate::kYes);
+  EXPECT_EQ(routine_(cond, outside, rig_.services).status, Tristate::kNo);
+}
+
+TEST_F(AccessIdTest, HostWithNoValidCidrFails) {
+  auto ctx = MakeContext();
+  EXPECT_EQ(routine_(MakeCond("pre_cond_accessid", "HOST", "local garbage"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+}  // namespace
+}  // namespace gaa::cond

@@ -1,0 +1,97 @@
+// Tests for builtin:param_glob (pre_cond_param) — signature matching over
+// the classified request parameters of §6 step 2b (e.g. scanner
+// User-Agents), plus its end-to-end wiring.
+#include <gtest/gtest.h>
+
+#include "conditions/builtin.h"
+#include "http/doc_tree.h"
+#include "integration/gaa_web_server.h"
+#include "testing/helpers.h"
+
+namespace gaa::cond {
+namespace {
+
+using gaa::testing::MakeCond;
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+class ParamGlobTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ =
+      MakeParamGlobRoutine({{"attack_type", "scanner"}, {"severity", "4"}});
+};
+
+TEST_F(ParamGlobTest, MatchesScannerUserAgent) {
+  auto ctx = MakeContext("203.0.113.9");
+  ctx.AddParam("user_agent", "apache", "Mozilla/4.75 (Nikto/2.1.6)");
+  auto out = routine_(MakeCond("pre_cond_param", "local",
+                               "user_agent *nikto* *nmap*"),
+                      ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kYes);  // case-insensitive
+  ASSERT_EQ(rig_.ids.reports.size(), 1u);
+  EXPECT_EQ(rig_.ids.reports[0].attack_type, "scanner");
+  EXPECT_EQ(rig_.ids.reports[0].severity, 4);
+}
+
+TEST_F(ParamGlobTest, NoMatchOnNormalBrowser) {
+  auto ctx = MakeContext();
+  ctx.AddParam("user_agent", "apache", "Mozilla/5.0 (X11; Linux)");
+  EXPECT_EQ(routine_(MakeCond("pre_cond_param", "local",
+                              "user_agent *nikto* *nmap*"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kNo);
+  EXPECT_TRUE(rig_.ids.reports.empty());
+}
+
+TEST_F(ParamGlobTest, MissingParamIsUnevaluated) {
+  auto ctx = MakeContext();  // no user_agent param
+  auto out = routine_(MakeCond("pre_cond_param", "local", "user_agent *x*"),
+                      ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kMaybe);
+  EXPECT_FALSE(out.evaluated);
+}
+
+TEST_F(ParamGlobTest, MalformedValueFails) {
+  auto ctx = MakeContext();
+  EXPECT_EQ(routine_(MakeCond("pre_cond_param", "local", "only_field"), ctx,
+                     rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+TEST(ParamGlobE2E, ScannerUserAgentBlocked) {
+  web::GaaWebServer::Options options;
+  options.notification_latency_us = 0;
+  web::GaaWebServer server(http::DocTree::DemoSite(), options);
+  ASSERT_TRUE(server
+                  .SetLocalPolicy("/", R"(
+neg_access_right apache *
+pre_cond_param local user_agent *Nikto* *sqlmap* *masscan*
+rr_cond_update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+)")
+                  .ok());
+  // Scanner traffic: denied + blacklisted.
+  std::string scanner = http::BuildGetRequest(
+      "/index.html", {{"User-Agent", "Mozilla/4.75 (Nikto/2.1.6)"}});
+  EXPECT_EQ(server.HandleText(scanner, "203.0.113.9").status,
+            http::StatusCode::kForbidden);
+  EXPECT_TRUE(server.state().GroupContains("BadGuys", "203.0.113.9"));
+  // Normal browsers pass.
+  std::string browser = http::BuildGetRequest(
+      "/index.html", {{"User-Agent", "Mozilla/5.0 (X11; Linux)"}});
+  EXPECT_EQ(server.HandleText(browser, "10.0.0.1").status,
+            http::StatusCode::kOk);
+  // A request WITHOUT a User-Agent header leaves the condition
+  // unevaluated: the entry might apply, so the answer is MAYBE -> 401
+  // (ask the client to identify itself — the conservative reading).
+  std::string bare = "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(server.HandleText(bare, "10.0.0.2").status,
+            http::StatusCode::kUnauthorized);
+}
+
+}  // namespace
+}  // namespace gaa::cond

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "conditions/builtin.h"
+#include "testing/helpers.h"
+
+namespace gaa::cond {
+namespace {
+
+using gaa::testing::MakeCond;
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+class LimitTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+};
+
+TEST_F(LimitTest, CpuWithinAndExceeded) {
+  auto routine = MakeCpuLimitRoutine({});
+  auto ctx = MakeContext();
+  ctx.stats.cpu_seconds = 0.01;
+  EXPECT_EQ(routine(MakeCond("mid_cond_cpu", "local", "0.5"), ctx,
+                    rig_.services)
+                .status,
+            Tristate::kYes);
+  ctx.stats.cpu_seconds = 0.9;
+  EXPECT_EQ(routine(MakeCond("mid_cond_cpu", "local", "0.5"), ctx,
+                    rig_.services)
+                .status,
+            Tristate::kNo);
+  // Exceeding resources is reported as suspicious behaviour (§3 item 6).
+  EXPECT_EQ(rig_.ids.CountKind(core::ReportKind::kSuspiciousBehavior), 1u);
+}
+
+TEST_F(LimitTest, WallclockMemoryOutput) {
+  auto ctx = MakeContext();
+  ctx.stats.wall_us = 250'000;  // 250 ms
+  ctx.stats.memory_bytes = 4 << 20;
+  ctx.stats.bytes_written = 10'000;
+
+  EXPECT_EQ(MakeWallclockLimitRoutine({})(
+                MakeCond("mid_cond_wallclock", "local", "500"), ctx,
+                rig_.services)
+                .status,
+            Tristate::kYes);
+  EXPECT_EQ(MakeWallclockLimitRoutine({})(
+                MakeCond("mid_cond_wallclock", "local", "100"), ctx,
+                rig_.services)
+                .status,
+            Tristate::kNo);
+  EXPECT_EQ(MakeMemoryLimitRoutine({})(
+                MakeCond("mid_cond_memory", "local", "8388608"), ctx,
+                rig_.services)
+                .status,
+            Tristate::kYes);
+  EXPECT_EQ(MakeOutputLimitRoutine({})(
+                MakeCond("mid_cond_output", "local", "1024"), ctx,
+                rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+TEST_F(LimitTest, AdaptiveLimitViaVar) {
+  auto routine = MakeCpuLimitRoutine({});
+  auto ctx = MakeContext();
+  ctx.stats.cpu_seconds = 0.3;
+  rig_.state.SetVariable("cpu_cap", "0.5");
+  EXPECT_EQ(routine(MakeCond("mid_cond_cpu", "local", "var:cpu_cap"), ctx,
+                    rig_.services)
+                .status,
+            Tristate::kYes);
+  rig_.state.SetVariable("cpu_cap", "0.1");
+  EXPECT_EQ(routine(MakeCond("mid_cond_cpu", "local", "var:cpu_cap"), ctx,
+                    rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+TEST_F(LimitTest, UnsetVarIsUnevaluated) {
+  auto routine = MakeCpuLimitRoutine({});
+  auto ctx = MakeContext();
+  auto out = routine(MakeCond("mid_cond_cpu", "local", "var:unset"), ctx,
+                     rig_.services);
+  EXPECT_FALSE(out.evaluated);
+}
+
+TEST_F(LimitTest, NonNumericLimitFails) {
+  auto routine = MakeCpuLimitRoutine({});
+  auto ctx = MakeContext();
+  EXPECT_EQ(routine(MakeCond("mid_cond_cpu", "local", "lots"), ctx,
+                    rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+class PostLogTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakePostLogRoutine({});
+};
+
+TEST_F(PostLogTest, LogsOnMatchingOutcome) {
+  auto ctx = MakeContext("10.0.0.1", "/cgi-bin/search");
+  ctx.stats.succeeded = false;
+  ctx.stats.bytes_written = 123;
+  routine_(MakeCond("post_cond_log", "local", "on:failure/ops"), ctx,
+           rig_.services);
+  auto records = rig_.audit.ByCategory("ops");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0].message.find("OP_FAIL"), std::string::npos);
+  EXPECT_NE(records[0].message.find("bytes=123"), std::string::npos);
+}
+
+TEST_F(PostLogTest, SkipsOnNonMatchingOutcome) {
+  auto ctx = MakeContext();
+  ctx.stats.succeeded = true;
+  routine_(MakeCond("post_cond_log", "local", "on:failure/ops"), ctx,
+           rig_.services);
+  EXPECT_EQ(rig_.audit.size(), 0u);
+}
+
+class IntegrityTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakeIntegrityCheckRoutine({});
+};
+
+TEST_F(IntegrityTest, CleanOperationPasses) {
+  auto ctx = MakeContext();
+  auto out = routine_(MakeCond("post_cond_check_integrity", "local",
+                               "/etc/passwd"),
+                      ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kYes);
+  EXPECT_TRUE(rig_.ids.reports.empty());
+}
+
+TEST_F(IntegrityTest, WatchedFileTouchedAlerts) {
+  // The §1 example: a modified /etc/passwd triggers a content check.
+  auto ctx = MakeContext("203.0.113.9", "/cgi-bin/phf");
+  ctx.stats.files_created = {"/etc/passwd"};
+  auto out = routine_(MakeCond("post_cond_check_integrity", "local",
+                               "/etc/passwd"),
+                      ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kNo);
+  EXPECT_EQ(rig_.ids.CountKind(core::ReportKind::kSuspiciousBehavior), 1u);
+  EXPECT_EQ(rig_.notifier.sent_count(), 1u);
+  EXPECT_EQ(rig_.audit.CountCategory("integrity"), 1u);
+}
+
+TEST_F(IntegrityTest, GlobWatchesDirectories) {
+  auto ctx = MakeContext();
+  ctx.stats.files_created = {"/etc/shadow"};
+  EXPECT_EQ(routine_(MakeCond("post_cond_check_integrity", "local", "/etc/*"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kNo);
+  ctx.stats.files_created = {"/tmp/scratch"};
+  EXPECT_EQ(routine_(MakeCond("post_cond_check_integrity", "local", "/etc/*"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+}
+
+}  // namespace
+}  // namespace gaa::cond

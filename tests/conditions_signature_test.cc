@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "conditions/builtin.h"
+#include "testing/helpers.h"
+
+namespace gaa::cond {
+namespace {
+
+using gaa::testing::MakeCond;
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+class SignatureTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ =
+      MakeGlobSignatureRoutine({{"attack_type", "cgi_exploit"},
+                                {"severity", "8"}});
+};
+
+TEST_F(SignatureTest, MatchesPhfProbe) {
+  auto ctx = MakeContext("203.0.113.9", "/cgi-bin/phf");
+  ctx.raw_url = "/cgi-bin/phf?Qalias=x%0a/bin/cat%20/etc/passwd";
+  auto out = routine_(MakeCond("pre_cond_regex", "gnu", "*phf* *test-cgi*"),
+                      ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kYes);
+}
+
+TEST_F(SignatureTest, NoMatchOnBenignRequest) {
+  auto ctx = MakeContext("10.0.0.1", "/index.html");
+  auto out = routine_(MakeCond("pre_cond_regex", "gnu", "*phf* *test-cgi*"),
+                      ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kNo);
+  EXPECT_TRUE(rig_.ids.reports.empty());
+}
+
+TEST_F(SignatureTest, MatchReportsDetectedAttackToIds) {
+  auto ctx = MakeContext("203.0.113.9", "/cgi-bin/test-cgi");
+  ctx.raw_url = "/cgi-bin/test-cgi?*";
+  routine_(MakeCond("pre_cond_regex", "gnu", "*test-cgi*"), ctx,
+           rig_.services);
+  ASSERT_EQ(rig_.ids.reports.size(), 1u);
+  const auto& report = rig_.ids.reports[0];
+  EXPECT_EQ(report.kind, core::ReportKind::kDetectedAttack);
+  EXPECT_EQ(report.attack_type, "cgi_exploit");
+  EXPECT_EQ(report.severity, 8);
+  EXPECT_EQ(report.source_ip, "203.0.113.9");
+}
+
+TEST_F(SignatureTest, QueryIsPartOfSubject) {
+  auto ctx = MakeContext("10.0.0.1", "/cgi-bin/search");
+  ctx.raw_url = "/cgi-bin/search";
+  ctx.query = "q=phf-manual";
+  auto out = routine_(MakeCond("pre_cond_regex", "gnu", "*phf*"), ctx,
+                      rig_.services);
+  EXPECT_EQ(out.status, Tristate::kYes);
+}
+
+TEST_F(SignatureTest, SlashDosSignature) {
+  auto ctx = MakeContext("203.0.113.9", "/");
+  ctx.raw_url = "/" + std::string(40, '/');
+  EXPECT_EQ(routine_(MakeCond("pre_cond_regex", "gnu",
+                              "*///////////////////*"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+}
+
+TEST_F(SignatureTest, NimdaPercentSignature) {
+  auto ctx = MakeContext("203.0.113.9", "/scripts/cmd.exe");
+  ctx.raw_url = "/scripts/..%255c..%255cwinnt/system32/cmd.exe?/c+dir";
+  EXPECT_EQ(routine_(MakeCond("pre_cond_regex", "gnu", "*%*"), ctx,
+                     rig_.services)
+                .status,
+            Tristate::kYes);
+}
+
+// --- expr ---------------------------------------------------------------------
+
+class ExprTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakeExprRoutine({});
+};
+
+TEST_F(ExprTest, CgiInputLength) {
+  auto ctx = MakeContext("10.0.0.1", "/cgi-bin/search");
+  ctx.query = std::string(1200, 'A');
+  // The paper's buffer-overflow detector: input longer than 1000.
+  EXPECT_EQ(routine_(MakeCond("pre_cond_expr", "local",
+                              "cgi_input_length >1000"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+  ctx.query = "q=hello";
+  EXPECT_EQ(routine_(MakeCond("pre_cond_expr", "local",
+                              "cgi_input_length >1000"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+TEST_F(ExprTest, SlashCountAndUrlLength) {
+  auto ctx = MakeContext("10.0.0.1", "/a/b");
+  ctx.raw_url = "/////////a";
+  EXPECT_EQ(routine_(MakeCond("pre_cond_expr", "local", "slash_count >=9"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+  EXPECT_EQ(routine_(MakeCond("pre_cond_expr", "local", "url_length <100"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+}
+
+TEST_F(ExprTest, RequestParamField) {
+  auto ctx = MakeContext();
+  ctx.AddParam("header_count", "apache", "150");
+  EXPECT_EQ(routine_(MakeCond("pre_cond_expr", "local", "header_count >100"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+}
+
+TEST_F(ExprTest, MissingFieldIsUnevaluated) {
+  auto ctx = MakeContext();
+  auto out = routine_(MakeCond("pre_cond_expr", "local", "no_such_field >1"),
+                      ctx, rig_.services);
+  EXPECT_EQ(out.status, Tristate::kMaybe);
+  EXPECT_FALSE(out.evaluated);
+}
+
+TEST_F(ExprTest, AdaptiveThresholdViaVar) {
+  // The IDS tightens gaa.max_cgi_input as the threat level rises (§3).
+  auto ctx = MakeContext();
+  ctx.query = std::string(600, 'B');
+  rig_.state.SetVariable("gaa.max_cgi_input", "1000");
+  EXPECT_EQ(routine_(MakeCond("pre_cond_expr", "local",
+                              "cgi_input_length >var:gaa.max_cgi_input"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kNo);
+  rig_.state.SetVariable("gaa.max_cgi_input", "500");
+  EXPECT_EQ(routine_(MakeCond("pre_cond_expr", "local",
+                              "cgi_input_length >var:gaa.max_cgi_input"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kYes);
+}
+
+TEST_F(ExprTest, MalformedValueFails) {
+  auto ctx = MakeContext();
+  EXPECT_EQ(routine_(MakeCond("pre_cond_expr", "local", ""), ctx,
+                     rig_.services)
+                .status,
+            Tristate::kNo);
+  EXPECT_EQ(routine_(MakeCond("pre_cond_expr", "local",
+                              "cgi_input_length >abc"),
+                     ctx, rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+// --- threshold ------------------------------------------------------------------
+
+class ThresholdTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakeThresholdRoutine({});
+};
+
+TEST_F(ThresholdTest, BelowLimitHoldsThenTrips) {
+  auto ctx = MakeContext("10.0.0.1");
+  auto cond = MakeCond("pre_cond_threshold", "local", "failed_auth:%ip 3 60");
+  EXPECT_EQ(routine_(cond, ctx, rig_.services).status, Tristate::kYes);
+  rig_.state.RecordEvent("failed_auth:10.0.0.1", 60 * util::kMicrosPerSecond);
+  rig_.state.RecordEvent("failed_auth:10.0.0.1", 60 * util::kMicrosPerSecond);
+  EXPECT_EQ(routine_(cond, ctx, rig_.services).status, Tristate::kYes);
+  rig_.state.RecordEvent("failed_auth:10.0.0.1", 60 * util::kMicrosPerSecond);
+  EXPECT_EQ(routine_(cond, ctx, rig_.services).status, Tristate::kNo);
+  // Violation was reported to the IDS (§3 item 4).
+  EXPECT_EQ(rig_.ids.CountKind(core::ReportKind::kThresholdViolation), 1u);
+}
+
+TEST_F(ThresholdTest, WindowExpiryResets) {
+  auto ctx = MakeContext("10.0.0.1");
+  auto cond = MakeCond("pre_cond_threshold", "local", "k:%ip 1 10");
+  rig_.state.RecordEvent("k:10.0.0.1", 10 * util::kMicrosPerSecond);
+  EXPECT_EQ(routine_(cond, ctx, rig_.services).status, Tristate::kNo);
+  rig_.clock.Advance(11 * util::kMicrosPerSecond);
+  EXPECT_EQ(routine_(cond, ctx, rig_.services).status, Tristate::kYes);
+}
+
+TEST_F(ThresholdTest, PerSourceIsolation) {
+  auto attacker = MakeContext("203.0.113.9");
+  auto benign = MakeContext("10.0.0.1");
+  auto cond = MakeCond("pre_cond_threshold", "local", "f:%ip 1 60");
+  rig_.state.RecordEvent("f:203.0.113.9", 60 * util::kMicrosPerSecond);
+  EXPECT_EQ(routine_(cond, attacker, rig_.services).status, Tristate::kNo);
+  EXPECT_EQ(routine_(cond, benign, rig_.services).status, Tristate::kYes);
+}
+
+TEST_F(ThresholdTest, MalformedValueFails) {
+  auto ctx = MakeContext();
+  EXPECT_EQ(routine_(MakeCond("pre_cond_threshold", "local", "just_key"), ctx,
+                     rig_.services)
+                .status,
+            Tristate::kNo);
+  EXPECT_EQ(routine_(MakeCond("pre_cond_threshold", "local", "k x 60"), ctx,
+                     rig_.services)
+                .status,
+            Tristate::kNo);
+}
+
+// --- redirect --------------------------------------------------------------------
+
+TEST(RedirectCond, AlwaysUnevaluated) {
+  TestRig rig;
+  auto routine = MakeRedirectRoutine({});
+  auto ctx = MakeContext();
+  auto out = routine(MakeCond("pre_cond_redirect", "local",
+                              "http://replica.example.org/"),
+                     ctx, rig.services);
+  EXPECT_EQ(out.status, Tristate::kMaybe);
+  EXPECT_FALSE(out.evaluated);
+}
+
+}  // namespace
+}  // namespace gaa::cond

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "conditions/builtin.h"
+#include "conditions/trigger.h"
+#include "testing/helpers.h"
+
+namespace gaa::cond {
+namespace {
+
+using core::ThreatLevel;
+using gaa::testing::MakeCond;
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+// --- trigger / value helpers -------------------------------------------------
+
+TEST(ParseTrigger, Variants) {
+  auto t = ParseTrigger("on:failure/sysadmin/info:cgiexploit");
+  EXPECT_EQ(t.trigger, Trigger::kOnFailure);
+  EXPECT_EQ(t.rest, "sysadmin/info:cgiexploit");
+  EXPECT_EQ(ParseTrigger("on:success/x").trigger, Trigger::kOnSuccess);
+  EXPECT_EQ(ParseTrigger("on:any/x").trigger, Trigger::kOnAny);
+  EXPECT_EQ(ParseTrigger("no-prefix").trigger, Trigger::kOnAny);
+  EXPECT_EQ(ParseTrigger("no-prefix").rest, "no-prefix");
+  EXPECT_EQ(ParseTrigger("on:failure").rest, "");
+}
+
+TEST(TriggerFires, Semantics) {
+  EXPECT_TRUE(TriggerFires(Trigger::kOnSuccess, true));
+  EXPECT_FALSE(TriggerFires(Trigger::kOnSuccess, false));
+  EXPECT_TRUE(TriggerFires(Trigger::kOnFailure, false));
+  EXPECT_FALSE(TriggerFires(Trigger::kOnFailure, true));
+  EXPECT_TRUE(TriggerFires(Trigger::kOnAny, true));
+  EXPECT_TRUE(TriggerFires(Trigger::kOnAny, false));
+}
+
+TEST(ResolveValue, VarIndirection) {
+  TestRig rig;
+  EXPECT_EQ(ResolveValue("plain", &rig.state).value(), "plain");
+  EXPECT_FALSE(ResolveValue("var:missing", &rig.state).has_value());
+  rig.state.SetVariable("limit", "500");
+  EXPECT_EQ(ResolveValue("var:limit", &rig.state).value(), "500");
+  EXPECT_FALSE(ResolveValue("var:x", nullptr).has_value());
+}
+
+TEST(ExpandPlaceholders, IpAndUser) {
+  auto ctx = MakeContext("9.8.7.6");
+  EXPECT_EQ(ExpandPlaceholders("failed:%ip", ctx), "failed:9.8.7.6");
+  EXPECT_EQ(ExpandPlaceholders("u:%user", ctx), "u:anonymous");
+  ctx.user = "alice";
+  EXPECT_EQ(ExpandPlaceholders("u:%user", ctx), "u:alice");
+}
+
+TEST(ParseCmpOp, Operators) {
+  EXPECT_EQ(ParseCmpOp(">=5").op, CmpOp::kGe);
+  EXPECT_EQ(ParseCmpOp(">=5").rest, "5");
+  EXPECT_EQ(ParseCmpOp("<=x").op, CmpOp::kLe);
+  EXPECT_EQ(ParseCmpOp("!=a").op, CmpOp::kNe);
+  EXPECT_EQ(ParseCmpOp(">low").op, CmpOp::kGt);
+  EXPECT_EQ(ParseCmpOp("<high").op, CmpOp::kLt);
+  EXPECT_EQ(ParseCmpOp("=high").op, CmpOp::kEq);
+  EXPECT_EQ(ParseCmpOp("bare").op, CmpOp::kEq);
+  EXPECT_EQ(ParseCmpOp("bare").rest, "bare");
+}
+
+// --- threat level -------------------------------------------------------------
+
+class ThreatCondTest : public ::testing::Test {
+ protected:
+  TestRig rig_;
+  core::CondRoutine routine_ = MakeThreatLevelRoutine({});
+
+  Tristate Eval(const std::string& value) {
+    auto ctx = MakeContext();
+    return routine_(MakeCond("pre_cond_system_threat_level", "local", value),
+                    ctx, rig_.services)
+        .status;
+  }
+};
+
+TEST_F(ThreatCondTest, EqualityAndOrdering) {
+  rig_.state.SetThreatLevel(ThreatLevel::kLow);
+  EXPECT_EQ(Eval("=low"), Tristate::kYes);
+  EXPECT_EQ(Eval("=high"), Tristate::kNo);
+  EXPECT_EQ(Eval(">low"), Tristate::kNo);
+
+  rig_.state.SetThreatLevel(ThreatLevel::kMedium);
+  EXPECT_EQ(Eval(">low"), Tristate::kYes);
+  EXPECT_EQ(Eval("<high"), Tristate::kYes);
+  EXPECT_EQ(Eval(">=medium"), Tristate::kYes);
+
+  rig_.state.SetThreatLevel(ThreatLevel::kHigh);
+  EXPECT_EQ(Eval("=high"), Tristate::kYes);
+  EXPECT_EQ(Eval("!=low"), Tristate::kYes);
+  EXPECT_EQ(Eval("<=medium"), Tristate::kNo);
+}
+
+TEST_F(ThreatCondTest, BadLiteralFails) {
+  EXPECT_EQ(Eval("=catastrophic"), Tristate::kNo);
+}
+
+TEST_F(ThreatCondTest, VarIndirection) {
+  rig_.state.SetThreatLevel(ThreatLevel::kMedium);
+  rig_.state.SetVariable("lockdown_at", "medium");
+  EXPECT_EQ(Eval(">=var:lockdown_at"), Tristate::kYes);
+  auto ctx = MakeContext();
+  auto out = routine_(MakeCond("pre_cond_system_threat_level", "local",
+                               ">=var:unset_var"),
+                      ctx, rig_.services);
+  EXPECT_FALSE(out.evaluated);
+}
+
+TEST_F(ThreatCondTest, NoStateMeansUnevaluated) {
+  core::EvalServices bare;
+  auto ctx = MakeContext();
+  auto out = routine_(MakeCond("pre_cond_system_threat_level", "local", "=low"),
+                      ctx, bare);
+  EXPECT_EQ(out.status, Tristate::kMaybe);
+  EXPECT_FALSE(out.evaluated);
+}
+
+// --- time window ----------------------------------------------------------------
+
+class TimeCondTest : public ::testing::Test {
+ protected:
+  TestRig rig_;  // clock starts at 12:00:00 UTC
+  core::CondRoutine routine_ = MakeTimeWindowRoutine({});
+
+  Tristate Eval(const std::string& value) {
+    auto ctx = MakeContext();
+    return routine_(MakeCond("pre_cond_time", "local", value), ctx,
+                    rig_.services)
+        .status;
+  }
+};
+
+TEST_F(TimeCondTest, InsideAndOutside) {
+  EXPECT_EQ(Eval("09:00-17:00"), Tristate::kYes);
+  EXPECT_EQ(Eval("13:00-17:00"), Tristate::kNo);
+  EXPECT_EQ(Eval("00:00-12:00"), Tristate::kNo);  // [start, end)
+  EXPECT_EQ(Eval("12:00-12:01"), Tristate::kYes);
+}
+
+TEST_F(TimeCondTest, MultipleWindows) {
+  EXPECT_EQ(Eval("00:00-01:00 11:30-12:30"), Tristate::kYes);
+  EXPECT_EQ(Eval("00:00-01:00 02:00-03:00"), Tristate::kNo);
+}
+
+TEST_F(TimeCondTest, MidnightWrap) {
+  EXPECT_EQ(Eval("22:00-06:00"), Tristate::kNo);  // noon is outside
+  rig_.clock.Advance(12LL * util::kMicrosPerHour);  // now 00:00
+  EXPECT_EQ(Eval("22:00-06:00"), Tristate::kYes);
+}
+
+TEST_F(TimeCondTest, MalformedWindowFails) {
+  EXPECT_EQ(Eval("not-a-window"), Tristate::kNo);
+  EXPECT_EQ(Eval("25:00-26:00"), Tristate::kNo);
+}
+
+TEST_F(TimeCondTest, AdaptiveVarWindow) {
+  rig_.state.SetVariable("hours", "11:00-13:00");
+  EXPECT_EQ(Eval("var:hours"), Tristate::kYes);
+  rig_.state.SetVariable("hours", "14:00-15:00");
+  EXPECT_EQ(Eval("var:hours"), Tristate::kNo);
+}
+
+// --- location ---------------------------------------------------------------------
+
+TEST(LocationCond, CidrLists) {
+  TestRig rig;
+  auto routine = MakeLocationRoutine({});
+  auto inside = MakeContext("10.0.0.5");
+  auto outside = MakeContext("192.168.1.1");
+  auto cond = MakeCond("pre_cond_location", "local", "10.0.0.0/8 172.16.0.0/12");
+  EXPECT_EQ(routine(cond, inside, rig.services).status, Tristate::kYes);
+  EXPECT_EQ(routine(cond, outside, rig.services).status, Tristate::kNo);
+}
+
+TEST(LocationCond, VarIndirection) {
+  TestRig rig;
+  auto routine = MakeLocationRoutine({});
+  auto ctx = MakeContext("10.0.0.5");
+  rig.state.SetVariable("allowed_nets", "10.0.0.0/8");
+  EXPECT_EQ(routine(MakeCond("pre_cond_location", "local", "var:allowed_nets"),
+                    ctx, rig.services)
+                .status,
+            Tristate::kYes);
+  auto out = routine(MakeCond("pre_cond_location", "local", "var:nope"), ctx,
+                     rig.services);
+  EXPECT_FALSE(out.evaluated);
+}
+
+}  // namespace
+}  // namespace gaa::cond

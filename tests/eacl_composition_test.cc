@@ -1,0 +1,148 @@
+#include "eacl/composition.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "eacl/parser.h"
+
+namespace gaa::eacl {
+namespace {
+
+using util::Tristate;
+
+Eacl Parse(const std::string& text) {
+  auto result = ParseEacl(text);
+  EXPECT_TRUE(result.ok()) << result.error().ToString();
+  return std::move(result).take();
+}
+
+TEST(Compose, SystemModeWins) {
+  auto composed = Compose({Parse("eacl_mode 0\npos_access_right a b")},
+                          {Parse("pos_access_right c d")});
+  EXPECT_EQ(composed.mode, CompositionMode::kExpand);
+  EXPECT_EQ(composed.system_policies.size(), 1u);
+  EXPECT_EQ(composed.local_policies.size(), 1u);
+  EXPECT_EQ(composed.TotalEntries(), 2u);
+}
+
+TEST(Compose, DefaultModeIsNarrow) {
+  auto composed = Compose({Parse("pos_access_right a b")}, {});
+  EXPECT_EQ(composed.mode, CompositionMode::kNarrow);
+}
+
+TEST(Compose, FirstDeclaredModeWins) {
+  auto composed = Compose({Parse("pos_access_right a b"),
+                           Parse("eacl_mode 2\npos_access_right a b"),
+                           Parse("eacl_mode 0\npos_access_right a b")},
+                          {});
+  EXPECT_EQ(composed.mode, CompositionMode::kStop);
+}
+
+TEST(Compose, StopDropsLocalPolicies) {
+  auto composed = Compose({Parse("eacl_mode 2\nneg_access_right * *")},
+                          {Parse("pos_access_right a b")});
+  EXPECT_EQ(composed.mode, CompositionMode::kStop);
+  EXPECT_TRUE(composed.local_policies.empty());
+}
+
+TEST(CombineDecisions, AbsentSidesDefer) {
+  for (CompositionMode mode : {CompositionMode::kExpand,
+                               CompositionMode::kNarrow,
+                               CompositionMode::kStop}) {
+    // Neither side applicable: closed world, deny.
+    EXPECT_EQ(CombineDecisions(mode, Tristate::kYes, false, Tristate::kYes,
+                               false),
+              Tristate::kNo);
+    // Only system applicable.
+    EXPECT_EQ(CombineDecisions(mode, Tristate::kYes, true, Tristate::kNo,
+                               false),
+              Tristate::kYes);
+  }
+  // Only local applicable (expand/narrow defer to it; stop has no local
+  // policies by construction, but the combinator still defers).
+  EXPECT_EQ(CombineDecisions(CompositionMode::kNarrow, Tristate::kYes, false,
+                             Tristate::kNo, true),
+            Tristate::kNo);
+}
+
+TEST(CombineDecisions, ExpandIsDisjunction) {
+  EXPECT_EQ(CombineDecisions(CompositionMode::kExpand, Tristate::kNo, true,
+                             Tristate::kYes, true),
+            Tristate::kYes);
+  EXPECT_EQ(CombineDecisions(CompositionMode::kExpand, Tristate::kNo, true,
+                             Tristate::kNo, true),
+            Tristate::kNo);
+  EXPECT_EQ(CombineDecisions(CompositionMode::kExpand, Tristate::kMaybe, true,
+                             Tristate::kNo, true),
+            Tristate::kMaybe);
+}
+
+TEST(CombineDecisions, NarrowIsConjunction) {
+  EXPECT_EQ(CombineDecisions(CompositionMode::kNarrow, Tristate::kYes, true,
+                             Tristate::kNo, true),
+            Tristate::kNo);
+  EXPECT_EQ(CombineDecisions(CompositionMode::kNarrow, Tristate::kYes, true,
+                             Tristate::kYes, true),
+            Tristate::kYes);
+  EXPECT_EQ(CombineDecisions(CompositionMode::kNarrow, Tristate::kMaybe, true,
+                             Tristate::kYes, true),
+            Tristate::kMaybe);
+}
+
+TEST(CombineDecisions, StopIgnoresLocal) {
+  EXPECT_EQ(CombineDecisions(CompositionMode::kStop, Tristate::kNo, true,
+                             Tristate::kYes, true),
+            Tristate::kNo);
+  EXPECT_EQ(CombineDecisions(CompositionMode::kStop, Tristate::kYes, true,
+                             Tristate::kNo, true),
+            Tristate::kYes);
+}
+
+// Property sweep: the composition-mode algebra over all decision pairs.
+//   expand ⊇ local:   expand result is at least as permissive as each side
+//   narrow ⊆ local:   narrow result is at most as permissive as each side
+//   stop   ≡ system.
+int Permissiveness(Tristate t) {
+  switch (t) {
+    case Tristate::kYes:
+      return 2;
+    case Tristate::kMaybe:
+      return 1;
+    case Tristate::kNo:
+      return 0;
+  }
+  return 0;
+}
+
+constexpr Tristate kAll[] = {Tristate::kYes, Tristate::kNo, Tristate::kMaybe};
+
+class CompositionAlgebra
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompositionAlgebra, ModeOrderingLaws) {
+  Tristate system = kAll[std::get<0>(GetParam())];
+  Tristate local = kAll[std::get<1>(GetParam())];
+
+  Tristate expand = CombineDecisions(CompositionMode::kExpand, system, true,
+                                     local, true);
+  Tristate narrow = CombineDecisions(CompositionMode::kNarrow, system, true,
+                                     local, true);
+  Tristate stop =
+      CombineDecisions(CompositionMode::kStop, system, true, local, true);
+
+  EXPECT_GE(Permissiveness(expand), Permissiveness(system));
+  EXPECT_GE(Permissiveness(expand), Permissiveness(local));
+  EXPECT_LE(Permissiveness(narrow), Permissiveness(system));
+  EXPECT_LE(Permissiveness(narrow), Permissiveness(local));
+  EXPECT_EQ(stop, system);
+  // narrow is never more permissive than expand.
+  EXPECT_LE(Permissiveness(narrow), Permissiveness(expand));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, CompositionAlgebra,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 3)));
+
+}  // namespace
+}  // namespace gaa::eacl

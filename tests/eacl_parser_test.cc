@@ -1,0 +1,204 @@
+#include "eacl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "eacl/printer.h"
+#include "util/rng.h"
+
+namespace gaa::eacl {
+namespace {
+
+// The section 7.1 system-wide policy, verbatim (underscored syntax).
+constexpr const char* kLockdownSystem = R"(
+eacl_mode 1            # narrow
+# EACL entry 1
+neg_access_right * *
+pre_cond_system_threat_level local =high
+)";
+
+// The section 7.2 local policy.
+constexpr const char* kIntrusionLocal = R"(
+# EACL entry 1
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi*
+rr_cond_notify local on:failure/sysadmin/info:cgiexploit
+rr_cond_update_log local on:failure/BadGuys/info:ip
+# EACL entry 2
+pos_access_right apache *
+)";
+
+TEST(ParseEacl, LockdownSystemPolicy) {
+  auto result = ParseEacl(kLockdownSystem);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  const Eacl& eacl = result.value();
+  ASSERT_TRUE(eacl.mode.has_value());
+  EXPECT_EQ(*eacl.mode, CompositionMode::kNarrow);
+  ASSERT_EQ(eacl.entries.size(), 1u);
+  const Entry& entry = eacl.entries[0];
+  EXPECT_FALSE(entry.right.positive);
+  EXPECT_EQ(entry.right.def_auth, "*");
+  EXPECT_EQ(entry.right.value, "*");
+  ASSERT_EQ(entry.pre.size(), 1u);
+  EXPECT_EQ(entry.pre[0].type, "pre_cond_system_threat_level");
+  EXPECT_EQ(entry.pre[0].def_auth, "local");
+  EXPECT_EQ(entry.pre[0].value, "=high");
+}
+
+TEST(ParseEacl, IntrusionLocalPolicy) {
+  auto result = ParseEacl(kIntrusionLocal);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  const Eacl& eacl = result.value();
+  EXPECT_FALSE(eacl.mode.has_value());
+  ASSERT_EQ(eacl.entries.size(), 2u);
+  const Entry& e1 = eacl.entries[0];
+  EXPECT_FALSE(e1.right.positive);
+  ASSERT_EQ(e1.pre.size(), 1u);
+  // Multi-signature value keeps its internal space.
+  EXPECT_EQ(e1.pre[0].value, "*phf* *test-cgi*");
+  ASSERT_EQ(e1.request_result.size(), 2u);
+  EXPECT_EQ(e1.request_result[0].type, "rr_cond_notify");
+  EXPECT_EQ(e1.request_result[1].type, "rr_cond_update_log");
+  const Entry& e2 = eacl.entries[1];
+  EXPECT_TRUE(e2.right.positive);
+  EXPECT_TRUE(e2.pre.empty());
+}
+
+TEST(ParseEacl, AllFourBlocks) {
+  auto result = ParseEacl(R"(
+pos_access_right apache GET
+pre_cond_time local 09:00-17:00
+rr_cond_audit local on:any/access
+mid_cond_cpu local 0.5
+post_cond_log local on:failure/ops
+)");
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  const Entry& e = result.value().entries[0];
+  EXPECT_EQ(e.pre.size(), 1u);
+  EXPECT_EQ(e.request_result.size(), 1u);
+  EXPECT_EQ(e.mid.size(), 1u);
+  EXPECT_EQ(e.post.size(), 1u);
+}
+
+TEST(ParseEacl, ModeSpellings) {
+  EXPECT_EQ(*ParseEacl("eacl_mode 0").value().mode, CompositionMode::kExpand);
+  EXPECT_EQ(*ParseEacl("eacl_mode expand").value().mode,
+            CompositionMode::kExpand);
+  EXPECT_EQ(*ParseEacl("eacl_mode narrow").value().mode,
+            CompositionMode::kNarrow);
+  EXPECT_EQ(*ParseEacl("eacl_mode 2").value().mode, CompositionMode::kStop);
+  EXPECT_EQ(*ParseEacl("eacl_mode stop").value().mode, CompositionMode::kStop);
+}
+
+TEST(ParseEacl, EmptyPolicyIsValid) {
+  auto result = ParseEacl("# nothing but comments\n\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().entries.empty());
+}
+
+TEST(ParseEaclErrors, ConditionBeforeEntry) {
+  auto result = ParseEacl("pre_cond_time local 09:00-17:00\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, util::ErrorCode::kParseError);
+  EXPECT_NE(result.error().message.find("before any entry"),
+            std::string::npos);
+}
+
+TEST(ParseEaclErrors, BadMode) {
+  EXPECT_FALSE(ParseEacl("eacl_mode 7").ok());
+  EXPECT_FALSE(ParseEacl("eacl_mode").ok());
+  EXPECT_FALSE(ParseEacl("eacl_mode 1 2").ok());
+}
+
+TEST(ParseEaclErrors, ModeAfterEntry) {
+  EXPECT_FALSE(ParseEacl("pos_access_right a b\neacl_mode 1\n").ok());
+}
+
+TEST(ParseEaclErrors, DuplicateMode) {
+  EXPECT_FALSE(ParseEacl("eacl_mode 1\neacl_mode 1\n").ok());
+}
+
+TEST(ParseEaclErrors, MalformedRight) {
+  EXPECT_FALSE(ParseEacl("pos_access_right apache\n").ok());
+  EXPECT_FALSE(ParseEacl("pos_access_right apache GET extra\n").ok());
+  EXPECT_FALSE(ParseEacl("neg_access_right ap@che *\n").ok());
+}
+
+TEST(ParseEaclErrors, UnknownDirective) {
+  auto result = ParseEacl("grant_all please\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("unknown directive"),
+            std::string::npos);
+}
+
+TEST(ParseEaclErrors, NegativeRightRejectsMidPost) {
+  // BNF: nright carries only pre and rr blocks.
+  EXPECT_FALSE(
+      ParseEacl("neg_access_right apache *\nmid_cond_cpu local 1\n").ok());
+  EXPECT_FALSE(
+      ParseEacl("neg_access_right apache *\npost_cond_log local x\n").ok());
+  EXPECT_TRUE(
+      ParseEacl("neg_access_right apache *\nrr_cond_audit local on:any/a\n")
+          .ok());
+}
+
+TEST(ParseEaclErrors, ErrorsCarryLineNumbers) {
+  auto result = ParseEacl("pos_access_right a b\n\nbogus_directive x\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("line 3"), std::string::npos);
+}
+
+TEST(PrintEacl, RoundTripsPaperPolicies) {
+  for (const char* text : {kLockdownSystem, kIntrusionLocal}) {
+    auto first = ParseEacl(text);
+    ASSERT_TRUE(first.ok());
+    std::string printed = PrintEacl(first.value());
+    auto second = ParseEacl(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(first.value(), second.value()) << printed;
+  }
+}
+
+// Property: print → parse is the identity on randomly generated policies.
+class PrinterRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrinterRoundTrip, Identity) {
+  util::Rng rng(GetParam());
+  Eacl eacl;
+  if (rng.NextBool(0.5)) {
+    eacl.mode = static_cast<CompositionMode>(rng.NextBelow(3));
+  }
+  const char* auths[] = {"apache", "sshd", "*", "local"};
+  const char* cond_types[] = {"pre_cond_time", "pre_cond_regex",
+                              "rr_cond_notify", "mid_cond_cpu",
+                              "post_cond_log"};
+  std::size_t entries = 1 + rng.NextBelow(5);
+  for (std::size_t i = 0; i < entries; ++i) {
+    Entry entry;
+    entry.right.positive = rng.NextBool(0.7);
+    entry.right.def_auth = auths[rng.NextBelow(4)];
+    entry.right.value = rng.NextBool(0.5) ? "*" : "GET";
+    std::size_t conds = rng.NextBelow(4);
+    for (std::size_t c = 0; c < conds; ++c) {
+      Condition cond;
+      cond.type = cond_types[rng.NextBelow(5)];
+      auto phase = PhaseFromConditionType(cond.type).value();
+      if (!entry.right.positive && (phase == CondPhase::kMid ||
+                                    phase == CondPhase::kPost)) {
+        continue;  // keep the policy BNF-valid
+      }
+      cond.def_auth = auths[rng.NextBelow(4)];
+      cond.value = rng.NextBool(0.5) ? "v" + std::to_string(rng.NextBelow(10))
+                                     : "a b c";
+      entry.block(phase).push_back(cond);
+    }
+    eacl.entries.push_back(std::move(entry));
+  }
+  auto reparsed = ParseEacl(PrintEacl(eacl));
+  ASSERT_TRUE(reparsed.ok()) << PrintEacl(eacl);
+  EXPECT_EQ(reparsed.value(), eacl) << PrintEacl(eacl);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrinterRoundTrip, ::testing::Range(1, 33));
+
+}  // namespace
+}  // namespace gaa::eacl

@@ -1,0 +1,158 @@
+#include "eacl/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "eacl/parser.h"
+
+namespace gaa::eacl {
+namespace {
+
+Eacl Parse(const char* text) {
+  auto result = ParseEacl(text);
+  EXPECT_TRUE(result.ok()) << result.error().ToString();
+  return std::move(result).take();
+}
+
+TEST(Validate, AcceptsParsedPolicies) {
+  Eacl eacl = Parse(R"(
+pos_access_right apache *
+pre_cond_time local 09:00-17:00
+)");
+  EXPECT_TRUE(Validate(eacl).ok());
+}
+
+TEST(Validate, RejectsHandBuiltNegativeWithMid) {
+  Eacl eacl;
+  Entry entry;
+  entry.right = {false, "apache", "*"};
+  entry.mid.push_back({"mid_cond_cpu", "local", "1"});
+  eacl.entries.push_back(entry);
+  auto result = Validate(eacl);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Validate, RejectsConditionInWrongBlock) {
+  Eacl eacl;
+  Entry entry;
+  entry.right = {true, "apache", "*"};
+  entry.pre.push_back({"rr_cond_notify", "local", "x"});  // rr cond in pre block
+  eacl.entries.push_back(entry);
+  EXPECT_FALSE(Validate(eacl).ok());
+}
+
+TEST(Validate, RejectsUnprefixedConditionType) {
+  Eacl eacl;
+  Entry entry;
+  entry.right = {true, "apache", "*"};
+  entry.pre.push_back({"check_time", "local", "x"});
+  eacl.entries.push_back(entry);
+  EXPECT_FALSE(Validate(eacl).ok());
+}
+
+TEST(Validate, RejectsEmptyDefAuth) {
+  Eacl eacl;
+  Entry entry;
+  entry.right = {true, "apache", "*"};
+  entry.pre.push_back({"pre_cond_time", "", "x"});
+  eacl.entries.push_back(entry);
+  EXPECT_FALSE(Validate(eacl).ok());
+}
+
+TEST(Validate, RejectsMalformedRight) {
+  Eacl eacl;
+  Entry entry;
+  entry.right = {true, "", "*"};
+  eacl.entries.push_back(entry);
+  EXPECT_FALSE(Validate(eacl).ok());
+}
+
+TEST(RightCovers, WildcardSemantics) {
+  Right wild{true, "*", "*"};
+  EXPECT_TRUE(wild.Covers("apache", "GET"));
+  Right app{true, "apache", "*"};
+  EXPECT_TRUE(app.Covers("apache", "POST"));
+  EXPECT_FALSE(app.Covers("sshd", "login"));
+  Right exact{true, "apache", "GET"};
+  EXPECT_TRUE(exact.Covers("apache", "GET"));
+  EXPECT_FALSE(exact.Covers("apache", "POST"));
+}
+
+// --- the policy-consistency analyzer (paper future work) -------------------
+
+TEST(AnalyzePolicy, CleanPolicyHasNoWarnings) {
+  Eacl eacl = Parse(R"(
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+pos_access_right apache *
+)");
+  EXPECT_TRUE(AnalyzePolicy(eacl).empty());
+}
+
+TEST(AnalyzePolicy, DetectsShadowedEntry) {
+  Eacl eacl = Parse(R"(
+pos_access_right apache *
+pos_access_right apache GET
+pre_cond_time local 09:00-17:00
+)");
+  auto warnings = AnalyzePolicy(eacl);
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_EQ(warnings[0].kind, PolicyWarning::Kind::kShadowedEntry);
+  EXPECT_EQ(warnings[0].entry_index, 1u);
+}
+
+TEST(AnalyzePolicy, DetectsContradiction) {
+  Eacl eacl = Parse(R"(
+pos_access_right apache GET
+neg_access_right apache GET
+)");
+  auto warnings = AnalyzePolicy(eacl);
+  bool found = false;
+  for (const auto& w : warnings) {
+    if (w.kind == PolicyWarning::Kind::kContradiction) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AnalyzePolicy, DetectsDuplicateEntry) {
+  Eacl eacl = Parse(R"(
+pos_access_right apache GET
+pre_cond_time local 09:00-17:00
+pos_access_right apache GET
+pre_cond_time local 09:00-17:00
+)");
+  auto warnings = AnalyzePolicy(eacl);
+  bool found = false;
+  for (const auto& w : warnings) {
+    if (w.kind == PolicyWarning::Kind::kDuplicateEntry) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AnalyzePolicy, DetectsUnconditionalDenyAll) {
+  Eacl eacl = Parse("neg_access_right * *\npos_access_right apache *\n");
+  auto warnings = AnalyzePolicy(eacl);
+  bool deny_all = false;
+  bool shadowed = false;
+  for (const auto& w : warnings) {
+    if (w.kind == PolicyWarning::Kind::kUnconditionalDeny) deny_all = true;
+    if (w.kind == PolicyWarning::Kind::kShadowedEntry) shadowed = true;
+  }
+  EXPECT_TRUE(deny_all);
+  EXPECT_TRUE(shadowed);
+}
+
+TEST(AnalyzePolicy, ConditionedDenyIsNotFlagged) {
+  Eacl eacl = Parse(R"(
+neg_access_right * *
+pre_cond_system_threat_level local =high
+pos_access_right apache *
+)");
+  for (const auto& w : AnalyzePolicy(eacl)) {
+    EXPECT_NE(w.kind, PolicyWarning::Kind::kUnconditionalDeny) << w.message;
+    EXPECT_NE(w.kind, PolicyWarning::Kind::kShadowedEntry) << w.message;
+  }
+}
+
+}  // namespace
+}  // namespace gaa::eacl

@@ -1,0 +1,74 @@
+#include "gaa/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "eacl/parser.h"
+
+namespace gaa::core {
+namespace {
+
+eacl::ComposedPolicy MakePolicy(const std::string& text) {
+  auto parsed = eacl::ParseEacl(text);
+  EXPECT_TRUE(parsed.ok());
+  return eacl::Compose({std::move(parsed).take()}, {});
+}
+
+TEST(PolicyCache, MissThenHit) {
+  PolicyCache cache(4);
+  EXPECT_FALSE(cache.Get("/a", 1).has_value());
+  cache.Put("/a", 1, MakePolicy("pos_access_right apache *\n"));
+  auto hit = cache.Get("/a", 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->TotalEntries(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PolicyCache, StaleVersionIsMissAndEvicts) {
+  PolicyCache cache(4);
+  cache.Put("/a", 1, MakePolicy("pos_access_right apache *\n"));
+  EXPECT_FALSE(cache.Get("/a", 2).has_value());
+  EXPECT_EQ(cache.size(), 0u);  // stale entry evicted
+}
+
+TEST(PolicyCache, LruEviction) {
+  PolicyCache cache(2);
+  cache.Put("/a", 1, MakePolicy("pos_access_right apache *\n"));
+  cache.Put("/b", 1, MakePolicy("pos_access_right apache *\n"));
+  // Touch /a so /b becomes the LRU victim.
+  EXPECT_TRUE(cache.Get("/a", 1).has_value());
+  cache.Put("/c", 1, MakePolicy("pos_access_right apache *\n"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Get("/a", 1).has_value());
+  EXPECT_FALSE(cache.Get("/b", 1).has_value());
+  EXPECT_TRUE(cache.Get("/c", 1).has_value());
+}
+
+TEST(PolicyCache, PutSameKeyUpdates) {
+  PolicyCache cache(2);
+  cache.Put("/a", 1, MakePolicy("pos_access_right apache *\n"));
+  cache.Put("/a", 2,
+            MakePolicy("pos_access_right apache *\npos_access_right x y\n"));
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Get("/a", 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->TotalEntries(), 2u);
+}
+
+TEST(PolicyCache, ZeroCapacityNeverStores) {
+  PolicyCache cache(0);
+  cache.Put("/a", 1, MakePolicy("pos_access_right apache *\n"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("/a", 1).has_value());
+}
+
+TEST(PolicyCache, Clear) {
+  PolicyCache cache(4);
+  cache.Put("/a", 1, MakePolicy("pos_access_right apache *\n"));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("/a", 1).has_value());
+}
+
+}  // namespace
+}  // namespace gaa::core

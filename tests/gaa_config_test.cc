@@ -1,0 +1,71 @@
+#include "gaa/config.h"
+
+#include <gtest/gtest.h>
+
+#include "conditions/builtin.h"
+
+namespace gaa::core {
+namespace {
+
+TEST(ParseGaaConfig, Bindings) {
+  auto result = ParseGaaConfig(R"(
+condition pre_cond_regex gnu builtin:glob_signature attack_type=cgi severity=8
+condition rr_cond_notify local builtin:notify
+param notify.recipient admin@example.org
+)");
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  const auto& cfg = result.value();
+  ASSERT_EQ(cfg.bindings.size(), 2u);
+  EXPECT_EQ(cfg.bindings[0].cond_type, "pre_cond_regex");
+  EXPECT_EQ(cfg.bindings[0].def_auth, "gnu");
+  EXPECT_EQ(cfg.bindings[0].routine, "builtin:glob_signature");
+  EXPECT_EQ(cfg.bindings[0].params.at("attack_type"), "cgi");
+  EXPECT_EQ(cfg.bindings[0].params.at("severity"), "8");
+  EXPECT_TRUE(cfg.bindings[1].params.empty());
+  EXPECT_EQ(cfg.params.at("notify.recipient"), "admin@example.org");
+}
+
+TEST(ParseGaaConfig, ParamValueMayContainSpaces) {
+  auto result = ParseGaaConfig("param window 09:00-12:00 13:00-17:00\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().params.at("window"), "09:00-12:00 13:00-17:00");
+}
+
+TEST(ParseGaaConfig, Errors) {
+  EXPECT_FALSE(ParseGaaConfig("condition only_two args\n").ok());
+  EXPECT_FALSE(ParseGaaConfig("condition a b c not_kv\n").ok());
+  EXPECT_FALSE(ParseGaaConfig("param incomplete\n").ok());
+  EXPECT_FALSE(ParseGaaConfig("frobnicate x y\n").ok());
+}
+
+TEST(ParseGaaConfig, EmptyIsValid) {
+  auto result = ParseGaaConfig("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().bindings.empty());
+}
+
+TEST(DefaultConfig, ParsesAndBindsOnlyKnownFactories) {
+  auto result = ParseGaaConfig(cond::DefaultConfigText());
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  RoutineCatalog catalog;
+  cond::RegisterBuiltinRoutines(catalog);
+  for (const auto& binding : result.value().bindings) {
+    EXPECT_TRUE(catalog.Contains(binding.routine))
+        << binding.routine << " for " << binding.cond_type;
+  }
+  // The default bindings cover all the paper's condition types.
+  bool saw_threat = false;
+  bool saw_regex = false;
+  bool saw_redirect = false;
+  for (const auto& binding : result.value().bindings) {
+    if (binding.cond_type == "pre_cond_system_threat_level") saw_threat = true;
+    if (binding.cond_type == "pre_cond_regex") saw_regex = true;
+    if (binding.cond_type == "pre_cond_redirect") saw_redirect = true;
+  }
+  EXPECT_TRUE(saw_threat);
+  EXPECT_TRUE(saw_regex);
+  EXPECT_TRUE(saw_redirect);
+}
+
+}  // namespace
+}  // namespace gaa::core

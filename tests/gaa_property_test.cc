@@ -1,0 +1,201 @@
+// Property-based tests of the EACL evaluation engine: random policies over
+// pure synthetic conditions, checked against the ordered-evaluation
+// invariants of DESIGN.md §5.
+#include <gtest/gtest.h>
+
+#include "gaa/api.h"
+#include "testing/helpers.h"
+#include "util/rng.h"
+
+namespace gaa::core {
+namespace {
+
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+/// Pure synthetic conditions: "pre_cond_sym" with value t/f/u (true, false,
+/// unevaluated) so policies are data, not code.
+void RegisterSyntheticConditions(GaaApi& api) {
+  api.registry().Register(
+      "pre_cond_sym", "*",
+      [](const eacl::Condition& cond, const RequestContext&, EvalServices&) {
+        if (cond.value == "t") return EvalOutcome::Yes();
+        if (cond.value == "f") return EvalOutcome::No();
+        return EvalOutcome::Unevaluated();
+      });
+  api.registry().Register(
+      "rr_cond_sym", "*",
+      [](const eacl::Condition& cond, const RequestContext&, EvalServices&) {
+        if (cond.value == "t") return EvalOutcome::Yes();
+        if (cond.value == "f") return EvalOutcome::No();
+        return EvalOutcome::Unevaluated();
+      });
+}
+
+eacl::Eacl RandomPolicy(util::Rng& rng, double unknown_prob = 0.15) {
+  eacl::Eacl policy;
+  std::size_t entries = 1 + rng.NextBelow(6);
+  for (std::size_t i = 0; i < entries; ++i) {
+    eacl::Entry entry;
+    entry.right.positive = rng.NextBool(0.6);
+    entry.right.def_auth = rng.NextBool(0.8) ? "apache" : "*";
+    entry.right.value = rng.NextBool(0.5) ? "*" : (rng.NextBool(0.5) ? "GET" : "POST");
+    std::size_t conds = rng.NextBelow(4);
+    for (std::size_t c = 0; c < conds; ++c) {
+      const char* value = rng.NextBool(unknown_prob)
+                              ? "u"
+                              : (rng.NextBool(0.5) ? "t" : "f");
+      entry.pre.push_back({"pre_cond_sym", "local", value});
+    }
+    if (rng.NextBool(0.3)) {
+      entry.request_result.push_back(
+          {"rr_cond_sym", "local", rng.NextBool(0.8) ? "t" : "f"});
+    }
+    policy.entries.push_back(std::move(entry));
+  }
+  return policy;
+}
+
+struct Evaluator {
+  Evaluator() : api(&store, rig.services) { RegisterSyntheticConditions(api); }
+
+  Tristate Decide(const eacl::ComposedPolicy& composed,
+                  const std::string& op = "GET") {
+    RequestContext ctx = MakeContext("10.0.0.1", "/x", op);
+    return api.CheckAuthorization(composed, RequestedRight{"apache", op}, ctx)
+        .status;
+  }
+
+  TestRig rig;
+  PolicyStore store;
+  GaaApi api;
+};
+
+class EvalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvalProperty, NonMatchingEntriesAreInert) {
+  util::Rng rng(GetParam());
+  Evaluator eval;
+  for (int trial = 0; trial < 40; ++trial) {
+    eacl::Eacl policy = RandomPolicy(rng);
+    auto composed = eacl::Compose({}, {policy});
+    Tristate before = eval.Decide(composed);
+
+    // Insert an entry for a different application at a random position.
+    eacl::Entry alien;
+    alien.right = {rng.NextBool(0.5), "sshd", "*"};
+    eacl::Eacl mutated = policy;
+    mutated.entries.insert(
+        mutated.entries.begin() + rng.NextBelow(mutated.entries.size() + 1),
+        alien);
+    auto mutated_composed = eacl::Compose({}, {mutated});
+    EXPECT_EQ(eval.Decide(mutated_composed), before);
+  }
+}
+
+TEST_P(EvalProperty, FailingPreConditionEntriesAreInert) {
+  util::Rng rng(GetParam() + 100);
+  Evaluator eval;
+  for (int trial = 0; trial < 40; ++trial) {
+    eacl::Eacl policy = RandomPolicy(rng);
+    auto composed = eacl::Compose({}, {policy});
+    Tristate before = eval.Decide(composed);
+
+    // An entry whose pre-block definitely fails cannot change anything, at
+    // any position (its own rr conditions never fire either).
+    eacl::Entry dead;
+    dead.right = {rng.NextBool(0.5), "apache", "*"};
+    dead.pre.push_back({"pre_cond_sym", "local", "f"});
+    eacl::Eacl mutated = policy;
+    mutated.entries.insert(
+        mutated.entries.begin() + rng.NextBelow(mutated.entries.size() + 1),
+        dead);
+    auto mutated_composed = eacl::Compose({}, {mutated});
+    EXPECT_EQ(eval.Decide(mutated_composed), before);
+  }
+}
+
+TEST_P(EvalProperty, AppendingAfterPoliciesNeverFlipsDecidedOutcomes) {
+  util::Rng rng(GetParam() + 200);
+  Evaluator eval;
+  for (int trial = 0; trial < 40; ++trial) {
+    eacl::Eacl policy = RandomPolicy(rng, /*unknown_prob=*/0.0);
+    auto composed = eacl::Compose({}, {policy});
+    Tristate before = eval.Decide(composed);
+    if (before == Tristate::kMaybe) continue;
+
+    // Once some entry decides (YES/NO with pure conditions), appending
+    // anything — even a contradictory unconditional entry — is dead code
+    // IF an earlier entry applied.  If no entry applied (default deny),
+    // appended entries may legitimately grant; so only check the
+    // "applicable" case.
+    RequestContext probe = MakeContext();
+    auto authz = eval.api.CheckAuthorization(composed,
+                                             RequestedRight{"apache", "GET"},
+                                             probe);
+    if (!authz.applicable) continue;
+
+    eacl::Entry tail;
+    tail.right = {before == Tristate::kNo, "apache", "*"};  // contradicts
+    eacl::Eacl mutated = policy;
+    mutated.entries.push_back(tail);
+    auto mutated_composed = eacl::Compose({}, {mutated});
+    EXPECT_EQ(eval.Decide(mutated_composed), before);
+  }
+}
+
+TEST_P(EvalProperty, NarrowSelfCompositionIsIdempotent) {
+  util::Rng rng(GetParam() + 300);
+  Evaluator eval;
+  for (int trial = 0; trial < 40; ++trial) {
+    eacl::Eacl policy = RandomPolicy(rng);
+    auto local_only = eacl::Compose({}, {policy});
+    Tristate alone = eval.Decide(local_only);
+
+    eacl::Eacl as_system = policy;
+    as_system.mode = eacl::CompositionMode::kNarrow;
+    auto self_composed = eacl::Compose({as_system}, {policy});
+    EXPECT_EQ(eval.Decide(self_composed), alone);
+  }
+}
+
+TEST_P(EvalProperty, CompositionModeOrderingEndToEnd) {
+  util::Rng rng(GetParam() + 400);
+  Evaluator eval;
+  auto permissiveness = [](Tristate t) {
+    return t == Tristate::kYes ? 2 : (t == Tristate::kMaybe ? 1 : 0);
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    eacl::Eacl system_policy = RandomPolicy(rng);
+    eacl::Eacl local_policy = RandomPolicy(rng);
+
+    auto with_mode = [&](eacl::CompositionMode mode) {
+      eacl::Eacl marked = system_policy;
+      marked.mode = mode;
+      return eval.Decide(eacl::Compose({marked}, {local_policy}));
+    };
+    Tristate expand = with_mode(eacl::CompositionMode::kExpand);
+    Tristate narrow = with_mode(eacl::CompositionMode::kNarrow);
+    // narrow is never more permissive than expand, end to end.
+    EXPECT_LE(permissiveness(narrow), permissiveness(expand));
+  }
+}
+
+TEST_P(EvalProperty, EvaluationIsDeterministic) {
+  util::Rng rng(GetParam() + 500);
+  Evaluator eval;
+  for (int trial = 0; trial < 20; ++trial) {
+    eacl::Eacl policy = RandomPolicy(rng);
+    auto composed = eacl::Compose({}, {policy});
+    Tristate first = eval.Decide(composed);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(eval.Decide(composed), first);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace gaa::core

@@ -1,0 +1,108 @@
+#include "gaa/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.h"
+
+namespace gaa::core {
+namespace {
+
+using testing::MakeCond;
+using testing::MakeContext;
+
+CondRoutine ConstantRoutine(util::Tristate status) {
+  return [status](const eacl::Condition&, const RequestContext&,
+                  EvalServices&) { return EvalOutcome{status, true, ""}; };
+}
+
+TEST(ConditionRegistry, ExactLookup) {
+  ConditionRegistry registry;
+  registry.Register("pre_cond_x", "local", ConstantRoutine(util::Tristate::kYes));
+  EXPECT_NE(registry.Find("pre_cond_x", "local"), nullptr);
+  EXPECT_EQ(registry.Find("pre_cond_x", "other"), nullptr);
+  EXPECT_EQ(registry.Find("pre_cond_y", "local"), nullptr);
+}
+
+TEST(ConditionRegistry, WildcardFallback) {
+  ConditionRegistry registry;
+  registry.Register("pre_cond_x", "*", ConstantRoutine(util::Tristate::kYes));
+  EXPECT_NE(registry.Find("pre_cond_x", "anything"), nullptr);
+}
+
+TEST(ConditionRegistry, ExactBeatsWildcard) {
+  ConditionRegistry registry;
+  registry.Register("pre_cond_x", "*", ConstantRoutine(util::Tristate::kNo));
+  registry.Register("pre_cond_x", "local",
+                    ConstantRoutine(util::Tristate::kYes));
+  gaa::testing::TestRig rig;
+  auto ctx = MakeContext();
+  auto cond = MakeCond("pre_cond_x", "local", "");
+  const CondRoutine* routine = registry.Find("pre_cond_x", "local");
+  ASSERT_NE(routine, nullptr);
+  EXPECT_EQ((*routine)(cond, ctx, rig.services).status, util::Tristate::kYes);
+}
+
+TEST(ConditionRegistry, ReRegistrationReplaces) {
+  ConditionRegistry registry;
+  registry.Register("t", "a", ConstantRoutine(util::Tristate::kNo));
+  registry.Register("t", "a", ConstantRoutine(util::Tristate::kYes));
+  EXPECT_EQ(registry.size(), 1u);
+  gaa::testing::TestRig rig;
+  auto ctx = MakeContext();
+  auto cond = MakeCond("t", "a", "");
+  EXPECT_EQ((*registry.Find("t", "a"))(cond, ctx, rig.services).status,
+            util::Tristate::kYes);
+}
+
+TEST(ConditionRegistry, Unregister) {
+  ConditionRegistry registry;
+  registry.Register("t", "a", ConstantRoutine(util::Tristate::kYes));
+  EXPECT_TRUE(registry.Unregister("t", "a"));
+  EXPECT_FALSE(registry.Unregister("t", "a"));
+  EXPECT_EQ(registry.Find("t", "a"), nullptr);
+}
+
+TEST(RoutineCatalog, MakeAndMissing) {
+  RoutineCatalog catalog;
+  catalog.Add("builtin:const_yes",
+              [](const std::map<std::string, std::string>&) {
+                return ConstantRoutine(util::Tristate::kYes);
+              });
+  EXPECT_TRUE(catalog.Contains("builtin:const_yes"));
+  EXPECT_FALSE(catalog.Contains("builtin:nope"));
+  EXPECT_TRUE(catalog.Make("builtin:const_yes", {}).ok());
+  auto missing = catalog.Make("builtin:nope", {});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, util::ErrorCode::kNotFound);
+}
+
+TEST(RoutineCatalog, FactoryReceivesParams) {
+  RoutineCatalog catalog;
+  catalog.Add("builtin:param_echo",
+              [](const std::map<std::string, std::string>& params) {
+                auto it = params.find("answer");
+                util::Tristate status = (it != params.end() && it->second == "yes")
+                                            ? util::Tristate::kYes
+                                            : util::Tristate::kNo;
+                return ConstantRoutine(status);
+              });
+  auto yes = catalog.Make("builtin:param_echo", {{"answer", "yes"}});
+  ASSERT_TRUE(yes.ok());
+  gaa::testing::TestRig rig;
+  auto ctx = MakeContext();
+  auto cond = MakeCond("t", "a", "");
+  EXPECT_EQ(yes.value()(cond, ctx, rig.services).status, util::Tristate::kYes);
+}
+
+TEST(EvalOutcome, Constructors) {
+  EXPECT_EQ(EvalOutcome::Yes().status, util::Tristate::kYes);
+  EXPECT_TRUE(EvalOutcome::Yes().evaluated);
+  EXPECT_EQ(EvalOutcome::No("why").detail, "why");
+  EXPECT_TRUE(EvalOutcome::Maybe().evaluated);
+  EXPECT_EQ(EvalOutcome::Maybe().status, util::Tristate::kMaybe);
+  EXPECT_FALSE(EvalOutcome::Unevaluated().evaluated);
+  EXPECT_EQ(EvalOutcome::Unevaluated().status, util::Tristate::kMaybe);
+}
+
+}  // namespace
+}  // namespace gaa::core

@@ -1,0 +1,173 @@
+#include "http/htaccess.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace gaa::http {
+namespace {
+
+// The paper's §4 sample .htaccess (AuthUserFile name is a registry key).
+constexpr const char* kPaperSample = R"(
+Order Deny,Allow
+Deny from All
+Allow from 128.9
+AuthType Basic
+AuthUserFile isi-staff
+AuthName isi
+Require valid-user
+Satisfy All
+)";
+
+RequestRec MakeRec(const std::string& ip,
+                   const std::string& user = "",
+                   const std::string& password = "") {
+  RequestRec rec;
+  rec.method = "GET";
+  rec.path = "/doc.html";
+  rec.client_ip = util::Ipv4Address::Parse(ip).value();
+  if (!user.empty()) {
+    rec.headers["authorization"] =
+        "Basic " + util::Base64Encode(user + ":" + password);
+  }
+  return rec;
+}
+
+class HtaccessTest : public ::testing::Test {
+ protected:
+  HtaccessTest() {
+    passwords_.GetOrCreate("isi-staff").SetUser("alice", "wonder");
+  }
+  HtpasswdRegistry passwords_;
+};
+
+TEST_F(HtaccessTest, ParsePaperSample) {
+  auto config = ParseHtaccess(kPaperSample);
+  ASSERT_TRUE(config.ok()) << config.error().ToString();
+  const auto& c = config.value();
+  EXPECT_EQ(c.order, AccessOrder::kDenyAllow);
+  EXPECT_TRUE(c.deny_all);
+  ASSERT_EQ(c.allow_from.size(), 1u);
+  EXPECT_EQ(c.allow_from[0].prefix_len(), 16);
+  EXPECT_TRUE(c.auth_basic);
+  EXPECT_EQ(c.auth_user_file, "isi-staff");
+  EXPECT_EQ(c.auth_name, "isi");
+  EXPECT_TRUE(c.require_valid_user);
+  EXPECT_EQ(c.satisfy, SatisfyMode::kAll);
+}
+
+TEST_F(HtaccessTest, PaperSampleSemantics) {
+  auto config = ParseHtaccess(kPaperSample).value();
+  // Inside the allowed network with valid credentials: allowed.
+  auto rec = MakeRec("128.9.1.2", "alice", "wonder");
+  EXPECT_EQ(EvaluateHtaccess(config, rec, passwords_),
+            HtaccessDecision::kAllow);
+  EXPECT_TRUE(rec.authenticated);
+  EXPECT_EQ(rec.auth_user, "alice");
+  // Inside the network without credentials: challenge.
+  auto anon = MakeRec("128.9.1.2");
+  EXPECT_EQ(EvaluateHtaccess(config, anon, passwords_),
+            HtaccessDecision::kAuthRequired);
+  // Outside the network: denied regardless of credentials (Satisfy All).
+  auto outside = MakeRec("4.4.4.4", "alice", "wonder");
+  EXPECT_EQ(EvaluateHtaccess(config, outside, passwords_),
+            HtaccessDecision::kDeny);
+  // Wrong password: challenge again.
+  auto wrong = MakeRec("128.9.1.2", "alice", "nope");
+  EXPECT_EQ(EvaluateHtaccess(config, wrong, passwords_),
+            HtaccessDecision::kAuthRequired);
+}
+
+TEST_F(HtaccessTest, SatisfyAnyAllowsEitherConstraint) {
+  std::string text = std::string(kPaperSample);
+  text = util::ReplaceAll(text, "Satisfy All", "Satisfy Any");
+  auto config = ParseHtaccess(text).value();
+  // Outside the network but valid credentials: allowed under Any.
+  auto rec = MakeRec("4.4.4.4", "alice", "wonder");
+  EXPECT_EQ(EvaluateHtaccess(config, rec, passwords_),
+            HtaccessDecision::kAllow);
+  // Inside the network without credentials: allowed under Any.
+  auto anon = MakeRec("128.9.1.2");
+  EXPECT_EQ(EvaluateHtaccess(config, anon, passwords_),
+            HtaccessDecision::kAllow);
+  // Outside and no credentials: challenged.
+  auto neither = MakeRec("4.4.4.4");
+  EXPECT_EQ(EvaluateHtaccess(config, neither, passwords_),
+            HtaccessDecision::kAuthRequired);
+}
+
+TEST_F(HtaccessTest, OrderAllowDenyDefaultsClosed) {
+  auto config = ParseHtaccess("Order Allow,Deny\nAllow from 10.0.0.0/8\n")
+                    .value();
+  auto inside = MakeRec("10.1.2.3");
+  auto outside = MakeRec("192.168.0.1");
+  EXPECT_EQ(EvaluateHtaccess(config, inside, passwords_),
+            HtaccessDecision::kAllow);
+  EXPECT_EQ(EvaluateHtaccess(config, outside, passwords_),
+            HtaccessDecision::kDeny);
+}
+
+TEST_F(HtaccessTest, OrderDenyAllowAllowOverridesDeny) {
+  auto config = ParseHtaccess(
+                    "Order Deny,Allow\nDeny from All\nAllow from 10.0.0.0/8\n")
+                    .value();
+  auto inside = MakeRec("10.1.2.3");
+  auto outside = MakeRec("192.168.0.1");
+  EXPECT_EQ(EvaluateHtaccess(config, inside, passwords_),
+            HtaccessDecision::kAllow);
+  EXPECT_EQ(EvaluateHtaccess(config, outside, passwords_),
+            HtaccessDecision::kDeny);
+}
+
+TEST_F(HtaccessTest, RequireSpecificUsers) {
+  auto config = ParseHtaccess(
+                    "AuthType Basic\nAuthUserFile isi-staff\n"
+                    "Require user bob carol\n")
+                    .value();
+  passwords_.GetOrCreate("isi-staff").SetUser("bob", "pw");
+  auto bob = MakeRec("10.0.0.1", "bob", "pw");
+  EXPECT_EQ(EvaluateHtaccess(config, bob, passwords_),
+            HtaccessDecision::kAllow);
+  // alice authenticates fine but is not listed.
+  auto alice = MakeRec("10.0.0.1", "alice", "wonder");
+  EXPECT_EQ(EvaluateHtaccess(config, alice, passwords_),
+            HtaccessDecision::kAuthRequired);
+}
+
+TEST_F(HtaccessTest, EmptyConfigAllowsEveryone) {
+  auto config = ParseHtaccess("").value();
+  auto rec = MakeRec("1.2.3.4");
+  EXPECT_EQ(EvaluateHtaccess(config, rec, passwords_),
+            HtaccessDecision::kAllow);
+}
+
+TEST_F(HtaccessTest, MissingAuthUserFileChallengesForever) {
+  auto config = ParseHtaccess(
+                    "AuthType Basic\nAuthUserFile ghost\nRequire valid-user\n")
+                    .value();
+  auto rec = MakeRec("10.0.0.1", "alice", "wonder");
+  EXPECT_EQ(EvaluateHtaccess(config, rec, passwords_),
+            HtaccessDecision::kAuthRequired);
+}
+
+TEST(HtaccessParse, Errors) {
+  EXPECT_FALSE(ParseHtaccess("Order sideways\n").ok());
+  EXPECT_FALSE(ParseHtaccess("Deny to All\n").ok());
+  EXPECT_FALSE(ParseHtaccess("Allow from not_an_ip!\n").ok());
+  EXPECT_FALSE(ParseHtaccess("AuthType Digest\n").ok());
+  EXPECT_FALSE(ParseHtaccess("Require group staff\n").ok());
+  EXPECT_FALSE(ParseHtaccess("Satisfy Sometimes\n").ok());
+  EXPECT_FALSE(ParseHtaccess("Bogus directive\n").ok());
+}
+
+TEST(HtaccessParse, OrderSpellings) {
+  EXPECT_EQ(ParseHtaccess("Order Deny,Allow\n").value().order,
+            AccessOrder::kDenyAllow);
+  EXPECT_EQ(ParseHtaccess("Order Deny, Allow\n").value().order,
+            AccessOrder::kDenyAllow);
+  EXPECT_EQ(ParseHtaccess("order allow,deny\n").value().order,
+            AccessOrder::kAllowDeny);
+}
+
+}  // namespace
+}  // namespace gaa::http

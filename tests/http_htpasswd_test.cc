@@ -1,0 +1,88 @@
+#include "http/htpasswd.h"
+
+#include <gtest/gtest.h>
+
+namespace gaa::http {
+namespace {
+
+TEST(HtpasswdStore, SetCheckRemove) {
+  HtpasswdStore store;
+  store.SetUser("alice", "wonder");
+  EXPECT_TRUE(store.Check("alice", "wonder"));
+  EXPECT_FALSE(store.Check("alice", "wrong"));
+  EXPECT_FALSE(store.Check("bob", "wonder"));
+  EXPECT_TRUE(store.HasUser("alice"));
+  EXPECT_FALSE(store.HasUser("bob"));
+  EXPECT_TRUE(store.RemoveUser("alice"));
+  EXPECT_FALSE(store.RemoveUser("alice"));
+  EXPECT_FALSE(store.Check("alice", "wonder"));
+}
+
+TEST(HtpasswdStore, ReplacePassword) {
+  HtpasswdStore store;
+  store.SetUser("alice", "old");
+  store.SetUser("alice", "new");
+  EXPECT_FALSE(store.Check("alice", "old"));
+  EXPECT_TRUE(store.Check("alice", "new"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(HtpasswdStore, PasswordsAreNotStoredInPlaintext) {
+  HtpasswdStore store;
+  store.SetUser("alice", "hunter2");
+  std::string serialized = store.Serialize();
+  EXPECT_EQ(serialized.find("hunter2"), std::string::npos);
+  EXPECT_NE(serialized.find("alice:"), std::string::npos);
+}
+
+TEST(HtpasswdStore, SerializeParseRoundTrip) {
+  HtpasswdStore store;
+  store.SetUser("alice", "wonder");
+  store.SetUser("bob", "builder");
+  auto parsed = HtpasswdStore::Parse(store.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().Check("alice", "wonder"));
+  EXPECT_TRUE(parsed.value().Check("bob", "builder"));
+  EXPECT_FALSE(parsed.value().Check("alice", "builder"));
+}
+
+TEST(HtpasswdStore, ParseSkipsCommentsAndBlanks) {
+  auto parsed = HtpasswdStore::Parse("# comment\n\nalice:00$11\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().HasUser("alice"));
+}
+
+TEST(HtpasswdStore, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(HtpasswdStore::Parse("nocolon\n").ok());
+  EXPECT_FALSE(HtpasswdStore::Parse(":empty-user\n").ok());
+}
+
+TEST(HtpasswdStore, DifferentUsersDifferentHashes) {
+  // Per-user salting: same password, different stored entries.
+  HtpasswdStore store;
+  store.SetUser("alice", "same");
+  store.SetUser("bob", "same");
+  std::string s = store.Serialize();
+  auto alice_pos = s.find("alice:");
+  auto bob_pos = s.find("bob:");
+  ASSERT_NE(alice_pos, std::string::npos);
+  ASSERT_NE(bob_pos, std::string::npos);
+  std::string alice_hash = s.substr(alice_pos + 6, 33);
+  std::string bob_hash = s.substr(bob_pos + 4, 33);
+  EXPECT_NE(alice_hash, bob_hash);
+}
+
+TEST(HtpasswdRegistry, GetOrCreateAndFind) {
+  HtpasswdRegistry registry;
+  EXPECT_EQ(registry.Find("staff"), nullptr);
+  registry.GetOrCreate("staff").SetUser("alice", "w");
+  const HtpasswdStore* store = registry.Find("staff");
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(store->Check("alice", "w"));
+  // Same name returns the same store.
+  registry.GetOrCreate("staff").SetUser("bob", "b");
+  EXPECT_TRUE(registry.Find("staff")->Check("bob", "b"));
+}
+
+}  // namespace
+}  // namespace gaa::http

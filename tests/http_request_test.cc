@@ -1,0 +1,190 @@
+#include "http/request.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace gaa::http {
+namespace {
+
+TEST(ParseRequest, SimpleGet) {
+  auto result = ParseRequest(
+      "GET /index.html HTTP/1.1\r\nHost: example.org\r\n\r\n");
+  ASSERT_TRUE(result.ok()) << result.detail;
+  const RequestRec& rec = *result.request;
+  EXPECT_EQ(rec.method, "GET");
+  EXPECT_EQ(rec.path, "/index.html");
+  EXPECT_EQ(rec.raw_target, "/index.html");
+  EXPECT_TRUE(rec.query.empty());
+  EXPECT_EQ(rec.http_version, "HTTP/1.1");
+  EXPECT_EQ(*rec.Header("host"), "example.org");
+}
+
+TEST(ParseRequest, QueryAndDecoding) {
+  auto result = ParseRequest(
+      "GET /cgi-bin/phf?Qalias=x%0a/bin/cat HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.request->path, "/cgi-bin/phf");
+  EXPECT_EQ(result.request->query, "Qalias=x%0a/bin/cat");  // query undecoded
+  EXPECT_EQ(result.request->raw_target, "/cgi-bin/phf?Qalias=x%0a/bin/cat");
+}
+
+TEST(ParseRequest, PathEscapesDecoded) {
+  auto result = ParseRequest("GET /a%20b/c%2Fd HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.request->path, "/a b/c/d");
+}
+
+TEST(ParseRequest, LfOnlyLineEndings) {
+  auto result = ParseRequest("GET / HTTP/1.1\nHost: x\n\nBODY");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.request->body, "BODY");
+  EXPECT_EQ(*result.request->Header("host"), "x");
+}
+
+TEST(ParseRequest, BodyAfterCrlfCrlf) {
+  auto result = ParseRequest(
+      "POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.request->method, "POST");
+  EXPECT_EQ(result.request->body, "hello");
+}
+
+TEST(ParseRequest, DuplicateHeadersFold) {
+  auto result = ParseRequest(
+      "GET / HTTP/1.1\r\nAccept: a\r\nAccept: b\r\n\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.request->Header("accept"), "a, b");
+}
+
+TEST(ParseRequest, HeaderNamesLowercased) {
+  auto result = ParseRequest("GET / HTTP/1.1\r\nUSER-AGENT: x\r\n\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.request->Header("user-agent"), nullptr);
+  EXPECT_EQ(result.request->Header("USER-AGENT"), nullptr);
+}
+
+// --- defect diagnosis (feeds the §3 item-1 ill-formed reports) -------------
+
+struct DefectCase {
+  const char* name;
+  const char* raw;
+  RequestDefect expected;
+};
+
+class DefectTest : public ::testing::TestWithParam<DefectCase> {};
+
+TEST_P(DefectTest, Diagnoses) {
+  const auto& param = GetParam();
+  auto result = ParseRequest(param.raw);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.defect, param.expected) << param.name << ": " << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Defects, DefectTest,
+    ::testing::Values(
+        DefectCase{"two_fields", "GET /index.html\r\n\r\n",
+                   RequestDefect::kBadRequestLine},
+        DefectCase{"four_fields", "GET / HTTP/1.1 extra\r\n\r\n",
+                   RequestDefect::kBadRequestLine},
+        DefectCase{"empty", "", RequestDefect::kBadRequestLine},
+        DefectCase{"unknown_method", "GEX / HTTP/1.1\r\n\r\n",
+                   RequestDefect::kBadMethod},
+        DefectCase{"method_bad_token", "G@T / HTTP/1.1\r\n\r\n",
+                   RequestDefect::kBadMethod},
+        DefectCase{"bad_version", "GET / HTTP/9.9\r\n\r\n",
+                   RequestDefect::kBadVersion},
+        DefectCase{"bad_escape", "GET /%zz HTTP/1.1\r\n\r\n",
+                   RequestDefect::kBadEscape},
+        DefectCase{"control_byte", "GET /\x01 HTTP/1.1\r\n\r\n",
+                   RequestDefect::kControlBytes},
+        DefectCase{"headerless_colon", "GET / HTTP/1.1\r\nnocolonhere\r\n\r\n",
+                   RequestDefect::kBadHeader}),
+    [](const ::testing::TestParamInfo<DefectCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ParseRequest, OversizedTarget) {
+  ParseLimits limits;
+  limits.max_target_bytes = 64;
+  std::string raw = "GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n";
+  auto result = ParseRequest(raw, limits);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.defect, RequestDefect::kOversizedTarget);
+}
+
+TEST(ParseRequest, TooManyHeadersIsTheHeaderDos) {
+  // §1: "ill-formed HTTP requests (e.g., a large number of HTTP headers)".
+  ParseLimits limits;
+  limits.max_headers = 10;
+  std::string raw = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 20; ++i) {
+    raw += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  raw += "\r\n";
+  auto result = ParseRequest(raw, limits);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.defect, RequestDefect::kTooManyHeaders);
+}
+
+TEST(ParseRequest, OversizedHeader) {
+  ParseLimits limits;
+  limits.max_header_bytes = 32;
+  auto result = ParseRequest(
+      "GET / HTTP/1.1\r\nX: " + std::string(100, 'v') + "\r\n\r\n", limits);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.defect, RequestDefect::kOversizedHeader);
+}
+
+// --- Basic credentials -------------------------------------------------------
+
+TEST(BasicCredentials, DecodesUserPass) {
+  auto result = ParseRequest(
+      "GET / HTTP/1.1\r\nAuthorization: Basic " +
+      util::Base64Encode("alice:wonder") + "\r\n\r\n");
+  ASSERT_TRUE(result.ok());
+  auto creds = result.request->BasicCredentials();
+  ASSERT_TRUE(creds.has_value());
+  EXPECT_EQ(creds->first, "alice");
+  EXPECT_EQ(creds->second, "wonder");
+}
+
+TEST(BasicCredentials, PasswordMayContainColon) {
+  auto result = ParseRequest(
+      "GET / HTTP/1.1\r\nAuthorization: Basic " +
+      util::Base64Encode("u:p:w") + "\r\n\r\n");
+  ASSERT_TRUE(result.ok());
+  auto creds = result.request->BasicCredentials();
+  ASSERT_TRUE(creds.has_value());
+  EXPECT_EQ(creds->first, "u");
+  EXPECT_EQ(creds->second, "p:w");
+}
+
+TEST(BasicCredentials, AbsentOrMalformed) {
+  auto plain = ParseRequest("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_FALSE(plain.request->BasicCredentials().has_value());
+  auto bearer = ParseRequest(
+      "GET / HTTP/1.1\r\nAuthorization: Bearer tok\r\n\r\n");
+  EXPECT_FALSE(bearer.request->BasicCredentials().has_value());
+  auto junk = ParseRequest(
+      "GET / HTTP/1.1\r\nAuthorization: Basic !!!!\r\n\r\n");
+  EXPECT_FALSE(junk.request->BasicCredentials().has_value());
+  auto nocolon = ParseRequest(
+      "GET / HTTP/1.1\r\nAuthorization: Basic " +
+      util::Base64Encode("nocolon") + "\r\n\r\n");
+  EXPECT_FALSE(nocolon.request->BasicCredentials().has_value());
+}
+
+TEST(BuildGetRequest, RoundTripsThroughParser) {
+  std::string raw = BuildGetRequest("/a/b?q=1", {{"X-Test", "yes"}});
+  auto result = ParseRequest(raw);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.request->path, "/a/b");
+  EXPECT_EQ(result.request->query, "q=1");
+  EXPECT_EQ(*result.request->Header("x-test"), "yes");
+  EXPECT_NE(result.request->Header("host"), nullptr);  // auto-added
+}
+
+}  // namespace
+}  // namespace gaa::http

@@ -1,0 +1,52 @@
+#include "http/response.h"
+
+#include <gtest/gtest.h>
+
+namespace gaa::http {
+namespace {
+
+TEST(HttpResponse, SerializeBasics) {
+  HttpResponse r = HttpResponse::Make(StatusCode::kOk, "hello");
+  std::string text = r.Serialize();
+  EXPECT_NE(text.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(text.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(HttpResponse, DefaultBodyNamesStatus) {
+  HttpResponse r = HttpResponse::Make(StatusCode::kForbidden);
+  EXPECT_NE(r.body.find("403"), std::string::npos);
+  EXPECT_NE(r.body.find("Forbidden"), std::string::npos);
+}
+
+TEST(HttpResponse, AuthRequiredChallenge) {
+  HttpResponse r = HttpResponse::AuthRequired("staff-area");
+  EXPECT_EQ(r.status, StatusCode::kUnauthorized);
+  EXPECT_EQ(r.headers.at("WWW-Authenticate"), "Basic realm=\"staff-area\"");
+}
+
+TEST(HttpResponse, Redirect) {
+  HttpResponse r = HttpResponse::Redirect("http://replica.example.org/x");
+  EXPECT_EQ(r.status, StatusCode::kFound);
+  EXPECT_EQ(r.headers.at("Location"), "http://replica.example.org/x");
+}
+
+TEST(StatusReason, Names) {
+  EXPECT_STREQ(StatusReason(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusReason(StatusCode::kUnauthorized), "Unauthorized");
+  EXPECT_STREQ(StatusReason(StatusCode::kForbidden), "Forbidden");
+  EXPECT_STREQ(StatusReason(StatusCode::kNotFound), "Not Found");
+  EXPECT_STREQ(StatusReason(StatusCode::kUriTooLong), "URI Too Long");
+  EXPECT_STREQ(StatusReason(StatusCode::kServiceUnavailable),
+               "Service Unavailable");
+}
+
+TEST(HttpResponse, ExplicitContentLengthNotDuplicated) {
+  HttpResponse r = HttpResponse::Make(StatusCode::kOk, "abc");
+  r.headers["Content-Length"] = "3";
+  std::string text = r.Serialize();
+  EXPECT_EQ(text.find("Content-Length"), text.rfind("Content-Length"));
+}
+
+}  // namespace
+}  // namespace gaa::http

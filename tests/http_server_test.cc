@@ -1,0 +1,260 @@
+#include "http/server.h"
+
+#include <gtest/gtest.h>
+
+#include "http/doc_tree.h"
+#include "util/strings.h"
+
+namespace gaa::http {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : clock_(0),
+        tree_(DocTree::DemoSite()),
+        server_(&tree_, &allow_all_, &clock_) {}
+
+  HttpResponse Get(const std::string& target, const std::string& ip = "10.0.0.1") {
+    return server_.HandleText(BuildGetRequest(target),
+                              util::Ipv4Address::Parse(ip).value());
+  }
+
+  util::SimulatedClock clock_;
+  DocTree tree_;
+  AllowAllController allow_all_;
+  WebServer server_;
+};
+
+TEST_F(ServerTest, ServesStaticDocument) {
+  auto response = Get("/index.html");
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_NE(response.body.find("Welcome"), std::string::npos);
+  EXPECT_EQ(response.headers.at("Content-Type"), "text/html");
+}
+
+TEST_F(ServerTest, RunsCgi) {
+  auto response = Get("/cgi-bin/search?q=apache");
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_NE(response.body.find("q=apache"), std::string::npos);
+}
+
+TEST_F(ServerTest, NotFound) {
+  auto response = Get("/missing.html");
+  EXPECT_EQ(response.status, StatusCode::kNotFound);
+}
+
+TEST_F(ServerTest, MalformedRequestIs400AndHooked) {
+  RequestDefect seen = RequestDefect::kNone;
+  server_.set_malformed_hook(
+      [&](RequestDefect defect, const std::string&, util::Ipv4Address) {
+        seen = defect;
+      });
+  auto response = server_.HandleText("GEX / HTTP/1.1\r\n\r\n",
+                                     util::Ipv4Address::Parse("1.2.3.4").value());
+  EXPECT_EQ(response.status, StatusCode::kBadRequest);
+  EXPECT_EQ(seen, RequestDefect::kBadMethod);
+}
+
+TEST_F(ServerTest, OversizedTargetIs414) {
+  std::string target = "/" + std::string(10'000, 'a');
+  auto response = Get(target);
+  EXPECT_EQ(response.status, StatusCode::kUriTooLong);
+}
+
+TEST_F(ServerTest, AccessLogRecordsRequests) {
+  Get("/index.html");
+  Get("/missing.html");
+  auto log = server_.AccessLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].status, 200);
+  EXPECT_EQ(log[0].request_line, "GET /index.html");
+  EXPECT_EQ(log[1].status, 404);
+  EXPECT_EQ(server_.requests_served(), 2u);
+  auto counts = server_.StatusCounts();
+  EXPECT_EQ(counts.at(200), 1u);
+  EXPECT_EQ(counts.at(404), 1u);
+}
+
+TEST_F(ServerTest, ClearLogs) {
+  Get("/index.html");
+  server_.ClearLogs();
+  EXPECT_TRUE(server_.AccessLog().empty());
+  EXPECT_TRUE(server_.StatusCounts().empty());
+}
+
+// --- controller hooks -----------------------------------------------------
+
+class HookProbeController final : public AccessController {
+ public:
+  Verdict Check(RequestRec& rec) override {
+    ++checks;
+    if (rec.path == "/deny-me") {
+      return Verdict::Respond(HttpResponse::Make(StatusCode::kForbidden));
+    }
+    return Verdict::Allow();
+  }
+  bool OnExecution(RequestRec&, const OperationObservation& obs) override {
+    ++executions;
+    last_cpu = obs.cpu_seconds;
+    return !abort_next;
+  }
+  void OnComplete(RequestRec&, const OperationObservation&, bool success) override {
+    ++completions;
+    last_success = success;
+  }
+
+  int checks = 0;
+  int executions = 0;
+  int completions = 0;
+  bool abort_next = false;
+  double last_cpu = 0;
+  bool last_success = false;
+};
+
+class HookTest : public ::testing::Test {
+ protected:
+  HookTest() : clock_(0), tree_(DocTree::DemoSite()),
+               server_(&tree_, &probe_, &clock_) {}
+
+  HttpResponse Get(const std::string& target) {
+    return server_.HandleText(BuildGetRequest(target),
+                              util::Ipv4Address::Parse("10.0.0.1").value());
+  }
+
+  util::SimulatedClock clock_;
+  DocTree tree_;
+  HookProbeController probe_;
+  WebServer server_;
+};
+
+TEST_F(HookTest, AllPhasesRunOnSuccess) {
+  auto response = Get("/index.html");
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_EQ(probe_.checks, 1);
+  EXPECT_EQ(probe_.executions, 1);
+  EXPECT_EQ(probe_.completions, 1);
+  EXPECT_TRUE(probe_.last_success);
+}
+
+TEST_F(HookTest, DeniedRequestSkipsHandlerAndCompletion) {
+  auto response = Get("/deny-me");
+  EXPECT_EQ(response.status, StatusCode::kForbidden);
+  EXPECT_EQ(probe_.executions, 0);
+  EXPECT_EQ(probe_.completions, 0);
+}
+
+TEST_F(HookTest, ExecutionAbortYields403AndFailureCompletion) {
+  probe_.abort_next = true;
+  auto response = Get("/cgi-bin/search?q=x");
+  EXPECT_EQ(response.status, StatusCode::kForbidden);
+  EXPECT_NE(response.body.find("aborted"), std::string::npos);
+  EXPECT_EQ(probe_.completions, 1);
+  EXPECT_FALSE(probe_.last_success);
+}
+
+TEST_F(HookTest, CgiCostModelReachesExecutionHook) {
+  Get("/cgi-bin/phf?Qalias=x%0acat");  // exploit path: 0.05 cpu-seconds
+  EXPECT_DOUBLE_EQ(probe_.last_cpu, 0.05);
+}
+
+TEST_F(HookTest, NotFoundStillCompletesWithFailure) {
+  Get("/missing");
+  EXPECT_EQ(probe_.completions, 1);
+  EXPECT_FALSE(probe_.last_success);
+}
+
+// --- baseline htaccess controller end-to-end -------------------------------
+
+TEST(HtaccessServer, PrivateAreaProtected) {
+  util::SimulatedClock clock(0);
+  DocTree tree = DocTree::DemoSite();
+  tree.SetHtaccess("/private",
+                   "AuthType Basic\nAuthUserFile staff\nRequire valid-user\n");
+  HtpasswdRegistry passwords;
+  passwords.GetOrCreate("staff").SetUser("alice", "wonder");
+  HtaccessController controller(&tree, &passwords);
+  WebServer server(&tree, &controller, &clock);
+
+  auto ip = util::Ipv4Address::Parse("10.0.0.1").value();
+  auto anon = server.HandleText(BuildGetRequest("/private/report.html"), ip);
+  EXPECT_EQ(anon.status, StatusCode::kUnauthorized);
+  EXPECT_NE(anon.headers.at("WWW-Authenticate").find("Basic"),
+            std::string::npos);
+
+  auto authed = server.HandleText(
+      BuildGetRequest("/private/report.html",
+                      {{"Authorization",
+                        "Basic " + util::Base64Encode("alice:wonder")}}),
+      ip);
+  EXPECT_EQ(authed.status, StatusCode::kOk);
+
+  auto open = server.HandleText(BuildGetRequest("/index.html"), ip);
+  EXPECT_EQ(open.status, StatusCode::kOk);
+}
+
+TEST(HtaccessServer, HostRestriction) {
+  util::SimulatedClock clock(0);
+  DocTree tree = DocTree::DemoSite();
+  tree.SetHtaccess("/", "Order Allow,Deny\nAllow from 10.0.0.0/8\n");
+  HtpasswdRegistry passwords;
+  HtaccessController controller(&tree, &passwords);
+  WebServer server(&tree, &controller, &clock);
+
+  auto inside = server.HandleText(
+      BuildGetRequest("/index.html"), util::Ipv4Address::Parse("10.1.1.1").value());
+  EXPECT_EQ(inside.status, StatusCode::kOk);
+  auto outside = server.HandleText(
+      BuildGetRequest("/index.html"),
+      util::Ipv4Address::Parse("203.0.113.9").value());
+  EXPECT_EQ(outside.status, StatusCode::kForbidden);
+}
+
+TEST(HtaccessServer, BrokenHtaccessFailsClosed) {
+  util::SimulatedClock clock(0);
+  DocTree tree = DocTree::DemoSite();
+  tree.SetHtaccess("/", "Bogus nonsense\n");
+  HtpasswdRegistry passwords;
+  HtaccessController controller(&tree, &passwords);
+  WebServer server(&tree, &controller, &clock);
+  auto response = server.HandleText(
+      BuildGetRequest("/index.html"), util::Ipv4Address::Parse("10.0.0.1").value());
+  EXPECT_EQ(response.status, StatusCode::kInternalError);
+}
+
+TEST(DocTreeTest, DemoSiteContents) {
+  DocTree tree = DocTree::DemoSite();
+  EXPECT_GE(tree.document_count(), 5u);
+  EXPECT_GE(tree.cgi_count(), 4u);
+  EXPECT_TRUE(tree.Exists("/index.html"));
+  EXPECT_TRUE(tree.Exists("/cgi-bin/phf"));
+  EXPECT_FALSE(tree.Exists("/nope"));
+}
+
+TEST(DocTreeTest, HtaccessChainOrder) {
+  DocTree tree;
+  tree.AddDocument("/a/b/c.html", {"x"});
+  tree.SetHtaccess("/", "root");
+  tree.SetHtaccess("/a", "mid");
+  tree.SetHtaccess("/a/b", "leaf");
+  tree.SetHtaccess("/unrelated", "other");
+  auto chain = tree.HtaccessChain("/a/b/c.html");
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], "root");
+  EXPECT_EQ(chain[1], "mid");
+  EXPECT_EQ(chain[2], "leaf");
+}
+
+TEST(DocTreeTest, PhfVulnerabilityModel) {
+  DocTree tree = DocTree::DemoSite();
+  const CgiScript* phf = tree.FindCgi("/cgi-bin/phf");
+  ASSERT_NE(phf, nullptr);
+  auto benign = (*phf)("Qalias=jdoe");
+  EXPECT_TRUE(benign.files_touched.empty());
+  auto exploit = (*phf)("Qalias=x%0a/bin/cat%20/etc/passwd");
+  ASSERT_EQ(exploit.files_touched.size(), 1u);
+  EXPECT_EQ(exploit.files_touched[0], "/etc/passwd");
+}
+
+}  // namespace
+}  // namespace gaa::http

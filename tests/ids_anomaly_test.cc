@@ -1,0 +1,104 @@
+#include "ids/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gaa::ids {
+namespace {
+
+RequestFeatures Feat(const std::string& principal, const std::string& path,
+                     double qlen, double depth) {
+  RequestFeatures f;
+  f.principal = principal;
+  f.path = path;
+  f.query_length = qlen;
+  f.url_depth = depth;
+  return f;
+}
+
+class AnomalyTest : public ::testing::Test {
+ protected:
+  AnomalyTest() : clock_(0), detector_(&clock_) {}
+
+  void TrainTypical(const std::string& principal, int n) {
+    util::Rng rng(7);
+    const char* paths[] = {"/index.html", "/docs/guide.html",
+                           "/cgi-bin/search"};
+    for (int i = 0; i < n; ++i) {
+      clock_.Advance(util::kMicrosPerSecond);
+      detector_.Train(Feat(principal, paths[rng.NextBelow(3)],
+                           8 + static_cast<double>(rng.NextBelow(8)), 2));
+    }
+  }
+
+  util::SimulatedClock clock_;
+  AnomalyDetector detector_;
+};
+
+TEST(RunningStat, WelfordMeanVariance) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(x);
+  EXPECT_DOUBLE_EQ(stat.mean, 5.0);
+  EXPECT_NEAR(stat.Variance(), 4.571428, 1e-5);  // sample variance
+}
+
+TEST(RunningStat, ZScoreWithFloor) {
+  RunningStat stat;
+  stat.Add(10.0);
+  stat.Add(10.0);  // stddev 0 -> floor applies
+  EXPECT_DOUBLE_EQ(stat.ZScore(14.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(stat.ZScore(10.0, 2.0), 0.0);
+}
+
+TEST(RunningStat, TinySampleScoresZero) {
+  RunningStat stat;
+  stat.Add(5.0);
+  EXPECT_DOUBLE_EQ(stat.ZScore(50.0), 0.0);
+}
+
+TEST_F(AnomalyTest, ImmatureProfileNeverFlags) {
+  detector_.Train(Feat("10.0.0.1", "/index.html", 10, 2));
+  EXPECT_DOUBLE_EQ(detector_.Score(Feat("10.0.0.1", "/weird", 5000, 9)), 0.0);
+  EXPECT_FALSE(detector_.IsAnomalous(Feat("10.0.0.1", "/weird", 5000, 9)));
+}
+
+TEST_F(AnomalyTest, UnknownPrincipalScoresZero) {
+  EXPECT_DOUBLE_EQ(detector_.Score(Feat("1.2.3.4", "/x", 9999, 9)), 0.0);
+}
+
+TEST_F(AnomalyTest, TrainedProfileFlagsOutliers) {
+  TrainTypical("10.0.0.1", 50);
+  // Typical request: low score.
+  EXPECT_FALSE(
+      detector_.IsAnomalous(Feat("10.0.0.1", "/index.html", 10, 2)));
+  // Buffer-overflow-sized query on a never-seen path: flagged.
+  EXPECT_TRUE(
+      detector_.IsAnomalous(Feat("10.0.0.1", "/cgi-bin/phf", 1200, 2)));
+}
+
+TEST_F(AnomalyTest, NoveltyAloneIsNotEnough) {
+  TrainTypical("10.0.0.1", 50);
+  // New path but otherwise typical: novelty weight (1.5) < threshold (3.0).
+  EXPECT_FALSE(detector_.IsAnomalous(Feat("10.0.0.1", "/docs/new.html", 10, 2)));
+}
+
+TEST_F(AnomalyTest, ObserveDoesNotPoisonProfileWithAttacks) {
+  TrainTypical("10.0.0.1", 50);
+  std::size_t before = detector_.TrainingCount("10.0.0.1");
+  double score = detector_.Observe(Feat("10.0.0.1", "/cgi-bin/phf", 1500, 2));
+  EXPECT_GE(score, 3.0);
+  EXPECT_EQ(detector_.TrainingCount("10.0.0.1"), before);  // not trained
+  detector_.Observe(Feat("10.0.0.1", "/index.html", 10, 2));
+  EXPECT_EQ(detector_.TrainingCount("10.0.0.1"), before + 1);
+}
+
+TEST_F(AnomalyTest, ProfilesAreSeparatedByPrincipal) {
+  TrainTypical("10.0.0.1", 50);
+  EXPECT_EQ(detector_.profile_count(), 1u);
+  // The other principal has no profile; nothing is flagged for it.
+  EXPECT_FALSE(detector_.IsAnomalous(Feat("10.0.0.2", "/cgi-bin/phf", 1500, 2)));
+}
+
+}  // namespace
+}  // namespace gaa::ids

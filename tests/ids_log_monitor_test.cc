@@ -1,0 +1,113 @@
+#include "ids/log_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "http/doc_tree.h"
+#include "integration/gaa_web_server.h"
+
+namespace gaa::ids {
+namespace {
+
+http::AccessLogEntry MakeEntry(const std::string& ip,
+                               const std::string& request_line, int status,
+                               std::uint64_t bytes = 123) {
+  http::AccessLogEntry entry;
+  entry.time_us = 1053345600LL * util::kMicrosPerSecond;
+  entry.client_ip = ip;
+  entry.user = "-";
+  entry.request_line = request_line;
+  entry.status = status;
+  entry.bytes = bytes;
+  return entry;
+}
+
+TEST(CommonLogFormat, SerializeShape) {
+  std::string line = ToCommonLogFormat(
+      MakeEntry("10.0.0.1", "GET /index.html", 200, 42));
+  EXPECT_EQ(line,
+            "10.0.0.1 - - [2003-05-19 12:00:00.000] \"GET /index.html\" 200 42");
+}
+
+TEST(CommonLogFormat, RoundTrip) {
+  auto entry = ParseCommonLogFormat(ToCommonLogFormat(
+      MakeEntry("10.0.0.1", "GET /cgi-bin/phf?Qalias=x", 403, 19)));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->host, "10.0.0.1");
+  EXPECT_EQ(entry->method, "GET");
+  EXPECT_EQ(entry->target, "/cgi-bin/phf?Qalias=x");
+  EXPECT_EQ(entry->status, 403);
+  EXPECT_EQ(entry->bytes, 19u);
+}
+
+TEST(CommonLogFormat, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseCommonLogFormat("").has_value());
+  EXPECT_FALSE(ParseCommonLogFormat("no-quotes-here 200 1").has_value());
+  EXPECT_FALSE(
+      ParseCommonLogFormat("h - - [d] \"GET /\" not_a_status 1").has_value());
+}
+
+TEST(LogMonitor, DetectsAttackLines) {
+  LogMonitor monitor;
+  auto finding = monitor.ScanLine(ToCommonLogFormat(
+      MakeEntry("203.0.113.9", "GET /cgi-bin/phf?Qalias=x%0acat", 200)));
+  ASSERT_TRUE(finding.has_value());
+  EXPECT_EQ(finding->hit.name, "cgi_phf");
+  EXPECT_TRUE(finding->was_served);  // 200: damage already done
+}
+
+TEST(LogMonitor, DeniedAttackIsDetectedButNotServed) {
+  LogMonitor monitor;
+  auto finding = monitor.ScanLine(ToCommonLogFormat(
+      MakeEntry("203.0.113.9", "GET /cgi-bin/test-cgi?*", 403)));
+  ASSERT_TRUE(finding.has_value());
+  EXPECT_FALSE(finding->was_served);
+}
+
+TEST(LogMonitor, IgnoresBenignLines) {
+  LogMonitor monitor;
+  EXPECT_FALSE(monitor
+                   .ScanLine(ToCommonLogFormat(
+                       MakeEntry("10.0.0.1", "GET /index.html", 200)))
+                   .has_value());
+  EXPECT_FALSE(monitor
+                   .ScanLine(ToCommonLogFormat(MakeEntry(
+                       "10.0.0.1", "GET /cgi-bin/search?q=apache", 200)))
+                   .has_value());
+}
+
+TEST(LogMonitor, ScanLogProcessesMultipleLines) {
+  LogMonitor monitor;
+  std::string log =
+      ToCommonLogFormat(MakeEntry("10.0.0.1", "GET /index.html", 200)) + "\n" +
+      ToCommonLogFormat(
+          MakeEntry("203.0.113.9", "GET /cgi-bin/phf?Qalias=x", 200)) +
+      "\n" +
+      ToCommonLogFormat(
+          MakeEntry("203.0.113.9", "GET /scripts/..%255c../cmd.exe", 404)) +
+      "\n";
+  auto findings = monitor.ScanLog(log);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].hit.name, "cgi_phf");
+  EXPECT_TRUE(findings[0].was_served);
+  EXPECT_FALSE(findings[1].was_served);  // 404
+}
+
+TEST(LogMonitor, ScanServerLogEndToEnd) {
+  // An unprotected server serves the phf exploit; the nightly scan finds
+  // it — after the fact (the paper's §10 contrast).
+  gaa::web::GaaWebServer::Options options;
+  options.notification_latency_us = 0;
+  gaa::web::GaaWebServer server(http::DocTree::DemoSite(), options);
+  ASSERT_TRUE(server.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+  server.Get("/cgi-bin/phf?Qalias=x%0acat", "203.0.113.9");
+  server.Get("/index.html", "10.0.0.1");
+
+  LogMonitor monitor;
+  auto findings = monitor.ScanServerLog(server.server().AccessLog());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].entry.host, "203.0.113.9");
+  EXPECT_TRUE(findings[0].was_served);
+}
+
+}  // namespace
+}  // namespace gaa::ids

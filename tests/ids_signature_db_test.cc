@@ -1,0 +1,82 @@
+#include "ids/signature_db.h"
+
+#include <gtest/gtest.h>
+
+namespace gaa::ids {
+namespace {
+
+TEST(SignatureDb, KnownAttacksLoad) {
+  SignatureDb db = SignatureDb::KnownWebAttacks();
+  EXPECT_GE(db.size(), 9u);
+}
+
+TEST(SignatureDb, MatchesPhf) {
+  SignatureDb db = SignatureDb::KnownWebAttacks();
+  auto hit = db.FirstMatch("/cgi-bin/phf", "Qalias=x");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name, "cgi_phf");
+  EXPECT_EQ(hit->attack_type, "cgi_exploit");
+}
+
+TEST(SignatureDb, MatchesSlashDos) {
+  SignatureDb db = SignatureDb::KnownWebAttacks();
+  std::string url = "/" + std::string(40, '/');
+  auto hits = db.Match(url, "");
+  bool found = false;
+  for (const auto& h : hits) {
+    if (h.name == "dos_slashes") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SignatureDb, MatchesNimdaPercent) {
+  SignatureDb db = SignatureDb::KnownWebAttacks();
+  auto hits = db.Match("/scripts/..%255c../cmd.exe", "/c+dir");
+  bool percent = false;
+  bool cmd = false;
+  for (const auto& h : hits) {
+    if (h.name == "worm_nimda_percent") percent = true;
+    if (h.name == "iis_cmd_exe") cmd = true;
+  }
+  EXPECT_TRUE(percent);
+  EXPECT_TRUE(cmd);
+}
+
+TEST(SignatureDb, LengthRuleFiresOnOversizedQuery) {
+  SignatureDb db = SignatureDb::KnownWebAttacks();
+  std::string query(1200, 'A');
+  auto hits = db.Match("/cgi-bin/search", query);
+  bool overflow = false;
+  for (const auto& h : hits) {
+    if (h.name == "overflow_cgi_input") overflow = true;
+  }
+  EXPECT_TRUE(overflow);
+  EXPECT_TRUE(db.Match("/cgi-bin/search", std::string(900, 'A')).empty());
+}
+
+TEST(SignatureDb, BenignUrlsDoNotMatch) {
+  SignatureDb db = SignatureDb::KnownWebAttacks();
+  EXPECT_TRUE(db.Match("/index.html", "").empty());
+  EXPECT_TRUE(db.Match("/docs/guide.html", "").empty());
+  EXPECT_TRUE(db.Match("/cgi-bin/search", "q=apache").empty());
+}
+
+TEST(SignatureDb, CustomSignatureAndRule) {
+  SignatureDb db;
+  db.Add({"custom", "*evil*", "custom_type", 5, "test"});
+  db.AddRule({"long_url", MaxLengthRule::Field::kUrl, 50, "dos", 4, "test"});
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.FirstMatch("/evil/path", "").has_value());
+  EXPECT_TRUE(db.FirstMatch("/" + std::string(60, 'a'), "").has_value());
+  EXPECT_FALSE(db.FirstMatch("/ok", "").has_value());
+}
+
+TEST(SignatureDb, ToConditionValueBridgesIntoEacl) {
+  SignatureDb db;
+  db.Add({"a", "*phf*", "t", 5, ""});
+  db.Add({"b", "*test-cgi*", "t", 5, ""});
+  EXPECT_EQ(db.ToConditionValue(), "*phf* *test-cgi*");
+}
+
+}  // namespace
+}  // namespace gaa::ids

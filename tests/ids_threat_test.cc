@@ -1,0 +1,96 @@
+#include "ids/threat_service.h"
+
+#include <gtest/gtest.h>
+
+namespace gaa::ids {
+namespace {
+
+using core::ThreatLevel;
+
+class ThreatServiceTest : public ::testing::Test {
+ protected:
+  ThreatServiceTest() : clock_(0), state_(&clock_) {}
+
+  ThreatService::Options QuickOptions() {
+    ThreatService::Options opts;
+    opts.window_us = 60 * util::kMicrosPerSecond;
+    opts.medium_score = 10.0;
+    opts.high_score = 30.0;
+    opts.decay_us = 120 * util::kMicrosPerSecond;
+    return opts;
+  }
+
+  util::SimulatedClock clock_;
+  core::SystemState state_;
+};
+
+TEST_F(ThreatServiceTest, StartsLow) {
+  ThreatService svc(&state_, &clock_, QuickOptions());
+  EXPECT_EQ(svc.level(), ThreatLevel::kLow);
+  EXPECT_EQ(state_.threat_level(), ThreatLevel::kLow);
+}
+
+TEST_F(ThreatServiceTest, EscalatesToMediumThenHigh) {
+  ThreatService svc(&state_, &clock_, QuickOptions());
+  svc.ReportAlert(6.0);
+  EXPECT_EQ(svc.level(), ThreatLevel::kLow);
+  svc.ReportAlert(6.0);  // score 12 >= 10
+  EXPECT_EQ(svc.level(), ThreatLevel::kMedium);
+  EXPECT_EQ(state_.threat_level(), ThreatLevel::kMedium);
+  svc.ReportAlert(10.0);
+  svc.ReportAlert(10.0);  // score 32 >= 30
+  EXPECT_EQ(svc.level(), ThreatLevel::kHigh);
+}
+
+TEST_F(ThreatServiceTest, WindowScoreExpires) {
+  ThreatService svc(&state_, &clock_, QuickOptions());
+  svc.ReportAlert(8.0);
+  EXPECT_DOUBLE_EQ(svc.WindowScore(), 8.0);
+  clock_.Advance(61 * util::kMicrosPerSecond);
+  EXPECT_DOUBLE_EQ(svc.WindowScore(), 0.0);
+}
+
+TEST_F(ThreatServiceTest, DecaysOneNotchPerQuietPeriod) {
+  ThreatService svc(&state_, &clock_, QuickOptions());
+  svc.ReportAlert(40.0);
+  EXPECT_EQ(svc.level(), ThreatLevel::kHigh);
+  // Quiet for one decay period: high -> medium.
+  clock_.Advance(125 * util::kMicrosPerSecond);
+  svc.Tick();
+  EXPECT_EQ(svc.level(), ThreatLevel::kMedium);
+  // Another quiet period: medium -> low.
+  clock_.Advance(125 * util::kMicrosPerSecond);
+  svc.Tick();
+  EXPECT_EQ(svc.level(), ThreatLevel::kLow);
+}
+
+TEST_F(ThreatServiceTest, NoDecayWhileAlertsKeepComing) {
+  ThreatService svc(&state_, &clock_, QuickOptions());
+  svc.ReportAlert(40.0);
+  EXPECT_EQ(svc.level(), ThreatLevel::kHigh);
+  for (int i = 0; i < 4; ++i) {
+    clock_.Advance(30 * util::kMicrosPerSecond);
+    svc.ReportAlert(40.0);
+  }
+  EXPECT_EQ(svc.level(), ThreatLevel::kHigh);
+}
+
+TEST_F(ThreatServiceTest, ForceLevelOverrides) {
+  ThreatService svc(&state_, &clock_, QuickOptions());
+  svc.ForceLevel(ThreatLevel::kHigh);
+  EXPECT_EQ(svc.level(), ThreatLevel::kHigh);
+  EXPECT_EQ(state_.threat_level(), ThreatLevel::kHigh);
+  svc.ForceLevel(ThreatLevel::kLow);
+  EXPECT_EQ(svc.level(), ThreatLevel::kLow);
+}
+
+TEST(ThreatLevelParse, Names) {
+  EXPECT_EQ(core::ParseThreatLevel("low"), core::ThreatLevel::kLow);
+  EXPECT_EQ(core::ParseThreatLevel("MEDIUM"), core::ThreatLevel::kMedium);
+  EXPECT_EQ(core::ParseThreatLevel("High"), core::ThreatLevel::kHigh);
+  EXPECT_FALSE(core::ParseThreatLevel("severe").has_value());
+  EXPECT_STREQ(core::ThreatLevelName(core::ThreatLevel::kMedium), "medium");
+}
+
+}  // namespace
+}  // namespace gaa::ids

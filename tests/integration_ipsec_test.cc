@@ -1,0 +1,124 @@
+// The third application of the paper's trio: IPsec SA establishment under
+// GAA policy, sharing system-wide state with the web and ssh paths.
+#include <gtest/gtest.h>
+
+#include "http/doc_tree.h"
+#include "integration/gaa_web_server.h"
+#include "integration/ipsec.h"
+
+namespace gaa::web {
+namespace {
+
+using SaResult = IpsecGateway::SaResult;
+
+GaaWebServer::Options TestOptions() {
+  GaaWebServer::Options options;
+  options.notification_latency_us = 0;
+  return options;
+}
+
+class IpsecTest : public ::testing::Test {
+ protected:
+  IpsecTest()
+      : server_(http::DocTree::DemoSite(), TestOptions()),
+        gateway_(&server_.api()) {
+    // SA policy: tunnels only from the corporate network.
+    EXPECT_TRUE(server_
+                    .SetLocalPolicy("/ipsec", R"(
+pos_access_right ipsec establish_sa
+pre_cond_location local 10.0.0.0/8
+)")
+                    .ok());
+  }
+
+  GaaWebServer server_;
+  IpsecGateway gateway_;
+};
+
+TEST_F(IpsecTest, CorporatePeersEstablish) {
+  EXPECT_EQ(gateway_.EstablishSa("10.1.2.3"), SaResult::kEstablished);
+  EXPECT_TRUE(gateway_.HasSa("10.1.2.3"));
+  EXPECT_EQ(gateway_.active_sa_count(), 1u);
+}
+
+TEST_F(IpsecTest, OutsidePeersDenied) {
+  EXPECT_EQ(gateway_.EstablishSa("198.51.100.7"), SaResult::kDenied);
+  EXPECT_FALSE(gateway_.HasSa("198.51.100.7"));
+  EXPECT_EQ(gateway_.denied_count(), 1u);
+}
+
+TEST_F(IpsecTest, Teardown) {
+  gateway_.EstablishSa("10.1.2.3");
+  EXPECT_TRUE(gateway_.TeardownSa("10.1.2.3"));
+  EXPECT_FALSE(gateway_.TeardownSa("10.1.2.3"));
+  EXPECT_FALSE(gateway_.HasSa("10.1.2.3"));
+}
+
+TEST_F(IpsecTest, IdentityGatedSa) {
+  ASSERT_TRUE(server_
+                  .SetLocalPolicy("/ipsec", R"(
+pos_access_right ipsec establish_sa
+pre_cond_accessid USER ipsec *
+)")
+                  .ok());
+  // Anonymous proposal: GAA_MAYBE — the gateway asks for certificates.
+  EXPECT_EQ(gateway_.EstablishSa("10.1.2.3"), SaResult::kMoreCredentials);
+  EXPECT_FALSE(gateway_.HasSa("10.1.2.3"));
+  // With a peer identity, the SA comes up.
+  EXPECT_EQ(gateway_.EstablishSa("10.1.2.3", "gw.branch.example.org"),
+            SaResult::kEstablished);
+}
+
+TEST_F(IpsecTest, LockdownTearsTunnelsDown) {
+  // The §7.1 mandatory lockdown applies to tunnels: RevalidateAll() drops
+  // SAs that current policy no longer authorizes.
+  ASSERT_TRUE(server_
+                  .AddSystemPolicy(R"(
+eacl_mode 1
+neg_access_right * *
+pre_cond_system_threat_level local =high
+)")
+                  .ok());
+  ASSERT_EQ(gateway_.EstablishSa("10.1.2.3"), SaResult::kEstablished);
+  ASSERT_EQ(gateway_.EstablishSa("10.4.5.6"), SaResult::kEstablished);
+  EXPECT_EQ(gateway_.active_sa_count(), 2u);
+
+  server_.state().SetThreatLevel(core::ThreatLevel::kHigh);
+  EXPECT_EQ(gateway_.EstablishSa("10.7.8.9"), SaResult::kDenied);
+  EXPECT_EQ(gateway_.RevalidateAll(), 2u);
+  EXPECT_EQ(gateway_.active_sa_count(), 0u);
+
+  server_.state().SetThreatLevel(core::ThreatLevel::kLow);
+  EXPECT_EQ(gateway_.EstablishSa("10.1.2.3"), SaResult::kEstablished);
+  EXPECT_EQ(gateway_.RevalidateAll(), 0u);
+}
+
+TEST_F(IpsecTest, WebSideBlacklistBlocksTunnels) {
+  ASSERT_TRUE(server_
+                  .AddSystemPolicy(R"(
+eacl_mode 1
+neg_access_right * *
+pre_cond_accessid GROUP local BadGuys
+)")
+                  .ok());
+  ASSERT_TRUE(server_
+                  .SetLocalPolicy("/", R"(
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+rr_cond_update_log local on:failure/BadGuys/info:ip
+pos_access_right apache *
+)")
+                  .ok());
+  ASSERT_EQ(gateway_.EstablishSa("10.1.2.3"), SaResult::kEstablished);
+  // The host attacks the web server, lands on the shared blacklist...
+  server_.Get("/cgi-bin/phf?x", "10.1.2.3");
+  ASSERT_TRUE(server_.state().GroupContains("BadGuys", "10.1.2.3"));
+  // ...new SA proposals are denied and revalidation drops the live tunnel.
+  EXPECT_EQ(gateway_.EstablishSa("10.99.0.1"), SaResult::kEstablished);
+  EXPECT_EQ(gateway_.RevalidateAll(), 1u);
+  EXPECT_FALSE(gateway_.HasSa("10.1.2.3"));
+  EXPECT_TRUE(gateway_.HasSa("10.99.0.1"));
+}
+
+}  // namespace
+}  // namespace gaa::web

@@ -1,0 +1,66 @@
+#include "integration/translate.h"
+
+#include <gtest/gtest.h>
+
+namespace gaa::web {
+namespace {
+
+using util::Tristate;
+
+core::AuthzResult MakeAuthz(Tristate status) {
+  core::AuthzResult authz;
+  authz.status = status;
+  return authz;
+}
+
+TEST(TranslateAuthz, YesContinues) {
+  auto t = TranslateAuthz(MakeAuthz(Tristate::kYes), "realm");
+  EXPECT_FALSE(t.response.has_value());
+}
+
+TEST(TranslateAuthz, NoIsForbidden) {
+  auto t = TranslateAuthz(MakeAuthz(Tristate::kNo), "realm");
+  ASSERT_TRUE(t.response.has_value());
+  EXPECT_EQ(t.response->status, http::StatusCode::kForbidden);
+}
+
+TEST(TranslateAuthz, MaybeWithoutRedirectIs401) {
+  auto authz = MakeAuthz(Tristate::kMaybe);
+  authz.unevaluated.push_back({"pre_cond_accessid", "USER", "apache *"});
+  auto t = TranslateAuthz(authz, "staff");
+  ASSERT_TRUE(t.response.has_value());
+  EXPECT_EQ(t.response->status, http::StatusCode::kUnauthorized);
+  EXPECT_EQ(t.response->headers.at("WWW-Authenticate"),
+            "Basic realm=\"staff\"");
+}
+
+TEST(TranslateAuthz, MaybeWithSingleRedirectIs302) {
+  // Paper §6 step 2d: exactly one unevaluated pre_cond_redirect => redirect.
+  auto authz = MakeAuthz(Tristate::kMaybe);
+  authz.unevaluated.push_back(
+      {"pre_cond_redirect", "local", "http://replica.example.org/"});
+  auto t = TranslateAuthz(authz, "realm");
+  ASSERT_TRUE(t.response.has_value());
+  EXPECT_EQ(t.response->status, http::StatusCode::kFound);
+  EXPECT_EQ(t.response->headers.at("Location"), "http://replica.example.org/");
+}
+
+TEST(TranslateAuthz, RedirectPlusOtherUnevaluatedIs401) {
+  auto authz = MakeAuthz(Tristate::kMaybe);
+  authz.unevaluated.push_back({"pre_cond_redirect", "local", "http://x/"});
+  authz.unevaluated.push_back({"pre_cond_accessid", "USER", "apache *"});
+  auto t = TranslateAuthz(authz, "realm");
+  ASSERT_TRUE(t.response.has_value());
+  EXPECT_EQ(t.response->status, http::StatusCode::kUnauthorized);
+}
+
+TEST(RedirectTarget, ExtractsAndTrims) {
+  auto authz = MakeAuthz(Tristate::kMaybe);
+  authz.unevaluated.push_back({"pre_cond_redirect", "local", "  http://x/  "});
+  EXPECT_EQ(RedirectTarget(authz).value(), "http://x/");
+  authz.unevaluated.clear();
+  EXPECT_FALSE(RedirectTarget(authz).has_value());
+}
+
+}  // namespace
+}  // namespace gaa::web

@@ -1,0 +1,80 @@
+#include "audit/notification.h"
+
+#include <gtest/gtest.h>
+
+namespace gaa::audit {
+namespace {
+
+TEST(SimulatedSmtpNotifier, DeliversAndRecords) {
+  util::SimulatedClock clock(0);
+  SimulatedSmtpNotifier notifier(&clock, /*delivery_latency_us=*/0);
+  EXPECT_TRUE(notifier.Notify("admin", "subject", "body"));
+  ASSERT_EQ(notifier.sent_count(), 1u);
+  auto sent = notifier.Sent();
+  EXPECT_EQ(sent[0].recipient, "admin");
+  EXPECT_EQ(sent[0].subject, "subject");
+}
+
+TEST(SimulatedSmtpNotifier, LatencyBlocksTheCaller) {
+  // On the simulated clock, the latency shows up as clock advancement —
+  // exactly how the paper's synchronous notification shows up in request
+  // latency.
+  util::SimulatedClock clock(0);
+  SimulatedSmtpNotifier notifier(&clock, /*delivery_latency_us=*/47'000);
+  notifier.Notify("admin", "s", "b");
+  EXPECT_EQ(clock.Now(), 47'000);
+  notifier.SetLatency(1'000);
+  notifier.Notify("admin", "s", "b");
+  EXPECT_EQ(clock.Now(), 48'000);
+}
+
+TEST(SimulatedSmtpNotifier, FailureInjection) {
+  util::SimulatedClock clock(0);
+  SimulatedSmtpNotifier notifier(&clock, 0);
+  notifier.SetFailing(true);
+  EXPECT_FALSE(notifier.Notify("admin", "s", "b"));
+  EXPECT_EQ(notifier.sent_count(), 0u);
+  EXPECT_EQ(notifier.failed_count(), 1u);
+  notifier.SetFailing(false);
+  EXPECT_TRUE(notifier.Notify("admin", "s", "b"));
+}
+
+TEST(SimulatedSmtpNotifier, Clear) {
+  util::SimulatedClock clock(0);
+  SimulatedSmtpNotifier notifier(&clock, 0);
+  notifier.Notify("a", "s", "b");
+  notifier.Clear();
+  EXPECT_EQ(notifier.sent_count(), 0u);
+}
+
+TEST(QueuedNotifier, ReturnsImmediatelyAndDelivers) {
+  // Real clock with tiny latency: Notify must not block for the delivery.
+  auto& clock = util::RealClock::Instance();
+  QueuedNotifier notifier(&clock, /*delivery_latency_us=*/1000);
+  util::Stopwatch sw;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(notifier.Notify("admin", "s", "b"));
+  }
+  // Five 1 ms deliveries would take >=5 ms synchronously; the enqueue path
+  // must be far faster.
+  EXPECT_LT(sw.ElapsedUs(), 4'000);
+  notifier.Flush();
+  EXPECT_EQ(notifier.delivered_count(), 5u);
+}
+
+TEST(QueuedNotifier, FlushOnEmptyQueueReturns) {
+  auto& clock = util::RealClock::Instance();
+  QueuedNotifier notifier(&clock, 0);
+  notifier.Flush();  // must not hang
+  EXPECT_EQ(notifier.delivered_count(), 0u);
+}
+
+TEST(FailingNotifier, AlwaysFailsAndCounts) {
+  FailingNotifier notifier;
+  EXPECT_FALSE(notifier.Notify("a", "b", "c"));
+  EXPECT_FALSE(notifier.Notify("a", "b", "c"));
+  EXPECT_EQ(notifier.attempts(), 2u);
+}
+
+}  // namespace
+}  // namespace gaa::audit

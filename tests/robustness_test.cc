@@ -1,0 +1,118 @@
+// Robustness / fuzz-lite tests: hostile bytes into every parser must yield
+// a clean error (or a valid parse), never a crash, hang or unbounded
+// memory — the front line of a security component.
+#include <gtest/gtest.h>
+
+#include "eacl/parser.h"
+#include "eacl/printer.h"
+#include "http/request.h"
+#include "ids/log_monitor.h"
+#include "integration/gaa_web_server.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace gaa {
+namespace {
+
+std::string RandomBytes(util::Rng& rng, std::size_t max_len) {
+  std::string out;
+  std::size_t len = rng.NextBelow(max_len + 1);
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  return out;
+}
+
+std::string RandomTextish(util::Rng& rng, std::size_t max_len) {
+  static const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 _*%/?.:-\n\r\t\"\\#=<>";
+  std::string out;
+  std::size_t len = rng.NextBelow(max_len + 1);
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[rng.NextBelow(sizeof(alphabet) - 1)]);
+  }
+  return out;
+}
+
+class Robustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(Robustness, EaclParserNeverCrashes) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    std::string text = i % 2 == 0 ? RandomBytes(rng, 400)
+                                  : RandomTextish(rng, 400);
+    auto result = eacl::ParseEacl(text);
+    if (result.ok()) {
+      // Whatever parsed must survive validation or fail cleanly, and
+      // print→parse must round-trip.
+      auto printed = eacl::ParseEacl(eacl::PrintEacl(result.value()));
+      EXPECT_TRUE(printed.ok());
+    }
+  }
+}
+
+TEST_P(Robustness, HttpParserNeverCrashes) {
+  util::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 300; ++i) {
+    std::string text = i % 2 == 0 ? RandomBytes(rng, 600)
+                                  : RandomTextish(rng, 600);
+    auto result = http::ParseRequest(text);
+    if (!result.ok()) {
+      EXPECT_NE(result.defect, http::RequestDefect::kNone);
+    }
+  }
+}
+
+TEST_P(Robustness, ClfParserNeverCrashes) {
+  util::Rng rng(GetParam() + 2000);
+  ids::LogMonitor monitor;
+  for (int i = 0; i < 300; ++i) {
+    std::string line = i % 2 == 0 ? RandomBytes(rng, 300)
+                                  : RandomTextish(rng, 300);
+    (void)monitor.ScanLine(line);
+  }
+}
+
+TEST_P(Robustness, ServerSurvivesGarbageTraffic) {
+  util::Rng rng(GetParam() + 3000);
+  web::GaaWebServer::Options options;
+  options.notification_latency_us = 0;
+  web::GaaWebServer server(http::DocTree::DemoSite(), options);
+  ASSERT_TRUE(server
+                  .SetLocalPolicy("/", R"(
+neg_access_right apache *
+pre_cond_regex gnu *phf*
+pos_access_right apache *
+)")
+                  .ok());
+  for (int i = 0; i < 150; ++i) {
+    std::string raw = i % 2 == 0 ? RandomBytes(rng, 800)
+                                 : RandomTextish(rng, 800);
+    auto response = server.HandleText(raw, "203.0.113.9");
+    int code = static_cast<int>(response.status);
+    EXPECT_GE(code, 200);
+    EXPECT_LT(code, 600);
+  }
+  // Every request got exactly one decision and no per-request state leaked.
+  EXPECT_EQ(server.controller().inflight_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Robustness, ::testing::Range(1, 9));
+
+TEST(InflightTracking, DrainsAfterNormalTraffic) {
+  web::GaaWebServer::Options options;
+  options.notification_latency_us = 0;
+  web::GaaWebServer server(http::DocTree::DemoSite(), options);
+  ASSERT_TRUE(server.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+  for (int i = 0; i < 50; ++i) {
+    server.Get("/index.html", "10.0.0.1");
+    server.Get("/cgi-bin/search?q=x", "10.0.0.1");
+    server.Get("/missing", "10.0.0.1");
+  }
+  EXPECT_EQ(server.controller().inflight_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gaa

@@ -1,0 +1,62 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace gaa::util {
+namespace {
+
+TEST(SimulatedClock, AdvanceAndSet) {
+  SimulatedClock clock(1000);
+  EXPECT_EQ(clock.Now(), 1000);
+  clock.Advance(500);
+  EXPECT_EQ(clock.Now(), 1500);
+  clock.SetTime(42);
+  EXPECT_EQ(clock.Now(), 42);
+}
+
+TEST(SimulatedClock, SleepAdvances) {
+  SimulatedClock clock(0);
+  clock.Sleep(250);
+  EXPECT_EQ(clock.Now(), 250);
+}
+
+TEST(SimulatedClock, SecondOfDay) {
+  // 12:00:00 UTC == 43200 seconds into the day.
+  SimulatedClock clock(1053345600LL * kMicrosPerSecond);
+  EXPECT_EQ(clock.SecondOfDay(), 43200);
+  clock.Advance(30 * kMicrosPerMinute);
+  EXPECT_EQ(clock.SecondOfDay(), 43200 + 1800);
+}
+
+TEST(RealClock, MonotonicEnough) {
+  auto& clock = RealClock::Instance();
+  TimePoint a = clock.Now();
+  TimePoint b = clock.Now();
+  EXPECT_GE(b, a);
+  // Plausible current era (after 2020, before 2100).
+  EXPECT_GT(a, 1577836800LL * kMicrosPerSecond);
+  EXPECT_LT(a, 4102444800LL * kMicrosPerSecond);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  RealClock::Instance().Sleep(2000);  // 2 ms
+  EXPECT_GE(sw.ElapsedUs(), 1500);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedUs(), 1'000'000);
+}
+
+TEST(FormatTimestamp, KnownInstant) {
+  // 2003-05-19 12:00:00 UTC.
+  EXPECT_EQ(FormatTimestamp(1053345600LL * kMicrosPerSecond),
+            "2003-05-19 12:00:00.000");
+  EXPECT_EQ(FormatTimestamp(1053345600LL * kMicrosPerSecond + 123'000),
+            "2003-05-19 12:00:00.123");
+}
+
+TEST(FormatTimestamp, Epoch) {
+  EXPECT_EQ(FormatTimestamp(0), "1970-01-01 00:00:00.000");
+}
+
+}  // namespace
+}  // namespace gaa::util

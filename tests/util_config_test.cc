@@ -1,0 +1,73 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace gaa::util {
+namespace {
+
+TEST(ParseConfigText, BasicDirectives) {
+  auto result = ParseConfigText("alpha one two\nbeta three\n");
+  ASSERT_TRUE(result.ok());
+  const auto& lines = result.value();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].line_number, 1);
+  EXPECT_EQ(lines[0].tokens, (std::vector<std::string>{"alpha", "one", "two"}));
+  EXPECT_EQ(lines[1].line_number, 2);
+}
+
+TEST(ParseConfigText, CommentsAndBlanks) {
+  auto result = ParseConfigText(
+      "# full comment\n"
+      "\n"
+      "key value # trailing comment\n"
+      "   \t  \n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].tokens,
+            (std::vector<std::string>{"key", "value"}));
+  EXPECT_EQ(result.value()[0].line_number, 3);
+}
+
+TEST(ParseConfigText, Continuations) {
+  auto result = ParseConfigText("first a \\\n  b \\\n  c\nsecond x\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(result.value()[0].tokens,
+            (std::vector<std::string>{"first", "a", "b", "c"}));
+  EXPECT_EQ(result.value()[0].line_number, 1);
+  EXPECT_EQ(result.value()[1].line_number, 4);
+}
+
+TEST(ParseConfigText, TrailingContinuationIsFlushed) {
+  auto result = ParseConfigText("only a \\");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].tokens,
+            (std::vector<std::string>{"only", "a"}));
+}
+
+TEST(ParseConfigText, EmptyInput) {
+  auto result = ParseConfigText("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(FileRoundTrip, WriteThenRead) {
+  std::string path = ::testing::TempDir() + "/gaa_config_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello world\n").ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "hello world\n");
+  auto lines = ParseConfigFile(path);
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines.value().size(), 1u);
+}
+
+TEST(FileRoundTrip, MissingFileIsNotFound) {
+  auto text = ReadFileToString("/nonexistent/definitely/missing");
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.error().code, ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gaa::util

@@ -1,0 +1,127 @@
+#include "util/glob.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace gaa::util {
+namespace {
+
+TEST(GlobMatch, Literals) {
+  EXPECT_TRUE(GlobMatch("abc", "abc"));
+  EXPECT_FALSE(GlobMatch("abc", "abd"));
+  EXPECT_FALSE(GlobMatch("abc", "ab"));
+  EXPECT_FALSE(GlobMatch("ab", "abc"));
+  EXPECT_TRUE(GlobMatch("", ""));
+  EXPECT_FALSE(GlobMatch("", "x"));
+}
+
+TEST(GlobMatch, Star) {
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("*phf*", "/cgi-bin/phf?q=x"));
+  EXPECT_FALSE(GlobMatch("*phf*", "/cgi-bin/search"));
+  EXPECT_TRUE(GlobMatch("a*b", "ab"));
+  EXPECT_TRUE(GlobMatch("a*b", "axxb"));
+  EXPECT_FALSE(GlobMatch("a*b", "axxc"));
+  EXPECT_TRUE(GlobMatch("a**b", "aXb"));
+}
+
+TEST(GlobMatch, PaperSignatures) {
+  // The exact signatures from section 7.2.
+  EXPECT_TRUE(GlobMatch("*test-cgi*", "/cgi-bin/test-cgi?*"));
+  EXPECT_TRUE(GlobMatch("*///////////////////*",
+                        "/" + std::string(30, '/')));
+  EXPECT_FALSE(GlobMatch("*///////////////////*", "/a/b/c/d"));
+  EXPECT_TRUE(GlobMatch("*%*", "/scripts/..%255c../cmd.exe"));
+  EXPECT_FALSE(GlobMatch("*%*", "/index.html"));
+}
+
+TEST(GlobMatch, QuestionMark) {
+  EXPECT_TRUE(GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(GlobMatch("a?c", "ac"));
+  EXPECT_FALSE(GlobMatch("a?c", "abbc"));
+}
+
+TEST(GlobMatch, CharacterClasses) {
+  EXPECT_TRUE(GlobMatch("[abc]x", "bx"));
+  EXPECT_FALSE(GlobMatch("[abc]x", "dx"));
+  EXPECT_TRUE(GlobMatch("[a-z]*", "hello"));
+  EXPECT_FALSE(GlobMatch("[a-z]*", "Hello"));
+  EXPECT_TRUE(GlobMatch("[!0-9]", "a"));
+  EXPECT_FALSE(GlobMatch("[!0-9]", "5"));
+}
+
+TEST(GlobMatch, Escapes) {
+  EXPECT_TRUE(GlobMatch("a\\*b", "a*b"));
+  EXPECT_FALSE(GlobMatch("a\\*b", "axb"));
+  EXPECT_TRUE(GlobMatch("100\\%", "100%"));
+}
+
+TEST(GlobMatch, IgnoreCase) {
+  EXPECT_TRUE(GlobMatchIgnoreCase("*CMD.EXE*", "/x/cmd.exe?/c+dir"));
+  EXPECT_FALSE(GlobMatch("*CMD.EXE*", "/x/cmd.exe?/c+dir"));
+}
+
+TEST(GlobMatch, PathologicalBacktracking) {
+  // Worst-case star backtracking must terminate quickly and correctly.
+  std::string text(2000, 'a');
+  EXPECT_TRUE(GlobMatch("*a*a*a*a*a*a*a*a*a*a*", text));
+  EXPECT_FALSE(GlobMatch("*a*a*a*a*a*b", text));
+}
+
+TEST(CompiledGlob, MatchesLikeGlobMatch) {
+  CompiledGlob g("*phf*");
+  EXPECT_TRUE(g.Matches("/cgi-bin/phf"));
+  EXPECT_FALSE(g.Matches("/cgi-bin/search"));
+  EXPECT_EQ(g.longest_literal(), "phf");
+}
+
+TEST(CompiledGlob, QuickRejectLiteralExtraction) {
+  CompiledGlob g("ab*cdef*g");
+  EXPECT_EQ(g.longest_literal(), "cdef");
+  EXPECT_TRUE(g.Matches("abXcdefYg"));
+  EXPECT_FALSE(g.Matches("abXcdeYg"));
+}
+
+// --- property test: iterative matcher vs a simple recursive reference ------
+
+bool RefMatch(std::string_view p, std::string_view t) {
+  if (p.empty()) return t.empty();
+  if (p[0] == '*') {
+    for (std::size_t i = 0; i <= t.size(); ++i) {
+      if (RefMatch(p.substr(1), t.substr(i))) return true;
+    }
+    return false;
+  }
+  if (t.empty()) return false;
+  if (p[0] == '?' || p[0] == t[0]) return RefMatch(p.substr(1), t.substr(1));
+  return false;
+}
+
+class GlobProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlobProperty, AgreesWithReference) {
+  Rng rng(GetParam());
+  const char alphabet[] = {'a', 'b', '*', '?'};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string pattern;
+    std::string text;
+    for (int i = 0; i < static_cast<int>(rng.NextBelow(8)); ++i) {
+      pattern.push_back(alphabet[rng.NextBelow(4)]);
+    }
+    for (int i = 0; i < static_cast<int>(rng.NextBelow(10)); ++i) {
+      text.push_back(alphabet[rng.NextBelow(2)]);  // only 'a','b'
+    }
+    EXPECT_EQ(GlobMatch(pattern, text), RefMatch(pattern, text))
+        << "pattern='" << pattern << "' text='" << text << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace gaa::util

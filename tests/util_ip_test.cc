@@ -1,0 +1,77 @@
+#include "util/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace gaa::util {
+namespace {
+
+TEST(Ipv4Address, ParseValid) {
+  auto a = Ipv4Address::Parse("128.9.0.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->ToString(), "128.9.0.1");
+  EXPECT_EQ(a->bits(), 0x80090001u);
+}
+
+TEST(Ipv4Address, ParseBoundaries) {
+  EXPECT_TRUE(Ipv4Address::Parse("0.0.0.0").has_value());
+  EXPECT_TRUE(Ipv4Address::Parse("255.255.255.255").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.-4").has_value());
+}
+
+TEST(Ipv4Address, Ordering) {
+  auto a = Ipv4Address::Parse("10.0.0.1").value();
+  auto b = Ipv4Address::Parse("10.0.0.2").value();
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a != b);
+}
+
+TEST(CidrBlock, ContainsPrefix) {
+  auto block = CidrBlock::Parse("128.9.0.0/16").value();
+  EXPECT_TRUE(block.Contains(Ipv4Address::Parse("128.9.1.2").value()));
+  EXPECT_TRUE(block.Contains(Ipv4Address::Parse("128.9.255.255").value()));
+  EXPECT_FALSE(block.Contains(Ipv4Address::Parse("128.10.0.0").value()));
+  EXPECT_EQ(block.ToString(), "128.9.0.0/16");
+}
+
+TEST(CidrBlock, HostWithoutPrefix) {
+  auto block = CidrBlock::Parse("10.1.2.3").value();
+  EXPECT_EQ(block.prefix_len(), 32);
+  EXPECT_TRUE(block.Contains(Ipv4Address::Parse("10.1.2.3").value()));
+  EXPECT_FALSE(block.Contains(Ipv4Address::Parse("10.1.2.4").value()));
+}
+
+TEST(CidrBlock, ApachePartialOctets) {
+  // Apache "Allow from 128.9" == 128.9.0.0/16.
+  auto block = CidrBlock::Parse("128.9").value();
+  EXPECT_EQ(block.prefix_len(), 16);
+  EXPECT_TRUE(block.Contains(Ipv4Address::Parse("128.9.42.42").value()));
+  EXPECT_FALSE(block.Contains(Ipv4Address::Parse("128.8.0.0").value()));
+}
+
+TEST(CidrBlock, ZeroPrefixMatchesEverything) {
+  auto block = CidrBlock::Parse("0.0.0.0/0").value();
+  EXPECT_TRUE(block.Contains(Ipv4Address::Parse("1.2.3.4").value()));
+  EXPECT_TRUE(block.Contains(Ipv4Address::Parse("255.255.255.255").value()));
+}
+
+TEST(CidrBlock, NormalizesBaseToMask) {
+  auto block = CidrBlock::Parse("128.9.42.42/16").value();
+  EXPECT_EQ(block.base().ToString(), "128.9.0.0");
+}
+
+TEST(CidrBlock, RejectsGarbage) {
+  EXPECT_FALSE(CidrBlock::Parse("").has_value());
+  EXPECT_FALSE(CidrBlock::Parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(CidrBlock::Parse("1.2.3.4/-1").has_value());
+  EXPECT_FALSE(CidrBlock::Parse("hello/8").has_value());
+  EXPECT_FALSE(CidrBlock::Parse("1.2.3.4.5/8").has_value());
+}
+
+}  // namespace
+}  // namespace gaa::util

@@ -1,0 +1,60 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gaa::util {
+namespace {
+
+// The Logger is a process-wide singleton; each test restores the default
+// sink set and level afterwards.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Instance().SetMinLevel(LogLevel::kDebug);
+    Logger::Instance().SetSinks({[this](LogLevel level, const std::string& m) {
+      captured.emplace_back(level, m);
+    }});
+  }
+  void TearDown() override {
+    Logger::Instance().SetSinks({Logger::StderrSink()});
+    Logger::Instance().SetMinLevel(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured;
+};
+
+TEST_F(LogTest, StreamMacroFormats) {
+  GAA_LOG(kInfo) << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "x=42 y=1.5");
+}
+
+TEST_F(LogTest, MinLevelFilters) {
+  Logger::Instance().SetMinLevel(LogLevel::kError);
+  GAA_LOG(kDebug) << "hidden";
+  GAA_LOG(kWarn) << "hidden too";
+  GAA_LOG(kError) << "visible";
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].second, "visible");
+}
+
+TEST_F(LogTest, MultipleSinksAllReceive) {
+  int second_sink_count = 0;
+  Logger::Instance().AddSink(
+      [&](LogLevel, const std::string&) { ++second_sink_count; });
+  GAA_LOG(kInfo) << "fan-out";
+  EXPECT_EQ(captured.size(), 1u);
+  EXPECT_EQ(second_sink_count, 1);
+}
+
+TEST(LogLevelNames, Stable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace gaa::util

@@ -1,0 +1,87 @@
+#include "util/tristate.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace gaa::util {
+namespace {
+
+constexpr Tristate kAll[] = {Tristate::kYes, Tristate::kNo, Tristate::kMaybe};
+
+TEST(Tristate, Names) {
+  EXPECT_STREQ(TristateName(Tristate::kYes), "YES");
+  EXPECT_STREQ(TristateName(Tristate::kNo), "NO");
+  EXPECT_STREQ(TristateName(Tristate::kMaybe), "MAYBE");
+}
+
+TEST(Tristate, AndTruthTable) {
+  EXPECT_EQ(And3(Tristate::kYes, Tristate::kYes), Tristate::kYes);
+  EXPECT_EQ(And3(Tristate::kYes, Tristate::kNo), Tristate::kNo);
+  EXPECT_EQ(And3(Tristate::kYes, Tristate::kMaybe), Tristate::kMaybe);
+  EXPECT_EQ(And3(Tristate::kNo, Tristate::kMaybe), Tristate::kNo);
+  EXPECT_EQ(And3(Tristate::kMaybe, Tristate::kMaybe), Tristate::kMaybe);
+}
+
+TEST(Tristate, OrTruthTable) {
+  EXPECT_EQ(Or3(Tristate::kYes, Tristate::kNo), Tristate::kYes);
+  EXPECT_EQ(Or3(Tristate::kNo, Tristate::kNo), Tristate::kNo);
+  EXPECT_EQ(Or3(Tristate::kNo, Tristate::kMaybe), Tristate::kMaybe);
+  EXPECT_EQ(Or3(Tristate::kYes, Tristate::kMaybe), Tristate::kYes);
+  EXPECT_EQ(Or3(Tristate::kMaybe, Tristate::kMaybe), Tristate::kMaybe);
+}
+
+TEST(Tristate, NotInvolution) {
+  for (Tristate a : kAll) {
+    EXPECT_EQ(Not3(Not3(a)), a);
+  }
+  EXPECT_EQ(Not3(Tristate::kYes), Tristate::kNo);
+  EXPECT_EQ(Not3(Tristate::kMaybe), Tristate::kMaybe);
+}
+
+// Property sweep over every pair/triple: the Kleene-algebra laws the policy
+// evaluator relies on.
+class TristatePairs
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TristatePairs, CommutativityAndDeMorgan) {
+  Tristate a = kAll[std::get<0>(GetParam())];
+  Tristate b = kAll[std::get<1>(GetParam())];
+  EXPECT_EQ(And3(a, b), And3(b, a));
+  EXPECT_EQ(Or3(a, b), Or3(b, a));
+  EXPECT_EQ(Not3(And3(a, b)), Or3(Not3(a), Not3(b)));
+  EXPECT_EQ(Not3(Or3(a, b)), And3(Not3(a), Not3(b)));
+  // Identity / domination.
+  EXPECT_EQ(And3(a, Tristate::kYes), a);
+  EXPECT_EQ(And3(a, Tristate::kNo), Tristate::kNo);
+  EXPECT_EQ(Or3(a, Tristate::kNo), a);
+  EXPECT_EQ(Or3(a, Tristate::kYes), Tristate::kYes);
+  // Idempotence.
+  EXPECT_EQ(And3(a, a), a);
+  EXPECT_EQ(Or3(a, a), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, TristatePairs,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 3)));
+
+class TristateTriples
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TristateTriples, AssociativityAndDistributivity) {
+  Tristate a = kAll[std::get<0>(GetParam())];
+  Tristate b = kAll[std::get<1>(GetParam())];
+  Tristate c = kAll[std::get<2>(GetParam())];
+  EXPECT_EQ(And3(a, And3(b, c)), And3(And3(a, b), c));
+  EXPECT_EQ(Or3(a, Or3(b, c)), Or3(Or3(a, b), c));
+  EXPECT_EQ(And3(a, Or3(b, c)), Or3(And3(a, b), And3(a, c)));
+  EXPECT_EQ(Or3(a, And3(b, c)), And3(Or3(a, b), Or3(a, c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTriples, TristateTriples,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 3),
+                                            ::testing::Range(0, 3)));
+
+}  // namespace
+}  // namespace gaa::util
