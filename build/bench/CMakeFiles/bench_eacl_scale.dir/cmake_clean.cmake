@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eacl_scale.dir/bench_eacl_scale.cc.o"
+  "CMakeFiles/bench_eacl_scale.dir/bench_eacl_scale.cc.o.d"
+  "bench_eacl_scale"
+  "bench_eacl_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eacl_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_intrusion.cc" "bench/CMakeFiles/bench_intrusion.dir/bench_intrusion.cc.o" "gcc" "bench/CMakeFiles/bench_intrusion.dir/bench_intrusion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/integration/CMakeFiles/repro_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/repro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/repro_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/repro_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/repro_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/conditions/CMakeFiles/repro_conditions.dir/DependInfo.cmake"
+  "/root/repo/build/src/gaa/CMakeFiles/repro_gaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/eacl/CMakeFiles/repro_eacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intrusion.dir/bench_intrusion.cc.o"
+  "CMakeFiles/bench_intrusion.dir/bench_intrusion.cc.o.d"
+  "bench_intrusion"
+  "bench_intrusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intrusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

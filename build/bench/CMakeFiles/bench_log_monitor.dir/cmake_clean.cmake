@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_log_monitor.dir/bench_log_monitor.cc.o"
+  "CMakeFiles/bench_log_monitor.dir/bench_log_monitor.cc.o.d"
+  "bench_log_monitor"
+  "bench_log_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

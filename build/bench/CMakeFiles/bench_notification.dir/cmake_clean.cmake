@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_notification.dir/bench_notification.cc.o"
+  "CMakeFiles/bench_notification.dir/bench_notification.cc.o.d"
+  "bench_notification"
+  "bench_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_cache.dir/bench_policy_cache.cc.o"
+  "CMakeFiles/bench_policy_cache.dir/bench_policy_cache.cc.o.d"
+  "bench_policy_cache"
+  "bench_policy_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_redirection.dir/adaptive_redirection.cpp.o"
+  "CMakeFiles/adaptive_redirection.dir/adaptive_redirection.cpp.o.d"
+  "adaptive_redirection"
+  "adaptive_redirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_redirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_lockdown.dir/network_lockdown.cpp.o"
+  "CMakeFiles/network_lockdown.dir/network_lockdown.cpp.o.d"
+  "network_lockdown"
+  "network_lockdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_lockdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tools.dir/policy_tools.cpp.o"
+  "CMakeFiles/policy_tools.dir/policy_tools.cpp.o.d"
+  "policy_tools"
+  "policy_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_tcp.dir/serve_tcp.cpp.o"
+  "CMakeFiles/serve_tcp.dir/serve_tcp.cpp.o.d"
+  "serve_tcp"
+  "serve_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

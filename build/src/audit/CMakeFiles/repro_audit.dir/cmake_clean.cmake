@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_audit.dir/audit_log.cc.o"
+  "CMakeFiles/repro_audit.dir/audit_log.cc.o.d"
+  "CMakeFiles/repro_audit.dir/notification.cc.o"
+  "CMakeFiles/repro_audit.dir/notification.cc.o.d"
+  "librepro_audit.a"
+  "librepro_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

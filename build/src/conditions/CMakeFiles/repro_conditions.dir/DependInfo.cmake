@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conditions/actions.cc" "src/conditions/CMakeFiles/repro_conditions.dir/actions.cc.o" "gcc" "src/conditions/CMakeFiles/repro_conditions.dir/actions.cc.o.d"
+  "/root/repo/src/conditions/builtin.cc" "src/conditions/CMakeFiles/repro_conditions.dir/builtin.cc.o" "gcc" "src/conditions/CMakeFiles/repro_conditions.dir/builtin.cc.o.d"
+  "/root/repo/src/conditions/firewall.cc" "src/conditions/CMakeFiles/repro_conditions.dir/firewall.cc.o" "gcc" "src/conditions/CMakeFiles/repro_conditions.dir/firewall.cc.o.d"
+  "/root/repo/src/conditions/identity.cc" "src/conditions/CMakeFiles/repro_conditions.dir/identity.cc.o" "gcc" "src/conditions/CMakeFiles/repro_conditions.dir/identity.cc.o.d"
+  "/root/repo/src/conditions/runtime.cc" "src/conditions/CMakeFiles/repro_conditions.dir/runtime.cc.o" "gcc" "src/conditions/CMakeFiles/repro_conditions.dir/runtime.cc.o.d"
+  "/root/repo/src/conditions/signature.cc" "src/conditions/CMakeFiles/repro_conditions.dir/signature.cc.o" "gcc" "src/conditions/CMakeFiles/repro_conditions.dir/signature.cc.o.d"
+  "/root/repo/src/conditions/threat.cc" "src/conditions/CMakeFiles/repro_conditions.dir/threat.cc.o" "gcc" "src/conditions/CMakeFiles/repro_conditions.dir/threat.cc.o.d"
+  "/root/repo/src/conditions/time_location.cc" "src/conditions/CMakeFiles/repro_conditions.dir/time_location.cc.o" "gcc" "src/conditions/CMakeFiles/repro_conditions.dir/time_location.cc.o.d"
+  "/root/repo/src/conditions/trigger.cc" "src/conditions/CMakeFiles/repro_conditions.dir/trigger.cc.o" "gcc" "src/conditions/CMakeFiles/repro_conditions.dir/trigger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gaa/CMakeFiles/repro_gaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/eacl/CMakeFiles/repro_eacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

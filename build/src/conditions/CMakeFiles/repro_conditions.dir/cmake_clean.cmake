@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_conditions.dir/actions.cc.o"
+  "CMakeFiles/repro_conditions.dir/actions.cc.o.d"
+  "CMakeFiles/repro_conditions.dir/builtin.cc.o"
+  "CMakeFiles/repro_conditions.dir/builtin.cc.o.d"
+  "CMakeFiles/repro_conditions.dir/firewall.cc.o"
+  "CMakeFiles/repro_conditions.dir/firewall.cc.o.d"
+  "CMakeFiles/repro_conditions.dir/identity.cc.o"
+  "CMakeFiles/repro_conditions.dir/identity.cc.o.d"
+  "CMakeFiles/repro_conditions.dir/runtime.cc.o"
+  "CMakeFiles/repro_conditions.dir/runtime.cc.o.d"
+  "CMakeFiles/repro_conditions.dir/signature.cc.o"
+  "CMakeFiles/repro_conditions.dir/signature.cc.o.d"
+  "CMakeFiles/repro_conditions.dir/threat.cc.o"
+  "CMakeFiles/repro_conditions.dir/threat.cc.o.d"
+  "CMakeFiles/repro_conditions.dir/time_location.cc.o"
+  "CMakeFiles/repro_conditions.dir/time_location.cc.o.d"
+  "CMakeFiles/repro_conditions.dir/trigger.cc.o"
+  "CMakeFiles/repro_conditions.dir/trigger.cc.o.d"
+  "librepro_conditions.a"
+  "librepro_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eacl/ast.cc" "src/eacl/CMakeFiles/repro_eacl.dir/ast.cc.o" "gcc" "src/eacl/CMakeFiles/repro_eacl.dir/ast.cc.o.d"
+  "/root/repo/src/eacl/composition.cc" "src/eacl/CMakeFiles/repro_eacl.dir/composition.cc.o" "gcc" "src/eacl/CMakeFiles/repro_eacl.dir/composition.cc.o.d"
+  "/root/repo/src/eacl/parser.cc" "src/eacl/CMakeFiles/repro_eacl.dir/parser.cc.o" "gcc" "src/eacl/CMakeFiles/repro_eacl.dir/parser.cc.o.d"
+  "/root/repo/src/eacl/printer.cc" "src/eacl/CMakeFiles/repro_eacl.dir/printer.cc.o" "gcc" "src/eacl/CMakeFiles/repro_eacl.dir/printer.cc.o.d"
+  "/root/repo/src/eacl/validate.cc" "src/eacl/CMakeFiles/repro_eacl.dir/validate.cc.o" "gcc" "src/eacl/CMakeFiles/repro_eacl.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

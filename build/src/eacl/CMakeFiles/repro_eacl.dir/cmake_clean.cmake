@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_eacl.dir/ast.cc.o"
+  "CMakeFiles/repro_eacl.dir/ast.cc.o.d"
+  "CMakeFiles/repro_eacl.dir/composition.cc.o"
+  "CMakeFiles/repro_eacl.dir/composition.cc.o.d"
+  "CMakeFiles/repro_eacl.dir/parser.cc.o"
+  "CMakeFiles/repro_eacl.dir/parser.cc.o.d"
+  "CMakeFiles/repro_eacl.dir/printer.cc.o"
+  "CMakeFiles/repro_eacl.dir/printer.cc.o.d"
+  "CMakeFiles/repro_eacl.dir/validate.cc.o"
+  "CMakeFiles/repro_eacl.dir/validate.cc.o.d"
+  "librepro_eacl.a"
+  "librepro_eacl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_eacl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gaa/api.cc" "src/gaa/CMakeFiles/repro_gaa.dir/api.cc.o" "gcc" "src/gaa/CMakeFiles/repro_gaa.dir/api.cc.o.d"
+  "/root/repo/src/gaa/cache.cc" "src/gaa/CMakeFiles/repro_gaa.dir/cache.cc.o" "gcc" "src/gaa/CMakeFiles/repro_gaa.dir/cache.cc.o.d"
+  "/root/repo/src/gaa/config.cc" "src/gaa/CMakeFiles/repro_gaa.dir/config.cc.o" "gcc" "src/gaa/CMakeFiles/repro_gaa.dir/config.cc.o.d"
+  "/root/repo/src/gaa/context.cc" "src/gaa/CMakeFiles/repro_gaa.dir/context.cc.o" "gcc" "src/gaa/CMakeFiles/repro_gaa.dir/context.cc.o.d"
+  "/root/repo/src/gaa/policy_store.cc" "src/gaa/CMakeFiles/repro_gaa.dir/policy_store.cc.o" "gcc" "src/gaa/CMakeFiles/repro_gaa.dir/policy_store.cc.o.d"
+  "/root/repo/src/gaa/registry.cc" "src/gaa/CMakeFiles/repro_gaa.dir/registry.cc.o" "gcc" "src/gaa/CMakeFiles/repro_gaa.dir/registry.cc.o.d"
+  "/root/repo/src/gaa/system_state.cc" "src/gaa/CMakeFiles/repro_gaa.dir/system_state.cc.o" "gcc" "src/gaa/CMakeFiles/repro_gaa.dir/system_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eacl/CMakeFiles/repro_eacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

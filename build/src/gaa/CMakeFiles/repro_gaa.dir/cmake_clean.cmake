@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_gaa.dir/api.cc.o"
+  "CMakeFiles/repro_gaa.dir/api.cc.o.d"
+  "CMakeFiles/repro_gaa.dir/cache.cc.o"
+  "CMakeFiles/repro_gaa.dir/cache.cc.o.d"
+  "CMakeFiles/repro_gaa.dir/config.cc.o"
+  "CMakeFiles/repro_gaa.dir/config.cc.o.d"
+  "CMakeFiles/repro_gaa.dir/context.cc.o"
+  "CMakeFiles/repro_gaa.dir/context.cc.o.d"
+  "CMakeFiles/repro_gaa.dir/policy_store.cc.o"
+  "CMakeFiles/repro_gaa.dir/policy_store.cc.o.d"
+  "CMakeFiles/repro_gaa.dir/registry.cc.o"
+  "CMakeFiles/repro_gaa.dir/registry.cc.o.d"
+  "CMakeFiles/repro_gaa.dir/system_state.cc.o"
+  "CMakeFiles/repro_gaa.dir/system_state.cc.o.d"
+  "librepro_gaa.a"
+  "librepro_gaa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_gaa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

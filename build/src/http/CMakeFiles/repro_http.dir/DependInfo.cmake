@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/doc_tree.cc" "src/http/CMakeFiles/repro_http.dir/doc_tree.cc.o" "gcc" "src/http/CMakeFiles/repro_http.dir/doc_tree.cc.o.d"
+  "/root/repo/src/http/htaccess.cc" "src/http/CMakeFiles/repro_http.dir/htaccess.cc.o" "gcc" "src/http/CMakeFiles/repro_http.dir/htaccess.cc.o.d"
+  "/root/repo/src/http/htpasswd.cc" "src/http/CMakeFiles/repro_http.dir/htpasswd.cc.o" "gcc" "src/http/CMakeFiles/repro_http.dir/htpasswd.cc.o.d"
+  "/root/repo/src/http/request.cc" "src/http/CMakeFiles/repro_http.dir/request.cc.o" "gcc" "src/http/CMakeFiles/repro_http.dir/request.cc.o.d"
+  "/root/repo/src/http/response.cc" "src/http/CMakeFiles/repro_http.dir/response.cc.o" "gcc" "src/http/CMakeFiles/repro_http.dir/response.cc.o.d"
+  "/root/repo/src/http/server.cc" "src/http/CMakeFiles/repro_http.dir/server.cc.o" "gcc" "src/http/CMakeFiles/repro_http.dir/server.cc.o.d"
+  "/root/repo/src/http/tcp_server.cc" "src/http/CMakeFiles/repro_http.dir/tcp_server.cc.o" "gcc" "src/http/CMakeFiles/repro_http.dir/tcp_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_http.dir/doc_tree.cc.o"
+  "CMakeFiles/repro_http.dir/doc_tree.cc.o.d"
+  "CMakeFiles/repro_http.dir/htaccess.cc.o"
+  "CMakeFiles/repro_http.dir/htaccess.cc.o.d"
+  "CMakeFiles/repro_http.dir/htpasswd.cc.o"
+  "CMakeFiles/repro_http.dir/htpasswd.cc.o.d"
+  "CMakeFiles/repro_http.dir/request.cc.o"
+  "CMakeFiles/repro_http.dir/request.cc.o.d"
+  "CMakeFiles/repro_http.dir/response.cc.o"
+  "CMakeFiles/repro_http.dir/response.cc.o.d"
+  "CMakeFiles/repro_http.dir/server.cc.o"
+  "CMakeFiles/repro_http.dir/server.cc.o.d"
+  "CMakeFiles/repro_http.dir/tcp_server.cc.o"
+  "CMakeFiles/repro_http.dir/tcp_server.cc.o.d"
+  "librepro_http.a"
+  "librepro_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

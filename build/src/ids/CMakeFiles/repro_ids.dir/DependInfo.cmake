@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ids/anomaly.cc" "src/ids/CMakeFiles/repro_ids.dir/anomaly.cc.o" "gcc" "src/ids/CMakeFiles/repro_ids.dir/anomaly.cc.o.d"
+  "/root/repo/src/ids/event_bus.cc" "src/ids/CMakeFiles/repro_ids.dir/event_bus.cc.o" "gcc" "src/ids/CMakeFiles/repro_ids.dir/event_bus.cc.o.d"
+  "/root/repo/src/ids/ids.cc" "src/ids/CMakeFiles/repro_ids.dir/ids.cc.o" "gcc" "src/ids/CMakeFiles/repro_ids.dir/ids.cc.o.d"
+  "/root/repo/src/ids/log_monitor.cc" "src/ids/CMakeFiles/repro_ids.dir/log_monitor.cc.o" "gcc" "src/ids/CMakeFiles/repro_ids.dir/log_monitor.cc.o.d"
+  "/root/repo/src/ids/signature_db.cc" "src/ids/CMakeFiles/repro_ids.dir/signature_db.cc.o" "gcc" "src/ids/CMakeFiles/repro_ids.dir/signature_db.cc.o.d"
+  "/root/repo/src/ids/threat_service.cc" "src/ids/CMakeFiles/repro_ids.dir/threat_service.cc.o" "gcc" "src/ids/CMakeFiles/repro_ids.dir/threat_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gaa/CMakeFiles/repro_gaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/repro_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/eacl/CMakeFiles/repro_eacl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ids.dir/anomaly.cc.o"
+  "CMakeFiles/repro_ids.dir/anomaly.cc.o.d"
+  "CMakeFiles/repro_ids.dir/event_bus.cc.o"
+  "CMakeFiles/repro_ids.dir/event_bus.cc.o.d"
+  "CMakeFiles/repro_ids.dir/ids.cc.o"
+  "CMakeFiles/repro_ids.dir/ids.cc.o.d"
+  "CMakeFiles/repro_ids.dir/log_monitor.cc.o"
+  "CMakeFiles/repro_ids.dir/log_monitor.cc.o.d"
+  "CMakeFiles/repro_ids.dir/signature_db.cc.o"
+  "CMakeFiles/repro_ids.dir/signature_db.cc.o.d"
+  "CMakeFiles/repro_ids.dir/threat_service.cc.o"
+  "CMakeFiles/repro_ids.dir/threat_service.cc.o.d"
+  "librepro_ids.a"
+  "librepro_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

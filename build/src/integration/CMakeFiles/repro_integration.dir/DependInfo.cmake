@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integration/gaa_controller.cc" "src/integration/CMakeFiles/repro_integration.dir/gaa_controller.cc.o" "gcc" "src/integration/CMakeFiles/repro_integration.dir/gaa_controller.cc.o.d"
+  "/root/repo/src/integration/gaa_web_server.cc" "src/integration/CMakeFiles/repro_integration.dir/gaa_web_server.cc.o" "gcc" "src/integration/CMakeFiles/repro_integration.dir/gaa_web_server.cc.o.d"
+  "/root/repo/src/integration/ipsec.cc" "src/integration/CMakeFiles/repro_integration.dir/ipsec.cc.o" "gcc" "src/integration/CMakeFiles/repro_integration.dir/ipsec.cc.o.d"
+  "/root/repo/src/integration/sshd.cc" "src/integration/CMakeFiles/repro_integration.dir/sshd.cc.o" "gcc" "src/integration/CMakeFiles/repro_integration.dir/sshd.cc.o.d"
+  "/root/repo/src/integration/translate.cc" "src/integration/CMakeFiles/repro_integration.dir/translate.cc.o" "gcc" "src/integration/CMakeFiles/repro_integration.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/repro_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/gaa/CMakeFiles/repro_gaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/conditions/CMakeFiles/repro_conditions.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/repro_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/repro_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/eacl/CMakeFiles/repro_eacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_integration.dir/gaa_controller.cc.o"
+  "CMakeFiles/repro_integration.dir/gaa_controller.cc.o.d"
+  "CMakeFiles/repro_integration.dir/gaa_web_server.cc.o"
+  "CMakeFiles/repro_integration.dir/gaa_web_server.cc.o.d"
+  "CMakeFiles/repro_integration.dir/ipsec.cc.o"
+  "CMakeFiles/repro_integration.dir/ipsec.cc.o.d"
+  "CMakeFiles/repro_integration.dir/sshd.cc.o"
+  "CMakeFiles/repro_integration.dir/sshd.cc.o.d"
+  "CMakeFiles/repro_integration.dir/translate.cc.o"
+  "CMakeFiles/repro_integration.dir/translate.cc.o.d"
+  "librepro_integration.a"
+  "librepro_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/clock.cc" "src/util/CMakeFiles/repro_util.dir/clock.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/clock.cc.o.d"
+  "/root/repo/src/util/config.cc" "src/util/CMakeFiles/repro_util.dir/config.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/config.cc.o.d"
+  "/root/repo/src/util/glob.cc" "src/util/CMakeFiles/repro_util.dir/glob.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/glob.cc.o.d"
+  "/root/repo/src/util/ip.cc" "src/util/CMakeFiles/repro_util.dir/ip.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/ip.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/util/CMakeFiles/repro_util.dir/log.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/log.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/repro_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/repro_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/strings.cc.o.d"
+  "/root/repo/src/util/tristate.cc" "src/util/CMakeFiles/repro_util.dir/tristate.cc.o" "gcc" "src/util/CMakeFiles/repro_util.dir/tristate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

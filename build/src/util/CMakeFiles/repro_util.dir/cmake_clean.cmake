@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/clock.cc.o"
+  "CMakeFiles/repro_util.dir/clock.cc.o.d"
+  "CMakeFiles/repro_util.dir/config.cc.o"
+  "CMakeFiles/repro_util.dir/config.cc.o.d"
+  "CMakeFiles/repro_util.dir/glob.cc.o"
+  "CMakeFiles/repro_util.dir/glob.cc.o.d"
+  "CMakeFiles/repro_util.dir/ip.cc.o"
+  "CMakeFiles/repro_util.dir/ip.cc.o.d"
+  "CMakeFiles/repro_util.dir/log.cc.o"
+  "CMakeFiles/repro_util.dir/log.cc.o.d"
+  "CMakeFiles/repro_util.dir/status.cc.o"
+  "CMakeFiles/repro_util.dir/status.cc.o.d"
+  "CMakeFiles/repro_util.dir/strings.cc.o"
+  "CMakeFiles/repro_util.dir/strings.cc.o.d"
+  "CMakeFiles/repro_util.dir/tristate.cc.o"
+  "CMakeFiles/repro_util.dir/tristate.cc.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/util/CMakeFiles/repro_util.dir/tristate.cc.o: \
+ /root/repo/src/util/tristate.cc /usr/include/stdc-predef.h \
+ /root/repo/src/util/tristate.h

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditions_test.dir/conditions_actions_test.cc.o"
+  "CMakeFiles/conditions_test.dir/conditions_actions_test.cc.o.d"
+  "CMakeFiles/conditions_test.dir/conditions_firewall_test.cc.o"
+  "CMakeFiles/conditions_test.dir/conditions_firewall_test.cc.o.d"
+  "CMakeFiles/conditions_test.dir/conditions_identity_test.cc.o"
+  "CMakeFiles/conditions_test.dir/conditions_identity_test.cc.o.d"
+  "CMakeFiles/conditions_test.dir/conditions_param_test.cc.o"
+  "CMakeFiles/conditions_test.dir/conditions_param_test.cc.o.d"
+  "CMakeFiles/conditions_test.dir/conditions_runtime_test.cc.o"
+  "CMakeFiles/conditions_test.dir/conditions_runtime_test.cc.o.d"
+  "CMakeFiles/conditions_test.dir/conditions_signature_test.cc.o"
+  "CMakeFiles/conditions_test.dir/conditions_signature_test.cc.o.d"
+  "CMakeFiles/conditions_test.dir/conditions_threat_time_test.cc.o"
+  "CMakeFiles/conditions_test.dir/conditions_threat_time_test.cc.o.d"
+  "conditions_test"
+  "conditions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

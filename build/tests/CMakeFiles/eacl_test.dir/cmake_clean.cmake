@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacl_test.dir/eacl_composition_test.cc.o"
+  "CMakeFiles/eacl_test.dir/eacl_composition_test.cc.o.d"
+  "CMakeFiles/eacl_test.dir/eacl_parser_test.cc.o"
+  "CMakeFiles/eacl_test.dir/eacl_parser_test.cc.o.d"
+  "CMakeFiles/eacl_test.dir/eacl_validate_test.cc.o"
+  "CMakeFiles/eacl_test.dir/eacl_validate_test.cc.o.d"
+  "eacl_test"
+  "eacl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

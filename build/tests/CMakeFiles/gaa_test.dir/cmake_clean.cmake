@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaa_test.dir/gaa_api_test.cc.o"
+  "CMakeFiles/gaa_test.dir/gaa_api_test.cc.o.d"
+  "CMakeFiles/gaa_test.dir/gaa_cache_test.cc.o"
+  "CMakeFiles/gaa_test.dir/gaa_cache_test.cc.o.d"
+  "CMakeFiles/gaa_test.dir/gaa_config_test.cc.o"
+  "CMakeFiles/gaa_test.dir/gaa_config_test.cc.o.d"
+  "CMakeFiles/gaa_test.dir/gaa_policy_store_test.cc.o"
+  "CMakeFiles/gaa_test.dir/gaa_policy_store_test.cc.o.d"
+  "CMakeFiles/gaa_test.dir/gaa_property_test.cc.o"
+  "CMakeFiles/gaa_test.dir/gaa_property_test.cc.o.d"
+  "CMakeFiles/gaa_test.dir/gaa_registry_test.cc.o"
+  "CMakeFiles/gaa_test.dir/gaa_registry_test.cc.o.d"
+  "CMakeFiles/gaa_test.dir/gaa_store_modes_test.cc.o"
+  "CMakeFiles/gaa_test.dir/gaa_store_modes_test.cc.o.d"
+  "gaa_test"
+  "gaa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

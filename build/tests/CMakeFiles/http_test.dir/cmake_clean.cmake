@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_test.dir/http_htaccess_test.cc.o"
+  "CMakeFiles/http_test.dir/http_htaccess_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http_htpasswd_test.cc.o"
+  "CMakeFiles/http_test.dir/http_htpasswd_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http_request_test.cc.o"
+  "CMakeFiles/http_test.dir/http_request_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http_response_test.cc.o"
+  "CMakeFiles/http_test.dir/http_response_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http_server_test.cc.o"
+  "CMakeFiles/http_test.dir/http_server_test.cc.o.d"
+  "CMakeFiles/http_test.dir/http_tcp_test.cc.o"
+  "CMakeFiles/http_test.dir/http_tcp_test.cc.o.d"
+  "http_test"
+  "http_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

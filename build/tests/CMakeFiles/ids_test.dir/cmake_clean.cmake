@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_test.dir/ids_anomaly_test.cc.o"
+  "CMakeFiles/ids_test.dir/ids_anomaly_test.cc.o.d"
+  "CMakeFiles/ids_test.dir/ids_event_bus_test.cc.o"
+  "CMakeFiles/ids_test.dir/ids_event_bus_test.cc.o.d"
+  "CMakeFiles/ids_test.dir/ids_log_monitor_test.cc.o"
+  "CMakeFiles/ids_test.dir/ids_log_monitor_test.cc.o.d"
+  "CMakeFiles/ids_test.dir/ids_signature_db_test.cc.o"
+  "CMakeFiles/ids_test.dir/ids_signature_db_test.cc.o.d"
+  "CMakeFiles/ids_test.dir/ids_system_test.cc.o"
+  "CMakeFiles/ids_test.dir/ids_system_test.cc.o.d"
+  "CMakeFiles/ids_test.dir/ids_threat_test.cc.o"
+  "CMakeFiles/ids_test.dir/ids_threat_test.cc.o.d"
+  "ids_test"
+  "ids_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_concurrency_test.cc" "tests/CMakeFiles/integration_test.dir/integration_concurrency_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_concurrency_test.cc.o.d"
+  "/root/repo/tests/integration_controller_test.cc" "tests/CMakeFiles/integration_test.dir/integration_controller_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_controller_test.cc.o.d"
+  "/root/repo/tests/integration_intrusion_test.cc" "tests/CMakeFiles/integration_test.dir/integration_intrusion_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_intrusion_test.cc.o.d"
+  "/root/repo/tests/integration_ipsec_test.cc" "tests/CMakeFiles/integration_test.dir/integration_ipsec_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_ipsec_test.cc.o.d"
+  "/root/repo/tests/integration_lifecycle_test.cc" "tests/CMakeFiles/integration_test.dir/integration_lifecycle_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_lifecycle_test.cc.o.d"
+  "/root/repo/tests/integration_lockdown_test.cc" "tests/CMakeFiles/integration_test.dir/integration_lockdown_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_lockdown_test.cc.o.d"
+  "/root/repo/tests/integration_misc_test.cc" "tests/CMakeFiles/integration_test.dir/integration_misc_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_misc_test.cc.o.d"
+  "/root/repo/tests/integration_redirect_test.cc" "tests/CMakeFiles/integration_test.dir/integration_redirect_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_redirect_test.cc.o.d"
+  "/root/repo/tests/integration_spoofing_async_test.cc" "tests/CMakeFiles/integration_test.dir/integration_spoofing_async_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_spoofing_async_test.cc.o.d"
+  "/root/repo/tests/integration_sshd_test.cc" "tests/CMakeFiles/integration_test.dir/integration_sshd_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_sshd_test.cc.o.d"
+  "/root/repo/tests/integration_streaming_test.cc" "tests/CMakeFiles/integration_test.dir/integration_streaming_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_streaming_test.cc.o.d"
+  "/root/repo/tests/integration_translate_test.cc" "tests/CMakeFiles/integration_test.dir/integration_translate_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_translate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/integration/CMakeFiles/repro_integration.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/repro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/repro_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/repro_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/repro_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/conditions/CMakeFiles/repro_conditions.dir/DependInfo.cmake"
+  "/root/repo/build/src/gaa/CMakeFiles/repro_gaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/eacl/CMakeFiles/repro_eacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration_concurrency_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_concurrency_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_controller_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_controller_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_intrusion_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_intrusion_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_ipsec_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_ipsec_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_lifecycle_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_lifecycle_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_lockdown_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_lockdown_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_misc_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_misc_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_redirect_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_redirect_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_spoofing_async_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_spoofing_async_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_sshd_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_sshd_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_streaming_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_streaming_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration_translate_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration_translate_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util_clock_test.cc.o"
+  "CMakeFiles/util_test.dir/util_clock_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_config_test.cc.o"
+  "CMakeFiles/util_test.dir/util_config_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_glob_test.cc.o"
+  "CMakeFiles/util_test.dir/util_glob_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_ip_test.cc.o"
+  "CMakeFiles/util_test.dir/util_ip_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_log_test.cc.o"
+  "CMakeFiles/util_test.dir/util_log_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_strings_test.cc.o"
+  "CMakeFiles/util_test.dir/util_strings_test.cc.o.d"
+  "CMakeFiles/util_test.dir/util_tristate_test.cc.o"
+  "CMakeFiles/util_test.dir/util_tristate_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

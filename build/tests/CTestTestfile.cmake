@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;14;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eacl_test "/root/repo/build/tests/eacl_test")
+set_tests_properties(eacl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;23;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gaa_test "/root/repo/build/tests/gaa_test")
+set_tests_properties(gaa_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;28;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(conditions_test "/root/repo/build/tests/conditions_test")
+set_tests_properties(conditions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;37;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ids_test "/root/repo/build/tests/ids_test")
+set_tests_properties(ids_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;46;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(audit_test "/root/repo/build/tests/audit_test")
+set_tests_properties(audit_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;54;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(http_test "/root/repo/build/tests/http_test")
+set_tests_properties(http_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;58;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;66;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_test "/root/repo/build/tests/workload_test")
+set_tests_properties(workload_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;80;repro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(robustness_test "/root/repo/build/tests/robustness_test")
+set_tests_properties(robustness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;11;add_test;/root/repo/tests/CMakeLists.txt;83;repro_test;/root/repo/tests/CMakeLists.txt;0;")
