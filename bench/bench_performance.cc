@@ -21,10 +21,19 @@
 // then run the paper's 20-repetition experiment.  Expected output: a GAA
 // share of ~30 % without notification and ~80 % with it — who wins and by
 // how much matches §8; the absolute milliseconds do not (and should not).
+// A transport-level experiment (E1t) rides along: the same request stream
+// over real sockets, close-per-request (the 2003-era connection model the
+// paper inherited from Apache) vs HTTP/1.1 keep-alive on the event-driven
+// connection layer — the per-connection setup cost the paper's numbers
+// silently include.
 #include <cstdio>
+
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "http/request.h"
+#include "http/tcp_server.h"
 #include "util/clock.h"
 
 namespace gaa::bench {
@@ -96,6 +105,49 @@ double TimeTotalOnce(web::GaaWebServer& server, int i) {
     (void)server.server().HandleText(raw, ip);
   }
   return watch.ElapsedMs() / kBatch;
+}
+
+/// E1t: req/s over real TCP at the same client-thread count, with and
+/// without keep-alive.  Returns requests per second.
+double RunTransportMode(web::GaaWebServer& server, bool keep_alive,
+                        int client_threads, int requests_per_thread) {
+  http::TcpServer::Options options;
+  options.keep_alive = keep_alive;
+  options.worker_threads = 4;
+  http::TcpServer tcp(&server.server(), options);
+  auto started = tcp.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "tcp: %s\n", started.error().ToString().c_str());
+    std::exit(1);
+  }
+  std::string raw = http::BuildGetRequest("/index.html");
+  util::Stopwatch watch;
+  std::vector<std::thread> clients;
+  clients.reserve(client_threads);
+  for (int c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&] {
+      if (keep_alive) {
+        http::TcpClient client(tcp.port());
+        for (int i = 0; i < requests_per_thread; ++i) {
+          if (!client.RoundTrip(raw).ok()) break;
+        }
+      } else {
+        for (int i = 0; i < requests_per_thread; ++i) {
+          (void)http::TcpFetch(tcp.port(), raw);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double seconds = watch.ElapsedMs() / 1000.0;
+  double total = static_cast<double>(client_threads) * requests_per_thread;
+  std::printf(
+      "%-18s %10.0f req/s   (conns accepted %llu, reused %llu)\n",
+      keep_alive ? "keep_alive" : "close_per_request", total / seconds,
+      static_cast<unsigned long long>(tcp.connections_accepted()),
+      static_cast<unsigned long long>(tcp.connections_reused()));
+  tcp.Stop();
+  return total / seconds;
 }
 
 }  // namespace
@@ -173,5 +225,18 @@ int main() {
       "in-process total p50/p95 = %.4f/%.4f\n",
       rows[0].gaa.p50_ms, rows[0].gaa.p95_ms, rows[0].total.p50_ms,
       rows[0].total.p95_ms);
+
+  PrintHeader(
+      "E1t: transport — close-per-request vs keep-alive over real TCP");
+  constexpr int kClientThreads = 4;
+  constexpr int kRequestsPerThread = 2000;
+  auto transport_server = MakeServer(0);
+  std::printf("%d client threads x %d GET /index.html each:\n",
+              kClientThreads, kRequestsPerThread);
+  double close_rps = RunTransportMode(*transport_server, /*keep_alive=*/false,
+                                      kClientThreads, kRequestsPerThread);
+  double ka_rps = RunTransportMode(*transport_server, /*keep_alive=*/true,
+                                   kClientThreads, kRequestsPerThread);
+  std::printf("keep-alive speedup: %.2fx\n", ka_rps / close_rps);
   return 0;
 }

@@ -215,18 +215,7 @@ examples/CMakeFiles/serve_tcp.dir/serve_tcp.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/http/server.h /root/repo/src/http/htaccess.h \
- /root/repo/src/http/htpasswd.h /root/repo/src/util/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /root/repo/src/http/request.h \
- /root/repo/src/util/ip.h /root/repo/src/http/response.h \
- /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/integration/gaa_web_server.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
@@ -234,18 +223,31 @@ examples/CMakeFiles/serve_tcp.dir/serve_tcp.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/audit/audit_log.h /usr/include/c++/12/cstddef \
- /root/repo/src/gaa/services.h /root/repo/src/gaa/system_state.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/http/server.h \
+ /root/repo/src/http/htaccess.h /root/repo/src/http/htpasswd.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /root/repo/src/http/request.h /root/repo/src/util/ip.h \
+ /root/repo/src/http/response.h /root/repo/src/util/clock.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/integration/connection_stats.h \
+ /root/repo/src/gaa/system_state.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/tristate.h \
- /root/repo/src/audit/notification.h /root/repo/src/gaa/api.h \
- /root/repo/src/eacl/ast.h /root/repo/src/eacl/composition.h \
- /root/repo/src/gaa/cache.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/gaa/config.h /root/repo/src/gaa/context.h \
- /root/repo/src/gaa/policy_store.h /root/repo/src/gaa/registry.h \
- /root/repo/src/ids/ids.h /root/repo/src/ids/anomaly.h \
- /root/repo/src/ids/event_bus.h /root/repo/src/util/glob.h \
- /root/repo/src/ids/signature_db.h /root/repo/src/ids/threat_service.h \
+ /root/repo/src/integration/gaa_web_server.h \
+ /root/repo/src/audit/audit_log.h /usr/include/c++/12/cstddef \
+ /root/repo/src/gaa/services.h /root/repo/src/audit/notification.h \
+ /root/repo/src/gaa/api.h /root/repo/src/eacl/ast.h \
+ /root/repo/src/eacl/composition.h /root/repo/src/gaa/cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/gaa/config.h \
+ /root/repo/src/gaa/context.h /root/repo/src/gaa/policy_store.h \
+ /root/repo/src/gaa/registry.h /root/repo/src/ids/ids.h \
+ /root/repo/src/ids/anomaly.h /root/repo/src/ids/event_bus.h \
+ /root/repo/src/util/glob.h /root/repo/src/ids/signature_db.h \
+ /root/repo/src/ids/threat_service.h \
  /root/repo/src/integration/gaa_controller.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integration/connection_stats.cc" "src/integration/CMakeFiles/repro_integration.dir/connection_stats.cc.o" "gcc" "src/integration/CMakeFiles/repro_integration.dir/connection_stats.cc.o.d"
   "/root/repo/src/integration/gaa_controller.cc" "src/integration/CMakeFiles/repro_integration.dir/gaa_controller.cc.o" "gcc" "src/integration/CMakeFiles/repro_integration.dir/gaa_controller.cc.o.d"
   "/root/repo/src/integration/gaa_web_server.cc" "src/integration/CMakeFiles/repro_integration.dir/gaa_web_server.cc.o" "gcc" "src/integration/CMakeFiles/repro_integration.dir/gaa_web_server.cc.o.d"
   "/root/repo/src/integration/ipsec.cc" "src/integration/CMakeFiles/repro_integration.dir/ipsec.cc.o" "gcc" "src/integration/CMakeFiles/repro_integration.dir/ipsec.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/repro_integration.dir/connection_stats.cc.o"
+  "CMakeFiles/repro_integration.dir/connection_stats.cc.o.d"
   "CMakeFiles/repro_integration.dir/gaa_controller.cc.o"
   "CMakeFiles/repro_integration.dir/gaa_controller.cc.o.d"
   "CMakeFiles/repro_integration.dir/gaa_web_server.cc.o"

@@ -6,6 +6,7 @@
 
 #include "http/doc_tree.h"
 #include "http/tcp_server.h"
+#include "integration/connection_stats.h"
 #include "integration/gaa_web_server.h"
 
 int main() {
@@ -37,6 +38,9 @@ pos_access_right apache *
   }
 
   gaa::http::TcpServer tcp(&gaa_server.server(), {});
+  // Publish connection-layer counters into SystemState so adaptive
+  // policies can consult transport pressure (tcp.active, tcp.shed, ...).
+  gaa::web::WireConnectionStats(tcp, &gaa_server.state());
   auto started = tcp.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "tcp error: %s\n",
@@ -61,10 +65,13 @@ pos_access_right apache *
   // The loopback "attacker" is now blacklisted; everything is denied.
   fetch("/index.html");
 
-  std::printf("\nconnections accepted: %llu; BadGuys: %zu entr%s\n",
+  std::printf("\nconnections accepted: %llu (reused %llu); BadGuys: %zu entr%s\n",
               static_cast<unsigned long long>(tcp.connections_accepted()),
+              static_cast<unsigned long long>(tcp.connections_reused()),
               gaa_server.state().GroupSize("BadGuys"),
               gaa_server.state().GroupSize("BadGuys") == 1 ? "y" : "ies");
+  std::printf("SystemState tcp.requests = %s\n",
+              gaa_server.state().GetVariable("tcp.requests").value_or("?").c_str());
   tcp.Stop();
   return 0;
 }

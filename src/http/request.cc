@@ -48,6 +48,8 @@ const char* RequestDefectName(RequestDefect defect) {
       return "bad_header";
     case RequestDefect::kOversizedTarget:
       return "oversized_target";
+    case RequestDefect::kTruncatedBody:
+      return "truncated_body";
   }
   return "?";
 }
@@ -174,8 +176,18 @@ ParseResult ParseRequest(std::string_view text, const ParseLimits& limits) {
     std::string value(util::Trim(line.substr(colon + 1)));
     auto [it, inserted] = rec.headers.emplace(name, value);
     if (!inserted) {
-      it->second += ", ";
-      it->second += value;  // Apache-style duplicate folding
+      if (name == "content-length") {
+        // Folding framing headers ("10, 10") silently destroys framing
+        // info and is the raw material of request smuggling.  Identical
+        // repeats collapse; conflicting ones are rejected outright.
+        if (it->second != value) {
+          return Fail(RequestDefect::kBadHeader,
+                      "conflicting duplicate content-length");
+        }
+      } else {
+        it->second += ", ";
+        it->second += value;  // Apache-style duplicate folding
+      }
     }
   }
 

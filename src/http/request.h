@@ -32,8 +32,9 @@ enum class RequestDefect {
   kOversizedHeader,   ///< a single header exceeds the limit
   kTooManyHeaders,    ///< header count exceeds the limit (the §1 DoS:
                       ///< "a large number of HTTP headers")
-  kBadHeader,         ///< header without ':'
+  kBadHeader,         ///< header without ':', or conflicting framing headers
   kOversizedTarget,   ///< request target exceeds the limit
+  kTruncatedBody,     ///< connection closed before the framed request ended
 };
 
 const char* RequestDefectName(RequestDefect defect);

@@ -140,6 +140,14 @@ class WebServer {
                          util::Ipv4Address client_ip)>;
   void set_malformed_hook(MalformedHook hook) { malformed_hook_ = std::move(hook); }
 
+  /// Report a defect diagnosed below the parser (the transport's framing
+  /// layer: truncated bodies, conflicting Content-Length) into the same
+  /// IDS-facing hook.
+  void ReportMalformed(RequestDefect defect, const std::string& detail,
+                       util::Ipv4Address client_ip) {
+    if (malformed_hook_) malformed_hook_(defect, detail, client_ip);
+  }
+
   // --- stats / logs ---------------------------------------------------------
   std::uint64_t requests_served() const { return requests_served_.load(); }
   std::map<int, std::uint64_t> StatusCounts() const;

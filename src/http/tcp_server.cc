@@ -3,11 +3,16 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <optional>
 
 #include "util/log.h"
 #include "util/strings.h"
@@ -19,6 +24,17 @@ namespace {
 using util::Error;
 using util::ErrorCode;
 
+// epoll_event.data.u64 tags for the two non-connection descriptors.
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void SetReadTimeout(int fd, int timeout_ms) {
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
@@ -26,66 +42,135 @@ void SetReadTimeout(int fd, int timeout_ms) {
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
-void SendAll(int fd, std::string_view data) {
+/// Blocking send with EINTR retry (client helpers only; the event loop
+/// writes non-blocking).  Returns false when the peer went away.
+bool SendAll(int fd, std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                        MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer went away; nothing useful to do
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
-/// Read until the header/body split is seen and any Content-Length body is
-/// complete (or limits/timeouts hit).  Returns false on overrun/timeout.
-enum class ReadOutcome { kOk, kTooLarge, kTimeout, kClosed };
+// --- request framing ---------------------------------------------------------
+//
+// Decide where one request ends in a connection's byte stream, before any
+// parsing.  Framing is attack surface: conflicting Content-Length headers
+// and Transfer-Encoding are the raw material of request smuggling, so both
+// are rejected here rather than papered over.
 
-ReadOutcome ReadRequest(int fd, std::size_t max_bytes, std::string* out) {
-  char buf[4096];
-  std::size_t body_needed = 0;
-  bool have_head = false;
-  for (;;) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n == 0) return out->empty() ? ReadOutcome::kClosed : ReadOutcome::kOk;
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadOutcome::kTimeout;
-      return ReadOutcome::kClosed;
-    }
-    out->append(buf, static_cast<std::size_t>(n));
-    if (out->size() > max_bytes) return ReadOutcome::kTooLarge;
+enum class FrameStatus { kNeedMore, kComplete, kTooLarge, kBad };
 
-    if (!have_head) {
-      std::size_t head_end = out->find("\r\n\r\n");
-      std::size_t sep = 4;
-      if (head_end == std::string::npos) {
-        head_end = out->find("\n\n");
-        sep = 2;
-      }
-      if (head_end == std::string::npos) continue;
-      have_head = true;
-      // Content-Length, if any, tells how much body to await.
-      std::string head_lower = util::ToLower(out->substr(0, head_end));
-      std::size_t cl = head_lower.find("content-length:");
-      if (cl != std::string::npos) {
-        std::size_t eol = head_lower.find('\n', cl);
-        auto value = util::Trim(std::string_view(head_lower)
-                                    .substr(cl + 15, eol - cl - 15));
-        if (auto len = util::ParseInt(value); len && *len >= 0) {
-          std::size_t have = out->size() - head_end - sep;
-          body_needed = static_cast<std::size_t>(*len) > have
-                            ? static_cast<std::size_t>(*len) - have
-                            : 0;
-        }
-      }
-      if (body_needed == 0) return ReadOutcome::kOk;
-      continue;
-    }
-    if (static_cast<std::size_t>(n) >= body_needed) return ReadOutcome::kOk;
-    body_needed -= static_cast<std::size_t>(n);
+struct FrameResult {
+  FrameStatus status = FrameStatus::kNeedMore;
+  std::size_t total_bytes = 0;  ///< head + separator + body (kComplete)
+  bool keep_alive = true;       ///< what the request asked for (kComplete)
+  std::string detail;           ///< diagnosis (kBad)
+};
+
+FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
+  FrameResult out;
+  std::size_t head_end = buf.find("\r\n\r\n");
+  std::size_t sep = 4;
+  if (head_end == std::string::npos) {
+    head_end = buf.find("\n\n");
+    sep = 2;
   }
+  if (head_end == std::string::npos) {
+    out.status =
+        buf.size() > max_bytes ? FrameStatus::kTooLarge : FrameStatus::kNeedMore;
+    return out;
+  }
+  std::string head = util::ToLower(buf.substr(0, head_end));
+
+  // Request-line version decides the keep-alive default.
+  std::size_t line_end = head.find('\n');
+  std::string_view request_line =
+      line_end == std::string::npos ? std::string_view(head)
+                                    : std::string_view(head).substr(0, line_end);
+  out.keep_alive = request_line.find("http/1.1") != std::string_view::npos;
+
+  std::optional<std::int64_t> content_length;
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 1;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    std::string_view line = eol == std::string::npos
+                                ? std::string_view(head).substr(pos)
+                                : std::string_view(head).substr(pos, eol - pos);
+    pos = eol == std::string::npos ? head.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // parser's problem
+    std::string_view name = util::Trim(line.substr(0, colon));
+    std::string_view value = util::Trim(line.substr(colon + 1));
+    if (name == "content-length") {
+      auto parsed = util::ParseInt(value);
+      if (!parsed.has_value() || *parsed < 0) {
+        out.status = FrameStatus::kBad;
+        out.detail = "unparsable content-length";
+        return out;
+      }
+      if (content_length.has_value() && *content_length != *parsed) {
+        out.status = FrameStatus::kBad;
+        out.detail = "conflicting duplicate content-length";
+        return out;
+      }
+      content_length = *parsed;
+    } else if (name == "transfer-encoding") {
+      out.status = FrameStatus::kBad;
+      out.detail = "transfer-encoding not supported";
+      return out;
+    } else if (name == "connection") {
+      if (value.find("close") != std::string_view::npos) {
+        out.keep_alive = false;
+      } else if (value.find("keep-alive") != std::string_view::npos) {
+        out.keep_alive = true;
+      }
+    }
+  }
+
+  std::size_t body = content_length.has_value()
+                         ? static_cast<std::size_t>(*content_length)
+                         : 0;
+  std::size_t total = head_end + sep + body;
+  if (total > max_bytes) {
+    out.status = FrameStatus::kTooLarge;
+    return out;
+  }
+  if (buf.size() < total) {
+    out.status = FrameStatus::kNeedMore;
+    return out;
+  }
+  out.status = FrameStatus::kComplete;
+  out.total_bytes = total;
+  return out;
 }
 
 }  // namespace
+
+// --- per-connection state machine -------------------------------------------
+
+struct TcpServer::Connection {
+  std::uint64_t id = 0;
+  int fd = -1;
+  util::Ipv4Address ip;
+  std::uint16_t peer_port = 0;
+
+  std::string in;        ///< bytes read, not yet framed into a request
+  std::string out;       ///< response bytes awaiting the socket
+  std::size_t out_off = 0;
+
+  bool busy = false;              ///< request handed to a worker
+  bool close_after_write = false;
+  bool read_eof = false;          ///< peer half-closed its sending side
+  bool shed = false;              ///< over-cap connection being 503'd
+  std::uint64_t served = 0;       ///< requests dispatched on this connection
+  std::int64_t last_active_ms = 0;
+};
 
 TcpServer::TcpServer(WebServer* server, Options options)
     : server_(server), options_(options) {}
@@ -96,11 +181,21 @@ util::VoidResult TcpServer::Start() {
   if (running_.load()) {
     return Error(ErrorCode::kAlreadyExists, "server already running");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Error(ErrorCode::kUnavailable,
-                 std::string("socket: ") + std::strerror(errno));
-  }
+  auto fail = [this](const std::string& what) -> util::VoidResult {
+    std::string message = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return Error(ErrorCode::kUnavailable, message);
+  };
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return fail("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return fail("eventfd");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
   int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -110,24 +205,33 @@ util::VoidResult TcpServer::Start() {
   addr.sin_port = htons(options_.port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Error(ErrorCode::kUnavailable,
-                 std::string("bind: ") + std::strerror(errno));
+    return fail("bind");
   }
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  if (::listen(listen_fd_, options_.backlog) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Error(ErrorCode::kUnavailable,
-                 std::string("listen: ") + std::strerror(errno));
+  if (::listen(listen_fd_, options_.backlog) < 0) return fail("listen");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return fail("epoll_ctl(listen)");
+  }
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return fail("epoll_ctl(wake)");
   }
 
+  next_conn_id_ = kFirstConnId;  // 0/1 tag the listen and wake descriptors
+  stopping_.store(false);
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    workers_run_ = true;
+  }
+  loop_thread_ = std::thread([this] { EventLoop(); });
   for (std::size_t i = 0; i < options_.worker_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -136,125 +240,603 @@ util::VoidResult TcpServer::Start() {
 
 void TcpServer::Stop() {
   if (!running_.exchange(false)) return;
-  // Shut the listening socket down; the accept loop unblocks with an error.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  cv_.notify_all();
+  stopping_.store(true);
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    // Flip the predicate and notify while holding the mutex: a worker that
+    // has evaluated the predicate but not yet blocked would otherwise miss
+    // the notification and Stop() would hang in join() (lost wakeup).
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    workers_run_ = false;
+    jobs_cv_.notify_all();
+  }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  // Close anything still queued.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (int fd : pending_) ::close(fd);
-  pending_.clear();
-  listen_fd_ = -1;
+  // All threads joined; no locks needed for the queues.
+  jobs_.clear();
+  done_.clear();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  epoll_fd_ = wake_fd_ = -1;
+  listen_fd_ = -1;  // closed by the event loop on its way out
 }
 
-void TcpServer::AcceptLoop() {
-  while (running_.load()) {
-    sockaddr_in peer{};
-    socklen_t len = sizeof(peer);
-    int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
-    if (fd < 0) {
-      if (!running_.load()) return;
-      continue;
-    }
-    accepted_.fetch_add(1);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      pending_.push_back(fd);
-    }
-    cv_.notify_one();
+TcpServer::Stats TcpServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load();
+  s.reused = reused_.load();
+  s.timed_out = timed_out_.load();
+  s.shed = shed_.load();
+  s.rejected = rejected_.load();
+  s.requests = requests_.load();
+  s.active = active_.load();
+  return s;
+}
+
+void TcpServer::WakeLoop() {
+  std::uint64_t one = 1;
+  for (;;) {
+    ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    if (n >= 0 || errno != EINTR) return;
   }
 }
+
+void TcpServer::PublishStats() {
+  if (!stats_dirty_) return;
+  stats_dirty_ = false;
+  if (stats_hook_) stats_hook_(stats());
+}
+
+// --- event loop --------------------------------------------------------------
+
+void TcpServer::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  bool listen_open = true;
+  std::int64_t drain_deadline_ms = -1;
+
+  for (;;) {
+    std::int64_t now = NowMs();
+    if (stopping_.load()) {
+      if (listen_open) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        ::close(listen_fd_);
+        listen_open = false;
+      }
+      if (drain_deadline_ms < 0) {
+        drain_deadline_ms = now + options_.drain_timeout_ms;
+      }
+      bool pending = false;
+      for (const auto& [id, conn] : conns_) {
+        if (conn->busy || conn->out_off < conn->out.size()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || now >= drain_deadline_ms) break;
+    }
+
+    int timeout_ms = NextTimeoutMs(now);
+    if (stopping_.load()) {
+      timeout_ms = timeout_ms < 0 ? 20 : std::min(timeout_ms, 20);
+    }
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone — cannot continue
+    }
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        if (!stopping_.load()) AcceptNew();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;
+      if (events[i].events & EPOLLIN) ReadConn(it->second.get());
+      it = conns_.find(tag);
+      if (it == conns_.end()) continue;
+      if (events[i].events & EPOLLOUT) TryWrite(it->second.get());
+      it = conns_.find(tag);
+      if (it == conns_.end()) continue;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        // Full close / reset from the peer (a half-close arrives as a
+        // plain EOF on read instead) — nothing more to deliver.
+        CloseConn(tag);
+      }
+    }
+    DrainCompletions();
+    SweepTimeouts(NowMs());
+    PublishStats();
+  }
+
+  for (auto& [id, conn] : conns_) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+    ::close(conn->fd);
+  }
+  conns_.clear();
+  active_.store(0);
+  stats_dirty_ = true;
+  if (listen_open) ::close(listen_fd_);
+  PublishStats();
+}
+
+void TcpServer::AcceptNew() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient error: wait for the next event
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->ip = util::Ipv4Address(ntohl(peer.sin_addr.s_addr));
+    conn->peer_port = ntohs(peer.sin_port);
+    conn->last_active_ms = NowMs();
+
+    bool over_cap = conns_.size() >= options_.max_connections;
+    if (over_cap) {
+      // Graceful shedding: queue a 503 and keep the connection around just
+      // long enough for the peer to read it (closing immediately would
+      // race the client's request and turn the 503 into a reset).
+      shed_.fetch_add(1);
+      conn->shed = true;
+      HttpResponse resp = HttpResponse::Make(StatusCode::kServiceUnavailable);
+      resp.headers["Connection"] = "close";
+      resp.headers["Retry-After"] = "1";
+      conn->out = resp.Serialize();
+    } else {
+      accepted_.fetch_add(1);
+    }
+    stats_dirty_ = true;
+
+    epoll_event ev{};
+    ev.data.u64 = conn->id;
+    ev.events = EPOLLIN;
+    if (!conn->out.empty()) ev.events |= EPOLLOUT;
+    Connection* raw = conn.get();
+    conns_.emplace(conn->id, std::move(conn));
+    active_.store(conns_.size());
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      CloseConn(raw->id);
+      continue;
+    }
+    if (raw->shed) TryWrite(raw);
+  }
+}
+
+void TcpServer::ReadConn(Connection* conn) {
+  char buf[16384];
+  bool progress = false;
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      progress = true;
+      if (conn->shed) continue;  // discard; the 503 is already queued
+      conn->in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      conn->read_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(conn->id);
+    return;
+  }
+  if (progress || conn->read_eof) conn->last_active_ms = NowMs();
+  TryDispatch(conn);
+}
+
+void TcpServer::TryDispatch(Connection* conn) {
+  if (conn->shed) {
+    if (conn->read_eof && conn->out_off >= conn->out.size()) {
+      CloseConn(conn->id);
+    } else {
+      UpdateInterest(conn);
+    }
+    return;
+  }
+  if (conn->busy || conn->close_after_write || stopping_.load()) {
+    UpdateInterest(conn);
+    return;
+  }
+
+  FrameResult frame = FrameRequest(conn->in, options_.max_request_bytes);
+  switch (frame.status) {
+    case FrameStatus::kNeedMore:
+      if (!conn->read_eof) {
+        UpdateInterest(conn);
+        return;
+      }
+      if (conn->in.empty()) {
+        // Clean end of a keep-alive conversation.
+        if (conn->out_off >= conn->out.size()) {
+          CloseConn(conn->id);
+        } else {
+          conn->close_after_write = true;
+          UpdateInterest(conn);
+        }
+        return;
+      }
+      // The peer closed mid-request: a truncated head or Content-Length
+      // body.  The fragment must never reach the handler as well-formed.
+      rejected_.fetch_add(1);
+      stats_dirty_ = true;
+      server_->ReportMalformed(
+          RequestDefect::kTruncatedBody,
+          "peer closed after " + std::to_string(conn->in.size()) +
+              " bytes of an incomplete request",
+          conn->ip);
+      conn->in.clear();
+      RespondAndClose(conn, StatusCode::kBadRequest);
+      return;
+    case FrameStatus::kTooLarge:
+      rejected_.fetch_add(1);
+      stats_dirty_ = true;
+      conn->in.clear();
+      RespondAndClose(conn, StatusCode::kPayloadTooLarge);
+      return;
+    case FrameStatus::kBad:
+      rejected_.fetch_add(1);
+      stats_dirty_ = true;
+      server_->ReportMalformed(RequestDefect::kBadHeader, frame.detail,
+                               conn->ip);
+      conn->in.clear();
+      RespondAndClose(conn, StatusCode::kBadRequest);
+      return;
+    case FrameStatus::kComplete:
+      break;
+  }
+
+  Job job;
+  job.conn_id = conn->id;
+  job.raw = conn->in.substr(0, frame.total_bytes);
+  conn->in.erase(0, frame.total_bytes);
+  job.ip = conn->ip;
+  job.port = conn->peer_port;
+  // No further request can arrive after EOF with an empty buffer; tell the
+  // client we will close.
+  bool more_possible = !conn->read_eof || !conn->in.empty();
+  job.keep_alive = options_.keep_alive && frame.keep_alive && more_possible &&
+                   conn->served + 1 < options_.max_keepalive_requests;
+  conn->busy = true;
+  if (conn->served > 0) reused_.fetch_add(1);
+  ++conn->served;
+  requests_.fetch_add(1);
+  stats_dirty_ = true;
+  conn->last_active_ms = NowMs();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back(std::move(job));
+    jobs_cv_.notify_one();
+  }
+  UpdateInterest(conn);
+}
+
+void TcpServer::TryWrite(Connection* conn) {
+  while (conn->out_off < conn->out.size()) {
+    ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_off,
+                       conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<std::size_t>(n);
+      conn->last_active_ms = NowMs();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateInterest(conn);
+      return;
+    }
+    CloseConn(conn->id);
+    return;
+  }
+  conn->out.clear();
+  conn->out_off = 0;
+  if (conn->close_after_write) {
+    CloseConn(conn->id);
+    return;
+  }
+  if (conn->shed) {
+    if (conn->read_eof) CloseConn(conn->id);
+    else UpdateInterest(conn);
+    return;
+  }
+  if (conn->read_eof && conn->in.empty() && !conn->busy) {
+    CloseConn(conn->id);
+    return;
+  }
+  UpdateInterest(conn);
+  // A pipelined request may already be buffered; serve it next.
+  if (!conn->busy && !conn->in.empty()) TryDispatch(conn);
+}
+
+void TcpServer::UpdateInterest(Connection* conn) {
+  epoll_event ev{};
+  ev.data.u64 = conn->id;
+  ev.events = 0;
+  // While a worker holds the connection's request we stop reading — the
+  // kernel buffer back-pressures pipelining clients.
+  if (!conn->read_eof && !conn->busy) ev.events |= EPOLLIN;
+  if (conn->out_off < conn->out.size()) ev.events |= EPOLLOUT;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void TcpServer::RespondAndClose(Connection* conn, StatusCode status) {
+  HttpResponse resp = HttpResponse::Make(status);
+  resp.headers["Connection"] = "close";
+  conn->out.append(resp.Serialize());
+  conn->close_after_write = true;
+  TryWrite(conn);  // may close the connection
+}
+
+void TcpServer::CloseConn(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  active_.store(conns_.size());
+  stats_dirty_ = true;
+}
+
+void TcpServer::DrainCompletions() {
+  std::deque<Done> batch;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    batch.swap(done_);
+  }
+  for (auto& done : batch) {
+    auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;  // connection died while processing
+    Connection* conn = it->second.get();
+    conn->busy = false;
+    conn->out.append(done.wire);
+    if (done.close_after) conn->close_after_write = true;
+    conn->last_active_ms = NowMs();
+    TryWrite(conn);
+  }
+}
+
+void TcpServer::SweepTimeouts(std::int64_t now_ms) {
+  std::vector<std::uint64_t> stale_idle;
+  std::vector<std::uint64_t> stale_partial;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->busy) continue;  // worker latency is not the client's fault
+    std::int64_t age = now_ms - conn->last_active_ms;
+    bool mid_request = !conn->in.empty() || conn->out_off < conn->out.size();
+    if (mid_request || conn->shed) {
+      if (age > options_.read_timeout_ms) stale_partial.push_back(id);
+    } else if (age > options_.idle_timeout_ms) {
+      stale_idle.push_back(id);
+    }
+  }
+  for (std::uint64_t id : stale_partial) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Connection* conn = it->second.get();
+    if (conn->shed || conn->out_off < conn->out.size()) {
+      // Peer is not draining our response (or a shed conn overstayed).
+      CloseConn(id);
+      continue;
+    }
+    // Slow-loris style partial request: answer 408 and drop.
+    rejected_.fetch_add(1);
+    stats_dirty_ = true;
+    conn->in.clear();
+    RespondAndClose(conn, StatusCode::kRequestTimeout);
+  }
+  for (std::uint64_t id : stale_idle) {
+    timed_out_.fetch_add(1);
+    stats_dirty_ = true;
+    CloseConn(id);
+  }
+}
+
+int TcpServer::NextTimeoutMs(std::int64_t now_ms) const {
+  std::int64_t nearest = -1;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->busy) continue;
+    bool mid_request = !conn->in.empty() || conn->out_off < conn->out.size() ||
+                       conn->shed;
+    std::int64_t deadline =
+        conn->last_active_ms +
+        (mid_request ? options_.read_timeout_ms : options_.idle_timeout_ms);
+    if (nearest < 0 || deadline < nearest) nearest = deadline;
+  }
+  if (nearest < 0) return -1;
+  std::int64_t wait = nearest - now_ms + 1;
+  if (wait < 1) wait = 1;
+  if (wait > 60'000) wait = 60'000;
+  return static_cast<int>(wait);
+}
+
+// --- workers -----------------------------------------------------------------
 
 void TcpServer::WorkerLoop() {
   for (;;) {
-    int fd;
+    Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return !running_.load() || !pending_.empty(); });
-      if (pending_.empty()) {
-        if (!running_.load()) return;
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock,
+                    [this] { return !workers_run_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (!workers_run_) return;
         continue;
       }
-      fd = pending_.front();
-      pending_.pop_front();
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
     }
-    ServeConnection(fd);
+    HttpResponse response = server_->HandleText(job.raw, job.ip, job.port);
+    // Protocol-level failures poison the framing; close to resynchronize.
+    bool close_after = !job.keep_alive ||
+                       response.status == StatusCode::kBadRequest ||
+                       response.status == StatusCode::kRequestTimeout ||
+                       response.status == StatusCode::kPayloadTooLarge ||
+                       response.status == StatusCode::kServiceUnavailable;
+    response.headers["Connection"] = close_after ? "close" : "keep-alive";
+    Done done;
+    done.conn_id = job.conn_id;
+    done.wire = response.Serialize();
+    done.close_after = close_after;
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back(std::move(done));
+    }
+    WakeLoop();
   }
 }
 
-void TcpServer::ServeConnection(int fd) {
-  SetReadTimeout(fd, options_.read_timeout_ms);
+// --- blocking clients (tests / benchmarks) -----------------------------------
 
-  sockaddr_in peer{};
-  socklen_t len = sizeof(peer);
-  util::Ipv4Address client_ip;
-  std::uint16_t client_port = 0;
-  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&peer), &len) == 0) {
-    client_ip = util::Ipv4Address(ntohl(peer.sin_addr.s_addr));
-    client_port = ntohs(peer.sin_port);
-  }
+namespace {
 
-  std::string raw;
-  ReadOutcome outcome = ReadRequest(fd, options_.max_request_bytes, &raw);
-  HttpResponse response;
-  switch (outcome) {
-    case ReadOutcome::kOk:
-      response = server_->HandleText(raw, client_ip, client_port);
-      break;
-    case ReadOutcome::kTooLarge:
-      rejected_.fetch_add(1);
-      response = HttpResponse::Make(StatusCode::kPayloadTooLarge);
-      break;
-    case ReadOutcome::kTimeout:
-      rejected_.fetch_add(1);
-      response = HttpResponse::Make(StatusCode::kRequestTimeout);
-      break;
-    case ReadOutcome::kClosed:
-      ::close(fd);
-      return;
-  }
-  response.headers["Connection"] = "close";
-  SendAll(fd, response.Serialize());
-  ::shutdown(fd, SHUT_RDWR);
-  ::close(fd);
-}
-
-util::Result<std::string> TcpFetch(std::uint16_t port, const std::string& raw,
-                                   int timeout_ms) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Error(ErrorCode::kUnavailable,
-                 std::string("socket: ") + std::strerror(errno));
-  }
+int ConnectLoopback(std::uint16_t port, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
   SetReadTimeout(fd, timeout_ms);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
+    if (errno != EINTR) {
+      ::close(fd);
+      return -1;
+    }
+    // Interrupted connect completes asynchronously: wait for writability
+    // and check SO_ERROR.
+    pollfd pfd{fd, POLLOUT, 0};
+    for (;;) {
+      int n = ::poll(&pfd, 1, timeout_ms);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ::close(fd);
+        return -1;
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+        err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
+util::Result<std::string> TcpFetch(std::uint16_t port, const std::string& raw,
+                                   int timeout_ms) {
+  int fd = ConnectLoopback(port, timeout_ms);
+  if (fd < 0) {
     return Error(ErrorCode::kUnavailable,
                  std::string("connect: ") + std::strerror(errno));
   }
-  SendAll(fd, raw);
+  if (!SendAll(fd, raw)) {
+    ::close(fd);
+    return Error(ErrorCode::kUnavailable, "send failed");
+  }
   ::shutdown(fd, SHUT_WR);
   std::string response;
   char buf[4096];
   for (;;) {
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    response.append(buf, static_cast<std::size_t>(n));
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
   }
   ::close(fd);
   if (response.empty()) {
     return Error(ErrorCode::kUnavailable, "empty response");
   }
   return response;
+}
+
+TcpClient::TcpClient(std::uint16_t port, int timeout_ms) {
+  fd_ = ConnectLoopback(port, timeout_ms);
+}
+
+TcpClient::~TcpClient() { Close(); }
+
+void TcpClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+util::Result<std::string> TcpClient::RoundTrip(const std::string& raw) {
+  if (fd_ < 0) {
+    return Error(ErrorCode::kUnavailable, "not connected");
+  }
+  if (!SendAll(fd_, raw)) {
+    Close();
+    return Error(ErrorCode::kUnavailable, "send failed (connection closed?)");
+  }
+  std::string data = std::move(pending_);
+  pending_.clear();
+  char buf[4096];
+  std::size_t total = std::string::npos;
+  for (;;) {
+    if (total == std::string::npos) {
+      std::size_t head_end = data.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        std::string head = util::ToLower(data.substr(0, head_end));
+        std::size_t cl = head.find("content-length:");
+        std::size_t body = 0;
+        if (cl != std::string::npos) {
+          std::size_t eol = head.find('\n', cl);
+          auto value = util::Trim(
+              std::string_view(head).substr(cl + 15, eol - cl - 15));
+          if (auto parsed = util::ParseInt(value); parsed && *parsed >= 0) {
+            body = static_cast<std::size_t>(*parsed);
+          }
+        }
+        total = head_end + 4 + body;
+      }
+    }
+    if (total != std::string::npos && data.size() >= total) break;
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      data.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    if (n == 0) {
+      return Error(ErrorCode::kUnavailable,
+                   data.empty() ? "connection closed"
+                                : "truncated response at connection close");
+    }
+    return Error(ErrorCode::kUnavailable,
+                 std::string("recv: ") + std::strerror(errno));
+  }
+  pending_.assign(data.begin() + static_cast<std::ptrdiff_t>(total),
+                  data.end());
+  data.resize(total);
+  return data;
 }
 
 }  // namespace gaa::http

@@ -1,17 +1,38 @@
 // TCP transport: serve the WebServer pipeline over real sockets.
 //
 // The deterministic in-process entry points (WebServer::HandleText) remain
-// the substrate for tests and benchmarks; this transport adds the real
-// accept-loop + worker-pool front end so the reproduction is a complete,
-// connectable web server.  One request per connection (HTTP/1.0-style
-// close-after-response), which matches the 2003-era Apache the paper
-// measured and keeps connection state trivial.
+// the substrate for tests and benchmarks; this transport adds a real,
+// connectable front end.  Unlike the 2003-era close-per-request Apache the
+// paper measured, the transport is an epoll-based event-driven connection
+// layer:
+//
+//   * one event-loop thread owns all sockets (non-blocking), frames
+//     requests incrementally, and writes responses — no thread ever blocks
+//     on a peer;
+//   * a worker pool runs the CPU-bound GAA phase pipeline
+//     (parse → access control → handler → post-execution); the event loop
+//     hands it complete request texts and receives serialized responses
+//     back through a completion queue + eventfd wakeup;
+//   * HTTP/1.1 keep-alive with pipelined requests handled sequentially
+//     per connection, idle-connection timeouts, and a max-connections cap
+//     with graceful 503 shedding;
+//   * Stop() drains in-flight requests before closing (bounded by
+//     Options::drain_timeout_ms).
+//
+// Request framing (the split of the byte stream into request texts) happens
+// here, before the parser: framing is attack surface (request smuggling,
+// truncated bodies), so ambiguous framing — conflicting Content-Length
+// headers, Transfer-Encoding, bodies cut short by EOF — is rejected at the
+// transport with 400 and reported through the malformed-request hook.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -26,15 +47,45 @@ class TcpServer {
  public:
   struct Options {
     std::uint16_t port = 0;  ///< 0: pick an ephemeral port (tests)
-    int backlog = 64;
+    int backlog = 128;
     std::size_t worker_threads = 4;
-    /// Connections whose head exceeds this are answered 413 and closed —
+    /// Connections whose request exceeds this are answered 413 and closed —
     /// the transport-level guard against the §1 oversized-request DoS.
     std::size_t max_request_bytes = 64 * 1024;
-    /// Per-read timeout; a silent client is answered 408 and dropped
-    /// (slow-loris style connection hoarding).
+    /// A connection with a *partial* request buffered longer than this is
+    /// answered 408 and dropped (slow-loris style connection hoarding).
     int read_timeout_ms = 5000;
+    /// Serve multiple requests per connection (HTTP/1.1 keep-alive).
+    bool keep_alive = true;
+    /// An idle keep-alive connection (no partial request pending) older
+    /// than this is closed silently.
+    int idle_timeout_ms = 15000;
+    /// Hard cap on concurrently open connections; excess accepts are
+    /// answered 503 and closed immediately (graceful shedding).
+    std::size_t max_connections = 1024;
+    /// Close a connection after it has served this many requests.
+    std::size_t max_keepalive_requests = 1000;
+    /// Stop(): how long to wait for in-flight requests to finish and
+    /// responses to flush before force-closing.
+    int drain_timeout_ms = 2000;
   };
+
+  /// Connection-layer counters, exported through the stats hook so
+  /// adaptive policies (SystemState variables consulted via `var:`
+  /// indirection) can see transport-level load.
+  struct Stats {
+    std::uint64_t accepted = 0;   ///< connections accepted
+    std::uint64_t reused = 0;     ///< requests served on an already-used conn
+    std::uint64_t timed_out = 0;  ///< idle/slow connections dropped
+    std::uint64_t shed = 0;       ///< accepts answered 503 (over cap)
+    std::uint64_t rejected = 0;   ///< framing-level 4xx (413/408/400)
+    std::uint64_t requests = 0;   ///< requests dispatched to workers
+    std::uint64_t active = 0;     ///< connections open right now
+  };
+
+  /// Invoked from the event-loop thread whenever counters changed during an
+  /// event-loop iteration.  Must be cheap and thread-safe.
+  using StatsHook = std::function<void(const Stats&)>;
 
   TcpServer(WebServer* server, Options options);
   ~TcpServer();
@@ -42,42 +93,130 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Bind, listen and start the accept loop + workers.
+  /// Bind, listen and start the event loop + workers.
   util::VoidResult Start();
 
-  /// Stop accepting, drain workers, close everything.  Idempotent.
+  /// Stop accepting, drain in-flight work, close everything.  Idempotent.
   void Stop();
+
+  /// Install the stats export hook (call before Start()).
+  void set_stats_hook(StatsHook hook) { stats_hook_ = std::move(hook); }
 
   bool running() const { return running_.load(); }
   /// The bound port (valid after Start(); useful with port 0).
   std::uint16_t port() const { return port_; }
+  const Options& options() const { return options_; }
 
+  Stats stats() const;
   std::uint64_t connections_accepted() const { return accepted_.load(); }
   std::uint64_t connections_rejected() const { return rejected_.load(); }
+  std::uint64_t connections_reused() const { return reused_.load(); }
+  std::uint64_t connections_timed_out() const { return timed_out_.load(); }
+  std::uint64_t connections_shed() const { return shed_.load(); }
+  std::uint64_t active_connections() const { return active_.load(); }
 
  private:
-  void AcceptLoop();
+  struct Connection;
+  struct Job {
+    std::uint64_t conn_id = 0;
+    std::string raw;
+    util::Ipv4Address ip;
+    std::uint16_t port = 0;
+    bool keep_alive = false;
+  };
+  struct Done {
+    std::uint64_t conn_id = 0;
+    std::string wire;
+    bool close_after = false;
+  };
+
+  void EventLoop();
   void WorkerLoop();
-  void ServeConnection(int fd);
+  void WakeLoop();
+
+  void AcceptNew();
+  void ReadConn(Connection* conn);
+  void TryDispatch(Connection* conn);
+  void TryWrite(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void RespondAndClose(Connection* conn, StatusCode status);
+  void CloseConn(std::uint64_t conn_id);
+  void DrainCompletions();
+  void SweepTimeouts(std::int64_t now_ms);
+  int NextTimeoutMs(std::int64_t now_ms) const;
+  void PublishStats();
 
   WebServer* server_;
   Options options_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
+  StatsHook stats_hook_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
-  std::thread accept_thread_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Counters (atomics: read by any thread, written by the event loop and,
+  // for requests/reused, only from the event loop as well).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> reused_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> active_{0};
+  bool stats_dirty_ = false;  // event-loop thread only
+
+  // Connections are owned by the event-loop thread exclusively.
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  // Event loop -> workers.
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool workers_run_ = false;  // guarded by jobs_mu_
+
+  // Workers -> event loop.
+  std::mutex done_mu_;
+  std::deque<Done> done_;
+
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
 };
 
 /// Minimal blocking client for tests: sends raw request text to
-/// 127.0.0.1:port and returns the full response text.
+/// 127.0.0.1:port and returns the full response text (reads to EOF; the
+/// server closes after the response because the client half-closes).
 util::Result<std::string> TcpFetch(std::uint16_t port, const std::string& raw,
                                    int timeout_ms = 5000);
+
+/// Keep-alive client for tests and benchmarks: holds one TCP connection
+/// open and performs framed request/response round trips on it.  Response
+/// framing relies on the Content-Length header our server always emits
+/// (do not use for HEAD requests, whose responses carry a length but no
+/// body).
+class TcpClient {
+ public:
+  explicit TcpClient(std::uint16_t port, int timeout_ms = 5000);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one raw request and read exactly one framed response.
+  util::Result<std::string> RoundTrip(const std::string& raw);
+
+  /// Close the client side of the connection.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string pending_;  // bytes read past the previous response
+};
 
 }  // namespace gaa::http

@@ -1,0 +1,32 @@
+#include "integration/connection_stats.h"
+
+#include <utility>
+
+namespace gaa::web {
+
+http::TcpServer::StatsHook MakeConnectionStatsHook(core::SystemState* state,
+                                                   std::string prefix,
+                                                   double load_capacity) {
+  return [state, prefix = std::move(prefix),
+          load_capacity](const http::TcpServer::Stats& stats) {
+    state->SetVariable(prefix + "accepted", std::to_string(stats.accepted));
+    state->SetVariable(prefix + "reused", std::to_string(stats.reused));
+    state->SetVariable(prefix + "timed_out", std::to_string(stats.timed_out));
+    state->SetVariable(prefix + "shed", std::to_string(stats.shed));
+    state->SetVariable(prefix + "rejected", std::to_string(stats.rejected));
+    state->SetVariable(prefix + "requests", std::to_string(stats.requests));
+    state->SetVariable(prefix + "active", std::to_string(stats.active));
+    if (load_capacity > 0.0) {
+      state->SetSystemLoad(static_cast<double>(stats.active) / load_capacity);
+    }
+  };
+}
+
+void WireConnectionStats(http::TcpServer& tcp, core::SystemState* state,
+                         std::string prefix) {
+  double capacity = static_cast<double>(tcp.options().max_connections);
+  tcp.set_stats_hook(
+      MakeConnectionStatsHook(state, std::move(prefix), capacity));
+}
+
+}  // namespace gaa::web

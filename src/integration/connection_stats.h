@@ -1,0 +1,38 @@
+// Connection-layer telemetry for adaptive policies.
+//
+// The TcpServer exports its counters (accepted, reused, timed out, shed,
+// rejected, active) through a stats hook; this adapter publishes them as
+// SystemState variables and as the system load metric.  Policies then
+// consult transport-level pressure exactly like any other adaptive input —
+// `var:` indirection in pre-conditions (e.g. tightening thresholds while
+// connections are being shed) and the load-sensitive conditions the paper
+// motivates in §2 ("allowable ... thresholds can change in the event of
+// possible security attacks").
+//
+// Published variables (prefix configurable, default "tcp."):
+//   tcp.accepted  tcp.reused  tcp.timed_out  tcp.shed  tcp.rejected
+//   tcp.requests  tcp.active
+// plus SystemState::SetSystemLoad(active / max_connections).
+#pragma once
+
+#include <string>
+
+#include "gaa/system_state.h"
+#include "http/tcp_server.h"
+
+namespace gaa::web {
+
+/// Build a stats hook that publishes counters into `state`.
+/// `load_capacity` scales the active-connection count into the [0,1]-ish
+/// system-load metric; pass the server's max_connections (0 disables the
+/// load export).
+http::TcpServer::StatsHook MakeConnectionStatsHook(
+    core::SystemState* state, std::string prefix = "tcp.",
+    double load_capacity = 0.0);
+
+/// Convenience: install the hook on `tcp`, deriving the load capacity from
+/// its options.  Call before TcpServer::Start().
+void WireConnectionStats(http::TcpServer& tcp, core::SystemState* state,
+                         std::string prefix = "tcp.");
+
+}  // namespace gaa::web

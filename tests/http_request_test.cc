@@ -57,6 +57,27 @@ TEST(ParseRequest, DuplicateHeadersFold) {
   EXPECT_EQ(*result.request->Header("accept"), "a, b");
 }
 
+TEST(ParseRequest, ConflictingDuplicateContentLengthRejected) {
+  // Folding would yield "10, 12" and silently lose the framing conflict —
+  // the classic request-smuggling ambiguity.  Must be diagnosed instead.
+  auto result = ParseRequest(
+      "POST / HTTP/1.1\r\nContent-Length: 10\r\nContent-Length: 12\r\n\r\n"
+      "0123456789");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.defect, RequestDefect::kBadHeader);
+  EXPECT_NE(result.detail.find("content-length"), std::string::npos);
+}
+
+TEST(ParseRequest, IdenticalDuplicateContentLengthCollapses) {
+  auto result = ParseRequest(
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n"
+      "hello");
+  ASSERT_TRUE(result.ok());
+  // One value, not an Apache-style "5, 5" fold.
+  EXPECT_EQ(*result.request->Header("content-length"), "5");
+  EXPECT_EQ(result.request->body, "hello");
+}
+
 TEST(ParseRequest, HeaderNamesLowercased) {
   auto result = ParseRequest("GET / HTTP/1.1\r\nUSER-AGENT: x\r\n\r\n");
   ASSERT_TRUE(result.ok());

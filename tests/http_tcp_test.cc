@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "http/doc_tree.h"
+#include "integration/connection_stats.h"
 #include "integration/gaa_web_server.h"
 #include "util/strings.h"
 
@@ -31,13 +33,136 @@ class TcpServerTest : public ::testing::Test {
 };
 
 TEST_F(TcpServerTest, ServesOverRealSockets) {
-  StartTcp();
+  TcpServer::Options options;
+  options.keep_alive = false;  // classic close-per-request mode
+  StartTcp(options);
   auto response = TcpFetch(tcp_->port(), BuildGetRequest("/index.html"));
   ASSERT_TRUE(response.ok()) << response.error().ToString();
   EXPECT_NE(response.value().find("200 OK"), std::string::npos);
   EXPECT_NE(response.value().find("Welcome"), std::string::npos);
   EXPECT_NE(response.value().find("Connection: close"), std::string::npos);
   EXPECT_EQ(tcp_->connections_accepted(), 1u);
+}
+
+TEST_F(TcpServerTest, KeepAliveServesManyRequestsOnOneConnection) {
+  StartTcp();
+  TcpClient client(tcp_->port());
+  ASSERT_TRUE(client.connected());
+  std::string raw = BuildGetRequest("/index.html");
+  for (int i = 0; i < 5; ++i) {
+    auto response = client.RoundTrip(raw);
+    ASSERT_TRUE(response.ok()) << response.error().ToString();
+    EXPECT_NE(response.value().find("200 OK"), std::string::npos);
+    EXPECT_NE(response.value().find("Connection: keep-alive"),
+              std::string::npos);
+  }
+  EXPECT_EQ(tcp_->connections_accepted(), 1u);
+  EXPECT_EQ(tcp_->connections_reused(), 4u);
+  EXPECT_EQ(server_.requests_served(), 5u);
+}
+
+TEST_F(TcpServerTest, ConnectionCloseHeaderHonored) {
+  StartTcp();
+  TcpClient client(tcp_->port());
+  auto response = client.RoundTrip(
+      BuildGetRequest("/index.html", {{"Connection", "close"}}));
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  EXPECT_NE(response.value().find("Connection: close"), std::string::npos);
+  // The server closed; a second round trip on the same connection fails.
+  auto second = client.RoundTrip(BuildGetRequest("/index.html"));
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(tcp_->connections_reused(), 0u);
+}
+
+TEST_F(TcpServerTest, Http10DefaultsToClose) {
+  StartTcp();
+  TcpClient client(tcp_->port());
+  auto response =
+      client.RoundTrip("GET /index.html HTTP/1.0\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  EXPECT_NE(response.value().find("200 OK"), std::string::npos);
+  EXPECT_NE(response.value().find("Connection: close"), std::string::npos);
+}
+
+TEST_F(TcpServerTest, PipelinedRequestsAnsweredInOrder) {
+  StartTcp();
+  TcpClient client(tcp_->port());
+  std::string two = BuildGetRequest("/index.html") +
+                    BuildGetRequest("/cgi-bin/search?q=x");
+  auto first = client.RoundTrip(two);  // sends both, reads response #1
+  ASSERT_TRUE(first.ok()) << first.error().ToString();
+  EXPECT_NE(first.value().find("Welcome"), std::string::npos);
+  auto second = client.RoundTrip("");  // reads response #2
+  ASSERT_TRUE(second.ok()) << second.error().ToString();
+  EXPECT_NE(second.value().find("200 OK"), std::string::npos);
+  EXPECT_EQ(tcp_->connections_accepted(), 1u);
+  EXPECT_EQ(server_.requests_served(), 2u);
+}
+
+TEST_F(TcpServerTest, IdleConnectionTimedOutAndCounted) {
+  TcpServer::Options options;
+  options.idle_timeout_ms = 100;
+  StartTcp(options);
+  TcpClient client(tcp_->port());
+  auto response = client.RoundTrip(BuildGetRequest("/index.html"));
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_EQ(tcp_->connections_timed_out(), 1u);
+  EXPECT_EQ(tcp_->active_connections(), 0u);
+  auto after = client.RoundTrip(BuildGetRequest("/index.html"));
+  EXPECT_FALSE(after.ok());
+}
+
+TEST_F(TcpServerTest, OverCapConnectionsShedWith503) {
+  TcpServer::Options options;
+  options.max_connections = 2;
+  StartTcp(options);
+  TcpClient first(tcp_->port());
+  TcpClient second(tcp_->port());
+  ASSERT_TRUE(first.RoundTrip(BuildGetRequest("/index.html")).ok());
+  ASSERT_TRUE(second.RoundTrip(BuildGetRequest("/index.html")).ok());
+  // Both keep-alive connections are still open; the third is shed.
+  TcpClient third(tcp_->port());
+  auto response = third.RoundTrip(BuildGetRequest("/index.html"));
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  EXPECT_NE(response.value().find("503"), std::string::npos);
+  EXPECT_NE(response.value().find("Connection: close"), std::string::npos);
+  EXPECT_EQ(tcp_->connections_shed(), 1u);
+  EXPECT_EQ(tcp_->connections_accepted(), 2u);
+  EXPECT_EQ(server_.requests_served(), 2u);  // the shed request never ran
+}
+
+TEST_F(TcpServerTest, TruncatedBodyNeverReachesHandler) {
+  StartTcp();
+  std::atomic<int> truncated_reports{0};
+  server_.set_malformed_hook(
+      [&](RequestDefect defect, const std::string&, util::Ipv4Address) {
+        if (defect == RequestDefect::kTruncatedBody) {
+          truncated_reports.fetch_add(1);
+        }
+      });
+  // Content-Length promises 10 bytes; the peer half-closes after 3.
+  auto response = TcpFetch(
+      tcp_->port(),
+      "POST /cgi-bin/search HTTP/1.1\r\nHost: x\r\nContent-Length: 10\r\n\r\n"
+      "q=a");
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  EXPECT_NE(response.value().find("400"), std::string::npos);
+  EXPECT_EQ(server_.requests_served(), 0u);  // handler never saw the fragment
+  EXPECT_EQ(tcp_->connections_rejected(), 1u);
+  EXPECT_EQ(truncated_reports.load(), 1);
+}
+
+TEST_F(TcpServerTest, ConflictingContentLengthRejectedAtTransport) {
+  StartTcp();
+  auto response = TcpFetch(
+      tcp_->port(),
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n"
+      "hello!");
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  EXPECT_NE(response.value().find("400"), std::string::npos);
+  EXPECT_EQ(server_.requests_served(), 0u);
+  EXPECT_EQ(tcp_->connections_rejected(), 1u);
 }
 
 TEST_F(TcpServerTest, ServesCgiAndNotFound) {
@@ -110,12 +235,70 @@ TEST_F(TcpServerTest, StopIsIdempotentAndRestartable) {
   tcp_->Stop();
   tcp_->Stop();  // idempotent
   EXPECT_FALSE(tcp_->running());
-  // A fresh server can bind again immediately.
+  // The same instance can restart...
+  ASSERT_TRUE(tcp_->Start().ok());
+  auto response = TcpFetch(tcp_->port(), BuildGetRequest("/index.html"));
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  EXPECT_NE(response.value().find("200 OK"), std::string::npos);
+  tcp_->Stop();
+  // ... and a fresh server can bind again immediately.
   TcpServer again(&server_, {});
   ASSERT_TRUE(again.Start().ok());
   EXPECT_NE(again.port(), 0);
   (void)first_port;
   again.Stop();
+}
+
+TEST(TcpServerLifecycle, RepeatedStartStopUnderConcurrentLoadNeverHangs) {
+  // Regression for the lost-wakeup race in Stop(): the old implementation
+  // flipped running_ and notified without holding the worker mutex, so a
+  // worker between its predicate check and the wait could sleep through
+  // the shutdown notification and Stop() hung in join().
+  DocTree tree = DocTree::DemoSite();
+  AllowAllController controller;
+  WebServer server(&tree, &controller, &util::RealClock::Instance());
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    TcpServer::Options options;
+    options.worker_threads = 2;
+    TcpServer tcp(&server, options);
+    ASSERT_TRUE(tcp.Start().ok());
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+      clients.emplace_back([port = tcp.port()] {
+        // Responses may be cut off by the concurrent Stop(); only the
+        // absence of hangs/crashes matters here.
+        (void)TcpFetch(port, BuildGetRequest("/index.html"), 1000);
+      });
+    }
+    tcp.Stop();  // concurrent with the in-flight fetches
+    for (auto& t : clients) t.join();
+    EXPECT_FALSE(tcp.running());
+  }
+}
+
+TEST(TcpConnectionStats, ExportedToSystemStateForPolicies) {
+  // The integration wiring: connection-layer counters become SystemState
+  // variables, consultable by adaptive policy conditions (var: indirection).
+  web::GaaWebServer::Options options;
+  options.use_real_clock = true;
+  options.notification_latency_us = 0;
+  web::GaaWebServer gaa_server(DocTree::DemoSite(), options);
+  ASSERT_TRUE(
+      gaa_server.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+  TcpServer tcp(&gaa_server.server(), {});
+  web::WireConnectionStats(tcp, &gaa_server.state());
+  ASSERT_TRUE(tcp.Start().ok());
+  TcpClient client(tcp.port());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.RoundTrip(BuildGetRequest("/index.html")).ok());
+  }
+  client.Close();
+  tcp.Stop();  // final publish happens as the event loop drains
+  auto& state = gaa_server.state();
+  EXPECT_EQ(state.GetVariable("tcp.accepted").value_or("?"), "1");
+  EXPECT_EQ(state.GetVariable("tcp.requests").value_or("?"), "3");
+  EXPECT_EQ(state.GetVariable("tcp.reused").value_or("?"), "2");
+  EXPECT_EQ(state.GetVariable("tcp.active").value_or("?"), "0");
 }
 
 TEST(TcpGaaIntegration, FullStackOverSockets) {
