@@ -5,10 +5,12 @@
 #include <cstdio>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "http/doc_tree.h"
 #include "integration/gaa_web_server.h"
+#include "telemetry/metrics.h"
 #include "util/clock.h"
 
 namespace gaa::bench {
@@ -79,5 +81,79 @@ inline Stats Summarize(std::vector<double> samples_ms) {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
+
+/// Value of the shared `--json <path>` flag (empty = no JSON output).
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Machine-readable bench results for CI artifacts: flat sections of
+/// numeric metrics, written as one JSON object per section.  Insertion
+/// order is preserved so the artifact diffs cleanly run-to-run.
+class JsonReport {
+ public:
+  void Set(const std::string& section, const std::string& key, double value) {
+    SectionRef(section).emplace_back(key, value);
+  }
+
+  void SetStats(const std::string& section, const Stats& stats) {
+    Set(section, "mean_ms", stats.mean_ms);
+    Set(section, "p50_ms", stats.p50_ms);
+    Set(section, "p95_ms", stats.p95_ms);
+    Set(section, "min_ms", stats.min_ms);
+    Set(section, "max_ms", stats.max_ms);
+  }
+
+  /// Latency percentiles straight from a telemetry histogram — the same
+  /// numbers /__status exposes, so CI artifacts and scrapes agree.
+  void SetHistogram(const std::string& section,
+                    const telemetry::Histogram::Snapshot& snap) {
+    Set(section, "count", static_cast<double>(snap.count));
+    Set(section, "mean_us", snap.Mean());
+    Set(section, "p50_us", snap.Quantile(0.50));
+    Set(section, "p90_us", snap.Quantile(0.90));
+    Set(section, "p99_us", snap.Quantile(0.99));
+  }
+
+  /// Write to `path`; a no-op when the path is empty (flag not given).
+  bool WriteFile(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      std::fprintf(f, "  \"%s\": {", sections_[s].first.c_str());
+      const auto& entries = sections_[s].second;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                     entries[i].first.c_str(), entries[i].second);
+      }
+      std::fprintf(f, "}%s\n", s + 1 < sections_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  using Section = std::vector<std::pair<std::string, double>>;
+
+  Section& SectionRef(const std::string& name) {
+    for (auto& [existing, entries] : sections_) {
+      if (existing == name) return entries;
+    }
+    sections_.emplace_back(name, Section{});
+    return sections_.back().second;
+  }
+
+  std::vector<std::pair<std::string, Section>> sections_;
+};
 
 }  // namespace gaa::bench

@@ -153,8 +153,11 @@ double RunTransportMode(web::GaaWebServer& server, bool keep_alive,
 }  // namespace
 }  // namespace gaa::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gaa::bench;
+
+  JsonReport report;
+  const std::string json_path = JsonPathFromArgs(argc, argv);
 
   PrintHeader("E1: paper section 8 — GAA-API overhead (20 repetitions)");
   std::printf(
@@ -218,6 +221,10 @@ int main() {
     std::printf("%-20s %12.4f %12.4f %11.1f%% %10s\n", row.config,
                 row.gaa.mean_ms, total, 100.0 * row.gaa.mean_ms / total,
                 row.paper);
+    report.SetStats(std::string("e1_") + row.config + "_gaa", row.gaa);
+    report.SetStats(std::string("e1_") + row.config + "_total", row.total);
+    report.Set(std::string("e1_") + row.config + "_gaa", "gaa_share_pct",
+               100.0 * row.gaa.mean_ms / total);
   }
 
   std::printf(
@@ -238,5 +245,16 @@ int main() {
   double ka_rps = RunTransportMode(*transport_server, /*keep_alive=*/true,
                                    kClientThreads, kRequestsPerThread);
   std::printf("keep-alive speedup: %.2fx\n", ka_rps / close_rps);
-  return 0;
+
+  report.Set("e1t_transport", "close_per_request_rps", close_rps);
+  report.Set("e1t_transport", "keep_alive_rps", ka_rps);
+  report.Set("e1t_transport", "keep_alive_speedup", ka_rps / close_rps);
+  // The request-latency percentiles as served by telemetry — identical to
+  // what a /__status scrape of this server would report.
+  report.SetHistogram("e1t_request_latency",
+                      transport_server->telemetry()
+                          .registry()
+                          .GetHistogram("http_request_latency_us")
+                          ->TakeSnapshot());
+  return report.WriteFile(json_path) ? 0 : 1;
 }

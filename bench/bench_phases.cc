@@ -28,9 +28,12 @@ struct PhaseRow {
 }  // namespace
 }  // namespace gaa::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gaa::bench;
   using gaa::util::Stopwatch;
+
+  JsonReport report;
+  const std::string json_path = JsonPathFromArgs(argc, argv);
 
   PrintHeader("F1: figure 1 — per-phase latency of the GAA-Apache pipeline");
 
@@ -148,14 +151,16 @@ post_cond_log local on:any/ops
     std::printf("%-26s %-8s %12.5f %12.5f %12.5f\n", row.phase,
                 row.figure_box, row.stats.mean_ms, row.stats.p50_ms,
                 row.stats.p95_ms);
+    report.SetStats(row.phase, row.stats);
     if (std::string(row.phase) != "initialization") {
       per_request_total += row.stats.mean_ms;
     }
   }
   std::printf("%-26s %-8s %12.5f\n", "per-request total", "2a-4",
               per_request_total);
+  report.Set("per_request_total", "mean_ms", per_request_total);
   std::printf("\n(initialization runs once at daemon start; "
               "per-request phases ran over %d mixed requests)\n",
               kIterations);
-  return 0;
+  return report.WriteFile(json_path) ? 0 : 1;
 }

@@ -1,0 +1,185 @@
+// A9 — telemetry overhead: the instrumentation must not perturb what it
+// measures.  The registry's increment path is lock-free (sharded relaxed
+// atomics, copy-on-write lookup table), so the cost of wiring telemetry
+// through the whole pipeline should be noise.
+//
+// Two angles:
+//   * primitives — ns/op for counter increments (single-threaded and
+//     8-way contended on ONE counter) and histogram records;
+//   * end-to-end — req/s through the full GaaWebServer pipeline with
+//     telemetry wired everywhere vs detached entirely
+//     (Options::enable_telemetry = false), reporting the regression.
+//
+// For a compile-time baseline, configure with -DGAA_TELEMETRY_NOOP=ON:
+// every mutation compiles to nothing and this bench reports the residual
+// cost of the call sites themselves.  The banner says which build this is.
+#include <cstdio>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
+
+namespace gaa::bench {
+namespace {
+
+constexpr int kPrimitiveOps = 8'000'000;
+constexpr int kThreads = 8;
+constexpr int kRequests = 80'000;
+
+double CounterSingleThreadNs() {
+  telemetry::MetricRegistry registry;
+  telemetry::Counter* counter = registry.GetCounter("bench_counter");
+  util::Stopwatch watch;
+  for (int i = 0; i < kPrimitiveOps; ++i) counter->Inc();
+  return static_cast<double>(watch.ElapsedUs()) * 1000.0 / kPrimitiveOps;
+}
+
+double CounterContendedNs() {
+  telemetry::MetricRegistry registry;
+  telemetry::Counter* counter = registry.GetCounter("bench_counter");
+  const int per_thread = kPrimitiveOps / kThreads;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  util::Stopwatch watch;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, per_thread] {
+      for (int i = 0; i < per_thread; ++i) counter->Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  double ns = static_cast<double>(watch.ElapsedUs()) * 1000.0 /
+              (static_cast<double>(per_thread) * kThreads);
+#ifndef GAA_TELEMETRY_NOOP
+  if (counter->Value() !=
+      static_cast<std::uint64_t>(per_thread) * kThreads) {
+    std::fprintf(stderr, "counter lost updates under contention!\n");
+    std::exit(1);
+  }
+#endif
+  return ns;
+}
+
+double HistogramRecordNs() {
+  telemetry::MetricRegistry registry;
+  telemetry::Histogram* hist = registry.GetHistogram("bench_latency_us");
+  util::Stopwatch watch;
+  for (int i = 0; i < kPrimitiveOps; ++i) {
+    hist->Record(static_cast<std::uint64_t>(i % 500'000));
+  }
+  return static_cast<double>(watch.ElapsedUs()) * 1000.0 / kPrimitiveOps;
+}
+
+std::unique_ptr<web::GaaWebServer> MakeServer(bool enable_telemetry) {
+  web::GaaWebServer::Options options;
+  options.use_real_clock = true;
+  options.enable_telemetry = enable_telemetry;
+  auto server = std::make_unique<web::GaaWebServer>(http::DocTree::DemoSite(),
+                                                    options);
+  if (!server->SetLocalPolicy("/", "pos_access_right apache *\n").ok()) {
+    std::fprintf(stderr, "policy setup failed\n");
+    std::exit(1);
+  }
+  return server;
+}
+
+/// Time `n` requests; returns elapsed milliseconds.
+double RunRequests(web::GaaWebServer& server, int n) {
+  std::string raw = http::BuildGetRequest("/index.html");
+  auto ip = util::Ipv4Address::Parse("10.1.2.3").value();
+  util::Stopwatch watch;
+  for (int i = 0; i < n; ++i) {
+    (void)server.server().HandleText(raw, ip);
+  }
+  return watch.ElapsedMs();
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main(int argc, char** argv) {
+  using namespace gaa::bench;
+
+  JsonReport report;
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+
+#ifdef GAA_TELEMETRY_NOOP
+  PrintHeader("A9: telemetry overhead (GAA_TELEMETRY_NOOP build)");
+#else
+  PrintHeader("A9: telemetry overhead");
+#endif
+
+  double single_ns = CounterSingleThreadNs();
+  double contended_ns = CounterContendedNs();
+  double record_ns = HistogramRecordNs();
+  std::printf("counter inc, 1 thread:            %8.2f ns/op\n", single_ns);
+  std::printf("counter inc, %d threads (shared):  %8.2f ns/op\n", kThreads,
+              contended_ns);
+  std::printf("histogram record, 1 thread:       %8.2f ns/op\n", record_ns);
+  report.Set("primitives", "counter_inc_ns", single_ns);
+  report.Set("primitives", "counter_inc_contended_ns", contended_ns);
+  report.Set("primitives", "histogram_record_ns", record_ns);
+
+  auto off = MakeServer(/*enable_telemetry=*/false);
+  auto metrics_only = MakeServer(/*enable_telemetry=*/true);
+  metrics_only->telemetry().set_tracing_enabled(false);
+  auto sampled = MakeServer(/*enable_telemetry=*/true);
+  sampled->telemetry().tracer().set_sample_period(16);
+  auto on = MakeServer(/*enable_telemetry=*/true);
+
+  // Interleave the configurations in short rounds so clock-frequency and
+  // cache drift over the run hits every mode equally; back-to-back blocks
+  // systematically flatter whichever config runs first.
+  struct Mode {
+    gaa::web::GaaWebServer* server;
+    double total_ms = 0;
+  };
+  Mode modes[] = {{off.get()}, {metrics_only.get()}, {sampled.get()},
+                  {on.get()}};
+  constexpr int kRounds = 10;
+  const int per_round = kRequests / kRounds;
+  for (Mode& mode : modes) (void)RunRequests(*mode.server, 500);  // warm
+  for (int round = 0; round < kRounds; ++round) {
+    for (Mode& mode : modes) {
+      mode.total_ms += RunRequests(*mode.server, per_round);
+    }
+  }
+  auto rps = [per_round](const Mode& mode) {
+    return kRounds * per_round / (mode.total_ms / 1000.0);
+  };
+  double off_rps = rps(modes[0]);
+  double metrics_rps = rps(modes[1]);
+  double sampled_rps = rps(modes[2]);
+  double on_rps = rps(modes[3]);
+  double metrics_pct = 100.0 * (off_rps - metrics_rps) / off_rps;
+  double sampled_pct = 100.0 * (off_rps - sampled_rps) / off_rps;
+  double overhead_pct = 100.0 * (off_rps - on_rps) / off_rps;
+  std::printf("\nfull pipeline, %d x GET /index.html:\n", kRequests);
+  std::printf("  telemetry detached:       %10.0f req/s\n", off_rps);
+  std::printf("  metrics, tracing off:     %10.0f req/s  (%+.1f%%, "
+              "acceptance: < 5%%)\n",
+              metrics_rps, metrics_pct);
+  std::printf("  metrics + 1/16 sampled\n"
+              "  tracing:                  %10.0f req/s  (%+.1f%%, "
+              "acceptance: < 5%%)\n",
+              sampled_rps, sampled_pct);
+  std::printf("  metrics + every-request\n"
+              "  tracing:                  %10.0f req/s  (%+.1f%%)\n",
+              on_rps, overhead_pct);
+  report.Set("end_to_end", "rps_telemetry_off", off_rps);
+  report.Set("end_to_end", "rps_metrics_only", metrics_rps);
+  report.Set("end_to_end", "rps_sampled_tracing", sampled_rps);
+  report.Set("end_to_end", "rps_telemetry_on", on_rps);
+  report.Set("end_to_end", "metrics_overhead_pct", metrics_pct);
+  report.Set("end_to_end", "sampled_overhead_pct", sampled_pct);
+  report.Set("end_to_end", "overhead_pct", overhead_pct);
+  report.SetHistogram("end_to_end_latency",
+                      on->telemetry()
+                          .registry()
+                          .GetHistogram("http_request_latency_us")
+                          ->TakeSnapshot());
+  return report.WriteFile(json_path) ? 0 : 1;
+}

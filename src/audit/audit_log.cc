@@ -2,13 +2,22 @@
 
 #include <fstream>
 
+#include "telemetry/metrics.h"
+
 namespace gaa::audit {
 
 void AuditLog::Record(const std::string& category, const std::string& message) {
+  Record(category, message, 0);
+}
+
+void AuditLog::Record(const std::string& category, const std::string& message,
+                      std::uint64_t trace_id) {
+  if (records_counter_ != nullptr) records_counter_->Inc();
   AuditRecord record;
   record.time_us = clock_ != nullptr ? clock_->Now() : 0;
   record.category = category;
   record.message = message;
+  record.trace_id = trace_id;
 
   std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(record);
@@ -18,11 +27,19 @@ void AuditLog::Record(const std::string& category, const std::string& message) {
     std::ofstream out(mirror_path_, std::ios::app);
     if (out) {
       out << util::FormatTimestamp(record.time_us) << " [" << category << "] "
-          << message << "\n";
+          << message;
+      if (trace_id != 0) out << " trace=" << trace_id;
+      out << "\n";
     } else {
       ++file_errors_;
     }
   }
+}
+
+void AuditLog::AttachMetrics(telemetry::MetricRegistry* registry) {
+  records_counter_ =
+      registry != nullptr ? registry->GetCounter("audit_records_total")
+                          : nullptr;
 }
 
 void AuditLog::SetFileMirror(const std::string& path) {

@@ -16,12 +16,18 @@
 #include "gaa/services.h"
 #include "util/clock.h"
 
+namespace gaa::telemetry {
+class Counter;
+class MetricRegistry;
+}  // namespace gaa::telemetry
+
 namespace gaa::audit {
 
 struct AuditRecord {
   util::TimePoint time_us = 0;
   std::string category;
   std::string message;
+  std::uint64_t trace_id = 0;  ///< joins the record to its request trace
 };
 
 class AuditLog final : public core::AuditSink {
@@ -30,6 +36,11 @@ class AuditLog final : public core::AuditSink {
       : clock_(clock), max_records_(max_records) {}
 
   void Record(const std::string& category, const std::string& message) override;
+  void Record(const std::string& category, const std::string& message,
+              std::uint64_t trace_id) override;
+
+  /// Count every write as `audit_records_total`.  Null detaches.
+  void AttachMetrics(telemetry::MetricRegistry* registry);
 
   /// Mirror every record to a file ("" disables).  Failures to open are
   /// remembered and surfaced through file_errors().
@@ -45,6 +56,7 @@ class AuditLog final : public core::AuditSink {
  private:
   util::Clock* clock_;
   std::size_t max_records_;
+  telemetry::Counter* records_counter_ = nullptr;
   mutable std::mutex mu_;
   std::deque<AuditRecord> records_;
   std::string mirror_path_;

@@ -9,6 +9,7 @@
 // operation succeeded.
 #include "conditions/builtin.h"
 #include "conditions/trigger.h"
+#include "telemetry/trace.h"
 #include "util/strings.h"
 
 namespace gaa::cond {
@@ -95,8 +96,10 @@ core::CondRoutine MakeUpdateLogRoutine(const FactoryParams& params) {
         services.ids->SuspectedSpoofing(ctx.client_ip.ToString())) {
       if (services.audit != nullptr) {
         services.audit->Record(
-            "blacklist", "SKIPPED " + ctx.client_ip.ToString() +
-                             ": network IDS suspects address spoofing");
+            "blacklist",
+            "SKIPPED " + ctx.client_ip.ToString() +
+                ": network IDS suspects address spoofing",
+            telemetry::TraceId(ctx.trace));
       }
       return EvalOutcome::Yes("spoofing suspected; no blacklist update");
     }
@@ -115,7 +118,8 @@ core::CondRoutine MakeUpdateLogRoutine(const FactoryParams& params) {
     services.state->AddGroupMember(group, member);
     if (services.audit != nullptr) {
       services.audit->Record("blacklist",
-                             "added " + member + " to group " + group);
+                             "added " + member + " to group " + group,
+                             telemetry::TraceId(ctx.trace));
     }
     return EvalOutcome::Yes("added " + member + " to " + group);
   };
@@ -135,10 +139,12 @@ core::CondRoutine MakeAuditRoutine(const FactoryParams& /*params*/) {
     std::string category = parsed.rest.empty() ? "access" : parsed.rest;
     bool granted = ctx.request_granted.value_or(ctx.stats.succeeded);
     services.audit->Record(
-        category, std::string(granted ? "GRANT" : "DENY") + " ip=" +
-                      ctx.client_ip.ToString() + " user=" +
-                      (ctx.user.empty() ? "-" : ctx.user) + " op=" +
-                      ctx.operation + " object=" + ctx.object);
+        category,
+        std::string(granted ? "GRANT" : "DENY") + " ip=" +
+            ctx.client_ip.ToString() + " user=" +
+            (ctx.user.empty() ? "-" : ctx.user) + " op=" + ctx.operation +
+            " object=" + ctx.object,
+        telemetry::TraceId(ctx.trace));
     return EvalOutcome::Yes("audited " + category);
   };
 }

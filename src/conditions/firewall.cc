@@ -17,6 +17,7 @@
 //                         unset variable compares as "unset").
 #include "conditions/builtin.h"
 #include "conditions/trigger.h"
+#include "telemetry/trace.h"
 #include "util/ip.h"
 #include "util/strings.h"
 
@@ -81,9 +82,10 @@ core::CondRoutine MakeBlockNetworkRoutine(const FactoryParams& /*params*/) {
     util::CidrBlock block(ctx.client_ip, prefix_len);
     services.state->AddGroupMember(group, block.ToString());
     if (services.audit != nullptr) {
-      services.audit->Record("firewall", "blocked network " +
-                                             block.ToString() + " in group " +
-                                             group);
+      services.audit->Record(
+          "firewall", "blocked network " + block.ToString() + " in group " +
+                          group,
+          telemetry::TraceId(ctx.trace));
     }
     return EvalOutcome::Yes("blocked " + block.ToString());
   };
@@ -108,7 +110,8 @@ core::CondRoutine MakeSetVarRoutine(const FactoryParams& /*params*/) {
     std::string value = ExpandPlaceholders(parsed.rest.substr(slash + 1), ctx);
     services.state->SetVariable(name, value);
     if (services.audit != nullptr) {
-      services.audit->Record("policy_var", name + " = " + value);
+      services.audit->Record("policy_var", name + " = " + value,
+                             telemetry::TraceId(ctx.trace));
     }
     return EvalOutcome::Yes("set " + name + " = " + value);
   };

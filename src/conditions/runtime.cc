@@ -7,6 +7,7 @@
 // check).
 #include "conditions/builtin.h"
 #include "conditions/trigger.h"
+#include "telemetry/trace.h"
 #include "util/glob.h"
 #include "util/strings.h"
 
@@ -98,7 +99,8 @@ core::CondRoutine MakePostLogRoutine(const FactoryParams& /*params*/) {
         std::string(ctx.stats.succeeded ? "OP_OK" : "OP_FAIL") + " ip=" +
             ctx.client_ip.ToString() + " op=" + ctx.operation + " object=" +
             ctx.object + " bytes=" + std::to_string(ctx.stats.bytes_written) +
-            " wall_ms=" + std::to_string(ctx.stats.wall_us / 1000));
+            " wall_ms=" + std::to_string(ctx.stats.wall_us / 1000),
+        telemetry::TraceId(ctx.trace));
     return EvalOutcome::Yes("post-logged " + category);
   };
 }
@@ -132,7 +134,8 @@ core::CondRoutine MakeIntegrityCheckRoutine(const FactoryParams& /*params*/) {
       services.ids->Report(report);
     }
     if (services.audit != nullptr) {
-      services.audit->Record("integrity", "watched file(s) modified: " + joined);
+      services.audit->Record("integrity", "watched file(s) modified: " + joined,
+                             telemetry::TraceId(ctx.trace));
     }
     if (services.notifier != nullptr) {
       services.notifier->Notify("sysadmin", "[gaa] integrity alert",

@@ -1,9 +1,26 @@
 #include "gaa/api.h"
 
 #include "eacl/printer.h"
+#include "telemetry/trace.h"
 #include "util/log.h"
 
 namespace gaa::core {
+
+namespace {
+const char* BlockSpanName(eacl::CondPhase phase) {
+  switch (phase) {
+    case eacl::CondPhase::kPre:
+      return "gaa.cond.pre";
+    case eacl::CondPhase::kRequestResult:
+      return "gaa.cond.request_result";
+    case eacl::CondPhase::kMid:
+      return "gaa.cond.mid";
+    case eacl::CondPhase::kPost:
+      return "gaa.cond.post";
+  }
+  return "gaa.cond";
+}
+}  // namespace
 
 using util::Tristate;
 
@@ -75,6 +92,8 @@ GaaApi::BlockResult GaaApi::EvalBlock(
     RequestContext& ctx, std::vector<CondTrace>* trace) {
   BlockResult result;
   result.status = Tristate::kYes;
+  telemetry::ScopedSpan span(block.empty() ? nullptr : ctx.trace,
+                             BlockSpanName(phase));
   for (const auto& cond : block) {
     EvalOutcome outcome = EvalCondition(cond, phase, ctx, trace);
     if (outcome.status == Tristate::kNo) {
@@ -155,6 +174,7 @@ AuthzResult GaaApi::CheckAuthorization(const eacl::ComposedPolicy& policy,
                                        const RequestedRight& right,
                                        RequestContext& ctx) {
   AuthzResult out;
+  telemetry::ScopedSpan span(ctx.trace, "gaa.check_authorization");
 
   auto eval_side = [&](const std::vector<eacl::Eacl>& policies, bool* any) {
     // Several separately-specified policies on one side conjoin (§2.1).
@@ -195,7 +215,9 @@ AuthzResult GaaApi::CheckAuthorization(const eacl::ComposedPolicy& policy,
 AuthzResult GaaApi::Authorize(const std::string& object_path,
                               const RequestedRight& right,
                               RequestContext& ctx) {
+  telemetry::ScopedSpan compose_span(ctx.trace, "gaa.policy_compose");
   eacl::ComposedPolicy composed = GetObjectPolicyInfo(object_path);
+  compose_span.End();
   return CheckAuthorization(composed, right, ctx);
 }
 
@@ -203,6 +225,8 @@ PhaseResult GaaApi::ExecutionControl(const AuthzResult& authz,
                                      RequestContext& ctx) {
   PhaseResult result;
   // Paper §6 phase 3: no mid-conditions ⇒ YES.
+  telemetry::ScopedSpan span(authz.mid_conditions.empty() ? nullptr : ctx.trace,
+                             BlockSpanName(eacl::CondPhase::kMid));
   for (const auto& cond : authz.mid_conditions) {
     EvalOutcome outcome =
         EvalCondition(cond, eacl::CondPhase::kMid, ctx, &result.trace);
@@ -220,6 +244,9 @@ PhaseResult GaaApi::PostExecutionActions(const AuthzResult& authz,
   ctx.stats.succeeded = operation_succeeded;
   // Paper §6 phase 4: no post-conditions ⇒ YES; otherwise evaluate all (they
   // are actions — each checks its own success/failure trigger).
+  telemetry::ScopedSpan span(
+      authz.post_conditions.empty() ? nullptr : ctx.trace,
+      BlockSpanName(eacl::CondPhase::kPost));
   for (const auto& cond : authz.post_conditions) {
     EvalOutcome outcome =
         EvalCondition(cond, eacl::CondPhase::kPost, ctx, &result.trace);

@@ -17,6 +17,10 @@
 #include "util/clock.h"
 #include "util/ip.h"
 
+namespace gaa::telemetry {
+class RequestTrace;
+}  // namespace gaa::telemetry
+
 namespace gaa::core {
 
 /// A typed, authority-tagged parameter attached to a requested right.
@@ -66,6 +70,11 @@ struct RequestContext {
   /// conditions run, so `on:success` / `on:failure` triggers can tell
   /// whether the authorization request was granted.
   std::optional<bool> request_granted;
+
+  /// Telemetry trace of the enclosing HTTP request (null when tracing is
+  /// off).  Condition phases record spans through it; audit records use its
+  /// id for correlation.
+  telemetry::RequestTrace* trace = nullptr;
 
   /// First parameter matching type (+ authority unless "*").
   const Param* FindParam(std::string_view type,

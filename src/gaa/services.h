@@ -12,6 +12,10 @@
 #include "gaa/system_state.h"
 #include "util/clock.h"
 
+namespace gaa::telemetry {
+class MetricRegistry;
+}  // namespace gaa::telemetry
+
 namespace gaa::core {
 
 /// Administrator notification (paper: e-mail to sysadmin).  Implementations
@@ -30,6 +34,14 @@ class AuditSink {
  public:
   virtual ~AuditSink() = default;
   virtual void Record(const std::string& category, const std::string& message) = 0;
+  /// Correlated variant: `trace_id` joins the record to the request trace
+  /// that produced it (0 = no trace).  Default forwards to the 2-arg form
+  /// so existing sinks keep working unchanged.
+  virtual void Record(const std::string& category, const std::string& message,
+                      std::uint64_t trace_id) {
+    (void)trace_id;
+    Record(category, message);
+  }
 };
 
 /// The seven kinds of information the GAA-API can report to an IDS
@@ -78,6 +90,7 @@ struct EvalServices {
   NotificationService* notifier = nullptr;
   AuditSink* audit = nullptr;
   IdsChannel* ids = nullptr;
+  telemetry::MetricRegistry* metrics = nullptr;
 };
 
 const char* ReportKindName(ReportKind kind);

@@ -19,6 +19,10 @@
 #include "util/ip.h"
 #include "util/status.h"
 
+namespace gaa::telemetry {
+class RequestTrace;
+}  // namespace gaa::telemetry
+
 namespace gaa::http {
 
 /// Problems the parser can diagnose on hostile input.
@@ -67,6 +71,11 @@ struct RequestRec {
   // Authorization header; empty until Basic credentials are verified)
   std::string auth_user;
   bool authenticated = false;
+
+  /// Telemetry trace for this request, owned by the transport/server layer.
+  /// Null when tracing is disabled; downstream layers record spans through
+  /// it (null-safe via telemetry::ScopedSpan).
+  telemetry::RequestTrace* trace = nullptr;
 
   /// Raw Basic credentials if the request carried them (user, password).
   std::optional<std::pair<std::string, std::string>> BasicCredentials() const;

@@ -1,5 +1,7 @@
 #include "http/server.h"
 
+#include "telemetry/exposition.h"
+
 namespace gaa::http {
 
 AccessController::Verdict HtaccessController::Check(RequestRec& rec) {
@@ -32,17 +34,56 @@ WebServer::WebServer(const DocTree* tree, AccessController* controller,
     : tree_(tree),
       controller_(controller),
       clock_(clock),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      owned_telemetry_(std::make_unique<telemetry::Telemetry>()),
+      telemetry_(nullptr) {
+  set_telemetry(owned_telemetry_.get());
+}
+
+void WebServer::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  // Cached handles point into the previous registry; re-resolve lazily.
+  for (auto& slot : status_counters_) {
+    slot.store(nullptr, std::memory_order_relaxed);
+  }
+  if (telemetry_ != nullptr) {
+    requests_total_ = telemetry_->registry().GetCounter("http_requests_total");
+    latency_hist_ =
+        telemetry_->registry().GetHistogram("http_request_latency_us");
+  } else {
+    requests_total_ = nullptr;
+    latency_hist_ = nullptr;
+  }
+}
 
 HttpResponse WebServer::HandleText(std::string_view raw,
                                    util::Ipv4Address client_ip,
                                    std::uint16_t client_port) {
+  std::unique_ptr<telemetry::RequestTrace> trace;
+  if (telemetry_ != nullptr && telemetry_->tracing_enabled()) {
+    trace = telemetry_->tracer().Begin();
+  }
+  return HandleText(raw, client_ip, client_port, std::move(trace));
+}
+
+HttpResponse WebServer::HandleText(
+    std::string_view raw, util::Ipv4Address client_ip,
+    std::uint16_t client_port,
+    std::unique_ptr<telemetry::RequestTrace> trace) {
+  util::Stopwatch sw;
+  telemetry::RequestTrace* t = trace.get();
+  if (t != nullptr && t->client_ip.empty()) {
+    t->client_ip = client_ip.ToString();
+  }
+
+  telemetry::ScopedSpan parse_span(t, "parse");
   ParseResult parsed = ParseRequest(raw, options_.parse_limits);
+  parse_span.End();
+
   if (!parsed.ok()) {
     if (malformed_hook_) {
       malformed_hook_(parsed.defect, parsed.detail, client_ip);
     }
-    requests_served_.fetch_add(1);
     StatusCode code = StatusCode::kBadRequest;
     if (parsed.defect == RequestDefect::kOversizedTarget) {
       code = StatusCode::kUriTooLong;
@@ -55,29 +96,73 @@ HttpResponse WebServer::HandleText(std::string_view raw,
     pseudo.client_ip = client_ip;
     pseudo.method = "?";
     pseudo.raw_target = std::string(parsed.detail);
+    pseudo.trace = t;
+    if (t != nullptr) {
+      t->method = "?";
+      t->target = parsed.detail;
+    }
     LogAccess(pseudo, code, response.body.size());
+    FinishRequest(sw, static_cast<int>(code), std::move(trace));
     return response;
   }
+
   RequestRec rec = std::move(*parsed.request);
   rec.client_ip = client_ip;
   rec.client_port = client_port;
-  return Handle(std::move(rec));
+  rec.trace = t;
+  if (t != nullptr) {
+    t->method = rec.method;
+    t->target = rec.raw_target;
+  }
+  HttpResponse response = DoHandle(rec);
+  FinishRequest(sw, static_cast<int>(response.status), std::move(trace));
+  return response;
 }
 
 HttpResponse WebServer::Handle(RequestRec rec) {
-  requests_served_.fetch_add(1);
+  util::Stopwatch sw;
+  std::unique_ptr<telemetry::RequestTrace> trace;
+  if (rec.trace == nullptr && telemetry_ != nullptr &&
+      telemetry_->tracing_enabled()) {
+    trace = telemetry_->tracer().Begin();
+    rec.trace = trace.get();
+  }
+  if (rec.trace != nullptr) {
+    if (rec.trace->client_ip.empty()) {
+      rec.trace->client_ip = rec.client_ip.ToString();
+    }
+    if (rec.trace->method.empty()) rec.trace->method = rec.method;
+    if (rec.trace->target.empty()) rec.trace->target = rec.raw_target;
+  }
+  HttpResponse response = DoHandle(rec);
+  FinishRequest(sw, static_cast<int>(response.status), std::move(trace));
+  return response;
+}
 
+HttpResponse WebServer::DoHandle(RequestRec& rec) {
   // --- access-control phase -------------------------------------------------
+  telemetry::ScopedSpan check_span(rec.trace, "access.check");
   AccessController::Verdict verdict = controller_->Check(rec);
+  check_span.End();
   if (verdict.respond) {
     LogAccess(rec, verdict.response.status, verdict.response.body.size());
     return verdict.response;
+  }
+
+  // --- admin/status endpoint ------------------------------------------------
+  // Dispatched after the access check, so /__status is protected by exactly
+  // the same policy machinery as any document.
+  if (!options_.status_path.empty() &&
+      (rec.path == options_.status_path ||
+       rec.path == options_.status_path + "/traces")) {
+    return ServeStatus(rec);
   }
 
   // --- handler + execution-control phase -------------------------------------
   OperationObservation obs;
   HttpResponse response;
   bool success = true;
+  telemetry::ScopedSpan handler_span(rec.trace, "handler");
 
   if (const Document* doc = tree_->FindDocument(rec.path)) {
     response.status = StatusCode::kOk;
@@ -147,10 +232,12 @@ HttpResponse WebServer::Handle(RequestRec rec) {
     response = HttpResponse::Make(StatusCode::kNotFound);
     success = false;
   }
+  handler_span.End();
 
   // --- post-execution phase ---------------------------------------------------
   controller_->OnComplete(rec, obs, success);
 
+  telemetry::ScopedSpan respond_span(rec.trace, "respond");
   if (rec.method == "HEAD" && response.status == StatusCode::kOk) {
     response.headers["Content-Length"] = std::to_string(response.body.size());
     response.body.clear();
@@ -160,8 +247,73 @@ HttpResponse WebServer::Handle(RequestRec rec) {
   return response;
 }
 
+HttpResponse WebServer::ServeStatus(RequestRec& rec) {
+  telemetry::ScopedSpan handler_span(rec.trace, "handler");
+  OperationObservation obs;
+  HttpResponse response;
+  bool success = true;
+
+  if (telemetry_ == nullptr) {
+    response = HttpResponse::Make(StatusCode::kNotFound);
+    success = false;
+  } else if (rec.path == options_.status_path) {
+    response.status = StatusCode::kOk;
+    response.body = telemetry::RenderPrometheus(telemetry_->registry());
+    response.headers["Content-Type"] =
+        "text/plain; version=0.0.4; charset=utf-8";
+  } else {
+    response.status = StatusCode::kOk;
+    response.body = telemetry::RenderTracesJson(telemetry_->tracer());
+    response.headers["Content-Type"] = "application/json";
+  }
+  obs.bytes_written = response.body.size();
+  obs.cpu_seconds = 1e-5;
+  obs.wall_us = 10;
+  if (success && !controller_->OnExecution(rec, obs)) {
+    response = HttpResponse::Make(StatusCode::kForbidden,
+                                  "operation aborted by policy\n");
+    success = false;
+  }
+  handler_span.End();
+
+  controller_->OnComplete(rec, obs, success);
+
+  telemetry::ScopedSpan respond_span(rec.trace, "respond");
+  response.headers["Server"] = options_.server_name;
+  LogAccess(rec, response.status, response.body.size());
+  return response;
+}
+
+void WebServer::FinishRequest(const util::Stopwatch& sw, int status,
+                              std::unique_ptr<telemetry::RequestTrace> trace) {
+  requests_served_.fetch_add(1);
+  if (requests_total_ != nullptr) requests_total_->Inc();
+  if (latency_hist_ != nullptr) {
+    latency_hist_->Record(static_cast<std::uint64_t>(sw.ElapsedUs()));
+  }
+  if (trace != nullptr && telemetry_ != nullptr) {
+    trace->status = status;
+    telemetry_->tracer().Finish(std::move(trace));
+  }
+}
+
 void WebServer::LogAccess(const RequestRec& rec, StatusCode status,
                           std::uint64_t bytes) {
+  if (telemetry_ != nullptr) {
+    const int code = static_cast<int>(status);
+    telemetry::Counter* counter =
+        code >= 0 && code < kMaxStatusCode
+            ? status_counters_[code].load(std::memory_order_relaxed)
+            : nullptr;
+    if (counter == nullptr) {
+      counter = telemetry_->registry().GetCounter(
+          "http_responses_total", "code=\"" + std::to_string(code) + "\"");
+      if (code >= 0 && code < kMaxStatusCode) {
+        status_counters_[code].store(counter, std::memory_order_relaxed);
+      }
+    }
+    counter->Inc();
+  }
   AccessLogEntry entry;
   entry.time_us = clock_ != nullptr ? clock_->Now() : 0;
   entry.client_ip = rec.client_ip.ToString();
@@ -169,17 +321,30 @@ void WebServer::LogAccess(const RequestRec& rec, StatusCode status,
   entry.request_line = rec.method + " " + rec.raw_target;
   entry.status = static_cast<int>(status);
   entry.bytes = bytes;
+  entry.trace_id = rec.trace != nullptr ? rec.trace->id() : 0;
   std::lock_guard<std::mutex> lock(log_mu_);
   access_log_.push_back(std::move(entry));
   while (access_log_.size() > options_.access_log_limit) {
     access_log_.pop_front();
   }
-  ++status_counts_[static_cast<int>(status)];
 }
 
 std::map<int, std::uint64_t> WebServer::StatusCounts() const {
-  std::lock_guard<std::mutex> lock(log_mu_);
-  return status_counts_;
+  std::map<int, std::uint64_t> out;
+  if (telemetry_ == nullptr) return out;
+  for (const auto& e : telemetry_->registry().List()) {
+    if (e.kind != telemetry::MetricKind::kCounter ||
+        e.name != "http_responses_total") {
+      continue;
+    }
+    const auto q1 = e.labels.find('"');
+    const auto q2 = e.labels.rfind('"');
+    if (q1 == std::string::npos || q2 <= q1) continue;
+    const std::uint64_t value = e.counter->Value();
+    if (value == 0) continue;  // reset counters are invisible, like before
+    out[std::stoi(e.labels.substr(q1 + 1, q2 - q1 - 1))] = value;
+  }
+  return out;
 }
 
 std::vector<AccessLogEntry> WebServer::AccessLog() const {
@@ -188,9 +353,18 @@ std::vector<AccessLogEntry> WebServer::AccessLog() const {
 }
 
 void WebServer::ClearLogs() {
-  std::lock_guard<std::mutex> lock(log_mu_);
-  access_log_.clear();
-  status_counts_.clear();
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    access_log_.clear();
+  }
+  if (telemetry_ != nullptr) {
+    for (const auto& e : telemetry_->registry().List()) {
+      if (e.kind == telemetry::MetricKind::kCounter &&
+          e.name == "http_responses_total") {
+        e.counter->Reset();
+      }
+    }
+  }
 }
 
 }  // namespace gaa::http

@@ -17,11 +17,13 @@
 // runs several threads over one server).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "http/htpasswd.h"
 #include "http/request.h"
 #include "http/response.h"
+#include "telemetry/telemetry.h"
 #include "util/clock.h"
 
 namespace gaa::http {
@@ -110,6 +113,7 @@ struct AccessLogEntry {
   std::string request_line;
   int status = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t trace_id = 0;  ///< joins this entry to its request trace
 };
 
 class WebServer {
@@ -118,6 +122,11 @@ class WebServer {
     std::string server_name = "apache-sim/1.0";
     ParseLimits parse_limits;
     std::size_t access_log_limit = 65536;
+    /// Admin endpoint path serving Prometheus text metrics (and, under
+    /// "<status_path>/traces", a JSON dump of recent request traces).  It
+    /// is dispatched AFTER the access-control phase, so any policy that can
+    /// protect a document can protect it.  Empty disables the endpoint.
+    std::string status_path = "/__status";
   };
 
   WebServer(const DocTree* tree, AccessController* controller,
@@ -129,6 +138,12 @@ class WebServer {
   /// Full pipeline from raw request text.
   HttpResponse HandleText(std::string_view raw, util::Ipv4Address client_ip,
                           std::uint16_t client_port = 0);
+
+  /// Same, with a trace begun by the transport layer (so the trace covers
+  /// queueing ahead of parsing).  Null trace = tracing disabled.
+  HttpResponse HandleText(std::string_view raw, util::Ipv4Address client_ip,
+                          std::uint16_t client_port,
+                          std::unique_ptr<telemetry::RequestTrace> trace);
 
   /// Pipeline from an already-parsed record.
   HttpResponse Handle(RequestRec rec);
@@ -148,13 +163,34 @@ class WebServer {
     if (malformed_hook_) malformed_hook_(defect, detail, client_ip);
   }
 
+  // --- telemetry ------------------------------------------------------------
+  /// Every server owns a default Telemetry instance; the integration layer
+  /// swaps in a shared one so GAA/IDS/audit metrics land in the same
+  /// registry.  Passing null disables all instrumentation (bench baseline).
+  void set_telemetry(telemetry::Telemetry* telemetry);
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
+
   // --- stats / logs ---------------------------------------------------------
   std::uint64_t requests_served() const { return requests_served_.load(); }
+  /// Status-code counts, read back from the registry's
+  /// `http_responses_total{code="..."}` counters (zero-valued families are
+  /// omitted).  Empty when telemetry is detached.
   std::map<int, std::uint64_t> StatusCounts() const;
   std::vector<AccessLogEntry> AccessLog() const;
   void ClearLogs();
 
  private:
+  /// The pipeline proper: access check → /__status or handler → execution
+  /// control → completion → access log.  Does not count the request; the
+  /// public entry points do (so the latency histogram matches
+  /// requests_served exactly, parse failures included).
+  HttpResponse DoHandle(RequestRec& rec);
+  HttpResponse ServeStatus(RequestRec& rec);
+  /// One-stop accounting for every exit path: requests_served_,
+  /// `http_requests_total`, the `http_request_latency_us` histogram, and
+  /// trace completion.
+  void FinishRequest(const util::Stopwatch& sw, int status,
+                     std::unique_ptr<telemetry::RequestTrace> trace);
   void LogAccess(const RequestRec& rec, StatusCode status, std::uint64_t bytes);
 
   const DocTree* tree_;
@@ -163,10 +199,20 @@ class WebServer {
   Options options_;
   MalformedHook malformed_hook_;
 
+  std::unique_ptr<telemetry::Telemetry> owned_telemetry_;
+  telemetry::Telemetry* telemetry_;  ///< null = instrumentation disabled
+  telemetry::Counter* requests_total_ = nullptr;   ///< cached handle
+  telemetry::Histogram* latency_hist_ = nullptr;   ///< cached handle
+  /// Lazily resolved `http_responses_total{code=...}` handles indexed by
+  /// status code, so LogAccess does not rebuild the label string and
+  /// re-hash the registry key on every request.
+  static constexpr int kMaxStatusCode = 600;
+  std::array<std::atomic<telemetry::Counter*>, kMaxStatusCode>
+      status_counters_{};
+
   std::atomic<std::uint64_t> requests_served_{0};
   mutable std::mutex log_mu_;
   std::deque<AccessLogEntry> access_log_;
-  std::map<int, std::uint64_t> status_counts_;
 };
 
 }  // namespace gaa::http

@@ -512,6 +512,15 @@ void TcpServer::TryDispatch(Connection* conn) {
   conn->in.erase(0, frame.total_bytes);
   job.ip = conn->ip;
   job.port = conn->peer_port;
+  // Begin the trace at framing so it covers time spent queued for a worker.
+  telemetry::Telemetry* telemetry = server_->telemetry();
+  if (telemetry != nullptr && telemetry->tracing_enabled()) {
+    job.trace = telemetry->tracer().Begin();  // null when not sampled
+    if (job.trace) {
+      job.trace->client_ip = conn->ip.ToString();
+      job.queue_span = job.trace->OpenSpan("queue");
+    }
+  }
   // No further request can arrive after EOF with an empty buffer; tell the
   // client we will close.
   bool more_possible = !conn->read_eof || !conn->in.empty();
@@ -684,7 +693,9 @@ void TcpServer::WorkerLoop() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
-    HttpResponse response = server_->HandleText(job.raw, job.ip, job.port);
+    if (job.trace) job.trace->CloseSpan(job.queue_span);
+    HttpResponse response =
+        server_->HandleText(job.raw, job.ip, job.port, std::move(job.trace));
     // Protocol-level failures poison the framing; close to resynchronize.
     bool close_after = !job.keep_alive ||
                        response.status == StatusCode::kBadRequest ||

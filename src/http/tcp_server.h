@@ -123,6 +123,10 @@ class TcpServer {
     util::Ipv4Address ip;
     std::uint16_t port = 0;
     bool keep_alive = false;
+    /// Trace begun at framing time; the "queue" span is open while the job
+    /// waits for a worker.  Ownership crosses threads through jobs_mu_.
+    std::unique_ptr<telemetry::RequestTrace> trace;
+    std::size_t queue_span = 0;
   };
   struct Done {
     std::uint64_t conn_id = 0;

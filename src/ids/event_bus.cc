@@ -1,6 +1,7 @@
 #include "ids/event_bus.h"
 
 #include "gaa/services.h"
+#include "telemetry/metrics.h"
 
 namespace gaa::ids {
 
@@ -45,8 +46,22 @@ void EventBus::Publish(Event event) {
       ++delivered_;
     }
   }
+  if (published_counter_ != nullptr) published_counter_->Inc();
+  if (delivered_counter_ != nullptr && !targets.empty()) {
+    delivered_counter_->Inc(targets.size());
+  }
   // Deliver outside the lock: callbacks may publish or (un)subscribe.
   for (const auto& cb : targets) cb(event);
+}
+
+void EventBus::AttachMetrics(telemetry::MetricRegistry* registry) {
+  if (registry == nullptr) {
+    published_counter_ = nullptr;
+    delivered_counter_ = nullptr;
+    return;
+  }
+  published_counter_ = registry->GetCounter("ids_events_published_total");
+  delivered_counter_ = registry->GetCounter("ids_events_delivered_total");
 }
 
 std::size_t EventBus::subscriber_count() const {

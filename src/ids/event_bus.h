@@ -19,6 +19,11 @@
 #include "util/clock.h"
 #include "util/glob.h"
 
+namespace gaa::telemetry {
+class Counter;
+class MetricRegistry;
+}  // namespace gaa::telemetry
+
 namespace gaa::ids {
 
 struct Event {
@@ -49,6 +54,11 @@ class EventBus {
   /// Deliver synchronously to every matching subscriber.
   void Publish(Event event);
 
+  /// Export publish/delivery counts as `ids_events_published_total` /
+  /// `ids_events_delivered_total`.  Call before concurrent Publish traffic;
+  /// null detaches.
+  void AttachMetrics(telemetry::MetricRegistry* registry);
+
   std::size_t subscriber_count() const;
   std::uint64_t published_count() const;
   std::uint64_t delivered_count() const;
@@ -61,6 +71,8 @@ class EventBus {
   };
 
   util::Clock* clock_;
+  telemetry::Counter* published_counter_ = nullptr;
+  telemetry::Counter* delivered_counter_ = nullptr;
   mutable std::mutex mu_;
   std::map<SubscriptionId, Subscription> subs_;
   SubscriptionId next_id_ = 1;

@@ -1,5 +1,7 @@
 #include "ids/ids.h"
 
+#include "telemetry/metrics.h"
+
 namespace gaa::ids {
 
 IntrusionDetectionSystem::IntrusionDetectionSystem(
@@ -12,7 +14,21 @@ IntrusionDetectionSystem::IntrusionDetectionSystem(
       anomaly_(clock),
       signatures_(SignatureDb::KnownWebAttacks()) {}
 
+void IntrusionDetectionSystem::AttachMetrics(
+    telemetry::MetricRegistry* registry) {
+  metrics_ = registry;
+  bus_.AttachMetrics(registry);
+  threat_.AttachMetrics(registry);
+}
+
 void IntrusionDetectionSystem::Report(const core::IdsReport& report) {
+  if (metrics_ != nullptr) {
+    metrics_
+        ->GetCounter("ids_reports_total",
+                     std::string("kind=\"") +
+                         core::ReportKindName(report.kind) + "\"")
+        ->Inc();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     reports_.push_back(report);

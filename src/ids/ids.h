@@ -38,6 +38,11 @@ class IntrusionDetectionSystem final : public core::IdsChannel {
   void Report(const core::IdsReport& report) override;
   bool SuspectedSpoofing(const std::string& source_ip) override;
 
+  /// Export IDS activity into the registry: `ids_reports_total{kind=...}`
+  /// per report kind, plus bus publish/delivery counters and the threat
+  /// level gauge (forwards to EventBus / ThreatService).  Null detaches.
+  void AttachMetrics(telemetry::MetricRegistry* registry);
+
   // --- components ----------------------------------------------------------
   ThreatService& threat() { return threat_; }
   EventBus& bus() { return bus_; }
@@ -66,6 +71,7 @@ class IntrusionDetectionSystem final : public core::IdsChannel {
  private:
   core::SystemState* state_;
   util::Clock* clock_;
+  telemetry::MetricRegistry* metrics_ = nullptr;
   ThreatService threat_;
   EventBus bus_;
   AnomalyDetector anomaly_;

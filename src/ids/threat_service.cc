@@ -1,5 +1,7 @@
 #include "ids/threat_service.h"
 
+#include "telemetry/metrics.h"
+
 namespace gaa::ids {
 
 using core::ThreatLevel;
@@ -21,9 +23,28 @@ void ThreatService::Tick() {
 
 void ThreatService::ForceLevel(ThreatLevel level) {
   std::lock_guard<std::mutex> lock(mu_);
+  ThreatLevel previous = level_;
   level_ = level;
   last_escalation_us_ = clock_->Now();
   if (state_ != nullptr) state_->SetThreatLevel(level_);
+  PublishLevelLocked(previous);
+}
+
+void ThreatService::AttachMetrics(telemetry::MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    level_gauge_ = nullptr;
+    transitions_ = nullptr;
+    return;
+  }
+  level_gauge_ = registry->GetGauge("ids_threat_level");
+  transitions_ = registry->GetCounter("ids_threat_transitions_total");
+  level_gauge_->Set(static_cast<int>(level_));
+}
+
+void ThreatService::PublishLevelLocked(ThreatLevel previous) {
+  if (level_gauge_ != nullptr) level_gauge_->Set(static_cast<int>(level_));
+  if (transitions_ != nullptr && level_ != previous) transitions_->Inc();
 }
 
 ThreatLevel ThreatService::level() const {
@@ -42,6 +63,7 @@ double ThreatService::WindowScore() const {
 }
 
 void ThreatService::RecomputeLocked() {
+  ThreatLevel previous = level_;
   util::TimePoint now = clock_->Now();
   while (!alerts_.empty() && alerts_.front().first < now - options_.window_us) {
     alerts_.pop_front();
@@ -67,6 +89,7 @@ void ThreatService::RecomputeLocked() {
     last_escalation_us_ = now;
   }
   if (state_ != nullptr) state_->SetThreatLevel(level_);
+  PublishLevelLocked(previous);
 }
 
 }  // namespace gaa::ids

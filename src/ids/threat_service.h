@@ -14,6 +14,12 @@
 #include "gaa/system_state.h"
 #include "util/clock.h"
 
+namespace gaa::telemetry {
+class Counter;
+class Gauge;
+class MetricRegistry;
+}  // namespace gaa::telemetry
+
 namespace gaa::ids {
 
 class ThreatService {
@@ -40,15 +46,22 @@ class ThreatService {
   /// Administrator override (also what a remote IDS would push).
   void ForceLevel(core::ThreatLevel level);
 
+  /// Export the level as gauge `ids_threat_level` (0=low 1=medium 2=high)
+  /// and level changes as counter `ids_threat_transitions_total`.
+  void AttachMetrics(telemetry::MetricRegistry* registry);
+
   core::ThreatLevel level() const;
   double WindowScore() const;
 
  private:
   void RecomputeLocked();
+  void PublishLevelLocked(core::ThreatLevel previous);
 
   core::SystemState* state_;
   util::Clock* clock_;
   Options options_;
+  telemetry::Gauge* level_gauge_ = nullptr;
+  telemetry::Counter* transitions_ = nullptr;
   mutable std::mutex mu_;
   std::deque<std::pair<util::TimePoint, double>> alerts_;
   core::ThreatLevel level_ = core::ThreatLevel::kLow;

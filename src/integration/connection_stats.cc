@@ -4,11 +4,44 @@
 
 namespace gaa::web {
 
-http::TcpServer::StatsHook MakeConnectionStatsHook(core::SystemState* state,
-                                                   std::string prefix,
-                                                   double load_capacity) {
-  return [state, prefix = std::move(prefix),
-          load_capacity](const http::TcpServer::Stats& stats) {
+namespace {
+/// Gauge handles resolved once at hook-creation time; the hook itself runs
+/// on the event-loop thread for every iteration with changed counters, so
+/// it must not do registry lookups.
+struct TcpGauges {
+  telemetry::Gauge* accepted;
+  telemetry::Gauge* reused;
+  telemetry::Gauge* timed_out;
+  telemetry::Gauge* shed;
+  telemetry::Gauge* rejected;
+  telemetry::Gauge* requests;
+  telemetry::Gauge* active;
+};
+
+std::string MetricName(const std::string& prefix, const char* name) {
+  std::string out = prefix + name;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+}  // namespace
+
+http::TcpServer::StatsHook MakeConnectionStatsHook(
+    core::SystemState* state, std::string prefix, double load_capacity,
+    telemetry::MetricRegistry* metrics) {
+  TcpGauges gauges{};
+  if (metrics != nullptr) {
+    gauges.accepted = metrics->GetGauge(MetricName(prefix, "accepted"));
+    gauges.reused = metrics->GetGauge(MetricName(prefix, "reused"));
+    gauges.timed_out = metrics->GetGauge(MetricName(prefix, "timed_out"));
+    gauges.shed = metrics->GetGauge(MetricName(prefix, "shed"));
+    gauges.rejected = metrics->GetGauge(MetricName(prefix, "rejected"));
+    gauges.requests = metrics->GetGauge(MetricName(prefix, "requests"));
+    gauges.active = metrics->GetGauge(MetricName(prefix, "active"));
+  }
+  return [state, prefix = std::move(prefix), load_capacity,
+          gauges](const http::TcpServer::Stats& stats) {
     state->SetVariable(prefix + "accepted", std::to_string(stats.accepted));
     state->SetVariable(prefix + "reused", std::to_string(stats.reused));
     state->SetVariable(prefix + "timed_out", std::to_string(stats.timed_out));
@@ -19,14 +52,24 @@ http::TcpServer::StatsHook MakeConnectionStatsHook(core::SystemState* state,
     if (load_capacity > 0.0) {
       state->SetSystemLoad(static_cast<double>(stats.active) / load_capacity);
     }
+    if (gauges.accepted != nullptr) {
+      gauges.accepted->Set(static_cast<std::int64_t>(stats.accepted));
+      gauges.reused->Set(static_cast<std::int64_t>(stats.reused));
+      gauges.timed_out->Set(static_cast<std::int64_t>(stats.timed_out));
+      gauges.shed->Set(static_cast<std::int64_t>(stats.shed));
+      gauges.rejected->Set(static_cast<std::int64_t>(stats.rejected));
+      gauges.requests->Set(static_cast<std::int64_t>(stats.requests));
+      gauges.active->Set(static_cast<std::int64_t>(stats.active));
+    }
   };
 }
 
 void WireConnectionStats(http::TcpServer& tcp, core::SystemState* state,
-                         std::string prefix) {
+                         std::string prefix,
+                         telemetry::MetricRegistry* metrics) {
   double capacity = static_cast<double>(tcp.options().max_connections);
   tcp.set_stats_hook(
-      MakeConnectionStatsHook(state, std::move(prefix), capacity));
+      MakeConnectionStatsHook(state, std::move(prefix), capacity, metrics));
 }
 
 }  // namespace gaa::web

@@ -13,26 +13,36 @@
 //   tcp.accepted  tcp.reused  tcp.timed_out  tcp.shed  tcp.rejected
 //   tcp.requests  tcp.active
 // plus SystemState::SetSystemLoad(active / max_connections).
+//
+// When a MetricRegistry is supplied, the same counters are mirrored as
+// gauges `tcp_accepted` .. `tcp_active` so /__status exposes transport
+// pressure alongside the request pipeline metrics.
 #pragma once
 
 #include <string>
 
 #include "gaa/system_state.h"
 #include "http/tcp_server.h"
+#include "telemetry/metrics.h"
 
 namespace gaa::web {
 
-/// Build a stats hook that publishes counters into `state`.
+/// Build a stats hook that publishes counters into `state` and, when
+/// `metrics` is non-null, into gauge metrics named after the variables
+/// (prefix dots become underscores in metric names).
 /// `load_capacity` scales the active-connection count into the [0,1]-ish
 /// system-load metric; pass the server's max_connections (0 disables the
 /// load export).
 http::TcpServer::StatsHook MakeConnectionStatsHook(
     core::SystemState* state, std::string prefix = "tcp.",
-    double load_capacity = 0.0);
+    double load_capacity = 0.0,
+    telemetry::MetricRegistry* metrics = nullptr);
 
 /// Convenience: install the hook on `tcp`, deriving the load capacity from
-/// its options.  Call before TcpServer::Start().
+/// its options.  Call before TcpServer::Start().  Metrics go into the
+/// web server's registry when `metrics` is non-null.
 void WireConnectionStats(http::TcpServer& tcp, core::SystemState* state,
-                         std::string prefix = "tcp.");
+                         std::string prefix = "tcp.",
+                         telemetry::MetricRegistry* metrics = nullptr);
 
 }  // namespace gaa::web

@@ -1,6 +1,7 @@
 #include "integration/gaa_controller.h"
 
 #include "integration/translate.h"
+#include "telemetry/metrics.h"
 #include "util/strings.h"
 
 namespace gaa::web {
@@ -26,6 +27,7 @@ core::RequestContext GaaAccessController::BuildContext(
   ctx.client_port = rec.client_port;
   ctx.authenticated = rec.authenticated;
   ctx.user = rec.auth_user;
+  ctx.trace = rec.trace;
 
   // Classified parameters (paper §6 step 2b): "context information ... is
   // extracted from the request_rec structure and is added to [the]
@@ -71,6 +73,37 @@ http::AccessController::Verdict GaaAccessController::Check(
   core::RequestContext ctx = BuildContext(rec);
   core::RequestedRight right{options_.application, rec.method};
   core::AuthzResult authz = api_->Authorize(rec.path, right, ctx);
+
+  if (services.metrics != nullptr) {
+    static constexpr const char* kMethods[kCachedMethods] = {"GET", "HEAD",
+                                                             "POST"};
+    const int outcome_idx = authz.status == util::Tristate::kYes  ? 0
+                            : authz.status == util::Tristate::kNo ? 1
+                                                                  : 2;
+    int method_idx = -1;
+    for (int i = 0; i < kCachedMethods; ++i) {
+      if (right.value == kMethods[i]) {
+        method_idx = i;
+        break;
+      }
+    }
+    telemetry::Counter* counter =
+        method_idx >= 0
+            ? decision_counters_[method_idx * 3 + outcome_idx].load(
+                  std::memory_order_relaxed)
+            : nullptr;
+    if (counter == nullptr) {
+      static constexpr const char* kOutcomes[] = {"yes", "no", "maybe"};
+      counter = services.metrics->GetCounter(
+          "gaa_decisions_total", "right=\"" + right.value + "\",outcome=\"" +
+                                     kOutcomes[outcome_idx] + "\"");
+      if (method_idx >= 0) {
+        decision_counters_[method_idx * 3 + outcome_idx].store(
+            counter, std::memory_order_relaxed);
+      }
+    }
+    counter->Inc();
+  }
 
   // --- §3 reporting ----------------------------------------------------------
   if (authz.status == util::Tristate::kNo) {

@@ -11,6 +11,8 @@
 // legitimate-pattern observations for profile building (item 7).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -21,6 +23,10 @@
 #include "http/htpasswd.h"
 #include "http/server.h"
 #include "util/glob.h"
+
+namespace gaa::telemetry {
+class Counter;
+}  // namespace gaa::telemetry
 
 namespace gaa::web {
 
@@ -88,6 +94,13 @@ class GaaAccessController final : public http::AccessController {
   const http::HtpasswdRegistry* passwords_;
   Options options_;
   std::vector<util::CompiledGlob> sensitive_globs_;
+  /// Lazily resolved `gaa_decisions_total` handles for the common HTTP
+  /// methods × {yes, no, maybe}; uncommon rights fall back to a registry
+  /// lookup.  Valid for the API's lifetime (services.metrics is fixed at
+  /// construction).
+  static constexpr int kCachedMethods = 3;  // GET, HEAD, POST
+  std::array<std::atomic<telemetry::Counter*>, kCachedMethods * 3>
+      decision_counters_{};
 
   mutable std::mutex mu_;
   std::map<const http::RequestRec*, PerRequest> inflight_;

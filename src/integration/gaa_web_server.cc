@@ -38,6 +38,12 @@ GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
                           : notifier_.get();
   services.audit = audit_.get();
   services.ids = ids_.get();
+  if (options_.enable_telemetry) {
+    services.metrics = &telemetry_.registry();
+    telemetry_.tracer().set_clock(clock_);
+    ids_->AttachMetrics(&telemetry_.registry());
+    audit_->AttachMetrics(&telemetry_.registry());
+  }
 
   api_ = std::make_unique<core::GaaApi>(&store_, services);
   api_->set_cache_enabled(options_.enable_policy_cache);
@@ -54,6 +60,9 @@ GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
                                                       options_.controller);
   server_ = std::make_unique<http::WebServer>(&tree_, controller_.get(),
                                               clock_);
+  // One shared registry/tracer across transport, server, GAA, IDS and
+  // audit — or none at all (the telemetry-off baseline benches measure).
+  server_->set_telemetry(options_.enable_telemetry ? &telemetry_ : nullptr);
   // Ill-formed requests feed the IDS (§3 item 1).
   server_->set_malformed_hook([this](http::RequestDefect defect,
                                      const std::string& detail,

@@ -24,6 +24,7 @@
 #include "http/server.h"
 #include "ids/ids.h"
 #include "integration/gaa_controller.h"
+#include "telemetry/telemetry.h"
 #include "util/clock.h"
 
 namespace gaa::web {
@@ -51,6 +52,10 @@ class GaaWebServer {
     ids::ThreatService::Options threat;
     /// Extra GAA configuration appended to the builtin default bindings.
     std::string extra_config;
+    /// Wire the shared telemetry bundle through every component (metrics
+    /// registry + request tracing + /__status).  Off = the bench baseline:
+    /// the web server runs with telemetry detached entirely.
+    bool enable_telemetry = true;
   };
 
   explicit GaaWebServer(http::DocTree tree) : GaaWebServer(std::move(tree), Options{}) {}
@@ -93,8 +98,13 @@ class GaaWebServer {
   http::DocTree& tree() { return tree_; }
   http::HtpasswdRegistry& passwords() { return passwords_; }
   GaaAccessController& controller() { return *controller_; }
+  /// The shared telemetry bundle (all components report here); valid even
+  /// when Options::enable_telemetry is false, just disconnected.
+  telemetry::Telemetry& telemetry() { return telemetry_; }
 
  private:
+  /// Declared before every component so it outlives all metric handles.
+  telemetry::Telemetry telemetry_;
   http::DocTree tree_;
   Options options_;
   std::unique_ptr<util::SimulatedClock> sim_clock_;  // null when real clock

@@ -1,0 +1,146 @@
+#include "telemetry/exposition.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+#include <unordered_set>
+
+namespace gaa::telemetry {
+
+namespace {
+
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricRegistry& registry) {
+  std::ostringstream out;
+  std::unordered_set<std::string> typed;  // one # TYPE line per family
+  for (const MetricRegistry::Entry& e : registry.List()) {
+    const std::string family = SanitizeName(e.name);
+    if (typed.insert(family).second) {
+      out << "# TYPE " << family << ' ' << KindName(e.kind) << '\n';
+    }
+    const std::string braces =
+        e.labels.empty() ? std::string() : "{" + e.labels + "}";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out << family << braces << ' ' << e.counter->Value() << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << family << braces << ' ' << e.gauge->Value() << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram::Snapshot s = e.histogram->TakeSnapshot();
+        const std::string sep = e.labels.empty() ? "" : ",";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          cumulative += s.counts[i];
+          out << family << "_bucket{" << e.labels << sep
+              << "le=\"" << s.bounds[i] << "\"} " << cumulative << '\n';
+        }
+        cumulative += s.counts.back();
+        out << family << "_bucket{" << e.labels << sep << "le=\"+Inf\"} "
+            << cumulative << '\n';
+        out << family << "_sum" << braces << ' ' << s.sum << '\n';
+        out << family << "_count" << braces << ' ' << s.count << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string RenderTracesJson(const Tracer& tracer, std::size_t limit) {
+  const std::vector<RequestTrace> traces = tracer.Recent(limit);
+  std::string out;
+  out.reserve(256 * traces.size() + 2);
+  out.push_back('[');
+  bool first_trace = true;
+  for (const RequestTrace& t : traces) {
+    if (!first_trace) out.push_back(',');
+    first_trace = false;
+    out += "{\"id\":" + std::to_string(t.id());
+    out += ",\"method\":";
+    AppendJsonString(out, t.method);
+    out += ",\"target\":";
+    AppendJsonString(out, t.target);
+    out += ",\"client_ip\":";
+    AppendJsonString(out, t.client_ip);
+    out += ",\"status\":" + std::to_string(t.status);
+    out += ",\"start_unix_us\":" + std::to_string(t.start_unix_us());
+    out += ",\"duration_us\":" + std::to_string(t.DurationUs());
+    out += ",\"spans\":[";
+    bool first_span = true;
+    for (const Span& s : t.spans()) {
+      if (!first_span) out.push_back(',');
+      first_span = false;
+      out += "{\"name\":";
+      AppendJsonString(out, s.name);
+      out += ",\"depth\":" + std::to_string(s.depth);
+      out += ",\"start_us\":" + std::to_string(s.start_us - t.start_us());
+      const std::int64_t end = s.end_us == 0 ? t.end_us() : s.end_us;
+      out += ",\"duration_us\":" + std::to_string(end - s.start_us);
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace gaa::telemetry

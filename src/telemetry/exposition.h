@@ -1,0 +1,27 @@
+// Renders registry contents as Prometheus text exposition format and recent
+// traces as JSON.  Used by the /__status endpoint and by benches that want a
+// scrape without an HTTP round-trip.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace gaa::telemetry {
+
+/// Prometheus text format (version 0.0.4).  Metric names have '.' and other
+/// illegal characters mapped to '_'; histograms expand into cumulative
+/// `_bucket{le=...}` series plus `_sum` and `_count`.
+std::string RenderPrometheus(const MetricRegistry& registry);
+
+/// JSON array of the most recent `limit` completed traces (0 = all
+/// retained), oldest first:
+///   [{"id":1,"method":"GET","target":"/x","client_ip":"1.2.3.4",
+///     "status":200,"start_unix_us":...,"duration_us":...,
+///     "spans":[{"name":"parse","depth":0,"start_us":0,"duration_us":12},...]}]
+/// Span start_us values are relative to the trace start.
+std::string RenderTracesJson(const Tracer& tracer, std::size_t limit = 0);
+
+}  // namespace gaa::telemetry

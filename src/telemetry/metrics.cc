@@ -1,0 +1,186 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace gaa::telemetry {
+
+const std::vector<std::uint64_t>& Histogram::DefaultLatencyBoundsUs() {
+  static const std::vector<std::uint64_t> bounds = {
+      10,     25,     50,     100,     250,     500,       1'000,
+      2'500,  5'000,  10'000, 25'000,  50'000,  100'000,   250'000,
+      500'000, 1'000'000, 2'500'000};
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(bounds.empty() ? DefaultLatencyBoundsUs() : std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Interpolate within [lower, upper); +Inf bucket reports its lower
+      // bound (we cannot extrapolate past the last finite bound).
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      if (i >= bounds.size()) return lower;
+      const double upper = static_cast<double>(bounds[i]);
+      const double frac =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+namespace {
+char KindPrefix(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return 'c';
+    case MetricKind::kGauge:
+      return 'g';
+    case MetricKind::kHistogram:
+      return 'h';
+  }
+  return '?';
+}
+
+std::string MakeKey(MetricKind kind, const std::string& name,
+                    const std::string& labels) {
+  std::string key;
+  key.reserve(name.size() + labels.size() + 3);
+  key.push_back(KindPrefix(kind));
+  key.push_back(':');
+  key += name;
+  key.push_back('\x01');
+  key += labels;
+  return key;
+}
+}  // namespace
+
+MetricRegistry::~MetricRegistry() = default;
+
+MetricRegistry::Slot* MetricRegistry::FindOrCreate(
+    MetricKind kind, const std::string& name, const std::string& labels,
+    std::vector<std::uint64_t> histogram_bounds) {
+  const std::string key = MakeKey(kind, name, labels);
+
+  // Fast path: lock-free lookup in the currently-published table.
+  if (const Table* t = table_.load(std::memory_order_acquire)) {
+    auto it = t->by_key.find(key);
+    if (it != t->by_key.end()) return it->second;
+  }
+
+  std::lock_guard<std::mutex> lock(create_mu_);
+  // Re-check under the lock (another thread may have created it).
+  const Table* current = table_.load(std::memory_order_acquire);
+  if (current) {
+    auto it = current->by_key.find(key);
+    if (it != current->by_key.end()) return it->second;
+  }
+
+  auto slot = std::make_unique<Slot>();
+  slot->name = name;
+  slot->labels = labels;
+  slot->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      slot->counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      slot->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      slot->histogram = std::make_unique<Histogram>(std::move(histogram_bounds));
+      break;
+  }
+  Slot* raw = slot.get();
+  slots_.push_back(std::move(slot));
+
+  // Copy-on-write: build the successor table and publish it.  Old tables are
+  // retained so concurrent lock-free readers never chase a freed pointer.
+  auto next = std::make_unique<Table>();
+  if (current) *next = *current;
+  next->by_key.emplace(key, raw);
+  next->ordered.push_back(raw);
+  table_.store(next.get(), std::memory_order_release);
+  tables_.push_back(std::move(next));
+  return raw;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& labels) {
+  return FindOrCreate(MetricKind::kCounter, name, labels, {})->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& labels) {
+  return FindOrCreate(MetricKind::kGauge, name, labels, {})->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& labels,
+                                        std::vector<std::uint64_t> bounds) {
+  return FindOrCreate(MetricKind::kHistogram, name, labels, std::move(bounds))
+      ->histogram.get();
+}
+
+std::vector<MetricRegistry::Entry> MetricRegistry::List() const {
+  std::vector<Entry> out;
+  const Table* t = table_.load(std::memory_order_acquire);
+  if (!t) return out;
+  out.reserve(t->ordered.size());
+  for (Slot* s : t->ordered) {
+    Entry e;
+    e.name = s->name;
+    e.labels = s->labels;
+    e.kind = s->kind;
+    e.counter = s->counter.get();
+    e.gauge = s->gauge.get();
+    e.histogram = s->histogram.get();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void MetricRegistry::ResetAll() {
+  const Table* t = table_.load(std::memory_order_acquire);
+  if (!t) return;
+  for (Slot* s : t->ordered) {
+    if (s->counter) s->counter->Reset();
+    if (s->histogram) s->histogram->Reset();
+  }
+}
+
+}  // namespace gaa::telemetry

@@ -1,0 +1,219 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms,
+// designed for the request hot path.
+//
+// Design constraints (the layer every perf PR is judged against):
+//
+//   * The increment path never acquires a mutex.  Counters spread their
+//     updates over cache-line-padded shards indexed by a per-thread slot, so
+//     concurrent workers do not bounce one cache line; histograms use relaxed
+//     atomic adds on per-bucket counters.
+//   * Metric *lookup* by name is lock-free after first creation: the registry
+//     publishes an immutable table through an atomic pointer (copy-on-write;
+//     creation — cold — takes a mutex and installs a new table).  Call sites
+//     on truly hot paths should still cache the returned handle: handles are
+//     stable for the registry's lifetime.
+//   * Reads (Value(), snapshots, exposition) are approximate under
+//     concurrency in the usual Prometheus sense: monotone, eventually exact
+//     once writers quiesce.
+//
+// Compiling with -DGAA_TELEMETRY_NOOP turns every mutation into a no-op so
+// the cost of the instrumentation itself can be measured (bench_telemetry
+// compares the two builds; the runtime equivalent is detaching telemetry).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gaa::telemetry {
+
+namespace internal {
+/// Per-thread shard slot, assigned round-robin on first use.
+inline unsigned ThreadShardSlot() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+}  // namespace internal
+
+/// Monotone counter.  Inc() is wait-free: one relaxed fetch_add on a shard
+/// owned (mostly) by the calling thread.
+class Counter {
+ public:
+  static constexpr unsigned kShards = 16;  // power of two
+
+  void Inc(std::uint64_t n = 1) {
+#ifndef GAA_TELEMETRY_NOOP
+    shards_[internal::ThreadShardSlot() & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Zero the counter (tests, WebServer::ClearLogs).  Not atomic with
+  /// respect to concurrent increments.
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-value gauge (signed).
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+#ifndef GAA_TELEMETRY_NOOP
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(std::int64_t d) {
+#ifndef GAA_TELEMETRY_NOOP
+    v_.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
+#endif
+  }
+  std::int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram.  Record() is three relaxed atomic adds (bucket,
+/// count, sum); bucket choice is a branch-free-ish binary search over the
+/// immutable bound list.
+class Histogram {
+ public:
+  /// Default bounds for request latencies in microseconds: 10us .. 2.5s.
+  static const std::vector<std::uint64_t>& DefaultLatencyBoundsUs();
+
+  /// `bounds` are inclusive upper bounds, strictly increasing; an implicit
+  /// +Inf bucket is appended.  Empty means DefaultLatencyBoundsUs().
+  explicit Histogram(std::vector<std::uint64_t> bounds = {});
+
+  void Record(std::uint64_t value) {
+#ifndef GAA_TELEMETRY_NOOP
+    std::size_t lo = 0, hi = bounds_.size();
+    while (lo < hi) {  // first bound >= value; bounds_.size() == +Inf bucket
+      std::size_t mid = (lo + hi) / 2;
+      if (bounds_[mid] < value) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    buckets_[lo].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  struct Snapshot {
+    std::vector<std::uint64_t> bounds;  ///< upper bounds, +Inf implicit last
+    std::vector<std::uint64_t> counts;  ///< bounds.size()+1 buckets
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+    /// containing bucket; the +Inf bucket reports its lower bound.
+    double Quantile(double q) const;
+  };
+
+  Snapshot TakeSnapshot() const;
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Thread-safe metric registry.  Creation is mutex-guarded (cold); lookup
+/// of an existing metric is lock-free (atomic table pointer + hash find);
+/// returned handles are stable until the registry dies.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  ~MetricRegistry();
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// `name` is the Prometheus family name (snake_case); `labels` the
+  /// rendered label pairs without braces, e.g. `right="GET",outcome="yes"`.
+  /// The (kind, name, labels) triple identifies the metric.
+  Counter* GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& labels = "",
+                          std::vector<std::uint64_t> bounds = {});
+
+  struct Entry {
+    std::string name;
+    std::string labels;
+    MetricKind kind = MetricKind::kCounter;
+    Counter* counter = nullptr;      // set when kind == kCounter
+    Gauge* gauge = nullptr;          // set when kind == kGauge
+    Histogram* histogram = nullptr;  // set when kind == kHistogram
+  };
+
+  /// Every metric, in creation order (exposition + tests).  The handles are
+  /// live objects — values read from them are as fresh as the caller reads.
+  std::vector<Entry> List() const;
+
+  /// Zero every counter and histogram (gauges keep their last value).
+  void ResetAll();
+
+ private:
+  struct Slot {
+    std::string name;
+    std::string labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Table {
+    std::unordered_map<std::string, Slot*> by_key;
+    std::vector<Slot*> ordered;
+  };
+
+  Slot* FindOrCreate(MetricKind kind, const std::string& name,
+                     const std::string& labels,
+                     std::vector<std::uint64_t> histogram_bounds);
+
+  std::atomic<const Table*> table_{nullptr};
+  mutable std::mutex create_mu_;                   // creation only
+  std::vector<std::unique_ptr<Slot>> slots_;       // guarded by create_mu_
+  std::vector<std::unique_ptr<Table>> tables_;     // all published tables
+};
+
+}  // namespace gaa::telemetry

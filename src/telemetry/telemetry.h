@@ -1,0 +1,40 @@
+// Bundle of the two telemetry facilities a server instance owns: the metric
+// registry and the request tracer.  Components receive a Telemetry* (or the
+// individual pieces) and treat null as "telemetry disabled".
+#pragma once
+
+#include <atomic>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace gaa::telemetry {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricRegistry& registry() { return registry_; }
+  const MetricRegistry& registry() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Per-request tracing can be switched off independently of metrics (the
+  /// ring buffer copy is the most expensive part of the pipeline's
+  /// instrumentation).
+  bool tracing_enabled() const {
+    return tracing_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_tracing_enabled(bool on) {
+    tracing_enabled_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  MetricRegistry registry_;
+  Tracer tracer_;
+  std::atomic<bool> tracing_enabled_{true};
+};
+
+}  // namespace gaa::telemetry

@@ -1,0 +1,76 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+
+namespace gaa::telemetry {
+
+namespace {
+std::int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RequestTrace::RequestTrace(std::uint64_t id, std::int64_t start_unix_us)
+    : id_(id), start_unix_us_(start_unix_us), start_us_(SteadyNowUs()) {
+  spans_.reserve(8);
+}
+
+std::size_t RequestTrace::OpenSpan(const char* name) {
+  Span s;
+  s.name = name;
+  s.depth = open_depth_++;
+  s.start_us = SteadyNowUs();
+  spans_.push_back(std::move(s));
+  return spans_.size() - 1;
+}
+
+void RequestTrace::CloseSpan(std::size_t index) {
+  if (index >= spans_.size()) return;
+  Span& s = spans_[index];
+  if (s.end_us != 0) return;  // already closed
+  s.end_us = SteadyNowUs();
+  if (open_depth_ > 0) --open_depth_;
+}
+
+void RequestTrace::Finish() { end_us_ = SteadyNowUs(); }
+
+std::unique_ptr<RequestTrace> Tracer::Begin() {
+  const std::uint64_t period = sample_period_.load(std::memory_order_relaxed);
+  if (period == 0) return nullptr;
+  if (period > 1 &&
+      seen_.fetch_add(1, std::memory_order_relaxed) % period != 0) {
+    return nullptr;
+  }
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t unix_us = clock_ ? clock_->Now() : 0;
+  return std::make_unique<RequestTrace>(id, unix_us);
+}
+
+void Tracer::Finish(std::unique_ptr<RequestTrace> trace) {
+  if (!trace) return;
+  trace->Finish();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(*trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<RequestTrace> Tracer::Recent(std::size_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = ring_.size();
+  if (limit != 0 && limit < n) n = limit;
+  std::vector<RequestTrace> out;
+  out.reserve(n);
+  for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+    out.push_back(ring_[i]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace gaa::telemetry

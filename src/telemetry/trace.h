@@ -1,0 +1,156 @@
+// Per-request tracing: a trace id plus a flat list of timed, depth-nested
+// spans, mirroring the paper's request pipeline — parse, policy lookup and
+// composition (phase 2a), pre / request-result condition evaluation (2b–2d),
+// mid-execution control (3), post-execution actions (4), response write.
+//
+// A RequestTrace is owned by exactly one thread at a time (the connection
+// layer hands it to the worker through the job queue, whose mutex provides
+// the happens-before edge), so span recording needs no synchronisation.
+// Completed traces are pushed into the Tracer's mutex-guarded ring buffer
+// where /__status and tests read them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace gaa::telemetry {
+
+/// One timed region inside a request.  Times are steady-clock microseconds
+/// relative to an arbitrary process origin; subtract the trace's start_us to
+/// get request-relative offsets.
+struct Span {
+  /// Span names are string literals (static storage), so a view avoids a
+  /// heap allocation per span on the request hot path.
+  std::string_view name;
+  int depth = 0;               ///< nesting depth at open time (0 = top level)
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;     ///< 0 while still open
+
+  std::int64_t DurationUs() const { return end_us - start_us; }
+};
+
+/// A single request's trace.  Not thread-safe; ownership transfers between
+/// threads must be externally synchronised (the job queue does this).
+class RequestTrace {
+ public:
+  RequestTrace(std::uint64_t id, std::int64_t start_unix_us);
+
+  std::uint64_t id() const { return id_; }
+
+  // Request identity, filled in as the pipeline learns it.
+  std::string method;
+  std::string target;
+  std::string client_ip;
+  int status = 0;
+
+  /// Wall-clock start (Unix µs via the wired Clock; 0 if none).
+  std::int64_t start_unix_us() const { return start_unix_us_; }
+  std::int64_t start_us() const { return start_us_; }
+  std::int64_t end_us() const { return end_us_; }
+  std::int64_t DurationUs() const { return end_us_ - start_us_; }
+
+  /// Open a span at the current nesting depth.  Returns its index for
+  /// CloseSpan.  Prefer ScopedSpan.
+  std::size_t OpenSpan(const char* name);
+  void CloseSpan(std::size_t index);
+
+  /// Stamp the trace's end time (idempotent: keeps the latest call).
+  void Finish();
+
+  const std::vector<Span>& spans() const { return spans_; }
+
+ private:
+  std::uint64_t id_;
+  std::int64_t start_unix_us_;
+  std::int64_t start_us_;
+  std::int64_t end_us_ = 0;
+  int open_depth_ = 0;
+  std::vector<Span> spans_;
+};
+
+/// RAII span.  Null-safe: a null trace makes every operation a no-op, so
+/// instrumented code does not branch on "is tracing enabled".
+class ScopedSpan {
+ public:
+  ScopedSpan(RequestTrace* trace, const char* name) : trace_(trace) {
+    if (trace_) index_ = trace_->OpenSpan(name);
+  }
+  ~ScopedSpan() { End(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Close early (before scope exit).  Idempotent.
+  void End() {
+    if (trace_) {
+      trace_->CloseSpan(index_);
+      trace_ = nullptr;
+    }
+  }
+
+ private:
+  RequestTrace* trace_;
+  std::size_t index_ = 0;
+};
+
+/// Id of a possibly-null trace (0 = untraced) — audit/log correlation.
+inline std::uint64_t TraceId(const RequestTrace* trace) {
+  return trace != nullptr ? trace->id() : 0;
+}
+
+/// Creates traces and retains the last `capacity` completed ones.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  static constexpr std::size_t kDefaultCapacity = 128;
+
+  /// Wall clock used only for start_unix_us stamps (span timing is always
+  /// steady-clock).  Null reverts to "no wall timestamps".
+  void set_clock(const util::Clock* clock) { clock_ = clock; }
+
+  /// Trace one request in every `period` (1 = every request, the default;
+  /// 0 disables).  Span timing costs ~2 clock reads per span, so busy
+  /// servers sample; metrics stay exact regardless.
+  void set_sample_period(std::uint64_t period) {
+    sample_period_.store(period, std::memory_order_relaxed);
+  }
+  std::uint64_t sample_period() const {
+    return sample_period_.load(std::memory_order_relaxed);
+  }
+
+  /// Null when this request is not sampled — all consumers are null-safe.
+  std::unique_ptr<RequestTrace> Begin();
+
+  /// Completes the trace (stamps end time) and retires it into the ring.
+  void Finish(std::unique_ptr<RequestTrace> trace);
+
+  /// Most-recent-last copy of the retained traces.
+  std::vector<RequestTrace> Recent(std::size_t limit = 0) const;
+
+  std::uint64_t started() const {
+    return next_id_.load(std::memory_order_relaxed) - 1;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  const util::Clock* clock_ = nullptr;
+  std::atomic<std::uint64_t> sample_period_{1};
+  std::atomic<std::uint64_t> seen_{0};  ///< requests offered to Begin()
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::deque<RequestTrace> ring_;  ///< guarded by mu_
+};
+
+}  // namespace gaa::telemetry

@@ -28,13 +28,7 @@ Logger& Logger::Instance() {
 }
 
 void Logger::SetMinLevel(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mu_);
-  min_level_ = level;
-}
-
-LogLevel Logger::min_level() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return min_level_;
+  min_level_.store(level, std::memory_order_relaxed);
 }
 
 void Logger::SetSinks(std::vector<LogSink> sinks) {
@@ -48,10 +42,10 @@ void Logger::AddSink(LogSink sink) {
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
+  if (!Enabled(level)) return;
   std::vector<LogSink> sinks;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (level < min_level_) return;
     sinks = sinks_;
   }
   for (const auto& sink : sinks) sink(level, message);

@@ -4,6 +4,7 @@
 // capturing sink; examples and benches use stderr (or silence it).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -25,7 +26,11 @@ class Logger {
   static Logger& Instance();
 
   void SetMinLevel(LogLevel level);
-  LogLevel min_level() const;
+  LogLevel min_level() const { return min_level_.load(std::memory_order_relaxed); }
+
+  /// Lock-free level check; GAA_LOG consults this before any formatting so
+  /// disabled debug logging costs a relaxed load and a predicted branch.
+  bool Enabled(LogLevel level) const { return level >= min_level(); }
 
   /// Replace all sinks (returns previous count).  Passing {} silences logs.
   void SetSinks(std::vector<LogSink> sinks);
@@ -38,8 +43,8 @@ class Logger {
 
  private:
   Logger();
-  mutable std::mutex mu_;
-  LogLevel min_level_;
+  mutable std::mutex mu_;  ///< guards sinks_ only; min_level_ is atomic
+  std::atomic<LogLevel> min_level_;
   std::vector<LogSink> sinks_;
 };
 
@@ -61,4 +66,10 @@ class LogStream {
 
 }  // namespace gaa::util
 
-#define GAA_LOG(level) ::gaa::util::LogStream(::gaa::util::LogLevel::level)
+// The level check happens BEFORE the LogStream exists, so `GAA_LOG(kDebug)
+// << Expensive()` evaluates nothing when debug logging is disabled.
+#define GAA_LOG(level)                                      \
+  if (!::gaa::util::Logger::Instance().Enabled(            \
+          ::gaa::util::LogLevel::level)) {                 \
+  } else                                                   \
+    ::gaa::util::LogStream(::gaa::util::LogLevel::level)

@@ -1,0 +1,527 @@
+// Telemetry subsystem tests: registry primitives under concurrency,
+// trace/span structure through the full GaaWebServer pipeline, the
+// /__status exposition endpoint (including its policy protection), and the
+// trace-id correlation across access log and audit log.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/doc_tree.h"
+#include "http/request.h"
+#include "http/response.h"
+#include "http/tcp_server.h"
+#include "integration/connection_stats.h"
+#include "integration/gaa_web_server.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace gaa {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::MetricKind;
+using telemetry::MetricRegistry;
+using telemetry::RequestTrace;
+using telemetry::ScopedSpan;
+using telemetry::Tracer;
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("test_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, ResetZeroes) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("test_total");
+  counter->Inc(42);
+  counter->Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricRegistry registry;
+  Gauge* gauge = registry.GetGauge("test_gauge");
+  gauge->Set(7);
+  gauge->Add(-10);
+  EXPECT_EQ(gauge->Value(), -3);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreExact) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("test_latency_us");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Histogram::Snapshot snap = hist->TakeSnapshot();
+  const std::uint64_t expected_count =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(snap.count, expected_count);
+  // Sum of 0..kPerThread-1, once per thread.
+  const std::uint64_t expected_sum =
+      static_cast<std::uint64_t>(kThreads) * kPerThread * (kPerThread - 1) / 2;
+  EXPECT_EQ(snap.sum, expected_sum);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, expected_count);
+}
+
+TEST(HistogramTest, QuantileAndMeanSanity) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("test_latency_us");
+  for (int i = 1; i <= 1000; ++i) hist->Record(static_cast<std::uint64_t>(i));
+  const Histogram::Snapshot snap = hist->TakeSnapshot();
+  EXPECT_DOUBLE_EQ(snap.Mean(), 500.5);
+  // All values land in the first few buckets of the default bounds
+  // (10, 25, 50, ... µs); the quantile estimate must stay in range and
+  // be monotone.
+  const double p50 = snap.Quantile(0.50);
+  const double p90 = snap.Quantile(0.90);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p90, p50);
+}
+
+TEST(RegistryTest, SameNameReturnsSameHandle) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "k=\"1\"");
+  Counter* b = registry.GetCounter("x_total", "k=\"1\"");
+  Counter* c = registry.GetCounter("x_total", "k=\"2\"");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // A gauge with the same name is a distinct metric, not a collision.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("x_total")),
+            static_cast<void*>(a));
+}
+
+TEST(RegistryTest, ListAndResetAll) {
+  MetricRegistry registry;
+  registry.GetCounter("a_total")->Inc(5);
+  registry.GetGauge("b_gauge")->Set(9);
+  registry.GetHistogram("c_us")->Record(100);
+  const auto entries = registry.List();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "a_total");
+  EXPECT_EQ(entries[1].name, "b_gauge");
+  EXPECT_EQ(entries[2].name, "c_us");
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("a_total")->Value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("c_us")->Count(), 0u);
+  // Gauges keep their last value: they are states, not accumulations.
+  EXPECT_EQ(registry.GetGauge("b_gauge")->Value(), 9);
+}
+
+TEST(RegistryTest, ConcurrentCreateAndLookup) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 200; ++i) {
+        registry.GetCounter("shared_total")->Inc();
+        registry.GetCounter("t" + std::to_string(t) + "_" +
+                            std::to_string(i % 50) + "_total")
+            ->Inc();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared_total")->Value(),
+            static_cast<std::uint64_t>(kThreads) * 200);
+  EXPECT_EQ(registry.List().size(), 1u + kThreads * 50);
+}
+
+// ---------------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SpanNestingDepths) {
+  Tracer tracer;
+  auto trace = tracer.Begin();
+  {
+    ScopedSpan outer(trace.get(), "outer");
+    {
+      ScopedSpan inner(trace.get(), "inner");
+    }
+    ScopedSpan sibling(trace.get(), "sibling");
+  }
+  tracer.Finish(std::move(trace));
+  const auto traces = tracer.Recent();
+  ASSERT_EQ(traces.size(), 1u);
+  const auto& spans = traces[0].spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].depth, 1);
+  for (const auto& span : spans) {
+    EXPECT_NE(span.end_us, 0) << span.name;
+    EXPECT_GE(span.DurationUs(), 0) << span.name;
+  }
+}
+
+TEST(TraceTest, NullTraceIsSafe) {
+  ScopedSpan span(nullptr, "nothing");
+  span.End();
+  EXPECT_EQ(telemetry::TraceId(nullptr), 0u);
+}
+
+TEST(TracerTest, SamplePeriodThinsTraces) {
+  Tracer tracer;
+  tracer.set_sample_period(4);
+  int sampled = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (auto trace = tracer.Begin()) {
+      ++sampled;
+      tracer.Finish(std::move(trace));
+    }
+  }
+  EXPECT_EQ(sampled, 2);
+  tracer.set_sample_period(0);
+  EXPECT_EQ(tracer.Begin(), nullptr);
+}
+
+TEST(TracerTest, RingEvictsOldest) {
+  Tracer tracer(/*capacity=*/2);
+  for (int i = 0; i < 3; ++i) tracer.Finish(tracer.Begin());
+  const auto traces = tracer.Recent();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].id(), 2u);
+  EXPECT_EQ(traces[1].id(), 3u);
+  EXPECT_EQ(tracer.started(), 3u);
+  EXPECT_EQ(tracer.Recent(/*limit=*/1).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+// ---------------------------------------------------------------------------
+
+TEST(ExpositionTest, PrometheusText) {
+  MetricRegistry registry;
+  registry.GetCounter("req_total", "code=\"200\"")->Inc(3);
+  registry.GetGauge("threat.level")->Set(1);
+  Histogram* hist =
+      registry.GetHistogram("lat_us", "", std::vector<std::uint64_t>{10, 100});
+  hist->Record(5);
+  hist->Record(50);
+  hist->Record(5000);
+  const std::string text = telemetry::RenderPrometheus(registry);
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{code=\"200\"} 3\n"), std::string::npos);
+  // Illegal name characters are sanitized for Prometheus.
+  EXPECT_NE(text.find("# TYPE threat_level gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("threat_level 1\n"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("lat_us_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 5055\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 3\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, TracesJson) {
+  Tracer tracer;
+  auto trace = tracer.Begin();
+  trace->method = "GET";
+  trace->target = "/a\"b";  // exercises string escaping
+  trace->status = 200;
+  {
+    ScopedSpan span(trace.get(), "parse");
+  }
+  tracer.Finish(std::move(trace));
+  const std::string json = telemetry::RenderTracesJson(tracer);
+  EXPECT_NE(json.find("\"method\":\"GET\""), std::string::npos);
+  EXPECT_NE(json.find("\"target\":\"/a\\\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<web::GaaWebServer> MakePermissiveServer() {
+  auto server = std::make_unique<web::GaaWebServer>(http::DocTree::DemoSite());
+  EXPECT_TRUE(
+      server->SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+  return server;
+}
+
+std::vector<std::string> SpanNames(const RequestTrace& trace) {
+  std::vector<std::string> names;
+  for (const auto& span : trace.spans()) names.emplace_back(span.name);
+  return names;
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& want) {
+  return std::find(names.begin(), names.end(), want) != names.end();
+}
+
+TEST(PipelineTest, RequestProducesNestedSpans) {
+  auto server = MakePermissiveServer();
+  auto response = server->Get("/index.html", "10.0.0.1");
+  EXPECT_EQ(response.status, http::StatusCode::kOk);
+
+  const auto traces = server->telemetry().tracer().Recent();
+  ASSERT_EQ(traces.size(), 1u);
+  const RequestTrace& trace = traces[0];
+  EXPECT_EQ(trace.method, "GET");
+  EXPECT_EQ(trace.target, "/index.html");
+  EXPECT_EQ(trace.client_ip, "10.0.0.1");
+  EXPECT_EQ(trace.status, 200);
+
+  const auto names = SpanNames(trace);
+  EXPECT_GE(names.size(), 5u);
+  for (const char* expected :
+       {"parse", "access.check", "gaa.policy_compose",
+        "gaa.check_authorization", "handler", "respond"}) {
+    EXPECT_TRUE(Contains(names, expected)) << "missing span " << expected;
+  }
+
+  // The GAA phases nest inside the access check; the pipeline spans are
+  // top-level and ordered parse -> access.check -> handler -> respond.
+  const auto& spans = trace.spans();
+  auto find = [&](const std::string& name) {
+    return std::find_if(spans.begin(), spans.end(),
+                        [&](const auto& s) { return s.name == name; });
+  };
+  EXPECT_EQ(find("parse")->depth, 0);
+  EXPECT_EQ(find("access.check")->depth, 0);
+  EXPECT_GE(find("gaa.check_authorization")->depth, 1);
+  EXPECT_LE(find("parse")->start_us, find("access.check")->start_us);
+  EXPECT_LE(find("access.check")->start_us, find("handler")->start_us);
+  EXPECT_LE(find("handler")->start_us, find("respond")->start_us);
+  for (const auto& span : spans) {
+    EXPECT_NE(span.end_us, 0) << "span left open: " << span.name;
+  }
+}
+
+TEST(PipelineTest, StatusEndpointServesPrometheus) {
+  auto server = MakePermissiveServer();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(server->Get("/index.html", "10.0.0.1").status,
+              http::StatusCode::kOk);
+  }
+  auto response = server->Get("/__status", "10.0.0.1");
+  ASSERT_EQ(response.status, http::StatusCode::kOk);
+  EXPECT_NE(response.headers.at("Content-Type").find("version=0.0.4"),
+            std::string::npos);
+  const std::string& body = response.body;
+  EXPECT_NE(body.find("# TYPE http_requests_total counter"),
+            std::string::npos);
+  // The scrape renders before its own request is accounted, so counts
+  // reflect exactly the five completed requests.
+  EXPECT_NE(body.find("http_requests_total 5\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE http_request_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("http_request_latency_us_count 5\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("http_responses_total{code=\"200\"} 5\n"),
+            std::string::npos);
+  // GAA decision outcomes per right (the scrape itself was decision #6).
+  EXPECT_NE(
+      body.find("gaa_decisions_total{right=\"GET\",outcome=\"yes\"} 6\n"),
+      std::string::npos);
+  EXPECT_EQ(server->server().requests_served(), 6u);
+}
+
+TEST(PipelineTest, StatusTracesEndpointServesJson) {
+  auto server = MakePermissiveServer();
+  EXPECT_EQ(server->Get("/index.html", "10.0.0.9").status,
+            http::StatusCode::kOk);
+  auto response = server->Get("/__status/traces", "10.0.0.9");
+  ASSERT_EQ(response.status, http::StatusCode::kOk);
+  EXPECT_EQ(response.headers.at("Content-Type"), "application/json");
+  EXPECT_NE(response.body.find("\"target\":\"/index.html\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"spans\":["), std::string::npos);
+}
+
+TEST(PipelineTest, StatusEndpointIsPolicyProtected) {
+  web::GaaWebServer server(http::DocTree::DemoSite());
+  // The endpoint is dispatched after the access check, so the same
+  // signature idiom that blocks exploit CGIs (§7.2) locks down scrapes.
+  ASSERT_TRUE(server
+                  .SetLocalPolicy("/",
+                                  "neg_access_right apache *\n"
+                                  "pre_cond_regex gnu *__status*\n"
+                                  "pos_access_right apache *\n")
+                  .ok());
+  EXPECT_EQ(server.Get("/__status", "10.0.0.1").status,
+            http::StatusCode::kForbidden);
+  EXPECT_EQ(server.Get("/__status/traces", "10.0.0.1").status,
+            http::StatusCode::kForbidden);
+  // Ordinary documents stay reachable.
+  EXPECT_EQ(server.Get("/index.html", "10.0.0.1").status,
+            http::StatusCode::kOk);
+}
+
+TEST(PipelineTest, LatencyHistogramMatchesRequestsServed) {
+  auto server = MakePermissiveServer();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server->Get("/index.html", "10.0.0.1").status,
+              http::StatusCode::kOk);
+  }
+  // A parse failure must be accounted like any other request.
+  auto bad = server->HandleText("BOGUS\r\n\r\n", "10.0.0.2");
+  EXPECT_EQ(bad.status, http::StatusCode::kBadRequest);
+
+  EXPECT_EQ(server->server().requests_served(), 4u);
+  EXPECT_EQ(server->telemetry()
+                .registry()
+                .GetHistogram("http_request_latency_us")
+                ->Count(),
+            4u);
+  auto counts = server->server().StatusCounts();
+  EXPECT_EQ(counts[200], 3u);
+  EXPECT_EQ(counts[400], 1u);
+  // The malformed request also reached the IDS and was counted there.
+  std::uint64_t ids_reports = 0;
+  for (const auto& entry : server->telemetry().registry().List()) {
+    if (entry.name == "ids_reports_total" &&
+        entry.kind == MetricKind::kCounter) {
+      ids_reports += entry.counter->Value();
+    }
+  }
+  EXPECT_EQ(ids_reports, 1u);
+}
+
+TEST(PipelineTest, AccessLogAndAuditShareTraceIds) {
+  web::GaaWebServer server(http::DocTree::DemoSite());
+  // The §7.2 configuration: CGI exploit signatures deny and blacklist.
+  ASSERT_TRUE(server
+                  .AddSystemPolicy("eacl_mode 1\n"
+                                   "neg_access_right * *\n"
+                                   "pre_cond_accessid GROUP local BadGuys\n")
+                  .ok());
+  ASSERT_TRUE(server
+                  .SetLocalPolicy("/",
+                                  "neg_access_right apache *\n"
+                                  "pre_cond_regex gnu *phf*\n"
+                                  "rr_cond_update_log local "
+                                  "on:failure/BadGuys/info:ip\n"
+                                  "pos_access_right apache *\n")
+                  .ok());
+  auto response = server.Get("/cgi-bin/phf?Qalias=x", "203.0.113.7");
+  EXPECT_EQ(response.status, http::StatusCode::kForbidden);
+
+  const auto blacklist = server.audit_log().ByCategory("blacklist");
+  ASSERT_FALSE(blacklist.empty());
+  const std::uint64_t trace_id = blacklist.back().trace_id;
+  EXPECT_NE(trace_id, 0u);
+
+  const auto access_log = server.server().AccessLog();
+  ASSERT_FALSE(access_log.empty());
+  EXPECT_EQ(access_log.back().trace_id, trace_id);
+
+  const auto traces = server.telemetry().tracer().Recent();
+  auto it = std::find_if(traces.begin(), traces.end(), [&](const auto& t) {
+    return t.id() == trace_id;
+  });
+  ASSERT_NE(it, traces.end());
+  EXPECT_NE(it->target.find("/cgi-bin/phf"), std::string::npos);
+  // The deny path evaluated pre-conditions and request-result actions;
+  // both phases appear as spans.
+  const auto names = SpanNames(*it);
+  EXPECT_TRUE(Contains(names, "gaa.cond.pre"));
+  EXPECT_TRUE(Contains(names, "gaa.cond.request_result"));
+
+  // The denied decision is visible in the outcome counters.
+  std::uint64_t denies = 0;
+  for (const auto& entry : server.telemetry().registry().List()) {
+    if (entry.name == "gaa_decisions_total" &&
+        entry.labels.find("outcome=\"no\"") != std::string::npos) {
+      denies += entry.counter->Value();
+    }
+  }
+  EXPECT_EQ(denies, 1u);
+}
+
+TEST(PipelineTest, DetachedTelemetryDisablesEverything) {
+  web::GaaWebServer::Options options;
+  options.enable_telemetry = false;
+  web::GaaWebServer server(http::DocTree::DemoSite(), options);
+  ASSERT_TRUE(server.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+
+  EXPECT_EQ(server.Get("/index.html", "10.0.0.1").status,
+            http::StatusCode::kOk);
+  EXPECT_EQ(server.Get("/__status", "10.0.0.1").status,
+            http::StatusCode::kNotFound);
+
+  EXPECT_EQ(server.telemetry().tracer().started(), 0u);
+  EXPECT_TRUE(server.telemetry().tracer().Recent().empty());
+  EXPECT_TRUE(server.telemetry().registry().List().empty());
+  EXPECT_TRUE(server.server().StatusCounts().empty());
+  const auto access_log = server.server().AccessLog();
+  ASSERT_FALSE(access_log.empty());
+  EXPECT_EQ(access_log.back().trace_id, 0u);
+}
+
+TEST(PipelineTest, TcpTransportFeedsGaugesAndTraces) {
+  auto server = MakePermissiveServer();
+  http::TcpServer::Options options;
+  options.worker_threads = 2;
+  http::TcpServer tcp(&server->server(), options);
+  web::WireConnectionStats(tcp, &server->state(), "tcp.",
+                           &server->telemetry().registry());
+  ASSERT_TRUE(tcp.Start().ok());
+  auto fetched = http::TcpFetch(tcp.port(), http::BuildGetRequest("/index.html"));
+  ASSERT_TRUE(fetched.ok());
+
+  // The stats hook runs on the event loop; wait for it to publish.
+  Gauge* accepted = server->telemetry().registry().GetGauge("tcp_accepted");
+  for (int i = 0; i < 500 && accepted->Value() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  tcp.Stop();
+  EXPECT_GE(accepted->Value(), 1);
+  EXPECT_GE(server->telemetry().registry().GetGauge("tcp_requests")->Value(),
+            1);
+  const std::string text =
+      telemetry::RenderPrometheus(server->telemetry().registry());
+  EXPECT_NE(text.find("# TYPE tcp_accepted gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tcp_requests gauge"), std::string::npos);
+
+  // The transport began the trace, so the queue wait is a recorded span.
+  const auto traces = server->telemetry().tracer().Recent();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_TRUE(Contains(SpanNames(traces.back()), "queue"));
+  EXPECT_EQ(traces.back().target, "/index.html");
+}
+
+}  // namespace
+}  // namespace gaa
