@@ -15,10 +15,13 @@
 // cost of the call sites themselves.  The banner says which build this is.
 #include <cstdio>
 
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "audit/audit_stream.h"
 #include "bench_common.h"
 #include "telemetry/metrics.h"
 #include "util/clock.h"
@@ -95,6 +98,104 @@ double RunRequests(web::GaaWebServer& server, int n) {
     (void)server.server().HandleText(raw, ip);
   }
   return watch.ElapsedMs();
+}
+
+// --- audit pipeline mode -----------------------------------------------------
+
+enum class AuditMode {
+  kDetached,       ///< telemetry off, no stream — the floor
+  kTelemetryOnly,  ///< metrics + tracing, no stream/watchdog — the baseline
+  kFullPipeline,   ///< + JSONL audit stream + slow-request watchdog
+};
+
+/// Server for the audit-pipeline comparison: a 50/50 granted/denied policy
+/// so half the requests produce attributed decision records.
+std::unique_ptr<web::GaaWebServer> MakeAuditServer(AuditMode mode,
+                                                   const std::string& path) {
+  web::GaaWebServer::Options options;
+  options.use_real_clock = true;
+  options.enable_telemetry = mode != AuditMode::kDetached;
+  if (mode == AuditMode::kFullPipeline) {
+    options.audit_stream.path = path;
+    options.watchdog.enabled = true;
+    options.watchdog.deadline_ms = 1000;
+    options.watchdog.poll_interval_ms = 100;
+  }
+  auto server = std::make_unique<web::GaaWebServer>(http::DocTree::DemoSite(),
+                                                    options);
+  if (!server->SetLocalPolicy("/", "pos_access_right apache *\n").ok() ||
+      !server->SetLocalPolicy("/private", "neg_access_right apache *\n")
+           .ok()) {
+    std::fprintf(stderr, "policy setup failed\n");
+    std::exit(1);
+  }
+  return server;
+}
+
+/// Time `n` requests alternating granted and denied; returns elapsed ms.
+double RunMixedRequests(web::GaaWebServer& server, int n) {
+  std::string granted = http::BuildGetRequest("/index.html");
+  std::string denied = http::BuildGetRequest("/private/report.html");
+  auto ip = util::Ipv4Address::Parse("10.1.2.3").value();
+  util::Stopwatch watch;
+  for (int i = 0; i < n; ++i) {
+    (void)server.server().HandleText(i % 2 == 0 ? granted : denied, ip);
+  }
+  return watch.ElapsedMs();
+}
+
+/// A sink wedged inside Write() until released — the fault-injection disk.
+class WedgedSink final : public audit::AuditStreamSink {
+ public:
+  bool Write(const std::string&) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return released_; });
+    return true;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+constexpr int kRecordOps = 200'000;
+
+/// ns/op of AuditLog::Record() itself — the request-thread cost the async
+/// design is supposed to bound.  With `streamed`, the sink is wedged and the
+/// queue oversized so every Record() runs the full enqueue path (lock, copy,
+/// push) with zero drain interference: pure producer-side cost.
+double RecordPathNs(bool streamed) {
+  util::SimulatedClock clock(0);
+  audit::AuditLog log(&clock);
+  WedgedSink* wedge = nullptr;
+  if (streamed) {
+    auto sink = std::make_unique<WedgedSink>();
+    wedge = sink.get();
+    audit::AuditLog::StreamOptions opts;
+    opts.queue_capacity = kRecordOps + 64;
+    log.AttachStream(std::move(sink), opts);
+  }
+  core::AuditEvent event;
+  event.category = "decision";
+  event.message = "authz=NO right=apache:GET object=/private/report.html";
+  event.client = "10.1.2.3";
+  event.decision = "no";
+  event.policy = "local:/private";
+  event.entry = 0;
+  util::Stopwatch watch;
+  for (int i = 0; i < kRecordOps; ++i) log.Record(event);
+  double ns = static_cast<double>(watch.ElapsedUs()) * 1000.0 / kRecordOps;
+  if (wedge != nullptr) wedge->Release();
+  return ns;
 }
 
 }  // namespace
@@ -181,5 +282,97 @@ int main(int argc, char** argv) {
                           .registry()
                           .GetHistogram("http_request_latency_us")
                           ->TakeSnapshot());
+
+  // --- audit pipeline: full observability stack vs everything detached ------
+  // 50/50 granted/denied traffic so half the requests emit attributed
+  // decision records into the async JSONL stream, with the watchdog's
+  // monitor thread live the whole time.
+  const std::string stream_path = "/tmp/bench_audit_stream.jsonl";
+  std::remove(stream_path.c_str());
+  auto plain = MakeAuditServer(AuditMode::kDetached, "");
+  auto traced = MakeAuditServer(AuditMode::kTelemetryOnly, "");
+  auto piped = MakeAuditServer(AuditMode::kFullPipeline, stream_path);
+  Mode audit_modes[] = {{plain.get()}, {traced.get()}, {piped.get()}};
+  for (Mode& mode : audit_modes) (void)RunMixedRequests(*mode.server, 500);
+  for (int round = 0; round < kRounds; ++round) {
+    for (Mode& mode : audit_modes) {
+      mode.total_ms += RunMixedRequests(*mode.server, per_round);
+    }
+  }
+  double plain_rps = rps(audit_modes[0]);
+  double traced_rps = rps(audit_modes[1]);
+  double piped_rps = rps(audit_modes[2]);
+  // The acceptance target is the *stream's* cost: full pipeline vs the same
+  // telemetry config without it.  (Tracing cost is priced separately above.)
+  // On a single-core host this figure also absorbs the drain thread's
+  // format+write CPU — there is no spare core to hide it on — so the
+  // request-path ns/op below is the cleaner read on the blocking contract.
+  double stream_pct = 100.0 * (traced_rps - piped_rps) / traced_rps;
+  double total_pct = 100.0 * (plain_rps - piped_rps) / plain_rps;
+  piped->audit_log().Flush();
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("\naudit pipeline, %d x 50/50 granted/denied (%u core%s):\n",
+              kRequests, cores, cores == 1 ? "" : "s");
+  std::printf("  everything detached:      %10.0f req/s\n", plain_rps);
+  std::printf("  telemetry, no stream:     %10.0f req/s\n", traced_rps);
+  std::printf("  + stream + watchdog:      %10.0f req/s  (stream %+.1f%%, "
+              "acceptance: < 5%% with a spare core; total %+.1f%%)\n",
+              piped_rps, stream_pct, total_pct);
+  std::printf("  stream records written:   %10llu   dropped: %llu\n",
+              static_cast<unsigned long long>(piped->audit_log().stream_written()),
+              static_cast<unsigned long long>(piped->audit_log().stream_dropped()));
+  report.Set("audit_pipeline", "rps_detached", plain_rps);
+  report.Set("audit_pipeline", "rps_telemetry_only", traced_rps);
+  report.Set("audit_pipeline", "rps_full_pipeline", piped_rps);
+  report.Set("audit_pipeline", "stream_overhead_pct", stream_pct);
+  report.Set("audit_pipeline", "total_overhead_pct", total_pct);
+  report.Set("audit_pipeline", "stream_written",
+             static_cast<double>(piped->audit_log().stream_written()));
+  report.Set("audit_pipeline", "stream_dropped",
+             static_cast<double>(piped->audit_log().stream_dropped()));
+  std::remove(stream_path.c_str());
+
+  double record_plain_ns = RecordPathNs(/*streamed=*/false);
+  double record_stream_ns = RecordPathNs(/*streamed=*/true);
+  std::printf("  Record() w/o stream:      %10.2f ns/op\n", record_plain_ns);
+  std::printf("  Record() with stream:     %10.2f ns/op  (request-thread "
+              "cost only; the write happens on the drain thread)\n",
+              record_stream_ns);
+  report.Set("audit_pipeline", "record_path_ns", record_plain_ns);
+  report.Set("audit_pipeline", "record_path_streamed_ns", record_stream_ns);
+
+  // --- fault injection: a wedged sink must not slow the request path --------
+  // The sink blocks forever inside Write(); Record() keeps its non-blocking
+  // contract by dropping once the bounded queue fills, and the drop count
+  // proves the backpressure path ran.
+  auto wedged_server = MakeAuditServer(AuditMode::kFullPipeline, "");
+  auto wedged_sink = std::make_unique<WedgedSink>();
+  WedgedSink* wedge = wedged_sink.get();
+  gaa::audit::AuditLog::StreamOptions wedge_opts;
+  wedge_opts.queue_capacity = 64;
+  wedged_server->audit_log().AttachStream(std::move(wedged_sink), wedge_opts);
+  constexpr int kWedgedRequests = 20'000;
+  double wedged_ms = RunMixedRequests(*wedged_server, kWedgedRequests);
+  double wedged_rps = kWedgedRequests / (wedged_ms / 1000.0);
+  double wedged_pct = 100.0 * (piped_rps - wedged_rps) / piped_rps;
+  std::uint64_t wedged_drops = wedged_server->audit_log().stream_dropped();
+  std::printf("\nfault injection, %d requests against a hung audit disk:\n",
+              kWedgedRequests);
+  std::printf("  throughput:               %10.0f req/s  (%+.1f%% vs the "
+              "healthy pipeline; must stay in the same league)\n",
+              wedged_rps, wedged_pct);
+  std::printf("  records dropped:          %10llu   (> 0 proves the "
+              "non-blocking path)\n",
+              static_cast<unsigned long long>(wedged_drops));
+  report.Set("audit_pipeline", "wedged_sink_rps", wedged_rps);
+  report.Set("audit_pipeline", "wedged_sink_dropped",
+             static_cast<double>(wedged_drops));
+  if (wedged_drops == 0) {
+    std::fprintf(stderr,
+                 "wedged sink produced no drops — Record() may be blocking\n");
+    return 1;
+  }
+  wedge->Release();  // unwedge so the writer's drain thread can shut down
+
   return report.WriteFile(json_path) ? 0 : 1;
 }

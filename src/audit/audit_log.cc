@@ -1,10 +1,16 @@
 #include "audit/audit_log.h"
 
-#include <fstream>
+#include <utility>
 
+#include "audit/audit_stream.h"
 #include "telemetry/metrics.h"
 
 namespace gaa::audit {
+
+AuditLog::AuditLog(util::Clock* clock, std::size_t max_records)
+    : clock_(clock), max_records_(max_records) {}
+
+AuditLog::~AuditLog() = default;
 
 void AuditLog::Record(const std::string& category, const std::string& message) {
   Record(category, message, 0);
@@ -12,39 +18,96 @@ void AuditLog::Record(const std::string& category, const std::string& message) {
 
 void AuditLog::Record(const std::string& category, const std::string& message,
                       std::uint64_t trace_id) {
-  if (records_counter_ != nullptr) records_counter_->Inc();
   AuditRecord record;
-  record.time_us = clock_ != nullptr ? clock_->Now() : 0;
   record.category = category;
   record.message = message;
   record.trace_id = trace_id;
+  Append(std::move(record));
+}
+
+void AuditLog::Record(const core::AuditEvent& event) {
+  AuditRecord record;
+  record.category = event.category;
+  record.message = event.message;
+  record.trace_id = event.trace_id;
+  record.client = event.client;
+  record.decision = event.decision;
+  record.policy = event.policy;
+  record.entry = event.entry;
+  record.condition = event.condition;
+  Append(std::move(record));
+}
+
+void AuditLog::Append(AuditRecord record) {
+  if (records_counter_ != nullptr) records_counter_->Inc();
+  record.time_us = clock_ != nullptr ? clock_->Now() : 0;
 
   std::lock_guard<std::mutex> lock(mu_);
-  records_.push_back(record);
+  if (writer_ != nullptr) writer_->Offer(record);  // non-blocking, may drop
+  records_.push_back(std::move(record));
   while (records_.size() > max_records_) records_.pop_front();
-
-  if (!mirror_path_.empty()) {
-    std::ofstream out(mirror_path_, std::ios::app);
-    if (out) {
-      out << util::FormatTimestamp(record.time_us) << " [" << category << "] "
-          << message;
-      if (trace_id != 0) out << " trace=" << trace_id;
-      out << "\n";
-    } else {
-      ++file_errors_;
-    }
-  }
 }
 
 void AuditLog::AttachMetrics(telemetry::MetricRegistry* registry) {
+  registry_ = registry;
   records_counter_ =
       registry != nullptr ? registry->GetCounter("audit_records_total")
                           : nullptr;
 }
 
 void AuditLog::SetFileMirror(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
-  mirror_path_ = path;
+  if (path.empty()) {
+    AttachStream(nullptr);
+  } else {
+    AttachFileStream(path);
+  }
+}
+
+void AuditLog::AttachStream(std::unique_ptr<AuditStreamSink> sink) {
+  AttachStream(std::move(sink), StreamOptions());
+}
+
+void AuditLog::AttachStream(std::unique_ptr<AuditStreamSink> sink,
+                            const StreamOptions& options) {
+  std::unique_ptr<AsyncAuditWriter> writer;
+  if (sink != nullptr) {
+    AsyncAuditWriter::Options wopts;
+    wopts.queue_capacity = options.queue_capacity;
+    writer = std::make_unique<AsyncAuditWriter>(std::move(sink), wopts,
+                                                registry_);
+  }
+  std::unique_ptr<AsyncAuditWriter> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old = std::move(writer_);
+    writer_ = std::move(writer);
+  }
+  if (old != nullptr) old->Stop();  // join the old drain thread outside mu_
+}
+
+void AuditLog::AttachFileStream(const std::string& path) {
+  AttachFileStream(path, StreamOptions());
+}
+
+void AuditLog::AttachFileStream(const std::string& path,
+                                const StreamOptions& options) {
+  RotatingFileSink::Options sopts;
+  sopts.rotate_bytes = options.rotate_bytes;
+  sopts.max_rotated_files = options.max_rotated_files;
+  sopts.fsync_each_write = options.fsync_each_write;
+  AttachStream(std::make_unique<RotatingFileSink>(path, sopts), options);
+}
+
+void AuditLog::Flush() {
+  // Writer attach/detach is rare (startup/shutdown); holding mu_ across the
+  // wait would block Record(), so grab the pointer and rely on the caller
+  // not detaching concurrently with Flush (same contract as AttachStream).
+  AsyncAuditWriter* writer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    writer = writer_.get();
+  }
+  if (writer != nullptr) writer->Flush();
 }
 
 std::vector<AuditRecord> AuditLog::Snapshot() const {
@@ -82,7 +145,19 @@ void AuditLog::Clear() {
 
 std::size_t AuditLog::file_errors() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return file_errors_;
+  if (writer_ == nullptr) return 0;
+  return static_cast<std::size_t>(writer_->write_errors() +
+                                  writer_->dropped());
+}
+
+std::uint64_t AuditLog::stream_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_ != nullptr ? writer_->written() : 0;
+}
+
+std::uint64_t AuditLog::stream_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_ != nullptr ? writer_->dropped() : 0;
 }
 
 }  // namespace gaa::audit

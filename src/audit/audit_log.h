@@ -1,13 +1,15 @@
 // Append-only audit log (gaa::core::AuditSink implementation).
 //
 // Records are timestamped, categorized and kept in memory (bounded ring);
-// an optional file mirror appends each record.  The §7.2 response actions
-// (rr_cond_audit, rr_cond_update_log) and the post-execution logging all
-// land here.
+// an optional mirror streams each record as structured JSONL through an
+// asynchronous writer (audit_stream.h) — request threads never touch the
+// disk.  The §7.2 response actions (rr_cond_audit, rr_cond_update_log) and
+// the post-execution logging all land here.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -23,44 +25,88 @@ class MetricRegistry;
 
 namespace gaa::audit {
 
+class AsyncAuditWriter;
+class AuditStreamSink;
+
 struct AuditRecord {
   util::TimePoint time_us = 0;
   std::string category;
   std::string message;
   std::uint64_t trace_id = 0;  ///< joins the record to its request trace
+  // Decision attribution (empty / -1 when the record is not an access
+  // decision): which client asked, what the answer was, and the exact
+  // policy entry + condition that produced it.
+  std::string client;
+  std::string decision;  ///< "yes" / "no" / "maybe"
+  std::string policy;
+  int entry = -1;
+  std::string condition;
 };
 
 class AuditLog final : public core::AuditSink {
  public:
-  explicit AuditLog(util::Clock* clock, std::size_t max_records = 65536)
-      : clock_(clock), max_records_(max_records) {}
+  explicit AuditLog(util::Clock* clock, std::size_t max_records = 65536);
+  ~AuditLog() override;
 
   void Record(const std::string& category, const std::string& message) override;
   void Record(const std::string& category, const std::string& message,
               std::uint64_t trace_id) override;
+  void Record(const core::AuditEvent& event) override;
 
-  /// Count every write as `audit_records_total`.  Null detaches.
+  /// Count every write as `audit_records_total`.  Null detaches.  Also
+  /// adopted by any stream attached afterwards (written/dropped/error
+  /// counters).
   void AttachMetrics(telemetry::MetricRegistry* registry);
 
-  /// Mirror every record to a file ("" disables).  Failures to open are
-  /// remembered and surfaced through file_errors().
+  /// Mirror every record to a size-rotated JSONL file ("" disables).
+  /// Shorthand for AttachStream with a RotatingFileSink and default writer
+  /// options; see audit_stream.h for the knobs.
   void SetFileMirror(const std::string& path);
+
+  struct StreamOptions {
+    std::size_t queue_capacity = 4096;
+    std::size_t rotate_bytes = 8 * 1024 * 1024;
+    int max_rotated_files = 3;
+    bool fsync_each_write = false;
+  };
+
+  /// Mirror every record through `sink` behind an AsyncAuditWriter (null
+  /// detaches).  Takes ownership of the sink.
+  void AttachStream(std::unique_ptr<AuditStreamSink> sink);
+  void AttachStream(std::unique_ptr<AuditStreamSink> sink,
+                    const StreamOptions& options);
+
+  /// Rotated-file convenience over AttachStream.
+  void AttachFileStream(const std::string& path);
+  void AttachFileStream(const std::string& path,
+                        const StreamOptions& options);
+
+  /// Block until every record handed to the stream so far is on disk
+  /// (tests, shutdown).  No-op without a stream.
+  void Flush();
 
   std::vector<AuditRecord> Snapshot() const;
   std::vector<AuditRecord> ByCategory(const std::string& category) const;
   std::size_t size() const;
   std::size_t CountCategory(const std::string& category) const;
   void Clear();
+
+  /// Stream-side failures: sink write errors plus records dropped because
+  /// the queue was full.  (Historic name; kept for existing callers.)
   std::size_t file_errors() const;
+  std::uint64_t stream_written() const;
+  std::uint64_t stream_dropped() const;
 
  private:
+  void Append(AuditRecord record);
+
   util::Clock* clock_;
   std::size_t max_records_;
   telemetry::Counter* records_counter_ = nullptr;
+  telemetry::MetricRegistry* registry_ = nullptr;
   mutable std::mutex mu_;
   std::deque<AuditRecord> records_;
-  std::string mirror_path_;
-  std::size_t file_errors_ = 0;
+  std::unique_ptr<AsyncAuditWriter> writer_;
 };
 
 }  // namespace gaa::audit

@@ -11,8 +11,26 @@ std::size_t ComposedPolicy::TotalEntries() const {
   return n;
 }
 
+namespace {
+std::string NameOrPosition(const std::vector<std::string>& names,
+                           std::size_t index, const char* side) {
+  if (index < names.size() && !names[index].empty()) return names[index];
+  return std::string(side) + "#" + std::to_string(index);
+}
+}  // namespace
+
+std::string ComposedPolicy::SystemName(std::size_t index) const {
+  return NameOrPosition(system_names, index, "system");
+}
+
+std::string ComposedPolicy::LocalName(std::size_t index) const {
+  return NameOrPosition(local_names, index, "local");
+}
+
 ComposedPolicy Compose(std::vector<Eacl> system_policies,
-                       std::vector<Eacl> local_policies) {
+                       std::vector<Eacl> local_policies,
+                       std::vector<std::string> system_names,
+                       std::vector<std::string> local_names) {
   ComposedPolicy out;
   out.mode = CompositionMode::kNarrow;
   for (const auto& p : system_policies) {
@@ -22,8 +40,10 @@ ComposedPolicy Compose(std::vector<Eacl> system_policies,
     }
   }
   out.system_policies = std::move(system_policies);
+  out.system_names = std::move(system_names);
   if (out.mode != CompositionMode::kStop) {
     out.local_policies = std::move(local_policies);
+    out.local_names = std::move(local_names);
   }
   return out;
 }

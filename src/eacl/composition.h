@@ -31,15 +31,29 @@ struct ComposedPolicy {
   std::vector<Eacl> system_policies;  ///< evaluated first (higher priority)
   std::vector<Eacl> local_policies;   ///< ignored entirely under `stop`
 
+  /// Provenance names parallel to the policy vectors ("system#0",
+  /// "local:/cgi-bin", a policy file path, ...).  May be shorter than the
+  /// policy vectors (unnamed tail); use SystemName()/LocalName(), which
+  /// fall back to a positional name, so decision attribution always has a
+  /// stable identifier to report.
+  std::vector<std::string> system_names;
+  std::vector<std::string> local_names;
+
+  std::string SystemName(std::size_t index) const;
+  std::string LocalName(std::size_t index) const;
+
   std::size_t TotalEntries() const;
 };
 
 /// Build the composed policy.  The effective mode is taken from the first
 /// system-wide policy that declares one; with no system-wide mode the
 /// default is `narrow` (mandatory ∧ discretionary — the conservative
-/// choice).  Under `stop`, local policies are dropped at composition time.
+/// choice).  Under `stop`, local policies (and their names) are dropped at
+/// composition time.
 ComposedPolicy Compose(std::vector<Eacl> system_policies,
-                       std::vector<Eacl> local_policies);
+                       std::vector<Eacl> local_policies,
+                       std::vector<std::string> system_names = {},
+                       std::vector<std::string> local_names = {});
 
 /// Combine the two sides' decisions under a composition mode using
 /// three-valued logic.  `have_system` / `have_local` say whether that side

@@ -1,7 +1,9 @@
 #include "gaa/api.h"
 
 #include "eacl/printer.h"
+#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "util/clock.h"
 #include "util/log.h"
 
 namespace gaa::core {
@@ -19,6 +21,23 @@ const char* BlockSpanName(eacl::CondPhase phase) {
       return "gaa.cond.post";
   }
   return "gaa.cond";
+}
+
+constexpr const char* kEntryOutcomes[] = {"yes", "no", "maybe", "miss"};
+
+int OutcomeIndex(util::Tristate status) {
+  return status == util::Tristate::kYes  ? 0
+         : status == util::Tristate::kNo ? 1
+                                         : 2;
+}
+
+/// Condition evaluations are mostly sub-10µs (a glob match, a SystemState
+/// read), but actions can block for tens of ms (synchronous notification),
+/// so the buckets stretch from 1µs to 1s.
+const std::vector<std::uint64_t>& CondLatencyBoundsUs() {
+  static const std::vector<std::uint64_t> bounds = {
+      1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000, 25000, 100000, 1000000};
+  return bounds;
 }
 }  // namespace
 
@@ -70,9 +89,47 @@ eacl::ComposedPolicy GaaApi::GetObjectPolicyInfo(
   return store_->PoliciesFor(object_path);
 }
 
+telemetry::Counter* GaaApi::EntryCounter(const std::string& policy, int entry,
+                                         int outcome_idx) {
+  if (services_.metrics == nullptr) return nullptr;
+  std::string key = policy + '#' + std::to_string(entry) + '#' +
+                    kEntryOutcomes[outcome_idx];
+  {
+    std::lock_guard<std::mutex> lock(attr_mu_);
+    auto it = entry_counters_.find(key);
+    if (it != entry_counters_.end()) return it->second;
+  }
+  telemetry::Counter* counter = services_.metrics->GetCounter(
+      "eacl_entry_decisions_total",
+      "policy=\"" + policy + "\",entry=\"" + std::to_string(entry) +
+          "\",outcome=\"" + kEntryOutcomes[outcome_idx] + "\"");
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  entry_counters_.emplace(std::move(key), counter);
+  return counter;
+}
+
+telemetry::Histogram* GaaApi::CondHistogram(const eacl::Condition& cond) {
+  if (services_.metrics == nullptr) return nullptr;
+  std::string key = cond.type + '/' + cond.def_auth;
+  {
+    std::lock_guard<std::mutex> lock(attr_mu_);
+    auto it = cond_histograms_.find(key);
+    if (it != cond_histograms_.end()) return it->second;
+  }
+  telemetry::Histogram* histogram = services_.metrics->GetHistogram(
+      "gaa_cond_eval_us",
+      "cond=\"" + cond.type + "\",auth=\"" + cond.def_auth + "\"",
+      CondLatencyBoundsUs());
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  cond_histograms_.emplace(std::move(key), histogram);
+  return histogram;
+}
+
 EvalOutcome GaaApi::EvalCondition(const eacl::Condition& cond,
                                   eacl::CondPhase phase, RequestContext& ctx,
                                   std::vector<CondTrace>* trace) {
+  telemetry::Histogram* latency = CondHistogram(cond);
+  util::Stopwatch sw;
   EvalOutcome outcome;
   const CondRoutine* routine = registry_.Find(cond.type, cond.def_auth);
   if (routine == nullptr) {
@@ -82,6 +139,9 @@ EvalOutcome GaaApi::EvalCondition(const eacl::Condition& cond,
                                        cond.type + "/" + cond.def_auth);
   } else {
     outcome = (*routine)(cond, ctx, services_);
+  }
+  if (latency != nullptr) {
+    latency->Record(static_cast<std::uint64_t>(sw.ElapsedUs()));
   }
   if (trace != nullptr) trace->push_back(CondTrace{cond, outcome, phase});
   return outcome;
@@ -98,11 +158,15 @@ GaaApi::BlockResult GaaApi::EvalBlock(
     EvalOutcome outcome = EvalCondition(cond, phase, ctx, trace);
     if (outcome.status == Tristate::kNo) {
       result.status = Tristate::kNo;
+      result.deciding_condition = cond.type;
       // Ordered conjunction: a failed condition settles the block; later
       // conditions (and their side effects) must not run.
       return result;
     }
     if (outcome.status == Tristate::kMaybe) {
+      if (result.status != Tristate::kMaybe) {
+        result.deciding_condition = cond.type;
+      }
       result.status = Tristate::kMaybe;
       if (!outcome.evaluated) result.unevaluated.push_back(cond);
     }
@@ -111,31 +175,47 @@ GaaApi::BlockResult GaaApi::EvalBlock(
 }
 
 GaaApi::PolicyAnswer GaaApi::EvalPolicy(const eacl::Eacl& policy,
+                                        const std::string& policy_name,
                                         const RequestedRight& right,
                                         RequestContext& ctx,
                                         AuthzResult* out) {
   PolicyAnswer answer;
-  for (const eacl::Entry& entry : policy.entries) {
+  for (std::size_t i = 0; i < policy.entries.size(); ++i) {
+    const eacl::Entry& entry = policy.entries[i];
+    const int entry_index = static_cast<int>(i);
     if (!entry.right.Covers(right.def_auth, right.value)) continue;
 
     BlockResult pre =
         EvalBlock(entry.pre, eacl::CondPhase::kPre, ctx, &out->trace);
 
     if (pre.status == Tristate::kNo) {
-      continue;  // entry does not apply; scan continues
+      // Entry does not apply; scan continues.  Counted as a "miss" so an
+      // entry that never fires (a misconfigured signature, say) is visible
+      // in /__status/policies.
+      if (telemetry::Counter* c = EntryCounter(policy_name, entry_index, 3)) {
+        c->Inc();
+      }
+      continue;
     }
+
+    answer.applicable = true;
+    answer.attribution.policy = policy_name;
+    answer.attribution.entry = entry_index;
+    answer.attribution.condition = pre.deciding_condition;
 
     if (pre.status == Tristate::kMaybe) {
       // The entry *might* apply; no later entry can soundly override it.
-      answer.applicable = true;
       answer.status = Tristate::kMaybe;
+      answer.attribution.status = Tristate::kMaybe;
       out->unevaluated.insert(out->unevaluated.end(), pre.unevaluated.begin(),
                               pre.unevaluated.end());
+      if (telemetry::Counter* c = EntryCounter(policy_name, entry_index, 2)) {
+        c->Inc();
+      }
       return answer;
     }
 
     // pre.status == YES: the entry decides.
-    answer.applicable = true;
     Tristate status =
         entry.right.positive ? Tristate::kYes : Tristate::kNo;
 
@@ -148,6 +228,9 @@ GaaApi::PolicyAnswer GaaApi::EvalPolicy(const eacl::Eacl& policy,
       // "The conjunction of the intermediate result ... is stored in the
       // authorization status."
       status = util::And3(status, rr.status);
+      if (rr.status != Tristate::kYes) {
+        answer.attribution.condition = rr.deciding_condition;
+      }
       if (rr.status == Tristate::kMaybe) {
         out->unevaluated.insert(out->unevaluated.end(), rr.unevaluated.begin(),
                                 rr.unevaluated.end());
@@ -162,6 +245,11 @@ GaaApi::PolicyAnswer GaaApi::EvalPolicy(const eacl::Eacl& policy,
     }
 
     answer.status = status;
+    answer.attribution.status = status;
+    if (telemetry::Counter* c =
+            EntryCounter(policy_name, entry_index, OutcomeIndex(status))) {
+      c->Inc();
+    }
     return answer;
   }
   // No entry applied.
@@ -176,15 +264,23 @@ AuthzResult GaaApi::CheckAuthorization(const eacl::ComposedPolicy& policy,
   AuthzResult out;
   telemetry::ScopedSpan span(ctx.trace, "gaa.check_authorization");
 
-  auto eval_side = [&](const std::vector<eacl::Eacl>& policies, bool* any) {
+  auto eval_side = [&](const std::vector<eacl::Eacl>& policies, bool system,
+                       bool* any, std::optional<DecisionAttribution>* attr) {
     // Several separately-specified policies on one side conjoin (§2.1).
+    // The side's attribution follows the conjunction: the first applicable
+    // policy seeds it, and any policy that downgrades the side's running
+    // status (YES → MAYBE → NO) takes it over.
     Tristate side = Tristate::kYes;
     *any = false;
-    for (const auto& p : policies) {
-      PolicyAnswer a = EvalPolicy(p, right, ctx, &out);
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      PolicyAnswer a = EvalPolicy(
+          policies[i], system ? policy.SystemName(i) : policy.LocalName(i),
+          right, ctx, &out);
       if (!a.applicable) continue;
+      Tristate combined = util::And3(side, a.status);
+      if (!*any || combined != side) *attr = a.attribution;
       *any = true;
-      side = util::And3(side, a.status);
+      side = combined;
       if (side == Tristate::kNo) break;  // conjunction settled
     }
     return side;
@@ -192,7 +288,10 @@ AuthzResult GaaApi::CheckAuthorization(const eacl::ComposedPolicy& policy,
 
   bool have_system = false;
   bool have_local = false;
-  Tristate system_status = eval_side(policy.system_policies, &have_system);
+  std::optional<DecisionAttribution> system_attr;
+  std::optional<DecisionAttribution> local_attr;
+  Tristate system_status =
+      eval_side(policy.system_policies, true, &have_system, &system_attr);
   Tristate local_status = Tristate::kNo;
   if (policy.mode != eacl::CompositionMode::kStop &&
       !(policy.mode == eacl::CompositionMode::kNarrow &&
@@ -200,12 +299,24 @@ AuthzResult GaaApi::CheckAuthorization(const eacl::ComposedPolicy& policy,
     // Under narrow, a definite system-side denial is final: skip the local
     // side entirely (its request-result actions must not fire for a request
     // the mandatory policy already rejected).
-    local_status = eval_side(policy.local_policies, &have_local);
+    local_status = eval_side(policy.local_policies, false, &have_local,
+                             &local_attr);
   }
 
   out.applicable = have_system || have_local;
   out.status = eacl::CombineDecisions(policy.mode, system_status, have_system,
                                       local_status, have_local);
+  // Best-effort provenance: prefer the side whose answer became the final
+  // one (system wins ties — it is the higher-priority side).
+  if (have_system && system_status == out.status) {
+    out.attribution = std::move(system_attr);
+  } else if (have_local && local_status == out.status) {
+    out.attribution = std::move(local_attr);
+  } else if (system_attr.has_value()) {
+    out.attribution = std::move(system_attr);
+  } else {
+    out.attribution = std::move(local_attr);
+  }
   out.detail = std::string("authz=") + util::TristateName(out.status) +
                " right=" + right.def_auth + ":" + right.value +
                " object=" + ctx.object;

@@ -35,8 +35,10 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "eacl/ast.h"
@@ -50,6 +52,11 @@
 #include "util/status.h"
 #include "util/tristate.h"
 
+namespace gaa::telemetry {
+class Counter;
+class Histogram;
+}  // namespace gaa::telemetry
+
 namespace gaa::core {
 
 /// One condition's evaluation, in order, for audit and debugging.
@@ -59,9 +66,24 @@ struct CondTrace {
   eacl::CondPhase phase = eacl::CondPhase::kPre;
 };
 
+/// Provenance of an authorization decision: the policy, entry index and
+/// condition that produced the final YES / NO / MAYBE.  Best-effort when
+/// several policies combine (the side that settled the composed answer
+/// wins); always present when any entry applied.
+struct DecisionAttribution {
+  std::string policy;     ///< policy name ("system#0", "local:/cgi-bin", a path)
+  int entry = -1;         ///< entry index within that policy
+  std::string condition;  ///< deciding condition type ("" = the right itself)
+  util::Tristate status = util::Tristate::kNo;
+};
+
 /// Answer from CheckAuthorization (paper §6: the authorization status).
 struct AuthzResult {
   util::Tristate status = util::Tristate::kNo;
+
+  /// Which EACL entry (and condition) decided — for the audit stream,
+  /// per-entry metrics and /__status/policies.  Empty when no entry applied.
+  std::optional<DecisionAttribution> attribution;
 
   /// Conditions evaluated, in evaluation order.
   std::vector<CondTrace> trace;
@@ -137,15 +159,22 @@ class GaaApi {
   struct BlockResult {
     util::Tristate status = util::Tristate::kYes;
     std::vector<eacl::Condition> unevaluated;
+    /// The condition that settled the block: the failing condition on NO,
+    /// the first MAYBE contributor otherwise (empty when the block was an
+    /// unconditional YES).
+    std::string deciding_condition;
   };
 
   struct PolicyAnswer {
     util::Tristate status = util::Tristate::kNo;
     bool applicable = false;
+    DecisionAttribution attribution;  ///< valid when `applicable`
   };
 
   /// Evaluate one condition through the registry (unregistered ⇒
-  /// unevaluated ⇒ MAYBE), appending to the trace.
+  /// unevaluated ⇒ MAYBE), appending to the trace.  When metrics are
+  /// attached, the evaluation is timed into the per-condition
+  /// `gaa_cond_eval_us{cond,auth}` histogram.
   EvalOutcome EvalCondition(const eacl::Condition& cond,
                             eacl::CondPhase phase, RequestContext& ctx,
                             std::vector<CondTrace>* trace);
@@ -156,14 +185,30 @@ class GaaApi {
                         std::vector<CondTrace>* trace);
 
   PolicyAnswer EvalPolicy(const eacl::Eacl& policy,
+                          const std::string& policy_name,
                           const RequestedRight& right, RequestContext& ctx,
                           AuthzResult* out);
+
+  /// Cached `eacl_entry_decisions_total{policy,entry,outcome}` handle;
+  /// `outcome_idx`: 0 yes, 1 no, 2 maybe, 3 miss (pre-block failed, entry
+  /// skipped).  Null when metrics are detached.
+  telemetry::Counter* EntryCounter(const std::string& policy, int entry,
+                                   int outcome_idx);
+  /// Cached per-condition latency histogram.  Null when detached.
+  telemetry::Histogram* CondHistogram(const eacl::Condition& cond);
 
   PolicyStore* store_;
   EvalServices services_;
   ConditionRegistry registry_;
   PolicyCache cache_;
   bool cache_enabled_ = false;
+
+  /// Attribution-metric handle caches: registry lookups build a label
+  /// string per call, so hot entries resolve through this mutex-guarded
+  /// map instead (handles are stable for the registry's lifetime).
+  std::mutex attr_mu_;
+  std::unordered_map<std::string, telemetry::Counter*> entry_counters_;
+  std::unordered_map<std::string, telemetry::Histogram*> cond_histograms_;
 };
 
 }  // namespace gaa::core

@@ -8,6 +8,11 @@
 namespace gaa::core {
 
 util::VoidResult PolicyStore::AddSystemPolicy(const std::string& eacl_text) {
+  return AddSystemPolicyNamed(eacl_text, "");
+}
+
+util::VoidResult PolicyStore::AddSystemPolicyNamed(const std::string& eacl_text,
+                                                   const std::string& name) {
   auto parsed = eacl::ParseEacl(eacl_text);
   if (!parsed.ok()) return parsed.error();
   auto valid = eacl::Validate(parsed.value());
@@ -15,6 +20,9 @@ util::VoidResult PolicyStore::AddSystemPolicy(const std::string& eacl_text) {
   std::lock_guard<std::mutex> lock(mu_);
   system_policies_.push_back(std::move(parsed).take());
   system_texts_.push_back(eacl_text);
+  system_names_.push_back(
+      name.empty() ? "system#" + std::to_string(system_policies_.size() - 1)
+                   : name);
   version_.fetch_add(1);
   return util::VoidResult::Ok();
 }
@@ -22,7 +30,7 @@ util::VoidResult PolicyStore::AddSystemPolicy(const std::string& eacl_text) {
 util::VoidResult PolicyStore::AddSystemPolicyFile(const std::string& path) {
   auto text = util::ReadFileToString(path);
   if (!text.ok()) return text.error();
-  return AddSystemPolicy(text.value());
+  return AddSystemPolicyNamed(text.value(), path);
 }
 
 util::VoidResult PolicyStore::SetLocalPolicyFile(const std::string& dir_prefix,
@@ -59,6 +67,7 @@ void PolicyStore::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   system_policies_.clear();
   system_texts_.clear();
+  system_names_.clear();
   local_policies_.clear();
   local_texts_.clear();
   version_.fetch_add(1);
@@ -83,6 +92,8 @@ eacl::ComposedPolicy PolicyStore::PoliciesFor(
     const std::string& object_path) const {
   std::vector<eacl::Eacl> system_list;
   std::vector<eacl::Eacl> local_list;
+  std::vector<std::string> system_names;
+  std::vector<std::string> local_names;
   if (parse_on_retrieve_.load()) {
     // Paper-faithful mode: read and translate the policy text per request
     // (gaa_get_object_policy_info "reads the system-wide policy file,
@@ -92,9 +103,13 @@ eacl::ComposedPolicy PolicyStore::PoliciesFor(
     {
       std::lock_guard<std::mutex> lock(mu_);
       system_texts = system_texts_;
+      system_names = system_names_;
       for (const auto& dir : DirectoryChain(object_path)) {
         auto it = local_texts_.find(dir);
-        if (it != local_texts_.end()) local_texts.push_back(it->second);
+        if (it != local_texts_.end()) {
+          local_texts.push_back(it->second);
+          local_names.push_back("local:" + it->first);
+        }
       }
     }
     for (const auto& text : system_texts) {
@@ -108,12 +123,17 @@ eacl::ComposedPolicy PolicyStore::PoliciesFor(
   } else {
     std::lock_guard<std::mutex> lock(mu_);
     system_list = system_policies_;
+    system_names = system_names_;
     for (const auto& dir : DirectoryChain(object_path)) {
       auto it = local_policies_.find(dir);
-      if (it != local_policies_.end()) local_list.push_back(it->second);
+      if (it != local_policies_.end()) {
+        local_list.push_back(it->second);
+        local_names.push_back("local:" + it->first);
+      }
     }
   }
-  return eacl::Compose(std::move(system_list), std::move(local_list));
+  return eacl::Compose(std::move(system_list), std::move(local_list),
+                       std::move(system_names), std::move(local_names));
 }
 
 std::string PolicyStore::ExportSystemPolicies() const {

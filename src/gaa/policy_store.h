@@ -30,6 +30,12 @@ class PolicyStore {
   /// policies conjoin at evaluation time.
   util::VoidResult AddSystemPolicy(const std::string& eacl_text);
 
+  /// Same, with an explicit provenance name reported by decision
+  /// attribution ("" = positional "system#<index>").  File-backed policies
+  /// are named by their path automatically.
+  util::VoidResult AddSystemPolicyNamed(const std::string& eacl_text,
+                                        const std::string& name);
+
   /// File-backed variants (the paper's deployment keeps policies in
   /// system and local policy files).
   util::VoidResult AddSystemPolicyFile(const std::string& path);
@@ -81,6 +87,7 @@ class PolicyStore {
   mutable std::mutex mu_;
   std::vector<eacl::Eacl> system_policies_;
   std::vector<std::string> system_texts_;
+  std::vector<std::string> system_names_;  // parallel provenance names
   std::map<std::string, eacl::Eacl> local_policies_;   // prefix -> policy
   std::map<std::string, std::string> local_texts_;     // prefix -> text
   std::atomic<std::uint64_t> version_{0};

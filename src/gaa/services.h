@@ -29,6 +29,22 @@ class NotificationService {
                       const std::string& body) = 0;
 };
 
+/// A structured audit event.  The plain (category, message) form stays the
+/// common case; security-relevant emitters additionally attribute the event
+/// to a client and — for access decisions — to the exact policy entry and
+/// condition that produced the answer, so the audit stream can answer
+/// "which EACL entry denied this request" without log archaeology.
+struct AuditEvent {
+  std::string category;
+  std::string message;
+  std::uint64_t trace_id = 0;  ///< joins the event to its request trace
+  std::string client;          ///< client IP ("" = not request-scoped)
+  std::string decision;        ///< "yes" / "no" / "maybe" ("" = not a decision)
+  std::string policy;          ///< deciding policy name ("" = n/a)
+  int entry = -1;              ///< entry index within `policy` (-1 = n/a)
+  std::string condition;       ///< deciding condition type ("" = the right itself)
+};
+
 /// Append-only audit trail.
 class AuditSink {
  public:
@@ -41,6 +57,11 @@ class AuditSink {
                       std::uint64_t trace_id) {
     (void)trace_id;
     Record(category, message);
+  }
+  /// Structured variant; the default drops the attribution fields so
+  /// pre-existing sinks keep working unchanged.
+  virtual void Record(const AuditEvent& event) {
+    Record(event.category, event.message, event.trace_id);
   }
 };
 

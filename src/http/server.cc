@@ -154,7 +154,10 @@ HttpResponse WebServer::DoHandle(RequestRec& rec) {
   // the same policy machinery as any document.
   if (!options_.status_path.empty() &&
       (rec.path == options_.status_path ||
-       rec.path == options_.status_path + "/traces")) {
+       rec.path == options_.status_path + "/traces" ||
+       rec.path == options_.status_path + "/slow" ||
+       rec.path == options_.status_path + "/metrics.json" ||
+       rec.path == options_.status_path + "/policies")) {
     return ServeStatus(rec);
   }
 
@@ -263,7 +266,15 @@ HttpResponse WebServer::ServeStatus(RequestRec& rec) {
         "text/plain; version=0.0.4; charset=utf-8";
   } else {
     response.status = StatusCode::kOk;
-    response.body = telemetry::RenderTracesJson(telemetry_->tracer());
+    if (rec.path == options_.status_path + "/slow") {
+      response.body = telemetry::RenderSlowTracesJson(telemetry_->tracer());
+    } else if (rec.path == options_.status_path + "/metrics.json") {
+      response.body = telemetry::RenderMetricsJson(telemetry_->registry());
+    } else if (rec.path == options_.status_path + "/policies") {
+      response.body = telemetry::RenderPoliciesJson(telemetry_->registry());
+    } else {
+      response.body = telemetry::RenderTracesJson(telemetry_->tracer());
+    }
     response.headers["Content-Type"] = "application/json";
   }
   obs.bytes_written = response.body.size();

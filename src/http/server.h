@@ -122,10 +122,14 @@ class WebServer {
     std::string server_name = "apache-sim/1.0";
     ParseLimits parse_limits;
     std::size_t access_log_limit = 65536;
-    /// Admin endpoint path serving Prometheus text metrics (and, under
-    /// "<status_path>/traces", a JSON dump of recent request traces).  It
-    /// is dispatched AFTER the access-control phase, so any policy that can
-    /// protect a document can protect it.  Empty disables the endpoint.
+    /// Admin endpoint path serving Prometheus text metrics, plus JSON
+    /// views: "<status_path>/traces" (recent request traces),
+    /// "<status_path>/slow" (watchdog-pinned slow traces),
+    /// "<status_path>/metrics.json" (all metrics with p50/p95/p99 summaries)
+    /// and "<status_path>/policies" (per-EACL-entry decision counts and
+    /// per-condition latency percentiles).  It is dispatched AFTER the
+    /// access-control phase, so any policy that can protect a document can
+    /// protect it.  Empty disables the endpoint.
     std::string status_path = "/__status";
   };
 

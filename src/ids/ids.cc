@@ -21,6 +21,10 @@ void IntrusionDetectionSystem::AttachMetrics(
   threat_.AttachMetrics(registry);
 }
 
+void IntrusionDetectionSystem::AttachAudit(core::AuditSink* audit) {
+  audit_ = audit;
+}
+
 void IntrusionDetectionSystem::Report(const core::IdsReport& report) {
   if (metrics_ != nullptr) {
     metrics_
@@ -36,8 +40,20 @@ void IntrusionDetectionSystem::Report(const core::IdsReport& report) {
   // Severity-weighted feed into the threat profile; benign pattern reports
   // (item 7) do not escalate.
   if (report.kind != core::ReportKind::kLegitimatePattern) {
+    const core::ThreatLevel before = threat_.level();
     threat_.ReportAlert(static_cast<double>(report.severity) *
                         report.confidence);
+    const core::ThreatLevel after = threat_.level();
+    if (audit_ != nullptr && after != before) {
+      core::AuditEvent event;
+      event.category = "threat";
+      event.message = std::string("threat level ") +
+                      core::ThreatLevelName(before) + " -> " +
+                      core::ThreatLevelName(after) + " (trigger: " +
+                      core::ReportKindName(report.kind) + ")";
+      event.client = report.source_ip;
+      audit_->Record(event);
+    }
   }
   Event event;
   event.topic = std::string("gaa.report.") + core::ReportKindName(report.kind);

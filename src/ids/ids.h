@@ -43,6 +43,11 @@ class IntrusionDetectionSystem final : public core::IdsChannel {
   /// level gauge (forwards to EventBus / ThreatService).  Null detaches.
   void AttachMetrics(telemetry::MetricRegistry* registry);
 
+  /// Record threat-level transitions into the audit trail as structured
+  /// "threat" events (old level, new level, triggering report kind).  Null
+  /// detaches.  The sink must outlive the IDS.
+  void AttachAudit(core::AuditSink* audit);
+
   // --- components ----------------------------------------------------------
   ThreatService& threat() { return threat_; }
   EventBus& bus() { return bus_; }
@@ -72,6 +77,7 @@ class IntrusionDetectionSystem final : public core::IdsChannel {
   core::SystemState* state_;
   util::Clock* clock_;
   telemetry::MetricRegistry* metrics_ = nullptr;
+  core::AuditSink* audit_ = nullptr;
   ThreatService threat_;
   EventBus bus_;
   AnomalyDetector anomaly_;

@@ -2,6 +2,7 @@
 
 #include "integration/translate.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/strings.h"
 
 namespace gaa::web {
@@ -111,6 +112,25 @@ http::AccessController::Verdict GaaAccessController::Check(
   } else if (authz.status == util::Tristate::kYes &&
              options_.report_legitimate_patterns) {
     ReportLegitimate(ctx);
+  }
+
+  // Non-grant decisions land in the audit stream with full attribution —
+  // which policy, which entry, which condition — so "why was this denied"
+  // is answerable from the JSONL alone.  Grants are not audited per-request
+  // (volume); their per-entry counters are in /__status/policies.
+  if (services.audit != nullptr && authz.status != util::Tristate::kYes) {
+    core::AuditEvent event;
+    event.category = "decision";
+    event.message = authz.detail;
+    event.trace_id = telemetry::TraceId(ctx.trace);
+    event.client = ctx.client_ip.ToString();
+    event.decision = authz.status == util::Tristate::kNo ? "no" : "maybe";
+    if (authz.attribution.has_value()) {
+      event.policy = authz.attribution->policy;
+      event.entry = authz.attribution->entry;
+      event.condition = authz.attribution->condition;
+    }
+    services.audit->Record(event);
   }
 
   // --- phase 2d: translate ----------------------------------------------------

@@ -1,13 +1,68 @@
 #include "integration/gaa_web_server.h"
 
+#include <cstdlib>
+
+#include "audit/audit_stream.h"
 #include "conditions/builtin.h"
 #include "util/log.h"
 #include "util/strings.h"
 
 namespace gaa::web {
 
+namespace {
+
+/// Env override helpers: unset / unparsable leaves `value` untouched.
+template <typename T>
+void EnvOverrideUnsigned(const char* name, T* value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (end != nullptr && *end == '\0') *value = static_cast<T>(parsed);
+}
+
+void EnvOverride(const char* name, std::int64_t* value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  char* end = nullptr;
+  long long parsed = std::strtoll(text, &end, 10);
+  if (end != nullptr && *end == '\0') *value = parsed;
+}
+
+void EnvOverride(const char* name, std::string* value) {
+  const char* text = std::getenv(name);
+  if (text != nullptr) *value = text;
+}
+
+void EnvOverride(const char* name, bool* value) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  *value = !(text[0] == '0' && text[1] == '\0');
+}
+
+}  // namespace
+
 GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
     : tree_(std::move(tree)), options_(std::move(options)) {
+  // Deployment knobs (trace ring sizing, audit stream, watchdog deadline)
+  // are overridable from the environment so ops can retune a packaged
+  // binary without a rebuild.
+  EnvOverrideUnsigned("GAA_TRACE_RING", &options_.tuning.trace_ring_capacity);
+  EnvOverrideUnsigned("GAA_TRACE_SAMPLE_PERIOD",
+                      &options_.tuning.trace_sample_period);
+  EnvOverrideUnsigned("GAA_TRACE_PINNED", &options_.tuning.pinned_slow_traces);
+  EnvOverride("GAA_AUDIT_STREAM", &options_.audit_stream.path);
+  EnvOverrideUnsigned("GAA_AUDIT_ROTATE_BYTES",
+                      &options_.audit_stream.rotate_bytes);
+  EnvOverride("GAA_AUDIT_FSYNC", &options_.audit_stream.fsync_each_write);
+  std::int64_t watchdog_deadline_ms =
+      options_.watchdog.enabled ? options_.watchdog.deadline_ms : 0;
+  EnvOverride("GAA_WATCHDOG_DEADLINE_MS", &watchdog_deadline_ms);
+  options_.watchdog.enabled = watchdog_deadline_ms > 0;
+  if (options_.watchdog.enabled) {
+    options_.watchdog.deadline_ms = watchdog_deadline_ms;
+  }
+
   if (options_.use_real_clock) {
     clock_ = &util::RealClock::Instance();
   } else {
@@ -22,6 +77,8 @@ GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
   ids_ = std::make_unique<ids::IntrusionDetectionSystem>(state_.get(), clock_,
                                                          options_.threat);
   audit_ = std::make_unique<audit::AuditLog>(clock_);
+  // Threat-level transitions become structured "threat" audit events.
+  ids_->AttachAudit(audit_.get());
   notifier_ = std::make_unique<audit::SimulatedSmtpNotifier>(
       clock_, options_.notification_latency_us);
   if (options_.asynchronous_notification) {
@@ -41,8 +98,19 @@ GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
   if (options_.enable_telemetry) {
     services.metrics = &telemetry_.registry();
     telemetry_.tracer().set_clock(clock_);
+    telemetry_.tracer().set_capacity(options_.tuning.trace_ring_capacity);
+    telemetry_.tracer().set_sample_period(options_.tuning.trace_sample_period);
+    telemetry_.tracer().set_pinned_capacity(options_.tuning.pinned_slow_traces);
     ids_->AttachMetrics(&telemetry_.registry());
     audit_->AttachMetrics(&telemetry_.registry());
+  }
+  if (!options_.audit_stream.path.empty()) {
+    audit::AuditLog::StreamOptions sopts;
+    sopts.queue_capacity = options_.audit_stream.queue_capacity;
+    sopts.rotate_bytes = options_.audit_stream.rotate_bytes;
+    sopts.max_rotated_files = options_.audit_stream.max_rotated_files;
+    sopts.fsync_each_write = options_.audit_stream.fsync_each_write;
+    audit_->AttachFileStream(options_.audit_stream.path, sopts);
   }
 
   api_ = std::make_unique<core::GaaApi>(&store_, services);
@@ -76,6 +144,61 @@ GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
     report.detail = detail;
     ids_->Report(report);
   });
+
+  if (options_.watchdog.enabled && options_.enable_telemetry) {
+    // Flag time (watchdog thread): the request is still running, so only
+    // its id and age are safely known — audit that immediately.
+    auto on_flag = [this](const telemetry::SlowRequestWatchdog::SlowEvent& ev) {
+      core::AuditEvent event;
+      event.category = "slow_request";
+      event.message = "request exceeded deadline after " +
+                      std::to_string(ev.elapsed_us) + "us (still running)";
+      event.trace_id = ev.trace_id;
+      audit_->Record(event);
+      if (options_.watchdog.report_to_ids) {
+        core::IdsReport report;
+        report.kind = core::ReportKind::kSuspiciousBehavior;
+        report.attack_type = "slow_request";
+        report.severity = 2;
+        report.confidence = 0.3;
+        report.detail = "trace " + std::to_string(ev.trace_id) + " ran " +
+                        std::to_string(ev.elapsed_us) + "us past deadline";
+        ids_->Report(report);
+      }
+    };
+    // Retirement (request thread): the span tree is complete — audit where
+    // the time actually went.
+    telemetry_.tracer().set_slow_retired_hook(
+        [this](const telemetry::RequestTrace& trace) {
+          const telemetry::Span* slowest = nullptr;
+          for (const telemetry::Span& span : trace.spans()) {
+            if (span.depth != 0 || span.end_us == 0) continue;
+            if (slowest == nullptr ||
+                span.DurationUs() > slowest->DurationUs()) {
+              slowest = &span;
+            }
+          }
+          core::AuditEvent event;
+          event.category = "slow_request";
+          event.message =
+              trace.method + " " + trace.target + " took " +
+              std::to_string(trace.DurationUs()) + "us (status " +
+              std::to_string(trace.status) + ")";
+          if (slowest != nullptr) {
+            event.message += ", slowest phase " + std::string(slowest->name) +
+                             " " + std::to_string(slowest->DurationUs()) + "us";
+          }
+          event.trace_id = trace.id();
+          event.client = trace.client_ip;
+          audit_->Record(event);
+        });
+    telemetry::SlowRequestWatchdog::Options wopts;
+    wopts.deadline_us = options_.watchdog.deadline_ms * 1000;
+    wopts.poll_interval_us = options_.watchdog.poll_interval_ms * 1000;
+    watchdog_ = std::make_unique<telemetry::SlowRequestWatchdog>(
+        &telemetry_.tracer(), &telemetry_.registry(), wopts,
+        std::move(on_flag));
+  }
 }
 
 util::VoidResult GaaWebServer::AddSystemPolicy(const std::string& eacl_text) {

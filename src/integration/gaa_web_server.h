@@ -25,6 +25,7 @@
 #include "ids/ids.h"
 #include "integration/gaa_controller.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/watchdog.h"
 #include "util/clock.h"
 
 namespace gaa::web {
@@ -56,6 +57,41 @@ class GaaWebServer {
     /// registry + request tracing + /__status).  Off = the bench baseline:
     /// the web server runs with telemetry detached entirely.
     bool enable_telemetry = true;
+
+    /// Tracer sizing knobs.  Environment overrides (applied on top of
+    /// whatever the config sets): GAA_TRACE_RING, GAA_TRACE_SAMPLE_PERIOD,
+    /// GAA_TRACE_PINNED.
+    struct TelemetryTuning {
+      std::size_t trace_ring_capacity = telemetry::Tracer::kDefaultCapacity;
+      std::uint64_t trace_sample_period = 1;  ///< trace 1-in-N (0 disables)
+      std::size_t pinned_slow_traces =
+          telemetry::Tracer::kDefaultPinnedCapacity;
+    };
+    TelemetryTuning tuning;
+
+    /// Structured JSONL audit stream (async file mirror of the audit log).
+    /// Environment overrides: GAA_AUDIT_STREAM (path; enables),
+    /// GAA_AUDIT_ROTATE_BYTES, GAA_AUDIT_FSYNC (0/1).
+    struct AuditStreamOptions {
+      std::string path;  ///< "" = no stream
+      std::size_t queue_capacity = 4096;
+      std::size_t rotate_bytes = 8 * 1024 * 1024;
+      int max_rotated_files = 3;
+      bool fsync_each_write = false;
+    };
+    AuditStreamOptions audit_stream;
+
+    /// Slow-request watchdog.  Environment override:
+    /// GAA_WATCHDOG_DEADLINE_MS (> 0 enables, 0 disables).
+    struct WatchdogOptions {
+      bool enabled = false;
+      std::int64_t deadline_ms = 1000;
+      std::int64_t poll_interval_ms = 100;
+      /// Also report flagged requests to the IDS as suspicious behaviour
+      /// (§3 item 6: resource-exhaustion shows up as slow requests).
+      bool report_to_ids = true;
+    };
+    WatchdogOptions watchdog;
   };
 
   explicit GaaWebServer(http::DocTree tree) : GaaWebServer(std::move(tree), Options{}) {}
@@ -101,6 +137,8 @@ class GaaWebServer {
   /// The shared telemetry bundle (all components report here); valid even
   /// when Options::enable_telemetry is false, just disconnected.
   telemetry::Telemetry& telemetry() { return telemetry_; }
+  /// Non-null only when Options::watchdog.enabled (or the env override).
+  telemetry::SlowRequestWatchdog* watchdog() { return watchdog_.get(); }
 
  private:
   /// Declared before every component so it outlives all metric handles.
@@ -119,6 +157,8 @@ class GaaWebServer {
   http::HtpasswdRegistry passwords_;
   std::unique_ptr<GaaAccessController> controller_;
   std::unique_ptr<http::WebServer> server_;
+  /// Last member: the watchdog thread dies before anything it observes.
+  std::unique_ptr<telemetry::SlowRequestWatchdog> watchdog_;
 };
 
 }  // namespace gaa::web

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <utility>
+#include <vector>
 #include <string_view>
 #include <unordered_set>
 
@@ -105,8 +108,9 @@ std::string RenderPrometheus(const MetricRegistry& registry) {
   return out.str();
 }
 
-std::string RenderTracesJson(const Tracer& tracer, std::size_t limit) {
-  const std::vector<RequestTrace> traces = tracer.Recent(limit);
+namespace {
+
+std::string RenderTraceArray(const std::vector<RequestTrace>& traces) {
   std::string out;
   out.reserve(256 * traces.size() + 2);
   out.push_back('[');
@@ -122,6 +126,7 @@ std::string RenderTracesJson(const Tracer& tracer, std::size_t limit) {
     out += ",\"client_ip\":";
     AppendJsonString(out, t.client_ip);
     out += ",\"status\":" + std::to_string(t.status);
+    out += std::string(",\"slow\":") + (t.slow ? "true" : "false");
     out += ",\"start_unix_us\":" + std::to_string(t.start_unix_us());
     out += ",\"duration_us\":" + std::to_string(t.DurationUs());
     out += ",\"spans\":[";
@@ -140,6 +145,179 @@ std::string RenderTracesJson(const Tracer& tracer, std::size_t limit) {
     out += "]}";
   }
   out.push_back(']');
+  return out;
+}
+
+void AppendDouble(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out += buf;
+}
+
+void AppendQuantiles(std::string& out, const Histogram::Snapshot& s) {
+  out += ",\"count\":" + std::to_string(s.count);
+  out += ",\"sum\":" + std::to_string(s.sum);
+  out += ",\"mean\":";
+  AppendDouble(out, s.Mean());
+  out += ",\"p50\":";
+  AppendDouble(out, s.Quantile(0.50));
+  out += ",\"p95\":";
+  AppendDouble(out, s.Quantile(0.95));
+  out += ",\"p99\":";
+  AppendDouble(out, s.Quantile(0.99));
+}
+
+/// Parse a `key="value",...` label string into pairs.  Values are the
+/// registry's own (we never emit embedded quotes), so a flat scan is enough.
+std::vector<std::pair<std::string, std::string>> ParseLabels(
+    const std::string& labels) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  while (pos < labels.size()) {
+    std::size_t eq = labels.find("=\"", pos);
+    if (eq == std::string::npos) break;
+    std::size_t close = labels.find('"', eq + 2);
+    if (close == std::string::npos) break;
+    out.emplace_back(labels.substr(pos, eq - pos),
+                     labels.substr(eq + 2, close - eq - 2));
+    pos = close + 1;
+    if (pos < labels.size() && labels[pos] == ',') ++pos;
+  }
+  return out;
+}
+
+std::string LabelValue(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string RenderTracesJson(const Tracer& tracer, std::size_t limit) {
+  return RenderTraceArray(tracer.Recent(limit));
+}
+
+std::string RenderSlowTracesJson(const Tracer& tracer) {
+  return RenderTraceArray(tracer.Pinned());
+}
+
+std::string RenderMetricsJson(const MetricRegistry& registry) {
+  std::string counters, gauges, histograms;
+  for (const MetricRegistry::Entry& e : registry.List()) {
+    std::string item = "{\"name\":";
+    AppendJsonString(item, e.name);
+    item += ",\"labels\":";
+    AppendJsonString(item, e.labels);
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        item += ",\"value\":" + std::to_string(e.counter->Value()) + "}";
+        if (!counters.empty()) counters.push_back(',');
+        counters += item;
+        break;
+      case MetricKind::kGauge:
+        item += ",\"value\":" + std::to_string(e.gauge->Value()) + "}";
+        if (!gauges.empty()) gauges.push_back(',');
+        gauges += item;
+        break;
+      case MetricKind::kHistogram: {
+        AppendQuantiles(item, e.histogram->TakeSnapshot());
+        item.push_back('}');
+        if (!histograms.empty()) histograms.push_back(',');
+        histograms += item;
+        break;
+      }
+    }
+  }
+  return "{\"counters\":[" + counters + "],\"gauges\":[" + gauges +
+         "],\"histograms\":[" + histograms + "]}";
+}
+
+std::string RenderPoliciesJson(const MetricRegistry& registry) {
+  // policy name -> entry index -> outcome -> count, preserving first-seen
+  // policy/entry order (registry creation order is evaluation order).
+  struct EntryCounts {
+    int entry = 0;
+    std::uint64_t outcomes[4] = {0, 0, 0, 0};  // yes, no, maybe, miss
+  };
+  std::vector<std::pair<std::string, std::vector<EntryCounts>>> policies;
+  std::string conditions;
+
+  auto policy_slot = [&](const std::string& name)
+      -> std::vector<EntryCounts>& {
+    for (auto& [n, entries] : policies) {
+      if (n == name) return entries;
+    }
+    policies.emplace_back(name, std::vector<EntryCounts>());
+    return policies.back().second;
+  };
+  auto entry_slot = [](std::vector<EntryCounts>& entries,
+                       int index) -> EntryCounts& {
+    for (auto& e : entries) {
+      if (e.entry == index) return e;
+    }
+    entries.push_back(EntryCounts{index, {0, 0, 0, 0}});
+    return entries.back();
+  };
+
+  for (const MetricRegistry::Entry& e : registry.List()) {
+    if (e.kind == MetricKind::kCounter &&
+        e.name == "eacl_entry_decisions_total") {
+      const auto labels = ParseLabels(e.labels);
+      const std::string outcome = LabelValue(labels, "outcome");
+      int outcome_idx = outcome == "yes"     ? 0
+                        : outcome == "no"    ? 1
+                        : outcome == "maybe" ? 2
+                                             : 3;
+      int entry_idx = 0;
+      const std::string entry_text = LabelValue(labels, "entry");
+      if (!entry_text.empty()) entry_idx = std::atoi(entry_text.c_str());
+      EntryCounts& slot =
+          entry_slot(policy_slot(LabelValue(labels, "policy")), entry_idx);
+      slot.outcomes[outcome_idx] += e.counter->Value();
+    } else if (e.kind == MetricKind::kHistogram &&
+               e.name == "gaa_cond_eval_us") {
+      const auto labels = ParseLabels(e.labels);
+      std::string item = "{\"cond\":";
+      AppendJsonString(item, LabelValue(labels, "cond"));
+      item += ",\"auth\":";
+      AppendJsonString(item, LabelValue(labels, "auth"));
+      AppendQuantiles(item, e.histogram->TakeSnapshot());
+      item.push_back('}');
+      if (!conditions.empty()) conditions.push_back(',');
+      conditions += item;
+    }
+  }
+
+  std::string out = "{\"policies\":[";
+  bool first_policy = true;
+  for (auto& [name, entries] : policies) {
+    if (!first_policy) out.push_back(',');
+    first_policy = false;
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryCounts& a, const EntryCounts& b) {
+                return a.entry < b.entry;
+              });
+    out += "{\"policy\":";
+    AppendJsonString(out, name);
+    out += ",\"entries\":[";
+    bool first_entry = true;
+    for (const EntryCounts& e : entries) {
+      if (!first_entry) out.push_back(',');
+      first_entry = false;
+      out += "{\"entry\":" + std::to_string(e.entry);
+      out += ",\"yes\":" + std::to_string(e.outcomes[0]);
+      out += ",\"no\":" + std::to_string(e.outcomes[1]);
+      out += ",\"maybe\":" + std::to_string(e.outcomes[2]);
+      out += ",\"miss\":" + std::to_string(e.outcomes[3]);
+      out.push_back('}');
+    }
+    out += "]}";
+  }
+  out += "],\"conditions\":[" + conditions + "]}";
   return out;
 }
 

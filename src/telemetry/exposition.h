@@ -19,9 +19,30 @@ std::string RenderPrometheus(const MetricRegistry& registry);
 /// JSON array of the most recent `limit` completed traces (0 = all
 /// retained), oldest first:
 ///   [{"id":1,"method":"GET","target":"/x","client_ip":"1.2.3.4",
-///     "status":200,"start_unix_us":...,"duration_us":...,
+///     "status":200,"slow":false,"start_unix_us":...,"duration_us":...,
 ///     "spans":[{"name":"parse","depth":0,"start_us":0,"duration_us":12},...]}]
 /// Span start_us values are relative to the trace start.
 std::string RenderTracesJson(const Tracer& tracer, std::size_t limit = 0);
+
+/// Same trace shape, but for the pinned slow-trace ring (requests the
+/// watchdog flagged): the /__status/slow view.
+std::string RenderSlowTracesJson(const Tracer& tracer);
+
+/// JSON object with every metric; histograms carry count/mean and
+/// p50/p95/p99 summary estimates:
+///   {"counters":[{"name":"...","labels":"...","value":1}],
+///    "gauges":[...],
+///    "histograms":[{"name":"...","labels":"...","count":9,"sum":123,
+///                   "mean":13.7,"p50":12.0,"p95":31.0,"p99":44.0}]}
+std::string RenderMetricsJson(const MetricRegistry& registry);
+
+/// The /__status/policies view: per-EACL-entry decision counters
+/// (`eacl_entry_decisions_total{policy,entry,outcome}`) grouped by policy,
+/// plus per-condition evaluation-latency percentiles (`gaa_cond_eval_us`):
+///   {"policies":[{"policy":"system#0","entries":[
+///        {"entry":0,"yes":10,"no":2,"maybe":0,"miss":1}]}],
+///    "conditions":[{"cond":"pre_cond_access_id_ip","auth":"router",
+///        "count":12,"mean":3.1,"p50":2.5,"p95":6.0,"p99":8.8}]}
+std::string RenderPoliciesJson(const MetricRegistry& registry);
 
 }  // namespace gaa::telemetry

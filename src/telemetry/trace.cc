@@ -45,15 +45,43 @@ std::unique_ptr<RequestTrace> Tracer::Begin() {
   }
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t unix_us = clock_ ? clock_->Now() : 0;
-  return std::make_unique<RequestTrace>(id, unix_us);
+  auto trace = std::make_unique<RequestTrace>(id, unix_us);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.emplace(id, trace->start_us());
+  }
+  return trace;
 }
 
 void Tracer::Finish(std::unique_ptr<RequestTrace> trace) {
   if (!trace) return;
   trace->Finish();
-  std::lock_guard<std::mutex> lock(mu_);
-  ring_.push_back(std::move(*trace));
-  while (ring_.size() > capacity_) ring_.pop_front();
+  bool was_flagged = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(trace->id());
+    was_flagged = flagged_.erase(trace->id()) > 0;
+  }
+  trace->slow = was_flagged;
+
+  std::function<void(const RequestTrace&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (was_flagged) {
+      pinned_.push_back(*trace);  // pin a copy before ring eviction can bite
+      while (pinned_.size() > pinned_capacity_) pinned_.pop_front();
+      hook = slow_hook_;
+    }
+    if (hook) {
+      ring_.push_back(*trace);  // keep *trace intact for the hook below
+    } else {
+      ring_.push_back(std::move(*trace));
+    }
+    while (ring_.size() > capacity_) ring_.pop_front();
+  }
+  // Runs on this (request) thread with no lock held: the span tree is
+  // complete and user code cannot deadlock back into the tracer.
+  if (hook) hook(*trace);
 }
 
 std::vector<RequestTrace> Tracer::Recent(std::size_t limit) const {
@@ -68,9 +96,61 @@ std::vector<RequestTrace> Tracer::Recent(std::size_t limit) const {
   return out;
 }
 
-void Tracer::Clear() {
+std::size_t Tracer::capacity() const {
   std::lock_guard<std::mutex> lock(mu_);
-  ring_.clear();
+  return capacity_;
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void Tracer::set_pinned_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_capacity_ = capacity;
+  while (pinned_.size() > pinned_capacity_) pinned_.pop_front();
+}
+
+std::vector<Tracer::SlowCandidate> Tracer::FlagSlowerThan(
+    std::int64_t deadline_us) {
+  const std::int64_t now = SteadyNowUs();
+  std::vector<SlowCandidate> flagged;
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  for (const auto& [id, start_us] : inflight_) {
+    const std::int64_t elapsed = now - start_us;
+    if (elapsed < deadline_us) continue;
+    if (!flagged_.insert(id).second) continue;  // already flagged
+    flagged.push_back(SlowCandidate{id, elapsed});
+  }
+  return flagged;
+}
+
+std::size_t Tracer::inflight() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_.size();
+}
+
+std::vector<RequestTrace> Tracer::Pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RequestTrace>(pinned_.begin(), pinned_.end());
+}
+
+void Tracer::set_slow_retired_hook(
+    std::function<void(const RequestTrace&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_hook_ = std::move(hook);
+}
+
+void Tracer::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    pinned_.clear();
+  }
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  flagged_.clear();
 }
 
 }  // namespace gaa::telemetry

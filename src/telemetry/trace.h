@@ -13,10 +13,13 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "util/clock.h"
@@ -50,6 +53,10 @@ class RequestTrace {
   std::string target;
   std::string client_ip;
   int status = 0;
+
+  /// Set by the Tracer when the slow-request watchdog flagged this request
+  /// while it was in flight (it blew its deadline).
+  bool slow = false;
 
   /// Wall-clock start (Unix µs via the wired Clock; 0 if none).
   std::int64_t start_unix_us() const { return start_unix_us_; }
@@ -105,13 +112,20 @@ inline std::uint64_t TraceId(const RequestTrace* trace) {
   return trace != nullptr ? trace->id() : 0;
 }
 
-/// Creates traces and retains the last `capacity` completed ones.
+/// Creates traces and retains the last `capacity` completed ones.  Also the
+/// slow-request bookkeeper: sampled in-flight requests are registered (id +
+/// steady start time only — the trace itself stays single-owner), so the
+/// watchdog can flag deadline-blowers without touching live span trees.
+/// Flagged traces are marked `slow`, pinned into a separate small ring that
+/// fast traffic cannot evict, and reported through the slow-retired hook on
+/// the request thread that owns them.
 class Tracer {
  public:
   explicit Tracer(std::size_t capacity = kDefaultCapacity)
       : capacity_(capacity) {}
 
   static constexpr std::size_t kDefaultCapacity = 128;
+  static constexpr std::size_t kDefaultPinnedCapacity = 16;
 
   /// Wall clock used only for start_unix_us stamps (span timing is always
   /// steady-clock).  Null reverts to "no wall timestamps".
@@ -139,18 +153,57 @@ class Tracer {
   std::uint64_t started() const {
     return next_id_.load(std::memory_order_relaxed) - 1;
   }
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const;
+
+  /// Resize the completed-trace ring (config / env knob); trims to fit.
+  void set_capacity(std::size_t capacity);
+  /// Resize the pinned slow-trace ring; trims to fit.
+  void set_pinned_capacity(std::size_t capacity);
+
+  // --- slow-request support (driven by SlowRequestWatchdog) ----------------
+
+  /// An in-flight request that just blew the deadline.
+  struct SlowCandidate {
+    std::uint64_t id = 0;
+    std::int64_t elapsed_us = 0;
+  };
+
+  /// Flag every in-flight trace older than `deadline_us` that is not
+  /// already flagged, and return the newly flagged ones.  Safe to call from
+  /// any thread: only the (id, start time) registry is read, never the
+  /// request-owned trace.
+  std::vector<SlowCandidate> FlagSlowerThan(std::int64_t deadline_us);
+
+  std::size_t inflight() const;
+
+  /// Flagged traces, pinned at retirement so bursty fast traffic cannot
+  /// evict the interesting ones.  Most-recent-last.
+  std::vector<RequestTrace> Pinned() const;
+
+  /// Invoked on the request thread when a flagged trace retires — the one
+  /// point where the full span tree is both complete and race-free.  Keep
+  /// it cheap; it runs inside request teardown.
+  void set_slow_retired_hook(std::function<void(const RequestTrace&)> hook);
 
   void Clear();
 
  private:
   std::size_t capacity_;
+  std::size_t pinned_capacity_ = kDefaultPinnedCapacity;
   const util::Clock* clock_ = nullptr;
   std::atomic<std::uint64_t> sample_period_{1};
   std::atomic<std::uint64_t> seen_{0};  ///< requests offered to Begin()
   std::atomic<std::uint64_t> next_id_{1};
   mutable std::mutex mu_;
-  std::deque<RequestTrace> ring_;  ///< guarded by mu_
+  std::deque<RequestTrace> ring_;        ///< guarded by mu_
+  std::deque<RequestTrace> pinned_;      ///< guarded by mu_
+  std::function<void(const RequestTrace&)> slow_hook_;  ///< guarded by mu_
+
+  /// In-flight registry: trace id → steady start µs.  A separate mutex so
+  /// the watchdog's periodic scan never contends with ring retirement.
+  mutable std::mutex inflight_mu_;
+  std::unordered_map<std::uint64_t, std::int64_t> inflight_;
+  std::unordered_set<std::uint64_t> flagged_;
 };
 
 }  // namespace gaa::telemetry

@@ -1,0 +1,72 @@
+#include "telemetry/watchdog.h"
+
+#include <chrono>
+#include <utility>
+
+#include "telemetry/metrics.h"
+
+namespace gaa::telemetry {
+
+SlowRequestWatchdog::SlowRequestWatchdog(Tracer* tracer,
+                                         MetricRegistry* registry,
+                                         Options options, SlowHook hook)
+    : tracer_(tracer), options_(options), hook_(std::move(hook)) {
+  if (registry != nullptr) {
+    slow_counter_ = registry->GetCounter("slow_requests_total");
+  }
+  if (options_.poll_interval_us > 0) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+SlowRequestWatchdog::~SlowRequestWatchdog() { Stop(); }
+
+std::size_t SlowRequestWatchdog::ScanOnce() {
+  if (tracer_ == nullptr) return 0;
+  std::vector<Tracer::SlowCandidate> flagged =
+      tracer_->FlagSlowerThan(options_.deadline_us);
+  if (flagged.empty()) return 0;
+  if (slow_counter_ != nullptr) slow_counter_->Inc(flagged.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flagged_total_ += flagged.size();
+  }
+  if (hook_) {
+    for (const auto& candidate : flagged) {
+      hook_(SlowEvent{candidate.id, candidate.elapsed_us});
+    }
+  }
+  return flagged.size();
+}
+
+void SlowRequestWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SlowRequestWatchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::microseconds(options_.poll_interval_us),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    ScanOnce();
+    lock.lock();
+  }
+}
+
+std::uint64_t SlowRequestWatchdog::flagged_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flagged_total_;
+}
+
+}  // namespace gaa::telemetry

@@ -1,0 +1,75 @@
+// Slow-request watchdog: a monitor thread that periodically scans the
+// tracer's in-flight registry for requests that blew a wall deadline.
+//
+// When a request exceeds `deadline_us` the watchdog (a) flags it in the
+// tracer — so at retirement the trace is marked `slow`, pinned into the
+// slow-trace ring and reported through the tracer's slow-retired hook —
+// (b) bumps `slow_requests_total`, and (c) invokes the SlowHook with the
+// id/elapsed snapshot, typically wired to the audit stream by the
+// integration layer (telemetry must not depend on audit).
+//
+// The scan reads only the (id, start-time) registry, never a live span
+// tree, so it is data-race-free against request threads by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace gaa::telemetry {
+
+class Counter;
+class MetricRegistry;
+
+class SlowRequestWatchdog {
+ public:
+  struct Options {
+    std::int64_t deadline_us = 1'000'000;     ///< 1 s default
+    std::int64_t poll_interval_us = 100'000;  ///< 100 ms default
+  };
+
+  /// Fired once per newly flagged request, from the watchdog thread.
+  struct SlowEvent {
+    std::uint64_t trace_id = 0;
+    std::int64_t elapsed_us = 0;  ///< age at flag time, still running
+  };
+  using SlowHook = std::function<void(const SlowEvent&)>;
+
+  SlowRequestWatchdog(Tracer* tracer, MetricRegistry* registry,
+                      Options options, SlowHook hook = nullptr);
+  ~SlowRequestWatchdog();
+
+  SlowRequestWatchdog(const SlowRequestWatchdog&) = delete;
+  SlowRequestWatchdog& operator=(const SlowRequestWatchdog&) = delete;
+
+  /// One scan pass; returns how many requests were newly flagged.  The
+  /// monitor thread calls this every poll interval; tests call it directly
+  /// for determinism.
+  std::size_t ScanOnce();
+
+  void Stop();  ///< idempotent; the destructor calls it
+
+  std::uint64_t flagged_total() const;
+  const Options& options() const { return options_; }
+
+ private:
+  void Loop();
+
+  Tracer* tracer_;
+  Options options_;
+  SlowHook hook_;
+  Counter* slow_counter_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t flagged_total_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace gaa::telemetry

@@ -1,0 +1,175 @@
+// Decision attribution: every YES / NO / MAYBE answer names the policy,
+// entry index and condition that produced it, and the per-entry counters +
+// per-condition latency histograms land in the metric registry.
+#include <gtest/gtest.h>
+
+#include "gaa/api.h"
+#include "telemetry/metrics.h"
+#include "testing/helpers.h"
+
+namespace gaa::core {
+namespace {
+
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+class AttributionTest : public ::testing::Test {
+ protected:
+  AttributionTest() : api_(&store_, WireMetrics()) {
+    api_.registry().Register(
+        "pre_cond_true", "*",
+        [](const eacl::Condition&, const RequestContext&, EvalServices&) {
+          return EvalOutcome::Yes();
+        });
+    api_.registry().Register(
+        "pre_cond_false", "*",
+        [](const eacl::Condition&, const RequestContext&, EvalServices&) {
+          return EvalOutcome::No();
+        });
+    api_.registry().Register(
+        "rr_cond_fail", "*",
+        [](const eacl::Condition&, const RequestContext&, EvalServices&) {
+          return EvalOutcome::No("action failed");
+        });
+  }
+
+  EvalServices WireMetrics() {
+    EvalServices services = rig_.services;
+    services.metrics = &registry_;
+    return services;
+  }
+
+  AuthzResult Check(const std::string& system_text,
+                    const std::string& local_text,
+                    const std::string& op = "GET") {
+    store_.Clear();
+    if (!system_text.empty()) {
+      auto r = store_.AddSystemPolicy(system_text);
+      EXPECT_TRUE(r.ok()) << r.error().ToString();
+    }
+    if (!local_text.empty()) {
+      auto r = store_.SetLocalPolicy("/", local_text);
+      EXPECT_TRUE(r.ok()) << r.error().ToString();
+    }
+    ctx_ = MakeContext("10.0.0.1", "/x", op);
+    return api_.Authorize("/x", RequestedRight{"apache", op}, ctx_);
+  }
+
+  std::uint64_t EntryCount(const std::string& policy, int entry,
+                           const std::string& outcome) {
+    return registry_
+        .GetCounter("eacl_entry_decisions_total",
+                    "policy=\"" + policy + "\",entry=\"" +
+                        std::to_string(entry) + "\",outcome=\"" + outcome +
+                        "\"")
+        ->Value();
+  }
+
+  TestRig rig_;
+  telemetry::MetricRegistry registry_;
+  PolicyStore store_;
+  GaaApi api_;
+  RequestContext ctx_;
+};
+
+TEST_F(AttributionTest, GrantNamesEntryAndPolicy) {
+  auto authz = Check("", "pos_access_right apache *\n");
+  EXPECT_EQ(authz.status, Tristate::kYes);
+  ASSERT_TRUE(authz.attribution.has_value());
+  EXPECT_EQ(authz.attribution->policy, "local:/");
+  EXPECT_EQ(authz.attribution->entry, 0);
+  EXPECT_EQ(authz.attribution->condition, "");  // the right itself decided
+  EXPECT_EQ(authz.attribution->status, Tristate::kYes);
+  EXPECT_EQ(EntryCount("local:/", 0, "yes"), 1u);
+}
+
+TEST_F(AttributionTest, DenyBySecondEntryNamesIt) {
+  auto authz = Check("",
+                     "pos_access_right apache POST\n"
+                     "neg_access_right apache *\n");
+  EXPECT_EQ(authz.status, Tristate::kNo);
+  ASSERT_TRUE(authz.attribution.has_value());
+  EXPECT_EQ(authz.attribution->entry, 1);
+  EXPECT_EQ(EntryCount("local:/", 1, "no"), 1u);
+}
+
+TEST_F(AttributionTest, SkippedEntryCountsAsMissAndScanContinues) {
+  auto authz = Check("",
+                     "neg_access_right apache *\n"
+                     "pre_cond_false local x\n"
+                     "pos_access_right apache *\n");
+  EXPECT_EQ(authz.status, Tristate::kYes);
+  ASSERT_TRUE(authz.attribution.has_value());
+  EXPECT_EQ(authz.attribution->entry, 1);
+  EXPECT_EQ(EntryCount("local:/", 0, "miss"), 1u);
+  EXPECT_EQ(EntryCount("local:/", 1, "yes"), 1u);
+}
+
+TEST_F(AttributionTest, MaybeNamesTheUnevaluatedCondition) {
+  auto authz = Check("",
+                     "pos_access_right apache *\n"
+                     "pre_cond_never_registered local x\n");
+  EXPECT_EQ(authz.status, Tristate::kMaybe);
+  ASSERT_TRUE(authz.attribution.has_value());
+  EXPECT_EQ(authz.attribution->entry, 0);
+  EXPECT_EQ(authz.attribution->condition, "pre_cond_never_registered");
+  EXPECT_EQ(EntryCount("local:/", 0, "maybe"), 1u);
+}
+
+TEST_F(AttributionTest, RequestResultFailureNamesTheRrCondition) {
+  auto authz = Check("",
+                     "pos_access_right apache *\n"
+                     "pre_cond_true local x\n"
+                     "rr_cond_fail local y\n");
+  EXPECT_EQ(authz.status, Tristate::kNo);
+  ASSERT_TRUE(authz.attribution.has_value());
+  EXPECT_EQ(authz.attribution->condition, "rr_cond_fail");
+}
+
+TEST_F(AttributionTest, SystemPolicyNamedByIndexLocalByPrefix) {
+  auto authz = Check("neg_access_right apache *\n", "");
+  EXPECT_EQ(authz.status, Tristate::kNo);
+  ASSERT_TRUE(authz.attribution.has_value());
+  EXPECT_EQ(authz.attribution->policy, "system#0");
+}
+
+TEST_F(AttributionTest, AttributionFollowsTheSideThatDecided) {
+  // System grants, local denies; narrow composition denies — attribution
+  // must point at the local entry, not the system grant.
+  auto authz = Check("pos_access_right apache *\n",
+                     "neg_access_right apache *\n");
+  EXPECT_EQ(authz.status, Tristate::kNo);
+  ASSERT_TRUE(authz.attribution.has_value());
+  EXPECT_EQ(authz.attribution->policy, "local:/");
+  EXPECT_EQ(authz.attribution->entry, 0);
+}
+
+TEST_F(AttributionTest, ConditionLatencyHistogramFills) {
+  Check("", "pos_access_right apache *\npre_cond_true local x\n");
+  bool found = false;
+  for (const auto& entry : registry_.List()) {
+    if (entry.name == "gaa_cond_eval_us" &&
+        entry.labels.find("pre_cond_true") != std::string::npos) {
+      found = true;
+      EXPECT_GE(entry.histogram->Count(), 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AttributionTest, DetachedMetricsStillAttribute) {
+  // Without a registry the counters are skipped but the attribution on the
+  // result must still be populated (the audit stream depends on it).
+  GaaApi bare(&store_, rig_.services);
+  store_.Clear();
+  ASSERT_TRUE(store_.SetLocalPolicy("/", "neg_access_right apache *\n").ok());
+  auto ctx = MakeContext("10.0.0.1", "/x", "GET");
+  auto authz = bare.Authorize("/x", RequestedRight{"apache", "GET"}, ctx);
+  EXPECT_EQ(authz.status, Tristate::kNo);
+  ASSERT_TRUE(authz.attribution.has_value());
+  EXPECT_EQ(authz.attribution->policy, "local:/");
+}
+
+}  // namespace
+}  // namespace gaa::core

@@ -1,0 +1,238 @@
+// Slow-request watchdog + tracer slow-path: in-flight flagging, pinning,
+// slow-retired hook, capacity knobs, and the JSON exposition views.
+#include "telemetry/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace gaa::telemetry {
+namespace {
+
+// Watchdog tests drive ScanOnce() directly (poll_interval_us = 0 keeps the
+// monitor thread from starting), so there are no timing races: a deadline
+// of -1 µs makes every in-flight request "late" deterministically.
+SlowRequestWatchdog::Options ManualScan(std::int64_t deadline_us) {
+  SlowRequestWatchdog::Options opts;
+  opts.deadline_us = deadline_us;
+  opts.poll_interval_us = 0;
+  return opts;
+}
+
+TEST(Watchdog, FlagsInflightRequestPastDeadline) {
+  Tracer tracer;
+  MetricRegistry registry;
+  SlowRequestWatchdog dog(&tracer, &registry, ManualScan(-1));
+
+  auto trace = tracer.Begin();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(dog.ScanOnce(), 1u);
+  EXPECT_EQ(dog.ScanOnce(), 0u);  // already flagged, not re-reported
+  EXPECT_EQ(registry.GetCounter("slow_requests_total")->Value(), 1u);
+  EXPECT_EQ(dog.flagged_total(), 1u);
+
+  tracer.Finish(std::move(trace));
+  auto pinned = tracer.Pinned();
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_TRUE(pinned[0].slow);
+}
+
+TEST(Watchdog, FastRequestsAreNotFlagged) {
+  Tracer tracer;
+  MetricRegistry registry;
+  SlowRequestWatchdog dog(&tracer, &registry,
+                          ManualScan(60'000'000));  // one-minute deadline
+
+  auto trace = tracer.Begin();
+  EXPECT_EQ(dog.ScanOnce(), 0u);
+  tracer.Finish(std::move(trace));
+  EXPECT_TRUE(tracer.Pinned().empty());
+  auto recent = tracer.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_FALSE(recent[0].slow);
+}
+
+TEST(Watchdog, HookReceivesFlagEvents) {
+  Tracer tracer;
+  std::vector<SlowRequestWatchdog::SlowEvent> events;
+  SlowRequestWatchdog dog(&tracer, nullptr, ManualScan(-1),
+                          [&](const SlowRequestWatchdog::SlowEvent& ev) {
+                            events.push_back(ev);
+                          });
+  auto t1 = tracer.Begin();
+  auto t2 = tracer.Begin();
+  EXPECT_EQ(dog.ScanOnce(), 2u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].trace_id, events[1].trace_id);
+  tracer.Finish(std::move(t1));
+  tracer.Finish(std::move(t2));
+}
+
+TEST(Watchdog, SlowRetiredHookRunsOnFinishWithCompleteSpans) {
+  Tracer tracer;
+  MetricRegistry registry;
+  SlowRequestWatchdog dog(&tracer, &registry, ManualScan(-1));
+
+  std::vector<RequestTrace> retired;
+  tracer.set_slow_retired_hook(
+      [&](const RequestTrace& t) { retired.push_back(t); });
+
+  auto trace = tracer.Begin();
+  trace->method = "GET";
+  trace->target = "/slow.cgi";
+  {
+    ScopedSpan span(trace.get(), "handler");
+  }
+  ASSERT_EQ(dog.ScanOnce(), 1u);
+  tracer.Finish(std::move(trace));
+
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0].target, "/slow.cgi");
+  EXPECT_TRUE(retired[0].slow);
+  ASSERT_EQ(retired[0].spans().size(), 1u);
+  EXPECT_EQ(retired[0].spans()[0].name, "handler");
+  EXPECT_NE(retired[0].spans()[0].end_us, 0);
+}
+
+TEST(Watchdog, PinnedRingSurvivesFastTrafficEviction) {
+  Tracer tracer(/*capacity=*/4);
+  SlowRequestWatchdog dog(&tracer, nullptr, ManualScan(-1));
+
+  auto slow = tracer.Begin();
+  const std::uint64_t slow_id = slow->id();
+  ASSERT_EQ(dog.ScanOnce(), 1u);
+  tracer.Finish(std::move(slow));
+
+  // A burst of fast requests evicts the slow trace from the main ring...
+  for (int i = 0; i < 16; ++i) tracer.Finish(tracer.Begin());
+  bool in_ring = false;
+  for (const auto& t : tracer.Recent()) {
+    if (t.id() == slow_id) in_ring = true;
+  }
+  EXPECT_FALSE(in_ring);
+
+  // ...but the pinned ring still has it.
+  auto pinned = tracer.Pinned();
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned[0].id(), slow_id);
+}
+
+TEST(Watchdog, MonitorThreadScansWithoutManualCalls) {
+  Tracer tracer;
+  MetricRegistry registry;
+  SlowRequestWatchdog::Options opts;
+  opts.deadline_us = -1;
+  opts.poll_interval_us = 1'000;  // 1 ms poll
+  SlowRequestWatchdog dog(&tracer, &registry, opts);
+
+  auto trace = tracer.Begin();
+  Counter* counter = registry.GetCounter("slow_requests_total");
+  for (int i = 0; i < 500 && counter->Value() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(counter->Value(), 1u);
+  tracer.Finish(std::move(trace));
+  dog.Stop();
+}
+
+TEST(Tracer, CapacityKnobsResizeRings) {
+  Tracer tracer(/*capacity=*/128);
+  tracer.set_capacity(2);
+  EXPECT_EQ(tracer.capacity(), 2u);
+  for (int i = 0; i < 8; ++i) tracer.Finish(tracer.Begin());
+  EXPECT_EQ(tracer.Recent().size(), 2u);
+
+  tracer.set_pinned_capacity(1);
+  MetricRegistry registry;
+  SlowRequestWatchdog dog(&tracer, &registry, ManualScan(-1));
+  for (int i = 0; i < 3; ++i) {
+    auto t = tracer.Begin();
+    dog.ScanOnce();
+    tracer.Finish(std::move(t));
+  }
+  EXPECT_EQ(tracer.Pinned().size(), 1u);
+}
+
+TEST(Tracer, InflightTracksBeginAndFinish) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.inflight(), 0u);
+  auto t1 = tracer.Begin();
+  auto t2 = tracer.Begin();
+  EXPECT_EQ(tracer.inflight(), 2u);
+  tracer.Finish(std::move(t1));
+  EXPECT_EQ(tracer.inflight(), 1u);
+  tracer.Finish(std::move(t2));
+  EXPECT_EQ(tracer.inflight(), 0u);
+}
+
+// --- exposition ------------------------------------------------------------
+
+TEST(Exposition, TracesJsonCarriesSlowFlag) {
+  Tracer tracer;
+  MetricRegistry registry;
+  SlowRequestWatchdog dog(&tracer, &registry, ManualScan(-1));
+  auto t = tracer.Begin();
+  dog.ScanOnce();
+  tracer.Finish(std::move(t));
+
+  const std::string json = RenderTracesJson(tracer);
+  EXPECT_NE(json.find("\"slow\":true"), std::string::npos);
+  const std::string slow_json = RenderSlowTracesJson(tracer);
+  EXPECT_NE(slow_json.find("\"slow\":true"), std::string::npos);
+}
+
+TEST(Exposition, MetricsJsonHasQuantileSummaries) {
+  MetricRegistry registry;
+  registry.GetCounter("requests_total")->Inc(3);
+  Histogram* h = registry.GetHistogram("latency_us", "", {10, 100, 1000});
+  for (int i = 0; i < 100; ++i) h->Record(50);
+
+  const std::string json = RenderMetricsJson(registry);
+  EXPECT_NE(json.find("\"name\":\"requests_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(Exposition, PoliciesJsonGroupsEntryCountersAndConditions) {
+  MetricRegistry registry;
+  registry
+      .GetCounter("eacl_entry_decisions_total",
+                  "policy=\"system#0\",entry=\"0\",outcome=\"yes\"")
+      ->Inc(7);
+  registry
+      .GetCounter("eacl_entry_decisions_total",
+                  "policy=\"system#0\",entry=\"1\",outcome=\"no\"")
+      ->Inc(2);
+  registry
+      .GetCounter("eacl_entry_decisions_total",
+                  "policy=\"local:/cgi-bin\",entry=\"0\",outcome=\"maybe\"")
+      ->Inc(1);
+  registry
+      .GetHistogram("gaa_cond_eval_us",
+                    "cond=\"pre_cond_access_id_ip\",auth=\"router\"",
+                    {1, 10, 100})
+      ->Record(5);
+
+  const std::string json = RenderPoliciesJson(registry);
+  EXPECT_NE(json.find("\"policy\":\"system#0\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"local:/cgi-bin\""), std::string::npos);
+  EXPECT_NE(json.find("\"yes\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"no\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"maybe\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"cond\":\"pre_cond_access_id_ip\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"auth\":\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaa::telemetry
