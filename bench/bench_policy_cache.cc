@@ -26,6 +26,23 @@ std::string PolicyWithEntries(int entries) {
   return text;
 }
 
+/// Pure host-screening policy: N-1 non-matching CIDR deny entries, then an
+/// unconditional grant.  Every condition is kPure, so the compiled engine
+/// both pre-parses the CIDRs at compile time AND memoizes the terminal
+/// decision — the interpreter re-tokenizes and re-parses each CIDR on every
+/// request (signature entries are kEffect and would disable memoization,
+/// which A1c measures separately via the hit-rate column).
+std::string HostPolicyWithEntries(int entries) {
+  std::string text;
+  for (int i = 0; i < entries - 1; ++i) {
+    text += "neg_access_right apache *\n";
+    text += "pre_cond_accessid HOST local 172.16." + std::to_string(i % 250) +
+            ".0/24\n";
+  }
+  text += "pos_access_right apache *\n";
+  return text;
+}
+
 double MeasureMeanMs(gaa::web::GaaWebServer& server, int iterations) {
   std::vector<double> samples;
   for (int i = 0; i < iterations; ++i) {
@@ -39,8 +56,10 @@ double MeasureMeanMs(gaa::web::GaaWebServer& server, int iterations) {
 }  // namespace
 }  // namespace gaa::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gaa::bench;
+  JsonReport report;
+  const std::string json_path = JsonPathFromArgs(argc, argv);
 
   PrintHeader("A1: policy-cache ablation (paper section 9 future work)");
   std::printf("%-10s %14s %14s %10s %10s\n", "entries", "no_cache_ms",
@@ -53,6 +72,7 @@ int main() {
       options.use_real_clock = true;
       options.notification_latency_us = 0;
       options.enable_policy_cache = false;
+      options.enable_compiled_engine = false;
       gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
       server.policy_store().SetParseOnRetrieve(true);
       if (!server.SetLocalPolicy("/", PolicyWithEntries(entries)).ok()) {
@@ -68,6 +88,7 @@ int main() {
       options.use_real_clock = true;
       options.notification_latency_us = 0;
       options.enable_policy_cache = true;
+      options.enable_compiled_engine = false;
       gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
       server.policy_store().SetParseOnRetrieve(true);
       if (!server.SetLocalPolicy("/", PolicyWithEntries(entries)).ok()) {
@@ -81,6 +102,60 @@ int main() {
     }
     std::printf("%-10d %14.5f %14.5f %9.2fx %9.1f%%\n", entries, no_cache_ms,
                 cache_ms, no_cache_ms / cache_ms, hit_rate);
+    const std::string suffix = std::to_string(entries);
+    report.Set("lru_ablation_" + suffix, "no_cache_ms", no_cache_ms);
+    report.Set("lru_ablation_" + suffix, "cache_ms", cache_ms);
+    report.Set("lru_ablation_" + suffix, "hit_rate_pct", hit_rate);
+  }
+
+  // A1c — the compiled engine (DESIGN.md §9) against the LRU policy cache,
+  // both warm.  The LRU removes the compose cost but still interprets the
+  // AST per request; the compiled path does one atomic snapshot load and,
+  // on a memo hit, returns the cached terminal decision outright.
+  PrintHeader("A1c: warm LRU interpreter vs compiled snapshot engine");
+  std::printf("%-10s %14s %14s %10s\n", "entries", "lru_warm_ms",
+              "compiled_ms", "speedup");
+  for (int entries : {1, 16, 64, 256}) {
+    double lru_ms;
+    {
+      gaa::web::GaaWebServer::Options options;
+      options.use_real_clock = true;
+      options.notification_latency_us = 0;
+      options.enable_policy_cache = true;
+      options.enable_compiled_engine = false;
+      gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+      if (!server.SetLocalPolicy("/", HostPolicyWithEntries(entries)).ok()) {
+        std::fprintf(stderr, "policy setup failed\n");
+        return 1;
+      }
+      (void)MeasureMeanMs(server, 200);  // warm
+      lru_ms = MeasureMeanMs(server, 2000);
+    }
+    double compiled_ms;
+    double memo_hit_rate;
+    {
+      gaa::web::GaaWebServer::Options options;
+      options.use_real_clock = true;
+      options.notification_latency_us = 0;
+      gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+      if (!server.SetLocalPolicy("/", HostPolicyWithEntries(entries)).ok()) {
+        std::fprintf(stderr, "policy setup failed\n");
+        return 1;
+      }
+      (void)MeasureMeanMs(server, 200);  // warm
+      compiled_ms = MeasureMeanMs(server, 2000);
+      const auto& memo = server.api().decision_cache();
+      memo_hit_rate = 100.0 * static_cast<double>(memo.hits()) /
+                      static_cast<double>(memo.hits() + memo.misses());
+    }
+    std::printf("%-10d %14.5f %14.5f %9.2fx  (memo hit %4.1f%%)\n", entries,
+                lru_ms, compiled_ms, lru_ms / compiled_ms, memo_hit_rate);
+    const std::string suffix = std::to_string(entries);
+    report.Set("compiled_vs_lru_" + suffix, "lru_warm_ms", lru_ms);
+    report.Set("compiled_vs_lru_" + suffix, "compiled_ms", compiled_ms);
+    report.Set("compiled_vs_lru_" + suffix, "speedup", lru_ms / compiled_ms);
+    report.Set("compiled_vs_lru_" + suffix, "memo_hit_rate_pct",
+               memo_hit_rate);
   }
 
   // Invalidation correctness cost: a policy change mid-run must be seen
@@ -108,5 +183,6 @@ int main() {
               first_after_change, steady_after,
               static_cast<unsigned long long>(server.api().cache().misses() -
                                               before));
+  if (!report.WriteFile(json_path)) return 1;
   return 0;
 }

@@ -174,4 +174,66 @@ core::CondRoutine MakeRecordEventRoutine(const FactoryParams& /*params*/) {
   };
 }
 
+core::SpecializedCond SpecializeAudit(const eacl::Condition& cond,
+                                      const FactoryParams& /*params*/) {
+  // Trigger and category parse once at compile time; the audit record (the
+  // effect — hence kEffect, never memoized) is emitted on every request.
+  ParsedTrigger parsed = ParseTrigger(cond.value);
+  Trigger trigger = parsed.trigger;
+  std::string category = parsed.rest.empty() ? "access" : parsed.rest;
+  return {[trigger, category](const eacl::Condition&,
+                              const RequestContext& ctx,
+                              EvalServices& services) {
+            if (!TriggerFires(trigger, SuccessOutcome(ctx))) {
+              return EvalOutcome::Yes("audit not triggered");
+            }
+            if (services.audit == nullptr) {
+              return EvalOutcome::No("audit: no audit sink");
+            }
+            bool granted = ctx.request_granted.value_or(ctx.stats.succeeded);
+            services.audit->Record(
+                category,
+                std::string(granted ? "GRANT" : "DENY") + " ip=" +
+                    ctx.client_ip.ToString() + " user=" +
+                    (ctx.user.empty() ? "-" : ctx.user) + " op=" +
+                    ctx.operation + " object=" + ctx.object,
+                telemetry::TraceId(ctx.trace));
+            return EvalOutcome::Yes("audited " + category);
+          },
+          std::nullopt};
+}
+
+core::SpecializedCond SpecializeRecordEvent(const eacl::Condition& cond,
+                                            const FactoryParams& /*params*/) {
+  ParsedTrigger parsed = ParseTrigger(cond.value);
+  Trigger trigger = parsed.trigger;
+  auto segments = util::Split(parsed.rest, '/');
+  bool missing_key = segments.empty() || segments[0].empty();
+  std::string key_template = missing_key ? std::string() : segments[0];
+  std::int64_t window_s = 60;
+  if (segments.size() >= 2) {
+    if (auto w = util::ParseInt(segments[1]); w && *w > 0) window_s = *w;
+  }
+  // The trigger and state checks keep the generic routine's order; only the
+  // %ip/%user expansion remains per-request.
+  return {[trigger, missing_key, key_template, window_s](
+              const eacl::Condition&, const RequestContext& ctx,
+              EvalServices& services) {
+            if (!TriggerFires(trigger, SuccessOutcome(ctx))) {
+              return EvalOutcome::Yes("record_event not triggered");
+            }
+            if (services.state == nullptr) {
+              return EvalOutcome::No("record_event: no system state");
+            }
+            if (missing_key) {
+              return EvalOutcome::No("record_event: missing key");
+            }
+            std::string key = ExpandPlaceholders(key_template, ctx);
+            services.state->RecordEvent(key,
+                                        window_s * util::kMicrosPerSecond);
+            return EvalOutcome::Yes("recorded event " + key);
+          },
+          std::nullopt};
+}
+
 }  // namespace gaa::cond

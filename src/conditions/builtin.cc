@@ -2,31 +2,85 @@
 
 namespace gaa::cond {
 
+namespace {
+
+/// Same purity for every def_auth (most builtins; accessid is the
+/// exception — see AccessIdTraits).
+core::RoutineCatalog::TraitsFn Fixed(core::CondPurity purity) {
+  return [purity](const std::string& /*def_auth*/) {
+    return core::CondTraits{purity};
+  };
+}
+
+}  // namespace
+
 void RegisterBuiltinRoutines(core::RoutineCatalog& catalog) {
-  catalog.Add("builtin:accessid", MakeAccessIdRoutine);
-  catalog.Add("builtin:time_window", MakeTimeWindowRoutine);
-  catalog.Add("builtin:location", MakeLocationRoutine);
-  catalog.Add("builtin:threat_level", MakeThreatLevelRoutine);
-  catalog.Add("builtin:glob_signature", MakeGlobSignatureRoutine);
-  catalog.Add("builtin:param_glob", MakeParamGlobRoutine);
-  catalog.Add("builtin:expr", MakeExprRoutine);
-  catalog.Add("builtin:threshold", MakeThresholdRoutine);
-  catalog.Add("builtin:redirect", MakeRedirectRoutine);
-  catalog.Add("builtin:spoofing", MakeSpoofingRoutine);
-  catalog.Add("builtin:firewall", MakeFirewallRoutine);
-  catalog.Add("builtin:block_network", MakeBlockNetworkRoutine);
-  catalog.Add("builtin:set_var", MakeSetVarRoutine);
-  catalog.Add("builtin:var_equals", MakeVarEqualsRoutine);
-  catalog.Add("builtin:notify", MakeNotifyRoutine);
-  catalog.Add("builtin:update_log", MakeUpdateLogRoutine);
-  catalog.Add("builtin:audit", MakeAuditRoutine);
-  catalog.Add("builtin:record_event", MakeRecordEventRoutine);
-  catalog.Add("builtin:cpu_limit", MakeCpuLimitRoutine);
-  catalog.Add("builtin:wallclock_limit", MakeWallclockLimitRoutine);
-  catalog.Add("builtin:memory_limit", MakeMemoryLimitRoutine);
-  catalog.Add("builtin:output_limit", MakeOutputLimitRoutine);
-  catalog.Add("builtin:post_log", MakePostLogRoutine);
-  catalog.Add("builtin:integrity_check", MakeIntegrityCheckRoutine);
+  using core::CondPurity;
+  // Purity (DESIGN.md §9.2) decides decision memoization: kPure routines
+  // depend only on memo-key inputs; kVolatile read live state (clock,
+  // SystemState, IDS, request shape); kEffect must fire on every request.
+  // Specializers pre-parse literal values at policy-compile time; routines
+  // without one are either value-free, trivially cheap, or mid/post-only
+  // (mid and post blocks stay in source form — see eacl/compile.h).
+  catalog.Add("builtin:accessid",
+              {MakeAccessIdRoutine, AccessIdTraits, SpecializeAccessId});
+  catalog.Add("builtin:time_window",
+              {MakeTimeWindowRoutine, Fixed(CondPurity::kVolatile),
+               SpecializeTimeWindow});
+  catalog.Add("builtin:location",
+              {MakeLocationRoutine, Fixed(CondPurity::kVolatile),
+               SpecializeLocation});
+  catalog.Add("builtin:threat_level",
+              {MakeThreatLevelRoutine, Fixed(CondPurity::kVolatile),
+               SpecializeThreatLevel});
+  catalog.Add("builtin:glob_signature",
+              {MakeGlobSignatureRoutine, Fixed(CondPurity::kEffect),
+               SpecializeGlobSignature});
+  catalog.Add("builtin:param_glob",
+              {MakeParamGlobRoutine, Fixed(CondPurity::kEffect),
+               SpecializeParamGlob});
+  catalog.Add("builtin:expr",
+              {MakeExprRoutine, Fixed(CondPurity::kVolatile), SpecializeExpr});
+  catalog.Add("builtin:threshold",
+              {MakeThresholdRoutine, Fixed(CondPurity::kEffect), nullptr});
+  // Redirect is always left unevaluated => MAYBE, so although pure it can
+  // never reach the memo cache (terminal YES/NO only).
+  catalog.Add("builtin:redirect",
+              {MakeRedirectRoutine, Fixed(CondPurity::kPure), nullptr});
+  catalog.Add("builtin:spoofing",
+              {MakeSpoofingRoutine, Fixed(CondPurity::kVolatile), nullptr});
+  catalog.Add("builtin:firewall",
+              {MakeFirewallRoutine, Fixed(CondPurity::kVolatile),
+               SpecializeFirewall});
+  catalog.Add("builtin:block_network",
+              {MakeBlockNetworkRoutine, Fixed(CondPurity::kEffect), nullptr});
+  catalog.Add("builtin:set_var",
+              {MakeSetVarRoutine, Fixed(CondPurity::kEffect), nullptr});
+  catalog.Add("builtin:var_equals",
+              {MakeVarEqualsRoutine, Fixed(CondPurity::kVolatile), nullptr});
+  catalog.Add("builtin:notify",
+              {MakeNotifyRoutine, Fixed(CondPurity::kEffect), nullptr});
+  catalog.Add("builtin:update_log",
+              {MakeUpdateLogRoutine, Fixed(CondPurity::kEffect), nullptr});
+  catalog.Add("builtin:audit",
+              {MakeAuditRoutine, Fixed(CondPurity::kEffect), SpecializeAudit});
+  catalog.Add("builtin:record_event",
+              {MakeRecordEventRoutine, Fixed(CondPurity::kEffect),
+               SpecializeRecordEvent});
+  catalog.Add("builtin:cpu_limit",
+              {MakeCpuLimitRoutine, Fixed(CondPurity::kVolatile), nullptr});
+  catalog.Add("builtin:wallclock_limit",
+              {MakeWallclockLimitRoutine, Fixed(CondPurity::kVolatile),
+               nullptr});
+  catalog.Add("builtin:memory_limit",
+              {MakeMemoryLimitRoutine, Fixed(CondPurity::kVolatile), nullptr});
+  catalog.Add("builtin:output_limit",
+              {MakeOutputLimitRoutine, Fixed(CondPurity::kVolatile), nullptr});
+  catalog.Add("builtin:post_log",
+              {MakePostLogRoutine, Fixed(CondPurity::kEffect), nullptr});
+  catalog.Add("builtin:integrity_check",
+              {MakeIntegrityCheckRoutine, Fixed(CondPurity::kEffect),
+               nullptr});
 }
 
 std::string DefaultConfigText() {

@@ -22,8 +22,47 @@ namespace gaa::cond {
 
 using FactoryParams = std::map<std::string, std::string>;
 
-/// Register every builtin factory with the catalog.
+/// Register every builtin factory with the catalog, including the compile
+/// hooks consumed by the compiled policy engine (DESIGN.md §9): each entry
+/// carries a purity classification (memoization gate) and, where the value
+/// syntax allows it, a specializer that pre-parses the condition value once
+/// at policy-compile time.
 void RegisterBuiltinRoutines(core::RoutineCatalog& catalog);
+
+// --- compile hooks (DESIGN.md §9) ------------------------------------------
+// Specializers must reproduce the generic routines' outcomes *byte for
+// byte* (the differential property test compares traces verbatim); they
+// only move the value parsing from request time to compile time.  Each
+// returns an empty SpecializedCond when the value needs runtime resolution
+// (a "var:" indirection) — the generic routine then stays in place.
+
+/// Purity of builtin:accessid by identity kind: USER and HOST read only
+/// memo-key inputs (pure); GROUP reads live SystemState membership
+/// (volatile).
+core::CondTraits AccessIdTraits(const std::string& def_auth);
+
+core::SpecializedCond SpecializeAccessId(const eacl::Condition& cond,
+                                         const FactoryParams& params);
+core::SpecializedCond SpecializeTimeWindow(const eacl::Condition& cond,
+                                           const FactoryParams& params);
+/// A literal CIDR list refines location to kPure (client address is part of
+/// the memo key); a "var:" list stays volatile and unspecialized.
+core::SpecializedCond SpecializeLocation(const eacl::Condition& cond,
+                                         const FactoryParams& params);
+core::SpecializedCond SpecializeThreatLevel(const eacl::Condition& cond,
+                                            const FactoryParams& params);
+core::SpecializedCond SpecializeGlobSignature(const eacl::Condition& cond,
+                                              const FactoryParams& params);
+core::SpecializedCond SpecializeExpr(const eacl::Condition& cond,
+                                     const FactoryParams& params);
+core::SpecializedCond SpecializeParamGlob(const eacl::Condition& cond,
+                                          const FactoryParams& params);
+core::SpecializedCond SpecializeFirewall(const eacl::Condition& cond,
+                                         const FactoryParams& params);
+core::SpecializedCond SpecializeAudit(const eacl::Condition& cond,
+                                      const FactoryParams& params);
+core::SpecializedCond SpecializeRecordEvent(const eacl::Condition& cond,
+                                            const FactoryParams& params);
 
 /// A ready-made configuration file binding the standard EACL condition
 /// types used throughout the paper's examples to the builtins:

@@ -55,6 +55,30 @@ core::CondRoutine MakeFirewallRoutine(const FactoryParams& /*params*/) {
   };
 }
 
+core::SpecializedCond SpecializeFirewall(const eacl::Condition& cond,
+                                         const FactoryParams& /*params*/) {
+  // Only the group-name defaulting moves to compile time; membership is read
+  // live on every request (no purity refinement — the blocked-networks group
+  // grows while requests are in flight).
+  std::string group(util::Trim(cond.value));
+  if (group.empty()) group = "BlockedNets";
+  return {[group](const eacl::Condition&, const RequestContext& ctx,
+                  EvalServices& services) {
+            if (services.state == nullptr) {
+              return EvalOutcome::Unevaluated("firewall: no system state");
+            }
+            for (const auto& member : services.state->GroupMembers(group)) {
+              auto block = util::CidrBlock::Parse(member);
+              if (block.has_value() && block->Contains(ctx.client_ip)) {
+                return EvalOutcome::No("client " + ctx.client_ip.ToString() +
+                                       " inside blocked network " + member);
+              }
+            }
+            return EvalOutcome::Yes("client outside all blocked networks");
+          },
+          std::nullopt};
+}
+
 core::CondRoutine MakeBlockNetworkRoutine(const FactoryParams& /*params*/) {
   return [](const eacl::Condition& cond, const RequestContext& ctx,
             EvalServices& services) -> EvalOutcome {

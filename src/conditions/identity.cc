@@ -109,4 +109,62 @@ core::CondRoutine MakeAccessIdRoutine(const FactoryParams& /*params*/) {
   };
 }
 
+core::CondTraits AccessIdTraits(const std::string& def_auth) {
+  // GROUP reads live SystemState membership (the §7.2 blacklist grows while
+  // requests are in flight); USER and HOST depend only on memo-key inputs.
+  if (def_auth == "GROUP") return {core::CondPurity::kVolatile};
+  return {core::CondPurity::kPure};
+}
+
+core::SpecializedCond SpecializeAccessId(const eacl::Condition& cond,
+                                         const FactoryParams& /*params*/) {
+  if (cond.def_auth == "GROUP") return {};  // live membership: keep generic
+  if (cond.def_auth == "HOST") {
+    std::vector<util::CidrBlock> blocks;
+    for (const auto& token : util::SplitWhitespace(cond.value)) {
+      auto block = util::CidrBlock::Parse(token);
+      if (block.has_value()) blocks.push_back(*block);
+    }
+    if (blocks.empty()) {
+      return {[](const eacl::Condition&, const RequestContext&,
+                 EvalServices&) {
+                return EvalOutcome::No("accessid HOST: no valid CIDR in value");
+              },
+              std::nullopt};
+    }
+    return {[blocks](const eacl::Condition&, const RequestContext& ctx,
+                     EvalServices&) {
+              for (const auto& block : blocks) {
+                if (block.Contains(ctx.client_ip)) {
+                  return EvalOutcome::Yes("client in " + block.ToString());
+                }
+              }
+              return EvalOutcome::No("client " + ctx.client_ip.ToString() +
+                                     " outside allowed blocks");
+            },
+            std::nullopt};
+  }
+  // USER and unknown identity kinds share EvalUser's semantics.  The empty
+  // value check precedes the authentication check, exactly as EvalUser does.
+  auto tokens = util::SplitWhitespace(cond.value);
+  if (tokens.empty()) {
+    return {[](const eacl::Condition&, const RequestContext&, EvalServices&) {
+              return EvalOutcome::No("accessid USER: empty value");
+            },
+            std::nullopt};
+  }
+  std::string name = tokens.size() >= 2 ? tokens[1] : tokens[0];
+  return {[name](const eacl::Condition&, const RequestContext& ctx,
+                 EvalServices&) {
+            if (!ctx.authenticated) {
+              return EvalOutcome::Unevaluated("no authenticated identity");
+            }
+            if (name == "*" || name == ctx.user) {
+              return EvalOutcome::Yes("user " + ctx.user);
+            }
+            return EvalOutcome::No("user " + ctx.user + " != " + name);
+          },
+          std::nullopt};
+}
+
 }  // namespace gaa::cond

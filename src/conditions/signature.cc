@@ -188,6 +188,116 @@ core::CondRoutine MakeParamGlobRoutine(const FactoryParams& params) {
   };
 }
 
+core::SpecializedCond SpecializeGlobSignature(const eacl::Condition& cond,
+                                              const FactoryParams& params) {
+  // Same param handling as the factory; the pattern list is pre-split once.
+  // Stays kEffect: a match reports a detected attack to the IDS.
+  std::string attack_type = "signature_match";
+  int severity = 7;
+  if (auto it = params.find("attack_type"); it != params.end()) {
+    attack_type = it->second;
+  }
+  if (auto it = params.find("severity"); it != params.end()) {
+    if (auto v = util::ParseInt(it->second)) severity = static_cast<int>(*v);
+  }
+  std::vector<std::string> patterns = util::SplitWhitespace(cond.value);
+  return {[attack_type, severity, patterns](const eacl::Condition&,
+                                            const RequestContext& ctx,
+                                            EvalServices& services) {
+            std::string subject = SignatureSubject(ctx);
+            for (const auto& pattern : patterns) {
+              if (util::GlobMatch(pattern, subject)) {
+                ReportAttack(services, ctx, attack_type, severity,
+                             "signature '" + pattern + "' matched " + subject);
+                return EvalOutcome::Yes("matched signature " + pattern);
+              }
+            }
+            return EvalOutcome::No("no signature matched");
+          },
+          std::nullopt};
+}
+
+core::SpecializedCond SpecializeExpr(const eacl::Condition& cond,
+                                     const FactoryParams& /*params*/) {
+  auto tokens = util::SplitWhitespace(cond.value);
+  if (tokens.empty()) {
+    return {[](const eacl::Condition&, const RequestContext&, EvalServices&) {
+              return EvalOutcome::No("expr: empty value");
+            },
+            std::nullopt};
+  }
+  std::string field = tokens[0];
+  std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
+  ParsedOp parsed = ParseCmpOp(util::Join(rest, " "));
+  if (util::StartsWith(parsed.rest, "var:")) return {};  // runtime indirection
+  auto rhs = util::ParseInt(parsed.rest);
+  if (!rhs.has_value()) {
+    std::string literal = parsed.rest;
+    return {[literal](const eacl::Condition&, const RequestContext&,
+                      EvalServices&) {
+              return EvalOutcome::No("expr: non-numeric threshold '" +
+                                     literal + "'");
+            },
+            std::nullopt};
+  }
+  // No purity refinement: the left-hand field reads request shape (query
+  // length, parameters) that is not part of the decision-memo key.
+  CmpOp op = parsed.op;
+  std::int64_t threshold = *rhs;
+  return {[field, op, threshold](const eacl::Condition&,
+                                 const RequestContext& ctx, EvalServices&) {
+            auto lhs = NumericField(ctx, field);
+            if (!lhs.has_value()) {
+              return EvalOutcome::Unevaluated("expr: field '" + field +
+                                              "' not present on request");
+            }
+            bool holds = CompareInts(*lhs, op, threshold);
+            std::string detail = field + "=" + std::to_string(*lhs) + " vs " +
+                                 std::to_string(threshold);
+            return holds ? EvalOutcome::Yes(detail) : EvalOutcome::No(detail);
+          },
+          std::nullopt};
+}
+
+core::SpecializedCond SpecializeParamGlob(const eacl::Condition& cond,
+                                          const FactoryParams& params) {
+  std::string attack_type = "param_signature";
+  int severity = 5;
+  if (auto it = params.find("attack_type"); it != params.end()) {
+    attack_type = it->second;
+  }
+  if (auto it = params.find("severity"); it != params.end()) {
+    if (auto v = util::ParseInt(it->second)) severity = static_cast<int>(*v);
+  }
+  auto tokens = util::SplitWhitespace(cond.value);
+  if (tokens.size() < 2) {
+    return {[](const eacl::Condition&, const RequestContext&, EvalServices&) {
+              return EvalOutcome::No("param_glob: want <param_type> <glob>...");
+            },
+            std::nullopt};
+  }
+  return {[attack_type, severity, tokens](const eacl::Condition&,
+                                          const RequestContext& ctx,
+                                          EvalServices& services) {
+            const core::Param* param = ctx.FindParam(tokens[0]);
+            if (param == nullptr) {
+              return EvalOutcome::Unevaluated("param '" + tokens[0] +
+                                              "' not present on request");
+            }
+            for (std::size_t i = 1; i < tokens.size(); ++i) {
+              if (util::GlobMatchIgnoreCase(tokens[i], param->value)) {
+                ReportAttack(services, ctx, attack_type, severity,
+                             "param " + tokens[0] + "='" + param->value +
+                                 "' matched '" + tokens[i] + "'");
+                return EvalOutcome::Yes("param " + tokens[0] + " matched " +
+                                        tokens[i]);
+              }
+            }
+            return EvalOutcome::No("param " + tokens[0] + " matched nothing");
+          },
+          std::nullopt};
+}
+
 core::CondRoutine MakeRedirectRoutine(const FactoryParams& /*params*/) {
   return [](const eacl::Condition& /*cond*/, const RequestContext& /*ctx*/,
             EvalServices& /*services*/) -> EvalOutcome {

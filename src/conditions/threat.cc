@@ -38,4 +38,44 @@ core::CondRoutine MakeThreatLevelRoutine(const FactoryParams& /*params*/) {
   };
 }
 
+core::SpecializedCond SpecializeThreatLevel(const eacl::Condition& cond,
+                                            const FactoryParams& /*params*/) {
+  // ParseCmpOp is pure, so hoisting it to compile time is unobservable; the
+  // no-system-state check must stay first at runtime, as in the generic
+  // routine.  No purity refinement: the live threat level is read each time.
+  ParsedOp parsed = ParseCmpOp(cond.value);
+  if (util::StartsWith(parsed.rest, "var:")) return {};  // runtime indirection
+  auto target = core::ParseThreatLevel(parsed.rest);
+  if (!target.has_value()) {
+    std::string rest = parsed.rest;
+    return {[rest](const eacl::Condition&, const RequestContext&,
+                   EvalServices& services) {
+              if (services.state == nullptr) {
+                return EvalOutcome::Unevaluated(
+                    "no system state; threat level unknown");
+              }
+              return EvalOutcome::No("bad threat level literal '" + rest +
+                                     "'");
+            },
+            std::nullopt};
+  }
+  CmpOp op = parsed.op;
+  ThreatLevel want = *target;
+  return {[op, want](const eacl::Condition&, const RequestContext&,
+                     EvalServices& services) {
+            if (services.state == nullptr) {
+              return EvalOutcome::Unevaluated(
+                  "no system state; threat level unknown");
+            }
+            ThreatLevel current = services.state->threat_level();
+            bool holds = CompareInts(static_cast<int>(current), op,
+                                     static_cast<int>(want));
+            std::string detail = std::string("threat level ") +
+                                 core::ThreatLevelName(current) + " vs " +
+                                 core::ThreatLevelName(want);
+            return holds ? EvalOutcome::Yes(detail) : EvalOutcome::No(detail);
+          },
+          std::nullopt};
+}
+
 }  // namespace gaa::cond

@@ -80,4 +80,77 @@ core::CondRoutine MakeLocationRoutine(const FactoryParams& /*params*/) {
   };
 }
 
+core::SpecializedCond SpecializeTimeWindow(const eacl::Condition& cond,
+                                           const FactoryParams& /*params*/) {
+  std::string value(util::Trim(cond.value));
+  if (util::StartsWith(value, "var:")) return {};  // runtime indirection
+  struct Window {
+    int lo;
+    int hi;
+    std::string text;
+  };
+  std::vector<Window> windows;
+  for (const auto& window : util::SplitWhitespace(value)) {
+    auto dash = window.find('-');
+    if (dash == std::string::npos) continue;
+    auto lo = ParseHhMm(std::string_view(window).substr(0, dash));
+    auto hi = ParseHhMm(std::string_view(window).substr(dash + 1));
+    if (!lo || !hi) continue;
+    windows.push_back({*lo, *hi, window});
+  }
+  // The clock-availability check stays ahead of the no-valid-window answer,
+  // mirroring the generic routine's evaluation order.  No purity refinement:
+  // the outcome tracks the clock, which is outside the memo key.
+  return {[windows](const eacl::Condition&, const RequestContext&,
+                    EvalServices& services) {
+            if (services.clock == nullptr) {
+              return EvalOutcome::Unevaluated("no clock available");
+            }
+            if (windows.empty()) {
+              return EvalOutcome::No("time window: no valid HH:MM-HH:MM range");
+            }
+            int now = services.clock->SecondOfDay();
+            for (const auto& window : windows) {
+              bool inside = window.lo <= window.hi
+                                ? (now >= window.lo && now < window.hi)
+                                : (now >= window.lo || now < window.hi);
+              if (inside) {
+                return EvalOutcome::Yes("time-of-day inside " + window.text);
+              }
+            }
+            return EvalOutcome::No("time-of-day outside all windows");
+          },
+          std::nullopt};
+}
+
+core::SpecializedCond SpecializeLocation(const eacl::Condition& cond,
+                                         const FactoryParams& /*params*/) {
+  std::string value(util::Trim(cond.value));
+  if (util::StartsWith(value, "var:")) return {};  // runtime indirection
+  std::vector<util::CidrBlock> blocks;
+  for (const auto& token : util::SplitWhitespace(value)) {
+    auto block = util::CidrBlock::Parse(token);
+    if (block.has_value()) blocks.push_back(*block);
+  }
+  // A literal CIDR list depends only on the client address — part of the
+  // memo key — so the specialized form is pure (decisions may be cached).
+  if (blocks.empty()) {
+    return {[](const eacl::Condition&, const RequestContext&, EvalServices&) {
+              return EvalOutcome::No("location: no valid CIDR in value");
+            },
+            core::CondPurity::kPure};
+  }
+  return {[blocks](const eacl::Condition&, const RequestContext& ctx,
+                   EvalServices&) {
+            for (const auto& block : blocks) {
+              if (block.Contains(ctx.client_ip)) {
+                return EvalOutcome::Yes("client in " + block.ToString());
+              }
+            }
+            return EvalOutcome::No("client " + ctx.client_ip.ToString() +
+                                   " outside allowed locations");
+          },
+          core::CondPurity::kPure};
+}
+
 }  // namespace gaa::cond

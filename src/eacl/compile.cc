@@ -1,0 +1,158 @@
+#include "eacl/compile.h"
+
+#include "telemetry/metrics.h"
+
+namespace gaa::eacl {
+
+namespace {
+
+constexpr const char* kEntryOutcomes[] = {"yes", "no", "maybe", "miss"};
+
+/// Prebuilt "no routine registered" evaluator.  The detail string matches
+/// the interpreter's wording exactly — the differential property test
+/// compares traces verbatim.
+core::CondRoutine MaybeThunk(const Condition& cond) {
+  std::string detail =
+      "no routine registered for " + cond.type + "/" + cond.def_auth;
+  return [detail = std::move(detail)](const Condition&,
+                                      const core::RequestContext&,
+                                      core::EvalServices&) {
+    return core::EvalOutcome::Unevaluated(detail);
+  };
+}
+
+std::vector<CompiledCond> CompileBlock(const std::vector<Condition>& block,
+                                       CondPhase phase, const CompileEnv& env,
+                                       CompileStats* stats) {
+  std::vector<CompiledCond> out;
+  out.reserve(block.size());
+  for (const Condition& cond : block) {
+    CompiledCond cc;
+    cc.source = cond;
+    cc.phase = phase;
+    const core::CondRegistration* reg =
+        env.registry == nullptr
+            ? nullptr
+            : env.registry->FindRegistration(cond.type, cond.def_auth);
+    if (reg == nullptr) {
+      // Unknown type/authority: resolved to the MAYBE thunk once, here, not
+      // per request.  Marked volatile for form's sake — a MAYBE outcome is
+      // never memoized anyway.
+      cc.resolved = false;
+      cc.purity = core::CondPurity::kVolatile;
+      cc.fn = MaybeThunk(cond);
+      if (stats != nullptr) ++stats->unresolved;
+    } else {
+      cc.resolved = true;
+      cc.purity = reg->traits.purity;
+      cc.fn = reg->routine;
+      if (reg->specialize) {
+        core::SpecializedCond spec = reg->specialize(cond);
+        if (spec.routine) {
+          cc.fn = std::move(spec.routine);
+          cc.specialized = true;
+          if (stats != nullptr) ++stats->specialized;
+        }
+        if (spec.purity.has_value()) cc.purity = *spec.purity;
+      }
+    }
+    if (env.metrics != nullptr) {
+      cc.latency = env.metrics->GetHistogram(
+          "gaa_cond_eval_us",
+          "cond=\"" + cond.type + "\",auth=\"" + cond.def_auth + "\"",
+          CondLatencyBoundsUs());
+    }
+    if (stats != nullptr) ++stats->conditions;
+    out.push_back(std::move(cc));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::uint64_t>& CondLatencyBoundsUs() {
+  static const std::vector<std::uint64_t> bounds = {
+      1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000, 25000, 100000, 1000000};
+  return bounds;
+}
+
+const char* EntryOutcomeName(int outcome_idx) {
+  return kEntryOutcomes[outcome_idx & 3];
+}
+
+std::string CompiledPolicy::IndexKey(std::string_view def_auth,
+                                     std::string_view value) {
+  std::string key;
+  key.reserve(def_auth.size() + 1 + value.size());
+  key.append(def_auth);
+  key.push_back('\0');
+  key.append(value);
+  return key;
+}
+
+const std::vector<std::uint32_t>* CompiledPolicy::IndexedCover(
+    std::string_view def_auth, std::string_view value) const {
+  auto it = index_.find(IndexKey(def_auth, value));
+  if (it == index_.end()) return nullptr;
+  return &it->second;
+}
+
+std::shared_ptr<const CompiledPolicy> CompilePolicy(const Eacl& policy,
+                                                    const std::string& name,
+                                                    const CompileEnv& env,
+                                                    CompileStats* stats) {
+  auto compiled = std::make_shared<CompiledPolicy>();
+  compiled->name_ = name;
+  compiled->mode_ = policy.mode;
+  compiled->entries_.reserve(policy.entries.size());
+
+  for (std::size_t i = 0; i < policy.entries.size(); ++i) {
+    const Entry& entry = policy.entries[i];
+    CompiledEntry ce;
+    ce.right = entry.right;
+    ce.index = static_cast<int>(i);
+    ce.pre = CompileBlock(entry.pre, CondPhase::kPre, env, stats);
+    ce.request_result =
+        CompileBlock(entry.request_result, CondPhase::kRequestResult, env,
+                     stats);
+    ce.mid = entry.mid;
+    ce.post = entry.post;
+    if (env.metrics != nullptr) {
+      // Same family/labels the interpreter uses, so both engines share
+      // counters and /__status/policies keeps one view.
+      for (int o = 0; o < 4; ++o) {
+        ce.outcomes[o] = env.metrics->GetCounter(
+            "eacl_entry_decisions_total",
+            "policy=\"" + name + "\",entry=\"" + std::to_string(i) +
+                "\",outcome=\"" + kEntryOutcomes[o] + "\"");
+      }
+    }
+    compiled->entries_.push_back(std::move(ce));
+  }
+
+  // Per-right index.  Concrete rights key the table; an entry with a "*"
+  // in either field lands in the wildcard fallback list.  Each concrete
+  // key's vector holds every entry covering it — wildcard entries merged
+  // in entry order, preserving first-to-last scan semantics.
+  for (std::uint32_t i = 0; i < compiled->entries_.size(); ++i) {
+    const Right& r = compiled->entries_[i].right;
+    if (r.def_auth == "*" || r.value == "*") {
+      compiled->unindexed_.push_back(i);
+    } else {
+      compiled->index_[CompiledPolicy::IndexKey(r.def_auth, r.value)];
+    }
+  }
+  for (auto& [key, covering] : compiled->index_) {
+    auto sep = key.find('\0');
+    std::string_view def_auth = std::string_view(key).substr(0, sep);
+    std::string_view value = std::string_view(key).substr(sep + 1);
+    for (std::uint32_t i = 0; i < compiled->entries_.size(); ++i) {
+      if (compiled->entries_[i].right.Covers(def_auth, value)) {
+        covering.push_back(i);
+      }
+    }
+  }
+  return compiled;
+}
+
+}  // namespace gaa::eacl

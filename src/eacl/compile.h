@@ -1,0 +1,148 @@
+// Compiled policy IR (DESIGN.md §9).
+//
+// Lowers a parsed EACL into an immutable decision form evaluated on the
+// request hot path with no parsing, no registry lookups and no locks:
+//
+//   * Condition evaluators are resolved from the ConditionRegistry ONCE at
+//     compile time into directly callable routines.  A condition whose
+//     type/authority has no registered routine compiles to a prebuilt MAYBE
+//     thunk (the "unregistered ⇒ unevaluated ⇒ MAYBE" rule of the paper,
+//     decided per compile instead of per request).
+//   * Registered specializers pre-parse condition values (CIDR lists, HH:MM
+//     windows, comparison operators, glob lists) so static conditions skip
+//     re-dispatch and re-parsing entirely.
+//   * Each condition carries its purity classification; the evaluator
+//     accumulates them so terminal decisions reached through pure-only
+//     conditions can be memoized (gaa::core::DecisionCache).
+//   * Per-entry attribution metadata — the eacl_entry_decisions_total
+//     counter handles for yes/no/maybe/miss — is baked into the IR, so the
+//     hot path increments a pre-resolved counter instead of building label
+//     strings.
+//   * A per-right index maps each concrete right appearing in the policy to
+//     the ordered list of entries covering it (wildcard entries merged in
+//     entry order); rights absent from the index can only be covered by
+//     wildcard entries, which are scanned as a fallback.
+//
+// This header lives with the EACL layer because the IR is a property of the
+// policy language, but it is compiled into the repro_gaa library (it needs
+// the registry/context/services types); see src/gaa/CMakeLists.txt.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eacl/ast.h"
+#include "gaa/registry.h"
+
+namespace gaa::telemetry {
+class Counter;
+class Histogram;
+class MetricRegistry;
+}  // namespace gaa::telemetry
+
+namespace gaa::eacl {
+
+/// Shared bucket bounds for gaa_cond_eval_us: evaluations are mostly
+/// sub-10µs, but actions can block for tens of ms, so 1µs .. 1s.
+const std::vector<std::uint64_t>& CondLatencyBoundsUs();
+
+/// Outcome label for eacl_entry_decisions_total: 0 yes, 1 no, 2 maybe,
+/// 3 miss (pre-block failed; the entry did not apply).
+const char* EntryOutcomeName(int outcome_idx);
+
+/// One condition, lowered: the pre-resolved evaluator plus everything the
+/// evaluator needs without going back to the registry.
+struct CompiledCond {
+  Condition source;
+  CondPhase phase = CondPhase::kPre;
+  core::CondPurity purity = core::CondPurity::kVolatile;
+  bool resolved = false;     ///< false: `fn` is the MAYBE thunk
+  bool specialized = false;  ///< value was pre-parsed at compile time
+  core::CondRoutine fn;      ///< never null
+  telemetry::Histogram* latency = nullptr;  ///< gaa_cond_eval_us{cond,auth}
+};
+
+struct CompiledEntry {
+  Right right;
+  int index = 0;  ///< position in the source EACL (attribution)
+  std::vector<CompiledCond> pre;
+  std::vector<CompiledCond> request_result;
+  /// Mid/post blocks run in phases 3/4 through the normal registry path —
+  /// they are effects on live operation statistics, never on the 2c hot
+  /// path — so they stay in source form.
+  std::vector<Condition> mid;
+  std::vector<Condition> post;
+  /// eacl_entry_decisions_total{policy,entry,outcome} handles, indexed by
+  /// EntryOutcomeName order.  Null when compiled without metrics.
+  telemetry::Counter* outcomes[4] = {nullptr, nullptr, nullptr, nullptr};
+};
+
+class CompiledPolicy {
+ public:
+  const std::string& name() const { return name_; }
+  std::optional<CompositionMode> mode() const { return mode_; }
+  const std::vector<CompiledEntry>& entries() const { return entries_; }
+
+  /// Entries covering the concrete right (def_auth, value), in entry order,
+  /// or null when the right never appears concretely in this policy — then
+  /// only wildcard entries can cover it (scan unindexed_entries() with
+  /// Right::Covers).
+  const std::vector<std::uint32_t>* IndexedCover(
+      std::string_view def_auth, std::string_view value) const;
+
+  /// Entries whose right uses a "*" wildcard (either field).
+  const std::vector<std::uint32_t>& unindexed_entries() const {
+    return unindexed_;
+  }
+
+ private:
+  friend std::shared_ptr<const CompiledPolicy> CompilePolicy(
+      const Eacl&, const std::string&, const struct CompileEnv&,
+      struct CompileStats*);
+
+  static std::string IndexKey(std::string_view def_auth,
+                              std::string_view value);
+
+  std::string name_;
+  std::optional<CompositionMode> mode_;
+  std::vector<CompiledEntry> entries_;
+  /// def_auth + '\0' + value → ordered covering entry indices.
+  std::map<std::string, std::vector<std::uint32_t>, std::less<>> index_;
+  std::vector<std::uint32_t> unindexed_;
+};
+
+/// The per-path view assembled from a PolicySnapshot: raw pointers into
+/// immutable compiled policies, safe to evaluate without any lock.
+struct CompiledComposition {
+  CompositionMode mode = CompositionMode::kNarrow;
+  std::vector<const CompiledPolicy*> system;  ///< evaluated first
+  std::vector<const CompiledPolicy*> local;   ///< empty under `stop`
+};
+
+struct CompileEnv {
+  /// Null registry compiles every condition to the MAYBE thunk (tests).
+  const core::ConditionRegistry* registry = nullptr;
+  /// Null metrics skips baking counter/histogram handles.
+  telemetry::MetricRegistry* metrics = nullptr;
+};
+
+struct CompileStats {
+  std::size_t conditions = 0;   ///< pre + request-result conditions lowered
+  std::size_t specialized = 0;  ///< replaced by a pre-parsed routine
+  std::size_t unresolved = 0;   ///< compiled to the MAYBE thunk
+};
+
+/// Lower one policy.  The result is immutable and internally consistent —
+/// publish it via shared_ptr/atomic pointer and evaluate lock-free.
+std::shared_ptr<const CompiledPolicy> CompilePolicy(const Eacl& policy,
+                                                    const std::string& name,
+                                                    const CompileEnv& env,
+                                                    CompileStats* stats =
+                                                        nullptr);
+
+}  // namespace gaa::eacl

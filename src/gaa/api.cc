@@ -23,28 +23,23 @@ const char* BlockSpanName(eacl::CondPhase phase) {
   return "gaa.cond";
 }
 
-constexpr const char* kEntryOutcomes[] = {"yes", "no", "maybe", "miss"};
-
 int OutcomeIndex(util::Tristate status) {
   return status == util::Tristate::kYes  ? 0
          : status == util::Tristate::kNo ? 1
                                          : 2;
-}
-
-/// Condition evaluations are mostly sub-10µs (a glob match, a SystemState
-/// read), but actions can block for tens of ms (synchronous notification),
-/// so the buckets stretch from 1µs to 1s.
-const std::vector<std::uint64_t>& CondLatencyBoundsUs() {
-  static const std::vector<std::uint64_t> bounds = {
-      1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000, 25000, 100000, 1000000};
-  return bounds;
 }
 }  // namespace
 
 using util::Tristate;
 
 GaaApi::GaaApi(PolicyStore* store, EvalServices services)
-    : store_(store), services_(services) {}
+    : store_(store), services_(services) {
+  cache_.AttachMetrics(services_.metrics);
+  decision_cache_.AttachMetrics(services_.metrics);
+  // Publish the first compiled snapshot; every later policy mutation
+  // republishes under the store's lock.
+  store_->BindEngine({&registry_, services_.metrics, services_.clock});
+}
 
 util::VoidResult GaaApi::Initialize(const RoutineCatalog& catalog,
                                     std::string_view system_config_text,
@@ -62,10 +57,13 @@ util::VoidResult GaaApi::Initialize(const RoutineCatalog& catalog,
     for (const auto& binding : cfg.bindings) {
       std::map<std::string, std::string> params = global_params;
       for (const auto& [k, v] : binding.params) params[k] = v;
-      auto routine = catalog.Make(binding.routine, params);
-      if (!routine.ok()) return routine.error();
+      auto inst = catalog.Instantiate(binding.routine, binding.def_auth,
+                                      params);
+      if (!inst.ok()) return inst.error();
+      RoutineCatalog::Instantiated taken = std::move(inst).take();
       registry_.Register(binding.cond_type, binding.def_auth,
-                         std::move(routine).take());
+                         std::move(taken.routine), taken.traits,
+                         std::move(taken.specialize));
     }
     return util::VoidResult::Ok();
   };
@@ -93,7 +91,7 @@ telemetry::Counter* GaaApi::EntryCounter(const std::string& policy, int entry,
                                          int outcome_idx) {
   if (services_.metrics == nullptr) return nullptr;
   std::string key = policy + '#' + std::to_string(entry) + '#' +
-                    kEntryOutcomes[outcome_idx];
+                    eacl::EntryOutcomeName(outcome_idx);
   {
     std::lock_guard<std::mutex> lock(attr_mu_);
     auto it = entry_counters_.find(key);
@@ -102,7 +100,7 @@ telemetry::Counter* GaaApi::EntryCounter(const std::string& policy, int entry,
   telemetry::Counter* counter = services_.metrics->GetCounter(
       "eacl_entry_decisions_total",
       "policy=\"" + policy + "\",entry=\"" + std::to_string(entry) +
-          "\",outcome=\"" + kEntryOutcomes[outcome_idx] + "\"");
+          "\",outcome=\"" + eacl::EntryOutcomeName(outcome_idx) + "\"");
   std::lock_guard<std::mutex> lock(attr_mu_);
   entry_counters_.emplace(std::move(key), counter);
   return counter;
@@ -119,7 +117,7 @@ telemetry::Histogram* GaaApi::CondHistogram(const eacl::Condition& cond) {
   telemetry::Histogram* histogram = services_.metrics->GetHistogram(
       "gaa_cond_eval_us",
       "cond=\"" + cond.type + "\",auth=\"" + cond.def_auth + "\"",
-      CondLatencyBoundsUs());
+      eacl::CondLatencyBoundsUs());
   std::lock_guard<std::mutex> lock(attr_mu_);
   cond_histograms_.emplace(std::move(key), histogram);
   return histogram;
@@ -323,9 +321,245 @@ AuthzResult GaaApi::CheckAuthorization(const eacl::ComposedPolicy& policy,
   return out;
 }
 
+EvalOutcome GaaApi::EvalCompiledCond(const eacl::CompiledCond& cond,
+                                     RequestContext& ctx,
+                                     std::vector<CondTrace>* trace,
+                                     bool* pure) {
+  if (cond.purity != CondPurity::kPure) *pure = false;
+  util::Stopwatch sw;
+  EvalOutcome outcome = cond.fn(cond.source, ctx, services_);
+  if (cond.latency != nullptr) {
+    cond.latency->Record(static_cast<std::uint64_t>(sw.ElapsedUs()));
+  }
+  if (trace != nullptr) {
+    trace->push_back(CondTrace{cond.source, outcome, cond.phase});
+  }
+  return outcome;
+}
+
+GaaApi::BlockResult GaaApi::EvalCompiledBlock(
+    const std::vector<eacl::CompiledCond>& block, eacl::CondPhase phase,
+    RequestContext& ctx, std::vector<CondTrace>* trace, bool* pure) {
+  BlockResult result;
+  result.status = Tristate::kYes;
+  telemetry::ScopedSpan span(block.empty() ? nullptr : ctx.trace,
+                             BlockSpanName(phase));
+  for (const auto& cond : block) {
+    EvalOutcome outcome = EvalCompiledCond(cond, ctx, trace, pure);
+    if (outcome.status == Tristate::kNo) {
+      result.status = Tristate::kNo;
+      result.deciding_condition = cond.source.type;
+      return result;
+    }
+    if (outcome.status == Tristate::kMaybe) {
+      if (result.status != Tristate::kMaybe) {
+        result.deciding_condition = cond.source.type;
+      }
+      result.status = Tristate::kMaybe;
+      if (!outcome.evaluated) result.unevaluated.push_back(cond.source);
+    }
+  }
+  return result;
+}
+
+GaaApi::PolicyAnswer GaaApi::EvalCompiledPolicy(
+    const eacl::CompiledPolicy& policy, const RequestedRight& right,
+    RequestContext& ctx, AuthzResult* out, bool* pure) {
+  // Candidate selection through the per-right index: a concrete hit yields
+  // the pre-computed covering list; otherwise only wildcard entries can
+  // cover the right and the fallback scans just those.
+  const std::vector<std::uint32_t>* indexed =
+      policy.IndexedCover(right.def_auth, right.value);
+  const std::vector<std::uint32_t>& candidates =
+      indexed != nullptr ? *indexed : policy.unindexed_entries();
+
+  PolicyAnswer answer;
+  for (std::uint32_t idx : candidates) {
+    const eacl::CompiledEntry& entry = policy.entries()[idx];
+    if (indexed == nullptr &&
+        !entry.right.Covers(right.def_auth, right.value)) {
+      continue;
+    }
+
+    BlockResult pre =
+        EvalCompiledBlock(entry.pre, eacl::CondPhase::kPre, ctx, &out->trace,
+                          pure);
+
+    if (pre.status == Tristate::kNo) {
+      if (entry.outcomes[3] != nullptr) entry.outcomes[3]->Inc();
+      continue;
+    }
+
+    answer.applicable = true;
+    answer.attribution.policy = policy.name();
+    answer.attribution.entry = entry.index;
+    answer.attribution.condition = pre.deciding_condition;
+
+    if (pre.status == Tristate::kMaybe) {
+      answer.status = Tristate::kMaybe;
+      answer.attribution.status = Tristate::kMaybe;
+      out->unevaluated.insert(out->unevaluated.end(), pre.unevaluated.begin(),
+                              pre.unevaluated.end());
+      if (entry.outcomes[2] != nullptr) entry.outcomes[2]->Inc();
+      return answer;
+    }
+
+    Tristate status = entry.right.positive ? Tristate::kYes : Tristate::kNo;
+
+    if (!entry.request_result.empty()) {
+      ctx.request_granted = (status == Tristate::kYes);
+      BlockResult rr =
+          EvalCompiledBlock(entry.request_result,
+                            eacl::CondPhase::kRequestResult, ctx, &out->trace,
+                            pure);
+      ctx.request_granted.reset();
+      status = util::And3(status, rr.status);
+      if (rr.status != Tristate::kYes) {
+        answer.attribution.condition = rr.deciding_condition;
+      }
+      if (rr.status == Tristate::kMaybe) {
+        out->unevaluated.insert(out->unevaluated.end(), rr.unevaluated.begin(),
+                                rr.unevaluated.end());
+      }
+    }
+
+    if (entry.right.positive && status != Tristate::kNo) {
+      out->mid_conditions.insert(out->mid_conditions.end(), entry.mid.begin(),
+                                 entry.mid.end());
+      out->post_conditions.insert(out->post_conditions.end(),
+                                  entry.post.begin(), entry.post.end());
+    }
+
+    answer.status = status;
+    answer.attribution.status = status;
+    if (telemetry::Counter* c = entry.outcomes[OutcomeIndex(status)]) c->Inc();
+    return answer;
+  }
+  answer.applicable = false;
+  answer.status = Tristate::kNo;
+  return answer;
+}
+
+AuthzResult GaaApi::CheckAuthorizationCompiled(
+    const eacl::CompiledComposition& view, const RequestedRight& right,
+    RequestContext& ctx, bool* pure) {
+  AuthzResult out;
+  telemetry::ScopedSpan span(ctx.trace, "gaa.check_authorization");
+
+  auto eval_side = [&](const std::vector<const eacl::CompiledPolicy*>& side_p,
+                       bool* any, std::optional<DecisionAttribution>* attr) {
+    Tristate side = Tristate::kYes;
+    *any = false;
+    for (const eacl::CompiledPolicy* p : side_p) {
+      PolicyAnswer a = EvalCompiledPolicy(*p, right, ctx, &out, pure);
+      if (!a.applicable) continue;
+      Tristate combined = util::And3(side, a.status);
+      if (!*any || combined != side) *attr = a.attribution;
+      *any = true;
+      side = combined;
+      if (side == Tristate::kNo) break;  // conjunction settled
+    }
+    return side;
+  };
+
+  bool have_system = false;
+  bool have_local = false;
+  std::optional<DecisionAttribution> system_attr;
+  std::optional<DecisionAttribution> local_attr;
+  Tristate system_status = eval_side(view.system, &have_system, &system_attr);
+  Tristate local_status = Tristate::kNo;
+  if (view.mode != eacl::CompositionMode::kStop &&
+      !(view.mode == eacl::CompositionMode::kNarrow && have_system &&
+        system_status == Tristate::kNo)) {
+    local_status = eval_side(view.local, &have_local, &local_attr);
+  }
+
+  out.applicable = have_system || have_local;
+  out.status = eacl::CombineDecisions(view.mode, system_status, have_system,
+                                      local_status, have_local);
+  if (have_system && system_status == out.status) {
+    out.attribution = std::move(system_attr);
+  } else if (have_local && local_status == out.status) {
+    out.attribution = std::move(local_attr);
+  } else if (system_attr.has_value()) {
+    out.attribution = std::move(system_attr);
+  } else {
+    out.attribution = std::move(local_attr);
+  }
+  out.detail = std::string("authz=") + util::TristateName(out.status) +
+               " right=" + right.def_auth + ":" + right.value +
+               " object=" + ctx.object;
+  return out;
+}
+
+std::string GaaApi::DecisionKey(const std::string& object_path,
+                                const RequestedRight& right,
+                                const RequestContext& ctx) {
+  // '\x1f' (unit separator) joins fields, '\x1e' joins list items — neither
+  // occurs in HTTP tokens, so distinct inputs cannot collide into one key.
+  std::string key;
+  key.reserve(object_path.size() + ctx.object.size() + ctx.user.size() + 48);
+  key.append(right.def_auth);
+  key.push_back('\x1f');
+  key.append(right.value);
+  key.push_back('\x1f');
+  key.append(object_path);
+  key.push_back('\x1f');
+  key.append(ctx.object);
+  key.push_back('\x1f');
+  key.push_back(ctx.authenticated ? '1' : '0');
+  key.append(ctx.user);
+  key.push_back('\x1f');
+  for (const auto& g : ctx.groups) {
+    key.append(g);
+    key.push_back('\x1e');
+  }
+  key.push_back('\x1f');
+  key.append(ctx.client_ip.ToString());
+  return key;
+}
+
 AuthzResult GaaApi::Authorize(const std::string& object_path,
                               const RequestedRight& right,
                               RequestContext& ctx) {
+  if (engine_mode_ == EngineMode::kCompiled) {
+    const PolicySnapshot* snap =
+        store_->FreshSnapshot(&registry_, registry_.change_version());
+    if (snap != nullptr) {
+      const bool memo =
+          decision_cache_enabled_ && decision_cache_.capacity() > 0;
+      std::string key;
+      if (memo) {
+        key = DecisionKey(object_path, right, ctx);
+        if (auto hit = decision_cache_.Get(key, snap->store_version())) {
+          // Keep per-entry attribution counters exact on the memo fast path.
+          if (hit->entry_counter != nullptr) hit->entry_counter->Inc();
+          return *hit->result;
+        }
+      }
+      telemetry::ScopedSpan lookup_span(ctx.trace, "gaa.snapshot_lookup");
+      eacl::CompiledComposition view = snap->ForPath(object_path);
+      lookup_span.End();
+      bool pure = true;
+      AuthzResult out = CheckAuthorizationCompiled(view, right, ctx, &pure);
+      // Memoize only terminal answers proven repeatable: every evaluated
+      // condition was kPure and the result is not MAYBE (a MAYBE must be
+      // re-derived so the 401/redirect translation sees fresh unevaluated
+      // conditions and new credentials can flip it).
+      if (memo && pure && out.status != Tristate::kMaybe) {
+        telemetry::Counter* ec = nullptr;
+        if (out.attribution.has_value()) {
+          ec = EntryCounter(out.attribution->policy, out.attribution->entry,
+                            OutcomeIndex(out.status));
+        }
+        decision_cache_.Put(std::move(key), snap->store_version(),
+                            std::make_shared<AuthzResult>(out), ec);
+      }
+      return out;
+    }
+    // No snapshot (parse-on-retrieve ablation, or the store is bound to a
+    // different engine): fall through to the interpreted pipeline.
+  }
   telemetry::ScopedSpan compose_span(ctx.trace, "gaa.policy_compose");
   eacl::ComposedPolicy composed = GetObjectPolicyInfo(object_path);
   compose_span.End();

@@ -42,10 +42,12 @@
 #include <vector>
 
 #include "eacl/ast.h"
+#include "eacl/compile.h"
 #include "eacl/composition.h"
 #include "gaa/cache.h"
 #include "gaa/config.h"
 #include "gaa/context.h"
+#include "gaa/decision_cache.h"
 #include "gaa/policy_store.h"
 #include "gaa/registry.h"
 #include "gaa/services.h"
@@ -111,6 +113,19 @@ struct PhaseResult {
   std::vector<CondTrace> trace;
 };
 
+/// Which evaluation pipeline Authorize uses (DESIGN.md §9).
+enum class EngineMode {
+  /// Walk the parsed EACL AST per request, resolving routines through the
+  /// registry, with the §9 LRU policy cache in front (the pre-compiler
+  /// pipeline; kept for differential testing and the A1 ablation).
+  kInterpreted,
+  /// Evaluate the compiled IR published by the PolicyStore snapshot —
+  /// lock-free lookup, pre-resolved evaluators, decision memoization.
+  /// Falls back to the interpreter when no snapshot is available
+  /// (parse-on-retrieve mode, or the store is bound to another engine).
+  kCompiled,
+};
+
 class GaaApi {
  public:
   /// `store` and the services outlive the API object.
@@ -155,6 +170,19 @@ class GaaApi {
   const PolicyCache& cache() const { return cache_; }
   void ClearCache() { cache_.Clear(); }
 
+  // --- compiled engine (DESIGN.md §9) --------------------------------------
+  void set_engine_mode(EngineMode mode) { engine_mode_ = mode; }
+  EngineMode engine_mode() const { return engine_mode_; }
+
+  /// Decision memoization rides on the compiled engine; disabling it keeps
+  /// snapshot evaluation but re-runs every condition per request.
+  void set_decision_cache_enabled(bool enabled) {
+    decision_cache_enabled_ = enabled;
+  }
+  bool decision_cache_enabled() const { return decision_cache_enabled_; }
+  const DecisionCache& decision_cache() const { return decision_cache_; }
+  void ClearDecisionCache() { decision_cache_.Clear(); }
+
  private:
   struct BlockResult {
     util::Tristate status = util::Tristate::kYes;
@@ -189,6 +217,36 @@ class GaaApi {
                           const RequestedRight& right, RequestContext& ctx,
                           AuthzResult* out);
 
+  // --- compiled-IR twins of the evaluators above ---------------------------
+  // Same semantics, same trace/attribution output, but evaluators, metric
+  // handles and purity classes come pre-resolved from the IR.  `pure` starts
+  // true and is cleared whenever a non-kPure condition is evaluated; the
+  // caller memoizes the decision only if it stayed true.
+
+  EvalOutcome EvalCompiledCond(const eacl::CompiledCond& cond,
+                               RequestContext& ctx,
+                               std::vector<CondTrace>* trace, bool* pure);
+
+  BlockResult EvalCompiledBlock(const std::vector<eacl::CompiledCond>& block,
+                                eacl::CondPhase phase, RequestContext& ctx,
+                                std::vector<CondTrace>* trace, bool* pure);
+
+  PolicyAnswer EvalCompiledPolicy(const eacl::CompiledPolicy& policy,
+                                  const RequestedRight& right,
+                                  RequestContext& ctx, AuthzResult* out,
+                                  bool* pure);
+
+  /// Compiled twin of CheckAuthorization over a snapshot's per-path view.
+  AuthzResult CheckAuthorizationCompiled(const eacl::CompiledComposition& view,
+                                         const RequestedRight& right,
+                                         RequestContext& ctx, bool* pure);
+
+  /// Memo key: every input a kPure condition may read — requested right,
+  /// object path, request identity, client address — joined unambiguously.
+  static std::string DecisionKey(const std::string& object_path,
+                                 const RequestedRight& right,
+                                 const RequestContext& ctx);
+
   /// Cached `eacl_entry_decisions_total{policy,entry,outcome}` handle;
   /// `outcome_idx`: 0 yes, 1 no, 2 maybe, 3 miss (pre-block failed, entry
   /// skipped).  Null when metrics are detached.
@@ -202,6 +260,9 @@ class GaaApi {
   ConditionRegistry registry_;
   PolicyCache cache_;
   bool cache_enabled_ = false;
+  EngineMode engine_mode_ = EngineMode::kCompiled;
+  DecisionCache decision_cache_;
+  bool decision_cache_enabled_ = true;
 
   /// Attribution-metric handle caches: registry lookups build a label
   /// string per call, so hot entries resolve through this mutex-guarded

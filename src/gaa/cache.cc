@@ -1,5 +1,7 @@
 #include "gaa/cache.h"
 
+#include "telemetry/metrics.h"
+
 namespace gaa::core {
 
 std::optional<eacl::ComposedPolicy> PolicyCache::Get(
@@ -8,16 +10,19 @@ std::optional<eacl::ComposedPolicy> PolicyCache::Get(
   auto it = slots_.find(object_path);
   if (it == slots_.end()) {
     ++misses_;
+    if (miss_counter_ != nullptr) miss_counter_->Inc();
     return std::nullopt;
   }
   if (it->second.version != version) {
     lru_.erase(it->second.lru_it);
     slots_.erase(it);
     ++misses_;
+    if (miss_counter_ != nullptr) miss_counter_->Inc();
     return std::nullopt;
   }
   TouchLocked(object_path, it->second);
   ++hits_;
+  if (hit_counter_ != nullptr) hit_counter_->Inc();
   return it->second.policy;
 }
 
@@ -50,6 +55,12 @@ void PolicyCache::Clear() {
 std::size_t PolicyCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_.size();
+}
+
+void PolicyCache::AttachMetrics(telemetry::MetricRegistry* registry) {
+  if (registry == nullptr) return;
+  hit_counter_ = registry->GetCounter("gaa_policy_cache_hits_total");
+  miss_counter_ = registry->GetCounter("gaa_policy_cache_misses_total");
 }
 
 void PolicyCache::TouchLocked(const std::string& key, Slot& slot) {

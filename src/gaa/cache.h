@@ -18,6 +18,11 @@
 
 #include "eacl/composition.h"
 
+namespace gaa::telemetry {
+class Counter;
+class MetricRegistry;
+}  // namespace gaa::telemetry
+
 namespace gaa::core {
 
 class PolicyCache {
@@ -33,6 +38,12 @@ class PolicyCache {
            eacl::ComposedPolicy policy);
 
   void Clear();
+
+  /// Mirror hit/miss accounting into gaa_policy_cache_{hits,misses}_total so
+  /// /__status reports the interpreted engine's cache alongside the compiled
+  /// engine's decision cache.  The local atomics stay authoritative for the
+  /// accessors below (tests read them without a registry).
+  void AttachMetrics(telemetry::MetricRegistry* registry);
 
   std::size_t size() const;
   std::uint64_t hits() const { return hits_.load(); }
@@ -53,6 +64,8 @@ class PolicyCache {
   std::list<std::string> lru_;  // front = most recent
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  telemetry::Counter* hit_counter_ = nullptr;
+  telemetry::Counter* miss_counter_ = nullptr;
 };
 
 }  // namespace gaa::core

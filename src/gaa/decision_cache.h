@@ -1,0 +1,92 @@
+// Decision memoization for the compiled policy engine (DESIGN.md §9).
+//
+// Caches *terminal* authorization answers keyed by (subject, right, object,
+// snapshot version).  Admission is gated by the compiler's purity analysis:
+// only decisions reached exclusively through kPure conditions are offered,
+// and MAYBE is never cached (a MAYBE answer means conditions were left
+// unevaluated — the 401/redirect translation must see them fresh, and new
+// credentials on the next request may flip the answer).
+//
+// Structure: a power-of-two array of atomic slots, direct-mapped by key
+// hash.  Get is one atomic shared_ptr load plus a full-key compare (hash
+// collisions fall back to a miss, never to a wrong answer); Put replaces
+// the slot unconditionally.  The snapshot version is part of the entry, so
+// every policy change invalidates the whole cache implicitly — policy
+// tightening during an attack takes effect on the next request, exactly
+// like the snapshot swap itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace gaa::telemetry {
+class Counter;
+class MetricRegistry;
+}  // namespace gaa::telemetry
+
+namespace gaa::core {
+
+struct AuthzResult;
+
+class DecisionCache {
+ public:
+  static constexpr std::size_t kDefaultSlots = 4096;
+
+  /// `slots` is rounded up to a power of two; 0 disables the cache.
+  explicit DecisionCache(std::size_t slots = kDefaultSlots);
+
+  struct CachedDecision {
+    std::string key;
+    std::uint64_t snapshot_version = 0;
+    std::shared_ptr<const AuthzResult> result;
+    /// The deciding entry's eacl_entry_decisions_total handle, so memo
+    /// hits keep per-entry attribution counters exact.  May be null.
+    telemetry::Counter* entry_counter = nullptr;
+  };
+
+  /// Null on miss, stale version or hash collision.
+  std::shared_ptr<const CachedDecision> Get(std::string_view key,
+                                            std::uint64_t snapshot_version);
+
+  void Put(std::string key, std::uint64_t snapshot_version,
+           std::shared_ptr<const AuthzResult> result,
+           telemetry::Counter* entry_counter);
+
+  /// Drop every entry (tests; not required for correctness on policy
+  /// change — the version key already fences stale answers).
+  void Clear();
+
+  /// Mirror hit/miss accounting into gaa_decision_cache_{hits,misses}_total
+  /// (plus _insertions_total) so /__status reports them.
+  void AttachMetrics(telemetry::MetricRegistry* registry);
+
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t insertions() const {
+    return insertions_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return mask_ == 0 ? 0 : mask_ + 1; }
+  /// Occupied slots (approximate under concurrency; tests only).
+  std::size_t size() const;
+
+ private:
+  using Slot = std::atomic<std::shared_ptr<const CachedDecision>>;
+
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  telemetry::Counter* hit_counter_ = nullptr;
+  telemetry::Counter* miss_counter_ = nullptr;
+  telemetry::Counter* insert_counter_ = nullptr;
+};
+
+}  // namespace gaa::core

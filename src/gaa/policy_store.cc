@@ -3,6 +3,8 @@
 #include "eacl/parser.h"
 #include "eacl/validate.h"
 #include "eacl/printer.h"
+#include "telemetry/metrics.h"
+#include "util/clock.h"
 #include "util/config.h"
 
 namespace gaa::core {
@@ -24,6 +26,7 @@ util::VoidResult PolicyStore::AddSystemPolicyNamed(const std::string& eacl_text,
       name.empty() ? "system#" + std::to_string(system_policies_.size() - 1)
                    : name);
   version_.fetch_add(1);
+  RebuildSnapshotLocked();
   return util::VoidResult::Ok();
 }
 
@@ -51,6 +54,7 @@ util::VoidResult PolicyStore::SetLocalPolicy(const std::string& dir_prefix,
   local_policies_[key] = std::move(parsed).take();
   local_texts_[key] = eacl_text;
   version_.fetch_add(1);
+  RebuildSnapshotLocked();
   return util::VoidResult::Ok();
 }
 
@@ -59,7 +63,10 @@ bool PolicyStore::RemoveLocalPolicy(const std::string& dir_prefix) {
   std::lock_guard<std::mutex> lock(mu_);
   bool removed = local_policies_.erase(key) > 0;
   local_texts_.erase(key);
-  if (removed) version_.fetch_add(1);
+  if (removed) {
+    version_.fetch_add(1);
+    RebuildSnapshotLocked();
+  }
   return removed;
 }
 
@@ -71,6 +78,7 @@ void PolicyStore::Clear() {
   local_policies_.clear();
   local_texts_.clear();
   version_.fetch_add(1);
+  RebuildSnapshotLocked();
 }
 
 std::vector<std::string> PolicyStore::DirectoryChain(
@@ -134,6 +142,95 @@ eacl::ComposedPolicy PolicyStore::PoliciesFor(
   }
   return eacl::Compose(std::move(system_list), std::move(local_list),
                        std::move(system_names), std::move(local_names));
+}
+
+eacl::CompiledComposition PolicySnapshot::ForPath(
+    const std::string& object_path) const {
+  eacl::CompiledComposition out;
+  out.mode = mode_;
+  out.system.reserve(system_.size());
+  for (const auto& p : system_) out.system.push_back(p.get());
+  if (mode_ != eacl::CompositionMode::kStop) {
+    for (const auto& dir : PolicyStore::DirectoryChain(object_path)) {
+      auto it = locals_.find(dir);
+      if (it != locals_.end()) out.local.push_back(it->second.get());
+    }
+  }
+  return out;
+}
+
+void PolicyStore::BindEngine(EngineBinding binding) {
+  std::lock_guard<std::mutex> lock(mu_);
+  binding_ = binding;
+  RebuildSnapshotLocked();
+}
+
+const PolicySnapshot* PolicyStore::FreshSnapshot(
+    const ConditionRegistry* registry, std::uint64_t registry_version) {
+  if (parse_on_retrieve_.load(std::memory_order_relaxed)) return nullptr;
+  const PolicySnapshot* snap = snapshot_.load(std::memory_order_acquire);
+  if (snap != nullptr && snap->compiled_for() == registry &&
+      snap->registry_version() == registry_version) {
+    return snap;  // hot path: one atomic load, no lock
+  }
+  // Cold path: routines were (un)registered since the last compile, or
+  // another GaaApi rebound the store.  Recompile under the mutex.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (binding_.registry != registry) {
+    // Engine bound elsewhere (e.g. two APIs sharing one store): serving a
+    // snapshot compiled against a different registry would evaluate the
+    // wrong routines.  Fall back to the interpreter.
+    return nullptr;
+  }
+  snap = snapshot_.load(std::memory_order_acquire);
+  if (snap == nullptr || snap->registry_version() !=
+                             binding_.registry->change_version()) {
+    RebuildSnapshotLocked();
+    snap = snapshot_.load(std::memory_order_acquire);
+  }
+  return snap;
+}
+
+void PolicyStore::RebuildSnapshotLocked() {
+  if (binding_.registry == nullptr) return;
+  util::Stopwatch sw;
+  auto snap = std::make_shared<PolicySnapshot>();
+  snap->store_version_ = version_.load();
+  snap->registry_version_ = binding_.registry->change_version();
+  snap->compiled_for_ = binding_.registry;
+
+  eacl::CompileEnv env{binding_.registry, binding_.metrics};
+  // Effective composition mode mirrors eacl::Compose: the first system
+  // policy declaring one wins; default narrow.
+  snap->mode_ = eacl::CompositionMode::kNarrow;
+  bool mode_set = false;
+  snap->system_.reserve(system_policies_.size());
+  for (std::size_t i = 0; i < system_policies_.size(); ++i) {
+    if (!mode_set && system_policies_[i].mode.has_value()) {
+      snap->mode_ = *system_policies_[i].mode;
+      mode_set = true;
+    }
+    snap->system_.push_back(
+        eacl::CompilePolicy(system_policies_[i], system_names_[i], env));
+  }
+  for (const auto& [prefix, policy] : local_policies_) {
+    snap->locals_[prefix] =
+        eacl::CompilePolicy(policy, "local:" + prefix, env);
+  }
+
+  if (binding_.metrics != nullptr) {
+    binding_.metrics->GetHistogram("gaa_policy_compile_us")
+        ->Record(static_cast<std::uint64_t>(sw.ElapsedUs()));
+    binding_.metrics->GetGauge("gaa_policy_snapshot_version")
+        ->Set(static_cast<std::int64_t>(snap->store_version_));
+    binding_.metrics->GetGauge("gaa_policy_snapshot_built_us")
+        ->Set(static_cast<std::int64_t>(sw.ElapsedUs()));
+  }
+
+  // Publish.  The old snapshot stays alive in retired_ for readers that
+  // loaded it before the swap (store-lifetime retention; see header).
+  retired_.push_back(snap);
+  snapshot_.store(snap.get(), std::memory_order_release);
 }
 
 std::string PolicyStore::ExportSystemPolicies() const {

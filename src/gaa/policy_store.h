@@ -9,20 +9,81 @@
 //
 // A monotonically increasing version number lets the policy cache detect
 // staleness after any policy change.
+//
+// Compiled-engine publication (DESIGN.md §9): once an engine is bound via
+// BindEngine, every mutation also recompiles the full policy set into an
+// immutable PolicySnapshot and publishes it through one atomic pointer
+// swap (RCU-style).  Request threads read the current snapshot with a
+// single acquire-load — no lock, no copy — and a policy tightened during an
+// attack takes effect on the very next request.  Retired snapshots are
+// retained for the store's lifetime, so readers still evaluating an old
+// snapshot are always safe (policy reloads are rare and snapshots small;
+// the bounded-leak trade-off is documented in DESIGN.md §9.3).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "eacl/ast.h"
+#include "eacl/compile.h"
 #include "eacl/composition.h"
 #include "util/status.h"
 
+namespace gaa::util {
+class Clock;
+}  // namespace gaa::util
+
+namespace gaa::telemetry {
+class MetricRegistry;
+}  // namespace gaa::telemetry
+
 namespace gaa::core {
+
+/// What the policy compiler needs; supplied by the GaaApi that owns the
+/// registry.  One binding per store — the last bind wins, and snapshots are
+/// served only to the registry they were compiled against.
+struct EngineBinding {
+  const ConditionRegistry* registry = nullptr;
+  telemetry::MetricRegistry* metrics = nullptr;  ///< may be null (detached)
+  util::Clock* clock = nullptr;                  ///< may be null
+};
+
+/// An immutable compiled view of the whole policy set at one store version.
+class PolicySnapshot {
+ public:
+  std::uint64_t store_version() const { return store_version_; }
+  std::uint64_t registry_version() const { return registry_version_; }
+  const ConditionRegistry* compiled_for() const { return compiled_for_; }
+  eacl::CompositionMode mode() const { return mode_; }
+
+  /// Assemble the per-path view: system policies plus the directory-chain
+  /// locals.  Pure pointer gathering over immutable data — no locks.
+  eacl::CompiledComposition ForPath(const std::string& object_path) const;
+
+  const std::vector<std::shared_ptr<const eacl::CompiledPolicy>>& system()
+      const {
+    return system_;
+  }
+  const std::map<std::string, std::shared_ptr<const eacl::CompiledPolicy>>&
+  locals() const {
+    return locals_;
+  }
+
+ private:
+  friend class PolicyStore;
+
+  std::uint64_t store_version_ = 0;
+  std::uint64_t registry_version_ = 0;
+  const ConditionRegistry* compiled_for_ = nullptr;
+  eacl::CompositionMode mode_ = eacl::CompositionMode::kNarrow;
+  std::vector<std::shared_ptr<const eacl::CompiledPolicy>> system_;
+  std::map<std::string, std::shared_ptr<const eacl::CompiledPolicy>> locals_;
+};
 
 class PolicyStore {
  public:
@@ -63,11 +124,33 @@ class PolicyStore {
   /// Version counter bumped by every mutation; used for cache invalidation.
   std::uint64_t version() const { return version_.load(); }
 
+  // --- compiled snapshot publication (DESIGN.md §9) -------------------------
+
+  /// Bind the compiler inputs and publish the first snapshot.  Called by
+  /// GaaApi construction; harmless to rebind (last bind wins).
+  void BindEngine(EngineBinding binding);
+
+  /// The currently published snapshot — one acquire-load, no lock.  Null
+  /// before BindEngine.
+  const PolicySnapshot* CurrentSnapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Hot-path accessor: the published snapshot, recompiled first (cold,
+  /// mutex-guarded) when `registry_version` says routines were registered
+  /// after the last compile.  Returns null — caller falls back to the
+  /// interpreter — when the engine is bound to a different registry or the
+  /// store is in parse-on-retrieve (ablation) mode.
+  const PolicySnapshot* FreshSnapshot(const ConditionRegistry* registry,
+                                      std::uint64_t registry_version);
+
   /// When enabled, PoliciesFor re-parses the stored policy *text* on every
   /// retrieval instead of returning the pre-parsed form.  This models the
   /// paper's implementation, which read and translated the policy files on
   /// each request — the cost its §9 policy cache was meant to remove.  The
-  /// A1 ablation benchmarks flip this switch.
+  /// A1 ablation benchmarks flip this switch.  Also disables the compiled
+  /// snapshot path (FreshSnapshot returns null) so the ablation measures
+  /// the interpreted pipeline.
   void SetParseOnRetrieve(bool enabled) { parse_on_retrieve_ = enabled; }
   bool parse_on_retrieve() const { return parse_on_retrieve_; }
 
@@ -84,6 +167,10 @@ class PolicyStore {
       const std::string& dir_prefix) const;
 
  private:
+  /// Recompile everything and publish; `mu_` must be held.  A no-op until
+  /// an engine is bound.
+  void RebuildSnapshotLocked();
+
   mutable std::mutex mu_;
   std::vector<eacl::Eacl> system_policies_;
   std::vector<std::string> system_texts_;
@@ -92,6 +179,12 @@ class PolicyStore {
   std::map<std::string, std::string> local_texts_;     // prefix -> text
   std::atomic<std::uint64_t> version_{0};
   std::atomic<bool> parse_on_retrieve_{false};
+
+  EngineBinding binding_;  // guarded by mu_
+  /// Published snapshot; points into `retired_`.  Readers hold no lock, so
+  /// superseded snapshots are never freed while the store lives.
+  std::atomic<const PolicySnapshot*> snapshot_{nullptr};
+  std::vector<std::shared_ptr<const PolicySnapshot>> retired_;  // under mu_
 };
 
 }  // namespace gaa::core

@@ -22,18 +22,47 @@ const char* ReportKindName(ReportKind kind) {
   return "?";
 }
 
+const char* CondPurityName(CondPurity purity) {
+  switch (purity) {
+    case CondPurity::kPure:
+      return "pure";
+    case CondPurity::kVolatile:
+      return "volatile";
+    case CondPurity::kEffect:
+      return "effect";
+  }
+  return "?";
+}
+
 void ConditionRegistry::Register(std::string type, std::string def_auth,
                                  CondRoutine routine) {
-  routines_[{std::move(type), std::move(def_auth)}] = std::move(routine);
+  Register(std::move(type), std::move(def_auth), std::move(routine),
+           CondTraits{}, nullptr);
+}
+
+void ConditionRegistry::Register(std::string type, std::string def_auth,
+                                 CondRoutine routine, CondTraits traits,
+                                 CondSpecializer specialize) {
+  routines_[{std::move(type), std::move(def_auth)}] =
+      CondRegistration{std::move(routine), traits, std::move(specialize)};
+  change_version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool ConditionRegistry::Unregister(const std::string& type,
                                    const std::string& def_auth) {
-  return routines_.erase({type, def_auth}) > 0;
+  bool removed = routines_.erase({type, def_auth}) > 0;
+  if (removed) change_version_.fetch_add(1, std::memory_order_acq_rel);
+  return removed;
 }
 
 const CondRoutine* ConditionRegistry::Find(std::string_view type,
                                            std::string_view def_auth) const {
+  const CondRegistration* reg = FindRegistration(type, def_auth);
+  return reg == nullptr ? nullptr : &reg->routine;
+}
+
+const CondRegistration* ConditionRegistry::FindRegistration(
+    std::string_view type, std::string_view def_auth) const {
   auto it = routines_.find({std::string(type), std::string(def_auth)});
   if (it != routines_.end()) return &it->second;
   it = routines_.find({std::string(type), "*"});
@@ -42,7 +71,12 @@ const CondRoutine* ConditionRegistry::Find(std::string_view type,
 }
 
 void RoutineCatalog::Add(std::string name, Factory factory) {
-  factories_[std::move(name)] = std::move(factory);
+  factories_[std::move(name)] =
+      RoutineInfo{std::move(factory), nullptr, nullptr};
+}
+
+void RoutineCatalog::Add(std::string name, RoutineInfo info) {
+  factories_[std::move(name)] = std::move(info);
 }
 
 util::Result<CondRoutine> RoutineCatalog::Make(
@@ -53,7 +87,28 @@ util::Result<CondRoutine> RoutineCatalog::Make(
     return util::Error(util::ErrorCode::kNotFound,
                        "no routine factory named '" + name + "'");
   }
-  return it->second(params);
+  return it->second.factory(params);
+}
+
+util::Result<RoutineCatalog::Instantiated> RoutineCatalog::Instantiate(
+    const std::string& name, const std::string& def_auth,
+    const std::map<std::string, std::string>& params) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return util::Error(util::ErrorCode::kNotFound,
+                       "no routine factory named '" + name + "'");
+  }
+  const RoutineInfo& info = it->second;
+  Instantiated out;
+  out.routine = info.factory(params);
+  out.traits = info.traits ? info.traits(def_auth) : CondTraits{};
+  if (info.specialize) {
+    out.specialize = [specialize = info.specialize,
+                      params](const eacl::Condition& cond) {
+      return specialize(cond, params);
+    };
+  }
+  return out;
 }
 
 bool RoutineCatalog::Contains(const std::string& name) const {

@@ -10,10 +10,18 @@
 // def_auth wildcard.  Lookup prefers the exact authority, then the wildcard.
 // A condition whose type/authority has no registered routine is left
 // *unevaluated*, which yields GAA_MAYBE per the paper's status rules.
+//
+// Registrations additionally carry *compile hooks* for the compiled policy
+// engine (eacl/compile.h, DESIGN.md §9): a purity classification that gates
+// decision memoization, and an optional specializer that pre-parses a
+// condition's value once at policy-compile time instead of on every request.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,11 +61,63 @@ struct EvalOutcome {
 using CondRoutine = std::function<EvalOutcome(
     const eacl::Condition&, const RequestContext&, EvalServices&)>;
 
+/// Purity classification of a routine, used by the compiled engine's
+/// memoization analysis (DESIGN.md §9).  A decision may be cached only if
+/// every condition evaluated on the way to it was kPure.
+enum class CondPurity {
+  /// Depends only on inputs captured in the decision-memo key — the request
+  /// identity (authenticated flag, user, asserted groups), the client
+  /// address, the object and the requested right — plus the condition text
+  /// itself.  Re-evaluation with an identical key provably repeats the
+  /// outcome, so the decision is safe to memoize.
+  kPure,
+  /// Reads live state outside the memo key: the clock, SystemState
+  /// variables/groups/event counters, IDS verdicts, threat level, request
+  /// parameters or operation statistics.  Never memoized.
+  kVolatile,
+  /// Performs side effects (notification, audit record, blacklist update,
+  /// IDS report).  Never memoized — the effect must fire on every request.
+  kEffect,
+};
+
+const char* CondPurityName(CondPurity purity);
+
+/// Static traits a registration declares about its routine.
+struct CondTraits {
+  CondPurity purity = CondPurity::kVolatile;  ///< conservative default
+};
+
+/// Result of specializing one concrete condition at policy-compile time.
+struct SpecializedCond {
+  /// Replacement routine with the condition value pre-parsed (CIDR lists,
+  /// HH:MM windows, comparison operators, glob lists).  Null keeps the
+  /// generic registered routine.
+  CondRoutine routine;
+  /// Purity refinement for this specific value — e.g. a literal CIDR list
+  /// is pure while a "var:" indirection is volatile.
+  std::optional<CondPurity> purity;
+};
+
+/// Compile hook: invoked once per concrete condition when a policy is
+/// lowered to IR.  Must be a pure function of the condition text.
+using CondSpecializer = std::function<SpecializedCond(const eacl::Condition&)>;
+
+/// Everything registered under one (type, def_auth) key.
+struct CondRegistration {
+  CondRoutine routine;
+  CondTraits traits;
+  CondSpecializer specialize;  ///< may be null (no compile-time form)
+};
+
 class ConditionRegistry {
  public:
   /// Register a routine for (type, def_auth).  def_auth may be "*".
-  /// Re-registration replaces (supports dynamic reload).
+  /// Re-registration replaces (supports dynamic reload).  Routines
+  /// registered without traits default to kVolatile — conservative: their
+  /// decisions are never memoized.
   void Register(std::string type, std::string def_auth, CondRoutine routine);
+  void Register(std::string type, std::string def_auth, CondRoutine routine,
+                CondTraits traits, CondSpecializer specialize = nullptr);
 
   /// Remove a registration; returns true if something was removed.
   bool Unregister(const std::string& type, const std::string& def_auth);
@@ -66,10 +126,22 @@ class ConditionRegistry {
   const CondRoutine* Find(std::string_view type,
                           std::string_view def_auth) const;
 
+  /// Full registration (routine + compile hooks), same fallback rule.
+  const CondRegistration* FindRegistration(std::string_view type,
+                                           std::string_view def_auth) const;
+
+  /// Bumped by every (un)registration.  Compiled policy snapshots are
+  /// stamped with it so a routine registered *after* a compile forces a
+  /// recompile instead of evaluating stale MAYBE thunks forever.
+  std::uint64_t change_version() const {
+    return change_version_.load(std::memory_order_acquire);
+  }
+
   std::size_t size() const { return routines_.size(); }
 
  private:
-  std::map<std::pair<std::string, std::string>, CondRoutine> routines_;
+  std::map<std::pair<std::string, std::string>, CondRegistration> routines_;
+  std::atomic<std::uint64_t> change_version_{0};
 };
 
 /// Named catalog of routine factories.  Configuration files select routines
@@ -81,16 +153,43 @@ class RoutineCatalog {
  public:
   using Factory = std::function<CondRoutine(
       const std::map<std::string, std::string>& params)>;
+  /// Per-authority traits ("builtin:accessid" is pure for USER/HOST but
+  /// volatile for GROUP, which reads live SystemState membership).
+  using TraitsFn = std::function<CondTraits(const std::string& def_auth)>;
+  /// Factory-level specializer; bound with the instantiation params to
+  /// produce the registry-level CondSpecializer.
+  using SpecializeFactory = std::function<SpecializedCond(
+      const eacl::Condition&, const std::map<std::string, std::string>&)>;
+
+  /// Factory plus the compile hooks its routines carry.
+  struct RoutineInfo {
+    Factory factory;
+    TraitsFn traits;               ///< null = kVolatile for every authority
+    SpecializeFactory specialize;  ///< null = no compile-time specialization
+  };
 
   void Add(std::string name, Factory factory);
+  void Add(std::string name, RoutineInfo info);
+
   util::Result<CondRoutine> Make(
       const std::string& name,
       const std::map<std::string, std::string>& params) const;
+
+  /// A routine plus its registration-ready compile hooks.
+  struct Instantiated {
+    CondRoutine routine;
+    CondTraits traits;
+    CondSpecializer specialize;  ///< params already bound; may be null
+  };
+  util::Result<Instantiated> Instantiate(
+      const std::string& name, const std::string& def_auth,
+      const std::map<std::string, std::string>& params) const;
+
   bool Contains(const std::string& name) const;
   std::vector<std::string> Names() const;
 
  private:
-  std::map<std::string, Factory> factories_;
+  std::map<std::string, RoutineInfo> factories_;
 };
 
 }  // namespace gaa::core

@@ -340,6 +340,9 @@ TEST_F(GaaApiTest, TraceRecordsEvaluationOrder) {
 }
 
 TEST_F(GaaApiTest, PolicyCacheServesAndInvalidates) {
+  // The §9 LRU policy cache fronts the *interpreted* pipeline; the compiled
+  // engine replaces it with snapshot publication (tested separately).
+  api_.set_engine_mode(EngineMode::kInterpreted);
   api_.set_cache_enabled(true);
   store_.Clear();
   ASSERT_TRUE(store_.SetLocalPolicy("/", "pos_access_right apache *\n").ok());

@@ -19,19 +19,35 @@ GaaWebServer::Options TestOptions() {
 }
 
 TEST(PolicyCacheIntegration, HitsAccumulateAndInvalidateOnChange) {
-  GaaWebServer::Options options = TestOptions();
-  options.enable_policy_cache = true;
-  GaaWebServer server(http::DocTree::DemoSite(), options);
+  // Compiled engine (the default): repeated identical requests are served
+  // from the decision memo cache, and a policy rewrite — the snapshot swap
+  // bumps the store version baked into every memo key — invalidates all
+  // cached decisions at once.
+  GaaWebServer server(http::DocTree::DemoSite(), TestOptions());
   ASSERT_TRUE(server.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
 
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(server.Get("/index.html", "10.0.0.1").status, StatusCode::kOk);
   }
-  EXPECT_GE(server.api().cache().hits(), 9u);
+  EXPECT_GE(server.api().decision_cache().hits(), 9u);
 
   // The attack response rewrites policy; the very next request must see it.
   ASSERT_TRUE(server.SetLocalPolicy("/", "neg_access_right apache *\n").ok());
   EXPECT_EQ(server.Get("/index.html", "10.0.0.1").status,
+            StatusCode::kForbidden);
+
+  // The interpreted pipeline's LRU cache behaves the same way.
+  GaaWebServer::Options lru = TestOptions();
+  lru.enable_compiled_engine = false;
+  lru.enable_policy_cache = true;
+  GaaWebServer interp(http::DocTree::DemoSite(), lru);
+  ASSERT_TRUE(interp.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(interp.Get("/index.html", "10.0.0.1").status, StatusCode::kOk);
+  }
+  EXPECT_GE(interp.api().cache().hits(), 9u);
+  ASSERT_TRUE(interp.SetLocalPolicy("/", "neg_access_right apache *\n").ok());
+  EXPECT_EQ(interp.Get("/index.html", "10.0.0.1").status,
             StatusCode::kForbidden);
 }
 

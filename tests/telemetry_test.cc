@@ -305,8 +305,10 @@ TEST(PipelineTest, RequestProducesNestedSpans) {
 
   const auto names = SpanNames(trace);
   EXPECT_GE(names.size(), 5u);
+  // The compiled engine's policy lookup span replaces the interpreter's
+  // "gaa.policy_compose".
   for (const char* expected :
-       {"parse", "access.check", "gaa.policy_compose",
+       {"parse", "access.check", "gaa.snapshot_lookup",
         "gaa.check_authorization", "handler", "respond"}) {
     EXPECT_TRUE(Contains(names, expected)) << "missing span " << expected;
   }
