@@ -1,0 +1,183 @@
+// E4: sharded multi-reactor transport scaling (DESIGN.md §10).
+//
+// Drives the full GAA pipeline over real loopback sockets with C keep-alive
+// connections issuing R requests each, and sweeps the reactor shard count
+// {1, 2, 4} plus an inline-fast-path-off ablation at 4 shards.  Reports
+// aggregate RPS and client-observed p50/p99 round-trip latency per
+// configuration; the tentpole target is >= 2x RPS at 4 shards vs 1.
+//
+//   bench_transport [--conns C] [--requests R] [--json out.json]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "http/request.h"
+#include "http/tcp_server.h"
+
+namespace gaa::bench {
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  double rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t inline_served = 0;
+};
+
+RunResult DriveLoad(std::uint16_t port, int conns, int requests_per_conn) {
+  std::vector<std::vector<double>> per_thread_us(conns);
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(conns);
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < conns; ++c) {
+    clients.emplace_back([port, requests_per_conn, c, &per_thread_us,
+                          &errors] {
+      http::TcpClient client(port);
+      if (!client.connected()) {
+        errors.fetch_add(static_cast<std::uint64_t>(requests_per_conn));
+        return;
+      }
+      std::string raw = http::BuildGetRequest("/index.html");
+      auto& samples = per_thread_us[c];
+      samples.reserve(static_cast<std::size_t>(requests_per_conn));
+      for (int i = 0; i < requests_per_conn; ++i) {
+        auto s0 = std::chrono::steady_clock::now();
+        auto response = client.RoundTrip(raw);
+        auto s1 = std::chrono::steady_clock::now();
+        if (!response.ok() ||
+            response.value().find("200 OK") == std::string::npos) {
+          errors.fetch_add(1);
+          continue;
+        }
+        samples.push_back(
+            std::chrono::duration<double, std::micro>(s1 - s0).count());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  std::vector<double> all_us;
+  for (auto& samples : per_thread_us) {
+    all_us.insert(all_us.end(), samples.begin(), samples.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.requests = all_us.size();
+  out.errors = errors.load();
+  out.rps = out.seconds > 0 ? static_cast<double>(out.requests) / out.seconds
+                            : 0;
+  if (!all_us.empty()) {
+    out.p50_us = all_us[all_us.size() / 2];
+    out.p99_us = all_us[std::min(all_us.size() - 1, all_us.size() * 99 / 100)];
+  }
+  return out;
+}
+
+RunResult RunConfig(std::size_t shards, bool inline_fast_path, int conns,
+                    int requests_per_conn) {
+  web::GaaWebServer::Options options;
+  options.use_real_clock = true;  // measuring wall-clock latency
+  options.tuning.trace_sample_period = 0;  // tracing off: transport numbers
+  web::GaaWebServer gws(http::DocTree::DemoSite(), options);
+  if (!gws.SetLocalPolicy("/", "pos_access_right apache *\n").ok()) {
+    std::fprintf(stderr, "policy setup failed\n");
+    std::exit(1);
+  }
+
+  http::TcpServer::Options tcp_options;
+  tcp_options.reactor_shards = shards;
+  tcp_options.inline_fast_path = inline_fast_path;
+  tcp_options.worker_threads = 4;
+  tcp_options.max_connections = 4096;
+  http::TcpServer tcp(&gws.server(), tcp_options);
+  auto started = tcp.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 started.error().ToString().c_str());
+    std::exit(1);
+  }
+
+  // Short warmup primes the decision memo so the steady state (not the
+  // one-time cold misses) is what gets measured.
+  DriveLoad(tcp.port(), std::min(conns, 8), 50);
+
+  RunResult result = DriveLoad(tcp.port(), conns, requests_per_conn);
+  result.inline_served = tcp.inline_served();
+  tcp.Stop();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  int conns = 64;
+  int requests_per_conn = 400;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--conns") conns = std::atoi(argv[i + 1]);
+    if (std::string(argv[i]) == "--requests") {
+      requests_per_conn = std::atoi(argv[i + 1]);
+    }
+  }
+
+  struct Config {
+    const char* name;
+    std::size_t shards;
+    bool inline_fast_path;
+  };
+  const Config configs[] = {
+      {"shards_1", 1, true},
+      {"shards_2", 2, true},
+      {"shards_4", 4, true},
+      {"shards_4_no_inline", 4, false},
+  };
+
+  JsonReport report;
+  PrintHeader("E4: sharded transport scaling (" + std::to_string(conns) +
+              " conns x " + std::to_string(requests_per_conn) + " requests)");
+  std::printf("%-20s %10s %10s %10s %10s %12s\n", "config", "rps", "p50_us",
+              "p99_us", "errors", "inline");
+
+  double rps_1 = 0, rps_4 = 0;
+  for (const Config& config : configs) {
+    RunResult r = RunConfig(config.shards, config.inline_fast_path, conns,
+                            requests_per_conn);
+    std::printf("%-20s %10.0f %10.1f %10.1f %10llu %12llu\n", config.name,
+                r.rps, r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.errors),
+                static_cast<unsigned long long>(r.inline_served));
+    report.Set(config.name, "rps", r.rps);
+    report.Set(config.name, "p50_us", r.p50_us);
+    report.Set(config.name, "p99_us", r.p99_us);
+    report.Set(config.name, "requests", static_cast<double>(r.requests));
+    report.Set(config.name, "errors", static_cast<double>(r.errors));
+    report.Set(config.name, "inline_served",
+               static_cast<double>(r.inline_served));
+    if (std::string(config.name) == "shards_1") rps_1 = r.rps;
+    if (std::string(config.name) == "shards_4") rps_4 = r.rps;
+  }
+
+  double speedup = rps_1 > 0 ? rps_4 / rps_1 : 0;
+  std::printf("\n4-shard speedup over 1 shard: %.2fx\n", speedup);
+  report.Set("summary", "speedup_4_vs_1", speedup);
+
+  if (!report.WriteFile(JsonPathFromArgs(argc, argv))) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main(int argc, char** argv) { return gaa::bench::Main(argc, argv); }

@@ -523,7 +523,7 @@ AuthzResult GaaApi::Authorize(const std::string& object_path,
                               const RequestedRight& right,
                               RequestContext& ctx) {
   if (engine_mode_ == EngineMode::kCompiled) {
-    const PolicySnapshot* snap =
+    std::shared_ptr<const PolicySnapshot> snap =
         store_->FreshSnapshot(&registry_, registry_.change_version());
     if (snap != nullptr) {
       const bool memo =
@@ -564,6 +564,31 @@ AuthzResult GaaApi::Authorize(const std::string& object_path,
   eacl::ComposedPolicy composed = GetObjectPolicyInfo(object_path);
   compose_span.End();
   return CheckAuthorization(composed, right, ctx);
+}
+
+bool GaaApi::DecisionIsMemoized(const std::string& object_path,
+                                const RequestedRight& right,
+                                util::Ipv4Address client_ip) const {
+  if (engine_mode_ != EngineMode::kCompiled || !decision_cache_enabled_ ||
+      decision_cache_.capacity() == 0) {
+    return false;
+  }
+  std::shared_ptr<const PolicySnapshot> snap = store_->CurrentSnapshot();
+  if (snap == nullptr || snap->compiled_for() != &registry_ ||
+      snap->registry_version() != registry_.change_version()) {
+    // A stale or foreign snapshot means Authorize would recompile (or fall
+    // back to the interpreter); the probe must not promise a memo hit.
+    return false;
+  }
+  // Mirror the context BuildContext would produce for an anonymous request:
+  // DecisionKey reads only object, identity (absent here) and client
+  // address, so this key equals the one the full pipeline computes for a
+  // credential-less request.
+  RequestContext ctx;
+  ctx.object = object_path;
+  ctx.client_ip = client_ip;
+  return decision_cache_.Peek(DecisionKey(object_path, right, ctx),
+                              snap->store_version());
 }
 
 PhaseResult GaaApi::ExecutionControl(const AuthzResult& authz,

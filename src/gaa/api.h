@@ -183,6 +183,17 @@ class GaaApi {
   const DecisionCache& decision_cache() const { return decision_cache_; }
   void ClearDecisionCache() { decision_cache_.Clear(); }
 
+  /// Admission probe for the transport's inline fast path: true when an
+  /// *anonymous* request (no credentials, no groups) for `right` on
+  /// `object_path` from `client_ip` would be answered from the decision
+  /// memo — i.e. a pure terminal YES/NO is already cached against the
+  /// current snapshot.  Side-effect free and lock-free; false on any doubt
+  /// (stale snapshot, cache disabled, interpreter mode), in which case the
+  /// caller takes the ordinary worker path.
+  bool DecisionIsMemoized(const std::string& object_path,
+                          const RequestedRight& right,
+                          util::Ipv4Address client_ip) const;
+
  private:
   struct BlockResult {
     util::Tristate status = util::Tristate::kYes;

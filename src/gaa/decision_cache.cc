@@ -38,6 +38,16 @@ std::shared_ptr<const DecisionCache::CachedDecision> DecisionCache::Get(
   return nullptr;
 }
 
+bool DecisionCache::Peek(std::string_view key,
+                         std::uint64_t snapshot_version) const {
+  if (slots_ == nullptr) return false;
+  std::size_t slot = std::hash<std::string_view>{}(key)&mask_;
+  std::shared_ptr<const CachedDecision> entry =
+      slots_[slot].load(std::memory_order_acquire);
+  return entry != nullptr && entry->snapshot_version == snapshot_version &&
+         entry->key == key;
+}
+
 void DecisionCache::Put(std::string key, std::uint64_t snapshot_version,
                         std::shared_ptr<const AuthzResult> result,
                         telemetry::Counter* entry_counter) {

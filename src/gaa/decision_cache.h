@@ -51,6 +51,12 @@ class DecisionCache {
   std::shared_ptr<const CachedDecision> Get(std::string_view key,
                                             std::uint64_t snapshot_version);
 
+  /// Admission probe for the transport's inline fast path: true when a
+  /// current-version entry exists for `key`.  Unlike Get, Peek perturbs
+  /// nothing — no hit/miss counters, no metrics — so probing a request and
+  /// then declining to serve it inline leaves the cache statistics exact.
+  bool Peek(std::string_view key, std::uint64_t snapshot_version) const;
+
   void Put(std::string key, std::uint64_t snapshot_version,
            std::shared_ptr<const AuthzResult> result,
            telemetry::Counter* entry_counter);

@@ -165,13 +165,14 @@ void PolicyStore::BindEngine(EngineBinding binding) {
   RebuildSnapshotLocked();
 }
 
-const PolicySnapshot* PolicyStore::FreshSnapshot(
+std::shared_ptr<const PolicySnapshot> PolicyStore::FreshSnapshot(
     const ConditionRegistry* registry, std::uint64_t registry_version) {
   if (parse_on_retrieve_.load(std::memory_order_relaxed)) return nullptr;
-  const PolicySnapshot* snap = snapshot_.load(std::memory_order_acquire);
+  std::shared_ptr<const PolicySnapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
   if (snap != nullptr && snap->compiled_for() == registry &&
       snap->registry_version() == registry_version) {
-    return snap;  // hot path: one atomic load, no lock
+    return snap;  // hot path: one atomic shared_ptr load, no lock
   }
   // Cold path: routines were (un)registered since the last compile, or
   // another GaaApi rebound the store.  Recompile under the mutex.
@@ -227,10 +228,52 @@ void PolicyStore::RebuildSnapshotLocked() {
         ->Set(static_cast<std::int64_t>(sw.ElapsedUs()));
   }
 
-  // Publish.  The old snapshot stays alive in retired_ for readers that
-  // loaded it before the swap (store-lifetime retention; see header).
-  retired_.push_back(snap);
-  snapshot_.store(snap.get(), std::memory_order_release);
+  // Publish, retire the predecessor, reclaim quiescent retirees.  Readers
+  // that loaded the old snapshot before the swap hold their own reference;
+  // it is freed once the last of them releases it.
+  std::shared_ptr<const PolicySnapshot> prev = snapshot_.exchange(
+      std::shared_ptr<const PolicySnapshot>(snap), std::memory_order_acq_rel);
+  if (prev != nullptr) retired_.push_back(std::move(prev));
+  ReclaimRetiredLocked();
+}
+
+void PolicyStore::ReclaimRetiredLocked() {
+  if (retired_.size() > retired_floor_) {
+    std::vector<std::shared_ptr<const PolicySnapshot>> kept;
+    kept.reserve(retired_.size());
+    for (std::size_t i = 0; i < retired_.size(); ++i) {
+      // Entries within the floor window (newest last) are kept regardless.
+      bool in_floor = i + retired_floor_ >= retired_.size();
+      // use_count()==1 means only retired_ itself holds the snapshot.  It
+      // left publication before entering this list (under this mutex), so
+      // no reader can acquire a new reference — the count only decreases
+      // and 1 is a stable "quiescent" reading.
+      if (in_floor || retired_[i].use_count() > 1) {
+        kept.push_back(std::move(retired_[i]));
+      }
+    }
+    retired_.swap(kept);
+  }
+  if (binding_.metrics != nullptr) {
+    binding_.metrics->GetGauge("gaa_policy_snapshots_retired")
+        ->Set(static_cast<std::int64_t>(retired_.size()));
+  }
+}
+
+std::size_t PolicyStore::retired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+void PolicyStore::set_retired_floor(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_floor_ = n;
+  ReclaimRetiredLocked();
+}
+
+std::size_t PolicyStore::retired_floor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_floor_;
 }
 
 std::string PolicyStore::ExportSystemPolicies() const {

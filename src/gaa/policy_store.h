@@ -15,10 +15,12 @@
 // immutable PolicySnapshot and publishes it through one atomic pointer
 // swap (RCU-style).  Request threads read the current snapshot with a
 // single acquire-load — no lock, no copy — and a policy tightened during an
-// attack takes effect on the very next request.  Retired snapshots are
-// retained for the store's lifetime, so readers still evaluating an old
-// snapshot are always safe (policy reloads are rare and snapshots small;
-// the bounded-leak trade-off is documented in DESIGN.md §9.3).
+// attack takes effect on the very next request.  Readers hold snapshots by
+// shared_ptr, so a superseded snapshot is reclaimed as soon as the last
+// reader releases it: the retired list keeps superseded snapshots only
+// until their use_count drops to the store's own reference (plus a small
+// configurable floor of the most recent ones), so policy churn no longer
+// grows memory without bound.
 #pragma once
 
 #include <atomic>
@@ -130,9 +132,11 @@ class PolicyStore {
   /// GaaApi construction; harmless to rebind (last bind wins).
   void BindEngine(EngineBinding binding);
 
-  /// The currently published snapshot — one acquire-load, no lock.  Null
-  /// before BindEngine.
-  const PolicySnapshot* CurrentSnapshot() const {
+  /// The currently published snapshot — one atomic shared_ptr load, no
+  /// lock.  Null before BindEngine.  Holding the returned shared_ptr pins
+  /// the snapshot; release it promptly (per-request scope) so superseded
+  /// snapshots can be reclaimed.
+  std::shared_ptr<const PolicySnapshot> CurrentSnapshot() const {
     return snapshot_.load(std::memory_order_acquire);
   }
 
@@ -141,8 +145,18 @@ class PolicyStore {
   /// after the last compile.  Returns null — caller falls back to the
   /// interpreter — when the engine is bound to a different registry or the
   /// store is in parse-on-retrieve (ablation) mode.
-  const PolicySnapshot* FreshSnapshot(const ConditionRegistry* registry,
-                                      std::uint64_t registry_version);
+  std::shared_ptr<const PolicySnapshot> FreshSnapshot(
+      const ConditionRegistry* registry, std::uint64_t registry_version);
+
+  /// Superseded snapshots not yet reclaimed (gauge mirror:
+  /// `gaa_policy_snapshots_retired`).
+  std::size_t retired_count() const;
+
+  /// Keep at least the `n` most recently superseded snapshots alive even
+  /// when unreferenced (debugging headroom; default 2).  Older entries are
+  /// reclaimed as soon as no reader holds them.
+  void set_retired_floor(std::size_t n);
+  std::size_t retired_floor() const;
 
   /// When enabled, PoliciesFor re-parses the stored policy *text* on every
   /// retrieval instead of returning the pre-parsed form.  This models the
@@ -171,6 +185,12 @@ class PolicyStore {
   /// an engine is bound.
   void RebuildSnapshotLocked();
 
+  /// Drop retired snapshots whose use_count fell to the store's own
+  /// reference, keeping the `retired_floor_` newest; `mu_` must be held.
+  /// Safe because snapshots enter retired_ only after they stop being the
+  /// published one, so their reference count can only decrease.
+  void ReclaimRetiredLocked();
+
   mutable std::mutex mu_;
   std::vector<eacl::Eacl> system_policies_;
   std::vector<std::string> system_texts_;
@@ -181,10 +201,12 @@ class PolicyStore {
   std::atomic<bool> parse_on_retrieve_{false};
 
   EngineBinding binding_;  // guarded by mu_
-  /// Published snapshot; points into `retired_`.  Readers hold no lock, so
-  /// superseded snapshots are never freed while the store lives.
-  std::atomic<const PolicySnapshot*> snapshot_{nullptr};
+  /// Published snapshot.  Readers load a shared_ptr (lock-free publication,
+  /// reference-counted reclamation); superseded snapshots move to
+  /// `retired_` until quiescent.
+  std::atomic<std::shared_ptr<const PolicySnapshot>> snapshot_;
   std::vector<std::shared_ptr<const PolicySnapshot>> retired_;  // under mu_
+  std::size_t retired_floor_ = 2;                               // under mu_
 };
 
 }  // namespace gaa::core

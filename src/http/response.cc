@@ -30,7 +30,7 @@ const char* StatusReason(StatusCode code) {
   return "Unknown";
 }
 
-std::string HttpResponse::Serialize() const {
+std::string HttpResponse::SerializeHead() const {
   std::string out = "HTTP/1.1 " + std::to_string(static_cast<int>(status)) +
                     " " + StatusReason(status) + "\r\n";
   bool has_length = false;
@@ -42,6 +42,11 @@ std::string HttpResponse::Serialize() const {
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out = SerializeHead();
   out += body;
   return out;
 }

@@ -32,6 +32,11 @@ struct HttpResponse {
   /// Full response text ("HTTP/1.1 200 OK\r\n...").
   std::string Serialize() const;
 
+  /// Status line + headers + blank line, without the body.  The transport
+  /// sends SerializeHead() and the body as separate iovecs (gathered
+  /// write); Serialize() == SerializeHead() + body byte-for-byte.
+  std::string SerializeHead() const;
+
   static HttpResponse Make(StatusCode status, std::string body = {});
   /// 401 with a WWW-Authenticate challenge for `realm`.
   static HttpResponse AuthRequired(const std::string& realm);

@@ -139,6 +139,37 @@ HttpResponse WebServer::Handle(RequestRec rec) {
   return response;
 }
 
+bool WebServer::InlineFastPathEligible(std::string_view method,
+                                       std::string_view target,
+                                       std::size_t max_response_bytes,
+                                       util::Ipv4Address client_ip) const {
+  if (tree_ == nullptr || controller_ == nullptr) return false;
+  if (method != "GET") return false;
+  if (target.empty() || target[0] != '/') return false;
+  if (target.size() > options_.parse_limits.max_target_bytes) return false;
+  // Only plain targets: any character the URL decoder or query splitter
+  // would transform makes the probe path diverge from the parsed path, and
+  // declining admission is always safe.
+  for (char c : target) {
+    if (c == '%' || c == '?' || c == '#' || c <= ' ' ||
+        static_cast<unsigned char>(c) >= 0x7f) {
+      return false;
+    }
+  }
+  if (target.find("..") != std::string_view::npos) return false;
+  std::string path(target);
+  if (!options_.status_path.empty() &&
+      path.compare(0, options_.status_path.size(), options_.status_path) ==
+          0) {
+    return false;  // admin endpoint renders dynamic content
+  }
+  const Document* doc = tree_->FindDocument(path);
+  if (doc == nullptr || doc->content.size() > max_response_bytes) {
+    return false;  // missing or over the inline byte budget
+  }
+  return controller_->DecisionIsMemoized(path, "GET", client_ip);
+}
+
 HttpResponse WebServer::DoHandle(RequestRec& rec) {
   // --- access-control phase -------------------------------------------------
   telemetry::ScopedSpan check_span(rec.trace, "access.check");

@@ -84,6 +84,23 @@ class AccessController {
     (void)obs;
     (void)success;
   }
+
+  /// Transport fast-path admission probe: would an *anonymous* `method`
+  /// request for `path` from `client_ip` be decided from an existing
+  /// memoized pure terminal YES/NO — no fresh condition evaluation, no
+  /// side effects?  Must be cheap, thread-safe and free of side effects
+  /// (it runs on the transport's event-loop thread, possibly for requests
+  /// that are then served on the ordinary worker path anyway).  The
+  /// default says no, which disables the fast path for controllers that
+  /// cannot prove it safe.
+  virtual bool DecisionIsMemoized(const std::string& path,
+                                  const std::string& method,
+                                  util::Ipv4Address client_ip) const {
+    (void)path;
+    (void)method;
+    (void)client_ip;
+    return false;
+  }
 };
 
 /// Baseline controller: stock Apache .htaccess semantics over the DocTree's
@@ -104,6 +121,13 @@ class HtaccessController final : public AccessController {
 class AllowAllController final : public AccessController {
  public:
   Verdict Check(RequestRec&) override { return Verdict::Allow(); }
+
+  /// Allow-all is trivially memoized: the answer is a constant YES with no
+  /// conditions, so the transport may always take the inline fast path.
+  bool DecisionIsMemoized(const std::string&, const std::string&,
+                          util::Ipv4Address) const override {
+    return true;
+  }
 };
 
 struct AccessLogEntry {
@@ -151,6 +175,19 @@ class WebServer {
 
   /// Pipeline from an already-parsed record.
   HttpResponse Handle(RequestRec rec);
+
+  /// Transport fast-path admission (DESIGN.md §10): true when a framed
+  /// request with this method/target can safely be handled on the
+  /// transport's event-loop thread — a GET for an existing static document
+  /// no larger than `max_response_bytes`, with a plain target (no
+  /// percent-escapes, query, fragment or dot-dot, so the probe path equals
+  /// the parsed path exactly), not the status endpoint, whose access
+  /// decision the controller already holds memoized.  The caller still
+  /// runs the full HandleText pipeline — admission only chooses *where*
+  /// it runs, never what it answers.
+  bool InlineFastPathEligible(std::string_view method, std::string_view target,
+                              std::size_t max_response_bytes,
+                              util::Ipv4Address client_ip) const;
 
   /// Invoked when parsing diagnoses a hostile/malformed request — the
   /// integration layer forwards this to the IDS (§3 item 1).

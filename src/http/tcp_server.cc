@@ -7,14 +7,22 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <optional>
+#include <unordered_map>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/log.h"
+#include "util/mpmc_ring.h"
 #include "util/strings.h"
 
 namespace gaa::http {
@@ -56,6 +64,107 @@ bool SendAll(int fd, std::string_view data) {
   return true;
 }
 
+/// Protocol-level failures poison the framing; close to resynchronize.
+bool ProtocolFailure(StatusCode status) {
+  return status == StatusCode::kBadRequest ||
+         status == StatusCode::kRequestTimeout ||
+         status == StatusCode::kPayloadTooLarge ||
+         status == StatusCode::kServiceUnavailable;
+}
+
+// --- connection read-buffer pool ---------------------------------------------
+//
+// Shard-local free lists of std::string backing stores: a connection's read
+// buffer is recycled when it closes instead of re-growing from empty on the
+// next accept.  Loop-thread only, so plain vectors suffice.
+
+constexpr std::size_t kPoolMinCapacity = 512;
+constexpr std::size_t kPoolMaxCapacity = 256 * 1024;
+constexpr std::size_t kPoolMaxBuffers = 64;
+
+std::string PoolAcquire(std::vector<std::string>& pool) {
+  if (pool.empty()) return {};
+  std::string buf = std::move(pool.back());
+  pool.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void PoolRelease(std::vector<std::string>& pool, std::string&& buf) {
+  if (buf.capacity() >= kPoolMinCapacity && buf.capacity() <= kPoolMaxCapacity &&
+      pool.size() < kPoolMaxBuffers) {
+    pool.push_back(std::move(buf));
+  }
+}
+
+// --- lazy timer wheel --------------------------------------------------------
+//
+// Per-shard connection timeouts without scanning the whole connection table
+// every loop iteration (the old transport's SweepTimeouts was O(conns) per
+// wakeup).  Entries are lazy: a connection arms at most one wheel entry at a
+// time, and activity merely updates last_active_ms — when the entry pops,
+// the true deadline is recomputed and the entry re-armed if it moved.
+
+class TimerWheel {
+ public:
+  static constexpr std::int64_t kTickMs = 32;
+  static constexpr std::size_t kSlots = 512;  // ~16s horizon per rotation
+
+  void Reset(std::int64_t now_ms) {
+    cursor_ = now_ms / kTickMs;
+    armed_ = 0;
+    for (auto& slot : slots_) slot.clear();
+  }
+
+  void Arm(std::uint64_t id, std::int64_t deadline_ms) {
+    std::int64_t tick = deadline_ms / kTickMs + 1;  // round up: never early
+    if (tick <= cursor_) tick = cursor_ + 1;
+    std::int64_t horizon = cursor_ + static_cast<std::int64_t>(kSlots);
+    if (tick > horizon) tick = horizon;  // clamp; revalidated when it pops
+    slots_[static_cast<std::size_t>(tick) % kSlots].push_back(id);
+    ++armed_;
+  }
+
+  template <typename DueFn>
+  void Advance(std::int64_t now_ms, DueFn&& due) {
+    std::int64_t now_tick = now_ms / kTickMs;
+    if (armed_ == 0) {
+      // Nothing armed: fast-forward so a long idle period costs nothing.
+      if (now_tick > cursor_) cursor_ = now_tick;
+      return;
+    }
+    while (cursor_ < now_tick) {
+      ++cursor_;
+      auto& bucket = slots_[static_cast<std::size_t>(cursor_) % kSlots];
+      if (bucket.empty()) continue;
+      std::vector<std::uint64_t> ids;
+      ids.swap(bucket);
+      armed_ -= ids.size();
+      for (std::uint64_t id : ids) due(id);
+    }
+  }
+
+  /// Milliseconds until the next non-empty bucket, clamped to [1, 60000];
+  /// -1 when nothing is armed (block indefinitely).
+  int NextDueMs(std::int64_t now_ms) const {
+    if (armed_ == 0) return -1;
+    for (std::size_t i = 1; i <= kSlots; ++i) {
+      std::int64_t tick = cursor_ + static_cast<std::int64_t>(i);
+      if (slots_[static_cast<std::size_t>(tick) % kSlots].empty()) continue;
+      std::int64_t wait = tick * kTickMs - now_ms;
+      if (wait < 1) wait = 1;
+      if (wait > 60'000) wait = 60'000;
+      return static_cast<int>(wait);
+    }
+    return 1;  // armed_ > 0 implies some bucket is non-empty
+  }
+
+ private:
+  std::int64_t cursor_ = 0;  ///< last fully processed tick
+  std::size_t armed_ = 0;
+  std::array<std::vector<std::uint64_t>, kSlots> slots_{};
+};
+
 // --- request framing ---------------------------------------------------------
 //
 // Decide where one request ends in a connection's byte stream, before any
@@ -70,6 +179,13 @@ struct FrameResult {
   std::size_t total_bytes = 0;  ///< head + separator + body (kComplete)
   bool keep_alive = true;       ///< what the request asked for (kComplete)
   std::string detail;           ///< diagnosis (kBad)
+  /// Original-case request-line slices (views into the caller's buffer,
+  /// valid only until it is mutated; kComplete only).
+  std::string_view method;
+  std::string_view target;
+  /// Plain anonymous GET with no body — the shape the inline fast path may
+  /// consider (the transport still applies the full admission check).
+  bool inline_candidate = false;
 };
 
 FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
@@ -95,6 +211,7 @@ FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
   out.keep_alive = request_line.find("http/1.1") != std::string_view::npos;
 
   std::optional<std::int64_t> content_length;
+  bool has_authorization = false;
   std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 1;
   while (pos < head.size()) {
     std::size_t eol = head.find('\n', pos);
@@ -130,6 +247,8 @@ FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
       } else if (value.find("keep-alive") != std::string_view::npos) {
         out.keep_alive = true;
       }
+    } else if (name == "authorization") {
+      has_authorization = true;
     }
   }
 
@@ -147,8 +266,32 @@ FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
   }
   out.status = FrameStatus::kComplete;
   out.total_bytes = total;
+
+  // Method/target from the original-case request line, for the inline
+  // fast-path probe.  The lowercased copy shares offsets with buf.
+  std::size_t raw_line_end =
+      line_end == std::string::npos ? head_end : line_end;
+  std::string_view line0(buf.data(), raw_line_end);
+  std::size_t sp1 = line0.find(' ');
+  if (sp1 != std::string_view::npos) {
+    std::size_t sp2 = line0.find(' ', sp1 + 1);
+    if (sp2 != std::string_view::npos) {
+      out.method = line0.substr(0, sp1);
+      out.target = line0.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+  out.inline_candidate =
+      body == 0 && !has_authorization && out.method == "GET";
   return out;
 }
+
+/// Raw accepted socket in flight from the accepting shard to its owner
+/// (fallback mode when SO_REUSEPORT is unavailable).
+struct Handoff {
+  int fd = -1;
+  std::uint32_t ip_host_order = 0;
+  std::uint16_t peer_port = 0;
+};
 
 }  // namespace
 
@@ -160,16 +303,88 @@ struct TcpServer::Connection {
   util::Ipv4Address ip;
   std::uint16_t peer_port = 0;
 
-  std::string in;        ///< bytes read, not yet framed into a request
-  std::string out;       ///< response bytes awaiting the socket
-  std::size_t out_off = 0;
+  std::string in;  ///< bytes read, not yet framed into a request (pooled)
+  /// Response chunks awaiting the socket, written with gathered sendmsg —
+  /// head and body travel as separate chunks, never concatenated.
+  std::deque<std::string> outq;
+  std::size_t out_off = 0;    ///< sent prefix of outq.front()
+  std::size_t out_bytes = 0;  ///< unsent bytes across all chunks
 
   bool busy = false;              ///< request handed to a worker
   bool close_after_write = false;
   bool read_eof = false;          ///< peer half-closed its sending side
   bool shed = false;              ///< over-cap connection being 503'd
+  bool timer_armed = false;       ///< has a live timer-wheel entry
   std::uint64_t served = 0;       ///< requests dispatched on this connection
   std::int64_t last_active_ms = 0;
+
+  bool HasOutput() const { return out_bytes > 0; }
+};
+
+/// A framed request on its way to a shard worker.
+struct TcpServer::Job {
+  std::uint64_t conn_id = 0;
+  std::string raw;
+  util::Ipv4Address ip;
+  std::uint16_t port = 0;
+  bool keep_alive = false;
+  std::unique_ptr<telemetry::RequestTrace> trace;
+  std::size_t queue_span = 0;
+};
+
+/// A finished response on its way back to the owning shard's loop.
+struct TcpServer::Done {
+  std::uint64_t conn_id = 0;
+  std::string head;  ///< status line + headers + blank line
+  std::string body;
+  bool close_after = false;
+};
+
+// --- shard -------------------------------------------------------------------
+
+struct TcpServer::Shard {
+  Shard(std::size_t index_arg, std::size_t ring_capacity)
+      : index(index_arg),
+        jobs(ring_capacity),
+        done(ring_capacity),
+        handoff(ring_capacity) {}
+
+  const std::size_t index;
+  int listen_fd = -1;  ///< own SO_REUSEPORT listener, or -1 (fallback mode)
+  int epoll_fd = -1;
+  int wake_fd = -1;  ///< nonblocking eventfd: wakes the shard loop
+  int job_efd = -1;  ///< EFD_SEMAPHORE eventfd: parks idle workers
+
+  // Loop-thread-only state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns;
+  std::uint64_t next_conn_id = kFirstConnId;
+  std::size_t accept_rr = 0;  ///< fallback round-robin cursor (shard 0)
+  TimerWheel wheel;
+  std::vector<std::string> buf_pool;
+  bool stats_dirty = false;
+
+  // Lock-free worker handoff: loop pushes jobs, workers push completions.
+  util::MpmcRing<Job> jobs;
+  util::MpmcRing<Done> done;
+  util::MpmcRing<Handoff> handoff;
+
+  // Counters: written by this shard's threads, read by any (stats()).
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> reused{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  std::atomic<std::uint64_t> shed_count{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> inline_srv{0};
+  std::atomic<std::uint64_t> active{0};
+
+  // Per-shard gauges (resolved at Start(); null when telemetry is off).
+  telemetry::Gauge* g_active = nullptr;
+  telemetry::Gauge* g_requests = nullptr;
+  telemetry::Gauge* g_inline = nullptr;
+  telemetry::Gauge* g_accepted = nullptr;
+
+  std::thread thread;
 };
 
 TcpServer::TcpServer(WebServer* server, Options options)
@@ -177,63 +392,135 @@ TcpServer::TcpServer(WebServer* server, Options options)
 
 TcpServer::~TcpServer() { Stop(); }
 
+std::size_t TcpServer::EffectiveShards(const Options& options) {
+  if (options.reactor_shards != 0) return options.reactor_shards;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::min<std::size_t>(4, hw);
+}
+
 util::VoidResult TcpServer::Start() {
   if (running_.load()) {
     return Error(ErrorCode::kAlreadyExists, "server already running");
   }
+  const std::size_t nshards = EffectiveShards(options_);
+  // A connection has at most one job (and one completion) in flight, so
+  // rings sized past max_connections cannot overflow by construction.
+  const std::size_t ring_capacity = options_.max_connections + 16;
+
+  shards_.clear();  // previous run's shards — counters reset here
+  total_active_.store(0);
+  port_ = options_.port;
+
   auto fail = [this](const std::string& what) -> util::VoidResult {
     std::string message = what + ": " + std::strerror(errno);
-    if (listen_fd_ >= 0) ::close(listen_fd_);
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (wake_fd_ >= 0) ::close(wake_fd_);
-    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    for (auto& shard : shards_) {
+      if (shard->listen_fd >= 0) ::close(shard->listen_fd);
+      if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+      if (shard->wake_fd >= 0) ::close(shard->wake_fd);
+      if (shard->job_efd >= 0) ::close(shard->job_efd);
+    }
+    shards_.clear();
     return Error(ErrorCode::kUnavailable, message);
   };
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) return fail("epoll_create1");
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wake_fd_ < 0) return fail("eventfd");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return fail("socket");
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options_.port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    return fail("bind");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-
-  if (::listen(listen_fd_, options_.backlog) < 0) return fail("listen");
-
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenTag;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
-    return fail("epoll_ctl(listen)");
-  }
-  ev.data.u64 = kWakeTag;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
-    return fail("epoll_ctl(wake)");
+  // Probe SO_REUSEPORT support once up front so every shard takes the same
+  // path; a refusing kernel demotes the whole server to fd-handoff mode.
+  bool reuseport = options_.so_reuseport && nshards > 1;
+  if (reuseport) {
+    int probe = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    int one = 1;
+    if (probe < 0 ||
+        setsockopt(probe, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+      reuseport = false;
+    }
+    if (probe >= 0) ::close(probe);
   }
 
-  next_conn_id_ = kFirstConnId;  // 0/1 tag the listen and wake descriptors
+  for (std::size_t i = 0; i < nshards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, ring_capacity));
+    Shard& shard = *shards_.back();
+    shard.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (shard.epoll_fd < 0) return fail("epoll_create1");
+    shard.wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (shard.wake_fd < 0) return fail("eventfd(wake)");
+    shard.job_efd = ::eventfd(0, EFD_CLOEXEC | EFD_SEMAPHORE);
+    if (shard.job_efd < 0) return fail("eventfd(jobs)");
+
+    const bool wants_listener = i == 0 || reuseport;
+    if (wants_listener) {
+      shard.listen_fd =
+          ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      if (shard.listen_fd < 0) return fail("socket");
+      int one = 1;
+      setsockopt(shard.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (reuseport) {
+        if (setsockopt(shard.listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                       sizeof(one)) < 0) {
+          return fail("setsockopt(SO_REUSEPORT)");
+        }
+      }
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port_);
+      if (::bind(shard.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) < 0) {
+        return fail("bind");
+      }
+      if (i == 0) {
+        socklen_t len = sizeof(addr);
+        ::getsockname(shard.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                      &len);
+        port_ = ntohs(addr.sin_port);  // shards 1..n join this port
+      }
+      if (::listen(shard.listen_fd, options_.backlog) < 0) {
+        return fail("listen");
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenTag;
+      if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, shard.listen_fd, &ev) <
+          0) {
+        return fail("epoll_ctl(listen)");
+      }
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, shard.wake_fd, &ev) < 0) {
+      return fail("epoll_ctl(wake)");
+    }
+  }
+
+  telemetry::Telemetry* telemetry =
+      server_ != nullptr ? server_->telemetry() : nullptr;
+  if (telemetry != nullptr) {
+    for (auto& shard : shards_) {
+      const std::string label =
+          "shard=\"" + std::to_string(shard->index) + "\"";
+      auto& registry = telemetry->registry();
+      shard->g_active = registry.GetGauge("transport_shard_active", label);
+      shard->g_requests = registry.GetGauge("transport_shard_requests", label);
+      shard->g_inline =
+          registry.GetGauge("transport_shard_inline_served", label);
+      shard->g_accepted = registry.GetGauge("transport_shard_accepted", label);
+    }
+  }
+
   stopping_.store(false);
+  workers_run_.store(true);
   running_.store(true);
-  {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
-    workers_run_ = true;
+
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->wheel.Reset(NowMs());
+    s->thread = std::thread([this, s] { ShardLoop(*s); });
   }
-  loop_thread_ = std::thread([this] { EventLoop(); });
-  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  std::size_t nworkers = std::max(options_.worker_threads, nshards);
+  for (std::size_t i = 0; i < nworkers; ++i) {
+    Shard* s = shards_[i % nshards].get();
+    workers_.emplace_back([this, s] { WorkerLoop(*s); });
   }
   return util::VoidResult::Ok();
 }
@@ -241,77 +528,127 @@ util::VoidResult TcpServer::Start() {
 void TcpServer::Stop() {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
-  WakeLoop();
-  if (loop_thread_.joinable()) loop_thread_.join();
-  {
-    // Flip the predicate and notify while holding the mutex: a worker that
-    // has evaluated the predicate but not yet blocked would otherwise miss
-    // the notification and Stop() would hang in join() (lost wakeup).
-    std::lock_guard<std::mutex> lock(jobs_mu_);
-    workers_run_ = false;
-    jobs_cv_.notify_all();
+  for (auto& shard : shards_) WakeShard(*shard);
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  // Shard loops have exited; release the workers.  The flag flips before
+  // the eventfd kick, so a worker that wakes either pops a remaining job or
+  // sees the flag down and exits — no lost wakeup.
+  workers_run_.store(false);
+  const std::uint64_t kick = 1u << 20;  // far more tokens than workers
+  for (auto& shard : shards_) {
+    ssize_t n = ::write(shard->job_efd, &kick, sizeof(kick));
+    (void)n;
   }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  // All threads joined; no locks needed for the queues.
-  jobs_.clear();
-  done_.clear();
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  epoll_fd_ = wake_fd_ = -1;
-  listen_fd_ = -1;  // closed by the event loop on its way out
+
+  // All threads joined: drain leftovers and close descriptors.  The shards
+  // themselves stay alive so counters remain readable until the next
+  // Start().
+  for (auto& shard : shards_) {
+    Job job;
+    while (shard->jobs.Pop(job)) {
+    }
+    Done done;
+    while (shard->done.Pop(done)) {
+    }
+    Handoff handoff;
+    while (shard->handoff.Pop(handoff)) {
+      ::close(handoff.fd);
+      total_active_.fetch_sub(1);
+    }
+    if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+    if (shard->wake_fd >= 0) ::close(shard->wake_fd);
+    if (shard->job_efd >= 0) ::close(shard->job_efd);
+    shard->epoll_fd = shard->wake_fd = shard->job_efd = -1;
+    shard->listen_fd = -1;  // closed by the shard loop on its way out
+  }
+  // Final aggregate publish after every shard settled, so post-Stop
+  // observers (SystemState assertions, tests) see the closing values.
+  if (stats_hook_) stats_hook_(stats());
 }
 
 TcpServer::Stats TcpServer::stats() const {
-  Stats s;
-  s.accepted = accepted_.load();
-  s.reused = reused_.load();
-  s.timed_out = timed_out_.load();
-  s.shed = shed_.load();
-  s.rejected = rejected_.load();
-  s.requests = requests_.load();
-  s.active = active_.load();
-  return s;
+  Stats out;
+  for (const auto& shard : shards_) {
+    out.accepted += shard->accepted.load(std::memory_order_relaxed);
+    out.reused += shard->reused.load(std::memory_order_relaxed);
+    out.timed_out += shard->timed_out.load(std::memory_order_relaxed);
+    out.shed += shard->shed_count.load(std::memory_order_relaxed);
+    out.rejected += shard->rejected.load(std::memory_order_relaxed);
+    out.requests += shard->requests.load(std::memory_order_relaxed);
+    out.inline_served += shard->inline_srv.load(std::memory_order_relaxed);
+    out.active += shard->active.load(std::memory_order_relaxed);
+  }
+  out.shards = shards_.size();
+  return out;
 }
 
-void TcpServer::WakeLoop() {
+TcpServer::Stats TcpServer::shard_stats(std::size_t shard) const {
+  Stats out;
+  if (shard >= shards_.size()) return out;
+  const Shard& s = *shards_[shard];
+  out.accepted = s.accepted.load(std::memory_order_relaxed);
+  out.reused = s.reused.load(std::memory_order_relaxed);
+  out.timed_out = s.timed_out.load(std::memory_order_relaxed);
+  out.shed = s.shed_count.load(std::memory_order_relaxed);
+  out.rejected = s.rejected.load(std::memory_order_relaxed);
+  out.requests = s.requests.load(std::memory_order_relaxed);
+  out.inline_served = s.inline_srv.load(std::memory_order_relaxed);
+  out.active = s.active.load(std::memory_order_relaxed);
+  return out;
+}
+
+void TcpServer::WakeShard(Shard& shard) {
   std::uint64_t one = 1;
   for (;;) {
-    ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    ssize_t n = ::write(shard.wake_fd, &one, sizeof(one));
     if (n >= 0 || errno != EINTR) return;
   }
 }
 
-void TcpServer::PublishStats() {
-  if (!stats_dirty_) return;
-  stats_dirty_ = false;
+void TcpServer::PublishStats(Shard& shard) {
+  if (!shard.stats_dirty) return;
+  shard.stats_dirty = false;
+  if (shard.g_active != nullptr) {
+    shard.g_active->Set(static_cast<std::int64_t>(
+        shard.active.load(std::memory_order_relaxed)));
+    shard.g_requests->Set(static_cast<std::int64_t>(
+        shard.requests.load(std::memory_order_relaxed)));
+    shard.g_inline->Set(static_cast<std::int64_t>(
+        shard.inline_srv.load(std::memory_order_relaxed)));
+    shard.g_accepted->Set(static_cast<std::int64_t>(
+        shard.accepted.load(std::memory_order_relaxed)));
+  }
   if (stats_hook_) stats_hook_(stats());
 }
 
-// --- event loop --------------------------------------------------------------
+// --- shard event loop --------------------------------------------------------
 
-void TcpServer::EventLoop() {
+void TcpServer::ShardLoop(Shard& shard) {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
-  bool listen_open = true;
+  bool listen_open = shard.listen_fd >= 0;
   std::int64_t drain_deadline_ms = -1;
 
   for (;;) {
     std::int64_t now = NowMs();
     if (stopping_.load()) {
       if (listen_open) {
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-        ::close(listen_fd_);
+        ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, shard.listen_fd, nullptr);
+        ::close(shard.listen_fd);
         listen_open = false;
       }
       if (drain_deadline_ms < 0) {
         drain_deadline_ms = now + options_.drain_timeout_ms;
       }
       bool pending = false;
-      for (const auto& [id, conn] : conns_) {
-        if (conn->busy || conn->out_off < conn->out.size()) {
+      for (const auto& [id, conn] : shard.conns) {
+        if (conn->busy || conn->HasOutput()) {
           pending = true;
           break;
         }
@@ -319,11 +656,11 @@ void TcpServer::EventLoop() {
       if (!pending || now >= drain_deadline_ms) break;
     }
 
-    int timeout_ms = NextTimeoutMs(now);
+    int timeout_ms = shard.wheel.NextDueMs(now);
     if (stopping_.load()) {
       timeout_ms = timeout_ms < 0 ? 20 : std::min(timeout_ms, 20);
     }
-    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    int n = ::epoll_wait(shard.epoll_fd, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll fd gone — cannot continue
@@ -331,97 +668,151 @@ void TcpServer::EventLoop() {
     for (int i = 0; i < n; ++i) {
       std::uint64_t tag = events[i].data.u64;
       if (tag == kListenTag) {
-        if (!stopping_.load()) AcceptNew();
+        if (!stopping_.load()) AcceptNew(shard);
         continue;
       }
       if (tag == kWakeTag) {
         std::uint64_t drained;
-        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        while (::read(shard.wake_fd, &drained, sizeof(drained)) > 0) {
         }
         continue;
       }
-      auto it = conns_.find(tag);
-      if (it == conns_.end()) continue;
-      if (events[i].events & EPOLLIN) ReadConn(it->second.get());
-      it = conns_.find(tag);
-      if (it == conns_.end()) continue;
-      if (events[i].events & EPOLLOUT) TryWrite(it->second.get());
-      it = conns_.find(tag);
-      if (it == conns_.end()) continue;
+      auto it = shard.conns.find(tag);
+      if (it == shard.conns.end()) continue;
+      if (events[i].events & EPOLLIN) ReadConn(shard, it->second.get());
+      it = shard.conns.find(tag);
+      if (it == shard.conns.end()) continue;
+      if (events[i].events & EPOLLOUT) {
+        TryWrite(shard, it->second.get());
+        it = shard.conns.find(tag);
+        if (it == shard.conns.end()) continue;
+        // The flushed response may have unblocked a pipelined request.
+        Connection* conn = it->second.get();
+        if (!conn->busy && !conn->in.empty()) TryDispatch(shard, conn);
+        it = shard.conns.find(tag);
+        if (it == shard.conns.end()) continue;
+      }
       if (events[i].events & (EPOLLERR | EPOLLHUP)) {
         // Full close / reset from the peer (a half-close arrives as a
         // plain EOF on read instead) — nothing more to deliver.
-        CloseConn(tag);
+        CloseConn(shard, tag);
       }
     }
-    DrainCompletions();
-    SweepTimeouts(NowMs());
-    PublishStats();
+    DrainHandoff(shard);
+    DrainCompletions(shard);
+    std::int64_t after = NowMs();
+    shard.wheel.Advance(
+        after, [this, &shard, after](std::uint64_t id) {
+          OnTimerDue(shard, id, after);
+        });
+    PublishStats(shard);
   }
 
-  for (auto& [id, conn] : conns_) {
+  for (auto& [id, conn] : shard.conns) {
     ::shutdown(conn->fd, SHUT_RDWR);
     ::close(conn->fd);
   }
-  conns_.clear();
-  active_.store(0);
-  stats_dirty_ = true;
-  if (listen_open) ::close(listen_fd_);
-  PublishStats();
+  total_active_.fetch_sub(shard.conns.size());
+  shard.conns.clear();
+  shard.active.store(0);
+  shard.stats_dirty = true;
+  if (listen_open) ::close(shard.listen_fd);
+  PublishStats(shard);
 }
 
-void TcpServer::AcceptNew() {
+void TcpServer::AcceptNew(Shard& shard) {
+  // In fd-handoff mode only shard 0 has a listener; every other shard's
+  // listen_fd is -1 for the whole run, which is how we detect the mode.
+  const bool handoff_mode =
+      shards_.size() > 1 && shards_[1]->listen_fd < 0;
   for (;;) {
     sockaddr_in peer{};
     socklen_t len = sizeof(peer);
-    int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len,
-                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    int fd = ::accept4(shard.listen_fd, reinterpret_cast<sockaddr*>(&peer),
+                       &len, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN, or a transient error: wait for the next event
     }
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::uint32_t ip = ntohl(peer.sin_addr.s_addr);
+    std::uint16_t peer_port = ntohs(peer.sin_port);
 
-    auto conn = std::make_unique<Connection>();
-    conn->id = next_conn_id_++;
-    conn->fd = fd;
-    conn->ip = util::Ipv4Address(ntohl(peer.sin_addr.s_addr));
-    conn->peer_port = ntohs(peer.sin_port);
-    conn->last_active_ms = NowMs();
-
-    bool over_cap = conns_.size() >= options_.max_connections;
+    // The accepting shard reserves the global slot before any handoff, so
+    // the max_connections cap holds even with fds in flight between shards.
+    bool over_cap = total_active_.fetch_add(1, std::memory_order_relaxed) >=
+                    options_.max_connections;
     if (over_cap) {
-      // Graceful shedding: queue a 503 and keep the connection around just
-      // long enough for the peer to read it (closing immediately would
-      // race the client's request and turn the 503 into a reset).
-      shed_.fetch_add(1);
-      conn->shed = true;
-      HttpResponse resp = HttpResponse::Make(StatusCode::kServiceUnavailable);
-      resp.headers["Connection"] = "close";
-      resp.headers["Retry-After"] = "1";
-      conn->out = resp.Serialize();
-    } else {
-      accepted_.fetch_add(1);
-    }
-    stats_dirty_ = true;
-
-    epoll_event ev{};
-    ev.data.u64 = conn->id;
-    ev.events = EPOLLIN;
-    if (!conn->out.empty()) ev.events |= EPOLLOUT;
-    Connection* raw = conn.get();
-    conns_.emplace(conn->id, std::move(conn));
-    active_.store(conns_.size());
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      CloseConn(raw->id);
+      AdoptFd(shard, fd, ip, peer_port, /*shed=*/true);
       continue;
     }
-    if (raw->shed) TryWrite(raw);
+    if (handoff_mode) {
+      std::size_t target = shard.accept_rr++ % shards_.size();
+      if (target != shard.index) {
+        Shard& owner = *shards_[target];
+        if (owner.handoff.Push(Handoff{fd, ip, peer_port})) {
+          WakeShard(owner);
+          continue;
+        }
+        // Handoff ring full (cannot happen by sizing): adopt locally.
+      }
+    }
+    AdoptFd(shard, fd, ip, peer_port, /*shed=*/false);
   }
 }
 
-void TcpServer::ReadConn(Connection* conn) {
+void TcpServer::AdoptFd(Shard& shard, int fd, std::uint32_t ip_host_order,
+                        std::uint16_t peer_port, bool shed) {
+  auto conn = std::make_unique<Connection>();
+  conn->id = shard.next_conn_id++;
+  conn->fd = fd;
+  conn->ip = util::Ipv4Address(ip_host_order);
+  conn->peer_port = peer_port;
+  conn->last_active_ms = NowMs();
+  conn->in = PoolAcquire(shard.buf_pool);
+
+  if (shed) {
+    // Graceful shedding: queue a 503 and keep the connection around just
+    // long enough for the peer to read it (closing immediately would race
+    // the client's request and turn the 503 into a reset).
+    shard.shed_count.fetch_add(1, std::memory_order_relaxed);
+    conn->shed = true;
+    HttpResponse resp = HttpResponse::Make(StatusCode::kServiceUnavailable);
+    resp.headers["Connection"] = "close";
+    resp.headers["Retry-After"] = "1";
+    EnqueueResponse(shard, conn.get(), resp, /*close_after=*/false);
+  } else {
+    shard.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.stats_dirty = true;
+
+  epoll_event ev{};
+  ev.data.u64 = conn->id;
+  ev.events = EPOLLIN;
+  if (conn->HasOutput()) ev.events |= EPOLLOUT;
+  Connection* raw = conn.get();
+  shard.conns.emplace(raw->id, std::move(conn));
+  shard.active.store(shard.conns.size(), std::memory_order_relaxed);
+  if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    CloseConn(shard, raw->id);
+    return;
+  }
+  Touch(shard, raw);
+  if (raw->shed) TryWrite(shard, raw);
+}
+
+void TcpServer::DrainHandoff(Shard& shard) {
+  Handoff handoff;
+  while (shard.handoff.Pop(handoff)) {
+    // The global slot was reserved by the accepting shard; AdoptFd only
+    // tracks the shard-local tables.
+    AdoptFd(shard, handoff.fd, handoff.ip_host_order, handoff.peer_port,
+            /*shed=*/false);
+  }
+}
+
+void TcpServer::ReadConn(Shard& shard, Connection* conn) {
   char buf[16384];
   bool progress = false;
   for (;;) {
@@ -438,280 +829,386 @@ void TcpServer::ReadConn(Connection* conn) {
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    CloseConn(conn->id);
+    CloseConn(shard, conn->id);
     return;
   }
-  if (progress || conn->read_eof) conn->last_active_ms = NowMs();
-  TryDispatch(conn);
+  if (progress || conn->read_eof) Touch(shard, conn);
+  TryDispatch(shard, conn);
 }
 
-void TcpServer::TryDispatch(Connection* conn) {
-  if (conn->shed) {
-    if (conn->read_eof && conn->out_off >= conn->out.size()) {
-      CloseConn(conn->id);
-    } else {
-      UpdateInterest(conn);
+void TcpServer::TryDispatch(Shard& shard, Connection* conn) {
+  for (;;) {
+    if (conn->shed) {
+      if (conn->read_eof && !conn->HasOutput()) {
+        CloseConn(shard, conn->id);
+      } else {
+        UpdateInterest(shard, conn);
+      }
+      return;
     }
-    return;
-  }
-  if (conn->busy || conn->close_after_write || stopping_.load()) {
-    UpdateInterest(conn);
-    return;
-  }
+    if (conn->busy || conn->close_after_write || stopping_.load()) {
+      UpdateInterest(shard, conn);
+      return;
+    }
 
-  FrameResult frame = FrameRequest(conn->in, options_.max_request_bytes);
-  switch (frame.status) {
-    case FrameStatus::kNeedMore:
-      if (!conn->read_eof) {
-        UpdateInterest(conn);
-        return;
-      }
-      if (conn->in.empty()) {
-        // Clean end of a keep-alive conversation.
-        if (conn->out_off >= conn->out.size()) {
-          CloseConn(conn->id);
-        } else {
-          conn->close_after_write = true;
-          UpdateInterest(conn);
+    FrameResult frame = FrameRequest(conn->in, options_.max_request_bytes);
+    switch (frame.status) {
+      case FrameStatus::kNeedMore:
+        if (!conn->read_eof) {
+          UpdateInterest(shard, conn);
+          return;
         }
+        if (conn->in.empty()) {
+          // Clean end of a keep-alive conversation.
+          if (!conn->HasOutput()) {
+            CloseConn(shard, conn->id);
+          } else {
+            conn->close_after_write = true;
+            UpdateInterest(shard, conn);
+          }
+          return;
+        }
+        // The peer closed mid-request: a truncated head or Content-Length
+        // body.  The fragment must never reach the handler as well-formed.
+        shard.rejected.fetch_add(1, std::memory_order_relaxed);
+        shard.stats_dirty = true;
+        server_->ReportMalformed(
+            RequestDefect::kTruncatedBody,
+            "peer closed after " + std::to_string(conn->in.size()) +
+                " bytes of an incomplete request",
+            conn->ip);
+        conn->in.clear();
+        RespondAndClose(shard, conn, StatusCode::kBadRequest);
         return;
-      }
-      // The peer closed mid-request: a truncated head or Content-Length
-      // body.  The fragment must never reach the handler as well-formed.
-      rejected_.fetch_add(1);
-      stats_dirty_ = true;
-      server_->ReportMalformed(
-          RequestDefect::kTruncatedBody,
-          "peer closed after " + std::to_string(conn->in.size()) +
-              " bytes of an incomplete request",
-          conn->ip);
-      conn->in.clear();
-      RespondAndClose(conn, StatusCode::kBadRequest);
-      return;
-    case FrameStatus::kTooLarge:
-      rejected_.fetch_add(1);
-      stats_dirty_ = true;
-      conn->in.clear();
-      RespondAndClose(conn, StatusCode::kPayloadTooLarge);
-      return;
-    case FrameStatus::kBad:
-      rejected_.fetch_add(1);
-      stats_dirty_ = true;
-      server_->ReportMalformed(RequestDefect::kBadHeader, frame.detail,
-                               conn->ip);
-      conn->in.clear();
-      RespondAndClose(conn, StatusCode::kBadRequest);
-      return;
-    case FrameStatus::kComplete:
-      break;
-  }
+      case FrameStatus::kTooLarge:
+        shard.rejected.fetch_add(1, std::memory_order_relaxed);
+        shard.stats_dirty = true;
+        conn->in.clear();
+        RespondAndClose(shard, conn, StatusCode::kPayloadTooLarge);
+        return;
+      case FrameStatus::kBad:
+        shard.rejected.fetch_add(1, std::memory_order_relaxed);
+        shard.stats_dirty = true;
+        server_->ReportMalformed(RequestDefect::kBadHeader, frame.detail,
+                                 conn->ip);
+        conn->in.clear();
+        RespondAndClose(shard, conn, StatusCode::kBadRequest);
+        return;
+      case FrameStatus::kComplete:
+        break;
+    }
 
-  Job job;
-  job.conn_id = conn->id;
-  job.raw = conn->in.substr(0, frame.total_bytes);
-  conn->in.erase(0, frame.total_bytes);
-  job.ip = conn->ip;
-  job.port = conn->peer_port;
-  // Begin the trace at framing so it covers time spent queued for a worker.
+    // No further request can arrive after EOF with nothing buffered past
+    // this frame; tell the client we will close.
+    bool more_possible =
+        !conn->read_eof || conn->in.size() > frame.total_bytes;
+    bool keep = options_.keep_alive && frame.keep_alive && more_possible &&
+                conn->served + 1 < options_.max_keepalive_requests;
+
+    if (options_.inline_fast_path && frame.inline_candidate &&
+        server_->InlineFastPathEligible(frame.method, frame.target,
+                                        options_.inline_max_response_bytes,
+                                        conn->ip)) {
+      std::uint64_t id = conn->id;
+      ServeInline(shard, conn, frame.total_bytes, keep);
+      TryWrite(shard, conn);  // may close the connection
+      auto it = shard.conns.find(id);
+      if (it == shard.conns.end()) return;
+      conn = it->second.get();
+      continue;  // a pipelined request may already be buffered
+    }
+
+    Job job;
+    job.conn_id = conn->id;
+    job.raw = conn->in.substr(0, frame.total_bytes);
+    conn->in.erase(0, frame.total_bytes);
+    job.ip = conn->ip;
+    job.port = conn->peer_port;
+    // Begin the trace at framing so it covers time queued for a worker.
+    telemetry::Telemetry* telemetry = server_->telemetry();
+    if (telemetry != nullptr && telemetry->tracing_enabled()) {
+      job.trace = telemetry->tracer().Begin();  // null when not sampled
+      if (job.trace) {
+        job.trace->client_ip = conn->ip.ToString();
+        job.queue_span = job.trace->OpenSpan("queue");
+      }
+    }
+    job.keep_alive = keep;
+    conn->busy = true;
+    if (conn->served > 0) {
+      shard.reused.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++conn->served;
+    shard.requests.fetch_add(1, std::memory_order_relaxed);
+    shard.stats_dirty = true;
+    Touch(shard, conn);
+    if (!shard.jobs.Push(std::move(job))) {
+      // Structurally unreachable (ring sized past max_connections); shed
+      // defensively rather than wedge the connection.
+      conn->busy = false;
+      shard.rejected.fetch_add(1, std::memory_order_relaxed);
+      RespondAndClose(shard, conn, StatusCode::kServiceUnavailable);
+      return;
+    }
+    std::uint64_t one = 1;
+    ssize_t n = ::write(shard.job_efd, &one, sizeof(one));
+    (void)n;
+    UpdateInterest(shard, conn);
+    return;
+  }
+}
+
+bool TcpServer::ServeInline(Shard& shard, Connection* conn,
+                            std::size_t frame_bytes,
+                            bool keep_alive_requested) {
+  std::string_view raw(conn->in.data(), frame_bytes);
+  std::unique_ptr<telemetry::RequestTrace> trace;
   telemetry::Telemetry* telemetry = server_->telemetry();
   if (telemetry != nullptr && telemetry->tracing_enabled()) {
-    job.trace = telemetry->tracer().Begin();  // null when not sampled
-    if (job.trace) {
-      job.trace->client_ip = conn->ip.ToString();
-      job.queue_span = job.trace->OpenSpan("queue");
+    trace = telemetry->tracer().Begin();
+    if (trace) {
+      trace->client_ip = conn->ip.ToString();
+      // Marker span — the analogue of the worker path's "queue" span,
+      // recording that this request never left the event loop.
+      std::size_t span = trace->OpenSpan("transport.inline_serve");
+      trace->CloseSpan(span);
     }
   }
-  // No further request can arrive after EOF with an empty buffer; tell the
-  // client we will close.
-  bool more_possible = !conn->read_eof || !conn->in.empty();
-  job.keep_alive = options_.keep_alive && frame.keep_alive && more_possible &&
-                   conn->served + 1 < options_.max_keepalive_requests;
-  conn->busy = true;
-  if (conn->served > 0) reused_.fetch_add(1);
-  ++conn->served;
-  requests_.fetch_add(1);
-  stats_dirty_ = true;
-  conn->last_active_ms = NowMs();
-  {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
-    jobs_.push_back(std::move(job));
-    jobs_cv_.notify_one();
+  if (conn->served > 0) {
+    shard.reused.fetch_add(1, std::memory_order_relaxed);
   }
-  UpdateInterest(conn);
+  ++conn->served;
+  shard.requests.fetch_add(1, std::memory_order_relaxed);
+  shard.inline_srv.fetch_add(1, std::memory_order_relaxed);
+  shard.stats_dirty = true;
+
+  HttpResponse response =
+      server_->HandleText(raw, conn->ip, conn->peer_port, std::move(trace));
+  conn->in.erase(0, frame_bytes);  // raw dangles from here on
+  bool close_after = !keep_alive_requested || ProtocolFailure(response.status);
+  response.headers["Connection"] = close_after ? "close" : "keep-alive";
+  EnqueueResponse(shard, conn, response, close_after);
+  Touch(shard, conn);
+  return true;
 }
 
-void TcpServer::TryWrite(Connection* conn) {
-  while (conn->out_off < conn->out.size()) {
-    ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_off,
-                       conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+void TcpServer::TryWrite(Shard& shard, Connection* conn) {
+  while (conn->out_bytes > 0) {
+    // Gathered write: up to 8 response chunks (heads and bodies) go out in
+    // one syscall without ever being concatenated.
+    constexpr int kMaxIov = 8;
+    iovec iov[kMaxIov];
+    int iovcnt = 0;
+    std::size_t off = conn->out_off;
+    for (auto& chunk : conn->outq) {
+      if (iovcnt == kMaxIov) break;
+      iov[iovcnt].iov_base = const_cast<char*>(chunk.data()) + off;
+      iov[iovcnt].iov_len = chunk.size() - off;
+      ++iovcnt;
+      off = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn->out_off += static_cast<std::size_t>(n);
+      std::size_t wrote = static_cast<std::size_t>(n);
+      conn->out_bytes -= wrote;
+      while (wrote > 0) {
+        std::string& front = conn->outq.front();
+        std::size_t avail = front.size() - conn->out_off;
+        if (wrote >= avail) {
+          wrote -= avail;
+          PoolRelease(shard.buf_pool, std::move(front));
+          conn->outq.pop_front();
+          conn->out_off = 0;
+        } else {
+          conn->out_off += wrote;
+          wrote = 0;
+        }
+      }
       conn->last_active_ms = NowMs();
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      UpdateInterest(conn);
+      UpdateInterest(shard, conn);
       return;
     }
-    CloseConn(conn->id);
+    CloseConn(shard, conn->id);
     return;
   }
-  conn->out.clear();
+  conn->outq.clear();
   conn->out_off = 0;
   if (conn->close_after_write) {
-    CloseConn(conn->id);
+    CloseConn(shard, conn->id);
     return;
   }
   if (conn->shed) {
-    if (conn->read_eof) CloseConn(conn->id);
-    else UpdateInterest(conn);
+    if (conn->read_eof) {
+      CloseConn(shard, conn->id);
+    } else {
+      UpdateInterest(shard, conn);
+    }
     return;
   }
   if (conn->read_eof && conn->in.empty() && !conn->busy) {
-    CloseConn(conn->id);
+    CloseConn(shard, conn->id);
     return;
   }
-  UpdateInterest(conn);
-  // A pipelined request may already be buffered; serve it next.
-  if (!conn->busy && !conn->in.empty()) TryDispatch(conn);
+  UpdateInterest(shard, conn);
 }
 
-void TcpServer::UpdateInterest(Connection* conn) {
+void TcpServer::UpdateInterest(Shard& shard, Connection* conn) {
   epoll_event ev{};
   ev.data.u64 = conn->id;
   ev.events = 0;
   // While a worker holds the connection's request we stop reading — the
   // kernel buffer back-pressures pipelining clients.
   if (!conn->read_eof && !conn->busy) ev.events |= EPOLLIN;
-  if (conn->out_off < conn->out.size()) ev.events |= EPOLLOUT;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  if (conn->HasOutput()) ev.events |= EPOLLOUT;
+  ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 
-void TcpServer::RespondAndClose(Connection* conn, StatusCode status) {
+void TcpServer::EnqueueResponse(Shard& shard, Connection* conn,
+                                HttpResponse& response, bool close_after) {
+  (void)shard;
+  conn->outq.push_back(response.SerializeHead());
+  conn->out_bytes += conn->outq.back().size();
+  if (!response.body.empty()) {
+    conn->out_bytes += response.body.size();
+    conn->outq.push_back(std::move(response.body));
+  }
+  if (close_after) conn->close_after_write = true;
+}
+
+void TcpServer::RespondAndClose(Shard& shard, Connection* conn,
+                                StatusCode status) {
   HttpResponse resp = HttpResponse::Make(status);
   resp.headers["Connection"] = "close";
-  conn->out.append(resp.Serialize());
-  conn->close_after_write = true;
-  TryWrite(conn);  // may close the connection
+  EnqueueResponse(shard, conn, resp, /*close_after=*/true);
+  std::uint64_t id = conn->id;
+  TryWrite(shard, conn);  // may close the connection
+  auto it = shard.conns.find(id);
+  if (it != shard.conns.end()) Touch(shard, it->second.get());
 }
 
-void TcpServer::CloseConn(std::uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+void TcpServer::CloseConn(Shard& shard, std::uint64_t conn_id) {
+  auto it = shard.conns.find(conn_id);
+  if (it == shard.conns.end()) return;
+  ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
   ::close(it->second->fd);
-  conns_.erase(it);
-  active_.store(conns_.size());
-  stats_dirty_ = true;
+  PoolRelease(shard.buf_pool, std::move(it->second->in));
+  shard.conns.erase(it);
+  shard.active.store(shard.conns.size(), std::memory_order_relaxed);
+  total_active_.fetch_sub(1, std::memory_order_relaxed);
+  shard.stats_dirty = true;
 }
 
-void TcpServer::DrainCompletions() {
-  std::deque<Done> batch;
-  {
-    std::lock_guard<std::mutex> lock(done_mu_);
-    batch.swap(done_);
-  }
-  for (auto& done : batch) {
-    auto it = conns_.find(done.conn_id);
-    if (it == conns_.end()) continue;  // connection died while processing
+void TcpServer::DrainCompletions(Shard& shard) {
+  Done done;
+  while (shard.done.Pop(done)) {
+    auto it = shard.conns.find(done.conn_id);
+    if (it == shard.conns.end()) continue;  // died while processing
     Connection* conn = it->second.get();
     conn->busy = false;
-    conn->out.append(done.wire);
+    conn->outq.push_back(std::move(done.head));
+    conn->out_bytes += conn->outq.back().size();
+    if (!done.body.empty()) {
+      conn->out_bytes += done.body.size();
+      conn->outq.push_back(std::move(done.body));
+    }
     if (done.close_after) conn->close_after_write = true;
-    conn->last_active_ms = NowMs();
-    TryWrite(conn);
+    Touch(shard, conn);
+    std::uint64_t id = conn->id;
+    TryWrite(shard, conn);
+    it = shard.conns.find(id);
+    if (it == shard.conns.end()) continue;
+    conn = it->second.get();
+    // A pipelined request may already be buffered; serve it next.
+    if (!conn->busy && !conn->in.empty()) TryDispatch(shard, conn);
   }
 }
 
-void TcpServer::SweepTimeouts(std::int64_t now_ms) {
-  std::vector<std::uint64_t> stale_idle;
-  std::vector<std::uint64_t> stale_partial;
-  for (const auto& [id, conn] : conns_) {
-    if (conn->busy) continue;  // worker latency is not the client's fault
-    std::int64_t age = now_ms - conn->last_active_ms;
-    bool mid_request = !conn->in.empty() || conn->out_off < conn->out.size();
-    if (mid_request || conn->shed) {
-      if (age > options_.read_timeout_ms) stale_partial.push_back(id);
-    } else if (age > options_.idle_timeout_ms) {
-      stale_idle.push_back(id);
-    }
+void TcpServer::Touch(Shard& shard, Connection* conn) {
+  conn->last_active_ms = NowMs();
+  if (conn->timer_armed) return;  // lazy: revalidated when the entry pops
+  bool mid_request = !conn->in.empty() || conn->HasOutput() || conn->shed;
+  std::int64_t deadline =
+      conn->last_active_ms +
+      (mid_request ? options_.read_timeout_ms : options_.idle_timeout_ms);
+  shard.wheel.Arm(conn->id, deadline);
+  conn->timer_armed = true;
+}
+
+void TcpServer::OnTimerDue(Shard& shard, std::uint64_t conn_id,
+                           std::int64_t now_ms) {
+  auto it = shard.conns.find(conn_id);
+  if (it == shard.conns.end()) return;  // closed while armed
+  Connection* conn = it->second.get();
+  conn->timer_armed = false;
+  // Worker latency is not the client's fault; the completion re-arms via
+  // Touch.
+  if (conn->busy) return;
+  bool mid_request = !conn->in.empty() || conn->HasOutput() || conn->shed;
+  std::int64_t deadline =
+      conn->last_active_ms +
+      (mid_request ? options_.read_timeout_ms : options_.idle_timeout_ms);
+  if (deadline > now_ms) {
+    // Activity since arming (or the state changed): re-arm for the true
+    // deadline — the lazy-revalidation half of the wheel's contract.
+    shard.wheel.Arm(conn->id, deadline);
+    conn->timer_armed = true;
+    return;
   }
-  for (std::uint64_t id : stale_partial) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) continue;
-    Connection* conn = it->second.get();
-    if (conn->shed || conn->out_off < conn->out.size()) {
+  if (mid_request) {
+    if (conn->shed || conn->HasOutput()) {
       // Peer is not draining our response (or a shed conn overstayed).
-      CloseConn(id);
-      continue;
+      CloseConn(shard, conn->id);
+      return;
     }
     // Slow-loris style partial request: answer 408 and drop.
-    rejected_.fetch_add(1);
-    stats_dirty_ = true;
+    shard.rejected.fetch_add(1, std::memory_order_relaxed);
+    shard.stats_dirty = true;
     conn->in.clear();
-    RespondAndClose(conn, StatusCode::kRequestTimeout);
+    RespondAndClose(shard, conn, StatusCode::kRequestTimeout);
+    return;
   }
-  for (std::uint64_t id : stale_idle) {
-    timed_out_.fetch_add(1);
-    stats_dirty_ = true;
-    CloseConn(id);
-  }
-}
-
-int TcpServer::NextTimeoutMs(std::int64_t now_ms) const {
-  std::int64_t nearest = -1;
-  for (const auto& [id, conn] : conns_) {
-    if (conn->busy) continue;
-    bool mid_request = !conn->in.empty() || conn->out_off < conn->out.size() ||
-                       conn->shed;
-    std::int64_t deadline =
-        conn->last_active_ms +
-        (mid_request ? options_.read_timeout_ms : options_.idle_timeout_ms);
-    if (nearest < 0 || deadline < nearest) nearest = deadline;
-  }
-  if (nearest < 0) return -1;
-  std::int64_t wait = nearest - now_ms + 1;
-  if (wait < 1) wait = 1;
-  if (wait > 60'000) wait = 60'000;
-  return static_cast<int>(wait);
+  shard.timed_out.fetch_add(1, std::memory_order_relaxed);
+  shard.stats_dirty = true;
+  CloseConn(shard, conn->id);
 }
 
 // --- workers -----------------------------------------------------------------
 
-void TcpServer::WorkerLoop() {
+void TcpServer::WorkerLoop(Shard& shard) {
   for (;;) {
     Job job;
-    {
-      std::unique_lock<std::mutex> lock(jobs_mu_);
-      jobs_cv_.wait(lock,
-                    [this] { return !workers_run_ || !jobs_.empty(); });
-      if (jobs_.empty()) {
-        if (!workers_run_) return;
-        continue;
-      }
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
+    if (!shard.jobs.Pop(job)) {
+      if (!workers_run_.load(std::memory_order_acquire)) return;
+      // Park on the semaphore eventfd: one token per queued job, so a
+      // token's arrival means a job is (or was) there to pop.
+      std::uint64_t token;
+      ssize_t n = ::read(shard.job_efd, &token, sizeof(token));
+      (void)n;
+      continue;
     }
     if (job.trace) job.trace->CloseSpan(job.queue_span);
     HttpResponse response =
         server_->HandleText(job.raw, job.ip, job.port, std::move(job.trace));
-    // Protocol-level failures poison the framing; close to resynchronize.
-    bool close_after = !job.keep_alive ||
-                       response.status == StatusCode::kBadRequest ||
-                       response.status == StatusCode::kRequestTimeout ||
-                       response.status == StatusCode::kPayloadTooLarge ||
-                       response.status == StatusCode::kServiceUnavailable;
+    bool close_after = !job.keep_alive || ProtocolFailure(response.status);
     response.headers["Connection"] = close_after ? "close" : "keep-alive";
     Done done;
     done.conn_id = job.conn_id;
-    done.wire = response.Serialize();
+    done.head = response.SerializeHead();
+    done.body = std::move(response.body);
     done.close_after = close_after;
-    {
-      std::lock_guard<std::mutex> lock(done_mu_);
-      done_.push_back(std::move(done));
+    while (!shard.done.Push(std::move(done))) {
+      // Ring full means the loop is behind by a full ring of completions —
+      // unreachable by sizing, but never drop a response.
+      std::this_thread::yield();
     }
-    WakeLoop();
+    WakeShard(shard);
   }
 }
 

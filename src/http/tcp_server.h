@@ -3,19 +3,34 @@
 // The deterministic in-process entry points (WebServer::HandleText) remain
 // the substrate for tests and benchmarks; this transport adds a real,
 // connectable front end.  Unlike the 2003-era close-per-request Apache the
-// paper measured, the transport is an epoll-based event-driven connection
-// layer:
+// paper measured, the transport is a sharded multi-reactor (DESIGN.md §10):
 //
-//   * one event-loop thread owns all sockets (non-blocking), frames
-//     requests incrementally, and writes responses — no thread ever blocks
-//     on a peer;
-//   * a worker pool runs the CPU-bound GAA phase pipeline
-//     (parse → access control → handler → post-execution); the event loop
-//     hands it complete request texts and receives serialized responses
-//     back through a completion queue + eventfd wakeup;
+//   * N event-loop shards (Options::reactor_shards, default
+//     min(4, hw_concurrency)), each owning its own SO_REUSEPORT listener,
+//     epoll fd, connection table, buffer pool and timeout wheel.  A
+//     connection is owned by exactly one shard for its whole life — its
+//     state is single-threaded by construction, no lock needed.  When
+//     SO_REUSEPORT is unavailable (Options::so_reuseport = false, or the
+//     kernel refuses), shard 0 accepts and round-robins raw fds to the
+//     other shards through lock-free handoff rings.
+//   * worker handoff is lock-free in the steady state: per-shard bounded
+//     MPMC rings (util::MpmcRing) carry jobs to the shard's workers and
+//     completions back, with an eventfd semaphore waking idle workers and
+//     an eventfd waking the shard loop.  Rings are sized for
+//     max_connections, and a connection has at most one job in flight, so
+//     the job ring cannot overflow by construction.
+//   * inline fast path: when the framed request is a plain anonymous GET
+//     whose access decision is already memoized as a pure terminal YES/NO
+//     and the target is a static document within a byte budget
+//     (WebServer::InlineFastPathEligible), the shard runs the full
+//     pipeline on the event-loop thread — same responses, same audit and
+//     attribution side effects, no worker round trip.
+//   * responses are written with gathered writes (sendmsg iovecs over
+//     head + body chunks) instead of concatenating one wire string;
+//     per-shard buffer pools recycle connection read buffers.
 //   * HTTP/1.1 keep-alive with pipelined requests handled sequentially
-//     per connection, idle-connection timeouts, and a max-connections cap
-//     with graceful 503 shedding;
+//     per connection, idle-connection timeouts (per-shard lazy timer
+//     wheel), and a global max-connections cap with graceful 503 shedding;
 //   * Stop() drains in-flight requests before closing (bounded by
 //     Options::drain_timeout_ms).
 //
@@ -27,13 +42,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,7 +59,23 @@ class TcpServer {
   struct Options {
     std::uint16_t port = 0;  ///< 0: pick an ephemeral port (tests)
     int backlog = 128;
+    /// Worker threads running the GAA pipeline, partitioned round-robin
+    /// across shards; raised to the shard count if smaller so every shard
+    /// has at least one worker.
     std::size_t worker_threads = 4;
+    /// Event-loop shards; 0 = min(4, hardware_concurrency).
+    std::size_t reactor_shards = 0;
+    /// Use per-shard SO_REUSEPORT listeners (kernel-level accept
+    /// balancing).  When false — or when the kernel refuses the option —
+    /// shard 0 owns the only listener and hands accepted fds to the other
+    /// shards round-robin.
+    bool so_reuseport = true;
+    /// Serve memoized-decision static-doc GETs directly on the event loop
+    /// (see header comment); responses stay byte-identical either way.
+    bool inline_fast_path = true;
+    /// Documents larger than this always go to a worker, keeping the
+    /// event loop's per-request work bounded.
+    std::size_t inline_max_response_bytes = 64 * 1024;
     /// Connections whose request exceeds this are answered 413 and closed —
     /// the transport-level guard against the §1 oversized-request DoS.
     std::size_t max_request_bytes = 64 * 1024;
@@ -60,8 +87,8 @@ class TcpServer {
     /// An idle keep-alive connection (no partial request pending) older
     /// than this is closed silently.
     int idle_timeout_ms = 15000;
-    /// Hard cap on concurrently open connections; excess accepts are
-    /// answered 503 and closed immediately (graceful shedding).
+    /// Hard cap on concurrently open connections across all shards; excess
+    /// accepts are answered 503 and closed immediately (graceful shedding).
     std::size_t max_connections = 1024;
     /// Close a connection after it has served this many requests.
     std::size_t max_keepalive_requests = 1000;
@@ -72,19 +99,23 @@ class TcpServer {
 
   /// Connection-layer counters, exported through the stats hook so
   /// adaptive policies (SystemState variables consulted via `var:`
-  /// indirection) can see transport-level load.
+  /// indirection) can see transport-level load.  stats() returns the sum
+  /// over shards; shard_stats(i) one shard's own counters.
   struct Stats {
-    std::uint64_t accepted = 0;   ///< connections accepted
+    std::uint64_t accepted = 0;   ///< connections adopted by a shard
     std::uint64_t reused = 0;     ///< requests served on an already-used conn
     std::uint64_t timed_out = 0;  ///< idle/slow connections dropped
     std::uint64_t shed = 0;       ///< accepts answered 503 (over cap)
     std::uint64_t rejected = 0;   ///< framing-level 4xx (413/408/400)
-    std::uint64_t requests = 0;   ///< requests dispatched to workers
+    std::uint64_t requests = 0;   ///< requests handled (worker or inline)
+    std::uint64_t inline_served = 0;  ///< requests served on the event loop
     std::uint64_t active = 0;     ///< connections open right now
+    std::uint64_t shards = 0;     ///< shard count (aggregate view only)
   };
 
-  /// Invoked from the event-loop thread whenever counters changed during an
-  /// event-loop iteration.  Must be cheap and thread-safe.
+  /// Invoked from an event-loop thread whenever counters changed during an
+  /// event-loop iteration, with the cross-shard aggregate.  Must be cheap
+  /// and thread-safe (shards call it concurrently).
   using StatsHook = std::function<void(const Stats&)>;
 
   TcpServer(WebServer* server, Options options);
@@ -93,7 +124,7 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Bind, listen and start the event loop + workers.
+  /// Bind, listen and start the shard event loops + workers.
   util::VoidResult Start();
 
   /// Stop accepting, drain in-flight work, close everything.  Idempotent.
@@ -107,87 +138,70 @@ class TcpServer {
   std::uint16_t port() const { return port_; }
   const Options& options() const { return options_; }
 
+  /// Cross-shard aggregate (coherent per counter: each is the sum of
+  /// monotonic per-shard atomics).
   Stats stats() const;
-  std::uint64_t connections_accepted() const { return accepted_.load(); }
-  std::uint64_t connections_rejected() const { return rejected_.load(); }
-  std::uint64_t connections_reused() const { return reused_.load(); }
-  std::uint64_t connections_timed_out() const { return timed_out_.load(); }
-  std::uint64_t connections_shed() const { return shed_.load(); }
-  std::uint64_t active_connections() const { return active_.load(); }
+  /// Shards running (0 before the first Start()).
+  std::size_t shard_count() const { return shards_.size(); }
+  /// One shard's own counters (`shard` < shard_count()).
+  Stats shard_stats(std::size_t shard) const;
+
+  std::uint64_t connections_accepted() const { return stats().accepted; }
+  std::uint64_t connections_rejected() const { return stats().rejected; }
+  std::uint64_t connections_reused() const { return stats().reused; }
+  std::uint64_t connections_timed_out() const { return stats().timed_out; }
+  std::uint64_t connections_shed() const { return stats().shed; }
+  std::uint64_t active_connections() const { return stats().active; }
+  std::uint64_t inline_served() const { return stats().inline_served; }
 
  private:
   struct Connection;
-  struct Job {
-    std::uint64_t conn_id = 0;
-    std::string raw;
-    util::Ipv4Address ip;
-    std::uint16_t port = 0;
-    bool keep_alive = false;
-    /// Trace begun at framing time; the "queue" span is open while the job
-    /// waits for a worker.  Ownership crosses threads through jobs_mu_.
-    std::unique_ptr<telemetry::RequestTrace> trace;
-    std::size_t queue_span = 0;
-  };
-  struct Done {
-    std::uint64_t conn_id = 0;
-    std::string wire;
-    bool close_after = false;
-  };
+  struct Shard;
+  struct Job;
+  struct Done;
 
-  void EventLoop();
-  void WorkerLoop();
-  void WakeLoop();
+  static std::size_t EffectiveShards(const Options& options);
 
-  void AcceptNew();
-  void ReadConn(Connection* conn);
-  void TryDispatch(Connection* conn);
-  void TryWrite(Connection* conn);
-  void UpdateInterest(Connection* conn);
-  void RespondAndClose(Connection* conn, StatusCode status);
-  void CloseConn(std::uint64_t conn_id);
-  void DrainCompletions();
-  void SweepTimeouts(std::int64_t now_ms);
-  int NextTimeoutMs(std::int64_t now_ms) const;
-  void PublishStats();
+  void ShardLoop(Shard& shard);
+  void WorkerLoop(Shard& shard);
+  static void WakeShard(Shard& shard);
+
+  void AcceptNew(Shard& shard);
+  void AdoptFd(Shard& shard, int fd, std::uint32_t ip_host_order,
+               std::uint16_t peer_port, bool shed);
+  void DrainHandoff(Shard& shard);
+  void ReadConn(Shard& shard, Connection* conn);
+  void TryDispatch(Shard& shard, Connection* conn);
+  bool ServeInline(Shard& shard, Connection* conn, std::size_t frame_bytes,
+                   bool keep_alive_requested);
+  void TryWrite(Shard& shard, Connection* conn);
+  void UpdateInterest(Shard& shard, Connection* conn);
+  void EnqueueResponse(Shard& shard, Connection* conn, HttpResponse& response,
+                       bool close_after);
+  void RespondAndClose(Shard& shard, Connection* conn, StatusCode status);
+  void CloseConn(Shard& shard, std::uint64_t conn_id);
+  void DrainCompletions(Shard& shard);
+  void Touch(Shard& shard, Connection* conn);
+  void OnTimerDue(Shard& shard, std::uint64_t conn_id, std::int64_t now_ms);
+  void PublishStats(Shard& shard);
 
   WebServer* server_;
   Options options_;
   StatsHook stats_hook_;
-
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
   std::uint16_t port_ = 0;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  /// Workers run while true; flipped before the job-eventfd shutdown kick.
+  std::atomic<bool> workers_run_{false};
 
-  // Counters (atomics: read by any thread, written by the event loop and,
-  // for requests/reused, only from the event loop as well).
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> reused_{0};
-  std::atomic<std::uint64_t> timed_out_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> active_{0};
-  bool stats_dirty_ = false;  // event-loop thread only
+  /// Open connections across all shards — the max_connections cap is
+  /// global, so shards admit against this single counter.
+  std::atomic<std::uint64_t> total_active_{0};
 
-  // Connections are owned by the event-loop thread exclusively.
-  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
-  std::uint64_t next_conn_id_ = 1;
-
-  // Event loop -> workers.
-  std::mutex jobs_mu_;
-  std::condition_variable jobs_cv_;
-  std::deque<Job> jobs_;
-  bool workers_run_ = false;  // guarded by jobs_mu_
-
-  // Workers -> event loop.
-  std::mutex done_mu_;
-  std::deque<Done> done_;
-
-  std::thread loop_thread_;
+  /// Shards live from Start() until the *next* Start() (not Stop()), so
+  /// counters remain readable after shutdown.
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
 };
 

@@ -15,7 +15,9 @@ struct TcpGauges {
   telemetry::Gauge* shed;
   telemetry::Gauge* rejected;
   telemetry::Gauge* requests;
+  telemetry::Gauge* inline_served;
   telemetry::Gauge* active;
+  telemetry::Gauge* shards;
 };
 
 std::string MetricName(const std::string& prefix, const char* name) {
@@ -38,7 +40,10 @@ http::TcpServer::StatsHook MakeConnectionStatsHook(
     gauges.shed = metrics->GetGauge(MetricName(prefix, "shed"));
     gauges.rejected = metrics->GetGauge(MetricName(prefix, "rejected"));
     gauges.requests = metrics->GetGauge(MetricName(prefix, "requests"));
+    gauges.inline_served =
+        metrics->GetGauge(MetricName(prefix, "inline_served"));
     gauges.active = metrics->GetGauge(MetricName(prefix, "active"));
+    gauges.shards = metrics->GetGauge(MetricName(prefix, "shards"));
   }
   return [state, prefix = std::move(prefix), load_capacity,
           gauges](const http::TcpServer::Stats& stats) {
@@ -48,7 +53,10 @@ http::TcpServer::StatsHook MakeConnectionStatsHook(
     state->SetVariable(prefix + "shed", std::to_string(stats.shed));
     state->SetVariable(prefix + "rejected", std::to_string(stats.rejected));
     state->SetVariable(prefix + "requests", std::to_string(stats.requests));
+    state->SetVariable(prefix + "inline_served",
+                       std::to_string(stats.inline_served));
     state->SetVariable(prefix + "active", std::to_string(stats.active));
+    state->SetVariable(prefix + "shards", std::to_string(stats.shards));
     if (load_capacity > 0.0) {
       state->SetSystemLoad(static_cast<double>(stats.active) / load_capacity);
     }
@@ -59,7 +67,10 @@ http::TcpServer::StatsHook MakeConnectionStatsHook(
       gauges.shed->Set(static_cast<std::int64_t>(stats.shed));
       gauges.rejected->Set(static_cast<std::int64_t>(stats.rejected));
       gauges.requests->Set(static_cast<std::int64_t>(stats.requests));
+      gauges.inline_served->Set(
+          static_cast<std::int64_t>(stats.inline_served));
       gauges.active->Set(static_cast<std::int64_t>(stats.active));
+      gauges.shards->Set(static_cast<std::int64_t>(stats.shards));
     }
   };
 }

@@ -11,7 +11,7 @@
 //
 // Published variables (prefix configurable, default "tcp."):
 //   tcp.accepted  tcp.reused  tcp.timed_out  tcp.shed  tcp.rejected
-//   tcp.requests  tcp.active
+//   tcp.requests  tcp.inline_served  tcp.active  tcp.shards
 // plus SystemState::SetSystemLoad(active / max_connections).
 //
 // When a MetricRegistry is supplied, the same counters are mirrored as

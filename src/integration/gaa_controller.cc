@@ -46,6 +46,13 @@ core::RequestContext GaaAccessController::BuildContext(
   return ctx;
 }
 
+bool GaaAccessController::DecisionIsMemoized(const std::string& path,
+                                             const std::string& method,
+                                             util::Ipv4Address client_ip) const {
+  return api_->DecisionIsMemoized(
+      path, core::RequestedRight{options_.application, method}, client_ip);
+}
+
 http::AccessController::Verdict GaaAccessController::Check(
     http::RequestRec& rec) {
   core::EvalServices& services = api_->services();

@@ -65,6 +65,12 @@ class GaaAccessController final : public http::AccessController {
   void OnComplete(http::RequestRec& rec,
                   const http::OperationObservation& obs,
                   bool success) override;
+  /// Fast-path probe (transport inline serving): delegates to the decision
+  /// memo — true only for pure terminal YES/NO answers already cached
+  /// against the live snapshot, so volatile/adaptive policies and anything
+  /// needing credentials always take the worker path.
+  bool DecisionIsMemoized(const std::string& path, const std::string& method,
+                          util::Ipv4Address client_ip) const override;
 
   const Options& options() const { return options_; }
 

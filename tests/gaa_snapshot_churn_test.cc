@@ -1,0 +1,119 @@
+// Retired-snapshot retention bounds (DESIGN.md §9.3): superseded policy
+// snapshots are reclaimed once quiescent (use_count()==1), keeping only the
+// `retired_floor` newest for debugging headroom — the retired list must not
+// grow without bound under policy churn, and reclamation must never free a
+// snapshot a concurrent reader still holds (gaa_engine_test runs under
+// ThreadSanitizer in CI, where a use-after-reclaim is a hard failure).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "conditions/builtin.h"
+#include "gaa/api.h"
+#include "telemetry/metrics.h"
+#include "testing/helpers.h"
+
+namespace gaa::core {
+namespace {
+
+using gaa::testing::MakeContext;
+using gaa::testing::TestRig;
+using util::Tristate;
+
+struct ChurnStack {
+  ChurnStack() : api(&store, WireMetrics(rig, metrics)) {
+    RoutineCatalog catalog;
+    cond::RegisterBuiltinRoutines(catalog);
+    EXPECT_TRUE(api.Initialize(catalog, cond::DefaultConfigText(), "").ok());
+  }
+
+  static EvalServices& WireMetrics(TestRig& rig,
+                                   telemetry::MetricRegistry& metrics) {
+    rig.services.metrics = &metrics;
+    return rig.services;
+  }
+
+  TestRig rig;
+  telemetry::MetricRegistry metrics;
+  PolicyStore store;
+  GaaApi api;
+};
+
+TEST(SnapshotChurn, RetiredListStaysBoundedUnderConcurrentReaders) {
+  ChurnStack s;
+  ASSERT_TRUE(s.store.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kReloads = 300;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> decisions{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&s, &stop, &decisions] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        RequestContext ctx = MakeContext("10.0.0.1", "/index.html", "GET");
+        AuthzResult out = s.api.Authorize(
+            "/index.html", RequestedRight{"apache", "GET"}, ctx);
+        if (out.status == Tristate::kMaybe) {
+          ADD_FAILURE() << "unconditional policy answered MAYBE";
+          return;
+        }
+        decisions.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Each reader holds at most one snapshot reference at a time, so the
+  // retired list can never exceed floor + one pinned entry per reader
+  // (plus slack for entries between retire and the next reclaim pass).
+  const std::size_t bound = s.store.retired_floor() + kReaders + 2;
+  for (int i = 0; i < kReloads; ++i) {
+    const char* text = (i % 2 == 0) ? "neg_access_right apache *\n"
+                                    : "pos_access_right apache *\n";
+    ASSERT_TRUE(s.store.SetLocalPolicy("/", text).ok());
+    EXPECT_LE(s.store.retired_count(), bound) << "reload " << i;
+  }
+
+  while (decisions.load(std::memory_order_relaxed) <
+         static_cast<std::uint64_t>(kReaders)) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_GE(decisions.load(), static_cast<std::uint64_t>(kReaders));
+
+  // With all readers gone, every retiree is quiescent: the next rebuild
+  // reclaims down to the floor.
+  ASSERT_TRUE(s.store.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+  EXPECT_LE(s.store.retired_count(), s.store.retired_floor());
+}
+
+TEST(SnapshotChurn, QuiescentReclamationKeepsExactlyTheFloor) {
+  ChurnStack s;
+  s.store.set_retired_floor(5);
+  for (int i = 0; i < 10; ++i) {
+    const char* text = (i % 2 == 0) ? "neg_access_right apache *\n"
+                                    : "pos_access_right apache *\n";
+    ASSERT_TRUE(s.store.SetLocalPolicy("/", text).ok());
+  }
+  // No readers: everything beyond the floor was quiescent and reclaimed.
+  EXPECT_EQ(s.store.retired_count(), 5u);
+  // The gauge mirrors the list (rig.services.metrics wires the registry).
+  EXPECT_EQ(s.metrics.GetGauge("gaa_policy_snapshots_retired")->Value(), 5);
+
+  // Dropping the floor reclaims immediately, not at the next rebuild.
+  s.store.set_retired_floor(0);
+  EXPECT_EQ(s.store.retired_count(), 0u);
+  EXPECT_EQ(s.metrics.GetGauge("gaa_policy_snapshots_retired")->Value(), 0);
+
+  ASSERT_TRUE(s.store.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+  EXPECT_EQ(s.store.retired_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gaa::core

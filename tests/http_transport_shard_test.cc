@@ -1,0 +1,215 @@
+// Sharded multi-reactor transport (DESIGN.md §10): cross-shard stats
+// aggregation, the no-SO_REUSEPORT fd-handoff fallback, concurrent load
+// across shards (the TSan target), and the inline fast path's
+// byte-identical-response guarantee at the transport level.
+#include "http/tcp_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/doc_tree.h"
+#include "util/strings.h"
+
+namespace gaa::http {
+namespace {
+
+class TransportShardTest : public ::testing::Test {
+ protected:
+  TransportShardTest()
+      : tree_(DocTree::DemoSite()),
+        server_(&tree_, &controller_, &util::RealClock::Instance()) {}
+
+  void StartTcp(TcpServer::Options options = {}) {
+    tcp_ = std::make_unique<TcpServer>(&server_, options);
+    auto started = tcp_->Start();
+    ASSERT_TRUE(started.ok()) << started.error().ToString();
+  }
+
+  /// Sum of one per-shard counter, for comparing against the aggregate.
+  template <typename F>
+  std::uint64_t SumShards(F field) const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < tcp_->shard_count(); ++i) {
+      total += field(tcp_->shard_stats(i));
+    }
+    return total;
+  }
+
+  DocTree tree_;
+  AllowAllController controller_;
+  WebServer server_;
+  std::unique_ptr<TcpServer> tcp_;
+};
+
+TEST_F(TransportShardTest, AggregateStatsAreSumOfShardStats) {
+  TcpServer::Options options;
+  options.reactor_shards = 2;
+  StartTcp(options);
+  ASSERT_EQ(tcp_->shard_count(), 2u);
+
+  constexpr int kConns = 64;
+  std::string raw = BuildGetRequest("/index.html");
+  for (int i = 0; i < kConns; ++i) {
+    TcpClient client(tcp_->port());
+    ASSERT_TRUE(client.connected());
+    auto response = client.RoundTrip(raw);
+    ASSERT_TRUE(response.ok()) << response.error().ToString();
+    EXPECT_NE(response.value().find("200 OK"), std::string::npos);
+  }
+  tcp_->Stop();
+
+  TcpServer::Stats total = tcp_->stats();
+  EXPECT_EQ(total.shards, 2u);
+  EXPECT_EQ(total.accepted, static_cast<std::uint64_t>(kConns));
+  EXPECT_EQ(total.requests, static_cast<std::uint64_t>(kConns));
+  EXPECT_EQ(total.accepted,
+            SumShards([](const TcpServer::Stats& s) { return s.accepted; }));
+  EXPECT_EQ(total.requests,
+            SumShards([](const TcpServer::Stats& s) { return s.requests; }));
+  EXPECT_EQ(total.inline_served,
+            SumShards(
+                [](const TcpServer::Stats& s) { return s.inline_served; }));
+  // All connections closed: active is exactly zero.  An unsigned underflow
+  // (double-decrement on any close path) would show up as a huge value.
+  EXPECT_EQ(total.active, 0u);
+}
+
+TEST_F(TransportShardTest, FdHandoffFallbackBalancesRoundRobin) {
+  TcpServer::Options options;
+  options.reactor_shards = 4;
+  options.so_reuseport = false;  // shard 0 accepts, hands fds round-robin
+  StartTcp(options);
+  ASSERT_EQ(tcp_->shard_count(), 4u);
+
+  constexpr int kConns = 32;
+  std::string raw = BuildGetRequest("/docs/guide.html");
+  for (int i = 0; i < kConns; ++i) {
+    TcpClient client(tcp_->port());
+    auto response = client.RoundTrip(raw);
+    ASSERT_TRUE(response.ok()) << response.error().ToString();
+    EXPECT_NE(response.value().find("200 OK"), std::string::npos);
+  }
+  tcp_->Stop();
+
+  EXPECT_EQ(tcp_->stats().accepted, static_cast<std::uint64_t>(kConns));
+  // The single-listener fallback distributes deterministically: with no
+  // concurrent churn every shard adopts exactly its round-robin share.
+  for (std::size_t i = 0; i < tcp_->shard_count(); ++i) {
+    EXPECT_EQ(tcp_->shard_stats(i).accepted,
+              static_cast<std::uint64_t>(kConns) / tcp_->shard_count())
+        << "shard " << i;
+  }
+  EXPECT_EQ(tcp_->stats().active, 0u);
+}
+
+TEST_F(TransportShardTest, ConcurrentKeepAliveLoadAcrossShards) {
+  TcpServer::Options options;
+  options.reactor_shards = 4;
+  StartTcp(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 25;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  std::uint16_t port = tcp_->port();
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([port, &ok] {
+      TcpClient client(port);
+      if (!client.connected()) return;
+      std::string raw = BuildGetRequest("/index.html");
+      for (int i = 0; i < kRequests; ++i) {
+        auto response = client.RoundTrip(raw);
+        if (response.ok() &&
+            response.value().find("200 OK") != std::string::npos) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  tcp_->Stop();
+
+  EXPECT_EQ(ok.load(), kThreads * kRequests);
+  EXPECT_EQ(tcp_->stats().requests,
+            static_cast<std::uint64_t>(kThreads) * kRequests);
+  EXPECT_EQ(tcp_->stats().accepted, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(tcp_->stats().active, 0u);
+}
+
+TEST_F(TransportShardTest, InlineFastPathMatchesWorkerPathByteForByte) {
+  // Two transports over the same pipeline: one with the inline fast path,
+  // one forced through workers.  AllowAllController memoizes every
+  // decision, so the inline server can serve static GETs on the loop.
+  TcpServer::Options inline_on;
+  inline_on.reactor_shards = 1;
+  StartTcp(inline_on);
+
+  TcpServer::Options inline_off = inline_on;
+  inline_off.inline_fast_path = false;
+  TcpServer worker_only(&server_, inline_off);
+  auto started = worker_only.Start();
+  ASSERT_TRUE(started.ok()) << started.error().ToString();
+
+  TcpClient fast(tcp_->port());
+  TcpClient slow(worker_only.port());
+  for (const char* target : {"/index.html", "/docs/guide.html",
+                             "/docs/api.html", "/missing.html"}) {
+    std::string raw = BuildGetRequest(target);
+    auto a = fast.RoundTrip(raw);
+    auto b = slow.RoundTrip(raw);
+    ASSERT_TRUE(a.ok()) << a.error().ToString();
+    ASSERT_TRUE(b.ok()) << b.error().ToString();
+    EXPECT_EQ(a.value(), b.value()) << target;
+  }
+  EXPECT_GT(tcp_->inline_served(), 0u);
+  EXPECT_EQ(worker_only.inline_served(), 0u);
+  worker_only.Stop();
+}
+
+TEST_F(TransportShardTest, QueryTargetsNeverServeInline) {
+  TcpServer::Options options;
+  options.reactor_shards = 1;
+  StartTcp(options);
+  TcpClient client(tcp_->port());
+  auto response = client.RoundTrip(BuildGetRequest("/cgi-bin/search?q=x"));
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  EXPECT_NE(response.value().find("200 OK"), std::string::npos);
+  // Dynamic content (query strings, CGI) always goes to a worker.
+  EXPECT_EQ(tcp_->inline_served(), 0u);
+  EXPECT_EQ(tcp_->stats().requests, 1u);
+}
+
+TEST_F(TransportShardTest, InlineByteBudgetSendsLargeDocsToWorkers) {
+  TcpServer::Options options;
+  options.reactor_shards = 1;
+  options.inline_max_response_bytes = 1;  // nothing fits the budget
+  StartTcp(options);
+  TcpClient client(tcp_->port());
+  auto response = client.RoundTrip(BuildGetRequest("/index.html"));
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  EXPECT_NE(response.value().find("200 OK"), std::string::npos);
+  EXPECT_EQ(tcp_->inline_served(), 0u);
+}
+
+TEST_F(TransportShardTest, AuthorizationHeaderDisqualifiesInlineServe) {
+  TcpServer::Options options;
+  options.reactor_shards = 1;
+  StartTcp(options);
+  TcpClient client(tcp_->port());
+  auto response = client.RoundTrip(BuildGetRequest(
+      "/index.html", {{"Authorization", "Basic YWxpY2U6cHc="}}));
+  ASSERT_TRUE(response.ok()) << response.error().ToString();
+  EXPECT_NE(response.value().find("200 OK"), std::string::npos);
+  // Credentialed requests carry identity context the memo key must see;
+  // they always take the worker path.
+  EXPECT_EQ(tcp_->inline_served(), 0u);
+}
+
+}  // namespace
+}  // namespace gaa::http

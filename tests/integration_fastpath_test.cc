@@ -1,0 +1,213 @@
+// Inline fast path × GAA pipeline: differential tests proving the
+// memoized-decision event-loop serve is observably identical to the worker
+// path — same response bytes, same audit records and EACL attribution,
+// same trace span structure (plus the `transport.inline_serve` marker) —
+// and that non-memoizable decisions (identity-dependent MAYBE, volatile
+// conditions) and policy reloads always fall back to the full pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/audit_log.h"
+#include "http/doc_tree.h"
+#include "http/request.h"
+#include "http/tcp_server.h"
+#include "integration/gaa_web_server.h"
+
+namespace gaa::web {
+namespace {
+
+/// Four disjoint policy subtrees (no "/" local policy, so nothing shadows):
+///   /pub      unconditional grant        -> pure terminal YES, memoized
+///   /deny     unconditional denial       -> pure terminal NO, memoized
+///   /auth     grant gated on a USER id   -> MAYBE for anonymous, never memoized
+///   /volatile grant gated on threat level -> volatile, never memoized
+http::DocTree FastpathSite() {
+  http::DocTree tree;
+  tree.AddDocument("/pub/page.html", {"<html>public</html>"});
+  tree.AddDocument("/deny/page.html", {"<html>secret</html>"});
+  tree.AddDocument("/auth/page.html", {"<html>members</html>"});
+  tree.AddDocument("/volatile/page.html", {"<html>guarded</html>"});
+  return tree;
+}
+
+class FastpathTest : public ::testing::Test {
+ protected:
+  FastpathTest() : gws_(FastpathSite()) {
+    EXPECT_TRUE(gws_.SetLocalPolicy("/pub", "pos_access_right apache *\n").ok());
+    EXPECT_TRUE(
+        gws_.SetLocalPolicy("/deny", "neg_access_right apache *\n").ok());
+    EXPECT_TRUE(gws_.SetLocalPolicy("/auth",
+                                    "pos_access_right apache *\n"
+                                    "pre_cond_accessid USER apache alice\n")
+                    .ok());
+    EXPECT_TRUE(
+        gws_.SetLocalPolicy("/volatile",
+                            "pos_access_right apache *\n"
+                            "pre_cond_system_threat_level local <high\n")
+            .ok());
+
+    http::TcpServer::Options fast_options;
+    fast_options.reactor_shards = 1;
+    fast_ = std::make_unique<http::TcpServer>(&gws_.server(), fast_options);
+    auto started = fast_->Start();
+    EXPECT_TRUE(started.ok()) << started.error().ToString();
+
+    http::TcpServer::Options slow_options = fast_options;
+    slow_options.inline_fast_path = false;
+    slow_ = std::make_unique<http::TcpServer>(&gws_.server(), slow_options);
+    started = slow_->Start();
+    EXPECT_TRUE(started.ok()) << started.error().ToString();
+  }
+
+  std::string FetchFast(const std::string& target) {
+    http::TcpClient client(fast_->port());
+    auto response = client.RoundTrip(http::BuildGetRequest(target));
+    EXPECT_TRUE(response.ok()) << response.error().ToString();
+    return response.ok() ? response.value() : std::string();
+  }
+
+  std::string FetchSlow(const std::string& target) {
+    http::TcpClient client(slow_->port());
+    auto response = client.RoundTrip(http::BuildGetRequest(target));
+    EXPECT_TRUE(response.ok()) << response.error().ToString();
+    return response.ok() ? response.value() : std::string();
+  }
+
+  static std::vector<std::string> SpanNames(
+      const telemetry::RequestTrace& trace) {
+    std::vector<std::string> names;
+    for (const auto& span : trace.spans()) {
+      names.emplace_back(span.name);
+    }
+    return names;
+  }
+
+  GaaWebServer gws_;
+  std::unique_ptr<http::TcpServer> fast_;
+  std::unique_ptr<http::TcpServer> slow_;
+};
+
+TEST_F(FastpathTest, MemoizedGrantServesInlineWithIdenticalBytes) {
+  // First request on the fast server: memo is cold, goes to a worker.
+  std::string first = FetchFast("/pub/page.html");
+  EXPECT_EQ(fast_->inline_served(), 0u);
+  // Second request: the terminal YES is memoized, served on the loop.
+  std::string second = FetchFast("/pub/page.html");
+  EXPECT_EQ(fast_->inline_served(), 1u);
+  // Worker-only server for the same target.
+  std::string worker = FetchSlow("/pub/page.html");
+
+  EXPECT_NE(first.find("200 OK"), std::string::npos);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second, worker);
+}
+
+TEST_F(FastpathTest, MemoizedDenialServesInlineWithIdenticalAuditRecords) {
+  std::string first = FetchFast("/deny/page.html");   // cold -> worker
+  std::string second = FetchFast("/deny/page.html");  // memo hit -> inline
+  std::string worker = FetchSlow("/deny/page.html");  // worker path
+  EXPECT_EQ(fast_->inline_served(), 1u);
+
+  EXPECT_NE(first.find("403 Forbidden"), std::string::npos);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second, worker);
+
+  // Every denial is audited — inline serves included — with the same EACL
+  // attribution (policy / entry / condition) as the worker path.
+  auto decisions = gws_.audit_log().ByCategory("decision");
+  ASSERT_EQ(decisions.size(), 3u);
+  const auto& inline_rec = decisions[1];
+  const auto& worker_rec = decisions[2];
+  EXPECT_EQ(inline_rec.decision, worker_rec.decision);
+  EXPECT_EQ(inline_rec.policy, worker_rec.policy);
+  EXPECT_EQ(inline_rec.entry, worker_rec.entry);
+  EXPECT_EQ(inline_rec.condition, worker_rec.condition);
+  // Distinct requests keep distinct trace correlation ids.
+  EXPECT_NE(inline_rec.trace_id, worker_rec.trace_id);
+  EXPECT_NE(inline_rec.trace_id, 0u);
+}
+
+TEST_F(FastpathTest, IdentityDependentMaybeNeverServesInline) {
+  // Anonymous requests against the USER-gated subtree resolve MAYBE ->
+  // 401 challenge; MAYBE is not a terminal decision and must not memoize.
+  std::string first = FetchFast("/auth/page.html");
+  std::string second = FetchFast("/auth/page.html");
+  EXPECT_NE(first.find("401"), std::string::npos);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(fast_->inline_served(), 0u);
+}
+
+TEST_F(FastpathTest, VolatileConditionNeverMemoizesAndStaysFresh) {
+  std::string first = FetchFast("/volatile/page.html");
+  std::string second = FetchFast("/volatile/page.html");
+  EXPECT_NE(first.find("200 OK"), std::string::npos);
+  EXPECT_EQ(first, second);
+  // Threat-level checks are volatile: no memoization, so no inline serve.
+  EXPECT_EQ(fast_->inline_served(), 0u);
+
+  // The decision tracks the live threat level immediately.
+  gws_.state().SetThreatLevel(core::ThreatLevel::kHigh);
+  std::string under_attack = FetchFast("/volatile/page.html");
+  EXPECT_EQ(under_attack.find("200 OK"), std::string::npos);
+  gws_.state().SetThreatLevel(core::ThreatLevel::kLow);
+  std::string recovered = FetchFast("/volatile/page.html");
+  EXPECT_NE(recovered.find("200 OK"), std::string::npos);
+}
+
+TEST_F(FastpathTest, InlineTraceCarriesMarkerSpanAndSkipsQueue) {
+  // Warm the memo through the worker-only server, then take one worker
+  // memo-hit and one inline memo-hit: the pipeline stages must match span
+  // for span (a cold request would differ for a different reason — the
+  // decision-cache hit skips the gaa.* evaluation spans on both paths).
+  FetchSlow("/pub/page.html");  // cold -> worker, memoizes
+  FetchSlow("/pub/page.html");  // memo hit, worker path
+  FetchFast("/pub/page.html");  // memo hit, inline path
+  ASSERT_EQ(fast_->inline_served(), 1u);
+
+  auto recent = gws_.telemetry().tracer().Recent(2);
+  ASSERT_EQ(recent.size(), 2u);
+  auto worker_spans = SpanNames(recent[0]);
+  auto inline_spans = SpanNames(recent[1]);
+
+  auto has = [](const std::vector<std::string>& names, const char* want) {
+    for (const auto& name : names) {
+      if (name == want) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(worker_spans, "queue"));
+  EXPECT_FALSE(has(worker_spans, "transport.inline_serve"));
+  EXPECT_TRUE(has(inline_spans, "transport.inline_serve"));
+  EXPECT_FALSE(has(inline_spans, "queue"));
+
+  // Modulo the transport-level spans, the pipeline ran the same stages.
+  std::vector<std::string> worker_rest;
+  for (const auto& name : worker_spans) {
+    if (name != "queue") worker_rest.push_back(name);
+  }
+  std::vector<std::string> inline_rest;
+  for (const auto& name : inline_spans) {
+    if (name != "transport.inline_serve") inline_rest.push_back(name);
+  }
+  EXPECT_EQ(worker_rest, inline_rest);
+}
+
+TEST_F(FastpathTest, PolicyReloadInvalidatesMemoizedInlineDecision) {
+  FetchFast("/pub/page.html");
+  std::string granted = FetchFast("/pub/page.html");
+  EXPECT_NE(granted.find("200 OK"), std::string::npos);
+  ASSERT_EQ(fast_->inline_served(), 1u);
+
+  // Reload the subtree policy: the store's snapshot version bumps, the
+  // memoized YES is dead, and the next request must see the new denial.
+  ASSERT_TRUE(
+      gws_.SetLocalPolicy("/pub", "neg_access_right apache *\n").ok());
+  std::string denied = FetchFast("/pub/page.html");
+  EXPECT_NE(denied.find("403 Forbidden"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaa::web
