@@ -1,0 +1,313 @@
+// E5: zero-copy static content plane (DESIGN.md §11).
+//
+// Measures the template fast tier against the PR-5 wire path it replaces.
+// Four configurations over real loopback sockets with C keep-alive
+// connections issuing R requests each:
+//
+//   gaa_plane_off    full GAA pipeline, Options::http.enable_static_plane
+//                    = false (the PR-5 baseline wire behaviour)
+//   gaa_plane_on     full GAA pipeline with the plane enabled (validators
+//                    and templates exist; the GAA controller still runs,
+//                    so the zero-alloc tier stays out of the way)
+//   fast_plane_off   AllowAllController, plane off: the memoized inline
+//                    tier parses, dispatches and serializes per request
+//   fast_plane_on    AllowAllController, plane on: pre-serialized header
+//                    templates + DocTree body views, zero copies/allocs
+//
+// The headline number is fast_plane_on / fast_plane_off RPS; the tentpole
+// target is >= 1.3x.
+//
+//   bench_static [--conns C] [--requests R] [--repeats N] [--json out.json]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "http/request.h"
+#include "http/tcp_server.h"
+
+namespace gaa::bench {
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  double rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t inline_served = 0;
+};
+
+/// How many requests a client writes back-to-back before collecting the
+/// responses.  Pipelining keeps syscall and scheduling overhead (identical
+/// in every configuration) from drowning the per-request serving cost that
+/// the plane actually changes.
+constexpr int kPipelineDepth = 16;
+
+int ConnectLoopback(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Writes `count` pipelined copies of `request` and reads until that many
+/// Content-Length-framed responses (all expected to be 200s) come back.
+/// Returns the number of responses successfully consumed.
+int PipelineBatch(int fd, const std::string& request, int count) {
+  std::string burst;
+  burst.reserve(request.size() * static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) burst.append(request);
+  std::size_t sent = 0;
+  while (sent < burst.size()) {
+    ssize_t n = ::send(fd, burst.data() + sent, burst.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string in;
+  int done = 0;
+  std::size_t parsed = 0;
+  char buf[16384];
+  while (done < count) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return done;
+    }
+    in.append(buf, static_cast<std::size_t>(n));
+    for (;;) {
+      std::string_view rest(in.data() + parsed, in.size() - parsed);
+      std::size_t head_end = rest.find("\r\n\r\n");
+      if (head_end == std::string_view::npos) break;
+      std::size_t body = 0;
+      std::size_t pos = rest.find("Content-Length: ");
+      if (pos != std::string_view::npos && pos < head_end) {
+        for (pos += 16;
+             pos < head_end && rest[pos] >= '0' && rest[pos] <= '9'; ++pos) {
+          body = body * 10 + static_cast<std::size_t>(rest[pos] - '0');
+        }
+      }
+      std::size_t total = head_end + 4 + body;
+      if (rest.size() < total) break;
+      if (rest.compare(0, 12, "HTTP/1.1 200") == 0) ++done;
+      parsed += total;
+    }
+    if (parsed > 0 && parsed == in.size()) {
+      in.clear();
+      parsed = 0;
+    }
+  }
+  return done;
+}
+
+RunResult DriveLoad(std::uint16_t port, int conns, int requests_per_conn) {
+  std::vector<std::vector<double>> per_thread_us(conns);
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(conns);
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < conns; ++c) {
+    clients.emplace_back([port, requests_per_conn, c, &per_thread_us,
+                          &errors] {
+      int fd = ConnectLoopback(port);
+      if (fd < 0) {
+        errors.fetch_add(static_cast<std::uint64_t>(requests_per_conn));
+        return;
+      }
+      std::string raw = http::BuildGetRequest("/index.html");
+      auto& samples = per_thread_us[c];
+      samples.reserve(static_cast<std::size_t>(requests_per_conn));
+      for (int i = 0; i < requests_per_conn; i += kPipelineDepth) {
+        int batch = std::min(kPipelineDepth, requests_per_conn - i);
+        auto s0 = std::chrono::steady_clock::now();
+        int got = PipelineBatch(fd, raw, batch);
+        auto s1 = std::chrono::steady_clock::now();
+        errors.fetch_add(static_cast<std::uint64_t>(batch - got));
+        double per_request_us =
+            got > 0 ? std::chrono::duration<double, std::micro>(s1 - s0)
+                              .count() /
+                          got
+                    : 0;
+        for (int k = 0; k < got; ++k) samples.push_back(per_request_us);
+        if (got < batch) break;  // connection dropped mid-batch
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  std::vector<double> all_us;
+  for (auto& samples : per_thread_us) {
+    all_us.insert(all_us.end(), samples.begin(), samples.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.requests = all_us.size();
+  out.errors = errors.load();
+  out.rps = out.seconds > 0 ? static_cast<double>(out.requests) / out.seconds
+                            : 0;
+  if (!all_us.empty()) {
+    out.p50_us = all_us[all_us.size() / 2];
+    out.p99_us = all_us[std::min(all_us.size() - 1, all_us.size() * 99 / 100)];
+  }
+  return out;
+}
+
+RunResult RunOverTransport(http::WebServer* server, int conns,
+                           int requests_per_conn, int repeats) {
+  http::TcpServer::Options tcp_options;
+  tcp_options.reactor_shards = 1;
+  tcp_options.worker_threads = 4;
+  tcp_options.max_connections = 4096;
+  http::TcpServer tcp(server, tcp_options);
+  auto started = tcp.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 started.error().ToString().c_str());
+    std::exit(1);
+  }
+  // Warmup primes decision memos, buffer pools and header templates so the
+  // steady state is what gets measured.  Best-of-N repetitions damp
+  // scheduler noise, which easily exceeds the effect under measurement on
+  // a small shared box.
+  DriveLoad(tcp.port(), std::min(conns, 8), 50);
+  RunResult result;
+  for (int rep = 0; rep < repeats; ++rep) {
+    RunResult r = DriveLoad(tcp.port(), conns, requests_per_conn);
+    if (r.rps > result.rps) result = r;
+  }
+  result.inline_served = tcp.inline_served();
+  tcp.Stop();
+  return result;
+}
+
+RunResult RunGaaConfig(bool plane_on, int conns, int requests_per_conn,
+                       int repeats) {
+  web::GaaWebServer::Options options;
+  options.use_real_clock = true;
+  options.tuning.trace_sample_period = 0;  // transport numbers, not spans
+  options.http.enable_static_plane = plane_on;
+  web::GaaWebServer gws(http::DocTree::DemoSite(), options);
+  if (!gws.SetLocalPolicy("/", "pos_access_right apache *\n").ok()) {
+    std::fprintf(stderr, "policy setup failed\n");
+    std::exit(1);
+  }
+  return RunOverTransport(&gws.server(), conns, requests_per_conn, repeats);
+}
+
+RunResult RunFastConfig(bool plane_on, int conns, int requests_per_conn,
+                        int repeats) {
+  auto tree = std::make_unique<http::DocTree>(http::DocTree::DemoSite());
+  http::AllowAllController allow_all;
+  http::WebServer::Options options;
+  options.enable_static_plane = plane_on;
+  http::WebServer server(tree.get(), &allow_all,
+                         &util::RealClock::Instance(), options);
+  // The template tier declines traced requests; measure the serving path.
+  server.telemetry()->set_tracing_enabled(false);
+  return RunOverTransport(&server, conns, requests_per_conn, repeats);
+}
+
+int Main(int argc, char** argv) {
+  // One pipelined connection per shard is the cleanest serving-path cost
+  // measurement: client-side overhead is identical across configurations
+  // and never competes with the reactor for a core.  896 keeps warm-up
+  // plus measurement under the 1000-request keep-alive cap.
+  int conns = 1;
+  int requests_per_conn = 896;
+  int repeats = 3;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--conns") conns = std::atoi(argv[i + 1]);
+    if (std::string(argv[i]) == "--requests") {
+      requests_per_conn = std::atoi(argv[i + 1]);
+    }
+    if (std::string(argv[i]) == "--repeats") repeats = std::atoi(argv[i + 1]);
+  }
+
+  struct Config {
+    const char* name;
+    bool gaa;
+    bool plane_on;
+  };
+  const Config configs[] = {
+      {"gaa_plane_off", true, false},
+      {"gaa_plane_on", true, true},
+      {"fast_plane_off", false, false},
+      {"fast_plane_on", false, true},
+  };
+
+  JsonReport report;
+  PrintHeader("E5: zero-copy static plane (" + std::to_string(conns) +
+              " conns x " + std::to_string(requests_per_conn) + " requests)");
+  std::printf("%-20s %10s %10s %10s %10s %12s\n", "config", "rps", "p50_us",
+              "p99_us", "errors", "inline");
+
+  double rps_off = 0, rps_on = 0;
+  for (const Config& config : configs) {
+    RunResult r =
+        config.gaa
+            ? RunGaaConfig(config.plane_on, conns, requests_per_conn, repeats)
+            : RunFastConfig(config.plane_on, conns, requests_per_conn,
+                            repeats);
+    std::printf("%-20s %10.0f %10.1f %10.1f %10llu %12llu\n", config.name,
+                r.rps, r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.errors),
+                static_cast<unsigned long long>(r.inline_served));
+    report.Set(config.name, "rps", r.rps);
+    report.Set(config.name, "p50_us", r.p50_us);
+    report.Set(config.name, "p99_us", r.p99_us);
+    report.Set(config.name, "requests", static_cast<double>(r.requests));
+    report.Set(config.name, "errors", static_cast<double>(r.errors));
+    report.Set(config.name, "inline_served",
+               static_cast<double>(r.inline_served));
+    if (std::string(config.name) == "fast_plane_off") rps_off = r.rps;
+    if (std::string(config.name) == "fast_plane_on") rps_on = r.rps;
+  }
+
+  double speedup = rps_off > 0 ? rps_on / rps_off : 0;
+  std::printf("\ntemplate-plane speedup over plane-off fast path: %.2fx\n",
+              speedup);
+  report.Set("summary", "speedup_plane_on_vs_off", speedup);
+
+  if (!report.WriteFile(JsonPathFromArgs(argc, argv))) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main(int argc, char** argv) { return gaa::bench::Main(argc, argv); }

@@ -6,16 +6,27 @@ namespace gaa::http {
 
 namespace {
 
-/// Directory chain of "/a/b/c": "/", "/a", "/a/b".
+/// Directory chain of "/a/b/c": "/", "/a", "/a/b".  Duplicate slashes are
+/// collapsed first: "/a//b" walks the same chain as "/a/b", so a doubled
+/// slash can never skip an htaccess entry on the way down (the
+/// normalization gap the self-adaptive web IDS literature treats as
+/// attack surface).  A trailing slash names a directory, which is itself
+/// part of its own chain: "/docs/" walks "/", "/docs".
 std::vector<std::string> DirectoryChain(const std::string& path) {
   std::vector<std::string> chain;
   chain.push_back("/");
   if (path.empty() || path[0] != '/') return chain;
+  std::string normalized;
+  normalized.reserve(path.size());
+  for (char c : path) {
+    if (c == '/' && !normalized.empty() && normalized.back() == '/') continue;
+    normalized.push_back(c);
+  }
   std::size_t pos = 1;
-  while (pos < path.size()) {
-    std::size_t slash = path.find('/', pos);
+  while (pos < normalized.size()) {
+    std::size_t slash = normalized.find('/', pos);
     if (slash == std::string::npos) break;
-    chain.push_back(path.substr(0, slash));
+    chain.push_back(normalized.substr(0, slash));
     pos = slash + 1;
   }
   return chain;
@@ -40,23 +51,23 @@ void DocTree::SetHtaccess(const std::string& dir, std::string htaccess_text) {
   htaccess_[dir.empty() ? "/" : dir] = std::move(htaccess_text);
 }
 
-const Document* DocTree::FindDocument(const std::string& path) const {
+const Document* DocTree::FindDocument(std::string_view path) const {
   auto it = documents_.find(path);
   return it == documents_.end() ? nullptr : &it->second;
 }
 
-const CgiScript* DocTree::FindCgi(const std::string& path) const {
+const CgiScript* DocTree::FindCgi(std::string_view path) const {
   auto it = cgis_.find(path);
   return it == cgis_.end() ? nullptr : &it->second;
 }
 
 const StreamingCgiScript* DocTree::FindStreamingCgi(
-    const std::string& path) const {
+    std::string_view path) const {
   auto it = streaming_cgis_.find(path);
   return it == streaming_cgis_.end() ? nullptr : &it->second;
 }
 
-bool DocTree::Exists(const std::string& path) const {
+bool DocTree::Exists(std::string_view path) const {
   return documents_.count(path) > 0 || cgis_.count(path) > 0 ||
          streaming_cgis_.count(path) > 0;
 }

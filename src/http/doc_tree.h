@@ -15,6 +15,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace gaa::http {
@@ -49,6 +50,10 @@ using StreamingCgiScript =
 struct Document {
   std::string content;
   std::string content_type = "text/html";
+  /// Modification time (microseconds since the Unix epoch) — the source of
+  /// the `Last-Modified` validator and the `If-Modified-Since` comparison.
+  /// 0 (the epoch) for documents that never state one.
+  std::int64_t mtime_us = 0;
 };
 
 /// NOTE: not internally synchronized — populate the tree before serving;
@@ -61,10 +66,12 @@ class DocTree {
   /// Attach .htaccess text to a directory ("/", "/private", ...).
   void SetHtaccess(const std::string& dir, std::string htaccess_text);
 
-  const Document* FindDocument(const std::string& path) const;
-  const CgiScript* FindCgi(const std::string& path) const;
-  const StreamingCgiScript* FindStreamingCgi(const std::string& path) const;
-  bool Exists(const std::string& path) const;
+  /// Lookups take views so hot paths (the transport's inline admission
+  /// probe) never materialize a std::string key.
+  const Document* FindDocument(std::string_view path) const;
+  const CgiScript* FindCgi(std::string_view path) const;
+  const StreamingCgiScript* FindStreamingCgi(std::string_view path) const;
+  bool Exists(std::string_view path) const;
 
   /// Concatenated .htaccess texts along the directory chain of `path`
   /// (root first) — Apache consults every directory on the way down.
@@ -73,16 +80,22 @@ class DocTree {
   std::size_t document_count() const;
   std::size_t cgi_count() const;
 
+  /// All static documents, path-ordered — the static content plane builds
+  /// its response-template cache from this (DESIGN.md §11).
+  const std::map<std::string, Document, std::less<>>& documents() const {
+    return documents_;
+  }
+
   /// A ready-made site: /index.html, /docs/*, /private/* (auth-protected
   /// area), /cgi-bin/{phf,test-cgi,search,status} — the section-7 scenarios
   /// and benchmarks all run against this tree.
   static DocTree DemoSite();
 
  private:
-  std::map<std::string, Document> documents_;
-  std::map<std::string, CgiScript> cgis_;
-  std::map<std::string, StreamingCgiScript> streaming_cgis_;
-  std::map<std::string, std::string> htaccess_;
+  std::map<std::string, Document, std::less<>> documents_;
+  std::map<std::string, CgiScript, std::less<>> cgis_;
+  std::map<std::string, StreamingCgiScript, std::less<>> streaming_cgis_;
+  std::map<std::string, std::string, std::less<>> htaccess_;
 };
 
 }  // namespace gaa::http

@@ -1,5 +1,7 @@
 #include "http/response.h"
 
+#include "util/strings.h"
+
 namespace gaa::http {
 
 const char* StatusReason(StatusCode code) {
@@ -8,6 +10,8 @@ const char* StatusReason(StatusCode code) {
       return "OK";
     case StatusCode::kFound:
       return "Found";
+    case StatusCode::kNotModified:
+      return "Not Modified";
     case StatusCode::kBadRequest:
       return "Bad Request";
     case StatusCode::kUnauthorized:
@@ -33,13 +37,27 @@ const char* StatusReason(StatusCode code) {
 std::string HttpResponse::SerializeHead() const {
   std::string out = "HTTP/1.1 " + std::to_string(static_cast<int>(status)) +
                     " " + StatusReason(status) + "\r\n";
+  // Case-insensitive: a handler setting "content-length" must not make
+  // us emit a second, conflicting length header (request-smuggling-
+  // adjacent framing ambiguity — the class the transport rejects inbound).
   bool has_length = false;
   for (const auto& [k, v] : headers) {
-    out += k + ": " + v + "\r\n";
-    if (k == "Content-Length") has_length = true;
+    if (util::EqualsIgnoreCase(k, "Content-Length")) has_length = true;
   }
-  if (!has_length) {
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  // The auto length is emitted exactly where an explicit Content-Length map
+  // entry would sort, so a response that states its length (HEAD, 304) and
+  // one that lets us compute it serialize byte-identically.
+  constexpr std::string_view kLengthKey = "Content-Length";
+  bool emitted_length = has_length;
+  for (const auto& [k, v] : headers) {
+    if (!emitted_length && kLengthKey < k) {
+      out += "Content-Length: " + std::to_string(BodySize()) + "\r\n";
+      emitted_length = true;
+    }
+    out += k + ": " + v + "\r\n";
+  }
+  if (!emitted_length) {
+    out += "Content-Length: " + std::to_string(BodySize()) + "\r\n";
   }
   out += "\r\n";
   return out;
@@ -47,7 +65,7 @@ std::string HttpResponse::SerializeHead() const {
 
 std::string HttpResponse::Serialize() const {
   std::string out = SerializeHead();
-  out += body;
+  out += BodyView();
   return out;
 }
 

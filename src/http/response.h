@@ -5,12 +5,14 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace gaa::http {
 
 enum class StatusCode {
   kOk = 200,
   kFound = 302,             ///< HTTP_REDIRECT
+  kNotModified = 304,       ///< conditional GET: validators still match
   kBadRequest = 400,
   kUnauthorized = 401,      ///< HTTP_AUTHREQUIRED
   kForbidden = 403,         ///< HTTP_DECLINED (request rejected)
@@ -28,13 +30,31 @@ struct HttpResponse {
   StatusCode status = StatusCode::kOk;
   std::map<std::string, std::string> headers;
   std::string body;
+  /// Zero-copy body: a view into storage that outlives the response (a
+  /// DocTree document, a static-plane template).  When set, `body` stays
+  /// empty and the transport sends the view as its own iovec without ever
+  /// copying the bytes.  Exactly one of body / body_view carries content.
+  std::string_view body_view;
+
+  /// The represented body, wherever it lives.
+  std::string_view BodyView() const {
+    return body_view.empty() ? std::string_view(body) : body_view;
+  }
+  std::size_t BodySize() const {
+    return body_view.empty() ? body.size() : body_view.size();
+  }
+  /// Drop the body while keeping the head intact (HEAD responses).
+  void ClearBody() {
+    body.clear();
+    body_view = {};
+  }
 
   /// Full response text ("HTTP/1.1 200 OK\r\n...").
   std::string Serialize() const;
 
   /// Status line + headers + blank line, without the body.  The transport
   /// sends SerializeHead() and the body as separate iovecs (gathered
-  /// write); Serialize() == SerializeHead() + body byte-for-byte.
+  /// write); Serialize() == SerializeHead() + BodyView() byte-for-byte.
   std::string SerializeHead() const;
 
   static HttpResponse Make(StatusCode status, std::string body = {});

@@ -1,6 +1,9 @@
 #include "http/server.h"
 
+#include <cstring>
+
 #include "telemetry/exposition.h"
+#include "util/strings.h"
 
 namespace gaa::http {
 
@@ -37,6 +40,10 @@ WebServer::WebServer(const DocTree* tree, AccessController* controller,
       options_(std::move(options)),
       owned_telemetry_(std::make_unique<telemetry::Telemetry>()),
       telemetry_(nullptr) {
+  if (options_.enable_static_plane && tree_ != nullptr) {
+    plane_ =
+        std::make_unique<StaticContentPlane>(tree_, options_.server_name);
+  }
   set_telemetry(owned_telemetry_.get());
 }
 
@@ -50,9 +57,12 @@ void WebServer::set_telemetry(telemetry::Telemetry* telemetry) {
     requests_total_ = telemetry_->registry().GetCounter("http_requests_total");
     latency_hist_ =
         telemetry_->registry().GetHistogram("http_request_latency_us");
+    not_modified_total_ =
+        telemetry_->registry().GetCounter("http_not_modified_total");
   } else {
     requests_total_ = nullptr;
     latency_hist_ = nullptr;
+    not_modified_total_ = nullptr;
   }
 }
 
@@ -101,7 +111,7 @@ HttpResponse WebServer::HandleText(
       t->method = "?";
       t->target = parsed.detail;
     }
-    LogAccess(pseudo, code, response.body.size());
+    response = FinalizeResponse(pseudo, std::move(response));
     FinishRequest(sw, static_cast<int>(code), std::move(trace));
     return response;
   }
@@ -139,35 +149,103 @@ HttpResponse WebServer::Handle(RequestRec rec) {
   return response;
 }
 
-bool WebServer::InlineFastPathEligible(std::string_view method,
-                                       std::string_view target,
-                                       std::size_t max_response_bytes,
-                                       util::Ipv4Address client_ip) const {
-  if (tree_ == nullptr || controller_ == nullptr) return false;
-  if (method != "GET") return false;
+namespace {
+
+/// Plain static-document targets only: any character the URL decoder or
+/// query splitter would transform makes the probe path diverge from the
+/// parsed path, and declining admission is always safe.
+bool PlainStaticTarget(std::string_view target, std::size_t max_bytes) {
   if (target.empty() || target[0] != '/') return false;
-  if (target.size() > options_.parse_limits.max_target_bytes) return false;
-  // Only plain targets: any character the URL decoder or query splitter
-  // would transform makes the probe path diverge from the parsed path, and
-  // declining admission is always safe.
+  if (target.size() > max_bytes) return false;
   for (char c : target) {
     if (c == '%' || c == '?' || c == '#' || c <= ' ' ||
         static_cast<unsigned char>(c) >= 0x7f) {
       return false;
     }
   }
-  if (target.find("..") != std::string_view::npos) return false;
-  std::string path(target);
+  return target.find("..") == std::string_view::npos;
+}
+
+}  // namespace
+
+bool WebServer::InlineFastPathEligible(std::string_view method,
+                                       std::string_view target,
+                                       std::size_t max_response_bytes,
+                                       util::Ipv4Address client_ip) const {
+  if (tree_ == nullptr || controller_ == nullptr) return false;
+  if (method != "GET" && method != "HEAD") return false;
+  if (!PlainStaticTarget(target, options_.parse_limits.max_target_bytes)) {
+    return false;
+  }
   if (!options_.status_path.empty() &&
-      path.compare(0, options_.status_path.size(), options_.status_path) ==
-          0) {
+      util::StartsWith(target, options_.status_path)) {
     return false;  // admin endpoint renders dynamic content
   }
-  const Document* doc = tree_->FindDocument(path);
+  const Document* doc = tree_->FindDocument(target);
   if (doc == nullptr || doc->content.size() > max_response_bytes) {
     return false;  // missing or over the inline byte budget
   }
-  return controller_->DecisionIsMemoized(path, "GET", client_ip);
+  return controller_->DecisionIsMemoized(target, method, client_ip);
+}
+
+bool WebServer::TryServeStaticFast(std::string_view method,
+                                   std::string_view target,
+                                   std::string_view if_none_match,
+                                   std::string_view if_modified_since,
+                                   util::Ipv4Address client_ip,
+                                   bool keep_alive,
+                                   std::size_t max_response_bytes,
+                                   StaticFastResponse* out) {
+  if (plane_ == nullptr || controller_ == nullptr) return false;
+  if (method != "GET" && method != "HEAD") return false;
+  if (!controller_->AllowsUnchecked()) return false;
+  // A traced request must travel the pipeline so its spans exist; the
+  // inline-pipeline tier still keeps it off the worker queue.
+  if (telemetry_ != nullptr && telemetry_->tracing_enabled()) return false;
+  if (!PlainStaticTarget(target, options_.parse_limits.max_target_bytes)) {
+    return false;
+  }
+  if (!options_.status_path.empty() &&
+      util::StartsWith(target, options_.status_path)) {
+    return false;
+  }
+  const StaticContentPlane::Entry* entry = plane_->Find(target);
+  if (entry == nullptr || entry->body.size() > max_response_bytes) {
+    return false;
+  }
+
+  util::Stopwatch sw;
+  const bool not_modified =
+      NotModified(if_none_match, if_modified_since, *entry);
+  const StaticContentPlane::Entry::Head& head =
+      not_modified ? entry->head304[keep_alive ? 1 : 0]
+                   : entry->head200[keep_alive ? 1 : 0];
+  out->head_pre = head.pre;
+  out->head_post = head.post;
+  out->body = (not_modified || method == "HEAD") ? std::string_view()
+                                                 : entry->body;
+  out->status = not_modified
+                    ? static_cast<int>(StatusCode::kNotModified)
+                    : static_cast<int>(StatusCode::kOk);
+  date_cache_.Line(clock_ != nullptr ? clock_->Now() : 0, out->date_line);
+
+  // Accounting identical to the pipeline's: served count, request/304
+  // counters, latency histogram, represented-length access log entry.
+  requests_served_.fetch_add(1);
+  if (requests_total_ != nullptr) requests_total_->Inc();
+  if (not_modified && not_modified_total_ != nullptr) {
+    not_modified_total_->Inc();
+  }
+  if (telemetry::Counter* counter = StatusCounterFor(out->status)) {
+    counter->Inc();
+  }
+  const std::uint64_t represented = not_modified ? 0 : entry->body.size();
+  AppendAccessLog(method, target, /*user=*/{}, client_ip, out->status,
+                  represented, /*trace_id=*/0);
+  if (latency_hist_ != nullptr) {
+    latency_hist_->Record(static_cast<std::uint64_t>(sw.ElapsedUs()));
+  }
+  return true;
 }
 
 HttpResponse WebServer::DoHandle(RequestRec& rec) {
@@ -176,8 +254,7 @@ HttpResponse WebServer::DoHandle(RequestRec& rec) {
   AccessController::Verdict verdict = controller_->Check(rec);
   check_span.End();
   if (verdict.respond) {
-    LogAccess(rec, verdict.response.status, verdict.response.body.size());
-    return verdict.response;
+    return FinalizeResponse(rec, std::move(verdict.response));
   }
 
   // --- admin/status endpoint ------------------------------------------------
@@ -199,10 +276,38 @@ HttpResponse WebServer::DoHandle(RequestRec& rec) {
   telemetry::ScopedSpan handler_span(rec.trace, "handler");
 
   if (const Document* doc = tree_->FindDocument(rec.path)) {
-    response.status = StatusCode::kOk;
-    response.body = doc->content;
-    response.headers["Content-Type"] = doc->content_type;
-    obs.bytes_written = doc->content.size();
+    const StaticContentPlane::Entry* entry =
+        plane_ != nullptr ? plane_->Find(rec.path) : nullptr;
+    bool not_modified = false;
+    if (entry != nullptr) {
+      response.headers["ETag"] = entry->etag;
+      response.headers["Last-Modified"] = entry->last_modified;
+      const std::string* inm = rec.Header("if-none-match");
+      const std::string* ims = rec.Header("if-modified-since");
+      not_modified = (inm != nullptr || ims != nullptr) &&
+                     NotModified(inm != nullptr ? *inm : std::string_view(),
+                                 ims != nullptr ? *ims : std::string_view(),
+                                 *entry);
+    }
+    if (not_modified) {
+      // Validators matched: header-only 304, explicitly zero-length so
+      // keep-alive framing stays unambiguous.  No Content-Type — the
+      // response carries no representation.
+      response.status = StatusCode::kNotModified;
+      response.headers["Content-Length"] = "0";
+      obs.bytes_written = 0;
+    } else {
+      response.status = StatusCode::kOk;
+      // Zero-copy: the body is a view into the DocTree's stable storage
+      // (templated documents) — only untemplated trees still copy.
+      if (entry != nullptr) {
+        response.body_view = entry->body;
+      } else {
+        response.body = doc->content;
+      }
+      response.headers["Content-Type"] = doc->content_type;
+      obs.bytes_written = doc->content.size();
+    }
     obs.cpu_seconds = 1e-5;
     obs.wall_us = 10;
     if (!controller_->OnExecution(rec, obs)) {
@@ -272,13 +377,7 @@ HttpResponse WebServer::DoHandle(RequestRec& rec) {
   controller_->OnComplete(rec, obs, success);
 
   telemetry::ScopedSpan respond_span(rec.trace, "respond");
-  if (rec.method == "HEAD" && response.status == StatusCode::kOk) {
-    response.headers["Content-Length"] = std::to_string(response.body.size());
-    response.body.clear();
-  }
-  response.headers["Server"] = options_.server_name;
-  LogAccess(rec, response.status, response.body.size());
-  return response;
+  return FinalizeResponse(rec, std::move(response));
 }
 
 HttpResponse WebServer::ServeStatus(RequestRec& rec) {
@@ -321,9 +420,35 @@ HttpResponse WebServer::ServeStatus(RequestRec& rec) {
   controller_->OnComplete(rec, obs, success);
 
   telemetry::ScopedSpan respond_span(rec.trace, "respond");
+  return FinalizeResponse(rec, std::move(response));
+}
+
+HttpResponse WebServer::FinalizeResponse(RequestRec& rec,
+                                         HttpResponse response) {
+  if (response.status == StatusCode::kNotModified &&
+      not_modified_total_ != nullptr) {
+    not_modified_total_->Inc();
+  }
   response.headers["Server"] = options_.server_name;
-  LogAccess(rec, response.status, response.body.size());
+  SetDateHeader(&response);
+  // The represented length is what Content-Length promises — for HEAD the
+  // body is stripped (every status, not just 200) but the length, and the
+  // access-log byte count, still describe the entity.
+  const std::uint64_t represented = response.BodySize();
+  if (rec.method == "HEAD") {
+    response.headers["Content-Length"] = std::to_string(represented);
+    response.ClearBody();
+  }
+  LogAccess(rec, response.status, represented);
   return response;
+}
+
+void WebServer::SetDateHeader(HttpResponse* response) {
+  char line[HttpDateCache::kLineBytes];
+  date_cache_.Line(clock_ != nullptr ? clock_->Now() : 0, line);
+  // Value only — SerializeHead adds the "Date: " name and CRLF back, so
+  // the wire bytes equal the template path's cached line.
+  response->headers["Date"].assign(line + 6, kHttpDateBytes);
 }
 
 void WebServer::FinishRequest(const util::Stopwatch& sw, int status,
@@ -339,36 +464,57 @@ void WebServer::FinishRequest(const util::Stopwatch& sw, int status,
   }
 }
 
+telemetry::Counter* WebServer::StatusCounterFor(int code) {
+  if (telemetry_ == nullptr) return nullptr;
+  telemetry::Counter* counter =
+      code >= 0 && code < kMaxStatusCode
+          ? status_counters_[code].load(std::memory_order_relaxed)
+          : nullptr;
+  if (counter == nullptr) {
+    counter = telemetry_->registry().GetCounter(
+        "http_responses_total", "code=\"" + std::to_string(code) + "\"");
+    if (code >= 0 && code < kMaxStatusCode) {
+      status_counters_[code].store(counter, std::memory_order_relaxed);
+    }
+  }
+  return counter;
+}
+
 void WebServer::LogAccess(const RequestRec& rec, StatusCode status,
                           std::uint64_t bytes) {
-  if (telemetry_ != nullptr) {
-    const int code = static_cast<int>(status);
-    telemetry::Counter* counter =
-        code >= 0 && code < kMaxStatusCode
-            ? status_counters_[code].load(std::memory_order_relaxed)
-            : nullptr;
-    if (counter == nullptr) {
-      counter = telemetry_->registry().GetCounter(
-          "http_responses_total", "code=\"" + std::to_string(code) + "\"");
-      if (code >= 0 && code < kMaxStatusCode) {
-        status_counters_[code].store(counter, std::memory_order_relaxed);
-      }
-    }
+  if (telemetry::Counter* counter =
+          StatusCounterFor(static_cast<int>(status))) {
     counter->Inc();
   }
-  AccessLogEntry entry;
-  entry.time_us = clock_ != nullptr ? clock_->Now() : 0;
-  entry.client_ip = rec.client_ip.ToString();
-  entry.user = rec.auth_user.empty() ? "-" : rec.auth_user;
-  entry.request_line = rec.method + " " + rec.raw_target;
-  entry.status = static_cast<int>(status);
-  entry.bytes = bytes;
-  entry.trace_id = rec.trace != nullptr ? rec.trace->id() : 0;
+  AppendAccessLog(rec.method, rec.raw_target, rec.auth_user, rec.client_ip,
+                  static_cast<int>(status), bytes,
+                  rec.trace != nullptr ? rec.trace->id() : 0);
+}
+
+void WebServer::AppendAccessLog(std::string_view method,
+                                std::string_view target,
+                                std::string_view user, util::Ipv4Address ip,
+                                int status, std::uint64_t bytes,
+                                std::uint64_t trace_id) {
+  const std::size_t limit = options_.access_log_limit;
+  if (limit == 0) return;
   std::lock_guard<std::mutex> lock(log_mu_);
-  access_log_.push_back(std::move(entry));
-  while (access_log_.size() > options_.access_log_limit) {
-    access_log_.pop_front();
+  if (log_count_ < limit && log_next_ == log_ring_.size()) {
+    log_ring_.emplace_back();  // still growing toward the limit
   }
+  AccessLogEntry& entry = log_ring_[log_next_];
+  log_next_ = (log_next_ + 1) % limit;
+  if (log_count_ < limit) ++log_count_;
+  entry.time_us = clock_ != nullptr ? clock_->Now() : 0;
+  entry.client_ip = ip.ToString();  // <= 15 chars: always in-situ
+  entry.user.assign(user.empty() ? std::string_view("-") : user);
+  entry.request_line.clear();  // keeps capacity: steady state reuses it
+  entry.request_line.append(method);
+  entry.request_line.push_back(' ');
+  entry.request_line.append(target);
+  entry.status = status;
+  entry.bytes = bytes;
+  entry.trace_id = trace_id;
 }
 
 std::map<int, std::uint64_t> WebServer::StatusCounts() const {
@@ -391,13 +537,24 @@ std::map<int, std::uint64_t> WebServer::StatusCounts() const {
 
 std::vector<AccessLogEntry> WebServer::AccessLog() const {
   std::lock_guard<std::mutex> lock(log_mu_);
-  return std::vector<AccessLogEntry>(access_log_.begin(), access_log_.end());
+  std::vector<AccessLogEntry> out;
+  out.reserve(log_count_);
+  const std::size_t limit = options_.access_log_limit;
+  const std::size_t start =
+      limit == 0 ? 0 : (log_next_ + limit - log_count_) % limit;
+  for (std::size_t i = 0; i < log_count_; ++i) {
+    out.push_back(log_ring_[(start + i) % limit]);
+  }
+  return out;
 }
 
 void WebServer::ClearLogs() {
   {
+    // Reset the indices but keep the slots — their string capacities are
+    // the reason steady-state appends stay off the heap.
     std::lock_guard<std::mutex> lock(log_mu_);
-    access_log_.clear();
+    log_next_ = 0;
+    log_count_ = 0;
   }
   if (telemetry_ != nullptr) {
     for (const auto& e : telemetry_->registry().List()) {

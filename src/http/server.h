@@ -20,12 +20,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "http/doc_tree.h"
@@ -33,6 +33,7 @@
 #include "http/htpasswd.h"
 #include "http/request.h"
 #include "http/response.h"
+#include "http/static_plane.h"
 #include "telemetry/telemetry.h"
 #include "util/clock.h"
 
@@ -90,17 +91,29 @@ class AccessController {
   /// memoized pure terminal YES/NO — no fresh condition evaluation, no
   /// side effects?  Must be cheap, thread-safe and free of side effects
   /// (it runs on the transport's event-loop thread, possibly for requests
-  /// that are then served on the ordinary worker path anyway).  The
-  /// default says no, which disables the fast path for controllers that
-  /// cannot prove it safe.
-  virtual bool DecisionIsMemoized(const std::string& path,
-                                  const std::string& method,
+  /// that are then served on the ordinary worker path anyway).  Takes
+  /// views so the event loop never materializes key strings.  The default
+  /// says no, which disables the fast path for controllers that cannot
+  /// prove it safe.
+  virtual bool DecisionIsMemoized(std::string_view path,
+                                  std::string_view method,
                                   util::Ipv4Address client_ip) const {
     (void)path;
     (void)method;
     (void)client_ip;
     return false;
   }
+
+  /// Stronger than DecisionIsMemoized: true only when every request this
+  /// controller could ever see is allowed unconditionally AND skipping
+  /// Check()/OnExecution()/OnComplete() entirely is unobservable — no
+  /// attribution counters, no audit records, no in-flight tracking.  Only
+  /// then may the transport answer from the static content plane's
+  /// pre-serialized templates without running the pipeline at all
+  /// (DESIGN.md §11).  A memoized GAA YES does NOT qualify: its Check()
+  /// still bumps per-entry attribution, so it takes the inline-pipeline
+  /// tier instead.
+  virtual bool AllowsUnchecked() const { return false; }
 };
 
 /// Baseline controller: stock Apache .htaccess semantics over the DocTree's
@@ -124,10 +137,14 @@ class AllowAllController final : public AccessController {
 
   /// Allow-all is trivially memoized: the answer is a constant YES with no
   /// conditions, so the transport may always take the inline fast path.
-  bool DecisionIsMemoized(const std::string&, const std::string&,
+  bool DecisionIsMemoized(std::string_view, std::string_view,
                           util::Ipv4Address) const override {
     return true;
   }
+
+  /// Check() is a constant YES and the phase callbacks are no-ops, so
+  /// skipping them is unobservable — the template fast path is safe.
+  bool AllowsUnchecked() const override { return true; }
 };
 
 struct AccessLogEntry {
@@ -155,6 +172,11 @@ class WebServer {
     /// access-control phase, so any policy that can protect a document can
     /// protect it.  Empty disables the endpoint.
     std::string status_path = "/__status";
+    /// Build the static content plane (DESIGN.md §11): per-document
+    /// pre-serialized 200/304 header templates, ETag and Last-Modified
+    /// validators, and conditional-GET handling.  Off restores the PR-5
+    /// wire behaviour (no validators, never 304) — the benchmark baseline.
+    bool enable_static_plane = true;
   };
 
   WebServer(const DocTree* tree, AccessController* controller,
@@ -188,6 +210,42 @@ class WebServer {
   bool InlineFastPathEligible(std::string_view method, std::string_view target,
                               std::size_t max_response_bytes,
                               util::Ipv4Address client_ip) const;
+
+  /// One template-served static response: three stable views (the
+  /// pre-serialized head split around the Date line, and the document body
+  /// straight out of the DocTree) plus the per-request Date line rendered
+  /// into a caller-owned buffer.  The wire bytes are
+  /// head_pre + date_line + head_post + body.
+  struct StaticFastResponse {
+    std::string_view head_pre;   ///< status line + headers before Date
+    std::string_view head_post;  ///< headers after Date + blank line
+    std::string_view body;       ///< empty for HEAD and 304
+    char date_line[HttpDateCache::kLineBytes];
+    int status = 200;
+  };
+
+  /// The transport's zero-allocation tier (DESIGN.md §11): serve `method`
+  /// (GET or HEAD) for `target` straight from the static content plane's
+  /// templates, skipping the pipeline.  Admitted only when the controller
+  /// AllowsUnchecked() (so skipping Check/OnExecution/OnComplete is
+  /// unobservable), the target is plain and maps to a templated document
+  /// within `max_response_bytes`, and tracing is off (a traced request
+  /// must travel the pipeline so its spans exist).  Evaluates
+  /// If-None-Match / If-Modified-Since against the entry's validators and
+  /// answers 304 when they match.  Performs all request accounting
+  /// (requests_served, counters, latency, access log) itself; the caller
+  /// only writes the views.  Returns false to fall back; allocation-free
+  /// either way once caches are warm.
+  bool TryServeStaticFast(std::string_view method, std::string_view target,
+                          std::string_view if_none_match,
+                          std::string_view if_modified_since,
+                          util::Ipv4Address client_ip, bool keep_alive,
+                          std::size_t max_response_bytes,
+                          StaticFastResponse* out);
+
+  /// The response-template cache (null when Options::enable_static_plane
+  /// is false or the server has no document tree).
+  const StaticContentPlane* static_plane() const { return plane_.get(); }
 
   /// Invoked when parsing diagnoses a hostile/malformed request — the
   /// integration layer forwards this to the IDS (§3 item 1).
@@ -232,18 +290,41 @@ class WebServer {
   /// trace completion.
   void FinishRequest(const util::Stopwatch& sw, int status,
                      std::unique_ptr<telemetry::RequestTrace> trace);
+  /// Common response tail for every pipeline exit: bump the 304 counter,
+  /// stamp Server and the cached Date header, strip the body of EVERY
+  /// HEAD response (any status) while preserving its Content-Length, and
+  /// write the access-log entry with the *represented* entity length (what
+  /// Content-Length promises, not the bytes placed on the wire).
+  HttpResponse FinalizeResponse(RequestRec& rec, HttpResponse response);
+  void SetDateHeader(HttpResponse* response);
   void LogAccess(const RequestRec& rec, StatusCode status, std::uint64_t bytes);
+  /// RequestRec-free access logging (shared with the template fast path);
+  /// reuses ring-slot string capacity, so steady-state appends never touch
+  /// the heap.
+  void AppendAccessLog(std::string_view method, std::string_view target,
+                       std::string_view user, util::Ipv4Address ip, int status,
+                       std::uint64_t bytes, std::uint64_t trace_id);
+  /// Cached `http_responses_total{code=...}` handle (null when telemetry
+  /// is detached).
+  telemetry::Counter* StatusCounterFor(int code);
 
   const DocTree* tree_;
   AccessController* controller_;
   util::Clock* clock_;
   Options options_;
   MalformedHook malformed_hook_;
+  /// Response-template cache over tree_ (DESIGN.md §11); null when
+  /// disabled.  Immutable after construction, safe from every thread.
+  std::unique_ptr<StaticContentPlane> plane_;
+  /// Once-per-second Date line shared by the worker path and every shard's
+  /// fast path.
+  HttpDateCache date_cache_;
 
   std::unique_ptr<telemetry::Telemetry> owned_telemetry_;
   telemetry::Telemetry* telemetry_;  ///< null = instrumentation disabled
   telemetry::Counter* requests_total_ = nullptr;   ///< cached handle
   telemetry::Histogram* latency_hist_ = nullptr;   ///< cached handle
+  telemetry::Counter* not_modified_total_ = nullptr;  ///< cached handle
   /// Lazily resolved `http_responses_total{code=...}` handles indexed by
   /// status code, so LogAccess does not rebuild the label string and
   /// re-hash the registry key on every request.
@@ -253,7 +334,13 @@ class WebServer {
 
   std::atomic<std::uint64_t> requests_served_{0};
   mutable std::mutex log_mu_;
-  std::deque<AccessLogEntry> access_log_;
+  /// Bounded access log as a slot ring: slots grow lazily up to
+  /// access_log_limit and are then overwritten in place, reusing each
+  /// entry's string capacity — the append path stops allocating once the
+  /// ring has seen a request shaped like the current one.
+  std::vector<AccessLogEntry> log_ring_;
+  std::size_t log_next_ = 0;   ///< next slot to (over)write
+  std::size_t log_count_ = 0;  ///< live entries (<= access_log_limit)
 };
 
 }  // namespace gaa::http

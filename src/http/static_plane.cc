@@ -1,0 +1,266 @@
+#include "http/static_plane.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "http/response.h"
+#include "util/strings.h"
+
+namespace gaa::http {
+
+namespace {
+
+constexpr const char* kDayNames[] = {"Sun", "Mon", "Tue", "Wed",
+                                     "Thu", "Fri", "Sat"};
+constexpr const char* kMonthNames[] = {"Jan", "Feb", "Mar", "Apr",
+                                       "May", "Jun", "Jul", "Aug",
+                                       "Sep", "Oct", "Nov", "Dec"};
+
+/// Days since 1970-01-01 -> {year, month 1-12, day 1-31} (Howard Hinnant's
+/// civil_from_days, public-domain algorithm).
+void CivilFromDays(std::int64_t z, int* y_out, unsigned* m_out,
+                   unsigned* d_out) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  *y_out = static_cast<int>(y + (m <= 2));
+  *m_out = m;
+  *d_out = d;
+}
+
+/// {year, month 1-12, day 1-31} -> days since 1970-01-01 (days_from_civil).
+std::int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void Put2(char* out, unsigned v) {
+  out[0] = static_cast<char>('0' + v / 10);
+  out[1] = static_cast<char>('0' + v % 10);
+}
+
+std::optional<int> MonthIndex(std::string_view name) {
+  for (int i = 0; i < 12; ++i) {
+    if (name == kMonthNames[i]) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> ParseDigits(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  unsigned v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<unsigned>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::size_t FormatHttpDate(std::int64_t epoch_seconds, char* out) {
+  std::int64_t days = epoch_seconds / 86400;
+  std::int64_t sod = epoch_seconds % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    --days;
+  }
+  int year;
+  unsigned month, day;
+  CivilFromDays(days, &year, &month, &day);
+  // 1970-01-01 was a Thursday (index 4).
+  const unsigned weekday =
+      static_cast<unsigned>(((days % 7) + 7 + 4) % 7);
+  // "Sun, 06 Nov 1994 08:49:37 GMT"
+  std::memcpy(out, kDayNames[weekday], 3);
+  out[3] = ',';
+  out[4] = ' ';
+  Put2(out + 5, day);
+  out[7] = ' ';
+  std::memcpy(out + 8, kMonthNames[month - 1], 3);
+  out[11] = ' ';
+  unsigned y = static_cast<unsigned>(year);
+  out[12] = static_cast<char>('0' + (y / 1000) % 10);
+  out[13] = static_cast<char>('0' + (y / 100) % 10);
+  out[14] = static_cast<char>('0' + (y / 10) % 10);
+  out[15] = static_cast<char>('0' + y % 10);
+  out[16] = ' ';
+  Put2(out + 17, static_cast<unsigned>(sod / 3600));
+  out[19] = ':';
+  Put2(out + 20, static_cast<unsigned>((sod / 60) % 60));
+  out[22] = ':';
+  Put2(out + 23, static_cast<unsigned>(sod % 60));
+  std::memcpy(out + 25, " GMT", 4);
+  return kHttpDateBytes;
+}
+
+std::string FormatHttpDate(std::int64_t epoch_seconds) {
+  char buf[kHttpDateBytes];
+  FormatHttpDate(epoch_seconds, buf);
+  return std::string(buf, kHttpDateBytes);
+}
+
+std::optional<std::int64_t> ParseHttpDate(std::string_view text) {
+  // "Sun, 06 Nov 1994 08:49:37 GMT" — fixed-width IMF-fixdate only.
+  text = util::Trim(text);
+  if (text.size() != kHttpDateBytes) return std::nullopt;
+  if (text[3] != ',' || text[4] != ' ' || text[7] != ' ' || text[11] != ' ' ||
+      text[16] != ' ' || text[19] != ':' || text[22] != ':' ||
+      text.substr(25) != " GMT") {
+    return std::nullopt;
+  }
+  auto day = ParseDigits(text.substr(5, 2));
+  auto month = MonthIndex(text.substr(8, 3));
+  auto year = ParseDigits(text.substr(12, 4));
+  auto hour = ParseDigits(text.substr(17, 2));
+  auto minute = ParseDigits(text.substr(20, 2));
+  auto second = ParseDigits(text.substr(23, 2));
+  if (!day || !month || !year || !hour || !minute || !second) {
+    return std::nullopt;
+  }
+  if (*day < 1 || *day > 31 || *hour > 23 || *minute > 59 || *second > 60) {
+    return std::nullopt;
+  }
+  std::int64_t days =
+      DaysFromCivil(static_cast<int>(*year), static_cast<unsigned>(*month + 1),
+                    *day);
+  return days * 86400 + static_cast<std::int64_t>(*hour) * 3600 +
+         static_cast<std::int64_t>(*minute) * 60 +
+         static_cast<std::int64_t>(*second);
+}
+
+std::size_t HttpDateCache::Line(util::TimePoint now_us, char* out) {
+  const std::int64_t sec = now_us / util::kMicrosPerSecond;
+  std::shared_ptr<const Rendered> cur =
+      current_.load(std::memory_order_acquire);
+  if (cur == nullptr || cur->sec != sec) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    cur = current_.load(std::memory_order_acquire);
+    if (cur == nullptr || cur->sec != sec) {
+      auto fresh = std::make_shared<Rendered>();
+      fresh->sec = sec;
+      std::memcpy(fresh->text, "Date: ", 6);
+      FormatHttpDate(sec, fresh->text + 6);
+      fresh->text[kLineBytes - 2] = '\r';
+      fresh->text[kLineBytes - 1] = '\n';
+      current_.store(fresh, std::memory_order_release);
+      cur = std::move(fresh);
+    }
+  }
+  std::memcpy(out, cur->text, kLineBytes);
+  return kLineBytes;
+}
+
+std::string ComputeEtag(std::string_view content) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (unsigned char c : content) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[48];
+  int n = std::snprintf(buf, sizeof(buf), "\"%016llx-%zx\"",
+                        static_cast<unsigned long long>(h), content.size());
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+namespace {
+
+/// Split `head` (a full SerializeHead() rendering that contains a marker
+/// Date value) into the bytes before and after the Date line.
+StaticContentPlane::Entry::Head SplitAtDate(const std::string& head,
+                                            const std::string& marker) {
+  StaticContentPlane::Entry::Head out;
+  const std::string line = "Date: " + marker + "\r\n";
+  std::size_t pos = head.find(line);
+  if (pos == std::string::npos) {  // unreachable: we put the marker there
+    out.pre = head;
+    return out;
+  }
+  out.pre = head.substr(0, pos);
+  out.post = head.substr(pos + line.size());
+  return out;
+}
+
+}  // namespace
+
+StaticContentPlane::StaticContentPlane(const DocTree* tree,
+                                       const std::string& server_name) {
+  if (tree == nullptr) return;
+  // The marker must never collide with a real date rendering; it is
+  // replaced by the cached Date line at serve time.
+  const std::string marker = "@DATE@";
+  for (const auto& [path, doc] : tree->documents()) {
+    Entry entry;
+    entry.body = doc.content;
+    entry.content_type = doc.content_type;
+    entry.etag = ComputeEtag(doc.content);
+    entry.mtime_s = doc.mtime_us / util::kMicrosPerSecond;
+    entry.last_modified = FormatHttpDate(entry.mtime_s);
+
+    for (int keep = 0; keep < 2; ++keep) {
+      const char* connection = keep != 0 ? "keep-alive" : "close";
+      // Build the exact HttpResponse the dynamic path produces, so the
+      // template stays byte-identical with the worker path by construction
+      // (one serializer, not two).
+      HttpResponse ok;
+      ok.status = StatusCode::kOk;
+      ok.body_view = entry.body;
+      ok.headers["Content-Type"] = entry.content_type;
+      ok.headers["ETag"] = entry.etag;
+      ok.headers["Last-Modified"] = entry.last_modified;
+      ok.headers["Server"] = server_name;
+      ok.headers["Connection"] = connection;
+      ok.headers["Date"] = marker;
+      entry.head200[keep] = SplitAtDate(ok.SerializeHead(), marker);
+
+      HttpResponse not_modified;
+      not_modified.status = StatusCode::kNotModified;
+      not_modified.headers["Content-Length"] = "0";  // header-only framing
+      not_modified.headers["ETag"] = entry.etag;
+      not_modified.headers["Last-Modified"] = entry.last_modified;
+      not_modified.headers["Server"] = server_name;
+      not_modified.headers["Connection"] = connection;
+      not_modified.headers["Date"] = marker;
+      entry.head304[keep] = SplitAtDate(not_modified.SerializeHead(), marker);
+    }
+    entries_.emplace(path, std::move(entry));
+  }
+}
+
+bool NotModified(std::string_view if_none_match,
+                 std::string_view if_modified_since,
+                 const StaticContentPlane::Entry& entry) {
+  if_none_match = util::Trim(if_none_match);
+  if (!if_none_match.empty()) {
+    if (if_none_match == "*") return true;
+    // Comma-separated entity-tag list; weak prefixes compare by opaque tag
+    // (If-None-Match uses the weak comparison, RFC 7232 §3.2).
+    std::string_view rest = if_none_match;
+    while (!rest.empty()) {
+      std::size_t comma = rest.find(',');
+      std::string_view tag = util::Trim(
+          comma == std::string_view::npos ? rest : rest.substr(0, comma));
+      rest = comma == std::string_view::npos ? std::string_view()
+                                             : rest.substr(comma + 1);
+      if (util::StartsWith(tag, "W/")) tag.remove_prefix(2);
+      if (tag == entry.etag) return true;
+    }
+    return false;  // INM present and nothing matched: IMS is ignored
+  }
+  if (auto since = ParseHttpDate(if_modified_since)) {
+    return entry.mtime_s <= *since;
+  }
+  return false;
+}
+
+}  // namespace gaa::http

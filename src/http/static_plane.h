@@ -1,0 +1,124 @@
+// The static content plane (DESIGN.md §11): pre-serialized response
+// templates layered over the DocTree, plus the HTTP date machinery that
+// feeds every response's `Date:` header.
+//
+// The decision path became lock-free and memoized (DESIGN.md §9-10); this
+// layer makes the *bytes-out* path equally cheap.  For every static
+// document the plane precomputes, once, at server construction:
+//
+//   * strong validators — an FNV-1a `ETag` over the content and the
+//     `Last-Modified` IMF-fixdate rendered from the document's mtime;
+//   * the complete 200 and 304 header blocks, byte-identical to what the
+//     dynamic path's HttpResponse::SerializeHead() would produce, split
+//     around the `Date:` line (the only per-request-varying bytes) into a
+//     `pre`/`post` pair.  Variants for `Connection: keep-alive` / `close`.
+//
+// A response is then three stable iovecs (head_pre, head_post, body — the
+// body a view into the DocTree, never copied) plus one 37-byte Date line
+// bumped off the connection's arena.  The Date line itself comes from a
+// process-wide once-per-second cache (HttpDateCache) shared by all shards:
+// readers are lock-free seqlock copies, and at most one thread per second
+// pays the render.
+//
+// Templates are immutable after construction, so lookups are safe from any
+// thread (the DocTree is already "populate before serving").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/doc_tree.h"
+#include "util/clock.h"
+
+namespace gaa::http {
+
+/// Render `epoch_seconds` as an RFC 7231 IMF-fixdate
+/// ("Sun, 06 Nov 1994 08:49:37 GMT") into `out`, which must hold at least
+/// kHttpDateBytes.  Returns the length written (always kHttpDateBytes).
+inline constexpr std::size_t kHttpDateBytes = 29;
+std::size_t FormatHttpDate(std::int64_t epoch_seconds, char* out);
+std::string FormatHttpDate(std::int64_t epoch_seconds);
+
+/// Parse an IMF-fixdate back to epoch seconds.  Returns nullopt for the
+/// obsolete RFC 850 / asctime formats and anything malformed — callers
+/// treat an unparsable If-Modified-Since as "absent" (RFC 7232 §3.3).
+/// Allocation-free.
+std::optional<std::int64_t> ParseHttpDate(std::string_view text);
+
+/// Once-per-second cached "Date: <IMF-fixdate>\r\n" line, shared by every
+/// shard.  Readers take one atomic shared_ptr load and a memcpy (no lock
+/// in the steady state, no allocation — the same RCU idiom as the policy
+/// store's snapshots); the first reader of a new second re-renders under a
+/// mutex, so at most one render per second process-wide.
+class HttpDateCache {
+ public:
+  /// "Date: " + fixdate + CRLF.
+  static constexpr std::size_t kLineBytes = 6 + kHttpDateBytes + 2;
+
+  /// Copy the Date line for `now_us` into `out` (>= kLineBytes bytes).
+  /// Returns kLineBytes.  Thread-safe; allocation-free on the cached path.
+  std::size_t Line(util::TimePoint now_us, char* out);
+
+ private:
+  struct Rendered {
+    std::int64_t sec = -1;
+    char text[kLineBytes] = {};
+  };
+  std::atomic<std::shared_ptr<const Rendered>> current_{};
+  std::mutex write_mu_;
+};
+
+/// Strong entity tag for a document: FNV-1a 64 over the content plus the
+/// length, rendered as a quoted string ("\"9e107d9d372bb682-2c\"").
+std::string ComputeEtag(std::string_view content);
+
+class StaticContentPlane {
+ public:
+  struct Entry {
+    std::string_view body;      ///< view into the DocTree's document
+    std::string content_type;
+    std::string etag;           ///< quoted strong validator
+    std::string last_modified;  ///< IMF-fixdate of mtime
+    std::int64_t mtime_s = 0;   ///< epoch seconds (If-Modified-Since compare)
+
+    /// Pre-serialized header blocks: full head == pre + Date-line + post.
+    /// Indexed by [keep_alive]; the transport picks per request.
+    struct Head {
+      std::string pre;
+      std::string post;
+    };
+    Head head200[2];  ///< [0] = Connection: close, [1] = keep-alive
+    Head head304[2];
+  };
+
+  /// Build templates for every document in `tree` (which must outlive the
+  /// plane and stay unmodified, as DocTree already requires for serving).
+  /// `server_name` is baked into the Server header.
+  StaticContentPlane(const DocTree* tree, const std::string& server_name);
+
+  const Entry* Find(std::string_view path) const {
+    auto it = entries_.find(path);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// RFC 7232 conditional-GET evaluation against an entry's validators:
+/// If-None-Match (comma-separated entity tags, `*`, weak-prefix tolerated)
+/// takes precedence; otherwise If-Modified-Since applies when parseable.
+/// Empty views mean "header absent".  Allocation-free.
+bool NotModified(std::string_view if_none_match,
+                 std::string_view if_modified_since,
+                 const StaticContentPlane::Entry& entry);
+
+}  // namespace gaa::http

@@ -15,12 +15,13 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <deque>
 #include <optional>
 #include <unordered_map>
 
+#include "http/static_plane.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "util/arena.h"
 #include "util/log.h"
 #include "util/mpmc_ring.h"
 #include "util/strings.h"
@@ -179,14 +180,43 @@ struct FrameResult {
   std::size_t total_bytes = 0;  ///< head + separator + body (kComplete)
   bool keep_alive = true;       ///< what the request asked for (kComplete)
   std::string detail;           ///< diagnosis (kBad)
-  /// Original-case request-line slices (views into the caller's buffer,
-  /// valid only until it is mutated; kComplete only).
+  /// Original-case request slices (views into the caller's buffer, valid
+  /// only until it is mutated; kComplete only).
   std::string_view method;
   std::string_view target;
-  /// Plain anonymous GET with no body — the shape the inline fast path may
-  /// consider (the transport still applies the full admission check).
+  std::string_view if_none_match;      ///< conditional-GET validators,
+  std::string_view if_modified_since;  ///< empty when absent
+  /// Plain anonymous GET/HEAD with no body — the shape the inline fast
+  /// paths may consider (the transport still applies the full admission
+  /// check).
   bool inline_candidate = false;
 };
+
+char AsciiLower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c;
+}
+
+/// Case-insensitive equality against an already-lower-case needle.
+/// Framing runs on the event loop for every request, so it compares in
+/// place rather than lowercasing a copy of the head — no allocation.
+bool EqualsLower(std::string_view s, std::string_view lower) {
+  if (s.size() != lower.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (AsciiLower(s[i]) != lower[i]) return false;
+  }
+  return true;
+}
+
+/// Case-insensitive containment of an already-lower-case needle.
+bool ContainsLower(std::string_view hay, std::string_view lower) {
+  if (hay.size() < lower.size()) return false;
+  for (std::size_t i = 0; i + lower.size() <= hay.size(); ++i) {
+    std::size_t j = 0;
+    while (j < lower.size() && AsciiLower(hay[i + j]) == lower[j]) ++j;
+    if (j == lower.size()) return true;
+  }
+  return false;
+}
 
 FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
   FrameResult out;
@@ -201,30 +231,29 @@ FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
         buf.size() > max_bytes ? FrameStatus::kTooLarge : FrameStatus::kNeedMore;
     return out;
   }
-  std::string head = util::ToLower(buf.substr(0, head_end));
+  std::string_view head(buf.data(), head_end);
 
   // Request-line version decides the keep-alive default.
   std::size_t line_end = head.find('\n');
   std::string_view request_line =
-      line_end == std::string::npos ? std::string_view(head)
-                                    : std::string_view(head).substr(0, line_end);
-  out.keep_alive = request_line.find("http/1.1") != std::string_view::npos;
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  out.keep_alive = ContainsLower(request_line, "http/1.1");
 
   std::optional<std::int64_t> content_length;
   bool has_authorization = false;
-  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 1;
+  std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 1;
   while (pos < head.size()) {
     std::size_t eol = head.find('\n', pos);
-    std::string_view line = eol == std::string::npos
-                                ? std::string_view(head).substr(pos)
-                                : std::string_view(head).substr(pos, eol - pos);
-    pos = eol == std::string::npos ? head.size() : eol + 1;
+    std::string_view line = eol == std::string_view::npos
+                                ? head.substr(pos)
+                                : head.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? head.size() : eol + 1;
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     auto colon = line.find(':');
     if (colon == std::string_view::npos) continue;  // parser's problem
     std::string_view name = util::Trim(line.substr(0, colon));
     std::string_view value = util::Trim(line.substr(colon + 1));
-    if (name == "content-length") {
+    if (EqualsLower(name, "content-length")) {
       auto parsed = util::ParseInt(value);
       if (!parsed.has_value() || *parsed < 0) {
         out.status = FrameStatus::kBad;
@@ -237,18 +266,22 @@ FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
         return out;
       }
       content_length = *parsed;
-    } else if (name == "transfer-encoding") {
+    } else if (EqualsLower(name, "transfer-encoding")) {
       out.status = FrameStatus::kBad;
       out.detail = "transfer-encoding not supported";
       return out;
-    } else if (name == "connection") {
-      if (value.find("close") != std::string_view::npos) {
+    } else if (EqualsLower(name, "connection")) {
+      if (ContainsLower(value, "close")) {
         out.keep_alive = false;
-      } else if (value.find("keep-alive") != std::string_view::npos) {
+      } else if (ContainsLower(value, "keep-alive")) {
         out.keep_alive = true;
       }
-    } else if (name == "authorization") {
+    } else if (EqualsLower(name, "authorization")) {
       has_authorization = true;
+    } else if (EqualsLower(name, "if-none-match")) {
+      out.if_none_match = value;
+    } else if (EqualsLower(name, "if-modified-since")) {
+      out.if_modified_since = value;
     }
   }
 
@@ -267,10 +300,10 @@ FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
   out.status = FrameStatus::kComplete;
   out.total_bytes = total;
 
-  // Method/target from the original-case request line, for the inline
-  // fast-path probe.  The lowercased copy shares offsets with buf.
+  // Method/target from the original-case request line, for the fast-path
+  // probes.
   std::size_t raw_line_end =
-      line_end == std::string::npos ? head_end : line_end;
+      line_end == std::string_view::npos ? head_end : line_end;
   std::string_view line0(buf.data(), raw_line_end);
   std::size_t sp1 = line0.find(' ');
   if (sp1 != std::string_view::npos) {
@@ -281,7 +314,8 @@ FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
     }
   }
   out.inline_candidate =
-      body == 0 && !has_authorization && out.method == "GET";
+      body == 0 && !has_authorization &&
+      (out.method == "GET" || out.method == "HEAD");
   return out;
 }
 
@@ -304,11 +338,41 @@ struct TcpServer::Connection {
   std::uint16_t peer_port = 0;
 
   std::string in;  ///< bytes read, not yet framed into a request (pooled)
-  /// Response chunks awaiting the socket, written with gathered sendmsg —
-  /// head and body travel as separate chunks, never concatenated.
-  std::deque<std::string> outq;
-  std::size_t out_off = 0;    ///< sent prefix of outq.front()
+
+  /// One response chunk awaiting the socket.  Either `owned` holds the
+  /// bytes (a serialized head, a moved response body — recycled through the
+  /// shard buffer pool) or `view` aliases bytes that outlive the write:
+  /// static-plane templates, DocTree documents, or this connection's arena.
+  struct OutChunk {
+    std::string owned;
+    std::string_view view;
+    std::string_view View() const {
+      return owned.empty() ? view : std::string_view(owned);
+    }
+  };
+  /// Response chunks, written with gathered sendmsg — head and body travel
+  /// as separate chunks, never concatenated.  Consumed with a cursor
+  /// (out_head) instead of pop_front so a drained queue keeps its capacity;
+  /// on the template fast path a request costs zero queue allocations.
+  std::vector<OutChunk> outq;
+  std::size_t out_head = 0;   ///< first unsent chunk
+  std::size_t out_off = 0;    ///< sent prefix of outq[out_head]
   std::size_t out_bytes = 0;  ///< unsent bytes across all chunks
+
+  /// Per-request bump arena: holds the bytes a fast-path response needs to
+  /// mutate per request (the Date line).  Reset — keeping its largest
+  /// block — each time the output queue fully drains.
+  util::Arena arena;
+  std::size_t arena_noted = 0;  ///< arena bytes counted in the shard gauge
+
+  void PushOwned(std::string bytes) {
+    out_bytes += bytes.size();
+    outq.push_back(OutChunk{std::move(bytes), {}});
+  }
+  void PushView(std::string_view bytes) {
+    out_bytes += bytes.size();
+    outq.push_back(OutChunk{{}, bytes});
+  }
 
   bool busy = false;              ///< request handed to a worker
   bool close_after_write = false;
@@ -336,7 +400,11 @@ struct TcpServer::Job {
 struct TcpServer::Done {
   std::uint64_t conn_id = 0;
   std::string head;  ///< status line + headers + blank line
-  std::string body;
+  std::string body;  ///< owned body bytes (dynamic responses)
+  /// Zero-copy body (static documents): a view into DocTree storage, which
+  /// is stable for the server's lifetime, so it may cross threads.  Set
+  /// only when `body` is empty.
+  std::string_view body_view;
   bool close_after = false;
 };
 
@@ -362,6 +430,9 @@ struct TcpServer::Shard {
   TimerWheel wheel;
   std::vector<std::string> buf_pool;
   bool stats_dirty = false;
+  /// Arena bytes reserved across this shard's connections (loop-thread
+  /// bookkeeping, exported through the transport_arena_bytes gauge).
+  std::int64_t arena_bytes = 0;
 
   // Lock-free worker handoff: loop pushes jobs, workers push completions.
   util::MpmcRing<Job> jobs;
@@ -383,6 +454,7 @@ struct TcpServer::Shard {
   telemetry::Gauge* g_requests = nullptr;
   telemetry::Gauge* g_inline = nullptr;
   telemetry::Gauge* g_accepted = nullptr;
+  telemetry::Gauge* g_arena = nullptr;
 
   std::thread thread;
 };
@@ -505,6 +577,7 @@ util::VoidResult TcpServer::Start() {
       shard->g_inline =
           registry.GetGauge("transport_shard_inline_served", label);
       shard->g_accepted = registry.GetGauge("transport_shard_accepted", label);
+      shard->g_arena = registry.GetGauge("transport_arena_bytes", label);
     }
   }
 
@@ -623,6 +696,7 @@ void TcpServer::PublishStats(Shard& shard) {
         shard.inline_srv.load(std::memory_order_relaxed)));
     shard.g_accepted->Set(static_cast<std::int64_t>(
         shard.accepted.load(std::memory_order_relaxed)));
+    shard.g_arena->Set(shard.arena_bytes);
   }
   if (stats_hook_) stats_hook_(stats());
 }
@@ -715,6 +789,7 @@ void TcpServer::ShardLoop(Shard& shard) {
   total_active_.fetch_sub(shard.conns.size());
   shard.conns.clear();
   shard.active.store(0);
+  shard.arena_bytes = 0;
   shard.stats_dirty = true;
   if (listen_open) ::close(shard.listen_fd);
   PublishStats(shard);
@@ -905,6 +980,46 @@ void TcpServer::TryDispatch(Shard& shard, Connection* conn) {
     bool keep = options_.keep_alive && frame.keep_alive && more_possible &&
                 conn->served + 1 < options_.max_keepalive_requests;
 
+    // Template tier: anonymous GET/HEAD of a static document on a server
+    // whose controller admits everything unchecked.  The response is
+    // assembled from pre-serialized header templates and a DocTree body
+    // view — zero body copies, and (past warm-up) zero allocations.
+    if (options_.inline_fast_path && frame.inline_candidate) {
+      WebServer::StaticFastResponse fast;
+      if (server_->TryServeStaticFast(frame.method, frame.target,
+                                      frame.if_none_match,
+                                      frame.if_modified_since, conn->ip, keep,
+                                      options_.inline_max_response_bytes,
+                                      &fast)) {
+        if (conn->served > 0) {
+          shard.reused.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++conn->served;
+        shard.requests.fetch_add(1, std::memory_order_relaxed);
+        shard.inline_srv.fetch_add(1, std::memory_order_relaxed);
+        shard.stats_dirty = true;
+        conn->in.erase(0, frame.total_bytes);  // frame views dangle here
+        // Only the Date line varies per request; it lives on the
+        // connection's bump arena until the queue drains.
+        char* date = static_cast<char*>(
+            conn->arena.Alloc(HttpDateCache::kLineBytes, 1));
+        std::memcpy(date, fast.date_line, HttpDateCache::kLineBytes);
+        conn->PushView(fast.head_pre);
+        conn->PushView(std::string_view(date, HttpDateCache::kLineBytes));
+        conn->PushView(fast.head_post);
+        if (!fast.body.empty()) conn->PushView(fast.body);
+        if (!keep) conn->close_after_write = true;
+        NoteArena(shard, conn);
+        Touch(shard, conn);
+        std::uint64_t id = conn->id;
+        TryWrite(shard, conn);  // may close the connection
+        auto it = shard.conns.find(id);
+        if (it == shard.conns.end()) return;
+        conn = it->second.get();
+        continue;  // a pipelined request may already be buffered
+      }
+    }
+
     if (options_.inline_fast_path && frame.inline_candidate &&
         server_->InlineFastPathEligible(frame.method, frame.target,
                                         options_.inline_max_response_bytes,
@@ -1000,8 +1115,9 @@ void TcpServer::TryWrite(Shard& shard, Connection* conn) {
     iovec iov[kMaxIov];
     int iovcnt = 0;
     std::size_t off = conn->out_off;
-    for (auto& chunk : conn->outq) {
+    for (std::size_t i = conn->out_head; i < conn->outq.size(); ++i) {
       if (iovcnt == kMaxIov) break;
+      std::string_view chunk = conn->outq[i].View();
       iov[iovcnt].iov_base = const_cast<char*>(chunk.data()) + off;
       iov[iovcnt].iov_len = chunk.size() - off;
       ++iovcnt;
@@ -1015,12 +1131,16 @@ void TcpServer::TryWrite(Shard& shard, Connection* conn) {
       std::size_t wrote = static_cast<std::size_t>(n);
       conn->out_bytes -= wrote;
       while (wrote > 0) {
-        std::string& front = conn->outq.front();
-        std::size_t avail = front.size() - conn->out_off;
+        Connection::OutChunk& front = conn->outq[conn->out_head];
+        std::size_t avail = front.View().size() - conn->out_off;
         if (wrote >= avail) {
           wrote -= avail;
-          PoolRelease(shard.buf_pool, std::move(front));
-          conn->outq.pop_front();
+          if (!front.owned.empty()) {
+            PoolRelease(shard.buf_pool, std::move(front.owned));
+            front.owned.clear();
+          }
+          front.view = {};
+          ++conn->out_head;
           conn->out_off = 0;
         } else {
           conn->out_off += wrote;
@@ -1038,8 +1158,14 @@ void TcpServer::TryWrite(Shard& shard, Connection* conn) {
     CloseConn(shard, conn->id);
     return;
   }
+  // Fully drained: clear() keeps the vector's capacity, and the arena
+  // keeps its largest block — the next fast-path response on this
+  // connection allocates nothing.
   conn->outq.clear();
+  conn->out_head = 0;
   conn->out_off = 0;
+  conn->arena.Reset();
+  NoteArena(shard, conn);
   if (conn->close_after_write) {
     CloseConn(shard, conn->id);
     return;
@@ -1073,11 +1199,13 @@ void TcpServer::UpdateInterest(Shard& shard, Connection* conn) {
 void TcpServer::EnqueueResponse(Shard& shard, Connection* conn,
                                 HttpResponse& response, bool close_after) {
   (void)shard;
-  conn->outq.push_back(response.SerializeHead());
-  conn->out_bytes += conn->outq.back().size();
+  conn->PushOwned(response.SerializeHead());
   if (!response.body.empty()) {
-    conn->out_bytes += response.body.size();
-    conn->outq.push_back(std::move(response.body));
+    conn->PushOwned(std::move(response.body));
+  } else if (!response.body_view.empty()) {
+    // Static-document body: a view into DocTree storage, stable for the
+    // server's lifetime — queued without copying.
+    conn->PushView(response.body_view);
   }
   if (close_after) conn->close_after_write = true;
 }
@@ -1099,6 +1227,7 @@ void TcpServer::CloseConn(Shard& shard, std::uint64_t conn_id) {
   ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
   ::close(it->second->fd);
   PoolRelease(shard.buf_pool, std::move(it->second->in));
+  shard.arena_bytes -= static_cast<std::int64_t>(it->second->arena_noted);
   shard.conns.erase(it);
   shard.active.store(shard.conns.size(), std::memory_order_relaxed);
   total_active_.fetch_sub(1, std::memory_order_relaxed);
@@ -1112,11 +1241,11 @@ void TcpServer::DrainCompletions(Shard& shard) {
     if (it == shard.conns.end()) continue;  // died while processing
     Connection* conn = it->second.get();
     conn->busy = false;
-    conn->outq.push_back(std::move(done.head));
-    conn->out_bytes += conn->outq.back().size();
+    conn->PushOwned(std::move(done.head));
     if (!done.body.empty()) {
-      conn->out_bytes += done.body.size();
-      conn->outq.push_back(std::move(done.body));
+      conn->PushOwned(std::move(done.body));
+    } else if (!done.body_view.empty()) {
+      conn->PushView(done.body_view);
     }
     if (done.close_after) conn->close_after_write = true;
     Touch(shard, conn);
@@ -1139,6 +1268,16 @@ void TcpServer::Touch(Shard& shard, Connection* conn) {
       (mid_request ? options_.read_timeout_ms : options_.idle_timeout_ms);
   shard.wheel.Arm(conn->id, deadline);
   conn->timer_armed = true;
+}
+
+void TcpServer::NoteArena(Shard& shard, Connection* conn) {
+  std::size_t reserved = conn->arena.bytes_reserved();
+  if (reserved != conn->arena_noted) {
+    shard.arena_bytes += static_cast<std::int64_t>(reserved) -
+                         static_cast<std::int64_t>(conn->arena_noted);
+    conn->arena_noted = reserved;
+    shard.stats_dirty = true;
+  }
 }
 
 void TcpServer::OnTimerDue(Shard& shard, std::uint64_t conn_id,
@@ -1202,6 +1341,7 @@ void TcpServer::WorkerLoop(Shard& shard) {
     done.conn_id = job.conn_id;
     done.head = response.SerializeHead();
     done.body = std::move(response.body);
+    if (done.body.empty()) done.body_view = response.body_view;
     done.close_after = close_after;
     while (!shard.done.Push(std::move(done))) {
       // Ring full means the loop is behind by a full ring of completions —

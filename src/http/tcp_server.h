@@ -182,6 +182,7 @@ class TcpServer {
   void CloseConn(Shard& shard, std::uint64_t conn_id);
   void DrainCompletions(Shard& shard);
   void Touch(Shard& shard, Connection* conn);
+  void NoteArena(Shard& shard, Connection* conn);
   void OnTimerDue(Shard& shard, std::uint64_t conn_id, std::int64_t now_ms);
   void PublishStats(Shard& shard);
 

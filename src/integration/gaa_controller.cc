@@ -46,11 +46,13 @@ core::RequestContext GaaAccessController::BuildContext(
   return ctx;
 }
 
-bool GaaAccessController::DecisionIsMemoized(const std::string& path,
-                                             const std::string& method,
+bool GaaAccessController::DecisionIsMemoized(std::string_view path,
+                                             std::string_view method,
                                              util::Ipv4Address client_ip) const {
   return api_->DecisionIsMemoized(
-      path, core::RequestedRight{options_.application, method}, client_ip);
+      std::string(path),
+      core::RequestedRight{options_.application, std::string(method)},
+      client_ip);
 }
 
 http::AccessController::Verdict GaaAccessController::Check(

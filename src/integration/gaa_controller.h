@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gaa/api.h"
@@ -69,7 +70,7 @@ class GaaAccessController final : public http::AccessController {
   /// memo — true only for pure terminal YES/NO answers already cached
   /// against the live snapshot, so volatile/adaptive policies and anything
   /// needing credentials always take the worker path.
-  bool DecisionIsMemoized(const std::string& path, const std::string& method,
+  bool DecisionIsMemoized(std::string_view path, std::string_view method,
                           util::Ipv4Address client_ip) const override;
 
   const Options& options() const { return options_; }

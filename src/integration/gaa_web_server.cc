@@ -133,7 +133,7 @@ GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
   controller_ = std::make_unique<GaaAccessController>(api_.get(), &passwords_,
                                                       options_.controller);
   server_ = std::make_unique<http::WebServer>(&tree_, controller_.get(),
-                                              clock_);
+                                              clock_, options_.http);
   // One shared registry/tracer across transport, server, GAA, IDS and
   // audit — or none at all (the telemetry-off baseline benches measure).
   server_->set_telemetry(options_.enable_telemetry ? &telemetry_ : nullptr);

@@ -100,6 +100,10 @@ class GaaWebServer {
       bool report_to_ids = true;
     };
     WatchdogOptions watchdog;
+
+    /// Forwarded verbatim to the embedded http::WebServer (parse limits,
+    /// access-log ring size, static content plane on/off, ...).
+    http::WebServer::Options http;
   };
 
   explicit GaaWebServer(http::DocTree tree) : GaaWebServer(std::move(tree), Options{}) {}

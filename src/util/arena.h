@@ -1,0 +1,120 @@
+// Bump-pointer arena for per-request transient allocations.
+//
+// The static content plane (DESIGN.md §11) serves a memo-hit static GET
+// with zero malloc/free: everything a request needs for a few microseconds
+// — the cached `Date:` line, a conditional-GET scratch copy, the assembled
+// response head — is carved off a per-connection Arena with one pointer
+// bump, and the whole lot is returned with one cursor reset when the
+// response has flushed.  (The webdsl exemplar in SNIPPETS.md builds its
+// entire request lifecycle on this idiom.)
+//
+// Not thread-safe: an Arena belongs to one connection, which belongs to one
+// shard loop thread by construction.  Memory handed out stays valid until
+// Reset(); Reset keeps the largest block so a warmed arena never touches
+// the heap again in the steady state.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace gaa::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 4096;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocate `n` bytes aligned to `align` (a power of two).  Never fails
+  /// short of std::bad_alloc; n == 0 returns a valid unique pointer.
+  void* Alloc(std::size_t n, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t cursor = (cursor_ + (align - 1)) & ~(align - 1);
+    if (current_ == nullptr || cursor + n > current_->size) {
+      AddBlock(n + align);
+      cursor = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    void* out = current_->data.get() + cursor;
+    cursor_ = cursor + n;
+    used_ = std::max(used_, settled_ + cursor_);
+    return out;
+  }
+
+  /// Copy `s` into the arena; the returned view lives until Reset().
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) return {};
+    char* dst = static_cast<char*>(Alloc(s.size(), 1));
+    std::memcpy(dst, s.data(), s.size());
+    return {dst, s.size()};
+  }
+
+  /// Return every allocation at once.  The largest block is retained (and
+  /// becomes the head block), so a warmed arena allocates nothing on the
+  /// next request cycle; smaller overflow blocks are released.
+  void Reset() {
+    high_water_ = std::max(high_water_, used_);
+    if (blocks_.size() > 1) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[best].size) best = i;
+      }
+      Block keep = std::move(blocks_[best]);
+      blocks_.clear();
+      blocks_.push_back(std::move(keep));
+    }
+    current_ = blocks_.empty() ? nullptr : &blocks_.front();
+    cursor_ = 0;
+    settled_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset() (alignment padding included).
+  std::size_t bytes_used() const { return used_; }
+  /// Bytes of backing store currently owned.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  /// Largest bytes_used() observed over any request cycle (telemetry:
+  /// transport_arena_bytes).
+  std::size_t high_water() const { return std::max(high_water_, used_); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  void AddBlock(std::size_t at_least) {
+    std::size_t size = block_bytes_;
+    while (size < at_least) size *= 2;
+    settled_ += cursor_;
+    Block block;
+    block.data = std::make_unique<char[]>(size);
+    block.size = size;
+    blocks_.push_back(std::move(block));
+    current_ = &blocks_.back();
+    cursor_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  Block* current_ = nullptr;   ///< always &blocks_.back() when non-null
+  std::size_t cursor_ = 0;     ///< bump offset within current_
+  std::size_t settled_ = 0;    ///< bytes consumed in earlier blocks
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace gaa::util

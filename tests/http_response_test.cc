@@ -48,5 +48,44 @@ TEST(HttpResponse, ExplicitContentLengthNotDuplicated) {
   EXPECT_EQ(text.find("Content-Length"), text.rfind("Content-Length"));
 }
 
+TEST(HttpResponse, LowercaseContentLengthAlsoSuppressesAutoLength) {
+  // Regression: the duplicate check was case-sensitive, so a handler
+  // setting "content-length" produced two conflicting length headers —
+  // exactly the framing ambiguity the transport rejects inbound.
+  HttpResponse r = HttpResponse::Make(StatusCode::kOk, "abc");
+  r.headers["content-length"] = "3";
+  std::string text = r.SerializeHead();
+  EXPECT_NE(text.find("content-length: 3\r\n"), std::string::npos);
+  EXPECT_EQ(text.find("Content-Length:"), std::string::npos);
+}
+
+TEST(HttpResponse, ExplicitAndAutoLengthSerializeIdentically) {
+  // The auto Content-Length is emitted at its sorted map position, so a
+  // response that states its length (HEAD, 304) and one that lets the
+  // serializer compute it produce byte-identical heads.
+  HttpResponse autolen = HttpResponse::Make(StatusCode::kOk, "abcde");
+  HttpResponse expl = HttpResponse::Make(StatusCode::kOk, "abcde");
+  expl.headers["Content-Length"] = "5";
+  EXPECT_EQ(autolen.SerializeHead(), expl.SerializeHead());
+}
+
+TEST(HttpResponse, BodyViewSerializesLikeOwnedBody) {
+  static const std::string kBacking = "hello";
+  HttpResponse owned = HttpResponse::Make(StatusCode::kOk, "hello");
+  HttpResponse viewed;
+  viewed.status = StatusCode::kOk;
+  viewed.headers = owned.headers;
+  viewed.body_view = kBacking;
+  EXPECT_EQ(viewed.BodySize(), 5u);
+  EXPECT_EQ(viewed.Serialize(), owned.Serialize());
+  viewed.ClearBody();
+  EXPECT_TRUE(viewed.BodyView().empty());
+  EXPECT_EQ(viewed.BodySize(), 0u);
+}
+
+TEST(StatusReason, NotModified) {
+  EXPECT_STREQ(StatusReason(StatusCode::kNotModified), "Not Modified");
+}
+
 }  // namespace
 }  // namespace gaa::http

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "http/doc_tree.h"
+#include "http/static_plane.h"
 #include "util/strings.h"
 
 namespace gaa::http {
@@ -20,6 +21,12 @@ class ServerTest : public ::testing::Test {
                               util::Ipv4Address::Parse(ip).value());
   }
 
+  HttpResponse Head(const std::string& target,
+                    const std::string& ip = "10.0.0.1") {
+    std::string raw = "HEAD " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    return server_.HandleText(raw, util::Ipv4Address::Parse(ip).value());
+  }
+
   util::SimulatedClock clock_;
   DocTree tree_;
   AllowAllController allow_all_;
@@ -29,8 +36,72 @@ class ServerTest : public ::testing::Test {
 TEST_F(ServerTest, ServesStaticDocument) {
   auto response = Get("/index.html");
   EXPECT_EQ(response.status, StatusCode::kOk);
-  EXPECT_NE(response.body.find("Welcome"), std::string::npos);
+  // Static documents are served zero-copy: the content is a view into the
+  // DocTree, not an owned body string.
+  EXPECT_NE(response.BodyView().find("Welcome"), std::string_view::npos);
   EXPECT_EQ(response.headers.at("Content-Type"), "text/html");
+}
+
+TEST_F(ServerTest, HeadStripsBodyForEveryStatus) {
+  // Regression: only 200s had their body stripped, so HEAD of a missing or
+  // forbidden target leaked the error body.  Every status must come back
+  // header-only, with the Content-Length the GET would have carried.
+  auto get_ok = Get("/index.html");
+  auto head_ok = Head("/index.html");
+  EXPECT_EQ(head_ok.status, StatusCode::kOk);
+  EXPECT_TRUE(head_ok.BodyView().empty());
+  EXPECT_EQ(head_ok.headers.at("Content-Length"),
+            std::to_string(get_ok.BodySize()));
+  EXPECT_EQ(head_ok.SerializeHead(), get_ok.SerializeHead());
+
+  auto get_missing = Get("/missing.html");
+  auto head_missing = Head("/missing.html");
+  EXPECT_EQ(head_missing.status, StatusCode::kNotFound);
+  EXPECT_TRUE(head_missing.BodyView().empty());
+  EXPECT_GT(get_missing.BodySize(), 0u);
+  EXPECT_EQ(head_missing.headers.at("Content-Length"),
+            std::to_string(get_missing.BodySize()));
+  EXPECT_EQ(head_missing.SerializeHead(), get_missing.SerializeHead());
+}
+
+TEST_F(ServerTest, StaticDocumentCarriesValidatorsAndDate) {
+  auto response = Get("/index.html");
+  EXPECT_EQ(response.headers.at("ETag"),
+            ComputeEtag(tree_.FindDocument("/index.html")->content));
+  EXPECT_EQ(response.headers.at("Last-Modified"),
+            "Thu, 01 Jan 1970 00:00:00 GMT");  // demo mtime: epoch
+  EXPECT_EQ(response.headers.at("Date"), "Thu, 01 Jan 1970 00:00:00 GMT");
+}
+
+TEST_F(ServerTest, ConditionalGetReturns304) {
+  auto get = Get("/index.html");
+  const std::string& etag = get.headers.at("ETag");
+  auto cond = server_.HandleText(
+      BuildGetRequest("/index.html", {{"If-None-Match", etag}}),
+      util::Ipv4Address::Parse("10.0.0.1").value());
+  EXPECT_EQ(cond.status, StatusCode::kNotModified);
+  EXPECT_TRUE(cond.BodyView().empty());
+  EXPECT_EQ(cond.headers.at("Content-Length"), "0");
+  EXPECT_EQ(cond.headers.at("ETag"), etag);  // validators travel on the 304
+
+  auto ims = server_.HandleText(
+      BuildGetRequest("/index.html",
+                      {{"If-Modified-Since", get.headers.at("Last-Modified")}}),
+      util::Ipv4Address::Parse("10.0.0.1").value());
+  EXPECT_EQ(ims.status, StatusCode::kNotModified);
+}
+
+TEST_F(ServerTest, StaleOrUnparsableConditionalsGetFullResponse) {
+  auto miss = server_.HandleText(
+      BuildGetRequest("/index.html", {{"If-None-Match", "\"stale\""}}),
+      util::Ipv4Address::Parse("10.0.0.1").value());
+  EXPECT_EQ(miss.status, StatusCode::kOk);
+  EXPECT_NE(miss.BodyView().find("Welcome"), std::string_view::npos);
+
+  auto bad_ims = server_.HandleText(
+      BuildGetRequest("/index.html", {{"If-Modified-Since", "yesterday-ish"}}),
+      util::Ipv4Address::Parse("10.0.0.1").value());
+  EXPECT_EQ(bad_ims.status, StatusCode::kOk);
 }
 
 TEST_F(ServerTest, RunsCgi) {
@@ -243,6 +314,23 @@ TEST(DocTreeTest, HtaccessChainOrder) {
   EXPECT_EQ(chain[0], "root");
   EXPECT_EQ(chain[1], "mid");
   EXPECT_EQ(chain[2], "leaf");
+}
+
+TEST(DocTreeTest, ChainNormalizesDoubledAndTrailingSlashes) {
+  // Regression: the chain walker split on raw slash positions, so "/a//b"
+  // walked "/a/", "/a//b" — silently skipping the "/a/b" htaccess entry.
+  // A doubled slash must never shed protection on the way down.
+  DocTree tree;
+  tree.SetHtaccess("/", "root");
+  tree.SetHtaccess("/a", "mid");
+  tree.SetHtaccess("/a/b", "leaf");
+  std::vector<std::string> full = {"root", "mid", "leaf"};
+  EXPECT_EQ(tree.HtaccessChain("/a//b/c.html"), full);
+  EXPECT_EQ(tree.HtaccessChain("//a/b/c.html"), full);
+  EXPECT_EQ(tree.HtaccessChain("/a///b//c.html"), full);
+  // A trailing slash names a directory, which sits in its own chain.
+  EXPECT_EQ(tree.HtaccessChain("/a/b/"), full);
+  EXPECT_EQ(tree.HtaccessChain("//"), (std::vector<std::string>{"root"}));
 }
 
 TEST(DocTreeTest, PhfVulnerabilityModel) {

@@ -1,0 +1,156 @@
+// The static content plane (DESIGN.md §11): HTTP date machinery, strong
+// validators, pre-serialized header templates (byte-identical to the
+// dynamic path's serializer), and RFC 7232 conditional-GET evaluation.
+#include "http/static_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "http/doc_tree.h"
+#include "http/response.h"
+
+namespace gaa::http {
+namespace {
+
+TEST(HttpDate, FormatsImfFixdate) {
+  // RFC 7231's own example date, and the epoch.
+  EXPECT_EQ(FormatHttpDate(784111777), "Sun, 06 Nov 1994 08:49:37 GMT");
+  EXPECT_EQ(FormatHttpDate(0), "Thu, 01 Jan 1970 00:00:00 GMT");
+  char buf[kHttpDateBytes];
+  EXPECT_EQ(FormatHttpDate(784111777, buf), kHttpDateBytes);
+  EXPECT_EQ(std::string(buf, kHttpDateBytes), "Sun, 06 Nov 1994 08:49:37 GMT");
+}
+
+TEST(HttpDate, ParseRoundTrip) {
+  for (std::int64_t t : {std::int64_t{0}, std::int64_t{784111777},
+                         std::int64_t{951868800},    // leap-year Feb 29
+                         std::int64_t{1700000000},   // a modern date
+                         std::int64_t{4102444799}}) {  // 2099-12-31 23:59:59
+    auto parsed = ParseHttpDate(FormatHttpDate(t));
+    ASSERT_TRUE(parsed.has_value()) << FormatHttpDate(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(HttpDate, RejectsObsoleteAndMalformedFormats) {
+  // RFC 7232 §3.3: an unparsable If-Modified-Since is treated as absent,
+  // so the parser must cleanly refuse the two obsolete date forms.
+  EXPECT_FALSE(ParseHttpDate("Sunday, 06-Nov-94 08:49:37 GMT").has_value());
+  EXPECT_FALSE(ParseHttpDate("Sun Nov  6 08:49:37 1994").has_value());
+  EXPECT_FALSE(ParseHttpDate("").has_value());
+  EXPECT_FALSE(ParseHttpDate("not a date at all, honest").has_value());
+  EXPECT_FALSE(ParseHttpDate("Sun, 06 Nov 1994 08:49:37 PST").has_value());
+  EXPECT_FALSE(ParseHttpDate("Sun, 06 Xyz 1994 08:49:37 GMT").has_value());
+  // Surrounding optional whitespace is trimmed, as for any header value.
+  EXPECT_TRUE(ParseHttpDate(" Sun, 06 Nov 1994 08:49:37 GMT ").has_value());
+}
+
+TEST(HttpDateCacheTest, LineMatchesFormatterAndCachesWithinSecond) {
+  HttpDateCache cache;
+  char line[HttpDateCache::kLineBytes];
+  ASSERT_EQ(cache.Line(784111777'000000, line), HttpDateCache::kLineBytes);
+  EXPECT_EQ(std::string(line, HttpDateCache::kLineBytes),
+            "Date: Sun, 06 Nov 1994 08:49:37 GMT\r\n");
+  // Sub-second advance: same cached line.
+  char again[HttpDateCache::kLineBytes];
+  cache.Line(784111777'999999, again);
+  EXPECT_EQ(std::memcmp(line, again, HttpDateCache::kLineBytes), 0);
+  // Next second: re-rendered.
+  cache.Line(784111778'000000, again);
+  EXPECT_EQ(std::string(again, HttpDateCache::kLineBytes),
+            "Date: Sun, 06 Nov 1994 08:49:38 GMT\r\n");
+}
+
+TEST(ComputeEtagTest, QuotedStableAndContentSensitive) {
+  std::string a = ComputeEtag("hello");
+  EXPECT_EQ(a.front(), '"');
+  EXPECT_EQ(a.back(), '"');
+  EXPECT_EQ(a, ComputeEtag("hello"));
+  EXPECT_NE(a, ComputeEtag("hello!"));
+  EXPECT_NE(ComputeEtag(""), ComputeEtag(std::string(1, '\0')));
+}
+
+class StaticPlaneTest : public ::testing::Test {
+ protected:
+  StaticPlaneTest() : tree_(DocTree::DemoSite()) {
+    plane_ = std::make_unique<StaticContentPlane>(&tree_, "gaa-httpd");
+  }
+
+  DocTree tree_;
+  std::unique_ptr<StaticContentPlane> plane_;
+};
+
+TEST_F(StaticPlaneTest, BuildsOneEntryPerDocument) {
+  EXPECT_EQ(plane_->size(), tree_.document_count());
+  const auto* entry = plane_->Find("/index.html");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->body, tree_.FindDocument("/index.html")->content);
+  EXPECT_EQ(entry->content_type, "text/html");
+  EXPECT_EQ(entry->etag, ComputeEtag(entry->body));
+  EXPECT_EQ(plane_->Find("/cgi-bin/search"), nullptr);  // CGI: dynamic
+  EXPECT_EQ(plane_->Find("/nope"), nullptr);
+}
+
+TEST_F(StaticPlaneTest, TemplatesMatchDynamicSerializerByteForByte) {
+  // The tentpole invariant: template pre + Date line + post must equal
+  // what HttpResponse::SerializeHead() produces for the same response.
+  const auto* entry = plane_->Find("/docs/guide.html");
+  ASSERT_NE(entry, nullptr);
+  const char* kDate = "Sun, 06 Nov 1994 08:49:37 GMT";
+  for (bool keep : {false, true}) {
+    HttpResponse ok;
+    ok.status = StatusCode::kOk;
+    ok.headers["Content-Type"] = entry->content_type;
+    ok.headers["ETag"] = entry->etag;
+    ok.headers["Last-Modified"] = entry->last_modified;
+    ok.headers["Server"] = "gaa-httpd";
+    ok.headers["Connection"] = keep ? "keep-alive" : "close";
+    ok.headers["Date"] = kDate;
+    ok.body_view = entry->body;
+    const auto& head200 = entry->head200[keep ? 1 : 0];
+    EXPECT_EQ(head200.pre + "Date: " + kDate + "\r\n" + head200.post,
+              ok.SerializeHead());
+
+    HttpResponse nm;
+    nm.status = StatusCode::kNotModified;
+    nm.headers["Content-Length"] = "0";
+    nm.headers["ETag"] = entry->etag;
+    nm.headers["Last-Modified"] = entry->last_modified;
+    nm.headers["Server"] = "gaa-httpd";
+    nm.headers["Connection"] = keep ? "keep-alive" : "close";
+    nm.headers["Date"] = kDate;
+    const auto& head304 = entry->head304[keep ? 1 : 0];
+    EXPECT_EQ(head304.pre + "Date: " + kDate + "\r\n" + head304.post,
+              nm.SerializeHead());
+  }
+}
+
+TEST_F(StaticPlaneTest, NotModifiedEvaluation) {
+  const auto* entry = plane_->Find("/index.html");
+  ASSERT_NE(entry, nullptr);
+
+  // If-None-Match: exact, list, star, weak prefix; mismatch fails.
+  EXPECT_TRUE(NotModified(entry->etag, {}, *entry));
+  EXPECT_TRUE(NotModified("\"zzz\", " + entry->etag, {}, *entry));
+  EXPECT_TRUE(NotModified("*", {}, *entry));
+  EXPECT_TRUE(NotModified("W/" + entry->etag, {}, *entry));
+  EXPECT_FALSE(NotModified("\"zzz\"", {}, *entry));
+
+  // If-Modified-Since: not modified at-or-after the stamp; unparsable or
+  // older stamps mean "send the full response".
+  std::string at_mtime = FormatHttpDate(entry->mtime_s);
+  std::string later = FormatHttpDate(entry->mtime_s + 3600);
+  EXPECT_TRUE(NotModified({}, at_mtime, *entry));
+  EXPECT_TRUE(NotModified({}, later, *entry));
+  EXPECT_FALSE(NotModified({}, "garbage", *entry));
+  EXPECT_FALSE(NotModified({}, {}, *entry));
+
+  // An If-None-Match mismatch wins over a matching If-Modified-Since
+  // (RFC 7232 §3.3: IMS is ignored when INM is present).
+  EXPECT_FALSE(NotModified("\"zzz\"", at_mtime, *entry));
+}
+
+}  // namespace
+}  // namespace gaa::http

@@ -20,9 +20,12 @@ namespace {
 
 class TransportShardTest : public ::testing::Test {
  protected:
+  // A simulated clock pins the Date header, so byte-identity comparisons
+  // between the fast-path and worker-path transports are deterministic.
   TransportShardTest()
-      : tree_(DocTree::DemoSite()),
-        server_(&tree_, &controller_, &util::RealClock::Instance()) {}
+      : clock_(0),
+        tree_(DocTree::DemoSite()),
+        server_(&tree_, &controller_, &clock_) {}
 
   void StartTcp(TcpServer::Options options = {}) {
     tcp_ = std::make_unique<TcpServer>(&server_, options);
@@ -40,6 +43,7 @@ class TransportShardTest : public ::testing::Test {
     return total;
   }
 
+  util::SimulatedClock clock_;
   DocTree tree_;
   AllowAllController controller_;
   WebServer server_;
@@ -170,6 +174,129 @@ TEST_F(TransportShardTest, InlineFastPathMatchesWorkerPathByteForByte) {
   EXPECT_GT(tcp_->inline_served(), 0u);
   EXPECT_EQ(worker_only.inline_served(), 0u);
   worker_only.Stop();
+}
+
+/// First value of `name` in a raw response head (case-sensitive: our
+/// serializer emits canonical names).
+std::string HeaderValue(const std::string& raw, const std::string& name) {
+  std::size_t pos = raw.find("\r\n" + name + ": ");
+  if (pos == std::string::npos) return {};
+  pos += 2 + name.size() + 2;
+  std::size_t end = raw.find("\r\n", pos);
+  return raw.substr(pos, end - pos);
+}
+
+TEST_F(TransportShardTest, ConditionalGetMatchesWorkerPathByteForByte) {
+  TcpServer::Options inline_on;
+  inline_on.reactor_shards = 1;
+  StartTcp(inline_on);
+  TcpServer::Options inline_off = inline_on;
+  inline_off.inline_fast_path = false;
+  TcpServer worker_only(&server_, inline_off);
+  ASSERT_TRUE(worker_only.Start().ok());
+
+  TcpClient fast(tcp_->port());
+  TcpClient slow(worker_only.port());
+  auto first = fast.RoundTrip(BuildGetRequest("/index.html"));
+  ASSERT_TRUE(first.ok()) << first.error().ToString();
+  std::string etag = HeaderValue(first.value(), "ETag");
+  std::string last_modified = HeaderValue(first.value(), "Last-Modified");
+  ASSERT_FALSE(etag.empty());
+  ASSERT_FALSE(last_modified.empty());
+
+  // If-None-Match hit: 304, empty body, byte-identical across paths.
+  std::string inm = BuildGetRequest("/index.html", {{"If-None-Match", etag}});
+  auto a = fast.RoundTrip(inm);
+  auto b = slow.RoundTrip(inm);
+  ASSERT_TRUE(a.ok()) << a.error().ToString();
+  ASSERT_TRUE(b.ok()) << b.error().ToString();
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_NE(a.value().find("HTTP/1.1 304 Not Modified\r\n"),
+            std::string::npos);
+  EXPECT_NE(a.value().find("Content-Length: 0\r\n"), std::string::npos);
+  EXPECT_EQ(a.value().find("<html>"), std::string::npos);
+  EXPECT_EQ(HeaderValue(a.value(), "ETag"), etag);
+
+  // If-Modified-Since at the document's stamp: also 304, also identical.
+  std::string ims =
+      BuildGetRequest("/index.html", {{"If-Modified-Since", last_modified}});
+  auto c = fast.RoundTrip(ims);
+  auto d = slow.RoundTrip(ims);
+  ASSERT_TRUE(c.ok() && d.ok());
+  EXPECT_EQ(c.value(), d.value());
+  EXPECT_NE(c.value().find("304 Not Modified"), std::string::npos);
+
+  // A stale validator gets the full 200 on both paths.
+  std::string stale =
+      BuildGetRequest("/index.html", {{"If-None-Match", "\"stale\""}});
+  auto e = fast.RoundTrip(stale);
+  auto f = slow.RoundTrip(stale);
+  ASSERT_TRUE(e.ok() && f.ok());
+  EXPECT_EQ(e.value(), f.value());
+  EXPECT_NE(e.value().find("200 OK"), std::string::npos);
+
+  EXPECT_GT(tcp_->inline_served(), 0u);
+  EXPECT_EQ(worker_only.inline_served(), 0u);
+  worker_only.Stop();
+}
+
+TEST_F(TransportShardTest, HeadMatchesGetHeadBlockAcrossPaths) {
+  TcpServer::Options inline_on;
+  inline_on.reactor_shards = 1;
+  StartTcp(inline_on);
+  TcpServer::Options inline_off = inline_on;
+  inline_off.inline_fast_path = false;
+  TcpServer worker_only(&server_, inline_off);
+  ASSERT_TRUE(worker_only.Start().ok());
+
+  // Connection: close pins the keep-alive decision so the comparison is
+  // deterministic; TcpFetch half-closes and reads to EOF, which also lets
+  // it frame bodyless HEAD responses.
+  for (const char* target : {"/docs/guide.html", "/missing.html"}) {
+    std::string get_raw =
+        BuildGetRequest(target, {{"Connection", "close"}});
+    std::string head_raw = "HEAD" + get_raw.substr(3);
+    auto get_fast = TcpFetch(tcp_->port(), get_raw);
+    auto head_fast = TcpFetch(tcp_->port(), head_raw);
+    auto get_slow = TcpFetch(worker_only.port(), get_raw);
+    auto head_slow = TcpFetch(worker_only.port(), head_raw);
+    ASSERT_TRUE(get_fast.ok() && head_fast.ok() && get_slow.ok() &&
+                head_slow.ok())
+        << target;
+    // GET matches across transports; HEAD matches across transports; and
+    // HEAD is exactly the GET's head block — same Content-Length, no body.
+    EXPECT_EQ(get_fast.value(), get_slow.value()) << target;
+    EXPECT_EQ(head_fast.value(), head_slow.value()) << target;
+    std::size_t head_end = get_fast.value().find("\r\n\r\n");
+    ASSERT_NE(head_end, std::string::npos);
+    EXPECT_EQ(head_fast.value(), get_fast.value().substr(0, head_end + 4))
+        << target;
+  }
+  EXPECT_GT(tcp_->inline_served(), 0u);
+  worker_only.Stop();
+}
+
+TEST_F(TransportShardTest, ArenaGaugeTracksFastPathConnections) {
+  // The per-shard transport_arena_bytes gauge: zero before traffic, grows
+  // once fast-path responses bump Date lines, and returns to zero when the
+  // connections close.
+  telemetry::Telemetry telemetry;
+  telemetry.set_tracing_enabled(false);  // traced requests skip the tier
+  server_.set_telemetry(&telemetry);
+  TcpServer::Options options;
+  options.reactor_shards = 1;
+  StartTcp(options);
+  {
+    TcpClient client(tcp_->port());
+    auto response = client.RoundTrip(BuildGetRequest("/index.html"));
+    ASSERT_TRUE(response.ok()) << response.error().ToString();
+  }
+  tcp_->Stop();
+  EXPECT_GT(tcp_->inline_served(), 0u);
+  auto* gauge = telemetry.registry().GetGauge("transport_arena_bytes",
+                                              "shard=\"0\"");
+  EXPECT_EQ(gauge->Value(), 0);  // all connections closed and reclaimed
+  server_.set_telemetry(nullptr);
 }
 
 TEST_F(TransportShardTest, QueryTargetsNeverServeInline) {

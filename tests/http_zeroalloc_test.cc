@@ -1,0 +1,264 @@
+// Heap-counting differential proof for the template fast tier (DESIGN.md
+// §11): once a keep-alive connection is warm, an inline static GET — and a
+// conditional GET answered 304 — performs ZERO heap allocations end to end
+// (framing, admission, template selection, access-log append, gathered
+// write), and its bytes match the worker path exactly.
+//
+// The proof counts global operator new invocations across the whole
+// process, so this binary must not run under sanitizers (their runtimes
+// own the allocator) and is kept out of the sanitizer CI jobs; it also
+// guards itself with a runtime skip.  The measurement client speaks raw
+// sockets with stack buffers so the only allocator traffic is the
+// server's.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <string_view>
+
+#include "http/doc_tree.h"
+#include "http/server.h"
+#include "http/static_plane.h"
+#include "http/tcp_server.h"
+#include "util/clock.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace gaa::http {
+namespace {
+
+bool UnderSanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+int ConnectLoopbackFd(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One keep-alive request/response exchange entirely on the stack: send the
+/// request, read until the Content-Length-framed response is complete.
+/// Returns the response length, or 0 on failure.  Allocation-free.
+std::size_t RoundTripRaw(int fd, const char* request, std::size_t request_len,
+                         char* buf, std::size_t buf_len) {
+  std::size_t sent = 0;
+  while (sent < request_len) {
+    ssize_t n = ::send(fd, request + sent, request_len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::size_t have = 0;
+  std::size_t need = 0;  // 0 = head not complete yet
+  while (need == 0 || have < need) {
+    ssize_t n = ::recv(fd, buf + have, buf_len - have, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return 0;
+    }
+    have += static_cast<std::size_t>(n);
+    if (need == 0) {
+      std::string_view sofar(buf, have);
+      std::size_t head_end = sofar.find("\r\n\r\n");
+      if (head_end == std::string_view::npos) continue;
+      std::size_t body = 0;
+      std::size_t pos = sofar.find("Content-Length: ");
+      if (pos != std::string_view::npos) {
+        for (pos += 16; pos < head_end && sofar[pos] >= '0' &&
+                        sofar[pos] <= '9';
+             ++pos) {
+          body = body * 10 + static_cast<std::size_t>(sofar[pos] - '0');
+        }
+      }
+      need = head_end + 4 + body;
+    }
+  }
+  return need;
+}
+
+class ZeroAllocTest : public ::testing::Test {
+ protected:
+  ZeroAllocTest()
+      : clock_(784111777'000000),  // pinned: Date renders exactly once
+        tree_(DocTree::DemoSite()),
+        server_(&tree_, &allow_all_, &clock_, ServerOptions()) {
+    // The template tier declines traced requests (their spans must exist),
+    // and the server's owned telemetry traces by default.
+    server_.telemetry()->set_tracing_enabled(false);
+  }
+
+  static WebServer::Options ServerOptions() {
+    WebServer::Options options;
+    // Small ring: warm-up fills every slot, so steady-state appends only
+    // overwrite in place.  The default (65536) would grow one slot per
+    // request for longer than any test wants to warm up.
+    options.access_log_limit = 16;
+    return options;
+  }
+
+  void MeasureZeroAlloc(const std::string& request) {
+    TcpServer::Options topts;
+    topts.reactor_shards = 1;
+    topts.worker_threads = 1;
+    TcpServer tcp(&server_, topts);
+    ASSERT_TRUE(tcp.Start().ok());
+    int fd = ConnectLoopbackFd(tcp.port());
+    ASSERT_GE(fd, 0);
+
+    char buf[8192];
+    // Warm-up: buffer-pool adoption, outq/arena/log-ring capacity growth,
+    // the one Date render, lazy libc internals.
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_GT(RoundTripRaw(fd, request.data(), request.size(), buf,
+                             sizeof(buf)),
+                0u)
+          << "warm-up round trip " << i;
+    }
+
+    const std::uint64_t inline_before = tcp.inline_served();
+    const std::uint64_t news_before = g_news.load(std::memory_order_relaxed);
+    int failed = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (RoundTripRaw(fd, request.data(), request.size(), buf,
+                       sizeof(buf)) == 0) {
+        ++failed;
+      }
+    }
+    const std::uint64_t news_after = g_news.load(std::memory_order_relaxed);
+    ASSERT_EQ(failed, 0);
+    EXPECT_EQ(news_after - news_before, 0u)
+        << "heap allocations on the template fast path";
+    // Every measured request was served by the template tier on the loop.
+    EXPECT_GE(tcp.inline_served() - inline_before, 200u);
+    ::close(fd);
+    tcp.Stop();
+  }
+
+  util::SimulatedClock clock_;
+  DocTree tree_;
+  AllowAllController allow_all_;
+  WebServer server_;
+};
+
+TEST_F(ZeroAllocTest, WarmStaticGetAllocatesNothing) {
+  if (UnderSanitizer()) {
+    GTEST_SKIP() << "heap counting is meaningless under sanitizers";
+  }
+  MeasureZeroAlloc("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+TEST_F(ZeroAllocTest, WarmConditionalGet304AllocatesNothing) {
+  if (UnderSanitizer()) {
+    GTEST_SKIP() << "heap counting is meaningless under sanitizers";
+  }
+  const auto* entry = server_.static_plane()->Find("/index.html");
+  ASSERT_NE(entry, nullptr);
+  MeasureZeroAlloc("GET /index.html HTTP/1.1\r\nHost: x\r\nIf-None-Match: " +
+                   entry->etag + "\r\n\r\n");
+}
+
+TEST_F(ZeroAllocTest, FastPathBytesMatchWorkerPath) {
+  // The zero-alloc tier must be invisible on the wire: byte-identical to
+  // the worker path for 200, 304 and HEAD.
+  TcpServer::Options fast_opts;
+  fast_opts.reactor_shards = 1;
+  TcpServer fast(&server_, fast_opts);
+  ASSERT_TRUE(fast.Start().ok());
+  TcpServer::Options slow_opts = fast_opts;
+  slow_opts.inline_fast_path = false;
+  TcpServer slow(&server_, slow_opts);
+  ASSERT_TRUE(slow.Start().ok());
+
+  const auto* entry = server_.static_plane()->Find("/index.html");
+  ASSERT_NE(entry, nullptr);
+  const std::string requests[] = {
+      "GET /index.html HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+      "HEAD /index.html HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+      "GET /index.html HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "If-None-Match: " + entry->etag + "\r\n\r\n",
+  };
+  for (const std::string& raw : requests) {
+    auto a = TcpFetch(fast.port(), raw);
+    auto b = TcpFetch(slow.port(), raw);
+    ASSERT_TRUE(a.ok()) << a.error().ToString();
+    ASSERT_TRUE(b.ok()) << b.error().ToString();
+    EXPECT_EQ(a.value(), b.value()) << raw;
+  }
+  EXPECT_GT(fast.inline_served(), 0u);
+  EXPECT_EQ(slow.inline_served(), 0u);
+  fast.Stop();
+  slow.Stop();
+}
+
+}  // namespace
+}  // namespace gaa::http

@@ -93,9 +93,9 @@ TEST(HeadMethod, NoBodyButLengthPreserved) {
   std::string raw = "HEAD /index.html HTTP/1.1\r\nHost: x\r\n\r\n";
   auto head = server.HandleText(raw, "10.0.0.1");
   EXPECT_EQ(head.status, StatusCode::kOk);
-  EXPECT_TRUE(head.body.empty());
+  EXPECT_TRUE(head.BodyView().empty());
   EXPECT_EQ(head.headers.at("Content-Length"),
-            std::to_string(get.body.size()));
+            std::to_string(get.BodySize()));
 }
 
 TEST(DiskBackedPolicies, LoadFromFiles) {
