@@ -42,7 +42,7 @@ core::SpecializedCond SpecializeThreatLevel(const eacl::Condition& cond,
                                             const FactoryParams& /*params*/) {
   // ParseCmpOp is pure, so hoisting it to compile time is unobservable; the
   // no-system-state check must stay first at runtime, as in the generic
-  // routine.  No purity refinement: the live threat level is read each time.
+  // routine.
   ParsedOp parsed = ParseCmpOp(cond.value);
   if (util::StartsWith(parsed.rest, "var:")) return {};  // runtime indirection
   auto target = core::ParseThreatLevel(parsed.rest);
@@ -61,6 +61,10 @@ core::SpecializedCond SpecializeThreatLevel(const eacl::Condition& cond,
   }
   CmpOp op = parsed.op;
   ThreatLevel want = *target;
+  // A literal comparison reads only the threat level beyond the memo key,
+  // so it refines to kThreatFenced: memoizable behind the SystemState
+  // threat-epoch fence (a level transition invalidates the entry).  The
+  // "var:" form above stays at the registered volatile purity.
   return {[op, want](const eacl::Condition&, const RequestContext&,
                      EvalServices& services) {
             if (services.state == nullptr) {
@@ -75,7 +79,7 @@ core::SpecializedCond SpecializeThreatLevel(const eacl::Condition& cond,
                                  core::ThreatLevelName(want);
             return holds ? EvalOutcome::Yes(detail) : EvalOutcome::No(detail);
           },
-          std::nullopt};
+          core::CondPurity::kThreatFenced};
 }
 
 }  // namespace gaa::cond

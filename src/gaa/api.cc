@@ -321,11 +321,25 @@ AuthzResult GaaApi::CheckAuthorization(const eacl::ComposedPolicy& policy,
   return out;
 }
 
+void GaaApi::JoinMemoClass(MemoClass* memo, CondPurity purity) {
+  switch (purity) {
+    case CondPurity::kPure:
+      break;
+    case CondPurity::kThreatFenced:
+      if (*memo == MemoClass::kPure) *memo = MemoClass::kThreatFenced;
+      break;
+    case CondPurity::kVolatile:
+    case CondPurity::kEffect:
+      *memo = MemoClass::kUncacheable;
+      break;
+  }
+}
+
 EvalOutcome GaaApi::EvalCompiledCond(const eacl::CompiledCond& cond,
                                      RequestContext& ctx,
                                      std::vector<CondTrace>* trace,
-                                     bool* pure) {
-  if (cond.purity != CondPurity::kPure) *pure = false;
+                                     MemoClass* memo) {
+  JoinMemoClass(memo, cond.purity);
   util::Stopwatch sw;
   EvalOutcome outcome = cond.fn(cond.source, ctx, services_);
   if (cond.latency != nullptr) {
@@ -339,13 +353,13 @@ EvalOutcome GaaApi::EvalCompiledCond(const eacl::CompiledCond& cond,
 
 GaaApi::BlockResult GaaApi::EvalCompiledBlock(
     const std::vector<eacl::CompiledCond>& block, eacl::CondPhase phase,
-    RequestContext& ctx, std::vector<CondTrace>* trace, bool* pure) {
+    RequestContext& ctx, std::vector<CondTrace>* trace, MemoClass* memo) {
   BlockResult result;
   result.status = Tristate::kYes;
   telemetry::ScopedSpan span(block.empty() ? nullptr : ctx.trace,
                              BlockSpanName(phase));
   for (const auto& cond : block) {
-    EvalOutcome outcome = EvalCompiledCond(cond, ctx, trace, pure);
+    EvalOutcome outcome = EvalCompiledCond(cond, ctx, trace, memo);
     if (outcome.status == Tristate::kNo) {
       result.status = Tristate::kNo;
       result.deciding_condition = cond.source.type;
@@ -364,7 +378,7 @@ GaaApi::BlockResult GaaApi::EvalCompiledBlock(
 
 GaaApi::PolicyAnswer GaaApi::EvalCompiledPolicy(
     const eacl::CompiledPolicy& policy, const RequestedRight& right,
-    RequestContext& ctx, AuthzResult* out, bool* pure) {
+    RequestContext& ctx, AuthzResult* out, MemoClass* memo) {
   // Candidate selection through the per-right index: a concrete hit yields
   // the pre-computed covering list; otherwise only wildcard entries can
   // cover the right and the fallback scans just those.
@@ -383,7 +397,7 @@ GaaApi::PolicyAnswer GaaApi::EvalCompiledPolicy(
 
     BlockResult pre =
         EvalCompiledBlock(entry.pre, eacl::CondPhase::kPre, ctx, &out->trace,
-                          pure);
+                          memo);
 
     if (pre.status == Tristate::kNo) {
       if (entry.outcomes[3] != nullptr) entry.outcomes[3]->Inc();
@@ -411,7 +425,7 @@ GaaApi::PolicyAnswer GaaApi::EvalCompiledPolicy(
       BlockResult rr =
           EvalCompiledBlock(entry.request_result,
                             eacl::CondPhase::kRequestResult, ctx, &out->trace,
-                            pure);
+                            memo);
       ctx.request_granted.reset();
       status = util::And3(status, rr.status);
       if (rr.status != Tristate::kYes) {
@@ -442,7 +456,7 @@ GaaApi::PolicyAnswer GaaApi::EvalCompiledPolicy(
 
 AuthzResult GaaApi::CheckAuthorizationCompiled(
     const eacl::CompiledComposition& view, const RequestedRight& right,
-    RequestContext& ctx, bool* pure) {
+    RequestContext& ctx, MemoClass* memo) {
   AuthzResult out;
   telemetry::ScopedSpan span(ctx.trace, "gaa.check_authorization");
 
@@ -451,7 +465,7 @@ AuthzResult GaaApi::CheckAuthorizationCompiled(
     Tristate side = Tristate::kYes;
     *any = false;
     for (const eacl::CompiledPolicy* p : side_p) {
-      PolicyAnswer a = EvalCompiledPolicy(*p, right, ctx, &out, pure);
+      PolicyAnswer a = EvalCompiledPolicy(*p, right, ctx, &out, memo);
       if (!a.applicable) continue;
       Tristate combined = util::And3(side, a.status);
       if (!*any || combined != side) *attr = a.attribution;
@@ -526,12 +540,18 @@ AuthzResult GaaApi::Authorize(const std::string& object_path,
     std::shared_ptr<const PolicySnapshot> snap =
         store_->FreshSnapshot(&registry_, registry_.change_version());
     if (snap != nullptr) {
-      const bool memo =
+      const bool memo_on =
           decision_cache_enabled_ && decision_cache_.capacity() > 0;
+      // Read the threat epoch BEFORE evaluating: if the level transitions
+      // mid-evaluation, the entry is stored against the older epoch and is
+      // conservatively stale, never freshly wrong.
+      const std::uint64_t epoch =
+          services_.state != nullptr ? services_.state->threat_epoch() : 0;
       std::string key;
-      if (memo) {
+      if (memo_on) {
         key = DecisionKey(object_path, right, ctx);
-        if (auto hit = decision_cache_.Get(key, snap->store_version())) {
+        if (auto hit = decision_cache_.Get(key, snap->store_version(),
+                                           epoch)) {
           // Keep per-entry attribution counters exact on the memo fast path.
           if (hit->entry_counter != nullptr) hit->entry_counter->Inc();
           return *hit->result;
@@ -540,20 +560,23 @@ AuthzResult GaaApi::Authorize(const std::string& object_path,
       telemetry::ScopedSpan lookup_span(ctx.trace, "gaa.snapshot_lookup");
       eacl::CompiledComposition view = snap->ForPath(object_path);
       lookup_span.End();
-      bool pure = true;
-      AuthzResult out = CheckAuthorizationCompiled(view, right, ctx, &pure);
+      MemoClass memo = MemoClass::kPure;
+      AuthzResult out = CheckAuthorizationCompiled(view, right, ctx, &memo);
       // Memoize only terminal answers proven repeatable: every evaluated
-      // condition was kPure and the result is not MAYBE (a MAYBE must be
+      // condition was kPure (or kThreatFenced, pinning the entry to the
+      // threat epoch) and the result is not MAYBE (a MAYBE must be
       // re-derived so the 401/redirect translation sees fresh unevaluated
       // conditions and new credentials can flip it).
-      if (memo && pure && out.status != Tristate::kMaybe) {
+      if (memo_on && memo != MemoClass::kUncacheable &&
+          out.status != Tristate::kMaybe) {
         telemetry::Counter* ec = nullptr;
         if (out.attribution.has_value()) {
           ec = EntryCounter(out.attribution->policy, out.attribution->entry,
                             OutcomeIndex(out.status));
         }
         decision_cache_.Put(std::move(key), snap->store_version(),
-                            std::make_shared<AuthzResult>(out), ec);
+                            std::make_shared<AuthzResult>(out), ec, epoch,
+                            memo == MemoClass::kThreatFenced);
       }
       return out;
     }
@@ -587,8 +610,9 @@ bool GaaApi::DecisionIsMemoized(const std::string& object_path,
   RequestContext ctx;
   ctx.object = object_path;
   ctx.client_ip = client_ip;
-  return decision_cache_.Peek(DecisionKey(object_path, right, ctx),
-                              snap->store_version());
+  return decision_cache_.Peek(
+      DecisionKey(object_path, right, ctx), snap->store_version(),
+      services_.state != nullptr ? services_.state->threat_epoch() : 0);
 }
 
 PhaseResult GaaApi::ExecutionControl(const AuthzResult& authz,

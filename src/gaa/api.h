@@ -228,29 +228,43 @@ class GaaApi {
                           const RequestedRight& right, RequestContext& ctx,
                           AuthzResult* out);
 
+  /// Memoizability of a compiled decision, joined across every condition
+  /// evaluated on the way to it (DESIGN.md §12): kPure ⊔ kThreatFenced =
+  /// kThreatFenced; anything ⊔ kUncacheable = kUncacheable.
+  enum class MemoClass {
+    kPure,          ///< admit with no fence
+    kThreatFenced,  ///< admit pinned to the current threat epoch
+    kUncacheable,   ///< a volatile/effect condition fired — never admit
+  };
+
+  static void JoinMemoClass(MemoClass* memo, CondPurity purity);
+
   // --- compiled-IR twins of the evaluators above ---------------------------
   // Same semantics, same trace/attribution output, but evaluators, metric
-  // handles and purity classes come pre-resolved from the IR.  `pure` starts
-  // true and is cleared whenever a non-kPure condition is evaluated; the
-  // caller memoizes the decision only if it stayed true.
+  // handles and purity classes come pre-resolved from the IR.  `memo`
+  // starts kPure and is widened by every condition evaluated; the caller
+  // memoizes the decision only if it ends at kPure or kThreatFenced.
 
   EvalOutcome EvalCompiledCond(const eacl::CompiledCond& cond,
                                RequestContext& ctx,
-                               std::vector<CondTrace>* trace, bool* pure);
+                               std::vector<CondTrace>* trace,
+                               MemoClass* memo);
 
   BlockResult EvalCompiledBlock(const std::vector<eacl::CompiledCond>& block,
                                 eacl::CondPhase phase, RequestContext& ctx,
-                                std::vector<CondTrace>* trace, bool* pure);
+                                std::vector<CondTrace>* trace,
+                                MemoClass* memo);
 
   PolicyAnswer EvalCompiledPolicy(const eacl::CompiledPolicy& policy,
                                   const RequestedRight& right,
                                   RequestContext& ctx, AuthzResult* out,
-                                  bool* pure);
+                                  MemoClass* memo);
 
   /// Compiled twin of CheckAuthorization over a snapshot's per-path view.
   AuthzResult CheckAuthorizationCompiled(const eacl::CompiledComposition& view,
                                          const RequestedRight& right,
-                                         RequestContext& ctx, bool* pure);
+                                         RequestContext& ctx,
+                                         MemoClass* memo);
 
   /// Memo key: every input a kPure condition may read — requested right,
   /// object path, request identity, client address — joined unambiguously.

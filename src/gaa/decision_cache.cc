@@ -22,12 +22,14 @@ DecisionCache::DecisionCache(std::size_t slots) {
 }
 
 std::shared_ptr<const DecisionCache::CachedDecision> DecisionCache::Get(
-    std::string_view key, std::uint64_t snapshot_version) {
+    std::string_view key, std::uint64_t snapshot_version,
+    std::uint64_t state_epoch) {
   if (slots_ == nullptr) return nullptr;
   std::size_t slot = std::hash<std::string_view>{}(key)&mask_;
   std::shared_ptr<const CachedDecision> entry =
       slots_[slot].load(std::memory_order_acquire);
   if (entry != nullptr && entry->snapshot_version == snapshot_version &&
+      (!entry->epoch_fenced || entry->state_epoch == state_epoch) &&
       entry->key == key) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     if (hit_counter_ != nullptr) hit_counter_->Inc();
@@ -38,25 +40,29 @@ std::shared_ptr<const DecisionCache::CachedDecision> DecisionCache::Get(
   return nullptr;
 }
 
-bool DecisionCache::Peek(std::string_view key,
-                         std::uint64_t snapshot_version) const {
+bool DecisionCache::Peek(std::string_view key, std::uint64_t snapshot_version,
+                         std::uint64_t state_epoch) const {
   if (slots_ == nullptr) return false;
   std::size_t slot = std::hash<std::string_view>{}(key)&mask_;
   std::shared_ptr<const CachedDecision> entry =
       slots_[slot].load(std::memory_order_acquire);
   return entry != nullptr && entry->snapshot_version == snapshot_version &&
+         (!entry->epoch_fenced || entry->state_epoch == state_epoch) &&
          entry->key == key;
 }
 
 void DecisionCache::Put(std::string key, std::uint64_t snapshot_version,
                         std::shared_ptr<const AuthzResult> result,
-                        telemetry::Counter* entry_counter) {
+                        telemetry::Counter* entry_counter,
+                        std::uint64_t state_epoch, bool epoch_fenced) {
   if (slots_ == nullptr) return;
   auto entry = std::make_shared<CachedDecision>();
   entry->key = std::move(key);
   entry->snapshot_version = snapshot_version;
   entry->result = std::move(result);
   entry->entry_counter = entry_counter;
+  entry->state_epoch = state_epoch;
+  entry->epoch_fenced = epoch_fenced;
   std::size_t slot = std::hash<std::string_view>{}(entry->key)&mask_;
   slots_[slot].store(std::move(entry), std::memory_order_release);
   insertions_.fetch_add(1, std::memory_order_relaxed);

@@ -14,6 +14,12 @@
 // every policy change invalidates the whole cache implicitly — policy
 // tightening during an attack takes effect on the next request, exactly
 // like the snapshot swap itself.
+//
+// Threat-fenced entries (DESIGN.md §12): decisions that passed through a
+// kThreatFenced condition additionally record the SystemState threat epoch
+// they were computed under.  A threat-level transition bumps the epoch, so
+// those entries go stale the same way a policy reload makes every entry
+// stale — the IDS raising the alarm takes effect on the very next request.
 #pragma once
 
 #include <atomic>
@@ -45,21 +51,31 @@ class DecisionCache {
     /// The deciding entry's eacl_entry_decisions_total handle, so memo
     /// hits keep per-entry attribution counters exact.  May be null.
     telemetry::Counter* entry_counter = nullptr;
+    /// SystemState threat epoch the decision was computed under; consulted
+    /// only when `epoch_fenced` (the decision passed through a
+    /// kThreatFenced condition).
+    std::uint64_t state_epoch = 0;
+    bool epoch_fenced = false;
   };
 
-  /// Null on miss, stale version or hash collision.
+  /// Null on miss, stale version, stale threat epoch (fenced entries only)
+  /// or hash collision.
   std::shared_ptr<const CachedDecision> Get(std::string_view key,
-                                            std::uint64_t snapshot_version);
+                                            std::uint64_t snapshot_version,
+                                            std::uint64_t state_epoch = 0);
 
   /// Admission probe for the transport's inline fast path: true when a
-  /// current-version entry exists for `key`.  Unlike Get, Peek perturbs
-  /// nothing — no hit/miss counters, no metrics — so probing a request and
-  /// then declining to serve it inline leaves the cache statistics exact.
-  bool Peek(std::string_view key, std::uint64_t snapshot_version) const;
+  /// current-version (and current-epoch, for fenced entries) entry exists
+  /// for `key`.  Unlike Get, Peek perturbs nothing — no hit/miss counters,
+  /// no metrics — so probing a request and then declining to serve it
+  /// inline leaves the cache statistics exact.
+  bool Peek(std::string_view key, std::uint64_t snapshot_version,
+            std::uint64_t state_epoch = 0) const;
 
   void Put(std::string key, std::uint64_t snapshot_version,
            std::shared_ptr<const AuthzResult> result,
-           telemetry::Counter* entry_counter);
+           telemetry::Counter* entry_counter, std::uint64_t state_epoch = 0,
+           bool epoch_fenced = false);
 
   /// Drop every entry (tests; not required for correctness on policy
   /// change — the version key already fences stale answers).

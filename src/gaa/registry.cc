@@ -26,6 +26,8 @@ const char* CondPurityName(CondPurity purity) {
   switch (purity) {
     case CondPurity::kPure:
       return "pure";
+    case CondPurity::kThreatFenced:
+      return "threat-fenced";
     case CondPurity::kVolatile:
       return "volatile";
     case CondPurity::kEffect:

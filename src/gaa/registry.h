@@ -62,8 +62,9 @@ using CondRoutine = std::function<EvalOutcome(
     const eacl::Condition&, const RequestContext&, EvalServices&)>;
 
 /// Purity classification of a routine, used by the compiled engine's
-/// memoization analysis (DESIGN.md §9).  A decision may be cached only if
-/// every condition evaluated on the way to it was kPure.
+/// memoization analysis (DESIGN.md §9, §12).  A decision may be cached only
+/// if every condition on the way to it was kPure or kThreatFenced (the
+/// latter pins the cache entry to the threat epoch it was computed under).
 enum class CondPurity {
   /// Depends only on inputs captured in the decision-memo key — the request
   /// identity (authenticated flag, user, asserted groups), the client
@@ -71,9 +72,15 @@ enum class CondPurity {
   /// itself.  Re-evaluation with an identical key provably repeats the
   /// outcome, so the decision is safe to memoize.
   kPure,
+  /// Like kPure, except the routine additionally reads the system threat
+  /// level.  Memoizable when the cache entry is fenced on the SystemState
+  /// threat epoch: a level transition bumps the epoch and invalidates the
+  /// entry, exactly as a policy reload's snapshot version does.
+  kThreatFenced,
   /// Reads live state outside the memo key: the clock, SystemState
-  /// variables/groups/event counters, IDS verdicts, threat level, request
-  /// parameters or operation statistics.  Never memoized.
+  /// variables/groups/event counters, IDS verdicts, a threat level reached
+  /// through "var:" indirection, request parameters or operation
+  /// statistics.  Never memoized.
   kVolatile,
   /// Performs side effects (notification, audit record, blacklist update,
   /// IDS report).  Never memoized — the effect must fire on every request.

@@ -32,7 +32,11 @@ ThreatLevel SystemState::threat_level() const {
 
 void SystemState::SetThreatLevel(ThreatLevel level) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (threat_level_ == level) return;
   threat_level_ = level;
+  // Bump only on an actual transition: ThreatService republishes the level
+  // every recompute tick, and a no-op republish must not flush the memo.
+  threat_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void SystemState::AddGroupMember(const std::string& group,

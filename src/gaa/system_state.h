@@ -8,6 +8,7 @@
 // adjusts the threat level.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -38,6 +39,14 @@ class SystemState {
   ThreatLevel threat_level() const;
   void SetThreatLevel(ThreatLevel level);
 
+  /// Monotone generation counter bumped only when SetThreatLevel actually
+  /// changes the level.  The decision memo uses it as a version fence for
+  /// threat-fenced conditions: a transition invalidates those entries the
+  /// same way a policy reload's snapshot version does (DESIGN.md §12).
+  std::uint64_t threat_epoch() const {
+    return threat_epoch_.load(std::memory_order_acquire);
+  }
+
   // --- named groups (e.g. the BadGuys blacklist of suspicious IPs) --------
   void AddGroupMember(const std::string& group, const std::string& member);
   void RemoveGroupMember(const std::string& group, const std::string& member);
@@ -65,6 +74,7 @@ class SystemState {
  private:
   util::Clock* clock_;
   mutable std::mutex mu_;
+  std::atomic<std::uint64_t> threat_epoch_{0};
   ThreatLevel threat_level_ = ThreatLevel::kLow;
   double system_load_ = 0.0;
   std::map<std::string, std::set<std::string>> groups_;

@@ -245,6 +245,9 @@ bool WebServer::TryServeStaticFast(std::string_view method,
   if (latency_hist_ != nullptr) {
     latency_hist_->Record(static_cast<std::uint64_t>(sw.ElapsedUs()));
   }
+  if (request_observer_) {
+    request_observer_(method, target, client_ip, out->status);
+  }
   return true;
 }
 
@@ -440,6 +443,10 @@ HttpResponse WebServer::FinalizeResponse(RequestRec& rec,
     response.ClearBody();
   }
   LogAccess(rec, response.status, represented);
+  if (request_observer_) {
+    request_observer_(rec.method, rec.path, rec.client_ip,
+                      static_cast<int>(response.status));
+  }
   return response;
 }
 

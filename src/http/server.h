@@ -262,6 +262,18 @@ class WebServer {
     if (malformed_hook_) malformed_hook_(defect, detail, client_ip);
   }
 
+  /// Invoked once per served request — worker path, inline pipeline and the
+  /// template fast path alike — with the request's transport-level features.
+  /// The integration layer feeds this to the streaming IDS (DESIGN.md §12).
+  /// Must be cheap and thread-safe: it runs on the event loop for
+  /// fast-path serves.
+  using RequestObserver =
+      std::function<void(std::string_view method, std::string_view target,
+                         util::Ipv4Address client_ip, int status)>;
+  void set_request_observer(RequestObserver observer) {
+    request_observer_ = std::move(observer);
+  }
+
   // --- telemetry ------------------------------------------------------------
   /// Every server owns a default Telemetry instance; the integration layer
   /// swaps in a shared one so GAA/IDS/audit metrics land in the same
@@ -313,6 +325,7 @@ class WebServer {
   util::Clock* clock_;
   Options options_;
   MalformedHook malformed_hook_;
+  RequestObserver request_observer_;
   /// Response-template cache over tree_ (DESIGN.md §11); null when
   /// disabled.  Immutable after construction, safe from every thread.
   std::unique_ptr<StaticContentPlane> plane_;

@@ -37,6 +37,10 @@ using util::ErrorCode;
 constexpr std::uint64_t kListenTag = 0;
 constexpr std::uint64_t kWakeTag = 1;
 constexpr std::uint64_t kFirstConnId = 2;
+// Timer-wheel sentinel for the periodic maintenance tick (shard 0 only).
+// Wheel ids are otherwise connection ids (>= kFirstConnId), so 1 is free in
+// that namespace — kWakeTag lives in the separate epoll-tag namespace.
+constexpr std::uint64_t kTickTimerId = 1;
 
 std::int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -588,6 +592,11 @@ util::VoidResult TcpServer::Start() {
   for (auto& shard : shards_) {
     Shard* s = shard.get();
     s->wheel.Reset(NowMs());
+    // The maintenance tick is process-wide work (IDS decay, sketch aging),
+    // so exactly one shard carries it.
+    if (s->index == 0 && options_.tick_interval_ms > 0 && tick_hook_) {
+      s->wheel.Arm(kTickTimerId, NowMs() + options_.tick_interval_ms);
+    }
     s->thread = std::thread([this, s] { ShardLoop(*s); });
   }
   std::size_t nworkers = std::max(options_.worker_threads, nshards);
@@ -1282,6 +1291,13 @@ void TcpServer::NoteArena(Shard& shard, Connection* conn) {
 
 void TcpServer::OnTimerDue(Shard& shard, std::uint64_t conn_id,
                            std::int64_t now_ms) {
+  if (conn_id == kTickTimerId) {
+    if (tick_hook_) tick_hook_(now_ms);
+    if (options_.tick_interval_ms > 0) {
+      shard.wheel.Arm(kTickTimerId, now_ms + options_.tick_interval_ms);
+    }
+    return;
+  }
   auto it = shard.conns.find(conn_id);
   if (it == shard.conns.end()) return;  // closed while armed
   Connection* conn = it->second.get();

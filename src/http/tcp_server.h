@@ -95,6 +95,11 @@ class TcpServer {
     /// Stop(): how long to wait for in-flight requests to finish and
     /// responses to flush before force-closing.
     int drain_timeout_ms = 2000;
+    /// Fire the tick hook from shard 0's timer wheel every this many
+    /// milliseconds (0 disables).  The integration layer drives periodic
+    /// IDS maintenance — threat-level decay, sketch window aging — off
+    /// this, so decay happens even when no requests arrive (DESIGN.md §12).
+    int tick_interval_ms = 0;
   };
 
   /// Connection-layer counters, exported through the stats hook so
@@ -132,6 +137,12 @@ class TcpServer {
 
   /// Install the stats export hook (call before Start()).
   void set_stats_hook(StatsHook hook) { stats_hook_ = std::move(hook); }
+
+  /// Invoked from shard 0's event-loop thread every
+  /// Options::tick_interval_ms with the current monotonic time.  Must be
+  /// cheap and thread-safe.  Install before Start().
+  using TickHook = std::function<void(std::int64_t now_ms)>;
+  void set_tick_hook(TickHook hook) { tick_hook_ = std::move(hook); }
 
   bool running() const { return running_.load(); }
   /// The bound port (valid after Start(); useful with port 0).
@@ -189,6 +200,7 @@ class TcpServer {
   WebServer* server_;
   Options options_;
   StatsHook stats_hook_;
+  TickHook tick_hook_;
   std::uint16_t port_ = 0;
 
   std::atomic<bool> running_{false};

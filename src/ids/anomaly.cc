@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/metrics.h"
+
 namespace gaa::ids {
 
 void RunningStat::Add(double x) {
@@ -30,7 +32,22 @@ AnomalyDetector::AnomalyDetector(util::Clock* clock, Options options)
 void AnomalyDetector::Train(const RequestFeatures& features) {
   util::TimePoint now = clock_ != nullptr ? clock_->Now() : 0;
   std::lock_guard<std::mutex> lock(mu_);
-  Profile& p = profiles_[features.principal];
+  auto it = profiles_.find(features.principal);
+  if (it == profiles_.end()) {
+    lru_.push_front(features.principal);
+    it = profiles_.emplace(features.principal, Profile{}).first;
+    it->second.lru_pos = lru_.begin();
+    // Bound the map: the exact detector survives as a reference mode only,
+    // so it trades the coldest profile for O(1) memory past the cap.
+    if (options_.max_profiles > 0 && profiles_.size() > options_.max_profiles) {
+      profiles_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    PublishCountLocked();
+  } else if (it->second.lru_pos != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  Profile& p = it->second;
   p.query_length.Add(features.query_length);
   p.url_depth.Add(features.url_depth);
   if (p.last_seen_us != 0 && now > p.last_seen_us) {
@@ -81,6 +98,19 @@ std::size_t AnomalyDetector::TrainingCount(const std::string& principal) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = profiles_.find(principal);
   return it == profiles_.end() ? 0 : it->second.observations;
+}
+
+void AnomalyDetector::PublishCountLocked() {
+  if (profiles_gauge_ != nullptr) {
+    profiles_gauge_->Set(static_cast<std::int64_t>(profiles_.size()));
+  }
+}
+
+void AnomalyDetector::AttachMetrics(telemetry::MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  profiles_gauge_ =
+      registry != nullptr ? registry->GetGauge("ids_anomaly_profiles") : nullptr;
+  PublishCountLocked();
 }
 
 }  // namespace gaa::ids

@@ -10,12 +10,18 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <set>
 #include <string>
 
 #include "util/clock.h"
+
+namespace gaa::telemetry {
+class Gauge;
+class MetricRegistry;
+}  // namespace gaa::telemetry
 
 namespace gaa::ids {
 
@@ -46,6 +52,11 @@ class AnomalyDetector {
     double score_threshold = 3.0;  ///< composite score that flags a request
     std::size_t min_training = 20; ///< observations before scoring kicks in
     double novelty_weight = 1.5;   ///< added when the path was never seen
+    /// Hard cap on resident profiles; the least-recently-trained principal
+    /// is evicted past it.  The exact detector is the streaming provider's
+    /// differential *reference* (DESIGN.md §12) — it must be OOM-proof
+    /// too, just not cardinality-proof.  0 means unbounded.
+    std::size_t max_profiles = 10000;
   };
 
   explicit AnomalyDetector(util::Clock* clock)
@@ -68,6 +79,11 @@ class AnomalyDetector {
 
   std::size_t profile_count() const;
   std::size_t TrainingCount(const std::string& principal) const;
+  const Options& options() const { return options_; }
+
+  /// Export the resident-profile count as gauge `ids_anomaly_profiles`.
+  /// Null detaches.
+  void AttachMetrics(telemetry::MetricRegistry* registry);
 
  private:
   struct Profile {
@@ -77,15 +93,20 @@ class AnomalyDetector {
     std::set<std::string> paths;
     util::TimePoint last_seen_us = 0;
     std::size_t observations = 0;
+    /// Position in lru_ (most-recently-trained at the front).
+    std::list<std::string>::iterator lru_pos;
   };
 
   double ScoreLocked(const Profile& profile,
                      const RequestFeatures& features) const;
+  void PublishCountLocked();
 
   util::Clock* clock_;
   Options options_;
   mutable std::mutex mu_;
   std::map<std::string, Profile> profiles_;
+  std::list<std::string> lru_;
+  telemetry::Gauge* profiles_gauge_ = nullptr;
 };
 
 }  // namespace gaa::ids

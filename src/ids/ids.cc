@@ -1,5 +1,7 @@
 #include "ids/ids.h"
 
+#include <algorithm>
+
 #include "telemetry/metrics.h"
 
 namespace gaa::ids {
@@ -12,6 +14,7 @@ IntrusionDetectionSystem::IntrusionDetectionSystem(
       threat_(state, clock, threat_options),
       bus_(clock),
       anomaly_(clock),
+      stream_(sketch::StreamingAnomalyProvider::Options{}),
       signatures_(SignatureDb::KnownWebAttacks()) {}
 
 void IntrusionDetectionSystem::AttachMetrics(
@@ -19,6 +22,8 @@ void IntrusionDetectionSystem::AttachMetrics(
   metrics_ = registry;
   bus_.AttachMetrics(registry);
   threat_.AttachMetrics(registry);
+  anomaly_.AttachMetrics(registry);
+  stream_.AttachMetrics(registry);
 }
 
 void IntrusionDetectionSystem::AttachAudit(core::AuditSink* audit) {
@@ -64,6 +69,46 @@ void IntrusionDetectionSystem::Report(const core::IdsReport& report) {
   bus_.Publish(std::move(event));
 
   // Adaptive values track the (possibly just escalated) threat level.
+  RecomputeAdaptiveValues();
+}
+
+void IntrusionDetectionSystem::ObserveRequest(const std::string& client_ip,
+                                              const std::string& path,
+                                              util::TimePoint now_us) {
+  double severity;
+  double threshold;
+  if (anomaly_mode_ == AnomalyMode::kStreaming) {
+    severity = stream_.Observe(client_ip, path, now_us);
+    threshold = stream_.options().report_threshold;
+  } else {
+    // Differential reference: the exact detector scores the same stream so
+    // tests can compare verdicts against the sketch path.
+    RequestFeatures features;
+    features.principal = client_ip;
+    features.path = path;
+    features.url_depth = static_cast<double>(
+        std::count(path.begin(), path.end(), '/'));
+    severity = anomaly_.Observe(features);
+    threshold = anomaly_.options().score_threshold;
+  }
+  if (severity < threshold) return;
+  core::IdsReport report;
+  report.kind = core::ReportKind::kSuspiciousBehavior;
+  report.source_ip = client_ip;
+  report.object = path;
+  report.attack_type = "stream_anomaly";
+  report.severity = static_cast<int>(severity);
+  report.confidence = 0.8;
+  report.detail = anomaly_mode_ == AnomalyMode::kStreaming
+                      ? "sketch features crossed thresholds"
+                      : "exact profile z-score crossed threshold";
+  Report(report);
+}
+
+void IntrusionDetectionSystem::PeriodicMaintenance() {
+  threat_.Tick();
+  if (clock_ != nullptr) stream_.MaintenanceTick(clock_->Now());
+  // The tick may have decayed the level; adaptive thresholds must follow.
   RecomputeAdaptiveValues();
 }
 

@@ -22,10 +22,19 @@
 #include "ids/anomaly.h"
 #include "ids/event_bus.h"
 #include "ids/signature_db.h"
+#include "ids/sketch/stream_ids.h"
 #include "ids/threat_service.h"
 #include "util/clock.h"
 
 namespace gaa::ids {
+
+/// Which anomaly detector scores the live request stream (DESIGN.md §12).
+/// Mirrors the compiled/interpreted engine split: the sketch provider is
+/// the production path, the exact detector the differential reference.
+enum class AnomalyMode {
+  kStreaming,       ///< fixed-memory sketches (default)
+  kExactReference,  ///< legacy per-principal profiles (O(clients) memory)
+};
 
 class IntrusionDetectionSystem final : public core::IdsChannel {
  public:
@@ -48,10 +57,29 @@ class IntrusionDetectionSystem final : public core::IdsChannel {
   /// detaches.  The sink must outlive the IDS.
   void AttachAudit(core::AuditSink* audit);
 
+  // --- live request stream (DESIGN.md §12) ---------------------------------
+  /// Feed one served request into the anomaly pipeline.  In streaming mode
+  /// this is O(sketch): a few atomic increments plus one sharded-mutex
+  /// quantile update, safe to call from the transport's inline fast path.
+  /// Severities at or above the provider's report threshold become
+  /// kSuspiciousBehavior reports (escalating the threat level, which in
+  /// turn fences threat-dependent memo entries).
+  void ObserveRequest(const std::string& client_ip, const std::string& path,
+                      util::TimePoint now_us);
+
+  /// Periodic housekeeping, driven by the transport's shard timer wheel:
+  /// threat decay (ThreatService::Tick), sketch window aging, and a
+  /// refresh of the adaptive SystemState variables.
+  void PeriodicMaintenance();
+
+  void set_anomaly_mode(AnomalyMode mode) { anomaly_mode_ = mode; }
+  AnomalyMode anomaly_mode() const { return anomaly_mode_; }
+
   // --- components ----------------------------------------------------------
   ThreatService& threat() { return threat_; }
   EventBus& bus() { return bus_; }
   AnomalyDetector& anomaly() { return anomaly_; }
+  sketch::StreamingAnomalyProvider& stream() { return stream_; }
   SignatureDb& signatures() { return signatures_; }
 
   // --- network-IDS oracle configuration (tests / scenarios) ----------------
@@ -81,6 +109,8 @@ class IntrusionDetectionSystem final : public core::IdsChannel {
   ThreatService threat_;
   EventBus bus_;
   AnomalyDetector anomaly_;
+  sketch::StreamingAnomalyProvider stream_;
+  AnomalyMode anomaly_mode_ = AnomalyMode::kStreaming;
   SignatureDb signatures_;
   mutable std::mutex mu_;
   std::vector<core::IdsReport> reports_;

@@ -1,0 +1,74 @@
+#include "ids/sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gaa::ids::sketch {
+
+namespace {
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+CountMinSketch::CountMinSketch(Options options) {
+  std::size_t width = RoundUpPow2(std::max<std::size_t>(options.width, 16));
+  mask_ = width - 1;
+  depth_ = std::max<std::size_t>(options.depth, 1);
+  cells_ = std::make_unique<std::atomic<std::uint32_t>[]>(width * depth_);
+  for (std::size_t i = 0; i < width * depth_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t CountMinSketch::Add(std::uint64_t item_hash,
+                                  std::uint64_t count) {
+  std::uint64_t estimate = ~0ULL;
+  const std::uint32_t delta = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(count, 0x7fffffffULL));
+  for (std::size_t row = 0; row < depth_; ++row) {
+    std::atomic<std::uint32_t>& cell =
+        cells_[row * (mask_ + 1) + Index(item_hash, row)];
+    std::uint32_t after =
+        cell.fetch_add(delta, std::memory_order_relaxed) + delta;
+    estimate = std::min<std::uint64_t>(estimate, after);
+  }
+  total_.fetch_add(count, std::memory_order_relaxed);
+  return estimate;
+}
+
+std::uint64_t CountMinSketch::Estimate(std::uint64_t item_hash) const {
+  std::uint64_t estimate = ~0ULL;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    std::uint64_t v = cells_[row * (mask_ + 1) + Index(item_hash, row)].load(
+        std::memory_order_relaxed);
+    estimate = std::min(estimate, v);
+  }
+  return estimate;
+}
+
+void CountMinSketch::Halve() {
+  const std::size_t cells = (mask_ + 1) * depth_;
+  for (std::size_t i = 0; i < cells; ++i) {
+    // Load-shift-store instead of a CAS loop: a concurrent increment that
+    // lands between the load and the store is absorbed into the halved
+    // value or lost entirely — either way the counter stays a (smaller)
+    // overestimate, which is the decayed window's whole point.
+    cells_[i].store(cells_[i].load(std::memory_order_relaxed) >> 1,
+                    std::memory_order_relaxed);
+  }
+  total_.store(total_.load(std::memory_order_relaxed) / 2,
+               std::memory_order_relaxed);
+}
+
+double CountMinSketch::epsilon() const {
+  return std::exp(1.0) / static_cast<double>(mask_ + 1);
+}
+
+double CountMinSketch::delta() const {
+  return std::exp(-static_cast<double>(depth_));
+}
+
+}  // namespace gaa::ids::sketch

@@ -1,0 +1,76 @@
+// Count-min sketch (Cormode & Muthukrishnan): fixed-memory frequency
+// estimation for the streaming IDS (DESIGN.md §12).
+//
+// depth × width matrix of atomic counters; an item increments one counter
+// per row (indices from the double-hashing family h1 + i*h2) and its
+// estimate is the row minimum.  Collisions only ever inflate counts, so the
+// estimate is an OVERESTIMATE of the true frequency — never an
+// underestimate — and the classic bound holds: with width w and depth d,
+//   estimate ≤ true + (e/w)·N   with probability ≥ 1 − e^(−d)
+// where N is the total count in the sketch.  The IDS compares estimates
+// against rate thresholds, so overestimation fails safe (flags early).
+//
+// Thread-safety: Add/Estimate are lock-free (relaxed atomics — counters are
+// independent saturating tallies, not synchronization).  Halve() ages the
+// window concurrently with writers; an increment racing a halving may be
+// lost, which only shrinks an overestimate and never corrupts a counter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace gaa::ids::sketch {
+
+class CountMinSketch {
+ public:
+  struct Options {
+    /// Counters per row; rounded up to a power of two.  ε = e/width.
+    std::size_t width = 4096;
+    /// Rows; failure probability δ = e^(−depth).
+    std::size_t depth = 4;
+  };
+
+  explicit CountMinSketch(Options options);
+
+  /// Count `count` occurrences of the item; returns the post-add estimate
+  /// (the row minimum), so hot-path callers get the feature for free.
+  std::uint64_t Add(std::uint64_t item_hash, std::uint64_t count = 1);
+
+  /// Row-minimum estimate of the item's frequency since the last aging.
+  std::uint64_t Estimate(std::uint64_t item_hash) const;
+
+  /// Age the window: every counter is halved in place (exponential decay,
+  /// one call per window period).  Totals halve with it.
+  void Halve();
+
+  /// Total count added since the last Halve() (N in the error bound).
+  std::uint64_t Total() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t width() const { return mask_ + 1; }
+  std::size_t depth() const { return depth_; }
+  /// ε in the overestimate bound: estimate ≤ true + epsilon()·Total().
+  double epsilon() const;
+  /// δ: probability the bound fails (all depth rows collide badly).
+  double delta() const;
+  std::size_t MemoryBytes() const {
+    return (mask_ + 1) * depth_ * sizeof(std::atomic<std::uint32_t>);
+  }
+
+ private:
+  std::size_t Index(std::uint64_t item_hash, std::size_t row) const {
+    // Double hashing: h2 is odd so the row strides are coprime with the
+    // power-of-two width.
+    std::uint64_t h2 = (item_hash >> 32) | 1ULL;
+    return static_cast<std::size_t>(item_hash + row * h2) & mask_;
+  }
+
+  std::size_t mask_ = 0;
+  std::size_t depth_ = 0;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> cells_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace gaa::ids::sketch

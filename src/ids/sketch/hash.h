@@ -1,0 +1,34 @@
+// Hashing helpers shared by the streaming-IDS sketches (DESIGN.md §12).
+//
+// Every sketch consumes one 64-bit item hash and derives its row/bucket
+// indices from it, so a request's principal and path are hashed exactly
+// once on the hot path no matter how many sketches observe them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gaa::ids::sketch {
+
+/// SplitMix64 finalizer: full-avalanche bit mixer, the standard way to
+/// stretch one hash into an independent family (h_i = h1 + i*h2).
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the bytes, finished with Mix64 (FNV alone clusters short
+/// ASCII keys in the low bits, which direct-mapped sketches care about).
+inline std::uint64_t HashBytes(std::string_view bytes,
+                               std::uint64_t seed = 0) {
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace gaa::ids::sketch

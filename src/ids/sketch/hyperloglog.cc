@@ -1,0 +1,139 @@
+#include "ids/sketch/hyperloglog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gaa::ids::sketch {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint8_t ClampPrecision(std::uint8_t precision) {
+  return std::max<std::uint8_t>(4, std::min<std::uint8_t>(precision, 16));
+}
+
+// Bias-correction constant alpha_m for m registers (HLL paper, §4).
+double AlphaM(std::size_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+std::uint8_t Rank(std::uint64_t bits, std::uint8_t precision) {
+  // Leading-zero count of the post-index bits, +1.  OR-ing in a sentinel
+  // below the usable bits bounds the rank for the all-zero tail.
+  std::uint64_t w = (bits << precision) | (1ULL << (precision - 1));
+  std::uint8_t rank = 1;
+  while (!(w & (1ULL << 63))) {
+    w <<= 1;
+    ++rank;
+  }
+  return rank;
+}
+
+void ClearPlane(std::atomic<std::uint8_t>* regs, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    regs[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void HyperLogLog::AddToPlane(std::atomic<std::uint8_t>* regs,
+                             std::uint8_t precision,
+                             std::uint64_t item_hash) {
+  const std::size_t idx =
+      static_cast<std::size_t>(item_hash >> (64 - precision));
+  const std::uint8_t rank = Rank(item_hash, precision);
+  std::uint8_t cur = regs[idx].load(std::memory_order_relaxed);
+  // CAS-max: registers only grow, so concurrent adds commute.
+  while (rank > cur &&
+         !regs[idx].compare_exchange_weak(cur, rank,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double HyperLogLog::EstimatePlane(const std::atomic<std::uint8_t>* regs,
+                                  std::uint8_t precision) {
+  const std::size_t m = static_cast<std::size_t>(1) << precision;
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint8_t reg = regs[i].load(std::memory_order_relaxed);
+    sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zeros;
+  }
+  double estimate = AlphaM(m) * static_cast<double>(m) *
+                    static_cast<double>(m) / sum;
+  if (estimate <= 2.5 * static_cast<double>(m) && zeros != 0) {
+    // Linear counting corrects the small-cardinality bias.
+    estimate = static_cast<double>(m) *
+               std::log(static_cast<double>(m) / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+HyperLogLog::HyperLogLog(std::uint8_t precision)
+    : p_(ClampPrecision(precision)),
+      m_(static_cast<std::size_t>(1) << p_),
+      regs_(std::make_unique<std::atomic<std::uint8_t>[]>(m_)) {
+  ClearPlane(regs_.get(), m_);
+}
+
+void HyperLogLog::Add(std::uint64_t item_hash) {
+  AddToPlane(regs_.get(), p_, item_hash);
+}
+
+double HyperLogLog::Estimate() const {
+  return EstimatePlane(regs_.get(), p_);
+}
+
+void HyperLogLog::Clear() { ClearPlane(regs_.get(), m_); }
+
+HllMatrix::HllMatrix(std::size_t buckets, std::uint8_t precision)
+    : precision_(ClampPrecision(precision)),
+      regs_per_bucket_(static_cast<std::size_t>(1) << precision_),
+      bucket_mask_(RoundUpPow2(std::max<std::size_t>(buckets, 1)) - 1),
+      regs_(std::make_unique<std::atomic<std::uint8_t>[]>(
+          2 * (bucket_mask_ + 1) * regs_per_bucket_)) {
+  ClearPlane(regs_.get(), 2 * (bucket_mask_ + 1) * regs_per_bucket_);
+}
+
+void HllMatrix::Add(std::uint64_t key_hash, std::uint64_t item_hash) {
+  const std::size_t bucket = static_cast<std::size_t>(key_hash) & bucket_mask_;
+  std::atomic<std::uint8_t>* regs =
+      Plane(current_.load(std::memory_order_relaxed)) +
+      bucket * regs_per_bucket_;
+  HyperLogLog::AddToPlane(regs, precision_, item_hash);
+}
+
+double HllMatrix::Estimate(std::uint64_t key_hash) const {
+  const std::size_t bucket = static_cast<std::size_t>(key_hash) & bucket_mask_;
+  double best = 0.0;
+  for (std::size_t gen = 0; gen < 2; ++gen) {
+    const std::atomic<std::uint8_t>* regs =
+        Plane(gen) + bucket * regs_per_bucket_;
+    best = std::max(best, HyperLogLog::EstimatePlane(regs, precision_));
+  }
+  return best;
+}
+
+void HllMatrix::Rotate() {
+  const std::size_t retiring = 1 - current_.load(std::memory_order_relaxed);
+  ClearPlane(Plane(retiring), (bucket_mask_ + 1) * regs_per_bucket_);
+  current_.store(retiring, std::memory_order_relaxed);
+}
+
+}  // namespace gaa::ids::sketch

@@ -1,0 +1,140 @@
+#include "ids/sketch/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gaa::ids::sketch {
+
+namespace {
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+P2Quantile::P2Quantile(double q) : q_(std::min(std::max(q, 1e-6), 1.0 - 1e-6)) {
+  desired_[0] = 1;
+  desired_[1] = 1 + 2 * q_;
+  desired_[2] = 1 + 4 * q_;
+  desired_[3] = 3 + 2 * q_;
+  desired_[4] = 5;
+  increments_[0] = 0;
+  increments_[1] = q_ / 2;
+  increments_[2] = q_;
+  increments_[3] = (1 + q_) / 2;
+  increments_[4] = 1;
+}
+
+double P2Quantile::Parabolic(int i, double d) const {
+  return heights_[i] +
+         d / (positions_[i + 1] - positions_[i - 1]) *
+             ((positions_[i] - positions_[i - 1] + d) *
+                  (heights_[i + 1] - heights_[i]) /
+                  (positions_[i + 1] - positions_[i]) +
+              (positions_[i + 1] - positions_[i] - d) *
+                  (heights_[i] - heights_[i - 1]) /
+                  (positions_[i] - positions_[i - 1]));
+}
+
+double P2Quantile::Linear(int i, double d) const {
+  const int j = i + static_cast<int>(d);
+  return heights_[i] + d * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::Observe(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+    }
+    return;
+  }
+  ++count_;
+
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+      const double step = d >= 0 ? 1 : -1;
+      const double h = Parabolic(i, step);
+      // Fall back to linear interpolation when the parabola would break
+      // marker monotonicity (the P² paper's guard).
+      if (heights_[i - 1] < h && h < heights_[i + 1]) {
+        heights_[i] = h;
+      } else {
+        heights_[i] = Linear(i, step);
+      }
+      positions_[i] += step;
+    }
+  }
+}
+
+double P2Quantile::Estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile over the few samples seen so far.
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const std::size_t idx = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min<std::size_t>(idx, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+ShardedQuantile::ShardedQuantile(std::size_t shards, double q)
+    : mask_(RoundUpPow2(std::max<std::size_t>(shards, 1)) - 1),
+      shards_(std::make_unique<std::unique_ptr<Shard>[]>(mask_ + 1)) {
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    shards_[i] = std::make_unique<Shard>(q);
+  }
+}
+
+void ShardedQuantile::Observe(std::uint64_t key_hash, double x) {
+  Shard& shard = *shards_[static_cast<std::size_t>(key_hash) & mask_];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.est.Observe(x);
+}
+
+double ShardedQuantile::Estimate() const {
+  double weighted = 0.0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    const Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const std::uint64_t n = shard.est.Count();
+    if (n == 0) continue;
+    weighted += shard.est.Estimate() * static_cast<double>(n);
+    total += n;
+  }
+  return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+std::uint64_t ShardedQuantile::Count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    const Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.est.Count();
+  }
+  return total;
+}
+
+}  // namespace gaa::ids::sketch

@@ -1,0 +1,67 @@
+// P² streaming quantile estimation (Jain & Chlamtac 1985) for the
+// streaming IDS (DESIGN.md §12): inter-arrival-time percentiles in O(1)
+// memory per estimator — five markers, no sample buffer.
+//
+// ShardedQuantile fans writers across N independent estimators, each
+// behind its own mutex ("finely sharded"): a request's client hash picks
+// the shard, so contention is 1/N of a global lock and a single hot
+// client cannot serialize the whole transport.  Query() merges shards by
+// averaging the per-shard estimates weighted by observation count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace gaa::ids::sketch {
+
+class P2Quantile {
+ public:
+  /// `q` in (0, 1): the quantile to track (e.g. 0.05 for p5).
+  explicit P2Quantile(double q);
+
+  void Observe(double x);
+  /// Current estimate; exact until five observations have arrived.
+  double Estimate() const;
+  std::uint64_t Count() const { return count_; }
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {0, 0, 0, 0, 0};
+  double increments_[5] = {0, 0, 0, 0, 0};
+};
+
+class ShardedQuantile {
+ public:
+  ShardedQuantile(std::size_t shards, double q);
+
+  /// Fold `x` into the shard selected by `key_hash`.
+  void Observe(std::uint64_t key_hash, double x);
+
+  /// Count-weighted average of the shard estimates.
+  double Estimate() const;
+  std::uint64_t Count() const;
+
+  std::size_t shards() const { return mask_ + 1; }
+  std::size_t MemoryBytes() const {
+    return (mask_ + 1) * sizeof(Shard);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    P2Quantile est;
+    explicit Shard(double q) : est(q) {}
+  };
+
+  std::size_t mask_;
+  std::unique_ptr<std::unique_ptr<Shard>[]> shards_;
+};
+
+}  // namespace gaa::ids::sketch

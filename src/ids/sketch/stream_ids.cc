@@ -1,0 +1,132 @@
+#include "ids/sketch/stream_ids.h"
+
+#include <algorithm>
+
+#include "ids/sketch/hash.h"
+#include "telemetry/metrics.h"
+
+namespace gaa::ids::sketch {
+
+namespace {
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+StreamingAnomalyProvider::StreamingAnomalyProvider(Options options)
+    : options_(options),
+      client_rate_(options.client_rate),
+      uri_rate_(options.uri_rate),
+      fanout_(options.fanout_buckets, options.fanout_precision),
+      interarrival_p5_(options.quantile_shards, 0.05),
+      slot_mask_(
+          RoundUpPow2(std::max<std::size_t>(options.interarrival_slots, 16)) -
+          1),
+      slots_(std::make_unique<Slot[]>(slot_mask_ + 1)) {}
+
+double StreamingAnomalyProvider::InterArrivalUs(std::uint64_t client_hash,
+                                                util::TimePoint now_us) {
+  Slot& slot = slots_[static_cast<std::size_t>(client_hash) & slot_mask_];
+  const std::uint64_t prev_fp =
+      slot.fingerprint.load(std::memory_order_relaxed);
+  const std::int64_t prev_seen =
+      slot.last_seen_us.load(std::memory_order_relaxed);
+  slot.fingerprint.store(client_hash, std::memory_order_relaxed);
+  slot.last_seen_us.store(now_us, std::memory_order_relaxed);
+  // A colliding client overwrote the slot, or this is the first sighting:
+  // no usable gap.  Collisions are tolerable noise — the quantile only
+  // steers a soft severity weight, never a hard decision.
+  if (prev_fp != client_hash || prev_seen <= 0 || now_us < prev_seen) {
+    return -1.0;
+  }
+  return static_cast<double>(now_us - prev_seen);
+}
+
+double StreamingAnomalyProvider::Observe(std::string_view client,
+                                         std::string_view path,
+                                         util::TimePoint now_us) {
+  const std::uint64_t client_hash = HashBytes(client);
+  const std::uint64_t path_hash = HashBytes(path);
+
+  const std::uint64_t client_count = client_rate_.Add(client_hash);
+  const std::uint64_t uri_count = uri_rate_.Add(path_hash);
+  fanout_.Add(client_hash, path_hash);
+  const double fanout = fanout_.Estimate(client_hash);
+
+  const double gap_us = InterArrivalUs(client_hash, now_us);
+  if (gap_us >= 0) {
+    interarrival_p5_.Observe(client_hash, gap_us / 1000.0);
+  }
+
+  if (observations_ != nullptr) observations_->Inc();
+
+  double severity = 0.0;
+  if (static_cast<double>(client_count) > options_.client_rate_threshold) {
+    severity += options_.client_rate_weight;
+  }
+  if (static_cast<double>(uri_count) > options_.uri_rate_threshold) {
+    severity += options_.uri_rate_weight;
+  }
+  if (fanout > options_.fanout_threshold) {
+    severity += options_.fanout_weight;
+  }
+  if (gap_us >= 0 && gap_us / 1000.0 < options_.fast_interarrival_ms &&
+      static_cast<double>(client_count) >
+          options_.client_rate_threshold / 2.0) {
+    severity += options_.interarrival_weight;
+  }
+  severity = std::min(severity, options_.severity_cap);
+  if (severity >= options_.report_threshold && flagged_ != nullptr) {
+    flagged_->Inc();
+  }
+  return severity;
+}
+
+void StreamingAnomalyProvider::MaintenanceTick(util::TimePoint now_us) {
+  std::lock_guard<std::mutex> lock(age_mu_);
+  if (last_age_us_ != 0 && now_us - last_age_us_ < options_.window_us) {
+    return;
+  }
+  last_age_us_ = now_us;
+  client_rate_.Halve();
+  uri_rate_.Halve();
+  fanout_.Rotate();
+  if (agings_ != nullptr) agings_->Inc();
+}
+
+std::size_t StreamingAnomalyProvider::MemoryBytes() const {
+  return client_rate_.MemoryBytes() + uri_rate_.MemoryBytes() +
+         fanout_.MemoryBytes() + interarrival_p5_.MemoryBytes() +
+         (slot_mask_ + 1) * sizeof(Slot);
+}
+
+void StreamingAnomalyProvider::AttachMetrics(
+    telemetry::MetricRegistry* registry) {
+  if (registry == nullptr) return;
+  observations_ = registry->GetCounter("ids_stream_observations_total");
+  flagged_ = registry->GetCounter("ids_stream_flagged_total");
+  agings_ = registry->GetCounter("ids_sketch_agings_total");
+  registry->GetGauge("ids_sketch_memory_bytes")
+      ->Set(static_cast<std::int64_t>(MemoryBytes()));
+}
+
+std::uint64_t StreamingAnomalyProvider::ClientRate(
+    std::string_view client) const {
+  return client_rate_.Estimate(HashBytes(client));
+}
+
+std::uint64_t StreamingAnomalyProvider::UriRate(std::string_view path) const {
+  return uri_rate_.Estimate(HashBytes(path));
+}
+
+double StreamingAnomalyProvider::ClientFanout(std::string_view client) const {
+  return fanout_.Estimate(HashBytes(client));
+}
+
+double StreamingAnomalyProvider::InterArrivalP5Ms() const {
+  return interarrival_p5_.Estimate();
+}
+
+}  // namespace gaa::ids::sketch

@@ -1,0 +1,125 @@
+// StreamingAnomalyProvider: the sketch-backed anomaly detector that
+// replaces the exact per-client profile map on the hot path (DESIGN.md
+// §12).  Memory is fixed at construction no matter how many distinct
+// clients or URIs the server sees; per-request cost is O(sketch depth),
+// independent of cardinality.
+//
+// Feature pipeline per request:
+//   * client request rate      — count-min sketch over client hashes
+//   * URI request rate         — count-min sketch over path hashes
+//   * client resource fan-out  — HllMatrix bucket (distinct paths/client)
+//   * inter-arrival time       — fingerprint slot table → sharded P² p5
+//
+// Each feature that crosses its threshold contributes to a severity
+// score; scores at or above `report_threshold` are returned to the
+// caller (IntrusionDetectionSystem feeds them to
+// ThreatService::ReportAlert, which moves the SystemState threat level
+// and thereby the DecisionCache epoch fence).
+//
+// MaintenanceTick() ages the window: count-min counters halve and the
+// HLL matrix rotates generations.  Called from the transport timer wheel
+// via IntrusionDetectionSystem::PeriodicMaintenance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "ids/sketch/count_min.h"
+#include "ids/sketch/hyperloglog.h"
+#include "ids/sketch/quantile.h"
+#include "util/clock.h"
+
+namespace gaa::telemetry {
+class Counter;
+class Gauge;
+class MetricRegistry;
+}  // namespace gaa::telemetry
+
+namespace gaa::ids::sketch {
+
+class StreamingAnomalyProvider {
+ public:
+  struct Options {
+    CountMinSketch::Options client_rate;  ///< per-client request counts
+    CountMinSketch::Options uri_rate;     ///< per-URI request counts
+    std::size_t fanout_buckets = 1024;    ///< HllMatrix client buckets
+    std::uint8_t fanout_precision = 6;    ///< registers/bucket = 2^p
+    std::size_t interarrival_slots = 4096;  ///< last-seen fingerprint table
+    std::size_t quantile_shards = 16;
+    /// Aging period: counters halve / HLL generations rotate when a call
+    /// to MaintenanceTick arrives at least this long after the last aging.
+    util::DurationUs window_us = 60 * util::kMicrosPerSecond;
+    /// Thresholds on the windowed estimates.  Each crossing contributes
+    /// its weight to the severity score.
+    double client_rate_threshold = 300.0;
+    double uri_rate_threshold = 2000.0;
+    double fanout_threshold = 40.0;
+    /// Inter-arrivals faster than this (while the client is over half its
+    /// rate threshold) look like scripted scanning.
+    double fast_interarrival_ms = 5.0;
+    double client_rate_weight = 4.0;
+    double uri_rate_weight = 2.0;
+    double fanout_weight = 3.0;
+    double interarrival_weight = 2.0;
+    double severity_cap = 10.0;
+    /// Scores below this are noise: callers should not raise alerts.
+    double report_threshold = 4.0;
+  };
+
+  explicit StreamingAnomalyProvider(Options options);
+
+  /// Fold one request into the sketches and return its severity score
+  /// (0 when nothing crossed a threshold).  Lock-free except for the
+  /// per-shard quantile mutex (1/shards contention).
+  double Observe(std::string_view client, std::string_view path,
+                 util::TimePoint now_us);
+
+  /// Age the window if `window_us` has elapsed since the last aging.
+  /// Serialized internally; safe to call from any thread.
+  void MaintenanceTick(util::TimePoint now_us);
+
+  /// Resident sketch memory — constant for the provider's lifetime.
+  std::size_t MemoryBytes() const;
+
+  /// ids_stream_* counters and the ids_sketch_memory_bytes gauge.
+  void AttachMetrics(telemetry::MetricRegistry* registry);
+
+  // Feature probes for tests and benchmarks.
+  std::uint64_t ClientRate(std::string_view client) const;
+  std::uint64_t UriRate(std::string_view path) const;
+  double ClientFanout(std::string_view client) const;
+  double InterArrivalP5Ms() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Last-seen table slot for the client fingerprint; returns the
+  /// inter-arrival gap in µs, or a negative value on first sight /
+  /// fingerprint collision.
+  double InterArrivalUs(std::uint64_t client_hash, util::TimePoint now_us);
+
+  Options options_;
+  CountMinSketch client_rate_;
+  CountMinSketch uri_rate_;
+  HllMatrix fanout_;
+  ShardedQuantile interarrival_p5_;
+
+  struct Slot {
+    std::atomic<std::uint64_t> fingerprint{0};
+    std::atomic<std::int64_t> last_seen_us{0};
+  };
+  std::size_t slot_mask_;
+  std::unique_ptr<Slot[]> slots_;
+
+  std::mutex age_mu_;
+  util::TimePoint last_age_us_ = 0;
+
+  telemetry::Counter* observations_ = nullptr;
+  telemetry::Counter* flagged_ = nullptr;
+  telemetry::Counter* agings_ = nullptr;
+};
+
+}  // namespace gaa::ids::sketch

@@ -4,6 +4,7 @@
 
 #include "audit/audit_stream.h"
 #include "conditions/builtin.h"
+#include "http/tcp_server.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -150,6 +151,15 @@ GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
     report.detail = detail;
     ids_->Report(report);
   });
+  // Every served request feeds the streaming anomaly sketches (DESIGN.md
+  // §12) — worker path, inline pipeline and template fast path alike.
+  server_->set_request_observer([this](std::string_view /*method*/,
+                                       std::string_view target,
+                                       util::Ipv4Address client_ip,
+                                       int /*status*/) {
+    ids_->ObserveRequest(client_ip.ToString(), std::string(target),
+                         clock_->Now());
+  });
 
   if (options_.watchdog.enabled && options_.enable_telemetry) {
     // Flag time (watchdog thread): the request is still running, so only
@@ -240,6 +250,15 @@ http::HttpResponse GaaWebServer::HandleText(const std::string& raw,
   auto addr = util::Ipv4Address::Parse(client_ip);
   return server_->HandleText(raw, addr.value_or(util::Ipv4Address(0)),
                              /*client_port=*/40000);
+}
+
+void GaaWebServer::WireIdsTick(http::TcpServer* transport) {
+  if (transport == nullptr) return;
+  // The wheel tick arrives on shard 0's event-loop thread; everything
+  // PeriodicMaintenance touches (threat service, sketches, SystemState
+  // variables) is thread-safe, so no cross-thread relay is needed.
+  transport->set_tick_hook(
+      [this](std::int64_t /*now_ms*/) { ids_->PeriodicMaintenance(); });
 }
 
 }  // namespace gaa::web

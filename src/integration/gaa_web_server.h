@@ -28,6 +28,10 @@
 #include "telemetry/watchdog.h"
 #include "util/clock.h"
 
+namespace gaa::http {
+class TcpServer;
+}  // namespace gaa::http
+
 namespace gaa::web {
 
 class GaaWebServer {
@@ -130,6 +134,12 @@ class GaaWebServer {
   /// Raw request text (exercises the parser / ill-formed reporting path).
   http::HttpResponse HandleText(const std::string& raw,
                                 const std::string& client_ip);
+
+  /// Drive periodic IDS maintenance (threat decay under idle traffic,
+  /// sketch window aging, adaptive-threshold refresh) from the transport's
+  /// shard timer wheel.  Call before `transport->Start()`; the transport's
+  /// Options::tick_interval_ms must be non-zero for ticks to fire.
+  void WireIdsTick(http::TcpServer* transport);
 
   // --- component access ---------------------------------------------------------
   util::Clock& clock() { return *clock_; }

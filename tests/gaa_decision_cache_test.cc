@@ -108,17 +108,46 @@ TEST(DecisionMemo, MaybeIsNeverCached) {
   EXPECT_EQ(s.api.decision_cache().hits(), 0u);
 }
 
-TEST(DecisionMemo, VolatileConditionsBlockAdmission) {
+TEST(DecisionMemo, ThreatFencedDecisionsAdmitBehindEpochFence) {
   Stack s;
   ASSERT_TRUE(s.store
                   .SetLocalPolicy("/",
                                   "pos_access_right apache *\n"
-                                  "pre_cond_system_threat_level local <=high\n")
+                                  "pre_cond_system_threat_level local <high\n")
                   .ok());
   RequestContext ctx = MakeContext();
+  EXPECT_EQ(s.Go(ctx).status, Tristate::kYes);
+  // A literal threat-level comparison specializes to kThreatFenced: the
+  // decision memoizes, pinned to the threat epoch it was computed under.
+  EXPECT_EQ(s.api.decision_cache().insertions(), 1u);
   for (int i = 0; i < 3; ++i) EXPECT_EQ(s.Go(ctx).status, Tristate::kYes);
-  // The threat level is live IDS state outside the memo key: a decision
-  // that read it is never admitted, or lockdown could be served stale.
+  EXPECT_EQ(s.api.decision_cache().hits(), 3u);
+
+  // A threat transition bumps the SystemState epoch, fencing the entry out
+  // exactly as a policy reload's snapshot version would: the next request
+  // re-evaluates against the live level and is denied.
+  s.rig.state.SetThreatLevel(ThreatLevel::kHigh);
+  EXPECT_EQ(s.Go(ctx).status, Tristate::kNo);
+  EXPECT_EQ(s.api.decision_cache().insertions(), 2u);
+
+  // Decay back to low is a transition too — never a stale lockdown.
+  s.rig.state.SetThreatLevel(ThreatLevel::kLow);
+  EXPECT_EQ(s.Go(ctx).status, Tristate::kYes);
+}
+
+TEST(DecisionMemo, VarIndirectThreatConditionsStayVolatile) {
+  Stack s;
+  ASSERT_TRUE(
+      s.store
+          .SetLocalPolicy("/",
+                          "pos_access_right apache *\n"
+                          "pre_cond_system_threat_level local <=var:ceiling\n")
+          .ok());
+  s.rig.state.SetVariable("ceiling", "high");
+  RequestContext ctx = MakeContext();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(s.Go(ctx).status, Tristate::kYes);
+  // The "var:" form reads a SystemState variable outside any fence — it
+  // must never be admitted, or a variable change could be served stale.
   EXPECT_EQ(s.api.decision_cache().insertions(), 0u);
 }
 

@@ -1,7 +1,10 @@
 #include "ids/anomaly.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "telemetry/metrics.h"
 #include "util/rng.h"
 
 namespace gaa::ids {
@@ -98,6 +101,64 @@ TEST_F(AnomalyTest, ProfilesAreSeparatedByPrincipal) {
   EXPECT_EQ(detector_.profile_count(), 1u);
   // The other principal has no profile; nothing is flagged for it.
   EXPECT_FALSE(detector_.IsAnomalous(Feat("10.0.0.2", "/cgi-bin/phf", 1500, 2)));
+}
+
+TEST(AnomalyLru, ProfileCountIsBoundedByMaxProfiles) {
+  util::SimulatedClock clock(0);
+  AnomalyDetector::Options options;
+  options.max_profiles = 3;
+  AnomalyDetector detector(&clock, options);
+  for (int i = 0; i < 10; ++i) {
+    clock.Advance(util::kMicrosPerSecond);
+    detector.Train(Feat("10.0.0." + std::to_string(i), "/index.html", 10, 2));
+  }
+  EXPECT_EQ(detector.profile_count(), 3u);
+  // The three most recently trained principals survive.
+  EXPECT_EQ(detector.TrainingCount("10.0.0.9"), 1u);
+  EXPECT_EQ(detector.TrainingCount("10.0.0.8"), 1u);
+  EXPECT_EQ(detector.TrainingCount("10.0.0.7"), 1u);
+  EXPECT_EQ(detector.TrainingCount("10.0.0.0"), 0u);
+}
+
+TEST(AnomalyLru, RetrainingRefreshesRecency) {
+  util::SimulatedClock clock(0);
+  AnomalyDetector::Options options;
+  options.max_profiles = 2;
+  AnomalyDetector detector(&clock, options);
+  detector.Train(Feat("10.0.0.1", "/a", 10, 2));
+  detector.Train(Feat("10.0.0.2", "/a", 10, 2));
+  // Touch 10.0.0.1 again: 10.0.0.2 becomes least-recently-trained.
+  clock.Advance(util::kMicrosPerSecond);
+  detector.Train(Feat("10.0.0.1", "/a", 10, 2));
+  detector.Train(Feat("10.0.0.3", "/a", 10, 2));
+  EXPECT_EQ(detector.profile_count(), 2u);
+  EXPECT_EQ(detector.TrainingCount("10.0.0.1"), 2u);
+  EXPECT_EQ(detector.TrainingCount("10.0.0.3"), 1u);
+  EXPECT_EQ(detector.TrainingCount("10.0.0.2"), 0u);  // evicted
+}
+
+TEST(AnomalyLru, ZeroMeansUnbounded) {
+  util::SimulatedClock clock(0);
+  AnomalyDetector::Options options;
+  options.max_profiles = 0;
+  AnomalyDetector detector(&clock, options);
+  for (int i = 0; i < 200; ++i) {
+    detector.Train(Feat("10.1.0." + std::to_string(i), "/a", 10, 2));
+  }
+  EXPECT_EQ(detector.profile_count(), 200u);
+}
+
+TEST(AnomalyLru, GaugeTracksResidentProfiles) {
+  util::SimulatedClock clock(0);
+  AnomalyDetector::Options options;
+  options.max_profiles = 4;
+  AnomalyDetector detector(&clock, options);
+  telemetry::MetricRegistry registry;
+  detector.AttachMetrics(&registry);
+  for (int i = 0; i < 8; ++i) {
+    detector.Train(Feat("10.2.0." + std::to_string(i), "/a", 10, 2));
+  }
+  EXPECT_EQ(registry.GetGauge("ids_anomaly_profiles")->Value(), 4);
 }
 
 }  // namespace

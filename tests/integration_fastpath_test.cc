@@ -2,8 +2,9 @@
 // memoized-decision event-loop serve is observably identical to the worker
 // path — same response bytes, same audit records and EACL attribution,
 // same trace span structure (plus the `transport.inline_serve` marker) —
-// and that non-memoizable decisions (identity-dependent MAYBE, volatile
-// conditions) and policy reloads always fall back to the full pipeline.
+// and that non-memoizable decisions (identity-dependent MAYBE) and policy
+// reloads always fall back to the full pipeline.  Threat-fenced decisions
+// memoize but die on every threat-level transition (DESIGN.md §12).
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -23,7 +24,7 @@ namespace {
 ///   /pub      unconditional grant        -> pure terminal YES, memoized
 ///   /deny     unconditional denial       -> pure terminal NO, memoized
 ///   /auth     grant gated on a USER id   -> MAYBE for anonymous, never memoized
-///   /volatile grant gated on threat level -> volatile, never memoized
+///   /volatile grant gated on threat level -> threat-fenced, memoized per epoch
 http::DocTree FastpathSite() {
   http::DocTree tree;
   tree.AddDocument("/pub/page.html", {"<html>public</html>"});
@@ -140,21 +141,51 @@ TEST_F(FastpathTest, IdentityDependentMaybeNeverServesInline) {
   EXPECT_EQ(fast_->inline_served(), 0u);
 }
 
-TEST_F(FastpathTest, VolatileConditionNeverMemoizesAndStaysFresh) {
+TEST_F(FastpathTest, ThreatFencedDecisionMemoizesUntilLevelTransition) {
+  // A literal threat-level comparison is threat-fenced (DESIGN.md §12):
+  // it memoizes like a pure decision, so the second request serves inline.
   std::string first = FetchFast("/volatile/page.html");
   std::string second = FetchFast("/volatile/page.html");
   EXPECT_NE(first.find("200 OK"), std::string::npos);
   EXPECT_EQ(first, second);
-  // Threat-level checks are volatile: no memoization, so no inline serve.
-  EXPECT_EQ(fast_->inline_served(), 0u);
+  EXPECT_EQ(fast_->inline_served(), 1u);
 
-  // The decision tracks the live threat level immediately.
+  // A threat transition bumps the SystemState epoch, invalidating the
+  // memoized YES exactly as a policy reload would: the very next request
+  // falls off the inline path, re-evaluates and is denied.
   gws_.state().SetThreatLevel(core::ThreatLevel::kHigh);
   std::string under_attack = FetchFast("/volatile/page.html");
   EXPECT_EQ(under_attack.find("200 OK"), std::string::npos);
+  EXPECT_EQ(fast_->inline_served(), 1u);
+
+  // Decay back down is a transition too: the memoized lockdown denial dies
+  // with the epoch and service resumes immediately.
   gws_.state().SetThreatLevel(core::ThreatLevel::kLow);
   std::string recovered = FetchFast("/volatile/page.html");
   EXPECT_NE(recovered.find("200 OK"), std::string::npos);
+}
+
+TEST_F(FastpathTest, ThreatTransitionMatchesInterpretedPathByteForByte) {
+  // Differential proof for the threat→memo fence: at every step of a
+  // low→high→low threat cycle, the memoizing fast server and the
+  // worker-only server (which re-evaluates through the full pipeline every
+  // time) return byte-identical responses.  If the epoch fence ever served
+  // a stale memo, the fast bytes would diverge from the slow ones.
+  auto roundtrip_both = [&] {
+    std::string fast = FetchFast("/volatile/page.html");
+    std::string slow = FetchSlow("/volatile/page.html");
+    EXPECT_EQ(fast, slow);
+    return fast;
+  };
+  EXPECT_NE(roundtrip_both().find("200 OK"), std::string::npos);
+  EXPECT_NE(roundtrip_both().find("200 OK"), std::string::npos);  // memo hit
+
+  gws_.state().SetThreatLevel(core::ThreatLevel::kHigh);
+  EXPECT_NE(roundtrip_both().find("403 Forbidden"), std::string::npos);
+  EXPECT_NE(roundtrip_both().find("403 Forbidden"), std::string::npos);
+
+  gws_.state().SetThreatLevel(core::ThreatLevel::kLow);
+  EXPECT_NE(roundtrip_both().find("200 OK"), std::string::npos);
 }
 
 TEST_F(FastpathTest, InlineTraceCarriesMarkerSpanAndSkipsQueue) {

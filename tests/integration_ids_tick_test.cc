@@ -1,0 +1,87 @@
+// Decay-under-idle: the transport's shard timer wheel drives periodic IDS
+// maintenance (GaaWebServer::WireIdsTick), so the threat level steps back
+// down even when no requests arrive at all (DESIGN.md §12).  The simulated
+// clock supplies the IDS's notion of elapsed time; the wall-clock wheel
+// tick merely provides the heartbeat that re-evaluates it — exactly the
+// situation after an attack burst: the attacker goes quiet, and without a
+// request-independent tick the server would stay locked at high forever.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "http/doc_tree.h"
+#include "http/tcp_server.h"
+#include "integration/gaa_web_server.h"
+
+namespace gaa::web {
+namespace {
+
+http::DocTree TickSite() {
+  http::DocTree tree;
+  tree.AddDocument("/index.html", {"<html>hi</html>"});
+  return tree;
+}
+
+bool WaitForLevel(ids::ThreatService& threat, core::ThreatLevel want,
+                  int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 5) {
+    if (threat.level() == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return threat.level() == want;
+}
+
+TEST(IdsTickTest, ThreatLevelDecaysWithZeroRequests) {
+  GaaWebServer gws(TickSite());
+  ASSERT_TRUE(gws.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+
+  http::TcpServer::Options options;
+  options.reactor_shards = 1;
+  options.tick_interval_ms = 5;
+  http::TcpServer transport(&gws.server(), options);
+  gws.WireIdsTick(&transport);
+  auto started = transport.Start();
+  ASSERT_TRUE(started.ok()) << started.error().ToString();
+
+  // Escalate to high through the normal alert path.
+  for (int i = 0; i < 4; ++i) gws.ids().threat().ReportAlert(10.0);
+  ASSERT_EQ(gws.ids().threat().level(), core::ThreatLevel::kHigh);
+  ASSERT_EQ(gws.state().threat_level(), core::ThreatLevel::kHigh);
+
+  // Simulated quiet time: the alert window empties and a full decay period
+  // elapses.  No requests are sent from here on — only the wheel tick can
+  // re-evaluate decay.  One notch per quiet period: high → medium → low.
+  gws.sim_clock()->Advance(130 * util::kMicrosPerSecond);
+  EXPECT_TRUE(
+      WaitForLevel(gws.ids().threat(), core::ThreatLevel::kMedium, 2000));
+  EXPECT_EQ(gws.state().threat_level(), core::ThreatLevel::kMedium);
+
+  gws.sim_clock()->Advance(130 * util::kMicrosPerSecond);
+  EXPECT_TRUE(WaitForLevel(gws.ids().threat(), core::ThreatLevel::kLow, 2000));
+  EXPECT_EQ(gws.state().threat_level(), core::ThreatLevel::kLow);
+
+  transport.Stop();
+}
+
+TEST(IdsTickTest, ZeroIntervalMeansNoTicks) {
+  GaaWebServer gws(TickSite());
+  ASSERT_TRUE(gws.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+
+  http::TcpServer::Options options;
+  options.reactor_shards = 1;  // tick_interval_ms stays 0 (disabled)
+  http::TcpServer transport(&gws.server(), options);
+  gws.WireIdsTick(&transport);
+  ASSERT_TRUE(transport.Start().ok());
+
+  for (int i = 0; i < 4; ++i) gws.ids().threat().ReportAlert(10.0);
+  gws.sim_clock()->Advance(130 * util::kMicrosPerSecond);
+  // With the tick disabled and no traffic, nothing re-evaluates decay.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(gws.ids().threat().level(), core::ThreatLevel::kHigh);
+
+  transport.Stop();
+}
+
+}  // namespace
+}  // namespace gaa::web
