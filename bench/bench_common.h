@@ -90,11 +90,27 @@ inline std::string JsonPathFromArgs(int argc, char** argv) {
   return "";
 }
 
-/// Machine-readable bench results for CI artifacts: flat sections of
-/// numeric metrics, written as one JSON object per section.  Insertion
-/// order is preserved so the artifact diffs cleanly run-to-run.
+/// Machine-readable bench results for CI artifacts.  Every E/A-series
+/// bench emits the same envelope so downstream tooling can consume any
+/// BENCH_*.json without per-bench parsing:
+///
+///   { "bench":   "<harness name>",
+///     "params":  { <knobs the run was invoked with> },
+///     "metrics": { "<section>": { <numeric results> }, ... } }
+///
+/// Sections and keys preserve insertion order so artifacts diff cleanly
+/// run-to-run.
 class JsonReport {
  public:
+  explicit JsonReport(std::string bench_name = "")
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Record one invocation knob (request counts, rates, flags) under
+  /// "params" — the provenance half of the envelope.
+  void SetParam(const std::string& key, double value) {
+    params_.emplace_back(key, value);
+  }
+
   void Set(const std::string& section, const std::string& key, double value) {
     SectionRef(section).emplace_back(key, value);
   }
@@ -108,7 +124,9 @@ class JsonReport {
   }
 
   /// Latency percentiles straight from a telemetry histogram — the same
-  /// numbers /__status exposes, so CI artifacts and scrapes agree.
+  /// numbers /__status exposes, so CI artifacts and scrapes agree.  The
+  /// p999 and max come from the histogram's tracked maximum, so the tail
+  /// is not truncated to the last finite bucket bound.
   void SetHistogram(const std::string& section,
                     const telemetry::Histogram::Snapshot& snap) {
     Set(section, "count", static_cast<double>(snap.count));
@@ -116,6 +134,8 @@ class JsonReport {
     Set(section, "p50_us", snap.Quantile(0.50));
     Set(section, "p90_us", snap.Quantile(0.90));
     Set(section, "p99_us", snap.Quantile(0.99));
+    Set(section, "p999_us", snap.Quantile(0.999));
+    Set(section, "max_us", static_cast<double>(snap.max));
   }
 
   /// Write to `path`; a no-op when the path is empty (flag not given).
@@ -127,8 +147,16 @@ class JsonReport {
       return false;
     }
     std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench_name_.c_str());
+    std::fprintf(f, "  \"params\": {");
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
+                   params_[i].first.c_str(), params_[i].second);
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"metrics\": {\n");
     for (std::size_t s = 0; s < sections_.size(); ++s) {
-      std::fprintf(f, "  \"%s\": {", sections_[s].first.c_str());
+      std::fprintf(f, "    \"%s\": {", sections_[s].first.c_str());
       const auto& entries = sections_[s].second;
       for (std::size_t i = 0; i < entries.size(); ++i) {
         std::fprintf(f, "%s\"%s\": %.6g", i == 0 ? "" : ", ",
@@ -136,7 +164,7 @@ class JsonReport {
       }
       std::fprintf(f, "}%s\n", s + 1 < sections_.size() ? "," : "");
     }
-    std::fprintf(f, "}\n");
+    std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
     return true;
@@ -153,6 +181,8 @@ class JsonReport {
     return sections_.back().second;
   }
 
+  std::string bench_name_;
+  Section params_;
   std::vector<std::pair<std::string, Section>> sections_;
 };
 

@@ -136,7 +136,7 @@ int Main(int argc, char** argv) {
   const std::uint64_t cardinalities[] = {1'000, 10'000, 100'000, 1'000'000,
                                          10'000'000};
 
-  JsonReport report;
+  JsonReport report("ids");
   PrintHeader("E6: streaming IDS cost vs client cardinality (" +
               std::to_string(requests) + " requests/run)");
   std::printf("%-14s %14s %16s\n", "clients", "ns/request", "sketch bytes");

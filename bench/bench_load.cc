@@ -1,0 +1,284 @@
+// E7: open-loop tail latency vs offered load (EXPERIMENTS.md E7).
+//
+// The closed-loop E-series harnesses measure how fast the server can go;
+// this one measures what users at a *fixed arrival rate* experience.  The
+// workload::LoadGenerator fixes every request's intended send time before
+// the run starts and charges queueing behind stalls to latency, so the
+// reported p99/p999 are free of coordinated omission.  The sweep crosses
+// offered rates with three scenarios — benign, mixed (90% benign + the
+// full attack corpus), adversarial (attacks only) — against the real
+// sharded transport with the event-loop lag probe armed.
+//
+// The harness asserts the integration story, not just throughput:
+//   * benign traffic meets its p99 SLO at every offered rate;
+//   * every adversarial request kind is classified — denied by the EACL
+//     signature policy (403), rejected by parser/framing hardening (4xx),
+//     or diagnosed as a truncated request — and none of it is ever 2xx;
+//   * the attack stream is visible to the IDS (ids_reports_total rises);
+//   * the reactor health gauges (loop lag, ring depth) appear in
+//     /__status/metrics.json.
+//
+//   bench_load [--rates r1,r2,...] [--seconds S] [--conns C] [--smoke]
+//              [--json out.json]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "http/request.h"
+#include "http/tcp_server.h"
+#include "workload/loadgen.h"
+
+namespace gaa::bench {
+namespace {
+
+/// EACL policy for the load sweep: deny the §7.2 signature set (CGI
+/// probes, NIMDA percent URLs, the many-slashes DoS, cmd.exe traversal)
+/// and over-long CGI input, then grant everything else.  Deliberately NO
+/// rr_cond_update_log blacklisting: every loadgen client shares 127.0.0.1,
+/// so an IP blacklist would take the benign traffic down with the attacks.
+const char* LoadSweepPolicy() {
+  return R"(
+neg_access_right apache *
+pre_cond_regex gnu *phf* *test-cgi* *%* *///////////////////* *cmd.exe*
+neg_access_right apache *
+pre_cond_expr local cgi_input_length >1000
+pos_access_right apache *
+)";
+}
+
+struct CellResult {
+  workload::LoadResult load;
+  std::uint64_t ids_reports = 0;      ///< ids_reports_total across kinds
+  std::uint64_t transport_rejected = 0;
+  std::uint64_t ring_high_watermark = 0;
+  std::string status_metrics;         ///< /__status/metrics.json body
+};
+
+std::uint64_t SumIdsReports(telemetry::MetricRegistry& registry) {
+  std::uint64_t total = 0;
+  for (const auto& slot : registry.List()) {
+    if (slot.name == "ids_reports_total" && slot.counter != nullptr) {
+      total += slot.counter->Value();
+    }
+  }
+  return total;
+}
+
+CellResult RunCell(const workload::LoadScenario& scenario, double rate_rps,
+                   double seconds, std::size_t conns, std::uint64_t seed) {
+  // A fresh server per cell isolates counters and decision memos, so every
+  // cell measures the same cold-start-then-steady-state story.
+  web::GaaWebServer::Options options;
+  options.use_real_clock = true;
+  options.tuning.trace_sample_period = 0;  // tracing off: transport numbers
+  web::GaaWebServer gws(http::DocTree::DemoSite(), options);
+  if (!gws.SetLocalPolicy("/", LoadSweepPolicy()).ok()) {
+    std::fprintf(stderr, "policy setup failed\n");
+    std::exit(1);
+  }
+
+  http::TcpServer::Options tcp_options;
+  tcp_options.reactor_shards = 2;
+  tcp_options.worker_threads = 2;
+  tcp_options.max_connections = 512;
+  tcp_options.lag_probe_interval_ms = 100;
+  http::TcpServer tcp(&gws.server(), tcp_options);
+  auto started = tcp.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 started.error().ToString().c_str());
+    std::exit(1);
+  }
+
+  workload::LoadgenOptions lg;
+  lg.seed = seed;
+  lg.rate_rps = rate_rps;
+  lg.total_requests =
+      static_cast<std::size_t>(rate_rps * seconds < 20 ? 20
+                                                       : rate_rps * seconds);
+  lg.connections = conns;
+  CellResult cell;
+  cell.load = workload::LoadGenerator(lg, scenario).Run(tcp.port());
+
+  cell.ids_reports = SumIdsReports(gws.telemetry().registry());
+  cell.ring_high_watermark = tcp.stats().ring_high_watermark;
+  cell.transport_rejected = tcp.stats().rejected;
+  auto status = http::TcpFetch(
+      tcp.port(), http::BuildGetRequest("/__status/metrics.json"));
+  if (status.ok()) cell.status_metrics = status.value();
+  tcp.Stop();
+  return cell;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<double> rates = {100, 250, 500};
+  double seconds = 2.0;
+  std::size_t conns = 16;
+  double slo_p99_us = 500'000;  // benign p99 SLO: 500ms open-loop
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      // CI configuration: one modest rate, short run, same assertions.
+      rates = {80};
+      seconds = 1.5;
+      conns = 8;
+    }
+    if (i + 1 >= argc) continue;
+    if (std::string(argv[i]) == "--seconds") seconds = std::atof(argv[i + 1]);
+    if (std::string(argv[i]) == "--conns") {
+      conns = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+    if (std::string(argv[i]) == "--rates") {
+      rates.clear();
+      const char* cursor = argv[i + 1];
+      while (*cursor != '\0') {
+        rates.push_back(std::strtod(cursor, const_cast<char**>(&cursor)));
+        if (*cursor == ',') ++cursor;
+      }
+    }
+  }
+
+  const workload::LoadScenario scenarios[] = {workload::BenignScenario(),
+                                              workload::MixedScenario(),
+                                              workload::AdversarialScenario()};
+
+  JsonReport report("load");
+  report.SetParam("seconds_per_cell", seconds);
+  report.SetParam("connections", static_cast<double>(conns));
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    report.SetParam("rate_" + std::to_string(i), rates[i]);
+  }
+
+  std::vector<std::string> failures;
+  std::string last_status_metrics;
+  PrintHeader("E7: open-loop tail latency vs offered load");
+  std::printf("%-24s %8s %8s %9s %9s %9s %9s %7s\n", "cell", "offered",
+              "achieved", "p50_us", "p99_us", "p999_us", "max_us", "4xx");
+
+  for (const auto& scenario : scenarios) {
+    for (double rate : rates) {
+      CellResult cell =
+          RunCell(scenario, rate, seconds, conns,
+                  42 + static_cast<std::uint64_t>(rate));
+      const workload::LoadResult& r = cell.load;
+      last_status_metrics = cell.status_metrics;
+
+      std::uint64_t total_4xx = 0, total_2xx = 0;
+      for (const auto& [kind, ks] : r.by_kind) {
+        total_4xx += ks.status_4xx;
+        total_2xx += ks.ok_2xx;
+      }
+      std::string cell_name =
+          scenario.name + "@" + std::to_string(static_cast<int>(rate));
+      std::printf("%-24s %8.0f %8.0f %9.0f %9.0f %9.0f %9llu %7llu\n",
+                  cell_name.c_str(), rate, r.achieved_rps,
+                  r.latency.Quantile(0.50), r.latency.Quantile(0.99),
+                  r.latency.Quantile(0.999),
+                  static_cast<unsigned long long>(r.latency.max),
+                  static_cast<unsigned long long>(total_4xx));
+
+      report.Set(cell_name, "offered_rps", rate);
+      report.Set(cell_name, "achieved_rps", r.achieved_rps);
+      report.SetHistogram(cell_name, r.latency);
+      report.Set(cell_name, "benign_p50_us", r.benign_latency.Quantile(0.5));
+      report.Set(cell_name, "benign_p99_us", r.benign_latency.Quantile(0.99));
+      // Closed-loop view for the same run: the gap between service_p99 and
+      // p99 is the coordinated omission a closed-loop harness would hide.
+      report.Set(cell_name, "service_p99_us", r.service.Quantile(0.99));
+      report.Set(cell_name, "sent", static_cast<double>(r.sent));
+      report.Set(cell_name, "responded", static_cast<double>(r.responded));
+      report.Set(cell_name, "status_4xx", static_cast<double>(total_4xx));
+      report.Set(cell_name, "status_2xx", static_cast<double>(total_2xx));
+      report.Set(cell_name, "transport_errors",
+                 static_cast<double>(r.transport_errors));
+      report.Set(cell_name, "ids_reports",
+                 static_cast<double>(cell.ids_reports));
+      report.Set(cell_name, "transport_rejected",
+                 static_cast<double>(cell.transport_rejected));
+      report.Set(cell_name, "ring_high_watermark",
+                 static_cast<double>(cell.ring_high_watermark));
+
+      // --- assertions -----------------------------------------------------
+      if (r.transport_errors > 0) {
+        failures.push_back(cell_name + ": " +
+                           std::to_string(r.transport_errors) +
+                           " transport errors");
+      }
+      const bool has_benign = r.benign_latency.count > 0;
+      if (has_benign && r.benign_latency.Quantile(0.99) > slo_p99_us) {
+        failures.push_back(
+            cell_name + ": benign p99 " +
+            std::to_string(r.benign_latency.Quantile(0.99)) +
+            "us breaches the " + std::to_string(slo_p99_us) + "us SLO");
+      }
+      for (const auto& [kind_name, ks] : r.by_kind) {
+        bool attack = true;
+        for (const auto& [kind, weight] : scenario.mix) {
+          if (workload::RequestKindName(kind) == kind_name) {
+            attack = workload::IsAttackKind(kind);
+          }
+        }
+        if (!attack) {
+          if (ks.ok_2xx != ks.sent) {
+            failures.push_back(cell_name + ": benign kind " + kind_name +
+                               " not fully served (" +
+                               std::to_string(ks.ok_2xx) + "/" +
+                               std::to_string(ks.sent) + " 2xx)");
+          }
+          continue;
+        }
+        // Every adversarial request must be classified: a 4xx denial from
+        // the EACL/parser/framing layers, or (slowloris) no response by
+        // design.  A 2xx for an attack kind is a detection miss.
+        if (ks.ok_2xx != 0) {
+          failures.push_back(cell_name + ": attack kind " + kind_name +
+                             " got " + std::to_string(ks.ok_2xx) + " 2xx");
+        }
+        if (kind_name == "slow_headers") {
+          if (ks.no_response != ks.sent) {
+            failures.push_back(cell_name +
+                               ": slow_headers should never see a response");
+          }
+        } else if (ks.sent > 0 && ks.status_4xx == 0) {
+          failures.push_back(cell_name + ": attack kind " + kind_name +
+                             " was never answered 4xx (sent " +
+                             std::to_string(ks.sent) + ")");
+        }
+      }
+      if (scenario.name != "benign" && r.sent > 0 && cell.ids_reports == 0) {
+        failures.push_back(cell_name +
+                           ": attack traffic produced no IDS reports");
+      }
+    }
+  }
+
+  // Reactor health gauges must be visible to scrapes (tentpole part 2).
+  for (const char* metric :
+       {"transport_shard_loop_lag_ms", "transport_shard_ring_depth",
+        "transport_shard_ring_high_watermark", "transport_loop_lag_us",
+        "transport_dispatch_delay_us"}) {
+    if (last_status_metrics.find(metric) == std::string::npos) {
+      failures.push_back(std::string("/__status/metrics.json missing ") +
+                         metric);
+    }
+  }
+
+  report.Set("summary", "failures", static_cast<double>(failures.size()));
+  if (!report.WriteFile(JsonPathFromArgs(argc, argv))) return 1;
+
+  for (const std::string& failure : failures) {
+    std::fprintf(stderr, "FAIL: %s\n", failure.c_str());
+  }
+  if (failures.empty()) {
+    std::printf("\nall SLO and classification assertions held\n");
+  }
+  return failures.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main(int argc, char** argv) { return gaa::bench::Main(argc, argv); }

@@ -156,7 +156,7 @@ double RunTransportMode(web::GaaWebServer& server, bool keep_alive,
 int main(int argc, char** argv) {
   using namespace gaa::bench;
 
-  JsonReport report;
+  JsonReport report("performance");
   const std::string json_path = JsonPathFromArgs(argc, argv);
 
   PrintHeader("E1: paper section 8 — GAA-API overhead (20 repetitions)");

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   using namespace gaa::bench;
   using gaa::util::Stopwatch;
 
-  JsonReport report;
+  JsonReport report("phases");
   const std::string json_path = JsonPathFromArgs(argc, argv);
 
   PrintHeader("F1: figure 1 — per-phase latency of the GAA-Apache pipeline");

@@ -58,7 +58,7 @@ double MeasureMeanMs(gaa::web::GaaWebServer& server, int iterations) {
 
 int main(int argc, char** argv) {
   using namespace gaa::bench;
-  JsonReport report;
+  JsonReport report("policy_cache");
   const std::string json_path = JsonPathFromArgs(argc, argv);
 
   PrintHeader("A1: policy-cache ablation (paper section 9 future work)");

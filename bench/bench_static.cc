@@ -270,7 +270,7 @@ int Main(int argc, char** argv) {
       {"fast_plane_on", false, true},
   };
 
-  JsonReport report;
+  JsonReport report("static");
   PrintHeader("E5: zero-copy static plane (" + std::to_string(conns) +
               " conns x " + std::to_string(requests_per_conn) + " requests)");
   std::printf("%-20s %10s %10s %10s %10s %12s\n", "config", "rps", "p50_us",

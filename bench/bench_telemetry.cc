@@ -204,7 +204,7 @@ double RecordPathNs(bool streamed) {
 int main(int argc, char** argv) {
   using namespace gaa::bench;
 
-  JsonReport report;
+  JsonReport report("telemetry");
   const std::string json_path = JsonPathFromArgs(argc, argv);
 
 #ifdef GAA_TELEMETRY_NOOP

@@ -144,7 +144,9 @@ int Main(int argc, char** argv) {
       {"shards_4_no_inline", 4, false},
   };
 
-  JsonReport report;
+  JsonReport report("transport");
+  report.SetParam("conns", conns);
+  report.SetParam("requests_per_conn", requests_per_conn);
   PrintHeader("E4: sharded transport scaling (" + std::to_string(conns) +
               " conns x " + std::to_string(requests_per_conn) + " requests)");
   std::printf("%-20s %10s %10s %10s %10s %12s\n", "config", "rps", "p50_us",

@@ -50,6 +50,8 @@ const char* RequestDefectName(RequestDefect defect) {
       return "oversized_target";
     case RequestDefect::kTruncatedBody:
       return "truncated_body";
+    case RequestDefect::kPathTraversal:
+      return "path_traversal";
   }
   return "?";
 }
@@ -148,6 +150,18 @@ ParseResult ParseRequest(std::string_view text, const ParseLimits& limits) {
   }
   rec.path = *decoded;
 
+  // A ".." segment that survives decoding is never a navigable path in the
+  // virtual tree — it is a traversal probe (often percent-encoded to slip
+  // past naive filters), so classify rather than 404.
+  for (std::size_t seg = 0; seg < rec.path.size();) {
+    std::size_t end = rec.path.find('/', seg);
+    if (end == std::string::npos) end = rec.path.size();
+    if (end - seg == 2 && rec.path[seg] == '.' && rec.path[seg + 1] == '.') {
+      return Fail(RequestDefect::kPathTraversal, rec.path);
+    }
+    seg = end + 1;
+  }
+
   // Headers.
   std::size_t header_count = 0;
   std::size_t pos = line_end == std::string_view::npos ? head.size()
@@ -176,13 +190,14 @@ ParseResult ParseRequest(std::string_view text, const ParseLimits& limits) {
     std::string value(util::Trim(line.substr(colon + 1)));
     auto [it, inserted] = rec.headers.emplace(name, value);
     if (!inserted) {
-      if (name == "content-length") {
-        // Folding framing headers ("10, 10") silently destroys framing
-        // info and is the raw material of request smuggling.  Identical
+      if (name == "content-length" || name == "host") {
+        // Folding framing/routing headers ("10, 10" or two Hosts) silently
+        // destroys the very field caches and routers key on — the raw
+        // material of request smuggling and cache poisoning.  Identical
         // repeats collapse; conflicting ones are rejected outright.
         if (it->second != value) {
           return Fail(RequestDefect::kBadHeader,
-                      "conflicting duplicate content-length");
+                      "conflicting duplicate " + name);
         }
       } else {
         it->second += ", ";

@@ -39,6 +39,7 @@ enum class RequestDefect {
   kBadHeader,         ///< header without ':', or conflicting framing headers
   kOversizedTarget,   ///< request target exceeds the limit
   kTruncatedBody,     ///< connection closed before the framed request ended
+  kPathTraversal,     ///< decoded ".." segment trying to escape the root
 };
 
 const char* RequestDefectName(RequestDefect defect);

@@ -38,12 +38,23 @@ constexpr std::uint64_t kListenTag = 0;
 constexpr std::uint64_t kWakeTag = 1;
 constexpr std::uint64_t kFirstConnId = 2;
 // Timer-wheel sentinel for the periodic maintenance tick (shard 0 only).
-// Wheel ids are otherwise connection ids (>= kFirstConnId), so 1 is free in
-// that namespace — kWakeTag lives in the separate epoll-tag namespace.
+// Wheel ids are otherwise connection ids (>= kFirstConnId), so 0 and 1 are
+// free in that namespace — kWakeTag lives in the separate epoll-tag
+// namespace.
 constexpr std::uint64_t kTickTimerId = 1;
+// Per-shard loop-lag sentinel (Options::lag_probe_interval_ms): armed with
+// a known deadline; the delta between that deadline and when the wheel
+// actually fires it is the time this shard's event loop spent not looping.
+constexpr std::uint64_t kLagProbeTimerId = 0;
 
 std::int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
@@ -398,6 +409,10 @@ struct TcpServer::Job {
   bool keep_alive = false;
   std::unique_ptr<telemetry::RequestTrace> trace;
   std::size_t queue_span = 0;
+  /// Push timestamp: the worker that pops this job records now - enqueue_us
+  /// into the wakeup-to-dispatch histogram (how long work sat in the ring
+  /// plus how long the eventfd wakeup took to land).
+  std::int64_t enqueue_us = 0;
 };
 
 /// A finished response on its way back to the owning shard's loop.
@@ -453,12 +468,36 @@ struct TcpServer::Shard {
   std::atomic<std::uint64_t> inline_srv{0};
   std::atomic<std::uint64_t> active{0};
 
+  // Reactor health (DESIGN.md §10 observability): job-ring occupancy
+  // sampled at push/publish points, its all-time high watermark, and the
+  // last loop-lag probe reading.  Written by the loop thread, read by any
+  // (stats(), /__status).
+  std::atomic<std::uint64_t> ring_depth{0};
+  std::atomic<std::uint64_t> ring_hwm{0};
+  std::atomic<std::uint64_t> loop_lag_ms{0};
+  /// Scheduled fire time of the in-flight lag probe (loop-thread only).
+  std::int64_t lag_probe_deadline_ms = 0;
+
   // Per-shard gauges (resolved at Start(); null when telemetry is off).
   telemetry::Gauge* g_active = nullptr;
   telemetry::Gauge* g_requests = nullptr;
   telemetry::Gauge* g_inline = nullptr;
   telemetry::Gauge* g_accepted = nullptr;
   telemetry::Gauge* g_arena = nullptr;
+  telemetry::Gauge* g_loop_lag = nullptr;
+  telemetry::Gauge* g_ring_depth = nullptr;
+  telemetry::Gauge* g_ring_hwm = nullptr;
+  telemetry::Histogram* h_loop_lag = nullptr;   ///< lag probe, microseconds
+  telemetry::Histogram* h_dispatch = nullptr;   ///< wakeup-to-dispatch, us
+
+  /// Sample the job ring and fold the reading into the high watermark.
+  void SampleRing() {
+    std::size_t depth = jobs.ApproxSize();
+    ring_depth.store(depth, std::memory_order_relaxed);
+    if (depth > ring_hwm.load(std::memory_order_relaxed)) {
+      ring_hwm.store(depth, std::memory_order_relaxed);
+    }
+  }
 
   std::thread thread;
 };
@@ -582,6 +621,18 @@ util::VoidResult TcpServer::Start() {
           registry.GetGauge("transport_shard_inline_served", label);
       shard->g_accepted = registry.GetGauge("transport_shard_accepted", label);
       shard->g_arena = registry.GetGauge("transport_arena_bytes", label);
+      shard->g_loop_lag =
+          registry.GetGauge("transport_shard_loop_lag_ms", label);
+      shard->g_ring_depth =
+          registry.GetGauge("transport_shard_ring_depth", label);
+      shard->g_ring_hwm =
+          registry.GetGauge("transport_shard_ring_high_watermark", label);
+      shard->h_loop_lag =
+          registry.GetHistogram("transport_loop_lag_us", label,
+                                telemetry::Histogram::WideLatencyBoundsUs());
+      shard->h_dispatch =
+          registry.GetHistogram("transport_dispatch_delay_us", label,
+                                telemetry::Histogram::WideLatencyBoundsUs());
     }
   }
 
@@ -596,6 +647,12 @@ util::VoidResult TcpServer::Start() {
     // so exactly one shard carries it.
     if (s->index == 0 && options_.tick_interval_ms > 0 && tick_hook_) {
       s->wheel.Arm(kTickTimerId, NowMs() + options_.tick_interval_ms);
+    }
+    // Every shard carries its own lag probe: lag is a property of one
+    // event-loop thread, not of the process.
+    if (options_.lag_probe_interval_ms > 0) {
+      s->lag_probe_deadline_ms = NowMs() + options_.lag_probe_interval_ms;
+      s->wheel.Arm(kLagProbeTimerId, s->lag_probe_deadline_ms);
     }
     s->thread = std::thread([this, s] { ShardLoop(*s); });
   }
@@ -665,6 +722,12 @@ TcpServer::Stats TcpServer::stats() const {
     out.requests += shard->requests.load(std::memory_order_relaxed);
     out.inline_served += shard->inline_srv.load(std::memory_order_relaxed);
     out.active += shard->active.load(std::memory_order_relaxed);
+    out.ring_depth += shard->ring_depth.load(std::memory_order_relaxed);
+    out.ring_high_watermark =
+        std::max(out.ring_high_watermark,
+                 shard->ring_hwm.load(std::memory_order_relaxed));
+    out.loop_lag_ms = std::max(
+        out.loop_lag_ms, shard->loop_lag_ms.load(std::memory_order_relaxed));
   }
   out.shards = shards_.size();
   return out;
@@ -682,6 +745,9 @@ TcpServer::Stats TcpServer::shard_stats(std::size_t shard) const {
   out.requests = s.requests.load(std::memory_order_relaxed);
   out.inline_served = s.inline_srv.load(std::memory_order_relaxed);
   out.active = s.active.load(std::memory_order_relaxed);
+  out.ring_depth = s.ring_depth.load(std::memory_order_relaxed);
+  out.ring_high_watermark = s.ring_hwm.load(std::memory_order_relaxed);
+  out.loop_lag_ms = s.loop_lag_ms.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -696,6 +762,7 @@ void TcpServer::WakeShard(Shard& shard) {
 void TcpServer::PublishStats(Shard& shard) {
   if (!shard.stats_dirty) return;
   shard.stats_dirty = false;
+  shard.SampleRing();
   if (shard.g_active != nullptr) {
     shard.g_active->Set(static_cast<std::int64_t>(
         shard.active.load(std::memory_order_relaxed)));
@@ -706,6 +773,12 @@ void TcpServer::PublishStats(Shard& shard) {
     shard.g_accepted->Set(static_cast<std::int64_t>(
         shard.accepted.load(std::memory_order_relaxed)));
     shard.g_arena->Set(shard.arena_bytes);
+    shard.g_loop_lag->Set(static_cast<std::int64_t>(
+        shard.loop_lag_ms.load(std::memory_order_relaxed)));
+    shard.g_ring_depth->Set(static_cast<std::int64_t>(
+        shard.ring_depth.load(std::memory_order_relaxed)));
+    shard.g_ring_hwm->Set(static_cast<std::int64_t>(
+        shard.ring_hwm.load(std::memory_order_relaxed)));
   }
   if (stats_hook_) stats_hook_(stats());
 }
@@ -1058,6 +1131,7 @@ void TcpServer::TryDispatch(Shard& shard, Connection* conn) {
       }
     }
     job.keep_alive = keep;
+    job.enqueue_us = NowUs();
     conn->busy = true;
     if (conn->served > 0) {
       shard.reused.fetch_add(1, std::memory_order_relaxed);
@@ -1074,6 +1148,10 @@ void TcpServer::TryDispatch(Shard& shard, Connection* conn) {
       RespondAndClose(shard, conn, StatusCode::kServiceUnavailable);
       return;
     }
+    // Only this loop thread pushes, so sampling right after the push
+    // catches the true per-shard high watermark, not a between-samples
+    // approximation.
+    shard.SampleRing();
     std::uint64_t one = 1;
     ssize_t n = ::write(shard.job_efd, &one, sizeof(one));
     (void)n;
@@ -1298,6 +1376,24 @@ void TcpServer::OnTimerDue(Shard& shard, std::uint64_t conn_id,
     }
     return;
   }
+  if (conn_id == kLagProbeTimerId) {
+    // Scheduled-vs-actual delta: everything that kept this loop thread
+    // from advancing the wheel — a stalled inline handler, a blocked
+    // syscall, scheduler starvation — lands in this number.
+    std::int64_t lag = now_ms - shard.lag_probe_deadline_ms;
+    if (lag < 0) lag = 0;
+    shard.loop_lag_ms.store(static_cast<std::uint64_t>(lag),
+                            std::memory_order_relaxed);
+    if (shard.h_loop_lag != nullptr) {
+      shard.h_loop_lag->Record(static_cast<std::uint64_t>(lag) * 1000);
+    }
+    shard.stats_dirty = true;
+    if (options_.lag_probe_interval_ms > 0) {
+      shard.lag_probe_deadline_ms = now_ms + options_.lag_probe_interval_ms;
+      shard.wheel.Arm(kLagProbeTimerId, shard.lag_probe_deadline_ms);
+    }
+    return;
+  }
   auto it = shard.conns.find(conn_id);
   if (it == shard.conns.end()) return;  // closed while armed
   Connection* conn = it->second.get();
@@ -1349,6 +1445,11 @@ void TcpServer::WorkerLoop(Shard& shard) {
       continue;
     }
     if (job.trace) job.trace->CloseSpan(job.queue_span);
+    if (shard.h_dispatch != nullptr && job.enqueue_us > 0) {
+      std::int64_t delay = NowUs() - job.enqueue_us;
+      shard.h_dispatch->Record(delay > 0 ? static_cast<std::uint64_t>(delay)
+                                         : 0);
+    }
     HttpResponse response =
         server_->HandleText(job.raw, job.ip, job.port, std::move(job.trace));
     bool close_after = !job.keep_alive || ProtocolFailure(response.status);
@@ -1449,6 +1550,15 @@ TcpClient::~TcpClient() { Close(); }
 void TcpClient::Close() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
+}
+
+bool TcpClient::SendRaw(const std::string& raw) {
+  if (fd_ < 0) return false;
+  if (!SendAll(fd_, raw)) {
+    Close();
+    return false;
+  }
+  return true;
 }
 
 util::Result<std::string> TcpClient::RoundTrip(const std::string& raw) {

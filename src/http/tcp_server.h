@@ -100,6 +100,15 @@ class TcpServer {
     /// IDS maintenance — threat-level decay, sketch window aging — off
     /// this, so decay happens even when no requests arrive (DESIGN.md §12).
     int tick_interval_ms = 0;
+    /// Arm a per-shard timer-wheel sentinel every this many milliseconds
+    /// (0 disables) that measures event-loop lag: the delta between the
+    /// sentinel's scheduled deadline and when the loop actually fired it.
+    /// A stalled handler on the loop thread (an inline serve gone slow, a
+    /// blocked syscall) shows up here even when no request is in flight —
+    /// exported as transport_shard_loop_lag_ms gauges and a
+    /// transport_loop_lag_us histogram.  Wheel granularity (32ms ticks)
+    /// bounds the noise floor at ~64ms.
+    int lag_probe_interval_ms = 0;
   };
 
   /// Connection-layer counters, exported through the stats hook so
@@ -116,6 +125,12 @@ class TcpServer {
     std::uint64_t inline_served = 0;  ///< requests served on the event loop
     std::uint64_t active = 0;     ///< connections open right now
     std::uint64_t shards = 0;     ///< shard count (aggregate view only)
+    std::uint64_t ring_depth = 0;  ///< jobs queued to workers right now
+    /// Deepest the job ring has ever been (aggregate view: max over
+    /// shards) — the saturation indicator the ring-depth gauge alone
+    /// misses between samples.
+    std::uint64_t ring_high_watermark = 0;
+    std::uint64_t loop_lag_ms = 0;  ///< last lag-probe reading (max over shards)
   };
 
   /// Invoked from an event-loop thread whenever counters changed during an
@@ -241,6 +256,12 @@ class TcpClient {
 
   /// Send one raw request and read exactly one framed response.
   util::Result<std::string> RoundTrip(const std::string& raw);
+
+  /// Send raw bytes without waiting for a response — the open-loop load
+  /// driver uses this for deliberately unfinished requests (slowloris-style
+  /// partial heads), typically followed by Close() so the server diagnoses
+  /// a truncated request.  Returns false when the peer is gone.
+  bool SendRaw(const std::string& raw);
 
   /// Close the client side of the connection.
   void Close();

@@ -101,6 +101,7 @@ std::string RenderPrometheus(const MetricRegistry& registry) {
             << cumulative << '\n';
         out << family << "_sum" << braces << ' ' << s.sum << '\n';
         out << family << "_count" << braces << ' ' << s.count << '\n';
+        out << family << "_max" << braces << ' ' << s.max << '\n';
         break;
       }
     }
@@ -165,6 +166,9 @@ void AppendQuantiles(std::string& out, const Histogram::Snapshot& s) {
   AppendDouble(out, s.Quantile(0.95));
   out += ",\"p99\":";
   AppendDouble(out, s.Quantile(0.99));
+  out += ",\"p999\":";
+  AppendDouble(out, s.Quantile(0.999));
+  out += ",\"max\":" + std::to_string(s.max);
 }
 
 /// Parse a `key="value",...` label string into pairs.  Values are the

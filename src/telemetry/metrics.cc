@@ -12,6 +12,31 @@ const std::vector<std::uint64_t>& Histogram::DefaultLatencyBoundsUs() {
   return bounds;
 }
 
+const std::vector<std::uint64_t>& Histogram::WideLatencyBoundsUs() {
+  static const std::vector<std::uint64_t> bounds =
+      LogBounds(1, 60'000'000, 32);
+  return bounds;
+}
+
+std::vector<std::uint64_t> Histogram::LogBounds(std::uint64_t min_value,
+                                                std::uint64_t max_value,
+                                                std::uint64_t sub_buckets) {
+  if (min_value == 0) min_value = 1;
+  if (sub_buckets == 0) sub_buckets = 1;
+  std::vector<std::uint64_t> bounds;
+  bounds.push_back(min_value);
+  std::uint64_t octave = min_value;  // lower edge of the current doubling
+  std::uint64_t value = min_value;
+  while (value < max_value) {
+    std::uint64_t step = octave / sub_buckets;
+    if (step == 0) step = 1;
+    value += step;
+    if (value >= octave * 2) octave *= 2;
+    bounds.push_back(std::min(value, max_value));
+  }
+  return bounds;
+}
+
 Histogram::Histogram(std::vector<std::uint64_t> bounds)
     : bounds_(bounds.empty() ? DefaultLatencyBoundsUs() : std::move(bounds)),
       buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
@@ -29,6 +54,7 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
   }
   s.count = count_.load(std::memory_order_relaxed);
   s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -38,6 +64,7 @@ void Histogram::Reset() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 double Histogram::Snapshot::Quantile(double q) const {
@@ -49,18 +76,25 @@ double Histogram::Snapshot::Quantile(double q) const {
     const std::uint64_t in_bucket = counts[i];
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= rank) {
-      // Interpolate within [lower, upper); +Inf bucket reports its lower
-      // bound (we cannot extrapolate past the last finite bound).
+      // Interpolate within [lower, upper].  The +Inf bucket spans
+      // (last bound, max]; any bucket containing the observed max is
+      // clamped to it — without this, p99 of a distribution with a 10s
+      // tail silently saturates at the last finite bound.
       const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
-      if (i >= bounds.size()) return lower;
-      const double upper = static_cast<double>(bounds[i]);
+      double upper = i < bounds.size() ? static_cast<double>(bounds[i])
+                                       : static_cast<double>(max);
+      if (max > 0 && static_cast<double>(max) < upper) {
+        upper = static_cast<double>(max);
+      }
+      if (upper < lower) upper = lower;
       const double frac =
           (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
       return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
     }
     cumulative += in_bucket;
   }
-  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+  return max > 0 ? static_cast<double>(max)
+                 : (bounds.empty() ? 0.0 : static_cast<double>(bounds.back()));
 }
 
 namespace {

@@ -99,12 +99,26 @@ class Gauge {
 };
 
 /// Fixed-bucket histogram.  Record() is three relaxed atomic adds (bucket,
-/// count, sum); bucket choice is a branch-free-ish binary search over the
-/// immutable bound list.
+/// count, sum) plus a CAS-max on the observed maximum; bucket choice is a
+/// branch-free-ish binary search over the immutable bound list.
 class Histogram {
  public:
   /// Default bounds for request latencies in microseconds: 10us .. 2.5s.
   static const std::vector<std::uint64_t>& DefaultLatencyBoundsUs();
+
+  /// Wide-range log-bucketed bounds: 1us .. 60s, 32 sub-buckets per octave
+  /// (HDR-style).  Relative bucket width is <= 1/32 (~3.1%) everywhere, so
+  /// interpolated quantiles carry bounded relative error across the whole
+  /// range — built for the open-loop load harness where a stalled server
+  /// must show up as a multi-second tail, not a saturated 2.5s cap.
+  static const std::vector<std::uint64_t>& WideLatencyBoundsUs();
+
+  /// Generator behind WideLatencyBoundsUs(): inclusive upper bounds from
+  /// `min_value` to `max_value` with `sub_buckets` linear steps per octave
+  /// (doubling).  Steps never fall below 1, so small octaves are exact.
+  static std::vector<std::uint64_t> LogBounds(std::uint64_t min_value,
+                                              std::uint64_t max_value,
+                                              std::uint64_t sub_buckets);
 
   /// `bounds` are inclusive upper bounds, strictly increasing; an implicit
   /// +Inf bucket is appended.  Empty means DefaultLatencyBoundsUs().
@@ -124,6 +138,11 @@ class Histogram {
     buckets_[lo].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
 #else
     (void)value;
 #endif
@@ -134,18 +153,22 @@ class Histogram {
     std::vector<std::uint64_t> counts;  ///< bounds.size()+1 buckets
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
+    std::uint64_t max = 0;  ///< largest value ever recorded
 
     double Mean() const {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) / static_cast<double>(count);
     }
     /// Quantile estimate (q in [0,1]) by linear interpolation inside the
-    /// containing bucket; the +Inf bucket reports its lower bound.
+    /// containing bucket.  The bucket holding the observed max (including
+    /// the +Inf overflow bucket) interpolates toward `max` instead of
+    /// saturating at the last finite bound, so overflow tails stay visible.
     double Quantile(double q) const;
   };
 
   Snapshot TakeSnapshot() const;
   std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
   void Reset();
 
  private:
@@ -153,6 +176,7 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };

@@ -105,6 +105,16 @@ class MpmcRing {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Occupancy estimate: claimed-but-unconsumed positions.  Approximate
+  /// under concurrency (the two loads are not a snapshot) but never
+  /// negative — the observability layer samples this for the ring-depth
+  /// gauges and high-watermark accounting.
+  std::size_t ApproxSize() const {
+    std::size_t tail = tail_.load(std::memory_order_acquire);
+    std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
  private:
   struct Cell {
     std::atomic<std::size_t> seq{0};

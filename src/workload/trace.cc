@@ -42,6 +42,16 @@ const char* RequestKindName(RequestKind kind) {
       return "ill_formed";
     case RequestKind::kUnknownProbe:
       return "unknown_probe";
+    case RequestKind::kSlowHeaders:
+      return "slow_headers";
+    case RequestKind::kSmugglingProbe:
+      return "smuggling_probe";
+    case RequestKind::kPathTraversal:
+      return "path_traversal";
+    case RequestKind::kHeaderFlood:
+      return "header_flood";
+    case RequestKind::kCachePoison:
+      return "cache_poison";
   }
   return "?";
 }
@@ -55,6 +65,10 @@ bool IsAttackKind(RequestKind kind) {
     default:
       return true;
   }
+}
+
+bool IsPartialRequestKind(RequestKind kind) {
+  return kind == RequestKind::kSlowHeaders;
 }
 
 TraceGenerator::TraceGenerator(TraceOptions options)
@@ -155,6 +169,59 @@ TraceRequest TraceGenerator::Make(RequestKind kind) {
       const char* probe =
           kUnknownProbes[rng_.NextBelow(std::size(kUnknownProbes))];
       out.raw = http::BuildGetRequest(probe);
+      break;
+    }
+    case RequestKind::kSlowHeaders: {
+      // Slowloris: a plausible head that never reaches the blank line.
+      // IsPartialRequestKind() tells the driver to send this and close —
+      // the server diagnoses a truncated request.
+      out.raw = "GET /index.html HTTP/1.1\r\nHost: localhost\r\nX-Slow-" +
+                std::to_string(rng_.NextBelow(1000)) + ": dribble\r\n";
+      break;
+    }
+    case RequestKind::kSmugglingProbe: {
+      // Conflicting framing headers: two Content-Lengths that disagree
+      // (the classic CL.CL desync probe), or CL alongside a chunked TE.
+      if (rng_.NextBool(0.5)) {
+        out.raw =
+            "POST /cgi-bin/search HTTP/1.1\r\nHost: localhost\r\n"
+            "Content-Length: 4\r\nContent-Length: 11\r\n\r\nq=aa";
+        out.label = "smuggling_probe:cl_cl";
+      } else {
+        out.raw =
+            "POST /cgi-bin/search HTTP/1.1\r\nHost: localhost\r\n"
+            "Content-Length: 4\r\nContent-Length: 0\r\n\r\nq=aa";
+        out.label = "smuggling_probe:cl_zero";
+      }
+      break;
+    }
+    case RequestKind::kPathTraversal: {
+      // Percent-encoded dot segments that decode to real ".." runs.
+      static const char* const kTraversals[] = {
+          "/docs/%2e%2e/%2e%2e/etc/passwd",
+          "/%2e%2e/%2e%2e/%2e%2e/etc/shadow",
+          "/docs/..%2f..%2fprivate/report.html"};
+      out.raw = http::BuildGetRequest(
+          kTraversals[rng_.NextBelow(std::size(kTraversals))]);
+      break;
+    }
+    case RequestKind::kHeaderFlood: {
+      // The §1 DoS generalized: blow past ParseLimits::max_headers.
+      std::string raw = "GET /index.html HTTP/1.1\r\nHost: localhost\r\n";
+      const std::size_t n = 120 + rng_.NextBelow(80);
+      for (std::size_t i = 0; i < n; ++i) {
+        raw += "X-Flood-" + std::to_string(i) + ": x\r\n";
+      }
+      raw += "\r\n";
+      out.raw = std::move(raw);
+      break;
+    }
+    case RequestKind::kCachePoison: {
+      // Two conflicting Host headers: whichever one an upstream cache keys
+      // on, the other poisons.  The parser rejects the conflict outright.
+      out.raw =
+          "GET /index.html HTTP/1.1\r\nHost: localhost\r\n"
+          "Host: evil.example\r\n\r\n";
       break;
     }
   }

@@ -29,10 +29,22 @@ enum class RequestKind {
   kPasswordGuess,  // attack: wrong Basic credentials on /private
   kIllFormed,      // attack: unparsable HTTP
   kUnknownProbe,   // attack: probe with no known signature
+  // Widened corpus beyond the paper's five (ROADMAP item 3):
+  kSlowHeaders,     // attack: slowloris-style never-finished header block
+  kSmugglingProbe,  // attack: conflicting Content-Length / TE framing
+  kPathTraversal,   // attack: percent-encoded ../ escaping the root
+  kHeaderFlood,     // attack: header count past the parse limit
+  kCachePoison,     // attack: conflicting duplicate Host headers
 };
 
 const char* RequestKindName(RequestKind kind);
 bool IsAttackKind(RequestKind kind);
+
+/// Kinds whose raw text is deliberately a *partial* request (no terminating
+/// blank line).  A load driver must send them and then close the
+/// connection: the server sees a head that never completes — the slowloris
+/// signature — and classifies it as truncated.
+bool IsPartialRequestKind(RequestKind kind);
 
 struct TraceRequest {
   RequestKind kind = RequestKind::kStaticPage;

@@ -112,6 +112,58 @@ TEST(HistogramTest, QuantileAndMeanSanity) {
   EXPECT_GE(p90, p50);
 }
 
+TEST(HistogramTest, TracksObservedMax) {
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("max_us");
+  EXPECT_EQ(hist->Max(), 0u);
+  hist->Record(7);
+  hist->Record(123456);
+  hist->Record(42);
+  EXPECT_EQ(hist->Max(), 123456u);
+  const Histogram::Snapshot snap = hist->TakeSnapshot();
+  EXPECT_EQ(snap.max, 123456u);
+  hist->Reset();
+  EXPECT_EQ(hist->Max(), 0u);
+}
+
+TEST(HistogramTest, TailQuantilesUseObservedMaxNotBucketBound) {
+  // The default bounds top out at 2.5s; values beyond that land in the
+  // +Inf bucket.  Before max tracking, every tail quantile saturated at
+  // the last finite bound (2'500'000) no matter how bad the outlier was —
+  // the truncation this test pins the fix for.
+  MetricRegistry registry;
+  Histogram* hist = registry.GetHistogram("tail_us");
+  for (int i = 0; i < 100; ++i) hist->Record(10'000'000);  // 10s stall
+  const Histogram::Snapshot snap = hist->TakeSnapshot();
+  EXPECT_GT(snap.Quantile(0.99), 2'500'000.0);
+  EXPECT_LE(snap.Quantile(0.99), 10'000'000.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 10'000'000.0);
+  // The observed max also caps interpolation inside finite buckets: a
+  // single 30µs value in the (25, 50] bucket must never read above 30.
+  Histogram* single = registry.GetHistogram("single_us");
+  single->Record(30);
+  EXPECT_LE(single->TakeSnapshot().Quantile(0.99), 30.0);
+}
+
+TEST(HistogramTest, LogBoundsHaveBoundedRelativeError) {
+  const auto& bounds = Histogram::WideLatencyBoundsUs();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_EQ(bounds.front(), 1u);
+  EXPECT_EQ(bounds.back(), 60'000'000u);
+  // A manageable bucket count (the whole point of log spacing: ~26 octaves
+  // x 32 sub-buckets, not 60 million linear buckets).
+  EXPECT_LT(bounds.size(), 1200u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    ASSERT_GT(bounds[i], bounds[i - 1]) << i;
+    // Relative bucket width <= ~2/32: quantiles carry bounded relative
+    // error across the whole 1µs..60s range.
+    const double width =
+        static_cast<double>(bounds[i] - bounds[i - 1]);
+    EXPECT_LE(width, std::max(1.0, bounds[i - 1] * (2.0 / 32.0)) + 1e-9)
+        << "bucket " << i << " too wide";
+  }
+}
+
 TEST(RegistryTest, SameNameReturnsSameHandle) {
   MetricRegistry registry;
   Counter* a = registry.GetCounter("x_total", "k=\"1\"");
@@ -249,6 +301,20 @@ TEST(ExpositionTest, PrometheusText) {
   EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
   EXPECT_NE(text.find("lat_us_sum 5055\n"), std::string::npos);
   EXPECT_NE(text.find("lat_us_count 3\n"), std::string::npos);
+  // The tracked maximum rides along so scrapes see true tails even when
+  // the largest value fell into the +Inf bucket.
+  EXPECT_NE(text.find("lat_us_max 5000\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, MetricsJsonCarriesTailQuantilesAndMax) {
+  MetricRegistry registry;
+  Histogram* hist =
+      registry.GetHistogram("lat_us", "", std::vector<std::uint64_t>{10, 100});
+  hist->Record(50);
+  hist->Record(7000);
+  const std::string json = telemetry::RenderMetricsJson(registry);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":7000"), std::string::npos);
 }
 
 TEST(ExpositionTest, TracesJson) {

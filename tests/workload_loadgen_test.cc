@@ -1,0 +1,172 @@
+// Open-loop load generator (EXPERIMENTS.md E7): the determinism contract
+// (a schedule is a pure function of the options), arrival-process shape,
+// scenario composition, and a small end-to-end run over real sockets.
+#include "workload/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "http/doc_tree.h"
+#include "http/tcp_server.h"
+#include "util/clock.h"
+
+namespace gaa::workload {
+namespace {
+
+TEST(LoadGenerator, ScheduleIsDeterministic) {
+  LoadgenOptions options;
+  options.seed = 1234;
+  options.rate_rps = 500;
+  options.total_requests = 300;
+  options.connections = 7;
+  LoadGenerator a(options, MixedScenario());
+  LoadGenerator b(options, MixedScenario());
+  auto sa = a.BuildSchedule();
+  auto sb = b.BuildSchedule();
+  ASSERT_EQ(sa.size(), sb.size());
+  ASSERT_EQ(sa.size(), options.total_requests);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].intended_us, sb[i].intended_us) << i;
+    EXPECT_EQ(sa[i].connection, sb[i].connection) << i;
+    EXPECT_EQ(sa[i].request.kind, sb[i].request.kind) << i;
+    EXPECT_EQ(sa[i].request.raw, sb[i].request.raw) << i;
+    EXPECT_EQ(sa[i].request.client_ip, sb[i].request.client_ip) << i;
+  }
+}
+
+TEST(LoadGenerator, SeedChangesSchedule) {
+  LoadgenOptions a_options;
+  a_options.seed = 1;
+  a_options.total_requests = 200;
+  LoadgenOptions b_options = a_options;
+  b_options.seed = 2;
+  auto sa = LoadGenerator(a_options, MixedScenario()).BuildSchedule();
+  auto sb = LoadGenerator(b_options, MixedScenario()).BuildSchedule();
+  bool arrivals_differ = false;
+  bool content_differs = false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].intended_us != sb[i].intended_us) arrivals_differ = true;
+    if (sa[i].request.raw != sb[i].request.raw) content_differs = true;
+  }
+  EXPECT_TRUE(arrivals_differ);
+  EXPECT_TRUE(content_differs);
+}
+
+TEST(LoadGenerator, DeterministicArrivalsAreEvenlySpaced) {
+  LoadgenOptions options;
+  options.arrivals = ArrivalProcess::kDeterministic;
+  options.rate_rps = 1000;  // 1ms gap
+  options.total_requests = 50;
+  auto schedule = LoadGenerator(options, BenignScenario()).BuildSchedule();
+  ASSERT_EQ(schedule.size(), 50u);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i].intended_us, static_cast<std::int64_t>(i * 1000));
+  }
+}
+
+TEST(LoadGenerator, PoissonArrivalsMatchOfferedRateOnAverage) {
+  LoadgenOptions options;
+  options.arrivals = ArrivalProcess::kPoisson;
+  options.rate_rps = 2000;
+  options.total_requests = 4000;
+  auto schedule = LoadGenerator(options, BenignScenario()).BuildSchedule();
+  // Mean interarrival over 4k exponential gaps should be within 10% of
+  // 1/rate, and arrivals must be monotone.
+  double span_us = static_cast<double>(schedule.back().intended_us);
+  double mean_gap = span_us / static_cast<double>(schedule.size() - 1);
+  EXPECT_NEAR(mean_gap, 500.0, 50.0);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].intended_us, schedule[i - 1].intended_us);
+  }
+}
+
+TEST(LoadGenerator, ScenariosCoverTheWidenedAttackCorpus) {
+  // The adversarial scenario must exercise every attack kind, including
+  // the PR-8 additions, and the mixed scenario must stay ~90% benign.
+  auto adversarial = AdversarialScenario();
+  bool has_slow = false, has_smuggle = false, has_traversal = false,
+       has_flood = false, has_poison = false;
+  for (const auto& [kind, weight] : adversarial.mix) {
+    EXPECT_TRUE(IsAttackKind(kind)) << RequestKindName(kind);
+    if (kind == RequestKind::kSlowHeaders) has_slow = true;
+    if (kind == RequestKind::kSmugglingProbe) has_smuggle = true;
+    if (kind == RequestKind::kPathTraversal) has_traversal = true;
+    if (kind == RequestKind::kHeaderFlood) has_flood = true;
+    if (kind == RequestKind::kCachePoison) has_poison = true;
+  }
+  EXPECT_TRUE(has_slow && has_smuggle && has_traversal && has_flood &&
+              has_poison);
+
+  double benign_weight = 0, total_weight = 0;
+  for (const auto& [kind, weight] : MixedScenario().mix) {
+    total_weight += weight;
+    if (!IsAttackKind(kind)) benign_weight += weight;
+  }
+  EXPECT_NEAR(benign_weight / total_weight, 0.9, 0.01);
+}
+
+TEST(LoadGenerator, RunAgainstRealServerCompletesBenignLoad) {
+  util::SimulatedClock clock(0);
+  http::DocTree tree = http::DocTree::DemoSite();
+  http::AllowAllController controller;
+  http::WebServer server(&tree, &controller, &clock);
+  http::TcpServer::Options tcp_options;
+  tcp_options.reactor_shards = 2;
+  tcp_options.worker_threads = 2;
+  http::TcpServer tcp(&server, tcp_options);
+  auto started = tcp.Start();
+  ASSERT_TRUE(started.ok()) << started.error().ToString();
+
+  LoadgenOptions options;
+  options.rate_rps = 400;
+  options.total_requests = 80;
+  options.connections = 4;
+  LoadGenerator gen(options, BenignScenario());
+  LoadResult result = gen.Run(tcp.port());
+  tcp.Stop();
+
+  EXPECT_EQ(result.sent, 80u);
+  EXPECT_EQ(result.responded, 80u);
+  EXPECT_EQ(result.transport_errors, 0u);
+  EXPECT_EQ(result.latency.count, 80u);
+  EXPECT_EQ(result.benign_latency.count, 80u);
+  EXPECT_GT(result.latency.max, 0u);
+  // Open-loop latency can never undercut the closed-loop service time.
+  EXPECT_GE(result.latency.Quantile(0.99), result.service.Quantile(0.5));
+  std::uint64_t ok = 0;
+  for (const auto& [kind, stats] : result.by_kind) ok += stats.ok_2xx;
+  EXPECT_EQ(ok, 80u);
+}
+
+TEST(LoadGenerator, PartialKindsExpectNoResponse) {
+  util::SimulatedClock clock(0);
+  http::DocTree tree = http::DocTree::DemoSite();
+  http::AllowAllController controller;
+  http::WebServer server(&tree, &controller, &clock);
+  http::TcpServer::Options tcp_options;
+  tcp_options.reactor_shards = 1;
+  tcp_options.worker_threads = 1;
+  http::TcpServer tcp(&server, tcp_options);
+  auto started = tcp.Start();
+  ASSERT_TRUE(started.ok()) << started.error().ToString();
+
+  LoadgenOptions options;
+  options.rate_rps = 200;
+  options.total_requests = 10;
+  options.connections = 2;
+  LoadScenario slow{"slowloris", {{RequestKind::kSlowHeaders, 1.0}}};
+  LoadResult result = LoadGenerator(options, slow).Run(tcp.port());
+  tcp.Stop();
+
+  EXPECT_EQ(result.sent, 10u);
+  EXPECT_EQ(result.responded, 0u);
+  // Abandoned half-requests are the *point* of the scenario, not errors.
+  EXPECT_EQ(result.transport_errors, 0u);
+  auto it = result.by_kind.find("slow_headers");
+  ASSERT_NE(it, result.by_kind.end());
+  EXPECT_EQ(it->second.no_response, 10u);
+}
+
+}  // namespace
+}  // namespace gaa::workload
