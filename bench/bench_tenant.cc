@@ -1,0 +1,249 @@
+// E8 — multi-tenant policy namespaces over the content-addressed IR store
+// (DESIGN.md §14).
+//
+// Two questions drive the experiment:
+//
+//   1. Does compiled-policy memory and configuration time stay sublinear in
+//      the tenant count when tenants share most of their policy structure?
+//      The fleet models a hosting deployment at 90% sharing: every tenant
+//      installs the same five boilerplate system policies (interned once by
+//      the IrStore no matter how many tenants reference them) and every
+//      tenth tenant adds one small unique local policy.  Scaling the fleet
+//      10x must grow IR bytes well under 2x.
+//
+//   2. What does namespace resolution cost per request?  A tenant-routed
+//      request (Host header → namespace → per-tenant snapshot) is compared
+//      against the identical single-namespace deployment; the paper-shaped
+//      serving path must not pay measurably for the tenancy layer.
+//
+// Usage: bench_tenant [--smoke] [--json <path>]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "http/request.h"
+#include "util/clock.h"
+
+namespace gaa::bench {
+namespace {
+
+constexpr int kBoilerplatePolicies = 5;
+constexpr int kEntriesPerBoilerplate = 28;
+
+/// One of the five shared boilerplate policies: 19 non-matching pure
+/// host-screening denies plus a terminal grant.  Identical text (and the
+/// same positional provenance name) for every tenant — the IrStore interns
+/// each of the five exactly once per process.
+std::string BoilerplatePolicy(int index) {
+  std::string text;
+  for (int i = 0; i < kEntriesPerBoilerplate - 1; ++i) {
+    text += "neg_access_right apache *\n";
+    text += "pre_cond_accessid HOST local 172.16." +
+            std::to_string((index * (kEntriesPerBoilerplate - 1) + i) % 250) +
+            ".0/24\n";
+  }
+  text += "pos_access_right apache *\n";
+  return text;
+}
+
+/// The 10% tail: one tenant-specific screening entry no other tenant
+/// shares (deny-only — grants come from the shared boilerplate layer).
+std::string UniqueLocalPolicy(int tenant) {
+  return "neg_access_right apache *\n"
+         "pre_cond_accessid HOST local 10." + std::to_string(tenant / 250) +
+         "." + std::to_string(tenant % 250) + ".0/24\n";
+}
+
+struct FleetResult {
+  double setup_ms = 0;
+  gaa::eacl::IrStore::Stats ir;
+};
+
+FleetResult BuildFleet(int tenants) {
+  gaa::web::GaaWebServer::Options options;
+  options.use_real_clock = true;
+  options.notification_latency_us = 0;
+  gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+  if (!server.SetLocalPolicy("/", "pos_access_right apache *\n").ok()) {
+    std::fprintf(stderr, "global policy setup failed\n");
+    std::exit(1);
+  }
+
+  std::vector<std::string> boilerplate;
+  for (int p = 0; p < kBoilerplatePolicies; ++p) {
+    boilerplate.push_back(BoilerplatePolicy(p));
+  }
+
+  gaa::util::Stopwatch watch;
+  for (int t = 0; t < tenants; ++t) {
+    const std::string name = "tenant" + std::to_string(t);
+    for (const auto& policy : boilerplate) {
+      if (!server.AddTenantSystemPolicy(name, policy).ok()) {
+        std::fprintf(stderr, "tenant policy setup failed\n");
+        std::exit(1);
+      }
+    }
+    if (t % 10 == 0) {
+      if (!server.SetTenantLocalPolicy(name, "/", UniqueLocalPolicy(t)).ok()) {
+        std::fprintf(stderr, "tenant local setup failed\n");
+        std::exit(1);
+      }
+    }
+  }
+
+  FleetResult result;
+  result.setup_ms = watch.ElapsedMs();
+  result.ir = server.policy_store().ir_store_stats();
+  return result;
+}
+
+Stats MeasureRequests(gaa::web::GaaWebServer& server, const std::string& raw,
+                      int iterations) {
+  // Warm the decision memo and the inline caches before sampling.
+  for (int i = 0; i < iterations / 10 + 1; ++i) {
+    (void)server.HandleText(raw, "10.0.0.1");
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    gaa::util::Stopwatch watch;
+    (void)server.HandleText(raw, "10.0.0.1");
+    samples.push_back(watch.ElapsedMs());
+  }
+  return Summarize(std::move(samples));
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main(int argc, char** argv) {
+  using namespace gaa::bench;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+
+  JsonReport report("tenant");
+  report.SetParam("smoke", smoke ? 1 : 0);
+
+  // --- E8a: IR sharing at fleet scale --------------------------------------
+  const int n_lo = smoke ? 20 : 100;
+  const int n_hi = smoke ? 100 : 1000;
+  report.SetParam("tenants_lo", n_lo);
+  report.SetParam("tenants_hi", n_hi);
+
+  PrintHeader("E8a: content-addressed IR sharing across tenant fleets");
+  std::printf("%-10s %12s %12s %10s %12s %12s\n", "tenants", "ir_bytes",
+              "ir_entries", "setup_ms", "dedup_hits", "misses");
+
+  FleetResult lo = BuildFleet(n_lo);
+  FleetResult hi = BuildFleet(n_hi);
+  for (const auto& [n, r] :
+       {std::pair<int, const FleetResult&>{n_lo, lo}, {n_hi, hi}}) {
+    std::printf("%-10d %12zu %12zu %10.1f %12llu %12llu\n", n, r.ir.bytes,
+                r.ir.entries, r.setup_ms,
+                static_cast<unsigned long long>(r.ir.hits),
+                static_cast<unsigned long long>(r.ir.misses));
+    const std::string section = "fleet_" + std::to_string(n);
+    report.Set(section, "ir_bytes", static_cast<double>(r.ir.bytes));
+    report.Set(section, "ir_entries", static_cast<double>(r.ir.entries));
+    report.Set(section, "setup_ms", r.setup_ms);
+    report.Set(section, "dedup_hits", static_cast<double>(r.ir.hits));
+    report.Set(section, "dedup_misses", static_cast<double>(r.ir.misses));
+  }
+
+  const double fleet_ratio = static_cast<double>(n_hi) / n_lo;
+  const double bytes_ratio =
+      static_cast<double>(hi.ir.bytes) / static_cast<double>(lo.ir.bytes);
+  const double setup_ratio = hi.setup_ms / lo.setup_ms;
+  std::printf("\n%dx more tenants -> %.2fx IR bytes, %.2fx setup time\n",
+              static_cast<int>(fleet_ratio), bytes_ratio, setup_ratio);
+  report.Set("scaling", "fleet_ratio", fleet_ratio);
+  report.Set("scaling", "ir_bytes_ratio", bytes_ratio);
+  report.Set("scaling", "setup_ms_ratio", setup_ratio);
+
+  // The headline claim: at 90% structural sharing, a 5-10x fleet costs
+  // well under 2x the compiled-IR memory (only the unique 10% scales).
+  if (bytes_ratio > 2.0) {
+    std::fprintf(stderr, "FAIL: IR bytes scaled %.2fx (expected <= 2x)\n",
+                 bytes_ratio);
+    return 1;
+  }
+  if (hi.ir.hits <= hi.ir.misses) {
+    std::fprintf(stderr, "FAIL: dedup hits (%llu) <= misses (%llu)\n",
+                 static_cast<unsigned long long>(hi.ir.hits),
+                 static_cast<unsigned long long>(hi.ir.misses));
+    return 1;
+  }
+
+  // --- E8b: per-request cost of namespace resolution ------------------------
+  const int iterations = smoke ? 800 : 5000;
+  report.SetParam("iterations", iterations);
+
+  PrintHeader("E8b: tenant-routed request vs single-namespace baseline");
+  std::printf("%-22s %10s %10s %10s\n", "config", "mean_ms", "p50_ms",
+              "p95_ms");
+
+  const std::string policy = BoilerplatePolicy(0);
+  Stats baseline;
+  {
+    gaa::web::GaaWebServer::Options options;
+    options.use_real_clock = true;
+    options.notification_latency_us = 0;
+    gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+    if (!server.AddSystemPolicy("eacl_mode 1\n" + policy).ok() ||
+        !server.SetLocalPolicy("/", "pos_access_right apache *\n").ok()) {
+      std::fprintf(stderr, "baseline setup failed\n");
+      return 1;
+    }
+    baseline = MeasureRequests(
+        server, gaa::http::BuildGetRequest("/index.html"), iterations);
+  }
+  std::printf("%-22s %10.5f %10.5f %10.5f\n", "single_namespace",
+              baseline.mean_ms, baseline.p50_ms, baseline.p95_ms);
+  report.SetStats("single_namespace", baseline);
+
+  Stats routed;
+  {
+    gaa::web::GaaWebServer::Options options;
+    options.use_real_clock = true;
+    options.notification_latency_us = 0;
+    gaa::web::GaaWebServer server(gaa::http::DocTree::DemoSite(), options);
+    if (!server.AddTenant("acme", "acme.example").ok() ||
+        !server.AddTenantSystemPolicy("acme", "eacl_mode 1\n" + policy).ok() ||
+        !server.SetLocalPolicy("/", "pos_access_right apache *\n").ok()) {
+      std::fprintf(stderr, "tenant setup failed\n");
+      return 1;
+    }
+    routed = MeasureRequests(
+        server,
+        gaa::http::BuildGetRequest("/index.html",
+                                   {{"Host", "acme.example"}}),
+        iterations);
+  }
+  std::printf("%-22s %10.5f %10.5f %10.5f\n", "tenant_routed", routed.mean_ms,
+              routed.p50_ms, routed.p95_ms);
+  report.SetStats("tenant_routed", routed);
+
+  const double overhead_pct =
+      100.0 * (routed.p50_ms - baseline.p50_ms) / baseline.p50_ms;
+  std::printf("\nnamespace-resolution overhead: %+.2f%% (p50)\n",
+              overhead_pct);
+  report.Set("overhead", "p50_pct", overhead_pct);
+
+  // Smoke gate: generous bound (CI machines are noisy single-core boxes);
+  // the committed full-run artifact documents the real margin (~<5%).
+  if (smoke && overhead_pct > 50.0) {
+    std::fprintf(stderr, "FAIL: tenant routing overhead %.1f%% > 50%%\n",
+                 overhead_pct);
+    return 1;
+  }
+
+  if (!json_path.empty() && !report.WriteFile(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

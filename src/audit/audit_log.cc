@@ -31,6 +31,7 @@ void AuditLog::Record(const core::AuditEvent& event) {
   record.message = event.message;
   record.trace_id = event.trace_id;
   record.client = event.client;
+  record.tenant = event.tenant;
   record.decision = event.decision;
   record.policy = event.policy;
   record.entry = event.entry;

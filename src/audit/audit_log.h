@@ -37,6 +37,7 @@ struct AuditRecord {
   // decision): which client asked, what the answer was, and the exact
   // policy entry + condition that produced it.
   std::string client;
+  std::string tenant;    ///< tenant namespace ("" = default)
   std::string decision;  ///< "yes" / "no" / "maybe"
   std::string policy;
   int entry = -1;

@@ -81,6 +81,9 @@ void AppendAuditJsonl(const AuditRecord& record, std::string* out) {
   if (!record.client.empty()) {
     AppendStringField("client", record.client, &first, out);
   }
+  if (!record.tenant.empty()) {
+    AppendStringField("tenant", record.tenant, &first, out);
+  }
   if (!record.decision.empty()) {
     AppendStringField("decision", record.decision, &first, out);
   }
@@ -223,6 +226,7 @@ util::Result<std::vector<AuditRecord>> ParseAuditJsonl(std::string_view text) {
           if (key == "category") record.category = std::move(value);
           else if (key == "message") record.message = std::move(value);
           else if (key == "client") record.client = std::move(value);
+          else if (key == "tenant") record.tenant = std::move(value);
           else if (key == "decision") record.decision = std::move(value);
           else if (key == "policy") record.policy = std::move(value);
           else if (key == "condition") record.condition = std::move(value);

@@ -13,7 +13,7 @@ using core::ThreatLevel;
 }  // namespace
 
 core::CondRoutine MakeThreatLevelRoutine(const FactoryParams& /*params*/) {
-  return [](const eacl::Condition& cond, const RequestContext& /*ctx*/,
+  return [](const eacl::Condition& cond, const RequestContext& ctx,
             EvalServices& services) -> EvalOutcome {
     if (services.state == nullptr) {
       // No IDS / state wired up: the threat profile is unknown.
@@ -28,7 +28,10 @@ core::CondRoutine MakeThreatLevelRoutine(const FactoryParams& /*params*/) {
     if (!target.has_value()) {
       return EvalOutcome::No("bad threat level literal '" + *resolved + "'");
     }
-    ThreatLevel current = services.state->threat_level();
+    // The request's namespace governs which threat profile applies: a
+    // per-tenant override scopes an escalation to that tenant alone
+    // (EffectiveThreatLevel("") is exactly the global level).
+    ThreatLevel current = services.state->EffectiveThreatLevel(ctx.tenant);
     bool holds = CompareInts(static_cast<int>(current), parsed.op,
                              static_cast<int>(*target));
     std::string detail = std::string("threat level ") +
@@ -63,15 +66,17 @@ core::SpecializedCond SpecializeThreatLevel(const eacl::Condition& cond,
   ThreatLevel want = *target;
   // A literal comparison reads only the threat level beyond the memo key,
   // so it refines to kThreatFenced: memoizable behind the SystemState
-  // threat-epoch fence (a level transition invalidates the entry).  The
-  // "var:" form above stays at the registered volatile purity.
-  return {[op, want](const eacl::Condition&, const RequestContext&,
+  // threat-epoch fence (a level transition invalidates the entry; the
+  // per-tenant fence is TenantThreatEpoch, matching the tenant-scoped read
+  // here).  The "var:" form above stays at the registered volatile purity.
+  return {[op, want](const eacl::Condition&, const RequestContext& ctx,
                      EvalServices& services) {
             if (services.state == nullptr) {
               return EvalOutcome::Unevaluated(
                   "no system state; threat level unknown");
             }
-            ThreatLevel current = services.state->threat_level();
+            ThreatLevel current =
+                services.state->EffectiveThreatLevel(ctx.tenant);
             bool holds = CompareInts(static_cast<int>(current), op,
                                      static_cast<int>(want));
             std::string detail = std::string("threat level ") +

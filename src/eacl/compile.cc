@@ -1,5 +1,6 @@
 #include "eacl/compile.h"
 
+#include "eacl/ir_store.h"
 #include "telemetry/metrics.h"
 
 namespace gaa::eacl {
@@ -30,6 +31,7 @@ std::vector<CompiledCond> CompileBlock(const std::vector<Condition>& block,
     CompiledCond cc;
     cc.source = cond;
     cc.phase = phase;
+    cc.content_hash = HashCondition(cond);
     const core::CondRegistration* reg =
         env.registry == nullptr
             ? nullptr
@@ -90,6 +92,36 @@ std::string CompiledPolicy::IndexKey(std::string_view def_auth,
   return key;
 }
 
+std::size_t CompiledPolicy::ApproxIrBytes() const {
+  // Deliberately approximate: counts the dominant owned allocations so the
+  // gaa_ir_store_bytes gauge and the E8 sharing bench track real growth,
+  // without chasing every small-string optimization.
+  auto str_bytes = [](const std::string& s) { return s.capacity(); };
+  auto cond_bytes = [&](const Condition& c) {
+    return sizeof(Condition) + str_bytes(c.type) + str_bytes(c.def_auth) +
+           str_bytes(c.value);
+  };
+  std::size_t total = sizeof(CompiledPolicy) + str_bytes(name_);
+  for (const CompiledEntry& e : entries_) {
+    total += sizeof(CompiledEntry);
+    total += str_bytes(e.right.def_auth) + str_bytes(e.right.value);
+    for (const CompiledCond& cc : e.pre) {
+      total += sizeof(CompiledCond) + cond_bytes(cc.source);
+    }
+    for (const CompiledCond& cc : e.request_result) {
+      total += sizeof(CompiledCond) + cond_bytes(cc.source);
+    }
+    for (const Condition& c : e.mid) total += cond_bytes(c);
+    for (const Condition& c : e.post) total += cond_bytes(c);
+  }
+  for (const auto& [key, covering] : index_) {
+    total += sizeof(void*) * 4 + key.capacity() +
+             covering.capacity() * sizeof(std::uint32_t);
+  }
+  total += unindexed_.capacity() * sizeof(std::uint32_t);
+  return total;
+}
+
 const std::vector<std::uint32_t>* CompiledPolicy::IndexedCover(
     std::string_view def_auth, std::string_view value) const {
   auto it = index_.find(IndexKey(def_auth, value));
@@ -104,6 +136,7 @@ std::shared_ptr<const CompiledPolicy> CompilePolicy(const Eacl& policy,
   auto compiled = std::make_shared<CompiledPolicy>();
   compiled->name_ = name;
   compiled->mode_ = policy.mode;
+  compiled->content_hash_ = HashPolicy(policy);
   compiled->entries_.reserve(policy.entries.size());
 
   for (std::size_t i = 0; i < policy.entries.size(); ++i) {
@@ -111,6 +144,7 @@ std::shared_ptr<const CompiledPolicy> CompilePolicy(const Eacl& policy,
     CompiledEntry ce;
     ce.right = entry.right;
     ce.index = static_cast<int>(i);
+    ce.content_hash = HashEntry(entry);
     ce.pre = CompileBlock(entry.pre, CondPhase::kPre, env, stats);
     ce.request_result =
         CompileBlock(entry.request_result, CondPhase::kRequestResult, env,

@@ -65,6 +65,10 @@ struct CompiledCond {
   bool specialized = false;  ///< value was pre-parsed at compile time
   core::CondRoutine fn;      ///< never null
   telemetry::Histogram* latency = nullptr;  ///< gaa_cond_eval_us{cond,auth}
+  /// Canonical structural content hash of `source` (eacl::HashCondition):
+  /// equal-structure conditions hash equal regardless of surrounding
+  /// policy, which is what lets the IrStore share fragments across tenants.
+  std::uint64_t content_hash = 0;
 };
 
 struct CompiledEntry {
@@ -80,6 +84,9 @@ struct CompiledEntry {
   /// eacl_entry_decisions_total{policy,entry,outcome} handles, indexed by
   /// EntryOutcomeName order.  Null when compiled without metrics.
   telemetry::Counter* outcomes[4] = {nullptr, nullptr, nullptr, nullptr};
+  /// Canonical structural content hash of the source entry
+  /// (eacl::HashEntry): right + all four phase blocks.
+  std::uint64_t content_hash = 0;
 };
 
 class CompiledPolicy {
@@ -87,6 +94,14 @@ class CompiledPolicy {
   const std::string& name() const { return name_; }
   std::optional<CompositionMode> mode() const { return mode_; }
   const std::vector<CompiledEntry>& entries() const { return entries_; }
+
+  /// Canonical structural content hash of the whole source policy
+  /// (eacl::HashPolicy) — the IrStore's content address.
+  std::uint64_t content_hash() const { return content_hash_; }
+
+  /// Approximate resident bytes of this compiled object (entries,
+  /// conditions, index, strings) — the gaa_ir_store_bytes accounting unit.
+  std::size_t ApproxIrBytes() const;
 
   /// Entries covering the concrete right (def_auth, value), in entry order,
   /// or null when the right never appears concretely in this policy — then
@@ -110,6 +125,7 @@ class CompiledPolicy {
 
   std::string name_;
   std::optional<CompositionMode> mode_;
+  std::uint64_t content_hash_ = 0;
   std::vector<CompiledEntry> entries_;
   /// def_auth + '\0' + value → ordered covering entry indices.
   std::map<std::string, std::vector<std::uint32_t>, std::less<>> index_;

@@ -75,16 +75,27 @@ util::VoidResult GaaApi::Initialize(const RoutineCatalog& catalog,
 
 eacl::ComposedPolicy GaaApi::GetObjectPolicyInfo(
     const std::string& object_path) {
+  return GetObjectPolicyInfo(object_path, {});
+}
+
+eacl::ComposedPolicy GaaApi::GetObjectPolicyInfo(const std::string& object_path,
+                                                 std::string_view tenant) {
   if (cache_enabled_) {
+    // The §9 policy cache is keyed per namespace: '\x1f' cannot occur in a
+    // URL path, so tenant-qualified keys never collide with plain paths.
+    std::string cache_key =
+        tenant.empty() ? object_path
+                       : std::string(tenant) + '\x1f' + object_path;
     std::uint64_t version = store_->version();
-    if (auto cached = cache_.Get(object_path, version)) {
+    if (auto cached = cache_.Get(cache_key, version)) {
       return *std::move(cached);
     }
-    eacl::ComposedPolicy composed = store_->PoliciesFor(object_path);
-    cache_.Put(object_path, version, composed);
+    eacl::ComposedPolicy composed =
+        store_->PoliciesForTenant(tenant, object_path);
+    cache_.Put(cache_key, version, composed);
     return composed;
   }
-  return store_->PoliciesFor(object_path);
+  return store_->PoliciesForTenant(tenant, object_path);
 }
 
 telemetry::Counter* GaaApi::EntryCounter(const std::string& policy, int entry,
@@ -530,6 +541,12 @@ std::string GaaApi::DecisionKey(const std::string& object_path,
   }
   key.push_back('\x1f');
   key.append(ctx.client_ip.ToString());
+  // Namespace-qualify the memo: two tenants asking the identical question
+  // must never share an answer (their policy layers differ), and keeping
+  // the tenant in the key — instead of flushing on tenant switches — is
+  // what lets one tenant's reload leave every other tenant's memos warm.
+  key.push_back('\x1f');
+  key.append(ctx.tenant);
   return key;
 }
 
@@ -537,16 +554,20 @@ AuthzResult GaaApi::Authorize(const std::string& object_path,
                               const RequestedRight& right,
                               RequestContext& ctx) {
   if (engine_mode_ == EngineMode::kCompiled) {
-    std::shared_ptr<const PolicySnapshot> snap =
-        store_->FreshSnapshot(&registry_, registry_.change_version());
+    std::shared_ptr<const PolicySnapshot> snap = store_->FreshSnapshotFor(
+        ctx.tenant, &registry_, registry_.change_version());
     if (snap != nullptr) {
       const bool memo_on =
           decision_cache_enabled_ && decision_cache_.capacity() > 0;
       // Read the threat epoch BEFORE evaluating: if the level transitions
       // mid-evaluation, the entry is stored against the older epoch and is
-      // conservatively stale, never freshly wrong.
+      // conservatively stale, never freshly wrong.  The fence is the
+      // tenant-scoped epoch, so one tenant's threat transition leaves the
+      // other namespaces' threat-fenced memos alive.
       const std::uint64_t epoch =
-          services_.state != nullptr ? services_.state->threat_epoch() : 0;
+          services_.state != nullptr
+              ? services_.state->TenantThreatEpoch(ctx.tenant)
+              : 0;
       std::string key;
       if (memo_on) {
         key = DecisionKey(object_path, right, ctx);
@@ -584,19 +605,21 @@ AuthzResult GaaApi::Authorize(const std::string& object_path,
     // different engine): fall through to the interpreted pipeline.
   }
   telemetry::ScopedSpan compose_span(ctx.trace, "gaa.policy_compose");
-  eacl::ComposedPolicy composed = GetObjectPolicyInfo(object_path);
+  eacl::ComposedPolicy composed = GetObjectPolicyInfo(object_path, ctx.tenant);
   compose_span.End();
   return CheckAuthorization(composed, right, ctx);
 }
 
 bool GaaApi::DecisionIsMemoized(const std::string& object_path,
                                 const RequestedRight& right,
-                                util::Ipv4Address client_ip) const {
+                                util::Ipv4Address client_ip,
+                                std::string_view tenant) const {
   if (engine_mode_ != EngineMode::kCompiled || !decision_cache_enabled_ ||
       decision_cache_.capacity() == 0) {
     return false;
   }
-  std::shared_ptr<const PolicySnapshot> snap = store_->CurrentSnapshot();
+  std::shared_ptr<const PolicySnapshot> snap =
+      store_->CurrentSnapshotFor(tenant);
   if (snap == nullptr || snap->compiled_for() != &registry_ ||
       snap->registry_version() != registry_.change_version()) {
     // A stale or foreign snapshot means Authorize would recompile (or fall
@@ -604,15 +627,17 @@ bool GaaApi::DecisionIsMemoized(const std::string& object_path,
     return false;
   }
   // Mirror the context BuildContext would produce for an anonymous request:
-  // DecisionKey reads only object, identity (absent here) and client
-  // address, so this key equals the one the full pipeline computes for a
-  // credential-less request.
+  // DecisionKey reads only object, identity (absent here), client address
+  // and tenant, so this key equals the one the full pipeline computes for a
+  // credential-less request in the same namespace.
   RequestContext ctx;
   ctx.object = object_path;
   ctx.client_ip = client_ip;
+  ctx.tenant = std::string(tenant);
   return decision_cache_.Peek(
       DecisionKey(object_path, right, ctx), snap->store_version(),
-      services_.state != nullptr ? services_.state->threat_epoch() : 0);
+      services_.state != nullptr ? services_.state->TenantThreatEpoch(tenant)
+                                 : 0);
 }
 
 PhaseResult GaaApi::ExecutionControl(const AuthzResult& authz,

@@ -38,6 +38,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -145,6 +146,11 @@ class GaaApi {
   // --- phase 2a -----------------------------------------------------------
   eacl::ComposedPolicy GetObjectPolicyInfo(const std::string& object_path);
 
+  /// Tenant-scoped retrieval: the tenant's namespace (globals + tenant
+  /// layer) composed for `object_path`.  "" is the default namespace.
+  eacl::ComposedPolicy GetObjectPolicyInfo(const std::string& object_path,
+                                           std::string_view tenant);
+
   // --- phase 2c -----------------------------------------------------------
   AuthzResult CheckAuthorization(const eacl::ComposedPolicy& policy,
                                  const RequestedRight& right,
@@ -192,7 +198,16 @@ class GaaApi {
   /// caller takes the ordinary worker path.
   bool DecisionIsMemoized(const std::string& object_path,
                           const RequestedRight& right,
-                          util::Ipv4Address client_ip) const;
+                          util::Ipv4Address client_ip) const {
+    return DecisionIsMemoized(object_path, right, client_ip, {});
+  }
+
+  /// Tenant-scoped probe: checks the tenant's snapshot and the memo keyed
+  /// under its namespace ("" = default, identical to the overload above).
+  bool DecisionIsMemoized(const std::string& object_path,
+                          const RequestedRight& right,
+                          util::Ipv4Address client_ip,
+                          std::string_view tenant) const;
 
  private:
   struct BlockResult {

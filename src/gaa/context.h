@@ -60,6 +60,11 @@ struct RequestContext {
   std::string query;        ///< raw query string (CGI input)
   std::string raw_url;      ///< undecoded request target (signature matching)
 
+  /// Policy namespace resolved from the request's Host header (DESIGN.md
+  /// §14).  "" is the default namespace — the single-tenant behaviour —
+  /// so every pre-tenant caller keeps its exact semantics.
+  std::string tenant;
+
   // --- extension parameters (paper §6 step 2b) ----------------------------
   std::vector<Param> params;
 

@@ -26,7 +26,8 @@ util::VoidResult PolicyStore::AddSystemPolicyNamed(const std::string& eacl_text,
       name.empty() ? "system#" + std::to_string(system_policies_.size() - 1)
                    : name);
   version_.fetch_add(1);
-  RebuildSnapshotLocked();
+  default_version_.fetch_add(1, std::memory_order_release);
+  RepublishAllLocked();
   return util::VoidResult::Ok();
 }
 
@@ -54,7 +55,8 @@ util::VoidResult PolicyStore::SetLocalPolicy(const std::string& dir_prefix,
   local_policies_[key] = std::move(parsed).take();
   local_texts_[key] = eacl_text;
   version_.fetch_add(1);
-  RebuildSnapshotLocked();
+  default_version_.fetch_add(1, std::memory_order_release);
+  RepublishAllLocked();
   return util::VoidResult::Ok();
 }
 
@@ -62,11 +64,15 @@ bool PolicyStore::RemoveLocalPolicy(const std::string& dir_prefix) {
   std::string key = dir_prefix.empty() ? "/" : dir_prefix;
   std::lock_guard<std::mutex> lock(mu_);
   bool removed = local_policies_.erase(key) > 0;
-  local_texts_.erase(key);
-  if (removed) {
-    version_.fetch_add(1);
-    RebuildSnapshotLocked();
-  }
+  removed = local_texts_.erase(key) > 0 || removed;
+  // Republish even when nothing was erased: the bump + rebuild must track
+  // *any* divergence between the source maps and the published snapshot
+  // (the text and parsed maps are erased separately above, so gating the
+  // rebuild on just one of them is exactly the staleness bug this funnels
+  // away from).
+  version_.fetch_add(1);
+  default_version_.fetch_add(1, std::memory_order_release);
+  RepublishAllLocked();
   return removed;
 }
 
@@ -77,8 +83,11 @@ void PolicyStore::Clear() {
   system_names_.clear();
   local_policies_.clear();
   local_texts_.clear();
+  tenants_.clear();
   version_.fetch_add(1);
-  RebuildSnapshotLocked();
+  default_version_.fetch_add(1, std::memory_order_release);
+  tenant_version_.fetch_add(1, std::memory_order_release);
+  RepublishAllLocked();
 }
 
 std::vector<std::string> PolicyStore::DirectoryChain(
@@ -144,6 +153,175 @@ eacl::ComposedPolicy PolicyStore::PoliciesFor(
                        std::move(system_names), std::move(local_names));
 }
 
+// --- tenant namespaces (DESIGN.md §14) --------------------------------------
+
+util::VoidResult PolicyStore::AddTenant(const std::string& tenant) {
+  if (tenant.empty()) {
+    return util::VoidResult(util::ErrorCode::kInvalidArgument,
+                            "tenant name must be non-empty (\"\" is the "
+                            "default namespace)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (!inserted) return util::VoidResult::Ok();  // idempotent
+  version_.fetch_add(1);
+  tenant_version_.fetch_add(1, std::memory_order_release);
+  RepublishTenantLocked(tenant);
+  return util::VoidResult::Ok();
+}
+
+bool PolicyStore::RemoveTenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.erase(tenant) == 0) return false;
+  version_.fetch_add(1);
+  tenant_version_.fetch_add(1, std::memory_order_release);
+  SwapTenantTableLocked(tenant, nullptr);
+  return true;
+}
+
+bool PolicyStore::HasTenant(std::string_view tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.find(tenant) != tenants_.end();
+}
+
+std::vector<std::string> PolicyStore::TenantNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, sources] : tenants_) names.push_back(name);
+  return names;
+}
+
+std::size_t PolicyStore::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+util::VoidResult PolicyStore::AddTenantSystemPolicy(const std::string& tenant,
+                                                    const std::string& eacl_text,
+                                                    const std::string& name) {
+  if (tenant.empty()) return AddSystemPolicyNamed(eacl_text, name);
+  auto parsed = eacl::ParseEacl(eacl_text);
+  if (!parsed.ok()) return parsed.error();
+  auto valid = eacl::Validate(parsed.value());
+  if (!valid.ok()) return valid.error();
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantSources& src = tenants_[tenant];
+  src.system_policies.push_back(std::move(parsed).take());
+  src.system_texts.push_back(eacl_text);
+  // Positional default names deliberately restart per tenant: two tenants
+  // installing the same boilerplate text get the same (structure, name)
+  // pair and intern to ONE compiled object in the IrStore.
+  src.system_names.push_back(
+      name.empty() ? "system#" + std::to_string(src.system_policies.size() - 1)
+                   : name);
+  version_.fetch_add(1);
+  tenant_version_.fetch_add(1, std::memory_order_release);
+  RepublishTenantLocked(tenant);
+  return util::VoidResult::Ok();
+}
+
+util::VoidResult PolicyStore::SetTenantLocalPolicy(const std::string& tenant,
+                                                   const std::string& dir_prefix,
+                                                   const std::string& eacl_text) {
+  if (tenant.empty()) return SetLocalPolicy(dir_prefix, eacl_text);
+  auto parsed = eacl::ParseEacl(eacl_text);
+  if (!parsed.ok()) return parsed.error();
+  auto valid = eacl::Validate(parsed.value());
+  if (!valid.ok()) return valid.error();
+  std::string key = dir_prefix.empty() ? "/" : dir_prefix;
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantSources& src = tenants_[tenant];
+  src.local_policies[key] = std::move(parsed).take();
+  src.local_texts[key] = eacl_text;
+  version_.fetch_add(1);
+  tenant_version_.fetch_add(1, std::memory_order_release);
+  RepublishTenantLocked(tenant);
+  return util::VoidResult::Ok();
+}
+
+bool PolicyStore::RemoveTenantLocalPolicy(const std::string& tenant,
+                                          const std::string& dir_prefix) {
+  if (tenant.empty()) return RemoveLocalPolicy(dir_prefix);
+  std::string key = dir_prefix.empty() ? "/" : dir_prefix;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  bool removed = it->second.local_policies.erase(key) > 0;
+  removed = it->second.local_texts.erase(key) > 0 || removed;
+  // Same unconditional-republish funnel as the global mutators.
+  version_.fetch_add(1);
+  tenant_version_.fetch_add(1, std::memory_order_release);
+  RepublishTenantLocked(tenant);
+  return removed;
+}
+
+std::vector<PolicyStore::TenantInfo> PolicyStore::TenantInfos() const {
+  std::shared_ptr<const TenantTable> table =
+      tenant_table_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantInfo> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, src] : tenants_) {
+    TenantInfo info;
+    info.name = name;
+    info.system_policies = src.system_policies.size();
+    info.local_policies = src.local_policies.size();
+    if (table != nullptr) {
+      auto it = table->snapshots.find(name);
+      if (it != table->snapshots.end()) {
+        info.snapshot_version = it->second->store_version();
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+eacl::ComposedPolicy PolicyStore::PoliciesForTenant(
+    std::string_view tenant, const std::string& object_path) const {
+  if (tenant.empty()) return PoliciesFor(object_path);
+  std::vector<eacl::Eacl> system_list;
+  std::vector<eacl::Eacl> local_list;
+  std::vector<std::string> system_names;
+  std::vector<std::string> local_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      // Unknown tenant: fall back to the default namespace (under the lock
+      // we cannot call PoliciesFor, so duplicate its parsed-mode gather).
+    }
+    const TenantSources* src = it == tenants_.end() ? nullptr : &it->second;
+    system_list = system_policies_;
+    system_names = system_names_;
+    if (src != nullptr) {
+      for (std::size_t i = 0; i < src->system_policies.size(); ++i) {
+        system_list.push_back(src->system_policies[i]);
+        system_names.push_back(src->system_names[i]);
+      }
+    }
+    for (const auto& dir : DirectoryChain(object_path)) {
+      // Tenant local shadows the global local at the same prefix.
+      if (src != nullptr) {
+        auto tl = src->local_policies.find(dir);
+        if (tl != src->local_policies.end()) {
+          local_list.push_back(tl->second);
+          local_names.push_back("local:" + tl->first);
+          continue;
+        }
+      }
+      auto gl = local_policies_.find(dir);
+      if (gl != local_policies_.end()) {
+        local_list.push_back(gl->second);
+        local_names.push_back("local:" + gl->first);
+      }
+    }
+  }
+  return eacl::Compose(std::move(system_list), std::move(local_list),
+                       std::move(system_names), std::move(local_names));
+}
+
 eacl::CompiledComposition PolicySnapshot::ForPath(
     const std::string& object_path) const {
   eacl::CompiledComposition out;
@@ -162,7 +340,8 @@ eacl::CompiledComposition PolicySnapshot::ForPath(
 void PolicyStore::BindEngine(EngineBinding binding) {
   std::lock_guard<std::mutex> lock(mu_);
   binding_ = binding;
-  RebuildSnapshotLocked();
+  ir_store_.AttachMetrics(binding.metrics);
+  RepublishAllLocked();
 }
 
 std::shared_ptr<const PolicySnapshot> PolicyStore::FreshSnapshot(
@@ -171,11 +350,18 @@ std::shared_ptr<const PolicySnapshot> PolicyStore::FreshSnapshot(
   std::shared_ptr<const PolicySnapshot> snap =
       snapshot_.load(std::memory_order_acquire);
   if (snap != nullptr && snap->compiled_for() == registry &&
-      snap->registry_version() == registry_version) {
-    return snap;  // hot path: one atomic shared_ptr load, no lock
+      snap->registry_version() == registry_version &&
+      snap->source_version() ==
+          default_version_.load(std::memory_order_acquire)) {
+    // Hot path: one atomic shared_ptr load plus one counter compare.  The
+    // source_version check is the staleness regression guard: a snapshot
+    // that lags its sources (a mutator that forgot to republish) is
+    // recompiled here instead of being served forever.
+    return snap;
   }
-  // Cold path: routines were (un)registered since the last compile, or
-  // another GaaApi rebound the store.  Recompile under the mutex.
+  // Cold path: routines were (un)registered since the last compile, the
+  // snapshot lags the sources, or another GaaApi rebound the store.
+  // Recompile under the mutex.
   std::lock_guard<std::mutex> lock(mu_);
   if (binding_.registry != registry) {
     // Engine bound elsewhere (e.g. two APIs sharing one store): serving a
@@ -184,40 +370,183 @@ std::shared_ptr<const PolicySnapshot> PolicyStore::FreshSnapshot(
     return nullptr;
   }
   snap = snapshot_.load(std::memory_order_acquire);
-  if (snap == nullptr || snap->registry_version() !=
-                             binding_.registry->change_version()) {
-    RebuildSnapshotLocked();
+  if (snap == nullptr ||
+      snap->registry_version() != binding_.registry->change_version() ||
+      snap->source_version() !=
+          default_version_.load(std::memory_order_acquire)) {
+    RepublishAllLocked();
     snap = snapshot_.load(std::memory_order_acquire);
   }
   return snap;
 }
 
-void PolicyStore::RebuildSnapshotLocked() {
-  if (binding_.registry == nullptr) return;
-  util::Stopwatch sw;
+std::shared_ptr<const PolicySnapshot> PolicyStore::CurrentSnapshotFor(
+    std::string_view tenant) const {
+  if (!tenant.empty()) {
+    std::shared_ptr<const TenantTable> table =
+        tenant_table_.load(std::memory_order_acquire);
+    if (table != nullptr) {
+      auto it = table->snapshots.find(tenant);
+      if (it != table->snapshots.end()) return it->second;
+    }
+  }
+  return CurrentSnapshot();
+}
+
+std::shared_ptr<const PolicySnapshot> PolicyStore::FreshSnapshotFor(
+    std::string_view tenant, const ConditionRegistry* registry,
+    std::uint64_t registry_version) {
+  if (tenant.empty()) return FreshSnapshot(registry, registry_version);
+  if (parse_on_retrieve_.load(std::memory_order_relaxed)) return nullptr;
+  std::shared_ptr<const TenantTable> table =
+      tenant_table_.load(std::memory_order_acquire);
+  if (table != nullptr &&
+      table->source_version ==
+          tenant_version_.load(std::memory_order_acquire)) {
+    auto it = table->snapshots.find(tenant);
+    if (it == table->snapshots.end()) {
+      // Unknown tenant: governed by the default namespace.
+      return FreshSnapshot(registry, registry_version);
+    }
+    const auto& snap = it->second;
+    if (snap->compiled_for() == registry &&
+        snap->registry_version() == registry_version) {
+      return snap;  // hot path: two atomic loads, no lock
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (binding_.registry != registry) return nullptr;
+  table = tenant_table_.load(std::memory_order_acquire);
+  bool stale =
+      table == nullptr ||
+      table->source_version != tenant_version_.load(std::memory_order_acquire);
+  if (!stale) {
+    auto it = table->snapshots.find(tenant);
+    stale = it != table->snapshots.end() &&
+            it->second->registry_version() != binding_.registry->change_version();
+  }
+  if (stale) {
+    RepublishAllLocked();
+    table = tenant_table_.load(std::memory_order_acquire);
+  }
+  if (table != nullptr) {
+    auto it = table->snapshots.find(tenant);
+    if (it != table->snapshots.end()) return it->second;
+  }
+  return FreshSnapshot(registry, registry_version);
+}
+
+std::uint64_t PolicyStore::CompileEnvKeyLocked() const {
+  std::uint64_t key = binding_.registry->change_version();
+  key = key * 0x9E3779B97F4A7C15ULL ^
+        static_cast<std::uint64_t>(
+            reinterpret_cast<std::uintptr_t>(binding_.registry));
+  key ^= static_cast<std::uint64_t>(
+             reinterpret_cast<std::uintptr_t>(binding_.metrics)) << 1;
+  return key;
+}
+
+std::shared_ptr<const PolicySnapshot> PolicyStore::BuildSnapshotLocked(
+    const std::string& tenant_name, const TenantSources* tenant) {
   auto snap = std::make_shared<PolicySnapshot>();
   snap->store_version_ = version_.load();
   snap->registry_version_ = binding_.registry->change_version();
+  snap->source_version_ =
+      tenant == nullptr ? default_version_.load(std::memory_order_acquire)
+                        : tenant_version_.load(std::memory_order_acquire);
   snap->compiled_for_ = binding_.registry;
+  snap->tenant_ = tenant_name;
 
   eacl::CompileEnv env{binding_.registry, binding_.metrics};
+  const std::uint64_t env_key = CompileEnvKeyLocked();
+  auto intern = [&](const eacl::Eacl& policy, const std::string& name) {
+    return ir_store_.Intern(policy, name, env, env_key);
+  };
+
   // Effective composition mode mirrors eacl::Compose: the first system
-  // policy declaring one wins; default narrow.
+  // policy declaring one wins; default narrow.  Tenant system policies
+  // evaluate after the globals, so globals also win the mode.
   snap->mode_ = eacl::CompositionMode::kNarrow;
   bool mode_set = false;
-  snap->system_.reserve(system_policies_.size());
+  snap->system_.reserve(system_policies_.size() +
+                        (tenant != nullptr ? tenant->system_policies.size()
+                                           : 0));
   for (std::size_t i = 0; i < system_policies_.size(); ++i) {
     if (!mode_set && system_policies_[i].mode.has_value()) {
       snap->mode_ = *system_policies_[i].mode;
       mode_set = true;
     }
-    snap->system_.push_back(
-        eacl::CompilePolicy(system_policies_[i], system_names_[i], env));
+    snap->system_.push_back(intern(system_policies_[i], system_names_[i]));
   }
   for (const auto& [prefix, policy] : local_policies_) {
-    snap->locals_[prefix] =
-        eacl::CompilePolicy(policy, "local:" + prefix, env);
+    snap->locals_[prefix] = intern(policy, "local:" + prefix);
   }
+  if (tenant != nullptr) {
+    for (std::size_t i = 0; i < tenant->system_policies.size(); ++i) {
+      if (!mode_set && tenant->system_policies[i].mode.has_value()) {
+        snap->mode_ = *tenant->system_policies[i].mode;
+        mode_set = true;
+      }
+      snap->system_.push_back(
+          intern(tenant->system_policies[i], tenant->system_names[i]));
+    }
+    // Overlay: a tenant local replaces the global local at its prefix.
+    for (const auto& [prefix, policy] : tenant->local_policies) {
+      snap->locals_[prefix] = intern(policy, "local:" + prefix);
+    }
+  }
+  return snap;
+}
+
+void PolicyStore::SwapTenantTableLocked(
+    const std::string& tenant, std::shared_ptr<const PolicySnapshot> snap) {
+  auto table = std::make_shared<TenantTable>();
+  std::shared_ptr<const TenantTable> prev =
+      tenant_table_.load(std::memory_order_acquire);
+  if (prev != nullptr) table->snapshots = prev->snapshots;
+  auto it = table->snapshots.find(tenant);
+  if (it != table->snapshots.end()) {
+    retired_.push_back(it->second);
+    table->snapshots.erase(it);
+  }
+  if (snap != nullptr) table->snapshots[tenant] = std::move(snap);
+  table->source_version = tenant_version_.load(std::memory_order_acquire);
+  tenant_table_.store(std::shared_ptr<const TenantTable>(std::move(table)),
+                      std::memory_order_release);
+  ReclaimRetiredLocked();
+}
+
+void PolicyStore::RepublishTenantLocked(const std::string& tenant) {
+  if (binding_.registry == nullptr) return;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    SwapTenantTableLocked(tenant, nullptr);
+    return;
+  }
+  util::Stopwatch sw;
+  std::shared_ptr<const PolicySnapshot> snap =
+      BuildSnapshotLocked(tenant, &it->second);
+  if (binding_.metrics != nullptr) {
+    binding_.metrics->GetHistogram("gaa_policy_compile_us")
+        ->Record(static_cast<std::uint64_t>(sw.ElapsedUs()));
+  }
+  SwapTenantTableLocked(tenant, std::move(snap));
+}
+
+void PolicyStore::RepublishAllLocked() {
+  if (binding_.registry == nullptr) return;
+  util::Stopwatch sw;
+  std::shared_ptr<const PolicySnapshot> snap = BuildSnapshotLocked("", nullptr);
+
+  // Rebuild every tenant against the new global layer and publish the
+  // whole table as one object.  Shared fragments intern to the objects the
+  // default snapshot just created, so this is N pointer-sharing passes,
+  // not N compiles.
+  auto table = std::make_shared<TenantTable>();
+  for (const auto& [name, sources] : tenants_) {
+    table->snapshots[name] = BuildSnapshotLocked(name, &sources);
+  }
+  table->source_version = tenant_version_.load(std::memory_order_acquire);
 
   if (binding_.metrics != nullptr) {
     binding_.metrics->GetHistogram("gaa_policy_compile_us")
@@ -226,14 +555,24 @@ void PolicyStore::RebuildSnapshotLocked() {
         ->Set(static_cast<std::int64_t>(snap->store_version_));
     binding_.metrics->GetGauge("gaa_policy_snapshot_built_us")
         ->Set(static_cast<std::int64_t>(sw.ElapsedUs()));
+    binding_.metrics->GetGauge("gaa_tenant_count")
+        ->Set(static_cast<std::int64_t>(tenants_.size()));
   }
 
-  // Publish, retire the predecessor, reclaim quiescent retirees.  Readers
-  // that loaded the old snapshot before the swap hold their own reference;
+  // Publish, retire the predecessors, reclaim quiescent retirees.  Readers
+  // that loaded an old snapshot before the swap hold their own reference;
   // it is freed once the last of them releases it.
   std::shared_ptr<const PolicySnapshot> prev = snapshot_.exchange(
       std::shared_ptr<const PolicySnapshot>(snap), std::memory_order_acq_rel);
   if (prev != nullptr) retired_.push_back(std::move(prev));
+  std::shared_ptr<const TenantTable> prev_table = tenant_table_.exchange(
+      std::shared_ptr<const TenantTable>(std::move(table)),
+      std::memory_order_acq_rel);
+  if (prev_table != nullptr) {
+    for (const auto& [name, old_snap] : prev_table->snapshots) {
+      retired_.push_back(old_snap);
+    }
+  }
   ReclaimRetiredLocked();
 }
 

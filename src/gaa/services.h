@@ -39,6 +39,7 @@ struct AuditEvent {
   std::string message;
   std::uint64_t trace_id = 0;  ///< joins the event to its request trace
   std::string client;          ///< client IP ("" = not request-scoped)
+  std::string tenant;          ///< tenant namespace ("" = default)
   std::string decision;        ///< "yes" / "no" / "maybe" ("" = not a decision)
   std::string policy;          ///< deciding policy name ("" = n/a)
   int entry = -1;              ///< entry index within `policy` (-1 = n/a)

@@ -39,6 +39,58 @@ void SystemState::SetThreatLevel(ThreatLevel level) {
   threat_epoch_.fetch_add(1, std::memory_order_release);
 }
 
+ThreatLevel SystemState::EffectiveThreatLevel(std::string_view tenant) const {
+  if (tenant.empty() ||
+      tenant_threat_entries_.load(std::memory_order_acquire) == 0) {
+    return threat_level();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_threat_.find(tenant);
+  if (it != tenant_threat_.end() && it->second.level.has_value()) {
+    return *it->second.level;
+  }
+  return threat_level_;
+}
+
+void SystemState::SetTenantThreatLevel(const std::string& tenant,
+                                       ThreatLevel level) {
+  if (tenant.empty()) {
+    SetThreatLevel(level);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenant_threat_.try_emplace(tenant);
+  if (inserted) tenant_threat_entries_.fetch_add(1, std::memory_order_release);
+  ThreatLevel prev_effective =
+      it->second.level.has_value() ? *it->second.level : threat_level_;
+  it->second.level = level;
+  if (prev_effective != level) ++it->second.epoch;
+}
+
+void SystemState::ClearTenantThreatLevel(const std::string& tenant) {
+  if (tenant.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_threat_.find(tenant);
+  if (it == tenant_threat_.end() || !it->second.level.has_value()) return;
+  // The entry stays (epoch included): erasing it would let the tenant's
+  // fence value run backwards and revalidate stale memos.
+  bool changed = *it->second.level != threat_level_;
+  it->second.level.reset();
+  if (changed) ++it->second.epoch;
+}
+
+std::uint64_t SystemState::TenantThreatEpoch(std::string_view tenant) const {
+  if (tenant.empty() ||
+      tenant_threat_entries_.load(std::memory_order_acquire) == 0) {
+    return threat_epoch();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t epoch = threat_epoch_.load(std::memory_order_acquire);
+  auto it = tenant_threat_.find(tenant);
+  if (it != tenant_threat_.end()) epoch += it->second.epoch;
+  return epoch;
+}
+
 void SystemState::AddGroupMember(const std::string& group,
                                  const std::string& member) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -47,6 +47,28 @@ class SystemState {
     return threat_epoch_.load(std::memory_order_acquire);
   }
 
+  // --- per-tenant threat scoping (DESIGN.md §14) --------------------------
+  // A tenant under attack can be escalated alone: an override pins that
+  // namespace's threat level without touching the global profile, and the
+  // per-tenant epoch fences only that tenant's memoized decisions.
+
+  /// Threat level governing `tenant`: its override when one is set,
+  /// otherwise the global level.  EffectiveThreatLevel("") is exactly
+  /// threat_level().
+  ThreatLevel EffectiveThreatLevel(std::string_view tenant) const;
+
+  /// Pin / unpin a per-tenant override.  Both bump the tenant's epoch only
+  /// when the effective level actually changes.
+  void SetTenantThreatLevel(const std::string& tenant, ThreatLevel level);
+  void ClearTenantThreatLevel(const std::string& tenant);
+
+  /// Fence for tenant-scoped memos: the global epoch plus the tenant's own
+  /// transition count.  Both counters are monotone, so the sum is too; a
+  /// global transition moves every tenant's fence, a tenant transition
+  /// moves only its own.  TenantThreatEpoch("") == threat_epoch(), and the
+  /// whole call is one atomic load until the first override ever appears.
+  std::uint64_t TenantThreatEpoch(std::string_view tenant) const;
+
   // --- named groups (e.g. the BadGuys blacklist of suspicious IPs) --------
   void AddGroupMember(const std::string& group, const std::string& member);
   void RemoveGroupMember(const std::string& group, const std::string& member);
@@ -72,10 +94,21 @@ class SystemState {
   util::Clock& clock() const { return *clock_; }
 
  private:
+  /// Override state for one tenant.  The entry (and its epoch) survives a
+  /// Clear so a later re-override can never reuse an old fence value.
+  struct TenantThreat {
+    std::optional<ThreatLevel> level;  ///< nullopt: cleared, global applies
+    std::uint64_t epoch = 0;
+  };
+
   util::Clock* clock_;
   mutable std::mutex mu_;
   std::atomic<std::uint64_t> threat_epoch_{0};
   ThreatLevel threat_level_ = ThreatLevel::kLow;
+  std::map<std::string, TenantThreat, std::less<>> tenant_threat_;
+  /// 0 until the first override ever: lets the per-request epoch read skip
+  /// the mutex entirely in the (overwhelmingly common) no-override case.
+  std::atomic<std::size_t> tenant_threat_entries_{0};
   double system_load_ = 0.0;
   std::map<std::string, std::set<std::string>> groups_;
   std::map<std::string, std::deque<util::TimePoint>> events_;

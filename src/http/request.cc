@@ -194,8 +194,16 @@ ParseResult ParseRequest(std::string_view text, const ParseLimits& limits) {
         // Folding framing/routing headers ("10, 10" or two Hosts) silently
         // destroys the very field caches and routers key on — the raw
         // material of request smuggling and cache poisoning.  Identical
-        // repeats collapse; conflicting ones are rejected outright.
-        if (it->second != value) {
+        // repeats collapse; conflicting ones are rejected outright.  Host
+        // repeats are compared canonically ("Host: a.com" then
+        // "Host: A.COM:80" names the same authority, not a conflict) —
+        // exactly the form the tenant router matches on, so the reject
+        // path and the routing path can never disagree.
+        const bool conflicting = name == "host"
+                                     ? NormalizeHost(it->second) !=
+                                           NormalizeHost(value)
+                                     : it->second != value;
+        if (conflicting) {
           return Fail(RequestDefect::kBadHeader,
                       "conflicting duplicate " + name);
         }
@@ -209,6 +217,45 @@ ParseResult ParseRequest(std::string_view text, const ParseLimits& limits) {
   rec.body = std::string(text.substr(body_start));
   ParseResult out;
   out.request = std::move(rec);
+  return out;
+}
+
+namespace {
+
+/// The authority minus any port: everything through the closing ']' for a
+/// bracketed IPv6 literal, otherwise everything before the first ':'.
+std::string_view HostWithoutPort(std::string_view host) {
+  if (!host.empty() && host.front() == '[') {
+    std::size_t close = host.find(']');
+    if (close != std::string_view::npos) return host.substr(0, close + 1);
+    return host;  // unterminated bracket: leave it alone
+  }
+  std::size_t colon = host.find(':');
+  return colon == std::string_view::npos ? host : host.substr(0, colon);
+}
+
+}  // namespace
+
+std::string_view NormalizeHostInto(std::string_view host, char* buf,
+                                   std::size_t cap) {
+  std::string_view bare = HostWithoutPort(host);
+  // One trailing dot is the DNS root label ("example.com." == "example.com").
+  if (!bare.empty() && bare.back() == '.') bare.remove_suffix(1);
+  std::size_t n = bare.size() < cap ? bare.size() : cap;
+  for (std::size_t i = 0; i < n; ++i) {
+    char c = bare[i];
+    buf[i] = c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c;
+  }
+  return std::string_view(buf, n);
+}
+
+std::string NormalizeHost(std::string_view host) {
+  std::string_view bare = HostWithoutPort(host);
+  if (!bare.empty() && bare.back() == '.') bare.remove_suffix(1);
+  std::string out(bare);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 32);
+  }
   return out;
 }
 

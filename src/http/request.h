@@ -68,6 +68,11 @@ struct RequestRec {
   util::Ipv4Address client_ip;
   std::uint16_t client_port = 0;
 
+  /// Tenant namespace this request resolved to (normalized Host header →
+  /// TenantRouter).  "" is the default namespace — the single-tenant
+  /// behaviour — so every pre-tenant caller keeps its exact semantics.
+  std::string tenant;
+
   // authentication (filled by the access-control layer from the
   // Authorization header; empty until Basic credentials are verified)
   std::string auth_user;
@@ -95,6 +100,19 @@ struct ParseResult {
 
 /// Parse raw request text (head + optional body, CRLF or LF line endings).
 ParseResult ParseRequest(std::string_view text, const ParseLimits& limits = {});
+
+/// Canonicalize a Host header value for routing and comparison: lower-case
+/// ASCII, strip an optional ":port" suffix and one trailing dot
+/// ("WWW.Example.COM:8080" → "www.example.com").  Bracketed IPv6 literals
+/// keep their brackets; only a port after the closing bracket is stripped.
+/// Writes into `buf` (no allocation) and returns the view; values longer
+/// than `cap` are truncated to `cap` bytes, which can only ever turn a
+/// would-be match into a miss.
+std::string_view NormalizeHostInto(std::string_view host, char* buf,
+                                   std::size_t cap);
+
+/// Allocating convenience wrapper around NormalizeHostInto (no length cap).
+std::string NormalizeHost(std::string_view host);
 
 /// Build the canonical request text for a GET (workload generator helper).
 std::string BuildGetRequest(const std::string& target,

@@ -26,6 +26,8 @@ const char* StatusReason(StatusCode code) {
       return "Payload Too Large";
     case StatusCode::kUriTooLong:
       return "URI Too Long";
+    case StatusCode::kMisdirectedRequest:
+      return "Misdirected Request";
     case StatusCode::kInternalError:
       return "Internal Server Error";
     case StatusCode::kServiceUnavailable:

@@ -19,6 +19,7 @@ enum class StatusCode {
   kNotFound = 404,
   kRequestTimeout = 408,
   kPayloadTooLarge = 413,
+  kMisdirectedRequest = 421,  ///< Host names no tenant this server routes
   kUriTooLong = 414,
   kInternalError = 500,
   kServiceUnavailable = 503,

@@ -154,6 +154,13 @@ namespace {
 /// Plain static-document targets only: any character the URL decoder or
 /// query splitter would transform makes the probe path diverge from the
 /// parsed path, and declining admission is always safe.
+/// Host values are capped at 255 octets by DNS; a longer one can only be
+/// a non-matching host, which normalized truncation preserves.
+constexpr std::size_t kHostBufBytes = 256;
+/// Stack room for "<doc_root><target>" joins (doc roots are short path
+/// prefixes; targets are bounded by the parse limit, 8 KiB by default).
+constexpr std::size_t kRemapBufBytes = 9216;
+
 bool PlainStaticTarget(std::string_view target, std::size_t max_bytes) {
   if (target.empty() || target[0] != '/') return false;
   if (target.size() > max_bytes) return false;
@@ -170,6 +177,7 @@ bool PlainStaticTarget(std::string_view target, std::size_t max_bytes) {
 
 bool WebServer::InlineFastPathEligible(std::string_view method,
                                        std::string_view target,
+                                       std::string_view host,
                                        std::size_t max_response_bytes,
                                        util::Ipv4Address client_ip) const {
   if (tree_ == nullptr || controller_ == nullptr) return false;
@@ -181,15 +189,35 @@ bool WebServer::InlineFastPathEligible(std::string_view method,
       util::StartsWith(target, options_.status_path)) {
     return false;  // admin endpoint renders dynamic content
   }
-  const Document* doc = tree_->FindDocument(target);
+  // Resolve the tenant exactly as the pipeline will — admission and answer
+  // must agree on namespace and document subtree.  A rejected host takes
+  // the worker path, which owns the 421.
+  std::string_view tenant;
+  std::string_view doc_root;
+  if (tenant_router_ != nullptr && !tenant_router_->empty()) {
+    char hbuf[kHostBufBytes];
+    TenantRouter::Resolution res =
+        tenant_router_->Resolve(NormalizeHostInto(host, hbuf, sizeof hbuf));
+    if (res.reject) return false;
+    tenant = res.tenant;
+    doc_root = res.doc_root;
+  }
+  char jbuf[kRemapBufBytes];
+  std::string_view lookup =
+      TenantRouter::RemapTarget(doc_root, target, jbuf, sizeof jbuf);
+  if (lookup.empty()) return false;
+  const Document* doc = tree_->FindDocument(lookup);
   if (doc == nullptr || doc->content.size() > max_response_bytes) {
     return false;  // missing or over the inline byte budget
   }
-  return controller_->DecisionIsMemoized(target, method, client_ip);
+  // The memo is probed with the *logical* path — the object policies (and
+  // the worker path's Check) govern — in the resolved tenant's namespace.
+  return controller_->DecisionIsMemoized(target, method, client_ip, tenant);
 }
 
 bool WebServer::TryServeStaticFast(std::string_view method,
                                    std::string_view target,
+                                   std::string_view host,
                                    std::string_view if_none_match,
                                    std::string_view if_modified_since,
                                    util::Ipv4Address client_ip,
@@ -209,7 +237,22 @@ bool WebServer::TryServeStaticFast(std::string_view method,
       util::StartsWith(target, options_.status_path)) {
     return false;
   }
-  const StaticContentPlane::Entry* entry = plane_->Find(target);
+  // Per-tenant serving, still allocation-free: host normalization and the
+  // doc-root join both land in stack buffers.  Rejected hosts fall back to
+  // the pipeline for the 421.
+  std::string_view doc_root;
+  if (tenant_router_ != nullptr && !tenant_router_->empty()) {
+    char hbuf[kHostBufBytes];
+    TenantRouter::Resolution res =
+        tenant_router_->Resolve(NormalizeHostInto(host, hbuf, sizeof hbuf));
+    if (res.reject) return false;
+    doc_root = res.doc_root;
+  }
+  char jbuf[kRemapBufBytes];
+  std::string_view lookup =
+      TenantRouter::RemapTarget(doc_root, target, jbuf, sizeof jbuf);
+  if (lookup.empty()) return false;
+  const StaticContentPlane::Entry* entry = plane_->Find(lookup);
   if (entry == nullptr || entry->body.size() > max_response_bytes) {
     return false;
   }
@@ -252,6 +295,27 @@ bool WebServer::TryServeStaticFast(std::string_view method,
 }
 
 HttpResponse WebServer::DoHandle(RequestRec& rec) {
+  // --- tenant resolution ----------------------------------------------------
+  // Before any dispatch: every later phase — access check, handler lookup,
+  // logging — sees the request already placed in its namespace.
+  bool reject_host = false;
+  std::string_view doc_root = ResolveTenant(rec, &reject_host);
+  if (reject_host) {
+    return FinalizeResponse(
+        rec, HttpResponse::Make(StatusCode::kMisdirectedRequest,
+                                "no tenant configured for this host\n"));
+  }
+  // Per-tenant doc root: documents and CGI resolve under the tenant's
+  // subtree, while policies, memos and logs keep the logical path.
+  std::string remapped;
+  std::string_view lookup = rec.path;
+  if (!doc_root.empty()) {
+    remapped.reserve(doc_root.size() + rec.path.size());
+    remapped.append(doc_root);
+    remapped.append(rec.path);
+    lookup = remapped;
+  }
+
   // --- access-control phase -------------------------------------------------
   telemetry::ScopedSpan check_span(rec.trace, "access.check");
   AccessController::Verdict verdict = controller_->Check(rec);
@@ -268,7 +332,8 @@ HttpResponse WebServer::DoHandle(RequestRec& rec) {
        rec.path == options_.status_path + "/traces" ||
        rec.path == options_.status_path + "/slow" ||
        rec.path == options_.status_path + "/metrics.json" ||
-       rec.path == options_.status_path + "/policies")) {
+       rec.path == options_.status_path + "/policies" ||
+       rec.path == options_.status_path + "/tenants")) {
     return ServeStatus(rec);
   }
 
@@ -278,9 +343,9 @@ HttpResponse WebServer::DoHandle(RequestRec& rec) {
   bool success = true;
   telemetry::ScopedSpan handler_span(rec.trace, "handler");
 
-  if (const Document* doc = tree_->FindDocument(rec.path)) {
+  if (const Document* doc = tree_->FindDocument(lookup)) {
     const StaticContentPlane::Entry* entry =
-        plane_ != nullptr ? plane_->Find(rec.path) : nullptr;
+        plane_ != nullptr ? plane_->Find(lookup) : nullptr;
     bool not_modified = false;
     if (entry != nullptr) {
       response.headers["ETag"] = entry->etag;
@@ -318,7 +383,7 @@ HttpResponse WebServer::DoHandle(RequestRec& rec) {
                                     "operation aborted by policy\n");
       success = false;
     }
-  } else if (const CgiScript* cgi = tree_->FindCgi(rec.path)) {
+  } else if (const CgiScript* cgi = tree_->FindCgi(lookup)) {
     CgiResult result = (*cgi)(rec.query);
     obs.cpu_seconds = result.cpu_seconds;
     obs.wall_us = static_cast<std::uint64_t>(result.cpu_seconds * 1e6);
@@ -339,7 +404,7 @@ HttpResponse WebServer::DoHandle(RequestRec& rec) {
       response.headers["Content-Type"] = "text/plain";
     }
   } else if (const StreamingCgiScript* streaming =
-                 tree_->FindStreamingCgi(rec.path)) {
+                 tree_->FindStreamingCgi(lookup)) {
     // Long-running operation: the execution-control phase runs BETWEEN
     // steps, so a violated mid-condition aborts the operation while it is
     // still producing output (paper phase 3).
@@ -405,6 +470,10 @@ HttpResponse WebServer::ServeStatus(RequestRec& rec) {
       response.body = telemetry::RenderMetricsJson(telemetry_->registry());
     } else if (rec.path == options_.status_path + "/policies") {
       response.body = telemetry::RenderPoliciesJson(telemetry_->registry());
+    } else if (rec.path == options_.status_path + "/tenants") {
+      // The tenant table and the IR store live in the policy plane; the
+      // integration layer supplies the renderer.
+      response.body = tenants_view_ ? tenants_view_() : "{}";
     } else {
       response.body = telemetry::RenderTracesJson(telemetry_->tracer());
     }
@@ -424,6 +493,23 @@ HttpResponse WebServer::ServeStatus(RequestRec& rec) {
 
   telemetry::ScopedSpan respond_span(rec.trace, "respond");
   return FinalizeResponse(rec, std::move(response));
+}
+
+std::string_view WebServer::ResolveTenant(RequestRec& rec,
+                                          bool* reject) const {
+  *reject = false;
+  if (tenant_router_ == nullptr || tenant_router_->empty()) return {};
+  const std::string* host = rec.Header("host");
+  char buf[kHostBufBytes];
+  TenantRouter::Resolution res = tenant_router_->Resolve(NormalizeHostInto(
+      host != nullptr ? std::string_view(*host) : std::string_view(), buf,
+      sizeof buf));
+  if (res.reject) {
+    *reject = true;
+    return {};
+  }
+  rec.tenant.assign(res.tenant);
+  return res.doc_root;
 }
 
 HttpResponse WebServer::FinalizeResponse(RequestRec& rec,

@@ -34,6 +34,7 @@
 #include "http/request.h"
 #include "http/response.h"
 #include "http/static_plane.h"
+#include "http/tenant_router.h"
 #include "telemetry/telemetry.h"
 #include "util/clock.h"
 
@@ -87,20 +88,22 @@ class AccessController {
   }
 
   /// Transport fast-path admission probe: would an *anonymous* `method`
-  /// request for `path` from `client_ip` be decided from an existing
-  /// memoized pure terminal YES/NO — no fresh condition evaluation, no
-  /// side effects?  Must be cheap, thread-safe and free of side effects
-  /// (it runs on the transport's event-loop thread, possibly for requests
-  /// that are then served on the ordinary worker path anyway).  Takes
-  /// views so the event loop never materializes key strings.  The default
-  /// says no, which disables the fast path for controllers that cannot
-  /// prove it safe.
+  /// request for `path` from `client_ip` in `tenant`'s namespace ("" = the
+  /// default) be decided from an existing memoized pure terminal YES/NO —
+  /// no fresh condition evaluation, no side effects?  Must be cheap,
+  /// thread-safe and free of side effects (it runs on the transport's
+  /// event-loop thread, possibly for requests that are then served on the
+  /// ordinary worker path anyway).  Takes views so the event loop never
+  /// materializes key strings.  The default says no, which disables the
+  /// fast path for controllers that cannot prove it safe.
   virtual bool DecisionIsMemoized(std::string_view path,
                                   std::string_view method,
-                                  util::Ipv4Address client_ip) const {
+                                  util::Ipv4Address client_ip,
+                                  std::string_view tenant) const {
     (void)path;
     (void)method;
     (void)client_ip;
+    (void)tenant;
     return false;
   }
 
@@ -138,7 +141,8 @@ class AllowAllController final : public AccessController {
   /// Allow-all is trivially memoized: the answer is a constant YES with no
   /// conditions, so the transport may always take the inline fast path.
   bool DecisionIsMemoized(std::string_view, std::string_view,
-                          util::Ipv4Address) const override {
+                          util::Ipv4Address,
+                          std::string_view) const override {
     return true;
   }
 
@@ -206,8 +210,11 @@ class WebServer {
   /// the parsed path exactly), not the status endpoint, whose access
   /// decision the controller already holds memoized.  The caller still
   /// runs the full HandleText pipeline — admission only chooses *where*
-  /// it runs, never what it answers.
+  /// it runs, never what it answers.  `host` is the raw Host header value
+  /// ("" when absent): admission resolves the tenant exactly like the
+  /// pipeline will, so the probe and the answer can never disagree.
   bool InlineFastPathEligible(std::string_view method, std::string_view target,
+                              std::string_view host,
                               std::size_t max_response_bytes,
                               util::Ipv4Address client_ip) const;
 
@@ -236,7 +243,12 @@ class WebServer {
   /// (requests_served, counters, latency, access log) itself; the caller
   /// only writes the views.  Returns false to fall back; allocation-free
   /// either way once caches are warm.
+  /// `host` is the raw Host header value; tenant resolution (and the
+  /// per-tenant doc-root remap) happens in a stack buffer, so the tier
+  /// stays allocation-free.  A host the router rejects falls back to the
+  /// pipeline, which answers the 421.
   bool TryServeStaticFast(std::string_view method, std::string_view target,
+                          std::string_view host,
                           std::string_view if_none_match,
                           std::string_view if_modified_since,
                           util::Ipv4Address client_ip, bool keep_alive,
@@ -246,6 +258,23 @@ class WebServer {
   /// The response-template cache (null when Options::enable_static_plane
   /// is false or the server has no document tree).
   const StaticContentPlane* static_plane() const { return plane_.get(); }
+
+  /// Tenant resolution (DESIGN.md §14).  The router must outlive the
+  /// server and be fully configured before serving starts — Resolve() is
+  /// read-only and lock-free, so the pipeline and both fast-path tiers
+  /// consult it on every request without synchronization.  Null (the
+  /// default) or an empty router keeps the single-tenant behaviour: every
+  /// request runs in the default ("") namespace.
+  void set_tenant_router(const TenantRouter* router) {
+    tenant_router_ = router;
+  }
+  const TenantRouter* tenant_router() const { return tenant_router_; }
+
+  /// Renders "<status_path>/tenants".  The policy plane owns the tenant
+  /// table and the IR store, so the integration layer injects the JSON
+  /// renderer rather than the http layer reaching down a level.
+  using StatusView = std::function<std::string()>;
+  void set_tenants_view(StatusView view) { tenants_view_ = std::move(view); }
 
   /// Invoked when parsing diagnoses a hostile/malformed request — the
   /// integration layer forwards this to the IDS (§3 item 1).
@@ -320,12 +349,19 @@ class WebServer {
   /// is detached).
   telemetry::Counter* StatusCounterFor(int code);
 
+  /// Resolve rec's Host header against the tenant router, stamping
+  /// rec.tenant and returning the tenant's doc-root prefix ("" = shared
+  /// tree).  Sets *reject when the unknown-host policy says 421.
+  std::string_view ResolveTenant(RequestRec& rec, bool* reject) const;
+
   const DocTree* tree_;
   AccessController* controller_;
   util::Clock* clock_;
   Options options_;
   MalformedHook malformed_hook_;
   RequestObserver request_observer_;
+  const TenantRouter* tenant_router_ = nullptr;  ///< null = single-tenant
+  StatusView tenants_view_;
   /// Response-template cache over tree_ (DESIGN.md §11); null when
   /// disabled.  Immutable after construction, safe from every thread.
   std::unique_ptr<StaticContentPlane> plane_;

@@ -199,6 +199,7 @@ struct FrameResult {
   /// only until it is mutated; kComplete only).
   std::string_view method;
   std::string_view target;
+  std::string_view host;               ///< raw Host value ("" when absent)
   std::string_view if_none_match;      ///< conditional-GET validators,
   std::string_view if_modified_since;  ///< empty when absent
   /// Plain anonymous GET/HEAD with no body — the shape the inline fast
@@ -293,6 +294,11 @@ FrameResult FrameRequest(const std::string& buf, std::size_t max_bytes) {
       }
     } else if (EqualsLower(name, "authorization")) {
       has_authorization = true;
+    } else if (EqualsLower(name, "host")) {
+      // First value wins for fast-path tenant routing; a conflicting
+      // duplicate is the parser's reject (the probe can only ever send a
+      // would-be fast-path request down the worker path).
+      if (out.host.empty()) out.host = value;
     } else if (EqualsLower(name, "if-none-match")) {
       out.if_none_match = value;
     } else if (EqualsLower(name, "if-modified-since")) {
@@ -1068,7 +1074,7 @@ void TcpServer::TryDispatch(Shard& shard, Connection* conn) {
     // view — zero body copies, and (past warm-up) zero allocations.
     if (options_.inline_fast_path && frame.inline_candidate) {
       WebServer::StaticFastResponse fast;
-      if (server_->TryServeStaticFast(frame.method, frame.target,
+      if (server_->TryServeStaticFast(frame.method, frame.target, frame.host,
                                       frame.if_none_match,
                                       frame.if_modified_since, conn->ip, keep,
                                       options_.inline_max_response_bytes,
@@ -1103,7 +1109,7 @@ void TcpServer::TryDispatch(Shard& shard, Connection* conn) {
     }
 
     if (options_.inline_fast_path && frame.inline_candidate &&
-        server_->InlineFastPathEligible(frame.method, frame.target,
+        server_->InlineFastPathEligible(frame.method, frame.target, frame.host,
                                         options_.inline_max_response_bytes,
                                         conn->ip)) {
       std::uint64_t id = conn->id;

@@ -1,0 +1,43 @@
+#include "http/tenant_router.h"
+
+#include <cstring>
+
+#include "http/request.h"
+
+namespace gaa::http {
+
+void TenantRouter::AddHost(std::string_view host, std::string_view tenant,
+                           std::string_view doc_root) {
+  Route route;
+  route.tenant.assign(tenant);
+  route.doc_root.assign(doc_root);
+  // Normalize on insertion so "WWW.Example.COM:8080" and "www.example.com"
+  // are the same route — the lookup side normalizes the header once.
+  routes_.insert_or_assign(NormalizeHost(host), std::move(route));
+}
+
+TenantRouter::Resolution TenantRouter::Resolve(
+    std::string_view normalized_host) const {
+  Resolution out;
+  if (routes_.empty()) return out;  // single-tenant: default namespace
+  auto it = routes_.find(normalized_host);
+  if (it == routes_.end()) {
+    out.reject = unknown_host_policy_ == UnknownHostPolicy::kReject;
+    return out;
+  }
+  out.tenant = it->second.tenant;
+  out.doc_root = it->second.doc_root;
+  return out;
+}
+
+std::string_view TenantRouter::RemapTarget(std::string_view doc_root,
+                                           std::string_view target, char* buf,
+                                           std::size_t cap) {
+  if (doc_root.empty()) return target;
+  if (doc_root.size() + target.size() > cap) return {};
+  std::memcpy(buf, doc_root.data(), doc_root.size());
+  std::memcpy(buf + doc_root.size(), target.data(), target.size());
+  return std::string_view(buf, doc_root.size() + target.size());
+}
+
+}  // namespace gaa::http

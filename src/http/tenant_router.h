@@ -1,0 +1,79 @@
+// Tenant resolution: normalized Host header → tenant namespace (DESIGN.md
+// §14).  The router is the one step between framing and dispatch that
+// answers "which policy namespace and which document subtree govern this
+// request", so every downstream layer — access control, the inline fast
+// path, the zero-copy template tier — agrees on the tenant by construction.
+//
+// Routes are registered at setup (before serving) and immutable afterwards,
+// like the StaticContentPlane: Resolve() is lock-free, allocation-free and
+// safe from every shard thread.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace gaa::http {
+
+class TenantRouter {
+ public:
+  /// What to do with a Host no route matches (or a missing Host header).
+  enum class UnknownHostPolicy {
+    kDefaultTenant,  ///< serve from the default ("") namespace
+    kReject,         ///< answer 421 Misdirected Request
+  };
+
+  struct Route {
+    std::string tenant;
+    /// Document-subtree prefix for this tenant ("" = the shared tree).
+    /// When set, "/index.html" is looked up as "<doc_root>/index.html" —
+    /// the tenant's documents live under a prefix of the one DocTree, so
+    /// the static plane's pre-serialized templates keep working per-tenant.
+    std::string doc_root;
+  };
+
+  /// Where a request landed.  `tenant` / `doc_root` view the router's own
+  /// storage (stable once serving starts).
+  struct Resolution {
+    bool reject = false;
+    std::string_view tenant;
+    std::string_view doc_root;
+  };
+
+  /// Map `host` (normalized on insertion, so callers may pass the raw
+  /// header value) to `tenant`.  Last registration wins.
+  void AddHost(std::string_view host, std::string_view tenant,
+               std::string_view doc_root = {});
+
+  void set_unknown_host_policy(UnknownHostPolicy policy) {
+    unknown_host_policy_ = policy;
+  }
+  UnknownHostPolicy unknown_host_policy() const {
+    return unknown_host_policy_;
+  }
+
+  /// Resolve an already-normalized host (see NormalizeHostInto).  With no
+  /// routes registered everything lands in the default namespace — the
+  /// single-tenant behaviour.
+  Resolution Resolve(std::string_view normalized_host) const;
+
+  bool empty() const { return routes_.empty(); }
+  std::size_t route_count() const { return routes_.size(); }
+
+  /// Join `doc_root` and `target` into `buf` without allocating (the
+  /// template tier's remap).  Returns `target` unchanged when `doc_root`
+  /// is empty; an over-long join returns an empty view, which can only
+  /// miss the document lookup and fall back to the full pipeline.
+  static std::string_view RemapTarget(std::string_view doc_root,
+                                      std::string_view target, char* buf,
+                                      std::size_t cap);
+
+ private:
+  /// Heterogeneous comparator: Resolve probes with a string_view into a
+  /// stack buffer, never materializing a key string.
+  std::map<std::string, Route, std::less<>> routes_;
+  UnknownHostPolicy unknown_host_policy_ = UnknownHostPolicy::kDefaultTenant;
+};
+
+}  // namespace gaa::http

@@ -28,6 +28,7 @@ core::RequestContext GaaAccessController::BuildContext(
   ctx.client_port = rec.client_port;
   ctx.authenticated = rec.authenticated;
   ctx.user = rec.auth_user;
+  ctx.tenant = rec.tenant;
   ctx.trace = rec.trace;
 
   // Classified parameters (paper §6 step 2b): "context information ... is
@@ -46,13 +47,13 @@ core::RequestContext GaaAccessController::BuildContext(
   return ctx;
 }
 
-bool GaaAccessController::DecisionIsMemoized(std::string_view path,
-                                             std::string_view method,
-                                             util::Ipv4Address client_ip) const {
+bool GaaAccessController::DecisionIsMemoized(
+    std::string_view path, std::string_view method,
+    util::Ipv4Address client_ip, std::string_view tenant) const {
   return api_->DecisionIsMemoized(
       std::string(path),
       core::RequestedRight{options_.application, std::string(method)},
-      client_ip);
+      client_ip, tenant);
 }
 
 http::AccessController::Verdict GaaAccessController::Check(
@@ -83,6 +84,12 @@ http::AccessController::Verdict GaaAccessController::Check(
   core::RequestContext ctx = BuildContext(rec);
   core::RequestedRight right{options_.application, rec.method};
   core::AuthzResult authz = api_->Authorize(rec.path, right, ctx);
+
+  if (services.metrics != nullptr) {
+    // Per-tenant request attribution ("" reports as "default" so the
+    // single-tenant series exists from the first request).
+    if (telemetry::Counter* tc = TenantRequestCounter(rec.tenant)) tc->Inc();
+  }
 
   if (services.metrics != nullptr) {
     static constexpr const char* kMethods[kCachedMethods] = {"GET", "HEAD",
@@ -133,6 +140,7 @@ http::AccessController::Verdict GaaAccessController::Check(
     event.message = authz.detail;
     event.trace_id = telemetry::TraceId(ctx.trace);
     event.client = ctx.client_ip.ToString();
+    event.tenant = ctx.tenant;
     event.decision = authz.status == util::Tristate::kNo ? "no" : "maybe";
     if (authz.attribution.has_value()) {
       event.policy = authz.attribution->policy;
@@ -198,6 +206,24 @@ void GaaAccessController::OnComplete(http::RequestRec& rec,
   state.ctx.stats.memory_bytes = obs.memory_bytes;
   state.ctx.stats.files_created = obs.files_touched;
   api_->PostExecutionActions(state.authz, state.ctx, success);
+}
+
+telemetry::Counter* GaaAccessController::TenantRequestCounter(
+    const std::string& tenant) {
+  core::EvalServices& services = api_->services();
+  if (services.metrics == nullptr) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(tenant_counter_mu_);
+    auto it = tenant_counters_.find(tenant);
+    if (it != tenant_counters_.end()) return it->second;
+  }
+  telemetry::Counter* counter = services.metrics->GetCounter(
+      "tenant_requests_total",
+      "tenant=\"" + (tenant.empty() ? std::string("default") : tenant) +
+          "\"");
+  std::lock_guard<std::mutex> lock(tenant_counter_mu_);
+  tenant_counters_.emplace(tenant, counter);
+  return counter;
 }
 
 void GaaAccessController::ReportAbnormalParameters(

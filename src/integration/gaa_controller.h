@@ -69,9 +69,12 @@ class GaaAccessController final : public http::AccessController {
   /// Fast-path probe (transport inline serving): delegates to the decision
   /// memo — true only for pure terminal YES/NO answers already cached
   /// against the live snapshot, so volatile/adaptive policies and anything
-  /// needing credentials always take the worker path.
+  /// needing credentials always take the worker path.  Tenant-scoped: the
+  /// memo is probed in `tenant`'s namespace against that tenant's
+  /// snapshot version and threat epoch.
   bool DecisionIsMemoized(std::string_view path, std::string_view method,
-                          util::Ipv4Address client_ip) const override;
+                          util::Ipv4Address client_ip,
+                          std::string_view tenant) const override;
 
   const Options& options() const { return options_; }
 
@@ -108,6 +111,13 @@ class GaaAccessController final : public http::AccessController {
   static constexpr int kCachedMethods = 3;  // GET, HEAD, POST
   std::array<std::atomic<telemetry::Counter*>, kCachedMethods * 3>
       decision_counters_{};
+
+  /// Per-tenant `tenant_requests_total` handles, cached so the per-request
+  /// cost is one shared-lock map probe instead of a registry lookup.
+  telemetry::Counter* TenantRequestCounter(const std::string& tenant);
+
+  mutable std::mutex tenant_counter_mu_;
+  std::map<std::string, telemetry::Counter*, std::less<>> tenant_counters_;
 
   mutable std::mutex mu_;
   std::map<const http::RequestRec*, PerRequest> inflight_;

@@ -135,6 +135,8 @@ GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
                                                       options_.controller);
   server_ = std::make_unique<http::WebServer>(&tree_, controller_.get(),
                                               clock_, options_.http);
+  server_->set_tenant_router(&tenant_router_);
+  server_->set_tenants_view([this] { return RenderTenantsJson(); });
   // One shared registry/tracer across transport, server, GAA, IDS and
   // audit — or none at all (the telemetry-off baseline benches measure).
   server_->set_telemetry(options_.enable_telemetry ? &telemetry_ : nullptr);
@@ -219,6 +221,67 @@ GaaWebServer::GaaWebServer(http::DocTree tree, Options options)
 
 util::VoidResult GaaWebServer::AddSystemPolicy(const std::string& eacl_text) {
   return store_.AddSystemPolicy(eacl_text);
+}
+
+util::VoidResult GaaWebServer::AddTenant(const std::string& name,
+                                         const std::string& host,
+                                         const std::string& doc_root) {
+  util::VoidResult result = store_.AddTenant(name);
+  if (!result.ok()) return result;
+  if (!host.empty()) tenant_router_.AddHost(host, name, doc_root);
+  return result;
+}
+
+util::VoidResult GaaWebServer::AddTenantSystemPolicy(
+    const std::string& tenant, const std::string& eacl_text) {
+  return store_.AddTenantSystemPolicy(tenant, eacl_text);
+}
+
+util::VoidResult GaaWebServer::SetTenantLocalPolicy(
+    const std::string& tenant, const std::string& dir_prefix,
+    const std::string& eacl_text) {
+  return store_.SetTenantLocalPolicy(tenant, dir_prefix, eacl_text);
+}
+
+std::string GaaWebServer::RenderTenantsJson() const {
+  // Tenant names come from configuration, but escape anyway — this string
+  // goes on the wire as application/json.
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += "\\u0020";  // control bytes can't appear in valid names
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+  const eacl::IrStore::Stats ir = store_.ir_store_stats();
+  std::string out = "{\"tenants\":[";
+  bool first = true;
+  for (const core::PolicyStore::TenantInfo& info : store_.TenantInfos()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"" + escape(info.name) + "\"";
+    out += ",\"snapshot_version\":" + std::to_string(info.snapshot_version);
+    out += ",\"system_policies\":" + std::to_string(info.system_policies);
+    out += ",\"local_policies\":" + std::to_string(info.local_policies);
+    out.push_back('}');
+  }
+  out += "],\"routes\":" + std::to_string(tenant_router_.route_count());
+  out += ",\"ir_store\":{";
+  out += "\"hits\":" + std::to_string(ir.hits);
+  out += ",\"misses\":" + std::to_string(ir.misses);
+  out += ",\"entries\":" + std::to_string(ir.entries);
+  out += ",\"bytes\":" + std::to_string(ir.bytes);
+  out += ",\"sweeps\":" + std::to_string(ir.sweeps);
+  out += "}}";
+  return out;
 }
 
 util::VoidResult GaaWebServer::SetLocalPolicy(const std::string& dir_prefix,

@@ -121,6 +121,30 @@ class GaaWebServer {
   util::VoidResult SetLocalPolicy(const std::string& dir_prefix,
                                   const std::string& eacl_text);
 
+  // --- tenants (DESIGN.md §14) -------------------------------------------------
+  /// Create tenant `name`'s policy namespace (idempotent) and, when `host`
+  /// is non-empty, route that Host header (normalized) to it.  `doc_root`
+  /// places the tenant's documents under a subtree of the shared DocTree.
+  /// Host routes must be registered before serving starts — the router is
+  /// immutable once requests flow.
+  util::VoidResult AddTenant(const std::string& name,
+                             const std::string& host = {},
+                             const std::string& doc_root = {});
+  util::VoidResult AddTenantSystemPolicy(const std::string& tenant,
+                                         const std::string& eacl_text);
+  util::VoidResult SetTenantLocalPolicy(const std::string& tenant,
+                                        const std::string& dir_prefix,
+                                        const std::string& eacl_text);
+  /// What to do with a Host no tenant claims (default: the "" namespace).
+  void set_unknown_host_policy(http::TenantRouter::UnknownHostPolicy policy) {
+    tenant_router_.set_unknown_host_policy(policy);
+  }
+  http::TenantRouter& tenant_router() { return tenant_router_; }
+
+  /// The "<status_path>/tenants" JSON: per-tenant snapshot versions and
+  /// policy counts plus the shared IR store's dedup statistics.
+  std::string RenderTenantsJson() const;
+
   // --- credentials -------------------------------------------------------------
   void AddUser(const std::string& user, const std::string& password);
 
@@ -178,6 +202,9 @@ class GaaWebServer {
   std::unique_ptr<core::GaaApi> api_;
   http::HtpasswdRegistry passwords_;
   std::unique_ptr<GaaAccessController> controller_;
+  /// Host → tenant routes; wired into server_ and shared with the
+  /// transport's fast-path tiers.  Configure before serving starts.
+  http::TenantRouter tenant_router_;
   std::unique_ptr<http::WebServer> server_;
   /// Last member: the watchdog thread dies before anything it observes.
   std::unique_ptr<telemetry::SlowRequestWatchdog> watchdog_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gaa/registry.h"
+
 namespace gaa::core {
 namespace {
 
@@ -85,6 +87,59 @@ TEST(PolicyStore, FailedMutationDoesNotBumpVersion) {
   auto v0 = store.version();
   EXPECT_FALSE(store.AddSystemPolicy("nonsense\n").ok());
   EXPECT_EQ(store.version(), v0);
+}
+
+TEST(PolicyStore, EveryMutatorRepublishesTheSnapshotAtomically) {
+  PolicyStore store;
+  ConditionRegistry registry;
+  store.BindEngine({&registry, nullptr, nullptr});
+  ASSERT_TRUE(store.SetLocalPolicy("/", "pos_access_right apache *\n").ok());
+  ASSERT_TRUE(store.AddSystemPolicy("pos_access_right a b\n").ok());
+  auto s0 = store.CurrentSnapshot();
+  ASSERT_NE(s0, nullptr);
+  EXPECT_EQ(s0->locals().size(), 1u);
+  EXPECT_EQ(s0->system().size(), 1u);
+
+  // Regression (stale-snapshot fix): RemoveLocalPolicy republishes before
+  // returning, so the published snapshot can never lag its sources.
+  EXPECT_TRUE(store.RemoveLocalPolicy("/"));
+  auto s1 = store.CurrentSnapshot();
+  ASSERT_NE(s1, nullptr);
+  EXPECT_TRUE(s1->locals().empty());
+  EXPECT_GT(s1->store_version(), s0->store_version());
+
+  // Clear() drops globals and every tenant and republishes the same way.
+  ASSERT_TRUE(
+      store.SetTenantLocalPolicy("t", "/", "neg_access_right a b\n").ok());
+  ASSERT_NE(store.CurrentSnapshotFor("t"), nullptr);
+  EXPECT_EQ(store.CurrentSnapshotFor("t")->tenant(), "t");
+  store.Clear();
+  auto s2 = store.CurrentSnapshot();
+  ASSERT_NE(s2, nullptr);
+  EXPECT_TRUE(s2->system().empty());
+  EXPECT_TRUE(s2->locals().empty());
+  EXPECT_EQ(store.tenant_count(), 0u);
+  // The removed tenant resolves to the default namespace again.
+  EXPECT_EQ(store.CurrentSnapshotFor("t")->tenant(), "");
+}
+
+TEST(PolicyStore, TenantMutationLeavesOtherTenantSnapshotsUntouched) {
+  PolicyStore store;
+  ConditionRegistry registry;
+  store.BindEngine({&registry, nullptr, nullptr});
+  ASSERT_TRUE(store.AddTenant("a").ok());
+  ASSERT_TRUE(store.AddTenant("b").ok());
+  auto a0 = store.CurrentSnapshotFor("a");
+  auto b0 = store.CurrentSnapshotFor("b");
+  ASSERT_TRUE(
+      store.SetTenantLocalPolicy("a", "/", "pos_access_right x y\n").ok());
+  auto a1 = store.CurrentSnapshotFor("a");
+  auto b1 = store.CurrentSnapshotFor("b");
+  EXPECT_NE(a1.get(), a0.get());
+  ASSERT_EQ(a1->locals().size(), 1u);
+  // Tenant b's snapshot object is reused verbatim — a's reload compiled and
+  // published only a's namespace.
+  EXPECT_EQ(b1.get(), b0.get());
 }
 
 TEST(PolicyStore, StopModeDropsLocalAtComposition) {

@@ -78,6 +78,46 @@ TEST(ParseRequest, IdenticalDuplicateContentLengthCollapses) {
   EXPECT_EQ(result.request->body, "hello");
 }
 
+TEST(NormalizeHost, CasePortAndTrailingDotFold) {
+  EXPECT_EQ(NormalizeHost("WWW.Example.COM:8080"), "www.example.com");
+  EXPECT_EQ(NormalizeHost("example.com."), "example.com");
+  EXPECT_EQ(NormalizeHost("EXAMPLE.com.:443"), "example.com");
+  EXPECT_EQ(NormalizeHost("localhost"), "localhost");
+  EXPECT_EQ(NormalizeHost(""), "");
+  // Bracketed IPv6 keeps its brackets; only a post-bracket port is cut.
+  EXPECT_EQ(NormalizeHost("[::1]:8080"), "[::1]");
+  EXPECT_EQ(NormalizeHost("[2001:DB8::1]"), "[2001:db8::1]");
+}
+
+TEST(NormalizeHost, StackVariantMatchesAndTruncatesSafely) {
+  char buf[256];
+  EXPECT_EQ(NormalizeHostInto("WWW.Example.COM:8080", buf, sizeof(buf)),
+            "www.example.com");
+  // A host longer than the buffer is clipped, never overrun — a truncated
+  // name can only turn a route match into a default-namespace miss.
+  char tiny[4];
+  EXPECT_EQ(NormalizeHostInto("ABCDEFGH", tiny, sizeof(tiny)), "abcd");
+}
+
+TEST(ParseRequest, DuplicateHostFoldsUnderNormalization) {
+  // Same authority spelled differently must not be rejected as conflicting:
+  // the reject path compares normalized hosts, exactly like tenant routing,
+  // so the two can never disagree about which namespace a request is in.
+  auto result = ParseRequest(
+      "GET / HTTP/1.1\r\nHost: www.example.com\r\n"
+      "Host: WWW.Example.COM:8080\r\n\r\n");
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_EQ(*result.request->Header("host"), "www.example.com");
+}
+
+TEST(ParseRequest, ConflictingDuplicateHostStillRejected) {
+  auto result = ParseRequest(
+      "GET / HTTP/1.1\r\nHost: a.example\r\nHost: b.example\r\n\r\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.defect, RequestDefect::kBadHeader);
+  EXPECT_NE(result.detail.find("host"), std::string::npos);
+}
+
 TEST(ParseRequest, HeaderNamesLowercased) {
   auto result = ParseRequest("GET / HTTP/1.1\r\nUSER-AGENT: x\r\n\r\n");
   ASSERT_TRUE(result.ok());

@@ -353,7 +353,7 @@ class StallingController final : public AccessController {
     return Verdict::Allow();
   }
   bool DecisionIsMemoized(std::string_view, std::string_view,
-                          util::Ipv4Address) const override {
+                          util::Ipv4Address, std::string_view) const override {
     return memoized_;
   }
 
