@@ -1,0 +1,324 @@
+// E9: cluster-mode scaling and threat convergence (DESIGN.md §15).
+//
+// Compares one process with two reactor shards against two shared-nothing
+// processes with one shard each — the same total shard count, so the delta
+// is purely what process isolation costs (or buys: no shared policy plane,
+// no shared allocator, independent audit pipelines).  Then measures the
+// shared-memory bus's threat propagation: the wall-clock lag between one
+// process detecting an attack (seqlock cell published) and every process
+// in the fleet reporting the raised level through its heartbeat.
+//
+//   bench_cluster [--conns C] [--requests R] [--smoke] [--json out.json]
+//
+// --smoke asserts: zero request errors, fleet convergence within the
+// two-tick budget, and — gated on core count, since two processes cannot
+// outrun one on a single core — a scaling floor for 2-process RPS.
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/bus.h"
+#include "cluster/cluster_server.h"
+#include "cluster/supervisor.h"
+#include "http/request.h"
+#include "http/tcp_server.h"
+
+namespace gaa::cluster {
+
+// Bus tick interval requested by the children.  The effective publication
+// granularity is the timer wheel's 32ms slot, so the convergence budget
+// below is two *effective* ticks, not two requested ones.
+constexpr int kTickMs = 25;
+constexpr int kEffectiveTickMs = 32;
+
+int BenchChildMain(ChildContext& ctx) {
+  ClusterChildOptions options;
+  options.tick_interval_ms = kTickMs;
+  options.tcp.worker_threads = 2;
+  options.tcp.max_keepalive_requests = 1'000'000;
+  // One signature hit clears medium so a single phf probe raises the level
+  // the convergence phase measures.
+  options.web.threat.medium_score = 5.0;
+  options.web.threat.high_score = 1000.0;
+  options.web.tuning.trace_sample_period = 0;  // tracing off: transport numbers
+  options.configure = [](web::GaaWebServer& web) {
+    if (!web.SetLocalPolicy("/", "pos_access_right apache *\n").ok()) {
+      std::fprintf(stderr, "bench cluster child: policy setup failed\n");
+      ::_exit(4);
+    }
+  };
+  return RunClusterChild(ctx, std::move(options));
+}
+
+}  // namespace gaa::cluster
+
+namespace gaa::bench {
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  double rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+};
+
+RunResult DriveLoad(std::uint16_t port, int conns, int requests_per_conn) {
+  std::vector<std::vector<double>> per_thread_us(conns);
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(conns);
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < conns; ++c) {
+    clients.emplace_back([port, requests_per_conn, c, &per_thread_us,
+                          &errors] {
+      http::TcpClient client(port);
+      if (!client.connected()) {
+        errors.fetch_add(static_cast<std::uint64_t>(requests_per_conn));
+        return;
+      }
+      std::string raw = http::BuildGetRequest("/index.html");
+      auto& samples = per_thread_us[c];
+      samples.reserve(static_cast<std::size_t>(requests_per_conn));
+      for (int i = 0; i < requests_per_conn; ++i) {
+        auto s0 = std::chrono::steady_clock::now();
+        auto response = client.RoundTrip(raw);
+        auto s1 = std::chrono::steady_clock::now();
+        if (!response.ok() ||
+            response.value().find("200 OK") == std::string::npos) {
+          errors.fetch_add(1);
+          continue;
+        }
+        samples.push_back(
+            std::chrono::duration<double, std::micro>(s1 - s0).count());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  std::vector<double> all_us;
+  for (auto& samples : per_thread_us) {
+    all_us.insert(all_us.end(), samples.begin(), samples.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.requests = all_us.size();
+  out.errors = errors.load();
+  out.rps = out.seconds > 0 ? static_cast<double>(out.requests) / out.seconds
+                            : 0;
+  if (!all_us.empty()) {
+    out.p50_us = all_us[all_us.size() / 2];
+    out.p99_us = all_us[std::min(all_us.size() - 1, all_us.size() * 99 / 100)];
+  }
+  return out;
+}
+
+cluster::SupervisorOptions FleetOptions(std::uint32_t processes,
+                                        std::uint32_t shards_per_process) {
+  cluster::SupervisorOptions options;
+  options.processes = processes;
+  options.shards_per_process = shards_per_process;
+  options.drain_deadline_ms = 2000;
+  return options;
+}
+
+RunResult RunConfig(std::uint32_t processes, std::uint32_t shards_per_process,
+                    int conns, int requests_per_conn) {
+  cluster::Supervisor supervisor(FleetOptions(processes, shards_per_process));
+  auto started = supervisor.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cluster start failed: %s\n",
+                 started.error().ToString().c_str());
+    std::exit(1);
+  }
+
+  // Warmup primes each process's decision memo; with SO_REUSEPORT spreading
+  // fresh connections, 8 conns x 50 requests touch every process.
+  DriveLoad(supervisor.port(), std::min(conns, 8), 50);
+
+  RunResult result = DriveLoad(supervisor.port(), conns, requests_per_conn);
+  supervisor.Stop();
+  return result;
+}
+
+/// Raise the threat level in one process and measure how long the rest of
+/// the fleet takes to report it.  t0 is the seqlock cell flipping (the
+/// origin publishes synchronously from its threat hook); converged is every
+/// live slot's heartbeat carrying level >= medium.
+double MeasureConvergenceMs() {
+  cluster::Supervisor supervisor(FleetOptions(2, 1));
+  auto started = supervisor.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cluster start failed: %s\n",
+                 started.error().ToString().c_str());
+    std::exit(1);
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int attempt = 0;
+  while (supervisor.bus()->ReadThreat().level < 1) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "threat level never raised\n");
+      std::exit(1);
+    }
+    auto response = http::TcpFetch(
+        supervisor.port(),
+        "GET /cgi-bin/phf?x=" + std::to_string(attempt++) +
+            " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    if (!response.ok()) {
+      std::fprintf(stderr, "probe failed\n");
+      std::exit(1);
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  bool converged = false;
+  while (!converged) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "fleet never converged\n");
+      std::exit(1);
+    }
+    converged = true;
+    for (const auto& p : supervisor.bus()->ViewProcesses()) {
+      if (p.live && p.threat_level < 1) converged = false;
+    }
+    if (!converged) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  supervisor.Stop();
+  return ms;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  int conns = 32;
+  int requests_per_conn = 400;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+    if (std::string(argv[i]) == "--conns" && i + 1 < argc) {
+      conns = std::atoi(argv[i + 1]);
+    }
+    if (std::string(argv[i]) == "--requests" && i + 1 < argc) {
+      requests_per_conn = std::atoi(argv[i + 1]);
+    }
+  }
+  if (smoke) {
+    conns = std::min(conns, 16);
+    requests_per_conn = std::min(requests_per_conn, 150);
+  }
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+
+  JsonReport report("cluster");
+  report.SetParam("conns", conns);
+  report.SetParam("requests_per_conn", requests_per_conn);
+  report.SetParam("smoke", smoke ? 1 : 0);
+  report.SetParam("cores", cores);
+  report.SetParam("tick_ms", cluster::kTickMs);
+
+  PrintHeader("E9: cluster scaling (" + std::to_string(conns) + " conns x " +
+              std::to_string(requests_per_conn) + " requests, " +
+              std::to_string(cores) + " cores)");
+  std::printf("%-24s %10s %10s %10s %10s\n", "config", "rps", "p50_us",
+              "p99_us", "errors");
+
+  struct Config {
+    const char* name;
+    std::uint32_t processes;
+    std::uint32_t shards;
+  };
+  // Same total shard count (2) in both configurations: the comparison
+  // isolates the process boundary, not parallelism.
+  const Config configs[] = {
+      {"procs_1_shards_2", 1, 2},
+      {"procs_2_shards_1", 2, 1},
+  };
+
+  double rps_1 = 0, rps_2 = 0;
+  std::uint64_t total_errors = 0;
+  for (const Config& config : configs) {
+    RunResult r =
+        RunConfig(config.processes, config.shards, conns, requests_per_conn);
+    std::printf("%-24s %10.0f %10.1f %10.1f %10llu\n", config.name, r.rps,
+                r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.errors));
+    report.Set(config.name, "rps", r.rps);
+    report.Set(config.name, "p50_us", r.p50_us);
+    report.Set(config.name, "p99_us", r.p99_us);
+    report.Set(config.name, "requests", static_cast<double>(r.requests));
+    report.Set(config.name, "errors", static_cast<double>(r.errors));
+    if (config.processes == 1) rps_1 = r.rps;
+    if (config.processes == 2) rps_2 = r.rps;
+    total_errors += r.errors;
+  }
+
+  const double scaling = rps_1 > 0 ? rps_2 / rps_1 : 0;
+  const double convergence_ms = MeasureConvergenceMs();
+  // Two effective ticks (drain + heartbeat publication) plus scheduler
+  // slack for the polling observer.
+  const double budget_ms = 2.0 * cluster::kEffectiveTickMs + 150.0;
+  std::printf("\n2-process scaling over 1 process: %.2fx\n", scaling);
+  std::printf("fleet threat convergence: %.1f ms (budget %.0f ms)\n",
+              convergence_ms, budget_ms);
+  report.Set("summary", "scaling_2_vs_1", scaling);
+  report.Set("summary", "convergence_ms", convergence_ms);
+  report.Set("summary", "convergence_budget_ms", budget_ms);
+
+  if (!report.WriteFile(JsonPathFromArgs(argc, argv))) return 1;
+
+  if (smoke) {
+    if (total_errors != 0) {
+      std::fprintf(stderr, "SMOKE FAIL: %llu request errors\n",
+                   static_cast<unsigned long long>(total_errors));
+      return 1;
+    }
+    if (convergence_ms > budget_ms) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: convergence %.1f ms exceeds %.0f ms budget\n",
+                   convergence_ms, budget_ms);
+      return 1;
+    }
+    // Scaling floors are core-count gated: two processes cannot outrun one
+    // on a single core, and on two or three the second process shares
+    // cores with the client threads.
+    double floor = 0.0;
+    if (cores >= 4) {
+      floor = 1.7;
+    } else if (cores >= 2) {
+      floor = 1.2;
+    }
+    if (floor > 0.0 && scaling < floor) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: scaling %.2fx below %.1fx floor (%u cores)\n",
+                   scaling, floor, cores);
+      return 1;
+    }
+    std::printf("smoke assertions passed (%u cores, floor %.1fx)\n", cores,
+                floor);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gaa::bench
+
+int main(int argc, char** argv) {
+  // A re-exec'd cluster child never reaches the benchmark path.
+  gaa::cluster::MaybeRunChildFromEnv(gaa::cluster::BenchChildMain);
+  return gaa::bench::Main(argc, argv);
+}

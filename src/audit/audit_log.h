@@ -33,6 +33,11 @@ struct AuditRecord {
   std::string category;
   std::string message;
   std::uint64_t trace_id = 0;  ///< joins the record to its request trace
+  /// Per-writer sequence number (1, 2, 3, ...) stamped by AsyncAuditWriter
+  /// at Offer() time; 0 = unstamped (records that never passed through a
+  /// stream writer).  A gap in a stream file's sequence is a lost record —
+  /// the cluster kill test's zero-loss check (DESIGN.md §15).
+  std::uint64_t seq = 0;
   // Decision attribution (empty / -1 when the record is not an access
   // decision): which client asked, what the answer was, and the exact
   // policy entry + condition that produced it.

@@ -72,6 +72,9 @@ void AppendAuditJsonl(const AuditRecord& record, std::string* out) {
   out->push_back('{');
   bool first = true;
   AppendIntField("ts_us", static_cast<long long>(record.time_us), &first, out);
+  if (record.seq != 0) {
+    AppendIntField("seq", static_cast<long long>(record.seq), &first, out);
+  }
   AppendStringField("category", record.category, &first, out);
   AppendStringField("message", record.message, &first, out);
   if (record.trace_id != 0) {
@@ -214,10 +217,12 @@ util::Result<std::vector<AuditRecord>> ParseAuditJsonl(std::string_view text) {
       while (true) {
         std::string key;
         if (!p.ParseString(&key) || !p.Expect(':')) return fail();
-        if (key == "ts_us" || key == "trace_id" || key == "entry") {
+        if (key == "ts_us" || key == "seq" || key == "trace_id" ||
+            key == "entry") {
           long long value = 0;
           if (!p.ParseInt(&value)) return fail();
           if (key == "ts_us") record.time_us = value;
+          else if (key == "seq") record.seq = static_cast<std::uint64_t>(value);
           else if (key == "trace_id") record.trace_id = static_cast<std::uint64_t>(value);
           else record.entry = static_cast<int>(value);
         } else {
@@ -333,6 +338,10 @@ bool AsyncAuditWriter::Offer(AuditRecord record) {
       if (dropped_counter_ != nullptr) dropped_counter_->Inc();
       return false;
     }
+    // Stamp the per-writer sequence under the queue lock so the numbers in
+    // the stream file are contiguous in write order: any interior gap means
+    // a record was lost, not reordered.
+    record.seq = ++next_seq_;
     queue_.push_back(std::move(record));
     // Only a parked drain thread needs a wake-up; a busy one re-polls on
     // its own within a millisecond.  Skipping the notify keeps the futex

@@ -153,6 +153,7 @@ class AsyncAuditWriter {
   /// side allocates queue storage on the hot path.
   std::vector<AuditRecord> queue_;
   std::size_t in_flight_ = 0;  ///< records popped but not yet written
+  std::uint64_t next_seq_ = 0;  ///< last AuditRecord::seq stamped at Offer()
   std::uint64_t written_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t write_errors_ = 0;

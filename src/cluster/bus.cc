@@ -1,0 +1,329 @@
+#include "cluster/bus.h"
+
+#include <time.h>
+
+#include <cstring>
+
+namespace gaa::cluster {
+namespace {
+
+using wire::AlertSlot;
+using wire::ProcessSlot;
+using wire::SegmentHeader;
+using wire::SlotState;
+
+constexpr std::uint64_t kRingMask = wire::kAlertRingCapacity - 1;
+static_assert((wire::kAlertRingCapacity & kRingMask) == 0,
+              "ring capacity must be a power of two");
+
+std::uint64_t DoubleBits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(std::uint64_t bits) {
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::size_t SlotsOffset() {
+  // ProcessSlot is 64-byte aligned; round the header up to match.
+  return (sizeof(SegmentHeader) + 63) & ~std::size_t{63};
+}
+
+ProcessSlot* SlotArray(SegmentHeader* header) {
+  auto* base = reinterpret_cast<char*>(header) + SlotsOffset();
+  return reinterpret_cast<ProcessSlot*>(base);
+}
+
+}  // namespace
+
+std::size_t ClusterBus::BytesFor(std::uint32_t nprocs) {
+  return SlotsOffset() + static_cast<std::size_t>(nprocs) * sizeof(ProcessSlot);
+}
+
+util::Result<ClusterBus> ClusterBus::Create(util::ShmRegion region,
+                                            std::uint32_t nprocs,
+                                            std::uint64_t generation) {
+  if (!region.valid()) {
+    return util::Error(util::ErrorCode::kInvalidArgument, "invalid shm region");
+  }
+  if (nprocs == 0 || nprocs > wire::kMaxProcs) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "cluster size out of range");
+  }
+  if (region.size() < BytesFor(nprocs)) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "shm region smaller than cluster layout");
+  }
+  // The region is freshly zero-filled, which is a valid initial state for
+  // every atomic in the layout; only the identity fields need values.
+  auto* header = static_cast<SegmentHeader*>(region.data());
+  header->layout_version = wire::kLayoutVersion;
+  header->nprocs = nprocs;
+  header->generation = generation;
+  header->magic = wire::kMagic;
+  return ClusterBus(std::move(region), header);
+}
+
+util::Result<ClusterBus> ClusterBus::Attach(util::ShmRegion region,
+                                            std::uint64_t expected_generation) {
+  if (!region.valid() || region.size() < sizeof(SegmentHeader)) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "shm region too small for cluster header");
+  }
+  auto* header = static_cast<SegmentHeader*>(region.data());
+  if (header->magic != wire::kMagic) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "cluster segment magic mismatch");
+  }
+  if (header->layout_version != wire::kLayoutVersion) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "cluster segment layout version mismatch");
+  }
+  if (header->generation != expected_generation) {
+    return util::Error(
+        util::ErrorCode::kInvalidArgument,
+        "cluster segment generation mismatch (stale slab refused)");
+  }
+  if (header->nprocs == 0 || header->nprocs > wire::kMaxProcs ||
+      region.size() < BytesFor(header->nprocs)) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "cluster segment slot table out of range");
+  }
+  return ClusterBus(std::move(region), header);
+}
+
+// --- threat cell -------------------------------------------------------------
+
+void ClusterBus::PublishThreat(int level, int origin_slot) {
+  wire::ThreatCell& cell = header_->threat;
+  // Tiny spinlock serializes writers (publishes are rare: level changes).
+  while (cell.writer_lock.exchange(1, std::memory_order_acquire) != 0) {
+  }
+  const std::uint32_t s = cell.seq.load(std::memory_order_relaxed);
+  cell.seq.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+  std::atomic_thread_fence(std::memory_order_release);
+  cell.level.store(level, std::memory_order_relaxed);
+  cell.origin.store(origin_slot, std::memory_order_relaxed);
+  cell.serial.store(cell.serial.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  cell.seq.store(s + 2, std::memory_order_release);
+  cell.writer_lock.store(0, std::memory_order_release);
+}
+
+ClusterBus::ThreatView ClusterBus::ReadThreat() const {
+  const wire::ThreatCell& cell = header_->threat;
+  ThreatView view;
+  for (;;) {
+    const std::uint32_t s1 = cell.seq.load(std::memory_order_acquire);
+    if ((s1 & 1) != 0) {
+      continue;  // write in progress
+    }
+    view.level = cell.level.load(std::memory_order_relaxed);
+    view.origin = cell.origin.load(std::memory_order_relaxed);
+    view.serial = cell.serial.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (cell.seq.load(std::memory_order_relaxed) == s1) {
+      return view;
+    }
+  }
+}
+
+// --- alert ring --------------------------------------------------------------
+
+void ClusterBus::PushAlert(double severity, int origin_slot) {
+  wire::AlertRing& ring = header_->alerts;
+  const std::uint64_t pos = ring.tail.fetch_add(1, std::memory_order_acq_rel);
+  AlertSlot& slot = ring.slots[pos & kRingMask];
+  slot.severity_bits.store(DoubleBits(severity), std::memory_order_relaxed);
+  slot.origin.store(origin_slot, std::memory_order_relaxed);
+  slot.seq.store(pos + 1, std::memory_order_release);
+}
+
+std::uint64_t ClusterBus::AlertCursorNow() const {
+  return header_->alerts.tail.load(std::memory_order_acquire);
+}
+
+std::uint64_t ClusterBus::AlertCursorReplay() const {
+  const std::uint64_t tail =
+      header_->alerts.tail.load(std::memory_order_acquire);
+  return tail > wire::kAlertRingCapacity ? tail - wire::kAlertRingCapacity : 0;
+}
+
+bool ClusterBus::DrainAlerts(std::uint64_t* cursor,
+                             const std::function<void(const Alert&)>& fn) {
+  wire::AlertRing& ring = header_->alerts;
+  bool overrun = false;
+  // Bounded iteration: a full drain plus one resync's worth.
+  for (std::uint32_t step = 0; step < 2 * wire::kAlertRingCapacity; ++step) {
+    const std::uint64_t pos = *cursor;
+    AlertSlot& slot = ring.slots[pos & kRingMask];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == pos + 1) {
+      Alert alert;
+      alert.severity = BitsDouble(
+          slot.severity_bits.load(std::memory_order_relaxed));
+      alert.origin = slot.origin.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != pos + 1) {
+        // Torn read: a producer lapped us mid-copy.  Resync to the present.
+        overrun = true;
+        *cursor = ring.tail.load(std::memory_order_acquire);
+        continue;
+      }
+      fn(alert);
+      *cursor = pos + 1;
+    } else if (seq > pos + 1) {
+      // Producers lapped this reader; the slot already carries a newer
+      // record.  Jump past the loss and let the caller consult the threat
+      // cell for the authoritative level.
+      overrun = true;
+      *cursor = ring.tail.load(std::memory_order_acquire);
+    } else {
+      break;  // nothing published at the cursor yet
+    }
+  }
+  return overrun;
+}
+
+// --- process slots -----------------------------------------------------------
+
+wire::ProcessSlot* ClusterBus::slot(std::uint32_t index) {
+  return &SlotArray(header_)[index];
+}
+
+const wire::ProcessSlot* ClusterBus::slot(std::uint32_t index) const {
+  return &SlotArray(header_)[index];
+}
+
+std::uint32_t ClusterBus::ClaimSlot(std::uint32_t slot_index, int pid) {
+  ProcessSlot* s = slot(slot_index);
+  // kInit parks concurrent readers while the slab is reset; they resume
+  // after the kLive release-store below.
+  s->state.store(static_cast<std::uint32_t>(SlotState::kInit),
+                 std::memory_order_release);
+  s->entry_count.store(0, std::memory_order_release);
+  s->slab_dropped.store(0, std::memory_order_relaxed);
+  for (auto& entry : s->entries) {
+    entry.ready.store(0, std::memory_order_relaxed);
+  }
+  s->pid.store(pid, std::memory_order_relaxed);
+  s->threat_level.store(0, std::memory_order_relaxed);
+  s->heartbeat_us.store(MonotonicMicros(), std::memory_order_relaxed);
+  const std::uint32_t incarnation =
+      s->incarnation.load(std::memory_order_relaxed) + 1;
+  s->incarnation.store(incarnation, std::memory_order_relaxed);
+  s->state.store(static_cast<std::uint32_t>(SlotState::kLive),
+                 std::memory_order_release);
+  return incarnation;
+}
+
+void ClusterBus::MarkExited(std::uint32_t slot_index) {
+  slot(slot_index)->state.store(
+      static_cast<std::uint32_t>(SlotState::kExited),
+      std::memory_order_release);
+}
+
+void ClusterBus::Heartbeat(std::uint32_t slot_index, std::int64_t now_us,
+                           int threat_level) {
+  ProcessSlot* s = slot(slot_index);
+  s->heartbeat_us.store(now_us, std::memory_order_relaxed);
+  s->threat_level.store(threat_level, std::memory_order_relaxed);
+}
+
+ClusterBus::ProcessView ClusterBus::ViewProcess(std::uint32_t index) const {
+  const ProcessSlot* s = slot(index);
+  ProcessView view;
+  view.slot = index;
+  view.live = s->state.load(std::memory_order_acquire) ==
+              static_cast<std::uint32_t>(SlotState::kLive);
+  view.pid = s->pid.load(std::memory_order_relaxed);
+  view.incarnation = s->incarnation.load(std::memory_order_relaxed);
+  view.heartbeat_us = s->heartbeat_us.load(std::memory_order_relaxed);
+  view.threat_level = s->threat_level.load(std::memory_order_relaxed);
+  return view;
+}
+
+std::vector<ClusterBus::ProcessView> ClusterBus::ViewProcesses() const {
+  std::vector<ProcessView> views;
+  views.reserve(nprocs());
+  for (std::uint32_t i = 0; i < nprocs(); ++i) {
+    views.push_back(ViewProcess(i));
+  }
+  return views;
+}
+
+// --- telemetry slab ----------------------------------------------------------
+
+int ClusterBus::AddSlabEntry(std::uint32_t slot_index, std::string_view name,
+                             std::string_view labels, SlabKind kind) {
+  ProcessSlot* s = slot(slot_index);
+  const std::uint32_t idx = s->entry_count.load(std::memory_order_relaxed);
+  if (idx >= wire::kSlabEntries || name.size() >= wire::kSlabNameBytes ||
+      labels.size() >= wire::kSlabLabelBytes) {
+    s->slab_dropped.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
+  wire::SlabEntry& entry = s->entries[idx];
+  entry.kind = static_cast<std::uint8_t>(kind);
+  std::memset(entry.name, 0, sizeof(entry.name));
+  std::memcpy(entry.name, name.data(), name.size());
+  std::memset(entry.labels, 0, sizeof(entry.labels));
+  std::memcpy(entry.labels, labels.data(), labels.size());
+  entry.value.store(0, std::memory_order_relaxed);
+  entry.ready.store(1, std::memory_order_release);
+  s->entry_count.store(idx + 1, std::memory_order_release);
+  return static_cast<int>(idx);
+}
+
+void ClusterBus::SetSlabValue(std::uint32_t slot_index, int entry,
+                              std::int64_t value) {
+  if (entry < 0 || entry >= static_cast<int>(wire::kSlabEntries)) {
+    return;
+  }
+  slot(slot_index)->entries[entry].value.store(value,
+                                               std::memory_order_relaxed);
+}
+
+std::vector<ClusterBus::MetricSample> ClusterBus::ReadSlab(
+    std::uint32_t slot_index) const {
+  const ProcessSlot* s = slot(slot_index);
+  std::uint32_t n = s->entry_count.load(std::memory_order_acquire);
+  if (n > wire::kSlabEntries) {
+    n = wire::kSlabEntries;
+  }
+  std::vector<MetricSample> samples;
+  samples.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const wire::SlabEntry& entry = s->entries[i];
+    if (entry.ready.load(std::memory_order_acquire) == 0) {
+      continue;
+    }
+    MetricSample sample;
+    sample.name.assign(entry.name,
+                       ::strnlen(entry.name, sizeof(entry.name)));
+    sample.labels.assign(entry.labels,
+                         ::strnlen(entry.labels, sizeof(entry.labels)));
+    if (sample.name.empty()) {
+      continue;  // entry being reset concurrently with a slot claim
+    }
+    sample.kind = entry.kind == static_cast<std::uint8_t>(SlabKind::kGauge)
+                      ? SlabKind::kGauge
+                      : SlabKind::kCounter;
+    sample.value = entry.value.load(std::memory_order_relaxed);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::int64_t ClusterBus::MonotonicMicros() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+         ts.tv_nsec / 1'000;
+}
+
+}  // namespace gaa::cluster

@@ -1,0 +1,229 @@
+// ClusterBus: the shared-memory coordination plane between the cluster
+// supervisor and its N shared-nothing server processes (DESIGN.md §15).
+//
+// One memfd-backed segment (util::ShmRegion) carries three planes:
+//
+//   1. Threat cell — a seqlock-published {level, origin, serial} triple.
+//      Writers take a tiny shm spinlock (multi-writer), bump the sequence to
+//      odd, write the payload, bump to even.  Readers retry while the
+//      sequence is odd or changed across the read, so a torn read is never
+//      observable.  This is the fleet's authoritative "system threat level"
+//      fallback when a process missed individual alerts (ring overrun).
+//
+//   2. Alert ring — a fixed-size broadcast ring of {severity, origin}
+//      records.  Multi-producer via an atomic tail fetch_add; every reader
+//      keeps its *own* cursor (broadcast, not work-stealing), so each
+//      process sees every fleet alert and feeds it into its local
+//      ThreatService window.  All processes therefore run the *same* score
+//      computation over the same alert stream and converge on the same
+//      level — including a respawned process, which replays whatever
+//      history is still in the ring.  A lapped reader detects the overrun
+//      (slot sequence beyond its cursor) and falls back to the threat cell.
+//
+//   3. Process slots — per-process lifecycle block (state / pid /
+//      incarnation / heartbeat / published threat level) plus a telemetry
+//      slab: a write-once name table with live atomic values, appended in
+//      the owner's MetricRegistry creation order.  Any process renders a
+//      fleet-wide /__status by walking other live slots' slabs; the slab is
+//      a monitoring plane, so its read protocol is deliberately best-effort
+//      (per-entry ready flags, no cross-entry snapshot).
+//
+// The segment header pins a magic, a layout version and a creation
+// generation; Attach() refuses a mismatched generation so a re-exec'd
+// process can never interpret a stale or foreign slab (the supervisor
+// passes the expected generation through the environment).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/shm_region.h"
+#include "util/status.h"
+
+namespace gaa::cluster {
+
+/// Metric kinds a slab entry can carry (histograms are flattened to
+/// `_count` / `_sum` counter pairs by the publisher).
+enum class SlabKind : std::uint8_t { kCounter = 1, kGauge = 2 };
+
+namespace wire {
+
+inline constexpr std::uint64_t kMagic = 0x47414143'4c555331ull;  // "GAACLUS1"
+inline constexpr std::uint32_t kLayoutVersion = 1;
+inline constexpr std::uint32_t kMaxProcs = 64;
+inline constexpr std::uint32_t kAlertRingCapacity = 1024;  // power of two
+inline constexpr std::uint32_t kSlabEntries = 384;
+inline constexpr std::size_t kSlabNameBytes = 47;
+inline constexpr std::size_t kSlabLabelBytes = 68;
+
+/// Seqlock-published threat triple.  `seq` odd = write in progress.
+struct ThreatCell {
+  std::atomic<std::uint32_t> seq;
+  std::atomic<std::uint32_t> writer_lock;  // 0 free / 1 held
+  std::atomic<std::int32_t> level;         // core::ThreatLevel as int
+  std::atomic<std::int32_t> origin;        // slot index of last writer
+  std::atomic<std::uint64_t> serial;       // bumped per publish
+};
+
+struct AlertSlot {
+  std::atomic<std::uint64_t> seq;  // position + 1 once published
+  std::atomic<std::uint64_t> severity_bits;
+  std::atomic<std::int32_t> origin;
+  std::uint32_t pad;
+};
+
+struct AlertRing {
+  std::atomic<std::uint64_t> tail;
+  AlertSlot slots[kAlertRingCapacity];
+};
+
+/// One published metric.  Name/labels are written exactly once (before the
+/// release-store of `ready`); only `value` changes afterwards.
+struct SlabEntry {
+  std::atomic<std::uint32_t> ready;
+  std::uint8_t kind;
+  char name[kSlabNameBytes];
+  char labels[kSlabLabelBytes];
+  std::atomic<std::int64_t> value;
+};
+static_assert(sizeof(SlabEntry) == 128, "slab entry should be 2 cache lines");
+
+enum class SlotState : std::uint32_t {
+  kEmpty = 0,
+  kInit = 1,   // claimed, slab being reset — readers skip
+  kLive = 2,
+  kExited = 3,
+};
+
+struct alignas(64) ProcessSlot {
+  std::atomic<std::uint32_t> state;  // SlotState
+  std::atomic<std::uint32_t> incarnation;
+  std::atomic<std::int32_t> pid;
+  std::atomic<std::int64_t> heartbeat_us;   // CLOCK_MONOTONIC µs
+  std::atomic<std::int32_t> threat_level;   // local ThreatService level
+  std::atomic<std::uint32_t> entry_count;
+  std::atomic<std::uint32_t> slab_dropped;  // entries that did not fit
+  SlabEntry entries[kSlabEntries];
+};
+
+struct SegmentHeader {
+  std::uint64_t magic;
+  std::uint32_t layout_version;
+  std::uint32_t nprocs;
+  std::uint64_t generation;
+  ThreatCell threat;
+  AlertRing alerts;
+  // ProcessSlot[nprocs] follows, 64-byte aligned.
+};
+
+}  // namespace wire
+
+class ClusterBus {
+ public:
+  struct ThreatView {
+    int level = 0;
+    int origin = -1;
+    std::uint64_t serial = 0;
+  };
+
+  struct Alert {
+    double severity = 0.0;
+    int origin = -1;
+  };
+
+  /// A point-in-time copy of one slab entry (reader side).
+  struct MetricSample {
+    std::string name;
+    std::string labels;
+    SlabKind kind = SlabKind::kCounter;
+    std::int64_t value = 0;
+  };
+
+  struct ProcessView {
+    std::uint32_t slot = 0;
+    bool live = false;
+    int pid = 0;
+    std::uint32_t incarnation = 0;
+    std::int64_t heartbeat_us = 0;
+    int threat_level = 0;
+  };
+
+  ClusterBus() = default;
+  ClusterBus(ClusterBus&&) = default;
+  ClusterBus& operator=(ClusterBus&&) = default;
+
+  /// Bytes the segment needs for `nprocs` process slots.
+  static std::size_t BytesFor(std::uint32_t nprocs);
+
+  /// Initialise a fresh region (supervisor side).  The region must be at
+  /// least BytesFor(nprocs) bytes and zero-filled (ShmRegion::Create is).
+  static util::Result<ClusterBus> Create(util::ShmRegion region,
+                                         std::uint32_t nprocs,
+                                         std::uint64_t generation);
+
+  /// Attach to an inherited region (child side).  Rejects a bad magic,
+  /// layout version mismatch, or — the stale-slab guard — a generation
+  /// other than `expected_generation`.
+  static util::Result<ClusterBus> Attach(util::ShmRegion region,
+                                         std::uint64_t expected_generation);
+
+  bool valid() const { return header_ != nullptr; }
+  std::uint64_t generation() const { return header_->generation; }
+  std::uint32_t nprocs() const { return header_->nprocs; }
+  const util::ShmRegion& region() const { return region_; }
+
+  // --- threat cell -----------------------------------------------------------
+  void PublishThreat(int level, int origin_slot);
+  ThreatView ReadThreat() const;
+
+  // --- alert ring ------------------------------------------------------------
+  void PushAlert(double severity, int origin_slot);
+  /// Cursor for a reader that wants only future alerts (current tail).
+  std::uint64_t AlertCursorNow() const;
+  /// Cursor that replays whatever history is still in the ring.
+  std::uint64_t AlertCursorReplay() const;
+  /// Drain alerts at `*cursor`, invoking `fn` per alert, advancing the
+  /// cursor.  Returns true if the reader was lapped (some alerts were lost
+  /// and the cursor was resynced); callers should then consult ReadThreat().
+  bool DrainAlerts(std::uint64_t* cursor,
+                   const std::function<void(const Alert&)>& fn);
+
+  // --- process slots ---------------------------------------------------------
+  /// Claim `slot` for this process: bump the incarnation, reset the slab,
+  /// mark live.  Returns the new incarnation.
+  std::uint32_t ClaimSlot(std::uint32_t slot, int pid);
+  void MarkExited(std::uint32_t slot);
+  void Heartbeat(std::uint32_t slot, std::int64_t now_us, int threat_level);
+  wire::ProcessSlot* slot(std::uint32_t index);
+  const wire::ProcessSlot* slot(std::uint32_t index) const;
+  ProcessView ViewProcess(std::uint32_t index) const;
+  std::vector<ProcessView> ViewProcesses() const;
+
+  // --- telemetry slab (writer side) -----------------------------------------
+  /// Append a new entry to `slot`'s slab; returns its index or -1 when the
+  /// slab is full or the name/labels do not fit (counted in slab_dropped).
+  int AddSlabEntry(std::uint32_t slot, std::string_view name,
+                   std::string_view labels, SlabKind kind);
+  void SetSlabValue(std::uint32_t slot, int entry, std::int64_t value);
+
+  // --- telemetry slab (reader side) -----------------------------------------
+  /// Copy out the published entries of `slot`'s slab.
+  std::vector<MetricSample> ReadSlab(std::uint32_t slot) const;
+
+  /// Monotonic clock in µs for heartbeats (shared so supervisor and child
+  /// agree on the timebase).
+  static std::int64_t MonotonicMicros();
+
+ private:
+  ClusterBus(util::ShmRegion region, wire::SegmentHeader* header)
+      : region_(std::move(region)), header_(header) {}
+
+  util::ShmRegion region_;
+  wire::SegmentHeader* header_ = nullptr;
+};
+
+}  // namespace gaa::cluster

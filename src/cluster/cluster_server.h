@@ -1,0 +1,94 @@
+// Cluster child entry points (DESIGN.md §15).
+//
+// A cluster child is the *same binary* as the harness that started the
+// supervisor, re-exec'd.  Each binary that can act as a cluster child
+// calls MaybeRunChildFromEnv() first thing in main(): when the
+// GAA_CLUSTER_* environment (set by Supervisor::SpawnSlotLocked) is
+// present, it attaches the shared segment (refusing a stale generation),
+// adopts the inherited listener fds, runs the supplied child main, and
+// _exits — the process never reaches the harness's normal main path.
+//
+// RunClusterChild() is the standard child main body: it wires a
+// GaaWebServer + TcpServer to the cluster bus —
+//
+//   * ThreatService bus hook: every locally detected alert is pushed onto
+//     the shared alert ring and the seqlock threat cell;
+//   * transport tick: drain remote alerts into the local ThreatService
+//     (same window, same scores → every process converges on the same
+//     level, and SystemState::SetThreatLevel bumps the threat epoch that
+//     fences the DecisionCache memos), run IDS periodic maintenance,
+//     publish the telemetry slab, heartbeat;
+//   * /__status: Prometheus gains a process label plus other live
+//     processes' slab metrics; "<status_path>/cluster" serves the fleet
+//     JSON view;
+//   * SIGTERM: stop accepting, drain in-flight requests bounded by the
+//     supervisor-supplied drain deadline, flush the audit stream, mark the
+//     bus slot exited, exit 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/bus.h"
+#include "http/doc_tree.h"
+#include "http/tcp_server.h"
+#include "integration/gaa_web_server.h"
+
+namespace gaa::cluster {
+
+/// Everything a re-exec'd child learns from the supervisor's environment.
+struct ChildContext {
+  std::uint32_t slot = 0;
+  std::uint32_t nprocs = 0;
+  std::uint64_t generation = 0;
+  std::uint16_t port = 0;
+  int drain_deadline_ms = 2000;
+  std::vector<int> listen_fds;  ///< one per reactor shard, in shard order
+  std::string payload;          ///< SupervisorOptions::child_payload
+  ClusterBus bus;               ///< attached, generation-checked
+};
+
+using ChildMain = std::function<int(ChildContext&)>;
+
+/// Call first thing in main().  No-op unless GAA_CLUSTER_SLOT is set; in a
+/// cluster child it runs `child_main` and never returns (any setup failure
+/// — including a stale-generation segment — exits nonzero).
+void MaybeRunChildFromEnv(const ChildMain& child_main);
+
+/// True once SIGTERM arrived (handler installed by RunClusterChild).
+bool TermRequested();
+
+struct ClusterChildOptions {
+  /// Facade configuration; use_real_clock is forced on (a cluster serves
+  /// wall-clock traffic).  Set per-process audit stream paths here — the
+  /// kill test derives them from ChildContext::slot + getpid().
+  web::GaaWebServer::Options web;
+  /// Transport configuration; reactor_shards, inherited fds, and the drain
+  /// deadline are overwritten from the ChildContext.
+  http::TcpServer::Options tcp;
+  /// Document tree factory (null = http::DocTree::DemoSite()).
+  std::function<http::DocTree()> make_tree;
+  /// Policies / users / tenants, applied before serving starts.
+  std::function<void(web::GaaWebServer&)> configure;
+  /// Transport tick driving alert drain + slab publish + IDS maintenance.
+  int tick_interval_ms = 20;
+};
+
+/// Standard child main: serve until SIGTERM, then drain and exit.
+/// Returns the process exit code.
+int RunClusterChild(ChildContext& ctx, ClusterChildOptions options);
+
+/// Fleet JSON for "<status_path>/cluster": generation, seqlock threat
+/// view, per-process slot states and name-merged counter totals across
+/// every live slab.
+std::string RenderClusterJson(const ClusterBus& bus, std::uint32_t self_slot);
+
+/// Prometheus lines for the other live processes' slabs plus
+/// gaa_cluster_* fleet meta series; appended to the local registry's
+/// process-labelled rendering by the /__status override.
+std::string RenderFleetPrometheus(const ClusterBus& bus,
+                                  std::uint32_t self_slot);
+
+}  // namespace gaa::cluster

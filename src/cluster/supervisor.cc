@@ -1,0 +1,325 @@
+#include "cluster/supervisor.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+extern char** environ;
+
+namespace gaa::cluster {
+namespace {
+
+std::int64_t NowMs() { return ClusterBus::MonotonicMicros() / 1000; }
+
+void SleepMs(int ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1'000'000;
+  ::nanosleep(&ts, nullptr);
+}
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// A generation no other supervisor incarnation on this machine can share:
+/// wall-clock nanoseconds folded with the supervisor pid.
+std::uint64_t FreshGeneration() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  const std::uint64_t ns = static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+                           static_cast<std::uint64_t>(ts.tv_nsec);
+  return ns ^ (static_cast<std::uint64_t>(::getpid()) << 48);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {}
+
+Supervisor::~Supervisor() { Stop(); }
+
+util::VoidResult Supervisor::CreateListeners() {
+  for (std::uint32_t slot = 0; slot < options_.processes; ++slot) {
+    slots_[slot].listen_fds.clear();
+    for (std::uint32_t shard = 0; shard < options_.shards_per_process;
+         ++shard) {
+      int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+      if (fd < 0) {
+        return util::VoidResult(util::ErrorCode::kUnavailable,
+                                Errno("socket"));
+      }
+      int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+        ::close(fd);
+        return util::VoidResult(util::ErrorCode::kUnavailable,
+                                Errno("setsockopt(SO_REUSEPORT)"));
+      }
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port_);
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        ::close(fd);
+        return util::VoidResult(util::ErrorCode::kUnavailable, Errno("bind"));
+      }
+      if (port_ == 0) {
+        socklen_t len = sizeof(addr);
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+        port_ = ntohs(addr.sin_port);  // every later socket joins this port
+      }
+      if (::listen(fd, options_.backlog) < 0) {
+        ::close(fd);
+        return util::VoidResult(util::ErrorCode::kUnavailable,
+                                Errno("listen"));
+      }
+      slots_[slot].listen_fds.push_back(fd);
+    }
+  }
+  return util::VoidResult::Ok();
+}
+
+util::VoidResult Supervisor::Start() {
+  if (running_.load()) {
+    return util::VoidResult(util::ErrorCode::kAlreadyExists,
+                            "supervisor already running");
+  }
+  if (options_.processes == 0 || options_.processes > wire::kMaxProcs) {
+    return util::VoidResult(util::ErrorCode::kInvalidArgument,
+                            "cluster size out of range");
+  }
+  generation_ = FreshGeneration();
+  port_ = options_.port;
+  slots_.assign(options_.processes, SlotProc{});
+  for (auto& slot : slots_) {
+    slot.backoff_ms = options_.respawn_backoff_initial_ms;
+  }
+
+  auto region = util::ShmRegion::Create(
+      "gaa-cluster", ClusterBus::BytesFor(options_.processes));
+  if (!region.ok()) return region.error();
+  auto bus = ClusterBus::Create(std::move(region).take(), options_.processes,
+                                generation_);
+  if (!bus.ok()) return bus.error();
+  bus_ = std::move(bus).take();
+
+  if (auto r = CreateListeners(); !r.ok()) return r;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t slot = 0; slot < options_.processes; ++slot) {
+      if (auto r = SpawnSlotLocked(slot); !r.ok()) return r;
+    }
+  }
+  for (std::uint32_t slot = 0; slot < options_.processes; ++slot) {
+    if (auto r = WaitSlotLive(slot, options_.child_ready_timeout_ms);
+        !r.ok()) {
+      return r;
+    }
+  }
+
+  stopping_.store(false);
+  running_.store(true);
+  reaper_ = std::thread([this] { ReaperLoop(); });
+  return util::VoidResult::Ok();
+}
+
+util::VoidResult Supervisor::SpawnSlotLocked(std::uint32_t slot) {
+  SlotProc& proc = slots_[slot];
+
+  // Everything the child needs crosses exec as environment + raw fd
+  // numbers (fork preserves them; the child re-maps nothing).  Build every
+  // string before fork: the child side runs only async-signal-safe calls.
+  std::string fds_csv;
+  for (int fd : proc.listen_fds) {
+    if (!fds_csv.empty()) fds_csv.push_back(',');
+    fds_csv += std::to_string(fd);
+  }
+  std::vector<std::string> extra = {
+      "GAA_CLUSTER_SLOT=" + std::to_string(slot),
+      "GAA_CLUSTER_NPROCS=" + std::to_string(options_.processes),
+      "GAA_CLUSTER_GENERATION=" + std::to_string(generation_),
+      "GAA_CLUSTER_SHM_FD=" + std::to_string(bus_.region().fd()),
+      "GAA_CLUSTER_SHM_BYTES=" + std::to_string(bus_.region().size()),
+      "GAA_CLUSTER_LISTEN_FDS=" + fds_csv,
+      "GAA_CLUSTER_PORT=" + std::to_string(port_),
+      "GAA_CLUSTER_DRAIN_MS=" + std::to_string(options_.drain_deadline_ms),
+      "GAA_CLUSTER_PAYLOAD=" + options_.child_payload,
+  };
+  std::vector<char*> envp;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    if (std::strncmp(*e, "GAA_CLUSTER_", 12) == 0) continue;
+    envp.push_back(*e);
+  }
+  for (auto& s : extra) envp.push_back(s.data());
+  envp.push_back(nullptr);
+
+  const std::string path =
+      options_.exec_path.empty() ? "/proc/self/exe" : options_.exec_path;
+  std::vector<std::string> args;
+  args.push_back(path);
+  for (const auto& a : options_.exec_args) args.push_back(a);
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return util::VoidResult(util::ErrorCode::kResourceExhausted,
+                            Errno("fork"));
+  }
+  if (pid == 0) {
+    // Child (async-signal-safe section): let the bus fd and this slot's
+    // listener fds survive the exec, then become the server binary.
+    ::fcntl(bus_.region().fd(), F_SETFD, 0);
+    for (int fd : proc.listen_fds) ::fcntl(fd, F_SETFD, 0);
+    ::execve(path.c_str(), argv.data(), envp.data());
+    _exit(127);
+  }
+  proc.pid = pid;
+  proc.spawned_at_ms = NowMs();
+  proc.respawn_due_ms = 0;
+  return util::VoidResult::Ok();
+}
+
+void Supervisor::TerminateLocked(std::uint32_t slot, int grace_ms) {
+  SlotProc& proc = slots_[slot];
+  if (proc.pid <= 0) return;
+  ::kill(proc.pid, SIGTERM);
+  const std::int64_t deadline = NowMs() + grace_ms;
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(proc.pid, &status, WNOHANG);
+    if (r == proc.pid || (r < 0 && errno == ECHILD)) break;
+    if (NowMs() >= deadline) {
+      ::kill(proc.pid, SIGKILL);
+      ::waitpid(proc.pid, &status, 0);
+      break;
+    }
+    SleepMs(5);
+  }
+  bus_.MarkExited(slot);
+  proc.pid = -1;
+  proc.respawn_due_ms = 0;
+}
+
+void Supervisor::ReaperLoop() {
+  while (!stopping_.load()) {
+    SleepMs(options_.reap_poll_ms);
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t now = NowMs();
+    for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+      SlotProc& proc = slots_[slot];
+      if (proc.pid > 0) {
+        int status = 0;
+        const pid_t r = ::waitpid(proc.pid, &status, WNOHANG);
+        if (r != proc.pid && !(r < 0 && errno == ECHILD)) continue;
+        // Child is gone (crash or kill — clean shutdowns run through
+        // TerminateLocked instead).  Its bus slot may still read "live"
+        // after SIGKILL; correct that before anyone merges its slab.
+        bus_.MarkExited(slot);
+        proc.pid = -1;
+        if (!options_.respawn) continue;
+        // A stable run earns a fresh backoff; a crash loop doubles it.
+        if (now - proc.spawned_at_ms >= options_.respawn_backoff_reset_ms) {
+          proc.backoff_ms = options_.respawn_backoff_initial_ms;
+        }
+        proc.respawn_due_ms = now + proc.backoff_ms;
+        proc.backoff_ms =
+            std::min(proc.backoff_ms * 2, options_.respawn_backoff_max_ms);
+      } else if (proc.respawn_due_ms != 0 && now >= proc.respawn_due_ms) {
+        proc.respawn_due_ms = 0;
+        if (SpawnSlotLocked(slot).ok()) {
+          respawns_.fetch_add(1);
+        }
+      }
+    }
+  }
+}
+
+void Supervisor::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (reaper_.joinable()) reaper_.join();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // SIGTERM the whole fleet first so every child drains concurrently, then
+  // reap each against the shared grace deadline.
+  for (auto& proc : slots_) {
+    if (proc.pid > 0) ::kill(proc.pid, SIGTERM);
+  }
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    TerminateLocked(slot, options_.stop_grace_ms);
+  }
+  for (auto& proc : slots_) {
+    for (int fd : proc.listen_fds) ::close(fd);
+    proc.listen_fds.clear();
+  }
+  // bus_ stays mapped: tests read final slot states after Stop().
+}
+
+util::VoidResult Supervisor::RollingRestart() {
+  if (!running_.load()) {
+    return util::VoidResult(util::ErrorCode::kUnavailable,
+                            "supervisor not running");
+  }
+  for (std::uint32_t slot = 0; slot < options_.processes; ++slot) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Drain the old process first: its TcpServer stops accepting and
+      // finishes in-flight requests, while the supervisor's listener copy
+      // keeps the accept backlog queueing new connections for the
+      // replacement.
+      TerminateLocked(slot, options_.stop_grace_ms);
+      if (auto r = SpawnSlotLocked(slot); !r.ok()) return r;
+    }
+    if (auto r = WaitSlotLive(slot, options_.child_ready_timeout_ms);
+        !r.ok()) {
+      return r;
+    }
+  }
+  return util::VoidResult::Ok();
+}
+
+pid_t Supervisor::pid_of(std::uint32_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slot < slots_.size() ? slots_[slot].pid : -1;
+}
+
+util::VoidResult Supervisor::WaitSlotLive(std::uint32_t slot,
+                                          int timeout_ms) {
+  const std::int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    const ClusterBus::ProcessView view = bus_.ViewProcess(slot);
+    if (view.live && view.pid == pid_of(slot)) {
+      return util::VoidResult::Ok();
+    }
+    if (NowMs() >= deadline) {
+      return util::VoidResult(
+          util::ErrorCode::kUnavailable,
+          "cluster slot " + std::to_string(slot) + " not live within " +
+              std::to_string(timeout_ms) + "ms");
+    }
+    SleepMs(5);
+  }
+}
+
+void Supervisor::Kill(std::uint32_t slot, int sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot < slots_.size() && slots_[slot].pid > 0) {
+    ::kill(slots_[slot].pid, sig);
+  }
+}
+
+}  // namespace gaa::cluster

@@ -1,0 +1,139 @@
+// Cluster supervisor (DESIGN.md §15): owns the shared-memory bus, the
+// SO_REUSEPORT listener sockets and the fleet of shared-nothing server
+// processes.
+//
+// Process model — exec, never bare fork.  The supervisor may run inside a
+// threaded host (a test binary, a bench harness), where forked children
+// must not touch locks the snapshotting thread might have held.  So a
+// child is fork + immediate execve of the *same executable*
+// (/proc/self/exe by default); the re-exec'd binary detects cluster-child
+// mode from the environment (MaybeRunChildFromEnv in cluster_server.h) and
+// never reaches the host's normal main path.
+//
+// Listener lifetime is the crux of "no connection refused": the supervisor
+// creates every shard listener itself (processes × shards_per_process
+// sockets, one SO_REUSEPORT group) and KEEPS its own copy of each fd for
+// the cluster's whole life.  A child gets the fds across exec and serves
+// from them; when it dies — crash or rolling restart — the kernel keeps
+// the socket's accept backlog alive through the supervisor's copy, and the
+// replacement child resumes accepting from that same backlog.  Clients
+// connecting during the gap wait in the backlog; nobody sees ECONNREFUSED.
+//
+// Supervision: a reaper thread waitpid-polls the fleet, respawning dead
+// slots with exponential backoff (reset after a stable run).  Rolling
+// restart drains one slot at a time: SIGTERM (the child drains in-flight
+// requests under TcpServer's drain deadline, flushes audit, marks its bus
+// slot exited), reap, re-exec onto the same fds, wait live, next slot —
+// the fleet never has fewer than N-1 serving processes.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/bus.h"
+#include "util/status.h"
+
+namespace gaa::cluster {
+
+struct SupervisorOptions {
+  std::uint32_t processes = 2;
+  /// Reactor shards per server process; the supervisor creates
+  /// processes × shards_per_process listeners in one SO_REUSEPORT group.
+  std::uint32_t shards_per_process = 1;
+  std::uint16_t port = 0;  ///< 0 = pick an ephemeral port
+  int backlog = 128;
+  /// Forwarded to each child as its TcpServer drain deadline (SIGTERM →
+  /// drain → exit).
+  int drain_deadline_ms = 2000;
+
+  bool respawn = true;
+  int respawn_backoff_initial_ms = 100;
+  int respawn_backoff_max_ms = 5000;
+  /// A child that stayed up at least this long resets its slot's backoff.
+  int respawn_backoff_reset_ms = 5000;
+  int reap_poll_ms = 20;
+  /// Start()/RollingRestart(): how long to wait for a child to mark its
+  /// bus slot live.
+  int child_ready_timeout_ms = 15000;
+  /// Stop(): SIGTERM → this grace → SIGKILL.
+  int stop_grace_ms = 4000;
+
+  /// Executable to re-exec ("" = /proc/self/exe) and its argv[1..].
+  std::string exec_path;
+  std::vector<std::string> exec_args;
+  /// Opaque configuration handed to the child via GAA_CLUSTER_PAYLOAD —
+  /// the harness-specific part (doc tree choice, policies, audit paths).
+  std::string child_payload;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Create the bus + listeners, spawn every slot, wait for all live.
+  util::VoidResult Start();
+
+  /// SIGTERM the fleet (children drain), escalate to SIGKILL at the grace
+  /// deadline, reap everything, stop supervision.  Idempotent.
+  void Stop();
+
+  /// Replace every process one slot at a time (drain + re-exec on the same
+  /// inherited fds).  The listener backlog carries connections across each
+  /// swap.
+  util::VoidResult RollingRestart();
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t generation() const { return generation_; }
+  ClusterBus* bus() { return &bus_; }
+
+  pid_t pid_of(std::uint32_t slot) const;
+  /// Total respawns performed by the reaper (not counting rolling
+  /// restarts).
+  std::uint64_t respawn_count() const { return respawns_.load(); }
+
+  /// Block until `slot`'s bus state is live with a fresh heartbeat.
+  util::VoidResult WaitSlotLive(std::uint32_t slot, int timeout_ms);
+
+  /// Test hook: deliver `sig` to the slot's current process.
+  void Kill(std::uint32_t slot, int sig);
+
+ private:
+  struct SlotProc {
+    pid_t pid = -1;
+    std::vector<int> listen_fds;     ///< supervisor-held copies
+    int backoff_ms = 0;              ///< next respawn delay
+    std::int64_t spawned_at_ms = 0;
+    std::int64_t respawn_due_ms = 0;  ///< 0 = no respawn pending
+  };
+
+  util::VoidResult CreateListeners();
+  util::VoidResult SpawnSlotLocked(std::uint32_t slot);
+  /// SIGTERM (then SIGKILL at `grace_ms`) and reap one child.  Caller
+  /// holds mu_.
+  void TerminateLocked(std::uint32_t slot, int grace_ms);
+  void ReaperLoop();
+
+  SupervisorOptions options_;
+  std::uint64_t generation_ = 0;
+  std::uint16_t port_ = 0;
+  ClusterBus bus_;
+
+  mutable std::mutex mu_;
+  std::vector<SlotProc> slots_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> respawns_{0};
+  std::thread reaper_;
+};
+
+}  // namespace gaa::cluster

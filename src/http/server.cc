@@ -333,7 +333,8 @@ HttpResponse WebServer::DoHandle(RequestRec& rec) {
        rec.path == options_.status_path + "/slow" ||
        rec.path == options_.status_path + "/metrics.json" ||
        rec.path == options_.status_path + "/policies" ||
-       rec.path == options_.status_path + "/tenants")) {
+       rec.path == options_.status_path + "/tenants" ||
+       (cluster_view_ && rec.path == options_.status_path + "/cluster"))) {
     return ServeStatus(rec);
   }
 
@@ -459,7 +460,11 @@ HttpResponse WebServer::ServeStatus(RequestRec& rec) {
     success = false;
   } else if (rec.path == options_.status_path) {
     response.status = StatusCode::kOk;
-    response.body = telemetry::RenderPrometheus(telemetry_->registry());
+    // Cluster mode swaps in a fleet-aware renderer (process labels + other
+    // processes' shm slabs); otherwise: this process's registry, verbatim.
+    response.body = prometheus_view_
+                        ? prometheus_view_()
+                        : telemetry::RenderPrometheus(telemetry_->registry());
     response.headers["Content-Type"] =
         "text/plain; version=0.0.4; charset=utf-8";
   } else {
@@ -467,13 +472,19 @@ HttpResponse WebServer::ServeStatus(RequestRec& rec) {
     if (rec.path == options_.status_path + "/slow") {
       response.body = telemetry::RenderSlowTracesJson(telemetry_->tracer());
     } else if (rec.path == options_.status_path + "/metrics.json") {
-      response.body = telemetry::RenderMetricsJson(telemetry_->registry());
+      response.body =
+          status_process_ >= 0
+              ? telemetry::RenderMetricsJson(telemetry_->registry(),
+                                             status_process_)
+              : telemetry::RenderMetricsJson(telemetry_->registry());
     } else if (rec.path == options_.status_path + "/policies") {
       response.body = telemetry::RenderPoliciesJson(telemetry_->registry());
     } else if (rec.path == options_.status_path + "/tenants") {
       // The tenant table and the IR store live in the policy plane; the
       // integration layer supplies the renderer.
       response.body = tenants_view_ ? tenants_view_() : "{}";
+    } else if (cluster_view_ && rec.path == options_.status_path + "/cluster") {
+      response.body = cluster_view_();
     } else {
       response.body = telemetry::RenderTracesJson(telemetry_->tracer());
     }

@@ -276,6 +276,26 @@ class WebServer {
   using StatusView = std::function<std::string()>;
   void set_tenants_view(StatusView view) { tenants_view_ = std::move(view); }
 
+  /// Cluster mode (DESIGN.md §15): overrides the Prometheus body served at
+  /// "<status_path>" — the cluster glue renders this process's registry
+  /// with a `process` label and appends the other live processes' slab
+  /// metrics from the shared segment.  Unset = single-process rendering,
+  /// byte-compatible with previous releases.
+  void set_status_prometheus_view(StatusView view) {
+    prometheus_view_ = std::move(view);
+  }
+
+  /// Cluster mode: enables and renders "<status_path>/cluster" — the
+  /// fleet JSON view (generation, per-process liveness/heartbeat/threat,
+  /// merged counters).  Unset: the path falls through to document lookup
+  /// exactly as before.
+  void set_cluster_view(StatusView view) { cluster_view_ = std::move(view); }
+
+  /// Cluster mode: tag "<status_path>/metrics.json" with this process slot
+  /// (adds a leading `"process":N` field).  -1 (default) = untagged,
+  /// byte-compatible single-process output.
+  void set_status_process(int process) { status_process_ = process; }
+
   /// Invoked when parsing diagnoses a hostile/malformed request — the
   /// integration layer forwards this to the IDS (§3 item 1).
   using MalformedHook =
@@ -362,6 +382,9 @@ class WebServer {
   RequestObserver request_observer_;
   const TenantRouter* tenant_router_ = nullptr;  ///< null = single-tenant
   StatusView tenants_view_;
+  StatusView prometheus_view_;  ///< cluster override for "<status_path>"
+  StatusView cluster_view_;     ///< "<status_path>/cluster" (cluster only)
+  int status_process_ = -1;     ///< cluster slot tag for metrics.json
   /// Response-template cache over tree_ (DESIGN.md §11); null when
   /// disabled.  Immutable after construction, safe from every thread.
   std::unique_ptr<StaticContentPlane> plane_;

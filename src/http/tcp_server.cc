@@ -1,6 +1,7 @@
 #include "http/tcp_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -481,6 +482,8 @@ struct TcpServer::Shard {
   std::atomic<std::uint64_t> ring_depth{0};
   std::atomic<std::uint64_t> ring_hwm{0};
   std::atomic<std::uint64_t> loop_lag_ms{0};
+  /// Connections this shard force-closed at the Stop() drain deadline.
+  std::atomic<std::uint64_t> force_closed{0};
   /// Scheduled fire time of the in-flight lag probe (loop-thread only).
   std::int64_t lag_probe_deadline_ms = 0;
 
@@ -493,6 +496,7 @@ struct TcpServer::Shard {
   telemetry::Gauge* g_loop_lag = nullptr;
   telemetry::Gauge* g_ring_depth = nullptr;
   telemetry::Gauge* g_ring_hwm = nullptr;
+  telemetry::Gauge* g_force_closed = nullptr;
   telemetry::Histogram* h_loop_lag = nullptr;   ///< lag probe, microseconds
   telemetry::Histogram* h_dispatch = nullptr;   ///< wakeup-to-dispatch, us
 
@@ -545,9 +549,18 @@ util::VoidResult TcpServer::Start() {
     return Error(ErrorCode::kUnavailable, message);
   };
 
+  // Inherited-listener mode (cluster re-exec, DESIGN.md §15): adopt one
+  // pre-bound listening fd per shard instead of binding our own.
+  const bool inherited = !options_.inherited_listen_fds.empty();
+  if (inherited && options_.inherited_listen_fds.size() != nshards) {
+    for (int fd : options_.inherited_listen_fds) ::close(fd);
+    return Error(ErrorCode::kInvalidArgument,
+                 "inherited_listen_fds must supply exactly one fd per shard");
+  }
+
   // Probe SO_REUSEPORT support once up front so every shard takes the same
   // path; a refusing kernel demotes the whole server to fd-handoff mode.
-  bool reuseport = options_.so_reuseport && nshards > 1;
+  bool reuseport = options_.so_reuseport && nshards > 1 && !inherited;
   if (reuseport) {
     int probe = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     int one = 1;
@@ -568,8 +581,37 @@ util::VoidResult TcpServer::Start() {
     shard.job_efd = ::eventfd(0, EFD_CLOEXEC | EFD_SEMAPHORE);
     if (shard.job_efd < 0) return fail("eventfd(jobs)");
 
-    const bool wants_listener = i == 0 || reuseport;
-    if (wants_listener) {
+    const bool wants_listener = i == 0 || reuseport || inherited;
+    if (inherited) {
+      // The fd was created by the supervisor (bound, listening, sharing the
+      // port via SO_REUSEPORT); we own it from here.  Status flags survive
+      // exec, but re-assert nonblocking + cloexec rather than trusting the
+      // parent's setup.
+      shard.listen_fd = options_.inherited_listen_fds[i];
+      int fl = ::fcntl(shard.listen_fd, F_GETFL);
+      if (fl < 0 ||
+          ::fcntl(shard.listen_fd, F_SETFL, fl | O_NONBLOCK) < 0) {
+        return fail("fcntl(inherited listener, O_NONBLOCK)");
+      }
+      int fdfl = ::fcntl(shard.listen_fd, F_GETFD);
+      if (fdfl >= 0) ::fcntl(shard.listen_fd, F_SETFD, fdfl | FD_CLOEXEC);
+      if (i == 0) {
+        sockaddr_in addr{};
+        socklen_t len = sizeof(addr);
+        if (::getsockname(shard.listen_fd,
+                          reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+          return fail("getsockname(inherited listener)");
+        }
+        port_ = ntohs(addr.sin_port);
+      }
+      epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.u64 = kListenTag;
+      if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, shard.listen_fd, &lev) <
+          0) {
+        return fail("epoll_ctl(inherited listener)");
+      }
+    } else if (wants_listener) {
       shard.listen_fd =
           ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
       if (shard.listen_fd < 0) return fail("socket");
@@ -633,6 +675,8 @@ util::VoidResult TcpServer::Start() {
           registry.GetGauge("transport_shard_ring_depth", label);
       shard->g_ring_hwm =
           registry.GetGauge("transport_shard_ring_high_watermark", label);
+      shard->g_force_closed =
+          registry.GetGauge("transport_drain_force_closed", label);
       shard->h_loop_lag =
           registry.GetHistogram("transport_loop_lag_us", label,
                                 telemetry::Histogram::WideLatencyBoundsUs());
@@ -715,6 +759,8 @@ void TcpServer::Stop() {
   // Final aggregate publish after every shard settled, so post-Stop
   // observers (SystemState assertions, tests) see the closing values.
   if (stats_hook_) stats_hook_(stats());
+  const std::uint64_t forced = stats().drain_force_closed;
+  if (forced > 0 && drain_hook_) drain_hook_(forced);
 }
 
 TcpServer::Stats TcpServer::stats() const {
@@ -734,6 +780,8 @@ TcpServer::Stats TcpServer::stats() const {
                  shard->ring_hwm.load(std::memory_order_relaxed));
     out.loop_lag_ms = std::max(
         out.loop_lag_ms, shard->loop_lag_ms.load(std::memory_order_relaxed));
+    out.drain_force_closed +=
+        shard->force_closed.load(std::memory_order_relaxed);
   }
   out.shards = shards_.size();
   return out;
@@ -754,6 +802,7 @@ TcpServer::Stats TcpServer::shard_stats(std::size_t shard) const {
   out.ring_depth = s.ring_depth.load(std::memory_order_relaxed);
   out.ring_high_watermark = s.ring_hwm.load(std::memory_order_relaxed);
   out.loop_lag_ms = s.loop_lag_ms.load(std::memory_order_relaxed);
+  out.drain_force_closed = s.force_closed.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -785,6 +834,8 @@ void TcpServer::PublishStats(Shard& shard) {
         shard.ring_depth.load(std::memory_order_relaxed)));
     shard.g_ring_hwm->Set(static_cast<std::int64_t>(
         shard.ring_hwm.load(std::memory_order_relaxed)));
+    shard.g_force_closed->Set(static_cast<std::int64_t>(
+        shard.force_closed.load(std::memory_order_relaxed)));
   }
   if (stats_hook_) stats_hook_(stats());
 }
@@ -806,7 +857,10 @@ void TcpServer::ShardLoop(Shard& shard) {
         listen_open = false;
       }
       if (drain_deadline_ms < 0) {
-        drain_deadline_ms = now + options_.drain_timeout_ms;
+        const int drain_ms = options_.drain_deadline_ms >= 0
+                                 ? options_.drain_deadline_ms
+                                 : options_.drain_timeout_ms;
+        drain_deadline_ms = now + drain_ms;
       }
       bool pending = false;
       for (const auto& [id, conn] : shard.conns) {
@@ -870,9 +924,16 @@ void TcpServer::ShardLoop(Shard& shard) {
     PublishStats(shard);
   }
 
+  // Anything still busy or holding unflushed output here was cut off by the
+  // drain deadline — account for it instead of silently destroying it.
+  std::uint64_t forced = 0;
   for (auto& [id, conn] : shard.conns) {
+    if (conn->busy || conn->HasOutput()) ++forced;
     ::shutdown(conn->fd, SHUT_RDWR);
     ::close(conn->fd);
+  }
+  if (forced > 0) {
+    shard.force_closed.fetch_add(forced, std::memory_order_relaxed);
   }
   total_active_.fetch_sub(shard.conns.size());
   shard.conns.clear();

@@ -95,6 +95,22 @@ class TcpServer {
     /// Stop(): how long to wait for in-flight requests to finish and
     /// responses to flush before force-closing.
     int drain_timeout_ms = 2000;
+    /// Explicit drain deadline for Stop(); when >= 0 it overrides
+    /// drain_timeout_ms.  Connections still busy (or with unflushed output)
+    /// at the deadline are force-closed and *reported* — counted in
+    /// Stats::drain_force_closed, exported as the
+    /// transport_drain_force_closed gauge, and surfaced through the drain
+    /// hook so the integration layer can write an audit event — instead of
+    /// being silently destroyed.
+    int drain_deadline_ms = -1;
+    /// Listener fds inherited from a cluster supervisor (DESIGN.md §15),
+    /// one per reactor shard in shard order; each must already be bound +
+    /// listening on the same SO_REUSEPORT port.  Ownership transfers to the
+    /// transport (closed on Stop()).  When non-empty the transport adopts
+    /// these instead of binding its own sockets, which is what lets a
+    /// re-exec'd process resume accepting from the inherited backlog
+    /// without a refused connection.
+    std::vector<int> inherited_listen_fds;
     /// Fire the tick hook from shard 0's timer wheel every this many
     /// milliseconds (0 disables).  The integration layer drives periodic
     /// IDS maintenance — threat-level decay, sketch window aging — off
@@ -131,6 +147,9 @@ class TcpServer {
     /// misses between samples.
     std::uint64_t ring_high_watermark = 0;
     std::uint64_t loop_lag_ms = 0;  ///< last lag-probe reading (max over shards)
+    /// Connections force-closed at the drain deadline during Stop() while
+    /// still busy or holding unflushed output (0 after a clean drain).
+    std::uint64_t drain_force_closed = 0;
   };
 
   /// Invoked from an event-loop thread whenever counters changed during an
@@ -158,6 +177,13 @@ class TcpServer {
   /// cheap and thread-safe.  Install before Start().
   using TickHook = std::function<void(std::int64_t now_ms)>;
   void set_tick_hook(TickHook hook) { tick_hook_ = std::move(hook); }
+
+  /// Invoked once from Stop() — after every shard has exited — when the
+  /// drain deadline force-closed connections, with the count.  The
+  /// integration layer turns this into an audit event.  Install before
+  /// Start().
+  using DrainHook = std::function<void(std::uint64_t force_closed)>;
+  void set_drain_hook(DrainHook hook) { drain_hook_ = std::move(hook); }
 
   bool running() const { return running_.load(); }
   /// The bound port (valid after Start(); useful with port 0).
@@ -216,6 +242,7 @@ class TcpServer {
   Options options_;
   StatsHook stats_hook_;
   TickHook tick_hook_;
+  DrainHook drain_hook_;
   std::uint16_t port_ = 0;
 
   std::atomic<bool> running_{false};

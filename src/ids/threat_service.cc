@@ -11,6 +11,19 @@ ThreatService::ThreatService(core::SystemState* state, util::Clock* clock,
     : state_(state), clock_(clock), options_(options) {}
 
 void ThreatService::ReportAlert(double severity) {
+  ThreatLevel now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    alerts_.emplace_back(clock_->Now(), severity);
+    RecomputeLocked();
+    now = level_;
+  }
+  // Outside the lock: the hook publishes to the cluster bus, and remote
+  // processes may call back into ReportRemoteAlert concurrently.
+  if (bus_hook_) bus_hook_(severity, now);
+}
+
+void ThreatService::ReportRemoteAlert(double severity) {
   std::lock_guard<std::mutex> lock(mu_);
   alerts_.emplace_back(clock_->Now(), severity);
   RecomputeLocked();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <mutex>
 
 #include "gaa/system_state.h"
@@ -40,6 +41,18 @@ class ThreatService {
   /// Feed one alert (severity 0..10).  Recomputes and publishes the level.
   void ReportAlert(double severity);
 
+  /// Feed an alert that originated in *another* process (cluster bus
+  /// delivery, DESIGN.md §15).  Identical window/score treatment to
+  /// ReportAlert, but never re-invokes the bus hook — remote alerts must
+  /// not echo back onto the bus.
+  void ReportRemoteAlert(double severity);
+
+  /// Cluster hook: invoked (outside the service lock) after every locally
+  /// originated alert, with the alert's severity and the level it produced.
+  /// The cluster glue publishes both onto the shared-memory bus.
+  using BusHook = std::function<void(double severity, core::ThreatLevel now)>;
+  void set_bus_hook(BusHook hook) { bus_hook_ = std::move(hook); }
+
   /// Re-evaluate decay; call periodically (or before reads in tests).
   void Tick();
 
@@ -60,6 +73,7 @@ class ThreatService {
   core::SystemState* state_;
   util::Clock* clock_;
   Options options_;
+  BusHook bus_hook_;  // set before serving starts; never under mu_
   telemetry::Gauge* level_gauge_ = nullptr;
   telemetry::Counter* transitions_ = nullptr;
   mutable std::mutex mu_;

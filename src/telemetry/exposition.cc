@@ -71,6 +71,11 @@ void AppendJsonString(std::string& out, std::string_view s) {
 }  // namespace
 
 std::string RenderPrometheus(const MetricRegistry& registry) {
+  return RenderPrometheus(registry, std::string());
+}
+
+std::string RenderPrometheus(const MetricRegistry& registry,
+                             const std::string& extra_label) {
   std::ostringstream out;
   std::unordered_set<std::string> typed;  // one # TYPE line per family
   for (const MetricRegistry::Entry& e : registry.List()) {
@@ -78,8 +83,12 @@ std::string RenderPrometheus(const MetricRegistry& registry) {
     if (typed.insert(family).second) {
       out << "# TYPE " << family << ' ' << KindName(e.kind) << '\n';
     }
+    const std::string labels =
+        extra_label.empty()
+            ? e.labels
+            : (e.labels.empty() ? extra_label : e.labels + "," + extra_label);
     const std::string braces =
-        e.labels.empty() ? std::string() : "{" + e.labels + "}";
+        labels.empty() ? std::string() : "{" + labels + "}";
     switch (e.kind) {
       case MetricKind::kCounter:
         out << family << braces << ' ' << e.counter->Value() << '\n';
@@ -89,15 +98,15 @@ std::string RenderPrometheus(const MetricRegistry& registry) {
         break;
       case MetricKind::kHistogram: {
         const Histogram::Snapshot s = e.histogram->TakeSnapshot();
-        const std::string sep = e.labels.empty() ? "" : ",";
+        const std::string sep = labels.empty() ? "" : ",";
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < s.bounds.size(); ++i) {
           cumulative += s.counts[i];
-          out << family << "_bucket{" << e.labels << sep
+          out << family << "_bucket{" << labels << sep
               << "le=\"" << s.bounds[i] << "\"} " << cumulative << '\n';
         }
         cumulative += s.counts.back();
-        out << family << "_bucket{" << e.labels << sep << "le=\"+Inf\"} "
+        out << family << "_bucket{" << labels << sep << "le=\"+Inf\"} "
             << cumulative << '\n';
         out << family << "_sum" << braces << ' ' << s.sum << '\n';
         out << family << "_count" << braces << ' ' << s.count << '\n';
@@ -207,6 +216,12 @@ std::string RenderTracesJson(const Tracer& tracer, std::size_t limit) {
 
 std::string RenderSlowTracesJson(const Tracer& tracer) {
   return RenderTraceArray(tracer.Pinned());
+}
+
+std::string RenderMetricsJson(const MetricRegistry& registry, int process) {
+  std::string body = RenderMetricsJson(registry);  // "{...}"
+  body.replace(0, 1, "{\"process\":" + std::to_string(process) + ",");
+  return body;
 }
 
 std::string RenderMetricsJson(const MetricRegistry& registry) {

@@ -16,6 +16,12 @@ namespace gaa::telemetry {
 /// `_bucket{le=...}` series plus `_sum` and `_count`.
 std::string RenderPrometheus(const MetricRegistry& registry);
 
+/// Same, with `extra_label` (e.g. `process="2"`) appended to every series'
+/// label set — the cluster mode's per-process attribution (DESIGN.md §15).
+/// An empty `extra_label` renders byte-identically to the overload above.
+std::string RenderPrometheus(const MetricRegistry& registry,
+                             const std::string& extra_label);
+
 /// JSON array of the most recent `limit` completed traces (0 = all
 /// retained), oldest first:
 ///   [{"id":1,"method":"GET","target":"/x","client_ip":"1.2.3.4",
@@ -35,6 +41,11 @@ std::string RenderSlowTracesJson(const Tracer& tracer);
 ///    "histograms":[{"name":"...","labels":"...","count":9,"sum":123,
 ///                   "mean":13.7,"p50":12.0,"p95":31.0,"p99":44.0}]}
 std::string RenderMetricsJson(const MetricRegistry& registry);
+
+/// Same JSON shape with a leading `"process":N` field identifying the
+/// cluster process slot that produced the metrics (cluster mode only; the
+/// single-process overload above stays byte-compatible).
+std::string RenderMetricsJson(const MetricRegistry& registry, int process);
 
 /// The /__status/policies view: per-EACL-entry decision counters
 /// (`eacl_entry_decisions_total{policy,entry,outcome}`) grouped by policy,

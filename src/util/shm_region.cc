@@ -1,0 +1,105 @@
+#include "util/shm_region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace gaa::util {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+ShmRegion::~ShmRegion() { Reset(); }
+
+ShmRegion::ShmRegion(ShmRegion&& other) noexcept
+    : fd_(other.fd_), data_(other.data_), size_(other.size_) {
+  other.fd_ = -1;
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+ShmRegion& ShmRegion::operator=(ShmRegion&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    fd_ = other.fd_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.fd_ = -1;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void ShmRegion::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+Result<ShmRegion> ShmRegion::Create(const char* name, std::size_t bytes) {
+  if (bytes == 0) {
+    return Error(ErrorCode::kInvalidArgument, "shm region size must be > 0");
+  }
+  int fd = static_cast<int>(::memfd_create(name, MFD_CLOEXEC));
+  if (fd < 0) {
+    return Error(ErrorCode::kUnavailable, Errno("memfd_create"));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    Error err(ErrorCode::kResourceExhausted, Errno("ftruncate"));
+    ::close(fd);
+    return err;
+  }
+  void* data =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (data == MAP_FAILED) {
+    Error err(ErrorCode::kResourceExhausted, Errno("mmap"));
+    ::close(fd);
+    return err;
+  }
+  return ShmRegion(fd, data, bytes);
+}
+
+Result<ShmRegion> ShmRegion::AttachFd(int fd, std::size_t bytes) {
+  if (fd < 0 || bytes == 0) {
+    return Error(ErrorCode::kInvalidArgument, "bad shm fd or size");
+  }
+  off_t backing = ::lseek(fd, 0, SEEK_END);
+  if (backing >= 0 && static_cast<std::size_t>(backing) < bytes) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "shm backing object smaller than requested mapping");
+  }
+  void* data =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (data == MAP_FAILED) {
+    return Error(ErrorCode::kResourceExhausted, Errno("mmap"));
+  }
+  return ShmRegion(fd, data, bytes);
+}
+
+VoidResult ShmRegion::PrepareInherit() const {
+  if (fd_ < 0) {
+    return VoidResult(ErrorCode::kInvalidArgument, "no fd to inherit");
+  }
+  int flags = ::fcntl(fd_, F_GETFD);
+  if (flags < 0 || ::fcntl(fd_, F_SETFD, flags & ~FD_CLOEXEC) != 0) {
+    return VoidResult(ErrorCode::kInternal, Errno("fcntl(FD_CLOEXEC)"));
+  }
+  return VoidResult::Ok();
+}
+
+}  // namespace gaa::util

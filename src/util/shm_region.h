@@ -1,0 +1,61 @@
+// Anonymous shared-memory region shared between the cluster supervisor and
+// its server processes (DESIGN.md §15).
+//
+// The region is backed by a memfd (no filesystem name to leak or clean up)
+// and mapped MAP_SHARED, so the same physical pages are visible to every
+// process that inherits the fd across fork/exec.  Ownership is move-only:
+// the mapping and the fd are released on destruction.  The fd itself is the
+// capability — a child can only attach to a region whose fd the supervisor
+// deliberately passed across exec (see PrepareInherit / AttachFd).
+//
+// Layout discipline lives one level up in cluster::ClusterBus; this class
+// only manages bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace gaa::util {
+
+class ShmRegion {
+ public:
+  ShmRegion() = default;
+  ~ShmRegion();
+
+  ShmRegion(ShmRegion&& other) noexcept;
+  ShmRegion& operator=(ShmRegion&& other) noexcept;
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+
+  /// Create a new zero-filled region of `bytes` bytes.  `name` is a debug
+  /// label (shows up in /proc/<pid>/fd); it is not a filesystem path.
+  static Result<ShmRegion> Create(const char* name, std::size_t bytes);
+
+  /// Map an existing region from an inherited fd (child side).  `bytes`
+  /// must not exceed the backing object's size; the fd is owned afterwards.
+  static Result<ShmRegion> AttachFd(int fd, std::size_t bytes);
+
+  /// Clear FD_CLOEXEC so the fd survives execve.  Call in the child between
+  /// fork and exec (async-signal-safe: one fcntl).
+  VoidResult PrepareInherit() const;
+
+  void* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  int fd() const { return fd_; }
+  bool valid() const { return data_ != nullptr; }
+
+  /// Unmap and close.  Idempotent.
+  void Reset();
+
+ private:
+  ShmRegion(int fd, void* data, std::size_t size)
+      : fd_(fd), data_(data), size_(size) {}
+
+  int fd_ = -1;
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gaa::util

@@ -1,0 +1,350 @@
+// The shared-memory cluster bus (DESIGN.md §15): seqlock threat cell,
+// broadcast alert ring, per-process telemetry slabs and the
+// generation-checked attach protocol.  Thread-only (no fork) so the TSan
+// CI job can run this binary directly against the bus atomics.
+#include "cluster/bus.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/shm_region.h"
+
+namespace gaa::cluster {
+namespace {
+
+util::ShmRegion MakeRegion(std::uint32_t nprocs) {
+  auto region = util::ShmRegion::Create("bus-test", ClusterBus::BytesFor(nprocs));
+  EXPECT_TRUE(region.ok());
+  return std::move(region).take();
+}
+
+ClusterBus MakeBus(std::uint32_t nprocs, std::uint64_t generation = 7) {
+  auto bus = ClusterBus::Create(MakeRegion(nprocs), nprocs, generation);
+  EXPECT_TRUE(bus.ok());
+  return std::move(bus).take();
+}
+
+TEST(ShmRegion, CreateMapsZeroFilledWritableMemory) {
+  auto region = util::ShmRegion::Create("t", 4096);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(region.value().valid());
+  EXPECT_GE(region.value().size(), 4096u);
+  auto* bytes = static_cast<unsigned char*>(region.value().data());
+  for (std::size_t i = 0; i < 4096; ++i) ASSERT_EQ(bytes[i], 0u);
+  bytes[0] = 0xAB;
+  EXPECT_EQ(bytes[0], 0xAB);
+}
+
+TEST(ShmRegion, AttachFdSharesTheSameMemory) {
+  auto region = util::ShmRegion::Create("t", 4096);
+  ASSERT_TRUE(region.ok());
+  // Simulate the inherited-fd path: a second mapping of the same memfd.
+  const int dup_fd = ::dup(region.value().fd());
+  ASSERT_GE(dup_fd, 0);
+  auto attached = util::ShmRegion::AttachFd(dup_fd, 4096);
+  ASSERT_TRUE(attached.ok());
+  static_cast<char*>(region.value().data())[17] = 'x';
+  EXPECT_EQ(static_cast<char*>(attached.value().data())[17], 'x');
+}
+
+TEST(ShmRegion, AttachFdRejectsTooSmallFile) {
+  auto region = util::ShmRegion::Create("t", 4096);
+  ASSERT_TRUE(region.ok());
+  const int dup_fd = ::dup(region.value().fd());
+  ASSERT_GE(dup_fd, 0);
+  EXPECT_FALSE(util::ShmRegion::AttachFd(dup_fd, 1 << 20).ok());
+}
+
+TEST(ClusterBus, AttachValidatesGeneration) {
+  auto region = util::ShmRegion::Create("t", ClusterBus::BytesFor(2));
+  ASSERT_TRUE(region.ok());
+  const int fd = region.value().fd();
+  auto bus = ClusterBus::Create(std::move(region).take(), 2, /*generation=*/41);
+  ASSERT_TRUE(bus.ok());
+
+  auto same = util::ShmRegion::AttachFd(::dup(fd), ClusterBus::BytesFor(2));
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(ClusterBus::Attach(std::move(same).take(), 41).ok());
+
+  // The stale-slab guard: a re-exec'd child handed a generation that does
+  // not match the segment must refuse to serve from it.
+  auto stale = util::ShmRegion::AttachFd(::dup(fd), ClusterBus::BytesFor(2));
+  ASSERT_TRUE(stale.ok());
+  auto refused = ClusterBus::Attach(std::move(stale).take(), 42);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.error().message.find("generation"), std::string::npos);
+}
+
+TEST(ClusterBus, AttachRejectsGarbageSegment) {
+  auto region = util::ShmRegion::Create("t", ClusterBus::BytesFor(1));
+  ASSERT_TRUE(region.ok());
+  std::memset(region.value().data(), 0x5A, 64);
+  EXPECT_FALSE(ClusterBus::Attach(std::move(region).take(), 7).ok());
+}
+
+TEST(ClusterBus, ThreatCellRoundTrips) {
+  ClusterBus bus = MakeBus(2);
+  EXPECT_EQ(bus.ReadThreat().serial, 0u);
+  bus.PublishThreat(2, /*origin_slot=*/1);
+  const ClusterBus::ThreatView view = bus.ReadThreat();
+  EXPECT_EQ(view.level, 2);
+  EXPECT_EQ(view.origin, 1);
+  EXPECT_EQ(view.serial, 1u);
+}
+
+// Seqlock torn-read stress: writers always publish (level, origin) pairs
+// with origin == level + 10; readers must never observe a pair that
+// breaks the invariant, no matter how writes interleave.
+TEST(ClusterBus, SeqlockNeverShowsTornReads) {
+  ClusterBus bus = MakeBus(4);
+  bus.PublishThreat(0, 10);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ClusterBus::ThreatView view = bus.ReadThreat();
+        if (view.origin != view.level + 10) torn.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < 20000; ++i) {
+        const int level = (w + i) % 3;
+        bus.PublishThreat(level, level + 10);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  // Every publish (the seed + 3 writers x 20000) bumped the serial once.
+  EXPECT_EQ(bus.ReadThreat().serial, 1u + 3u * 20000u);
+}
+
+TEST(ClusterBus, AlertRingDeliversInOrder) {
+  ClusterBus bus = MakeBus(2);
+  std::uint64_t cursor = bus.AlertCursorNow();
+  bus.PushAlert(1.5, 0);
+  bus.PushAlert(2.5, 1);
+  std::vector<ClusterBus::Alert> got;
+  EXPECT_FALSE(bus.DrainAlerts(&cursor, [&](const ClusterBus::Alert& a) {
+    got.push_back(a);
+  }));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0].severity, 1.5);
+  EXPECT_EQ(got[0].origin, 0);
+  EXPECT_DOUBLE_EQ(got[1].severity, 2.5);
+  EXPECT_EQ(got[1].origin, 1);
+  // Nothing new: drain is a no-op, no overrun.
+  EXPECT_FALSE(bus.DrainAlerts(&cursor, [&](const ClusterBus::Alert&) {
+    FAIL() << "cursor should be at tail";
+  }));
+}
+
+TEST(ClusterBus, AlertRingWraparoundLapsSlowReader) {
+  ClusterBus bus = MakeBus(2);
+  std::uint64_t cursor = bus.AlertCursorNow();  // = 0
+  // Push two full rings beyond the reader's cursor: the oldest entries are
+  // overwritten, so the reader must detect the lap instead of serving
+  // stale or torn slots.
+  const std::uint32_t total = 2 * wire::kAlertRingCapacity + 5;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    bus.PushAlert(static_cast<double>(i), static_cast<int>(i % 2));
+  }
+  std::uint64_t seen = 0;
+  const bool lapped = bus.DrainAlerts(&cursor, [&](const ClusterBus::Alert&) {
+    ++seen;
+  });
+  EXPECT_TRUE(lapped);
+  // A lapped reader resyncs to the present rather than serving a window it
+  // cannot trust; the caller falls back to the seqlock threat cell.
+  EXPECT_EQ(seen, 0u);
+  EXPECT_EQ(cursor, total);  // resynced to tail
+
+  // The resynced cursor serves subsequent alerts normally.
+  bus.PushAlert(99.0, 1);
+  std::vector<double> fresh;
+  EXPECT_FALSE(bus.DrainAlerts(&cursor, [&](const ClusterBus::Alert& a) {
+    fresh.push_back(a.severity);
+  }));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_DOUBLE_EQ(fresh[0], 99.0);
+
+  // A replay cursor taken now re-reads the newest ring's worth of history.
+  std::uint64_t replay = bus.AlertCursorReplay();
+  std::uint64_t replayed = 0;
+  EXPECT_FALSE(bus.DrainAlerts(&replay, [&](const ClusterBus::Alert&) {
+    ++replayed;
+  }));
+  EXPECT_EQ(replayed, static_cast<std::uint64_t>(wire::kAlertRingCapacity));
+}
+
+TEST(ClusterBus, AlertCursorReplaySeesRingHistory) {
+  ClusterBus bus = MakeBus(2);
+  for (int i = 0; i < 10; ++i) bus.PushAlert(static_cast<double>(i), 0);
+  std::uint64_t cursor = bus.AlertCursorReplay();
+  std::uint64_t seen = 0;
+  EXPECT_FALSE(bus.DrainAlerts(&cursor, [&](const ClusterBus::Alert&) {
+    ++seen;
+  }));
+  EXPECT_EQ(seen, 10u);  // a respawned process replays what is still there
+}
+
+// Multi-producer stress with a concurrent reader: every alert the reader
+// observes must carry a consistent (severity, origin) pair, and with a
+// ring big enough to never lap, none may be lost.
+TEST(ClusterBus, AlertRingConcurrentProducersAndReader) {
+  ClusterBus bus = MakeBus(4);
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 300;  // 900 << kAlertRingCapacity
+  std::atomic<bool> done{false};
+  std::uint64_t cursor = bus.AlertCursorNow();
+  std::uint64_t seen = 0;
+  bool lapped = false;
+  bool bad_pair = false;
+
+  const auto drain = [&] {
+    lapped |= bus.DrainAlerts(&cursor, [&](const ClusterBus::Alert& a) {
+      ++seen;
+      // Writer w tags severity = origin * 1000 + k.
+      if (static_cast<int>(a.severity) / 1000 != a.origin) bad_pair = true;
+    });
+  };
+  std::thread reader([&] {
+    while (!done.load()) drain();
+    drain();  // producers joined before done: one final pass sees the rest
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int k = 0; k < kPerWriter; ++k) {
+        bus.PushAlert(static_cast<double>(w * 1000 + k), w);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true);
+  reader.join();
+
+  EXPECT_FALSE(lapped);
+  EXPECT_FALSE(bad_pair);
+  EXPECT_EQ(seen, static_cast<std::uint64_t>(kWriters) * kPerWriter);
+}
+
+TEST(ClusterBus, SlotLifecycleAndHeartbeat) {
+  ClusterBus bus = MakeBus(2);
+  EXPECT_FALSE(bus.ViewProcess(0).live);
+  const std::uint32_t inc = bus.ClaimSlot(0, /*pid=*/4242);
+  EXPECT_EQ(inc, 1u);
+  bus.Heartbeat(0, /*now_us=*/123456, /*threat_level=*/2);
+
+  ClusterBus::ProcessView view = bus.ViewProcess(0);
+  EXPECT_TRUE(view.live);
+  EXPECT_EQ(view.pid, 4242);
+  EXPECT_EQ(view.incarnation, 1u);
+  EXPECT_EQ(view.heartbeat_us, 123456);
+  EXPECT_EQ(view.threat_level, 2);
+
+  bus.MarkExited(0);
+  EXPECT_FALSE(bus.ViewProcess(0).live);
+  // A respawn claims the same slot with a bumped incarnation.
+  EXPECT_EQ(bus.ClaimSlot(0, 4243), 2u);
+  EXPECT_EQ(bus.ViewProcesses().size(), 2u);
+}
+
+TEST(ClusterBus, SlabPublishAndRead) {
+  ClusterBus bus = MakeBus(2);
+  bus.ClaimSlot(0, 1);
+  const int a = bus.AddSlabEntry(0, "requests_total", "", SlabKind::kCounter);
+  const int b = bus.AddSlabEntry(0, "active", "shard=\"1\"", SlabKind::kGauge);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  bus.SetSlabValue(0, a, 17);
+  bus.SetSlabValue(0, b, -3);
+
+  auto samples = bus.ReadSlab(0);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "requests_total");
+  EXPECT_EQ(samples[0].value, 17);
+  EXPECT_EQ(samples[0].kind, SlabKind::kCounter);
+  EXPECT_EQ(samples[1].labels, "shard=\"1\"");
+  EXPECT_EQ(samples[1].value, -3);
+  EXPECT_EQ(samples[1].kind, SlabKind::kGauge);
+}
+
+TEST(ClusterBus, SlabRejectsOversizeAndOverflow) {
+  ClusterBus bus = MakeBus(1);
+  bus.ClaimSlot(0, 1);
+  const std::string long_name(wire::kSlabNameBytes + 10, 'n');
+  EXPECT_EQ(bus.AddSlabEntry(0, long_name, "", SlabKind::kCounter), -1);
+
+  int added = 0;
+  for (std::uint32_t i = 0; i < wire::kSlabEntries + 5; ++i) {
+    if (bus.AddSlabEntry(0, "m" + std::to_string(i), "", SlabKind::kCounter) >=
+        0) {
+      ++added;
+    }
+  }
+  EXPECT_EQ(added, static_cast<int>(wire::kSlabEntries));
+  EXPECT_GT(bus.slot(0)->slab_dropped.load(), 0u);
+}
+
+TEST(ClusterBus, ClaimSlotResetsSlab) {
+  ClusterBus bus = MakeBus(1);
+  bus.ClaimSlot(0, 1);
+  ASSERT_GE(bus.AddSlabEntry(0, "old_metric", "", SlabKind::kCounter), 0);
+  ASSERT_EQ(bus.ReadSlab(0).size(), 1u);
+  // The respawned incarnation starts from an empty slab — a reader can
+  // never see the dead process's metric names with the new values.
+  bus.ClaimSlot(0, 2);
+  EXPECT_TRUE(bus.ReadSlab(0).empty());
+  const int idx = bus.AddSlabEntry(0, "new_metric", "", SlabKind::kGauge);
+  ASSERT_EQ(idx, 0);
+  bus.SetSlabValue(0, idx, 9);
+  auto samples = bus.ReadSlab(0);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "new_metric");
+}
+
+// Slab read/write under concurrency: a reader walking the slab while the
+// owner appends and updates must only ever see fully published entries.
+TEST(ClusterBus, SlabConcurrentAppendAndRead) {
+  ClusterBus bus = MakeBus(1);
+  bus.ClaimSlot(0, 1);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& s : bus.ReadSlab(0)) {
+        if (s.name.empty() || s.name[0] != 'm') bad.store(true);
+      }
+    }
+  });
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const int idx =
+        bus.AddSlabEntry(0, "m" + std::to_string(i), "", SlabKind::kCounter);
+    ASSERT_GE(idx, 0);
+    bus.SetSlabValue(0, idx, static_cast<std::int64_t>(i));
+  }
+  stop.store(true);
+  reader.join();
+
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(bus.ReadSlab(0).size(), 200u);
+}
+
+}  // namespace
+}  // namespace gaa::cluster
