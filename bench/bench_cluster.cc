@@ -5,7 +5,7 @@
 // is purely what process isolation costs (or buys: no shared policy plane,
 // no shared allocator, independent audit pipelines).  Then measures the
 // shared-memory bus's threat propagation: the wall-clock lag between one
-// process detecting an attack (seqlock cell published) and every process
+// process detecting an attack (threat cell published) and every process
 // in the fleet reporting the raised level through its heartbeat.
 //
 //   bench_cluster [--conns C] [--requests R] [--smoke] [--json out.json]
@@ -155,7 +155,7 @@ RunResult RunConfig(std::uint32_t processes, std::uint32_t shards_per_process,
 }
 
 /// Raise the threat level in one process and measure how long the rest of
-/// the fleet takes to report it.  t0 is the seqlock cell flipping (the
+/// the fleet takes to report it.  t0 is the threat cell flipping (the
 /// origin publishes synchronously from its threat hook); converged is every
 /// live slot's heartbeat carrying level >= medium.
 double MeasureConvergenceMs() {

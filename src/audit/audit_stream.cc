@@ -13,8 +13,6 @@
 
 namespace gaa::audit {
 
-namespace {
-
 void AppendJsonEscaped(std::string_view text, std::string* out) {
   for (char c : text) {
     switch (c) {
@@ -44,6 +42,8 @@ void AppendJsonEscaped(std::string_view text, std::string* out) {
     }
   }
 }
+
+namespace {
 
 void AppendStringField(const char* key, std::string_view value, bool* first,
                        std::string* out) {

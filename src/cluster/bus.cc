@@ -99,37 +99,34 @@ util::Result<ClusterBus> ClusterBus::Attach(util::ShmRegion region,
 // --- threat cell -------------------------------------------------------------
 
 void ClusterBus::PublishThreat(int level, int origin_slot) {
-  wire::ThreatCell& cell = header_->threat;
-  // Tiny spinlock serializes writers (publishes are rare: level changes).
-  while (cell.writer_lock.exchange(1, std::memory_order_acquire) != 0) {
+  // The whole triple lives in one word (wire::ThreatCell), so a publish is
+  // a lock-free CAS: the only cross-process contract is the single swap,
+  // and a writer SIGKILLed at any point has either fully published or not
+  // touched the cell at all.  The loop retries only while *other* writers
+  // make progress, so it cannot be wedged by a dead one.
+  std::atomic<std::uint64_t>& cell = header_->threat.packed;
+  std::uint64_t old = cell.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t serial = (old >> 16) + 1;
+    const std::uint64_t next =
+        (serial << 16) |
+        ((static_cast<std::uint64_t>(origin_slot) & 0xFF) << 8) |
+        (static_cast<std::uint64_t>(level) & 0xFF);
+    if (cell.compare_exchange_weak(old, next, std::memory_order_release,
+                                   std::memory_order_relaxed)) {
+      return;
+    }
   }
-  const std::uint32_t s = cell.seq.load(std::memory_order_relaxed);
-  cell.seq.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
-  std::atomic_thread_fence(std::memory_order_release);
-  cell.level.store(level, std::memory_order_relaxed);
-  cell.origin.store(origin_slot, std::memory_order_relaxed);
-  cell.serial.store(cell.serial.load(std::memory_order_relaxed) + 1,
-                    std::memory_order_relaxed);
-  cell.seq.store(s + 2, std::memory_order_release);
-  cell.writer_lock.store(0, std::memory_order_release);
 }
 
 ClusterBus::ThreatView ClusterBus::ReadThreat() const {
-  const wire::ThreatCell& cell = header_->threat;
+  const std::uint64_t bits =
+      header_->threat.packed.load(std::memory_order_acquire);
   ThreatView view;
-  for (;;) {
-    const std::uint32_t s1 = cell.seq.load(std::memory_order_acquire);
-    if ((s1 & 1) != 0) {
-      continue;  // write in progress
-    }
-    view.level = cell.level.load(std::memory_order_relaxed);
-    view.origin = cell.origin.load(std::memory_order_relaxed);
-    view.serial = cell.serial.load(std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (cell.seq.load(std::memory_order_relaxed) == s1) {
-      return view;
-    }
-  }
+  view.level = static_cast<std::int8_t>(bits & 0xFF);
+  view.origin = static_cast<std::int8_t>((bits >> 8) & 0xFF);
+  view.serial = bits >> 16;
+  return view;
 }
 
 // --- alert ring --------------------------------------------------------------
@@ -182,8 +179,31 @@ bool ClusterBus::DrainAlerts(std::uint64_t* cursor,
       // cell for the authoritative level.
       overrun = true;
       *cursor = ring.tail.load(std::memory_order_acquire);
+    } else if (ring.tail.load(std::memory_order_acquire) > pos) {
+      // The tail moved past this position, so some producer reserved it —
+      // but the record is not published.  A live producer closes that
+      // window within a few instructions; one SIGKILLed between its tail
+      // fetch_add and the seq release-store never will, and without a
+      // bound here its hole would park every reader's cursor forever,
+      // silently cutting the whole fleet off from all later alerts.  Park
+      // on first sight (the producer may merely be preempted); once the
+      // hole outlives the grace window, declare the producer dead, skip
+      // the slot and report the loss so the caller falls back to the
+      // threat cell.
+      const std::int64_t now = MonotonicMicros();
+      if (stall_pos_ != pos) {
+        stall_pos_ = pos;
+        stall_since_us_ = now;
+        break;
+      }
+      if (now - stall_since_us_ < wire::kStalledPublishGraceUs) {
+        break;
+      }
+      overrun = true;
+      *cursor = pos + 1;
+      stall_pos_ = ~std::uint64_t{0};
     } else {
-      break;  // nothing published at the cursor yet
+      break;  // caught up: nothing reserved at the cursor
     }
   }
   return overrun;

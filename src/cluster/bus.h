@@ -3,12 +3,16 @@
 //
 // One memfd-backed segment (util::ShmRegion) carries three planes:
 //
-//   1. Threat cell — a seqlock-published {level, origin, serial} triple.
-//      Writers take a tiny shm spinlock (multi-writer), bump the sequence to
-//      odd, write the payload, bump to even.  Readers retry while the
-//      sequence is odd or changed across the read, so a torn read is never
-//      observable.  This is the fleet's authoritative "system threat level"
-//      fallback when a process missed individual alerts (ring overrun).
+//   1. Threat cell — a {level, origin, serial} triple packed into ONE
+//      atomic 64-bit word.  Publishing is a CAS loop (bump the serial, swap
+//      in the whole triple); reading is a single load.  Crash-safety is the
+//      point of the packing: the cell is shared across processes, and a
+//      child can be SIGKILLed at any instruction (the supervisor itself
+//      escalates to SIGKILL at the drain deadline), so the protocol must
+//      leave nothing — no lock, no odd sequence — that a dead writer could
+//      leave behind to wedge or spin the survivors.  This is the fleet's
+//      authoritative "system threat level" fallback when a process missed
+//      individual alerts (ring overrun).
 //
 //   2. Alert ring — a fixed-size broadcast ring of {severity, origin}
 //      records.  Multi-producer via an atomic tail fetch_add; every reader
@@ -19,6 +23,10 @@
 //      level — including a respawned process, which replays whatever
 //      history is still in the ring.  A lapped reader detects the overrun
 //      (slot sequence beyond its cursor) and falls back to the threat cell.
+//      A producer SIGKILLed between its tail reservation and the slot
+//      publish leaves a permanently unpublished hole; readers detect a hole
+//      that outlives a grace window, skip it, and report it as loss so the
+//      threat-cell fallback kicks in (see DrainAlerts).
 //
 //   3. Process slots — per-process lifecycle block (state / pid /
 //      incarnation / heartbeat / published threat level) plus a telemetry
@@ -53,20 +61,23 @@ enum class SlabKind : std::uint8_t { kCounter = 1, kGauge = 2 };
 namespace wire {
 
 inline constexpr std::uint64_t kMagic = 0x47414143'4c555331ull;  // "GAACLUS1"
-inline constexpr std::uint32_t kLayoutVersion = 1;
+inline constexpr std::uint32_t kLayoutVersion = 2;
 inline constexpr std::uint32_t kMaxProcs = 64;
 inline constexpr std::uint32_t kAlertRingCapacity = 1024;  // power of two
 inline constexpr std::uint32_t kSlabEntries = 384;
 inline constexpr std::size_t kSlabNameBytes = 47;
 inline constexpr std::size_t kSlabLabelBytes = 68;
+/// How long an alert-ring slot may stay reserved-but-unpublished before a
+/// reader declares its producer dead and skips it (see DrainAlerts).
+inline constexpr std::int64_t kStalledPublishGraceUs = 50'000;
 
-/// Seqlock-published threat triple.  `seq` odd = write in progress.
+/// The fleet threat triple in one atomic word:
+/// bits [63:16] publish serial, [15:8] origin slot (int8), [7:0] level
+/// (int8).  A single-word CAS publish means a writer killed at any
+/// instruction leaves the cell fully consistent — there is no lock or
+/// sequence for the supervisor to repair, and readers never retry.
 struct ThreatCell {
-  std::atomic<std::uint32_t> seq;
-  std::atomic<std::uint32_t> writer_lock;  // 0 free / 1 held
-  std::atomic<std::int32_t> level;         // core::ThreatLevel as int
-  std::atomic<std::int32_t> origin;        // slot index of last writer
-  std::atomic<std::uint64_t> serial;       // bumped per publish
+  std::atomic<std::uint64_t> packed;
 };
 
 struct AlertSlot {
@@ -187,8 +198,12 @@ class ClusterBus {
   /// Cursor that replays whatever history is still in the ring.
   std::uint64_t AlertCursorReplay() const;
   /// Drain alerts at `*cursor`, invoking `fn` per alert, advancing the
-  /// cursor.  Returns true if the reader was lapped (some alerts were lost
-  /// and the cursor was resynced); callers should then consult ReadThreat().
+  /// cursor.  Returns true if alerts were lost: the reader was lapped (the
+  /// cursor was resynced to the present), or a slot whose producer died
+  /// mid-publish was skipped — a position the tail moved past but that
+  /// stayed unpublished for longer than kStalledPublishGraceUs, which a
+  /// live producer's nanosecond publish window cannot.  Callers should
+  /// then consult ReadThreat() for the authoritative level.
   bool DrainAlerts(std::uint64_t* cursor,
                    const std::function<void(const Alert&)>& fn);
 
@@ -224,6 +239,13 @@ class ClusterBus {
 
   util::ShmRegion region_;
   wire::SegmentHeader* header_ = nullptr;
+
+  // Dead-producer detection state for DrainAlerts: the ring position the
+  // reader is currently parked at (reserved but unpublished) and when it
+  // first saw it.  Local to this handle, not shared memory — each reader
+  // times its own stall.
+  std::uint64_t stall_pos_ = ~std::uint64_t{0};
+  std::int64_t stall_since_us_ = 0;
 };
 
 }  // namespace gaa::cluster

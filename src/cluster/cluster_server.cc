@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "audit/audit_log.h"
+#include "audit/audit_stream.h"
 #include "gaa/services.h"
 #include "gaa/system_state.h"
 #include "ids/ids.h"
@@ -126,6 +127,32 @@ class SlabPublisher {
   std::vector<Mapped> mapped_;
 };
 
+// Slab name/label bytes come from another process's shared memory under a
+// deliberately best-effort read protocol, so a torn or corrupted entry may
+// carry arbitrary bytes.  Structured renderers must never splice them in
+// raw: JSON gets the audit escaper, Prometheus rejects anything that could
+// break line or brace structure.
+std::string JsonEscaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  audit::AppendJsonEscaped(text, &out);
+  return out;
+}
+
+bool SafePrometheusName(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool SafePrometheusLabels(std::string_view labels) {
+  return labels.find_first_of("{}\n\r") == std::string_view::npos;
+}
+
 }  // namespace
 
 bool TermRequested() { return g_term_requested.load(); }
@@ -212,7 +239,7 @@ std::string RenderClusterJson(const ClusterBus& bus, std::uint32_t self_slot) {
   for (const auto& [name, value] : fleet) {
     if (!first) out.push_back(',');
     first = false;
-    out += "\"" + name + "\":" + std::to_string(value);
+    out += "\"" + JsonEscaped(name) + "\":" + std::to_string(value);
   }
   out += "}}";
   return out;
@@ -245,6 +272,9 @@ std::string RenderFleetPrometheus(const ClusterBus& bus,
     if (!p.live || p.slot == self_slot) continue;
     const std::string tag = "process=\"" + std::to_string(p.slot) + "\"";
     for (const ClusterBus::MetricSample& s : bus.ReadSlab(p.slot)) {
+      if (!SafePrometheusName(s.name) || !SafePrometheusLabels(s.labels)) {
+        continue;  // corrupted slab bytes must not mangle the exposition
+      }
       const std::string labels =
           s.labels.empty() ? tag : s.labels + "," + tag;
       out += s.name + "{" + labels + "} " + std::to_string(s.value) + "\n";
@@ -299,7 +329,7 @@ int RunClusterChild(ChildContext& ctx, ClusterChildOptions options) {
   bus.DrainAlerts(&cursor, [&web](const ClusterBus::Alert& alert) {
     web.ids().threat().ReportRemoteAlert(alert.severity);
   });
-  // Ring history may predate what the ring still holds; the seqlock cell
+  // Ring history may predate what the ring still holds; the threat cell
   // carries the fleet's authoritative level for exactly this case.
   const ClusterBus::ThreatView fleet = bus.ReadThreat();
   if (fleet.level > static_cast<int>(web.ids().threat().level())) {

@@ -12,7 +12,7 @@
 // GaaWebServer + TcpServer to the cluster bus —
 //
 //   * ThreatService bus hook: every locally detected alert is pushed onto
-//     the shared alert ring and the seqlock threat cell;
+//     the shared alert ring and the packed-atomic threat cell;
 //   * transport tick: drain remote alerts into the local ThreatService
 //     (same window, same scores → every process converges on the same
 //     level, and SystemState::SetThreatLevel bumps the threat epoch that
@@ -80,7 +80,7 @@ struct ClusterChildOptions {
 /// Returns the process exit code.
 int RunClusterChild(ChildContext& ctx, ClusterChildOptions options);
 
-/// Fleet JSON for "<status_path>/cluster": generation, seqlock threat
+/// Fleet JSON for "<status_path>/cluster": generation, threat-cell
 /// view, per-process slot states and name-merged counter totals across
 /// every live slab.
 std::string RenderClusterJson(const ClusterBus& bus, std::uint32_t self_slot);

@@ -114,17 +114,30 @@ util::VoidResult Supervisor::Start() {
   if (!bus.ok()) return bus.error();
   bus_ = std::move(bus).take();
 
-  if (auto r = CreateListeners(); !r.ok()) return r;
+  // Any failure below must leave nothing behind: kill + reap whatever was
+  // already spawned and close every listener, or a failed Start strands
+  // orphan children serving on the port with running_ still false (so
+  // Stop() and the destructor would never touch them).
+  if (auto r = CreateListeners(); !r.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ShutdownFleetLocked(0);
+    return r;
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::uint32_t slot = 0; slot < options_.processes; ++slot) {
-      if (auto r = SpawnSlotLocked(slot); !r.ok()) return r;
+      if (auto r = SpawnSlotLocked(slot); !r.ok()) {
+        ShutdownFleetLocked(options_.stop_grace_ms);
+        return r;
+      }
     }
   }
   for (std::uint32_t slot = 0; slot < options_.processes; ++slot) {
     if (auto r = WaitSlotLive(slot, options_.child_ready_timeout_ms);
         !r.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ShutdownFleetLocked(options_.stop_grace_ms);
       return r;
     }
   }
@@ -193,16 +206,15 @@ util::VoidResult Supervisor::SpawnSlotLocked(std::uint32_t slot) {
   return util::VoidResult::Ok();
 }
 
-void Supervisor::TerminateLocked(std::uint32_t slot, int grace_ms) {
+void Supervisor::TerminateLocked(std::uint32_t slot, std::int64_t deadline_ms) {
   SlotProc& proc = slots_[slot];
   if (proc.pid <= 0) return;
   ::kill(proc.pid, SIGTERM);
-  const std::int64_t deadline = NowMs() + grace_ms;
   int status = 0;
   for (;;) {
     const pid_t r = ::waitpid(proc.pid, &status, WNOHANG);
     if (r == proc.pid || (r < 0 && errno == ECHILD)) break;
-    if (NowMs() >= deadline) {
+    if (NowMs() >= deadline_ms) {
       ::kill(proc.pid, SIGKILL);
       ::waitpid(proc.pid, &status, 0);
       break;
@@ -212,6 +224,23 @@ void Supervisor::TerminateLocked(std::uint32_t slot, int grace_ms) {
   bus_.MarkExited(slot);
   proc.pid = -1;
   proc.respawn_due_ms = 0;
+}
+
+void Supervisor::ShutdownFleetLocked(int grace_ms) {
+  // SIGTERM the whole fleet first so every child drains concurrently, then
+  // reap each against ONE shared deadline — worst-case shutdown is
+  // grace_ms, not processes × grace_ms.
+  for (auto& proc : slots_) {
+    if (proc.pid > 0) ::kill(proc.pid, SIGTERM);
+  }
+  const std::int64_t deadline = NowMs() + grace_ms;
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    TerminateLocked(slot, deadline);
+  }
+  for (auto& proc : slots_) {
+    for (int fd : proc.listen_fds) ::close(fd);
+    proc.listen_fds.clear();
+  }
 }
 
 void Supervisor::ReaperLoop() {
@@ -254,18 +283,7 @@ void Supervisor::Stop() {
   if (reaper_.joinable()) reaper_.join();
 
   std::lock_guard<std::mutex> lock(mu_);
-  // SIGTERM the whole fleet first so every child drains concurrently, then
-  // reap each against the shared grace deadline.
-  for (auto& proc : slots_) {
-    if (proc.pid > 0) ::kill(proc.pid, SIGTERM);
-  }
-  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
-    TerminateLocked(slot, options_.stop_grace_ms);
-  }
-  for (auto& proc : slots_) {
-    for (int fd : proc.listen_fds) ::close(fd);
-    proc.listen_fds.clear();
-  }
+  ShutdownFleetLocked(options_.stop_grace_ms);
   // bus_ stays mapped: tests read final slot states after Stop().
 }
 
@@ -281,7 +299,7 @@ util::VoidResult Supervisor::RollingRestart() {
       // finishes in-flight requests, while the supervisor's listener copy
       // keeps the accept backlog queueing new connections for the
       // replacement.
-      TerminateLocked(slot, options_.stop_grace_ms);
+      TerminateLocked(slot, NowMs() + options_.stop_grace_ms);
       if (auto r = SpawnSlotLocked(slot); !r.ok()) return r;
     }
     if (auto r = WaitSlotLive(slot, options_.child_ready_timeout_ms);

@@ -118,9 +118,14 @@ class Supervisor {
 
   util::VoidResult CreateListeners();
   util::VoidResult SpawnSlotLocked(std::uint32_t slot);
-  /// SIGTERM (then SIGKILL at `grace_ms`) and reap one child.  Caller
-  /// holds mu_.
-  void TerminateLocked(std::uint32_t slot, int grace_ms);
+  /// SIGTERM (then SIGKILL once NowMs() passes the absolute `deadline_ms`)
+  /// and reap one child.  Caller holds mu_.
+  void TerminateLocked(std::uint32_t slot, std::int64_t deadline_ms);
+  /// Terminate + reap every slot against one shared `grace_ms` window and
+  /// close all listener fds.  Used by Stop() and by Start()'s failure
+  /// paths so a partial Start never strands live children.  Caller holds
+  /// mu_.
+  void ShutdownFleetLocked(int grace_ms);
   void ReaperLoop();
 
   SupervisorOptions options_;

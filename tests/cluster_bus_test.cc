@@ -1,5 +1,5 @@
-// The shared-memory cluster bus (DESIGN.md §15): seqlock threat cell,
-// broadcast alert ring, per-process telemetry slabs and the
+// The shared-memory cluster bus (DESIGN.md §15): packed-atomic threat
+// cell, broadcast alert ring, per-process telemetry slabs and the
 // generation-checked attach protocol.  Thread-only (no fork) so the TSan
 // CI job can run this binary directly against the bus atomics.
 #include "cluster/bus.h"
@@ -97,10 +97,10 @@ TEST(ClusterBus, ThreatCellRoundTrips) {
   EXPECT_EQ(view.serial, 1u);
 }
 
-// Seqlock torn-read stress: writers always publish (level, origin) pairs
-// with origin == level + 10; readers must never observe a pair that
+// Threat-cell torn-read stress: writers always publish (level, origin)
+// pairs with origin == level + 10; readers must never observe a pair that
 // breaks the invariant, no matter how writes interleave.
-TEST(ClusterBus, SeqlockNeverShowsTornReads) {
+TEST(ClusterBus, ThreatCellNeverShowsTornReads) {
   ClusterBus bus = MakeBus(4);
   bus.PublishThreat(0, 10);
   std::atomic<bool> stop{false};
@@ -169,7 +169,7 @@ TEST(ClusterBus, AlertRingWraparoundLapsSlowReader) {
   });
   EXPECT_TRUE(lapped);
   // A lapped reader resyncs to the present rather than serving a window it
-  // cannot trust; the caller falls back to the seqlock threat cell.
+  // cannot trust; the caller falls back to the threat cell.
   EXPECT_EQ(seen, 0u);
   EXPECT_EQ(cursor, total);  // resynced to tail
 
@@ -189,6 +189,49 @@ TEST(ClusterBus, AlertRingWraparoundLapsSlowReader) {
     ++replayed;
   }));
   EXPECT_EQ(replayed, static_cast<std::uint64_t>(wire::kAlertRingCapacity));
+}
+
+// A producer SIGKILLed between its tail reservation and the slot publish
+// leaves a permanently unpublished hole.  Readers must not park on it
+// forever (that would cut every surviving process off from all later
+// alerts): after the grace window the hole is skipped and reported as
+// loss, and delivery resumes past it.
+TEST(ClusterBus, AlertRingSkipsSlotOfProducerThatDiedMidPublish) {
+  ClusterBus bus = MakeBus(2);
+  std::uint64_t cursor = bus.AlertCursorNow();
+  bus.PushAlert(1.0, 0);
+  // Simulate the crash: reserve a ring position (tail fetch_add) without
+  // ever publishing the slot, exactly the state a killed producer leaves.
+  auto* header = static_cast<wire::SegmentHeader*>(bus.region().data());
+  header->alerts.tail.fetch_add(1);
+  bus.PushAlert(3.0, 1);  // a live producer keeps publishing past the hole
+
+  // First pass: delivers what precedes the hole, then parks at it — the
+  // producer might merely be preempted mid-publish.
+  std::vector<double> got;
+  EXPECT_FALSE(bus.DrainAlerts(&cursor, [&](const ClusterBus::Alert& a) {
+    got.push_back(a.severity);
+  }));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0], 1.0);
+
+  // Once the hole outlives the grace window the producer is declared
+  // dead: the slot is skipped, the loss is reported (so callers fall back
+  // to the threat cell), and the alert beyond the hole is delivered.
+  ::usleep(static_cast<useconds_t>(wire::kStalledPublishGraceUs + 20'000));
+  EXPECT_TRUE(bus.DrainAlerts(&cursor, [&](const ClusterBus::Alert& a) {
+    got.push_back(a.severity);
+  }));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[1], 3.0);
+
+  // The skip is sticky-free: subsequent alerts flow normally again.
+  bus.PushAlert(7.0, 0);
+  EXPECT_FALSE(bus.DrainAlerts(&cursor, [&](const ClusterBus::Alert& a) {
+    got.push_back(a.severity);
+  }));
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_DOUBLE_EQ(got[2], 7.0);
 }
 
 TEST(ClusterBus, AlertCursorReplaySeesRingHistory) {

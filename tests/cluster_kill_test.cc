@@ -19,7 +19,10 @@
 #include <dirent.h>
 #include <signal.h>
 #include <stdlib.h>
+#include <sys/wait.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <algorithm>
 #include <atomic>
@@ -362,7 +365,7 @@ TEST(ClusterKill, ThreatLevelConvergesAcrossProcesses) {
   // slack, all inside the deadline asserted above).
   RecordProperty("threat_convergence_ms", static_cast<int>(lag_ms));
 
-  // The seqlock cell carries the authoritative level for late joiners.
+  // The threat cell carries the authoritative level for late joiners.
   EXPECT_GE(supervisor.bus()->ReadThreat().level, 1);
 
   supervisor.Stop();
@@ -452,6 +455,32 @@ TEST(ClusterKill, RollingRestartRefusesNoConnections) {
 
   supervisor.Stop();
   ExpectAuditStreamsContiguous(dir, /*min_files=*/1);
+}
+
+// A failed Start must leave no processes behind: children that spawned
+// before the failure are terminated and reaped, and the listeners are
+// closed — otherwise orphans keep serving on the port with running_ still
+// false, beyond the reach of Stop() and the destructor.
+TEST(ClusterKill, FailedStartLeavesNoOrphanChildren) {
+  SupervisorOptions options;
+  options.processes = 2;
+  options.shards_per_process = 1;
+  // A child that never claims its bus slot: Start spawns both, then times
+  // out in WaitSlotLive and must clean up.
+  options.exec_path = "/bin/sh";
+  options.exec_args = {"-c", "sleep 30"};
+  options.child_ready_timeout_ms = 250;
+  options.stop_grace_ms = 2000;  // sh dies on the SIGTERM, well within this
+  Supervisor supervisor(options);
+  ASSERT_FALSE(supervisor.Start().ok());
+  EXPECT_EQ(supervisor.pid_of(0), -1);
+  EXPECT_EQ(supervisor.pid_of(1), -1);
+  // Every spawned child was reaped: this test process has no children
+  // left at all.
+  int status = 0;
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, &status, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
 }
 
 TEST(ClusterKill, StopDrainsAndMarksSlotsExited) {
